@@ -1,0 +1,82 @@
+// Shared workload construction and CLI handling for the bench binaries.
+//
+// Every bench accepts:
+//   --quick            scale the workload down ~4x (CI smoke runs)
+//   --full             scale up to paper-sized traces (1 h per day)
+//   --seconds=N        explicit per-day trace length
+//   --pps=N            explicit background packet rate
+//   --csv=PATH         also write the result table as CSV
+// Defaults are sized so each bench finishes in tens of seconds on a
+// laptop while preserving the workload's statistical shape (the hidden-
+// HHH effect depends on burst dynamics relative to window lengths, which
+// are kept identical; only the trace duration and rate shrink).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic_trace.hpp"
+#include "util/strings.hpp"
+
+namespace hhh::bench {
+
+struct BenchOptions {
+  double seconds_per_day = 300.0;
+  double background_pps = 2500.0;
+  int days = 4;
+  std::string csv_path;
+
+  static BenchOptions parse(int argc, char** argv, double default_seconds = 300.0,
+                            double default_pps = 2500.0) {
+    BenchOptions opt;
+    opt.seconds_per_day = default_seconds;
+    opt.background_pps = default_pps;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--quick") {
+        opt.seconds_per_day = default_seconds / 4;
+        opt.background_pps = default_pps / 2;
+      } else if (arg == "--full") {
+        opt.seconds_per_day = 3600.0;  // the paper's 1-hour days
+        opt.background_pps = default_pps;
+      } else if (arg.rfind("--seconds=", 0) == 0) {
+        double v = 0;
+        if (parse_double(arg.substr(10), v) && v > 0) opt.seconds_per_day = v;
+      } else if (arg.rfind("--pps=", 0) == 0) {
+        double v = 0;
+        if (parse_double(arg.substr(6), v) && v > 0) opt.background_pps = v;
+      } else if (arg.rfind("--days=", 0) == 0) {
+        std::uint64_t v = 0;
+        if (parse_u64(arg.substr(7), v) && v > 0 && v <= 16) opt.days = static_cast<int>(v);
+      } else if (arg.rfind("--csv=", 0) == 0) {
+        opt.csv_path = std::string(arg.substr(6));
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("options: --quick | --full | --seconds=N | --pps=N | --days=N | "
+                    "--csv=PATH\n");
+        std::exit(0);
+      }
+    }
+    return opt;
+  }
+};
+
+/// The Tier-1-like per-day trace every experiment runs on (see DESIGN.md §2
+/// for the CAIDA substitution rationale).
+inline std::vector<PacketRecord> day_trace(int day, const BenchOptions& opt) {
+  const auto cfg = TraceConfig::caida_like_day(day, Duration::from_seconds(opt.seconds_per_day),
+                                               opt.background_pps);
+  SyntheticTraceGenerator gen(cfg);
+  return gen.generate_all();
+}
+
+inline void print_header(const char* experiment, const BenchOptions& opt,
+                         std::uint64_t packets) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("workload: %d day(s) x %.0f s, background %.0f pps, %s packets total; "
+              "seeds from TraceConfig::caida_like_day\n\n",
+              opt.days, opt.seconds_per_day, opt.background_pps,
+              with_thousands(packets).c_str());
+}
+
+}  // namespace hhh::bench

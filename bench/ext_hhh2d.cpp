@@ -1,0 +1,60 @@
+// Extension E1 — the hidden-HHH measurement in two dimensions.
+//
+// The paper's analysis is one-dimensional ("based on source IP
+// addresses"); the general HHH problem is (src, dst) two-dimensional. This
+// bench repeats the Fig. 2 comparison on the 5x5 byte-granularity lattice:
+// if window boundaries hide 1-D HHHs, they hide 2-D lattice nodes at least
+// as much — the lattice has 25 chances per packet to sit near a threshold
+// instead of 5.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "bench_common.hpp"
+#include "core/hhh2d.hpp"
+#include "core/hidden_analysis.hpp"
+
+using namespace hhh;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  // 2-D exact extraction costs O(lattice x leaves) per report; a shorter
+  // default keeps the bench in tens of seconds.
+  auto opt = BenchOptions::parse(argc, argv, /*default_seconds=*/90.0,
+                                 /*default_pps=*/1500.0);
+  opt.days = 1;
+  const auto packets = bench::day_trace(0, opt);
+  bench::print_header("Extension E1: hidden HHHs in 2-D (src x dst lattice)", opt,
+                      packets.size());
+
+  const auto hierarchy2d = Hierarchy2D::byte_granularity();
+  const Duration window = Duration::seconds(10);
+  const Duration step = Duration::seconds(1);
+
+  Table table({"dimension", "threshold", "hidden%", "hidden", "union", "sliding", "disjoint"});
+  for (const double phi : {0.01, 0.05}) {
+    // 1-D reference on the same trace.
+    HiddenHhhParams p1;
+    p1.window = window;
+    p1.step = step;
+    p1.phi = phi;
+    const auto r1 = analyze_hidden_hhh(packets, p1);
+    table.add_row({"1-D (src)", percent(phi, 0), percent(r1.hidden_fraction_of_union()),
+                   std::to_string(r1.hidden.size()), std::to_string(r1.union_size),
+                   std::to_string(r1.sliding_prefixes.size()),
+                   std::to_string(r1.disjoint_prefixes.size())});
+
+    const auto r2 = analyze_hidden_hhh_2d(packets, window, step, phi, hierarchy2d);
+    table.add_row({"2-D (src x dst)", percent(phi, 0),
+                   percent(r2.hidden_fraction_of_union()),
+                   std::to_string(r2.hidden.size()), std::to_string(r2.union_size),
+                   std::to_string(r2.sliding_nodes.size()),
+                   std::to_string(r2.disjoint_nodes.size())});
+  }
+  std::fputs(table.to_console().c_str(), stdout);
+  std::printf("\nshape: the hidden fraction persists in 2-D — windowing blind "
+              "spots are not an artifact of the 1-D projection.\n");
+  if (!opt.csv_path.empty()) {
+    std::printf("csv written to %s\n", table.write_csv(opt.csv_path).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,221 @@
+// §3-T2 — "compare it with existing solutions in terms of performance".
+//
+// google-benchmark microbenches: per-packet update cost of every engine in
+// the library, on a realistic (pre-generated) packet stream, plus query
+// costs. Throughputs are reported as items/second by the framework.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/ancestry_hhh.hpp"
+#include "core/exact_hhh.hpp"
+#include "core/level_aggregates.hpp"
+#include "core/rhhh.hpp"
+#include "core/tdbf_hhh.hpp"
+#include "dataplane/hashpipe.hpp"
+#include "dataplane/p4_tdbf.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/space_saving.hpp"
+#include "sketch/tdbf.hpp"
+#include "sketch/univmon.hpp"
+#include "sketch/wcss.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace hhh {
+namespace {
+
+const std::vector<PacketRecord>& stream() {
+  static const std::vector<PacketRecord> packets = [] {
+    TraceConfig cfg = TraceConfig::caida_like_day(0, Duration::seconds(40), 25000.0);
+    return SyntheticTraceGenerator(cfg).generate_all();
+  }();
+  return packets;
+}
+
+/// Cycles through the stream forever with *monotone* timestamps: each
+/// wrap-around shifts time by the trace length (time-decaying structures
+/// require non-decreasing clocks).
+class MonotoneReplay {
+ public:
+  explicit MonotoneReplay(const std::vector<PacketRecord>& packets)
+      : packets_(packets), span_(Duration::seconds(40)) {}
+
+  PacketRecord next() {
+    PacketRecord p = packets_[i_];
+    p.ts += span_ * cycle_;
+    if (++i_ == packets_.size()) {
+      i_ = 0;
+      ++cycle_;
+    }
+    return p;
+  }
+
+ private:
+  const std::vector<PacketRecord>& packets_;
+  Duration span_;
+  std::size_t i_ = 0;
+  std::int64_t cycle_ = 0;
+};
+
+void BM_ExactLevelAggregates(benchmark::State& state) {
+  const auto& packets = stream();
+  LevelAggregates agg(Hierarchy::byte_granularity());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = packets[i++ % packets.size()];
+    agg.add(p.src, p.ip_len);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactLevelAggregates);
+
+void BM_CountMin(benchmark::State& state) {
+  const auto& packets = stream();
+  CountMinSketch cm(CountMinParams{.width = 2048, .depth = 4,
+                                   .conservative = state.range(0) != 0});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = packets[i++ % packets.size()];
+    cm.update(p.src.bits(), p.ip_len);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMin)->Arg(0)->Arg(1)->ArgName("conservative");
+
+void BM_SpaceSaving(benchmark::State& state) {
+  const auto& packets = stream();
+  SpaceSaving ss(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = packets[i++ % packets.size()];
+    ss.update(p.src.bits(), p.ip_len);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSaving)->Arg(256)->Arg(1024)->ArgName("counters");
+
+void BM_Rhhh(benchmark::State& state) {
+  const auto& packets = stream();
+  RhhhEngine engine({.counters_per_level = 512,
+                     .update_all_levels = state.range(0) != 0});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    engine.add(packets[i++ % packets.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rhhh)->Arg(0)->Arg(1)->ArgName("all_levels");
+
+void BM_AncestryHhh(benchmark::State& state) {
+  const auto& packets = stream();
+  AncestryHhhEngine engine({.eps = 0.005});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    engine.add(packets[i++ % packets.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AncestryHhh);
+
+void BM_DecayingCountingBloom(benchmark::State& state) {
+  const auto& packets = stream();
+  DecayingCountingBloomFilter dcbf({.cells = 1 << 15, .hashes = 4,
+                                    .half_life = Duration::seconds(7)});
+  MonotoneReplay replay(packets);
+  for (auto _ : state) {
+    const PacketRecord p = replay.next();
+    dcbf.update(p.src.bits(), p.ip_len, p.ts);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecayingCountingBloom);
+
+void BM_TdbfHhhDetector(benchmark::State& state) {
+  const auto& packets = stream();
+  TimeDecayingHhhDetector det(TimeDecayingHhhDetector::for_window(Duration::seconds(10)));
+  MonotoneReplay replay(packets);
+  for (auto _ : state) {
+    det.offer(replay.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TdbfHhhDetector);
+
+void BM_WindowedSpaceSaving(benchmark::State& state) {
+  const auto& packets = stream();
+  WindowedSpaceSaving wss({.window = Duration::seconds(10), .frames = 10,
+                           .counters_per_frame = 512});
+  MonotoneReplay replay(packets);
+  for (auto _ : state) {
+    const PacketRecord p = replay.next();
+    wss.update(p.src.bits(), p.ip_len, p.ts);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowedSpaceSaving);
+
+void BM_UnivMon(benchmark::State& state) {
+  const auto& packets = stream();
+  UnivMon um({.levels = 8, .sketch_width = 1024, .sketch_depth = 5, .top_k = 32});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = packets[i++ % packets.size()];
+    um.update(p.src.bits(), static_cast<std::int64_t>(p.ip_len));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnivMon);
+
+void BM_HashPipe(benchmark::State& state) {
+  const auto& packets = stream();
+  HashPipe hp({.stages = 4, .slots_per_stage = 1024});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = packets[i++ % packets.size()];
+    hp.update(p.src.bits(), p.ip_len);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashPipe);
+
+void BM_P4Tdbf(benchmark::State& state) {
+  const auto& packets = stream();
+  P4Tdbf tdbf({.stages = 4, .cells_per_stage = 8192, .half_life = Duration::seconds(7)});
+  MonotoneReplay replay(packets);
+  for (auto _ : state) {
+    const PacketRecord p = replay.next();
+    tdbf.update(p.src.bits(), p.ip_len, p.ts);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_P4Tdbf);
+
+// --- Query-side costs --------------------------------------------------------
+
+void BM_ExactExtraction(benchmark::State& state) {
+  const auto& packets = stream();
+  LevelAggregates agg(Hierarchy::byte_granularity());
+  for (const auto& p : packets) agg.add(p.src, p.ip_len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_hhh_relative(agg, 0.01));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactExtraction);
+
+void BM_TdbfHhhQuery(benchmark::State& state) {
+  const auto& packets = stream();
+  TimeDecayingHhhDetector det(TimeDecayingHhhDetector::for_window(Duration::seconds(10)));
+  for (const auto& p : packets) det.offer(p);
+  const TimePoint now = packets.back().ts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.query(now, 0.01));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TdbfHhhQuery);
+
+}  // namespace
+}  // namespace hhh
+
+BENCHMARK_MAIN();

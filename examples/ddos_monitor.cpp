@@ -1,0 +1,109 @@
+// DDoS detection timeline: windowed vs windowless alarms.
+//
+// The intro of the paper motivates HHH detection with DDoS defense. This
+// example injects a spoofed-source attack episode into normal traffic and
+// races three monitors against each other:
+//
+//  * a disjoint-window detector (the deployed practice) — can only raise an
+//    alarm when a window closes;
+//  * a sliding-window detector (step 1 s);
+//  * the windowless TDBF detector — queried continuously (every 250 ms),
+//    no boundaries at all.
+//
+// Printed: the moment each monitor first reports an HHH covering the
+// attack prefix, and the detection lag relative to the attack start.
+#include <cstdio>
+#include <optional>
+
+#include "core/disjoint_window.hpp"
+#include "core/sliding_window.hpp"
+#include "core/tdbf_hhh.hpp"
+#include "trace/synthetic_trace.hpp"
+#include "util/strings.hpp"
+
+using namespace hhh;
+
+namespace {
+
+bool covers_attack(const HhhSet& set, Ipv4Prefix attack) {
+  for (const auto& item : set.items()) {
+    // The attack prefix itself, anything inside it, or a covering aggregate
+    // no coarser than /8. The root (0.0.0.0/0) covers everything and must
+    // not count as detection.
+    if (attack.contains(item.prefix)) return true;
+    if (item.prefix.contains(attack) && item.prefix.length() >= 8) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  const Duration window = Duration::seconds(10);
+  const double phi = 0.05;
+
+  // Normal traffic + an attack starting mid-window at t=33s: 6000 pps of
+  // spoofed UDP from one /16 toward a single victim.
+  TraceConfig config = TraceConfig::caida_like_day(2, Duration::seconds(60), 2000.0);
+  DdosEpisode attack;
+  attack.start = TimePoint::from_seconds(33.0);
+  attack.duration = Duration::seconds(20);
+  attack.pps = 6000.0;
+  attack.source_prefix = *Ipv4Prefix::parse("198.18.0.0/16");
+  attack.target = Ipv4Address::of(203, 0, 113, 10);
+  config.episodes.push_back(attack);
+
+  std::printf("attack: %s -> %s at %.0f pps, starts t=%.1fs (mid-window for W=10s)\n\n",
+              attack.source_prefix.to_string().c_str(), attack.target.to_string().c_str(),
+              attack.pps, attack.start.to_seconds());
+
+  SyntheticTraceGenerator generator(config);
+
+  DisjointWindowHhhDetector disjoint({.window = window, .phi = phi});
+  SlidingWindowHhhDetector sliding(
+      {.window = window, .step = Duration::seconds(1), .phi = phi});
+  TimeDecayingHhhDetector tdbf(TimeDecayingHhhDetector::for_window(window));
+
+  std::optional<TimePoint> t_disjoint;
+  std::optional<TimePoint> t_sliding;
+  std::optional<TimePoint> t_tdbf;
+
+  disjoint.set_on_report([&](const WindowReport& r) {
+    if (!t_disjoint && covers_attack(r.hhhs, attack.source_prefix)) t_disjoint = r.end;
+  });
+  sliding.set_on_report([&](const WindowReport& r) {
+    if (!t_sliding && covers_attack(r.hhhs, attack.source_prefix)) t_sliding = r.end;
+  });
+
+  TimePoint next_tdbf_query = TimePoint() + Duration::millis(250);
+  while (auto p = generator.next()) {
+    disjoint.offer(*p);
+    sliding.offer(*p);
+    tdbf.offer(*p);
+    if (p->ts >= next_tdbf_query) {
+      if (!t_tdbf && covers_attack(tdbf.query(p->ts, phi), attack.source_prefix)) {
+        t_tdbf = p->ts;
+      }
+      next_tdbf_query += Duration::millis(250);
+    }
+  }
+  disjoint.finish(TimePoint() + config.duration);
+  sliding.finish(TimePoint() + config.duration);
+
+  const auto report = [&](const char* name, const std::optional<TimePoint>& t) {
+    if (t) {
+      std::printf("%-28s first alarm at t=%6.2fs  (lag %5.2fs after attack start)\n", name,
+                  t->to_seconds(), (*t - attack.start).to_seconds());
+    } else {
+      std::printf("%-28s never alarmed\n", name);
+    }
+  };
+  report("disjoint windows (W=10s):", t_disjoint);
+  report("sliding window (step 1s):", t_sliding);
+  report("tdbf windowless (250ms):", t_tdbf);
+
+  std::printf("\nthe windowless monitor needs no boundary to close before it can react —\n"
+              "its alarm lag is bounded by the query cadence plus the time the attack\n"
+              "needs to accumulate phi of the decayed volume, not by window alignment.\n");
+  return 0;
+}

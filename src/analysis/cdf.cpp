@@ -1,0 +1,97 @@
+#include "analysis/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace hhh {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  sorted_ = false;
+  ensure_sorted();
+}
+
+void EmpiricalCdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::fraction_at_most(double x) const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::fraction_at_least(double x) const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  ensure_sorted();
+  const auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(samples_.end() - it) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("EmpiricalCdf: q outside [0,1]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double EmpiricalCdf::min() const {
+  ensure_sorted();
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  ensure_sorted();
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  return samples_.back();
+}
+
+double EmpiricalCdf::mean() const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: empty");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(std::size_t points) const {
+  if (samples_.empty() || points < 2) return {};
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, fraction_at_most(x));
+  }
+  return out;
+}
+
+std::string EmpiricalCdf::to_tsv() const {
+  ensure_sorted();
+  std::string out;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    out += str_format("%.6g\t%.6g\n", samples_[i],
+                      static_cast<double>(i + 1) / static_cast<double>(samples_.size()));
+  }
+  return out;
+}
+
+}  // namespace hhh

@@ -1,0 +1,50 @@
+// Empirical CDF over a sample of doubles.
+//
+// Figure 3 reports statements of the form "for at least 70% of the cases the
+// similarity differs by 25%"; EmpiricalCdf provides exactly those queries:
+// fraction_at_most(x), quantile(q), plus fixed-grid dumps for plotting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hhh {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  void add(double x);
+
+  std::size_t size() const noexcept { return sorted_ ? samples_.size() : samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// P(X <= x) under the empirical distribution.
+  double fraction_at_most(double x) const;
+
+  /// P(X >= x).
+  double fraction_at_least(double x) const;
+
+  /// q-quantile, q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// (x, F(x)) pairs on `points` evenly spaced x values across [min, max].
+  std::vector<std::pair<double, double>> curve(std::size_t points = 50) const;
+
+  /// Gnuplot-ready dump: one "x F(x)" line per sample point.
+  std::string to_tsv() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace hhh

@@ -1,0 +1,86 @@
+#include "analysis/churn.hpp"
+
+#include <algorithm>
+
+#include "analysis/jaccard.hpp"
+
+namespace hhh {
+
+void ChurnAnalysis::add_report(std::vector<Ipv4Prefix> prefixes) {
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+
+  if (reports_ > 0) {
+    stability_.add(jaccard_sorted(previous_.begin(), previous_.end(), prefixes.begin(),
+                                  prefixes.end()));
+  }
+
+  // Births: in the new set, not currently live. Deaths: live entries absent
+  // from the new set (their interval closes with this report).
+  std::vector<Live> still_live;
+  still_live.reserve(live_.size());
+  for (const auto& l : live_) {
+    if (std::binary_search(prefixes.begin(), prefixes.end(), l.prefix)) {
+      still_live.push_back(l);
+    } else {
+      closed_.emplace_back(l.prefix, reports_ - l.since);
+      if (reports_ > 0) ++deaths_;
+    }
+  }
+  for (const auto& p : prefixes) {
+    const bool was_live = std::any_of(live_.begin(), live_.end(),
+                                      [&](const Live& l) { return l.prefix == p; });
+    if (!was_live) {
+      still_live.push_back(Live{p, reports_});
+      if (reports_ > 0) ++births_;
+    }
+  }
+  live_ = std::move(still_live);
+  previous_ = std::move(prefixes);
+  ++reports_;
+}
+
+void ChurnAnalysis::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (const auto& l : live_) closed_.emplace_back(l.prefix, reports_ - l.since);
+  live_.clear();
+  for (const auto& [prefix, lifetime] : closed_) {
+    lifetimes_.add(static_cast<double>(lifetime));
+  }
+}
+
+double ChurnAnalysis::mean_births_per_report() const noexcept {
+  return reports_ <= 1 ? 0.0
+                       : static_cast<double>(births_) / static_cast<double>(reports_ - 1);
+}
+
+double ChurnAnalysis::mean_deaths_per_report() const noexcept {
+  return reports_ <= 1 ? 0.0
+                       : static_cast<double>(deaths_) / static_cast<double>(reports_ - 1);
+}
+
+double ChurnAnalysis::transient_fraction() const {
+  if (closed_.empty()) return 0.0;
+  // Group intervals by prefix: a prefix is a pure transient iff all its
+  // intervals have lifetime 1.
+  std::vector<std::pair<Ipv4Prefix, std::size_t>> sorted = closed_;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t distinct = 0;
+  std::size_t transient = 0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    bool all_one = true;
+    while (j < sorted.size() && sorted[j].first == sorted[i].first) {
+      all_one &= sorted[j].second == 1;
+      ++j;
+    }
+    ++distinct;
+    if (all_one) ++transient;
+    i = j;
+  }
+  return static_cast<double>(transient) / static_cast<double>(distinct);
+}
+
+}  // namespace hhh

@@ -1,0 +1,70 @@
+// HHH churn analysis — quantifying "the results are tightly coupled with
+// the traffic and window's characteristics" (the paper's core complaint)
+// as concrete per-window-stream statistics:
+//
+//  * consecutive-report Jaccard similarity (how stable is the reported set
+//    from one window/step to the next);
+//  * birth/death rates (newly appearing / disappearing HHHs per report);
+//  * HHH lifetime distribution (for how many consecutive reports does a
+//    prefix stay an HHH once it appears) — transients have lifetime ~1,
+//    stable aggregates live for the whole trace.
+//
+// Works over any ordered stream of HHH prefix sets (disjoint reports,
+// sliding reports, or TDBF query snapshots), so the same metrics compare
+// the stability of all detector families.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/cdf.hpp"
+#include "net/prefix.hpp"
+
+namespace hhh {
+
+class ChurnAnalysis {
+ public:
+  ChurnAnalysis() = default;
+
+  /// Feed the next report's prefix set (any order, duplicates tolerated).
+  void add_report(std::vector<Ipv4Prefix> prefixes);
+
+  /// Close the stream: prefixes still alive get their final lifetimes.
+  void finish();
+
+  std::size_t reports() const noexcept { return reports_; }
+
+  /// Jaccard similarity of each consecutive report pair (reports-1 samples).
+  const EmpiricalCdf& stability() const noexcept { return stability_; }
+
+  /// Lifetimes (in reports) of every HHH occurrence interval. Requires
+  /// finish() to have been called for the final intervals to be counted.
+  const EmpiricalCdf& lifetimes() const noexcept { return lifetimes_; }
+
+  /// Mean births (new HHHs) per report, excluding the first.
+  double mean_births_per_report() const noexcept;
+  /// Mean deaths (disappearing HHHs) per report, excluding the first.
+  double mean_deaths_per_report() const noexcept;
+
+  /// Fraction of distinct prefixes whose every occurrence interval lasted
+  /// exactly one report — the pure transients.
+  double transient_fraction() const;
+
+ private:
+  struct Live {
+    Ipv4Prefix prefix;
+    std::size_t since = 0;  // report index when this interval started
+  };
+
+  std::vector<Ipv4Prefix> previous_;
+  std::vector<Live> live_;
+  std::vector<std::pair<Ipv4Prefix, std::size_t>> closed_;  // (prefix, lifetime)
+  EmpiricalCdf stability_;
+  mutable EmpiricalCdf lifetimes_;
+  std::size_t reports_ = 0;
+  std::size_t births_ = 0;
+  std::size_t deaths_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hhh

@@ -1,0 +1,47 @@
+// Jaccard similarity of sets — the metric of the paper's Figure 3.
+//
+// J(A, B) = |A ∩ B| / |A ∪ B|; by convention J(∅, ∅) = 1 (two empty HHH
+// reports are identical). Header-only: a single template over sorted
+// ranges plus a convenience for unsorted vectors.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace hhh {
+
+/// Jaccard over two sorted, deduplicated ranges.
+template <typename Iter>
+double jaccard_sorted(Iter a_begin, Iter a_end, Iter b_begin, Iter b_end) {
+  std::size_t inter = 0;
+  std::size_t uni = 0;
+  auto a = a_begin;
+  auto b = b_begin;
+  while (a != a_end && b != b_end) {
+    ++uni;
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++inter;
+      ++a;
+      ++b;
+    }
+  }
+  uni += static_cast<std::size_t>(std::distance(a, a_end));
+  uni += static_cast<std::size_t>(std::distance(b, b_end));
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Jaccard over arbitrary vectors (copied, sorted, deduplicated).
+template <typename T>
+double jaccard(std::vector<T> a, std::vector<T> b) {
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  return jaccard_sorted(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace hhh

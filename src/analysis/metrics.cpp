@@ -1,0 +1,75 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace hhh {
+namespace {
+
+std::vector<Ipv4Prefix> normalized(std::vector<Ipv4Prefix> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+std::string PrecisionRecall::to_string() const {
+  return str_format("precision=%.3f recall=%.3f f1=%.3f (tp=%zu fp=%zu fn=%zu)", precision(),
+                    recall(), f1(), true_positives, false_positives, false_negatives);
+}
+
+PrecisionRecall compare_exact(const std::vector<Ipv4Prefix>& detected,
+                              const std::vector<Ipv4Prefix>& truth) {
+  const auto d = normalized(detected);
+  const auto t = normalized(truth);
+  PrecisionRecall pr;
+  for (const auto& p : d) {
+    if (std::binary_search(t.begin(), t.end(), p)) {
+      ++pr.true_positives;
+    } else {
+      ++pr.false_positives;
+    }
+  }
+  pr.false_negatives = t.size() - pr.true_positives;
+  return pr;
+}
+
+PrecisionRecall compare_tolerant(const std::vector<Ipv4Prefix>& detected,
+                                 const std::vector<Ipv4Prefix>& truth, unsigned bit_slack) {
+  const auto d = normalized(detected);
+  const auto t = normalized(truth);
+
+  const auto related = [bit_slack](Ipv4Prefix a, Ipv4Prefix b) {
+    const unsigned la = a.length();
+    const unsigned lb = b.length();
+    const unsigned diff = la > lb ? la - lb : lb - la;
+    if (diff > bit_slack) return false;
+    return a.contains(b) || b.contains(a);
+  };
+
+  PrecisionRecall pr;
+  std::vector<bool> truth_hit(t.size(), false);
+  for (const auto& p : d) {
+    bool matched = false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (related(p, t[i])) {
+        matched = true;
+        truth_hit[i] = true;
+        // Keep scanning: one detection may cover several near-boundary
+        // truth entries; all of them count as recalled.
+      }
+    }
+    if (matched) {
+      ++pr.true_positives;
+    } else {
+      ++pr.false_positives;
+    }
+  }
+  pr.false_negatives =
+      static_cast<std::size_t>(std::count(truth_hit.begin(), truth_hit.end(), false));
+  return pr;
+}
+
+}  // namespace hhh

@@ -1,0 +1,54 @@
+// Detection-quality metrics against exact ground truth.
+//
+// The §3 evaluation the poster calls for ("compare … in terms of result's
+// accuracy") needs precision/recall of an approximate detector's HHH set
+// against the exact one, plus near-miss-tolerant variants: following the
+// RHHH evaluation convention, a reported prefix may be credited if the
+// ground truth contains it exactly, or — under `hierarchy_tolerant` — if
+// its direct parent/child at the adjacent hierarchy level is a true HHH
+// (accounting for boundary effects at the threshold).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace hhh {
+
+struct PrecisionRecall {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+
+  double precision() const noexcept {
+    const std::size_t denom = true_positives + false_positives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / static_cast<double>(denom);
+  }
+  double recall() const noexcept {
+    const std::size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / static_cast<double>(denom);
+  }
+  double f1() const noexcept {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  std::string to_string() const;
+};
+
+/// Exact set comparison: a detected prefix counts iff it appears verbatim
+/// in `truth`.
+PrecisionRecall compare_exact(const std::vector<Ipv4Prefix>& detected,
+                              const std::vector<Ipv4Prefix>& truth);
+
+/// Tolerant comparison: a detected prefix also counts if `truth` contains
+/// an ancestor or descendant within `level_slack` hierarchy levels (byte
+/// granularity levels == 8-bit steps).
+PrecisionRecall compare_tolerant(const std::vector<Ipv4Prefix>& detected,
+                                 const std::vector<Ipv4Prefix>& truth,
+                                 unsigned bit_slack = 8);
+
+}  // namespace hhh

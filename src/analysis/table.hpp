@@ -1,0 +1,37 @@
+// Console table + CSV emission used by every bench binary.
+//
+// Benches print the same rows the paper's figures plot; Table keeps the
+// formatting in one place (aligned console rendering for humans, CSV for
+// downstream plotting) so bench code is just data.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hhh {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity (checked).
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Aligned, boxed console rendering.
+  std::string to_console() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Write the CSV next to the binary, for plotting. Returns the path.
+  std::string write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hhh

@@ -1,0 +1,158 @@
+#include "core/ancestry_hhh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hhh {
+
+AncestryHhhEngine::AncestryHhhEngine(const Params& params) : params_(params) {
+  if (params.eps <= 0.0 || params.eps >= 1.0) {
+    throw std::invalid_argument("AncestryHhhEngine: eps outside (0,1)");
+  }
+  levels_.reserve(params_.hierarchy.levels());
+  for (std::size_t i = 0; i < params_.hierarchy.levels(); ++i) levels_.emplace_back(256);
+  compress_stride_ = static_cast<std::uint64_t>(std::ceil(1.0 / params.eps));
+  next_compress_at_ = compress_stride_;
+}
+
+void AncestryHhhEngine::add(const PacketRecord& packet) {
+  total_bytes_ += packet.ip_len;
+
+  // Insert at the leaf level; undercount bound for new entries is eps*N.
+  const std::uint64_t key = params_.hierarchy.generalize(packet.src, 0).key();
+  auto [node, inserted] = levels_[0].try_emplace(key);
+  if (inserted) {
+    node->delta = static_cast<std::uint64_t>(params_.eps * static_cast<double>(total_bytes_));
+  }
+  node->f += packet.ip_len;
+
+  if (total_bytes_ >= next_compress_at_) {
+    compress();
+    // Amortized cadence: recompress after the stream grows by another
+    // eps*N (at least one bucket width). A fixed 1/eps-byte stride would
+    // run compress() on nearly every packet once N is large.
+    const auto growth = std::max<std::uint64_t>(
+        compress_stride_,
+        static_cast<std::uint64_t>(params_.eps * static_cast<double>(total_bytes_)));
+    next_compress_at_ = total_bytes_ + growth;
+  }
+}
+
+void AncestryHhhEngine::compress() {
+  const auto limit =
+      static_cast<std::uint64_t>(params_.eps * static_cast<double>(total_bytes_));
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const unsigned parent_len = params_.hierarchy.length_at(level + 1);
+    auto& parents = levels_[level + 1];
+    levels_[level].erase_if([&](std::uint64_t key, Node& node) {
+      if (node.f + node.delta > limit) return false;
+      // Roll the counted mass into the parent. A parent created here takes
+      // delta = max(child delta, eps*N): the child's delta alone can be
+      // stale (created long ago), and a stale small delta lets escaped
+      // mass compound past eps*N across incarnations — eps*N at creation
+      // always dominates every escape that happened before now.
+      const std::uint64_t parent_key = Ipv4Prefix::from_key(key).truncated(parent_len).key();
+      auto [parent, inserted] = parents.try_emplace(parent_key);
+      if (inserted) parent->delta = std::max(node.delta, limit);
+      parent->f += node.f;
+      return true;
+    });
+  }
+}
+
+HhhSet AncestryHhhEngine::extract(double phi) const {
+  HhhSet result;
+  result.total_bytes = total_bytes_;
+  result.threshold_bytes = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(total_bytes_))));
+  const double threshold = static_cast<double>(result.threshold_bytes);
+
+  struct Selected {
+    Ipv4Prefix prefix;
+    double full_estimate;
+  };
+  std::vector<Selected> selected;
+
+  // The trie state is *fragmented*: a prefix's counted mass is spread over
+  // the live entries in its subtree (compression only ever moves mass from
+  // a child entry to its parent entry, i.e. within every ancestor's
+  // subtree). Mass escapes a prefix p's subtree only when the entry at p
+  // itself is compressed away, which the deletion rule bounds by eps*N.
+  // Upper estimate: sum of f over p's subtree + eps*N. Summing deltas of
+  // descendants would double-count uncertainty thousands of times over.
+  const double eps_n = params_.eps * static_cast<double>(total_bytes_);
+  std::vector<std::vector<std::pair<Ipv4Prefix, double>>> upper(levels_.size());
+  FlatHashMap<std::uint64_t, double> carry(256);  // subtree f-mass flowing upward
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    FlatHashMap<std::uint64_t, double> f_sum(256);
+    levels_[level].for_each([&](std::uint64_t key, const Node& node) {
+      f_sum[key] += static_cast<double>(node.f);
+    });
+    carry.for_each([&](std::uint64_t key, double& mass) { f_sum[key] += mass; });
+    carry.clear();
+
+    const bool has_parent = level + 1 < levels_.size();
+    const unsigned parent_len = has_parent ? params_.hierarchy.length_at(level + 1) : 0;
+    f_sum.for_each([&](std::uint64_t key, double& mass) {
+      const Ipv4Prefix prefix = Ipv4Prefix::from_key(key);
+      upper[level].emplace_back(prefix, mass + eps_n);
+      if (has_parent) carry[prefix.truncated(parent_len).key()] += mass;
+    });
+  }
+
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    for (const auto& [prefix, full] : upper[level]) {
+      double conditioned = full;
+      for (const auto& d : selected) {
+        if (!prefix.is_ancestor_of(d.prefix)) continue;
+        const bool closest = std::none_of(
+            selected.begin(), selected.end(), [&](const Selected& between) {
+              return between.prefix.length() > prefix.length() &&
+                     between.prefix.length() < d.prefix.length() &&
+                     between.prefix.is_ancestor_of(d.prefix);
+            });
+        if (closest) conditioned -= d.full_estimate;
+      }
+      if (conditioned >= threshold) {
+        result.add(HhhItem{prefix, static_cast<std::uint64_t>(full),
+                           static_cast<std::uint64_t>(std::max(0.0, conditioned))});
+        selected.push_back(Selected{prefix, full});
+      }
+    }
+  }
+  return result;
+}
+
+void AncestryHhhEngine::reset() {
+  for (auto& level : levels_) level.clear();
+  total_bytes_ = 0;
+  next_compress_at_ = compress_stride_;
+}
+
+std::size_t AncestryHhhEngine::memory_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& level : levels_) sum += level.memory_bytes();
+  return sum;
+}
+
+double AncestryHhhEngine::estimate(Ipv4Prefix prefix) const {
+  double mass = 0.0;
+  const std::size_t query_level = params_.hierarchy.level_of(prefix);
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    // Entries above the query level cannot lie inside the prefix.
+    if (query_level != Hierarchy::npos && level > query_level) break;
+    levels_[level].for_each([&](std::uint64_t key, const Node& node) {
+      if (prefix.contains(Ipv4Prefix::from_key(key))) mass += static_cast<double>(node.f);
+    });
+  }
+  return mass + params_.eps * static_cast<double>(total_bytes_);
+}
+
+std::size_t AncestryHhhEngine::entry_count() const {
+  std::size_t sum = 0;
+  for (const auto& level : levels_) sum += level.size();
+  return sum;
+}
+
+}  // namespace hhh

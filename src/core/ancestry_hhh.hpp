@@ -1,0 +1,65 @@
+// Full-ancestry streaming HHH (Cormode, Korn, Muthukrishnan, Srivastava) —
+// the classic deterministic epsilon-approximate baseline, implemented as a
+// weighted (byte-stream) lossy-counting trie over the hierarchy.
+//
+// State: per hierarchy level, a map prefix -> (f, delta) where f counts
+// bytes attributed since the entry was created and delta bounds the bytes
+// that may have been attributed and compressed away before creation
+// (delta = eps * N_at_creation). Periodically (every 1/eps bytes) the trie
+// is compressed bottom-up: entries with f + delta <= eps * N roll their f
+// into their parent and are deleted.
+//
+// Guarantees: for every prefix, true subtree volume is within
+// [f, f + delta + children-rolled-mass] and the total state is
+// O(H/eps * log(eps N)) entries. Extraction mirrors the exact bottom-up
+// discounting on the (f + delta) upper estimates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/flat_hash_map.hpp"
+
+namespace hhh {
+
+class AncestryHhhEngine final : public HhhEngine {
+ public:
+  struct Params {
+    Hierarchy hierarchy = Hierarchy::byte_granularity();
+    double eps = 0.001;  ///< estimate error bound, as a fraction of N
+  };
+
+  explicit AncestryHhhEngine(const Params& params);
+
+  void add(const PacketRecord& packet) override;
+  HhhSet extract(double phi) const override;
+  void reset() override;
+  std::uint64_t total_bytes() const override { return total_bytes_; }
+  std::size_t memory_bytes() const override;
+  std::string name() const override { return "ancestry"; }
+
+  /// Upper estimate of a prefix's subtree byte volume: counted mass of all
+  /// live entries inside the prefix plus the eps*N escape bound. Satisfies
+  /// truth <= estimate <= truth + eps*N (see extract() notes).
+  double estimate(Ipv4Prefix prefix) const;
+
+  /// Number of live trie entries across all levels (space diagnostic).
+  std::size_t entry_count() const;
+
+ private:
+  struct Node {
+    std::uint64_t f = 0;      ///< bytes counted since creation
+    std::uint64_t delta = 0;  ///< upper bound on bytes missed before creation
+  };
+
+  void compress();
+
+  Params params_;
+  std::vector<FlatHashMap<std::uint64_t, Node>> levels_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t next_compress_at_ = 0;
+  std::uint64_t compress_stride_ = 0;
+};
+
+}  // namespace hhh

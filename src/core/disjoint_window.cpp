@@ -1,0 +1,69 @@
+#include "core/disjoint_window.hpp"
+
+#include <stdexcept>
+
+#include "core/exact_hhh.hpp"
+#include "core/level_aggregates.hpp"
+
+namespace hhh {
+
+namespace {
+
+class ExactEngine final : public HhhEngine {
+ public:
+  explicit ExactEngine(const Hierarchy& hierarchy) : agg_(hierarchy) {}
+
+  void add(const PacketRecord& packet) override { agg_.add(packet.src, packet.ip_len); }
+  HhhSet extract(double phi) const override { return extract_hhh_relative(agg_, phi); }
+  void reset() override { agg_.clear(); }
+  std::uint64_t total_bytes() const override { return agg_.total_bytes(); }
+  std::size_t memory_bytes() const override { return agg_.memory_bytes(); }
+  std::string name() const override { return "exact"; }
+
+ private:
+  LevelAggregates agg_;
+};
+
+}  // namespace
+
+std::unique_ptr<HhhEngine> make_exact_engine(const Hierarchy& hierarchy) {
+  return std::make_unique<ExactEngine>(hierarchy);
+}
+
+DisjointWindowHhhDetector::DisjointWindowHhhDetector(const Params& params,
+                                                     std::unique_ptr<HhhEngine> engine)
+    : params_(params),
+      engine_(engine ? std::move(engine) : make_exact_engine(params.hierarchy)) {
+  if (params_.window.ns() <= 0) {
+    throw std::invalid_argument("DisjointWindowHhhDetector: window must be positive");
+  }
+  if (params_.phi <= 0.0 || params_.phi > 1.0) {
+    throw std::invalid_argument("DisjointWindowHhhDetector: phi outside (0,1]");
+  }
+}
+
+void DisjointWindowHhhDetector::close_windows_before(TimePoint t) {
+  // Close every window whose end precedes or equals t.
+  while (TimePoint() + params_.window * static_cast<std::int64_t>(current_window_ + 1) <= t) {
+    WindowReport report;
+    report.index = current_window_;
+    report.start = TimePoint() + params_.window * static_cast<std::int64_t>(current_window_);
+    report.end = report.start + params_.window;
+    report.hhhs = engine_->extract(params_.phi);
+    engine_->reset();
+    if (on_report_) on_report_(report);
+    reports_.push_back(std::move(report));
+    ++current_window_;
+  }
+}
+
+void DisjointWindowHhhDetector::offer(const PacketRecord& packet) {
+  close_windows_before(packet.ts);
+  engine_->add(packet);
+}
+
+void DisjointWindowHhhDetector::finish(TimePoint end_of_stream) {
+  close_windows_before(end_of_stream);
+}
+
+}  // namespace hhh

@@ -1,0 +1,68 @@
+// Disjoint fixed-time windows — the model of Fig. 1a.
+//
+// The stream is partitioned into consecutive intervals of length W
+// ([0,W), [W,2W), ...); the engine computes the window's HHHs at its end
+// and is then reset. This is the practice of the data-plane detectors the
+// paper examines (UnivMon, HashPipe, RHHH deployments) and the subject of
+// its critique: traffic dynamics that straddle a boundary are split and
+// can fall below both windows' thresholds.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/hhh_types.hpp"
+#include "net/packet.hpp"
+#include "util/sim_time.hpp"
+
+namespace hhh {
+
+/// One closed window's result (shared with the sliding detector).
+struct WindowReport {
+  std::size_t index = 0;  ///< window ordinal (disjoint) / step ordinal (sliding)
+  TimePoint start;        ///< window covers [start, end)
+  TimePoint end;
+  HhhSet hhhs;
+};
+
+class DisjointWindowHhhDetector {
+ public:
+  struct Params {
+    Duration window = Duration::seconds(10);
+    double phi = 0.05;
+    Hierarchy hierarchy = Hierarchy::byte_granularity();
+  };
+
+  /// `engine` defaults to the exact engine.
+  explicit DisjointWindowHhhDetector(const Params& params,
+                                     std::unique_ptr<HhhEngine> engine = nullptr);
+
+  /// Feed the next packet; timestamps must be non-decreasing. Windows that
+  /// ended before this packet are closed (and reported) first.
+  void offer(const PacketRecord& packet);
+
+  /// Close every window ending at or before `end_of_stream`.
+  void finish(TimePoint end_of_stream);
+
+  /// Reports of all closed windows, in order (includes empty windows, so
+  /// report index == window ordinal always holds).
+  const std::vector<WindowReport>& reports() const noexcept { return reports_; }
+
+  /// Optional streaming callback invoked as each window closes.
+  void set_on_report(std::function<void(const WindowReport&)> cb) { on_report_ = std::move(cb); }
+
+  const HhhEngine& engine() const noexcept { return *engine_; }
+
+ private:
+  void close_windows_before(TimePoint t);
+
+  Params params_;
+  std::unique_ptr<HhhEngine> engine_;
+  std::size_t current_window_ = 0;
+  std::vector<WindowReport> reports_;
+  std::function<void(const WindowReport&)> on_report_;
+};
+
+}  // namespace hhh

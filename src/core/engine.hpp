@@ -1,0 +1,47 @@
+// HhhEngine — the pluggable per-window HHH computation.
+//
+// The disjoint-window driver (Fig. 1a) is agnostic to *how* HHHs are
+// computed inside a window: exactly (ground truth), or with a streaming
+// sketch (RHHH, full-ancestry) as a programmable data plane would. This
+// interface decouples the window model from the engine so the §3 benches
+// can swap engines while keeping the windowing identical.
+//
+// Engines are reset at window boundaries by the driver — exactly the
+// "reset the data structure at the end of each time window" practice the
+// paper examines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/hhh_types.hpp"
+#include "net/packet.hpp"
+
+namespace hhh {
+
+class HhhEngine {
+ public:
+  virtual ~HhhEngine() = default;
+
+  /// Account one packet (source + IP bytes).
+  virtual void add(const PacketRecord& packet) = 0;
+
+  /// HHHs of the traffic added since the last reset, at relative
+  /// threshold `phi` (T = ceil(phi * total)).
+  virtual HhhSet extract(double phi) const = 0;
+
+  /// Forget everything (window boundary).
+  virtual void reset() = 0;
+
+  /// Bytes accounted since the last reset (exact in every engine).
+  virtual std::uint64_t total_bytes() const = 0;
+
+  virtual std::size_t memory_bytes() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The exact engine: LevelAggregates + extract_hhh.
+std::unique_ptr<HhhEngine> make_exact_engine(const Hierarchy& hierarchy);
+
+}  // namespace hhh

@@ -1,0 +1,158 @@
+#include "core/exact_hhh.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/flat_hash_map.hpp"
+
+namespace hhh {
+namespace {
+
+constexpr std::size_t kMaxThresholds = 8;
+
+// Residuals for one prefix under every threshold being extracted. An HHH
+// child under threshold i contributes 0 to slot i of its parent; a
+// non-HHH child contributes its slot-i residual.
+using ResidualVec = std::array<std::uint64_t, kMaxThresholds>;
+
+}  // namespace
+
+namespace {
+
+/// Single-threshold extraction with scalar residuals — the hot path for
+/// per-window reports. extract_hhh_multi's array-valued residual maps pay
+/// ~8x the slot size in robin-hood displacement, which matters when a
+/// window holds hundreds of thousands of distinct prefixes.
+HhhSet extract_hhh_single(const LevelAggregates& agg, std::uint64_t threshold_bytes) {
+  const Hierarchy& hierarchy = agg.hierarchy();
+  const std::uint64_t threshold = std::max<std::uint64_t>(threshold_bytes, 1);
+
+  HhhSet result;
+  result.total_bytes = agg.total_bytes();
+  result.threshold_bytes = threshold;
+
+  // Sized up front: the leaf level dominates and rehash-growth of a
+  // hundreds-of-thousands-entry map would double the extraction cost.
+  FlatHashMap<std::uint64_t, std::uint64_t> residual(agg.distinct_at(0) * 2 + 16);
+  agg.for_each_at(0, [&](std::uint64_t key, std::uint64_t bytes) { residual[key] = bytes; });
+
+  for (std::size_t level = 0; level < hierarchy.levels(); ++level) {
+    const bool has_parent = level + 1 < hierarchy.levels();
+    const unsigned parent_len = has_parent ? hierarchy.length_at(level + 1) : 0;
+    FlatHashMap<std::uint64_t, std::uint64_t> parent_residual(
+        has_parent ? agg.distinct_at(level + 1) * 2 + 16 : 16);
+
+    residual.for_each([&](std::uint64_t key, std::uint64_t& res) {
+      const Ipv4Prefix prefix = Ipv4Prefix::from_key(key);
+      if (res >= threshold) {
+        result.add(HhhItem{prefix, agg.count(prefix), res});
+        return;  // HHH absorbs its subtree
+      }
+      if (has_parent && res > 0) {
+        parent_residual[prefix.truncated(parent_len).key()] += res;
+      }
+    });
+    residual = std::move(parent_residual);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<HhhSet> extract_hhh_multi(const LevelAggregates& agg,
+                                      std::span<const std::uint64_t> thresholds) {
+  const std::size_t k = thresholds.size();
+  if (k == 0) return {};
+  if (k > kMaxThresholds) {
+    throw std::invalid_argument("extract_hhh_multi: more than 8 thresholds");
+  }
+  if (k == 1) {
+    std::vector<HhhSet> one;
+    one.push_back(extract_hhh_single(agg, thresholds[0]));
+    return one;
+  }
+  const Hierarchy& hierarchy = agg.hierarchy();
+
+  std::array<std::uint64_t, kMaxThresholds> t{};
+  std::vector<HhhSet> results(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    t[i] = std::max<std::uint64_t>(thresholds[i], 1);
+    results[i].total_bytes = agg.total_bytes();
+    results[i].threshold_bytes = t[i];
+  }
+
+  FlatHashMap<std::uint64_t, ResidualVec> residual(agg.distinct_at(0) * 2 + 16);
+  agg.for_each_at(0, [&](std::uint64_t key, std::uint64_t bytes) {
+    ResidualVec& r = residual[key];
+    for (std::size_t i = 0; i < k; ++i) r[i] = bytes;
+  });
+
+  for (std::size_t level = 0; level < hierarchy.levels(); ++level) {
+    const bool has_parent = level + 1 < hierarchy.levels();
+    const unsigned parent_len = has_parent ? hierarchy.length_at(level + 1) : 0;
+    FlatHashMap<std::uint64_t, ResidualVec> parent_residual(
+        has_parent ? agg.distinct_at(level + 1) * 2 + 16 : 16);
+
+    residual.for_each([&](std::uint64_t key, ResidualVec& res) {
+      const Ipv4Prefix prefix = Ipv4Prefix::from_key(key);
+      // The prefix's total is fetched lazily, only when some threshold
+      // marks it as an HHH (count() is a hash lookup).
+      std::uint64_t total = 0;
+      bool have_total = false;
+      ResidualVec up{};
+      bool any_up = false;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (res[i] >= t[i]) {
+          if (!have_total) {
+            total = agg.count(prefix);
+            have_total = true;
+          }
+          results[i].add(HhhItem{prefix, total, res[i]});
+          // HHH absorbs its subtree under threshold i: contributes 0 up.
+        } else if (res[i] > 0) {
+          up[i] = res[i];
+          any_up = true;
+        }
+      }
+      if (has_parent && any_up) {
+        ResidualVec& parent = parent_residual[prefix.truncated(parent_len).key()];
+        for (std::size_t i = 0; i < k; ++i) parent[i] += up[i];
+      }
+    });
+
+    residual = std::move(parent_residual);
+  }
+  return results;
+}
+
+std::vector<HhhSet> extract_hhh_multi_relative(const LevelAggregates& agg,
+                                               std::span<const double> phis) {
+  std::vector<std::uint64_t> thresholds;
+  thresholds.reserve(phis.size());
+  for (const double phi : phis) {
+    thresholds.push_back(
+        static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(agg.total_bytes()))));
+  }
+  return extract_hhh_multi(agg, thresholds);
+}
+
+HhhSet extract_hhh(const LevelAggregates& agg, std::uint64_t threshold_bytes) {
+  auto results = extract_hhh_multi(agg, std::span<const std::uint64_t>(&threshold_bytes, 1));
+  return std::move(results.front());
+}
+
+HhhSet extract_hhh_relative(const LevelAggregates& agg, double phi) {
+  const auto threshold =
+      static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(agg.total_bytes())));
+  return extract_hhh(agg, threshold);
+}
+
+HhhSet exact_hhh_of(std::span<const PacketRecord> packets, const Hierarchy& hierarchy,
+                    double phi) {
+  LevelAggregates agg(hierarchy);
+  for (const auto& p : packets) agg.add(p.src, p.ip_len);
+  return extract_hhh_relative(agg, phi);
+}
+
+}  // namespace hhh

@@ -1,0 +1,52 @@
+// Exact HHH extraction — the ground truth of every experiment.
+//
+// Implements the paper's definition (discounted/conditioned counts,
+// Cormode et al.) bottom-up over LevelAggregates:
+//
+//   residual(leaf)   = bytes(leaf)
+//   residual(p)      = sum over children c of p at the level below of
+//                      (c is HHH ? 0 : residual(c))
+//   p is an HHH  <=>  residual(p) >= T
+//
+// residual(p) is exactly "p's volume after excluding the contribution of
+// all its HHH descendants" because an HHH child absorbs its whole subtree
+// (its own residual plus everything deeper already discounted).
+//
+// Cost: one pass over each level's live counters — O(distinct prefixes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/hhh_types.hpp"
+#include "core/level_aggregates.hpp"
+#include "net/packet.hpp"
+
+namespace hhh {
+
+/// Extract the HHH set at an absolute byte threshold (T >= 1 enforced:
+/// a zero threshold would mark every live prefix).
+HhhSet extract_hhh(const LevelAggregates& agg, std::uint64_t threshold_bytes);
+
+/// Extract at a relative threshold: T = max(1, ceil(phi * total_bytes)).
+/// This is the paper's setting ("flows which exceed 1%, 5%, 10% of the
+/// total bytes measured in a specific time-window").
+HhhSet extract_hhh_relative(const LevelAggregates& agg, double phi);
+
+/// One-shot convenience: aggregate `packets` and extract at fraction `phi`.
+HhhSet exact_hhh_of(std::span<const PacketRecord> packets, const Hierarchy& hierarchy,
+                    double phi);
+
+/// Multi-threshold extraction in ONE bottom-up pass: returns one HhhSet per
+/// threshold (same order). Residuals are tracked per threshold because the
+/// HHH-descendant discount depends on which children qualified at that
+/// threshold. The φ-sweep benches (Fig. 2) rely on this being ~K× cheaper
+/// than K separate extractions. At most 8 thresholds per call.
+std::vector<HhhSet> extract_hhh_multi(const LevelAggregates& agg,
+                                      std::span<const std::uint64_t> thresholds);
+
+/// Relative-threshold variant of the multi-extraction.
+std::vector<HhhSet> extract_hhh_multi_relative(const LevelAggregates& agg,
+                                               std::span<const double> phis);
+
+}  // namespace hhh

@@ -1,0 +1,232 @@
+#include "core/hhh2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace hhh {
+
+Hierarchy2D::Hierarchy2D(Hierarchy src, Hierarchy dst)
+    : src_(std::move(src)), dst_(std::move(dst)) {
+  if (lattice_size() > 32) {
+    // The extraction keeps a per-leaf coverage bitmask in a uint32.
+    throw std::invalid_argument("Hierarchy2D: lattice larger than 32 nodes");
+  }
+}
+
+Hierarchy2D Hierarchy2D::byte_granularity() {
+  return Hierarchy2D(Hierarchy::byte_granularity(), Hierarchy::byte_granularity());
+}
+
+std::string PrefixPair::to_string() const {
+  return src.to_string() + " -> " + dst.to_string();
+}
+
+std::vector<PrefixPair> HhhSet2D::nodes() const {
+  std::vector<PrefixPair> out;
+  out.reserve(items.size());
+  for (const auto& item : items) out.push_back(item.node);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool HhhSet2D::contains(const PrefixPair& node) const noexcept {
+  return std::any_of(items.begin(), items.end(),
+                     [&](const HhhItem2D& item) { return item.node == node; });
+}
+
+void LeafPairCounts::add(Ipv4Address src, Ipv4Address dst, std::uint64_t bytes) {
+  total_ += bytes;
+  counts_[pack(src, dst)] += bytes;
+}
+
+void LeafPairCounts::remove(Ipv4Address src, Ipv4Address dst, std::uint64_t bytes) {
+  total_ -= bytes;
+  const std::uint64_t key = pack(src, dst);
+  auto* count = counts_.find(key);
+  if (count != nullptr) {
+    *count -= bytes;
+    if (*count == 0) counts_.erase(key);
+  }
+}
+
+void LeafPairCounts::clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+HhhSet2D extract_hhh_2d(const LeafPairCounts& counts, const Hierarchy2D& hierarchy,
+                        std::uint64_t threshold_bytes) {
+  HhhSet2D result;
+  result.total_bytes = counts.total_bytes();
+  result.threshold_bytes = std::max<std::uint64_t>(threshold_bytes, 1);
+  const std::uint64_t threshold = result.threshold_bytes;
+
+  const std::size_t ns = hierarchy.src_levels();
+  const std::size_t nd = hierarchy.dst_levels();
+
+  // Per-leaf coverage bitmask: bit (i*nd + j) set when some already-chosen
+  // HHH at lattice position (i, j) contains the leaf. A node at (I, J) has
+  // an HHH descendant covering leaf e iff a set bit (i, j) satisfies
+  // i <= I and j <= J (dominated position; (I,J) itself was not yet
+  // processed when the bit was set, so strictness is automatic).
+  FlatHashMap<std::uint64_t, std::uint32_t> covered(counts.distinct_pairs() * 2 + 16);
+
+  // Sweep the lattice in generality order (g = i + j ascending): every
+  // strict descendant of a node precedes it.
+  for (std::size_t g = 0; g < ns + nd - 1; ++g) {
+    for (std::size_t i = 0; i <= g && i < ns; ++i) {
+      const std::size_t j = g - i;
+      if (j >= nd) continue;
+
+      // Pass 1 over leaves: conditioned volume per (i,j)-node = bytes of
+      // leaves not covered by any dominated HHH position.
+      std::uint32_t dominated_mask = 0;
+      for (std::size_t a = 0; a <= i; ++a) {
+        for (std::size_t b = 0; b <= j; ++b) {
+          if (a == i && b == j) continue;
+          dominated_mask |= 1u << (a * nd + b);
+        }
+      }
+
+      FlatHashMap<std::uint64_t, std::uint64_t> conditioned(1024);
+      FlatHashMap<std::uint64_t, std::uint64_t> totals(1024);
+      counts.for_each([&](std::uint64_t leaf_key, std::uint64_t bytes) {
+        const Ipv4Address src = LeafPairCounts::unpack_src(leaf_key);
+        const Ipv4Address dst = LeafPairCounts::unpack_dst(leaf_key);
+        const std::uint64_t node_key =
+            (static_cast<std::uint64_t>(hierarchy.src().generalize(src, i).bits()) << 32) |
+            hierarchy.dst().generalize(dst, j).bits();
+        totals[node_key] += bytes;
+        const auto* mask = covered.find(leaf_key);
+        if (mask == nullptr || (*mask & dominated_mask) == 0) {
+          conditioned[node_key] += bytes;
+        }
+      });
+
+      // Select HHHs at this lattice position.
+      FlatHashMap<std::uint64_t, bool> selected(64);
+      conditioned.for_each([&](std::uint64_t node_key, std::uint64_t& cond) {
+        if (cond < threshold) return;
+        const Ipv4Prefix sp(Ipv4Address(static_cast<std::uint32_t>(node_key >> 32)),
+                            hierarchy.src().length_at(i));
+        const Ipv4Prefix dp(Ipv4Address(static_cast<std::uint32_t>(node_key)),
+                            hierarchy.dst().length_at(j));
+        result.items.push_back(HhhItem2D{PrefixPair{sp, dp}, *totals.find(node_key), cond});
+        *selected.try_emplace(node_key).first = true;
+      });
+
+      // Pass 2 over leaves: mark coverage for the newly selected HHHs.
+      if (selected.size() > 0) {
+        const std::uint32_t bit = 1u << (i * nd + j);
+        counts.for_each([&](std::uint64_t leaf_key, std::uint64_t) {
+          const Ipv4Address src = LeafPairCounts::unpack_src(leaf_key);
+          const Ipv4Address dst = LeafPairCounts::unpack_dst(leaf_key);
+          const std::uint64_t node_key =
+              (static_cast<std::uint64_t>(hierarchy.src().generalize(src, i).bits()) << 32) |
+              hierarchy.dst().generalize(dst, j).bits();
+          if (selected.contains(node_key)) covered[leaf_key] |= bit;
+        });
+      }
+    }
+  }
+  return result;
+}
+
+HhhSet2D extract_hhh_2d_relative(const LeafPairCounts& counts, const Hierarchy2D& hierarchy,
+                                 double phi) {
+  const auto threshold = static_cast<std::uint64_t>(
+      std::ceil(phi * static_cast<double>(counts.total_bytes())));
+  return extract_hhh_2d(counts, hierarchy, threshold);
+}
+
+HhhSet2D exact_hhh_2d_of(std::span<const PacketRecord> packets, const Hierarchy2D& hierarchy,
+                         double phi) {
+  LeafPairCounts counts;
+  for (const auto& p : packets) counts.add(p.src, p.dst, p.ip_len);
+  return extract_hhh_2d_relative(counts, hierarchy, phi);
+}
+
+Hidden2DResult analyze_hidden_hhh_2d(std::span<const PacketRecord> packets, Duration window,
+                                     Duration step, double phi,
+                                     const Hierarchy2D& hierarchy) {
+  Hidden2DResult result;
+  if (packets.empty()) return result;
+  if (window.ns() <= 0 || step.ns() <= 0 || window.ns() % step.ns() != 0) {
+    throw std::invalid_argument("analyze_hidden_hhh_2d: window must be a multiple of step");
+  }
+  const std::size_t steps_per_window = static_cast<std::size_t>(window / step);
+
+  LeafPairCounts rolling;
+  LeafPairCounts disjoint;
+  using Bucket = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+  FlatHashMap<std::uint64_t, std::uint64_t> bucket(4096);
+  std::deque<Bucket> live_buckets;
+  std::vector<PrefixPair> sliding_nodes;
+  std::vector<PrefixPair> disjoint_nodes;
+  std::int64_t current_step = 0;
+
+  const auto close_steps_before = [&](TimePoint t) {
+    while (TimePoint() + step * (current_step + 1) <= t) {
+      Bucket frozen;
+      frozen.reserve(bucket.size());
+      bucket.for_each([&](std::uint64_t key, std::uint64_t& bytes) {
+        frozen.emplace_back(key, bytes);
+      });
+      bucket.clear();
+      live_buckets.push_back(std::move(frozen));
+      if (live_buckets.size() > steps_per_window) {
+        for (const auto& [key, bytes] : live_buckets.front()) {
+          rolling.remove(LeafPairCounts::unpack_src(key), LeafPairCounts::unpack_dst(key),
+                         bytes);
+        }
+        live_buckets.pop_front();
+      }
+      if (live_buckets.size() == steps_per_window) {
+        const auto set = extract_hhh_2d_relative(rolling, hierarchy, phi);
+        for (const auto& item : set.items) sliding_nodes.push_back(item.node);
+        ++result.sliding_reports;
+      }
+      const std::int64_t step_end_ns = step.ns() * (current_step + 1);
+      if (step_end_ns % window.ns() == 0) {
+        const auto set = extract_hhh_2d_relative(disjoint, hierarchy, phi);
+        for (const auto& item : set.items) disjoint_nodes.push_back(item.node);
+        disjoint.clear();
+        ++result.disjoint_windows;
+      }
+      ++current_step;
+    }
+  };
+
+  for (const auto& p : packets) {
+    close_steps_before(p.ts);
+    rolling.add(p.src, p.dst, p.ip_len);
+    disjoint.add(p.src, p.dst, p.ip_len);
+    bucket[LeafPairCounts::pack(p.src, p.dst)] += p.ip_len;
+  }
+  close_steps_before(packets.back().ts);
+
+  const auto normalize = [](std::vector<PrefixPair>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  normalize(sliding_nodes);
+  normalize(disjoint_nodes);
+  result.sliding_nodes = std::move(sliding_nodes);
+  result.disjoint_nodes = std::move(disjoint_nodes);
+  std::set_difference(result.sliding_nodes.begin(), result.sliding_nodes.end(),
+                      result.disjoint_nodes.begin(), result.disjoint_nodes.end(),
+                      std::back_inserter(result.hidden));
+  std::vector<PrefixPair> all;
+  std::set_union(result.sliding_nodes.begin(), result.sliding_nodes.end(),
+                 result.disjoint_nodes.begin(), result.disjoint_nodes.end(),
+                 std::back_inserter(all));
+  result.union_size = all.size();
+  return result;
+}
+
+}  // namespace hhh

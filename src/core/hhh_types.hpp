@@ -1,0 +1,83 @@
+// HHH result types shared by every detector.
+//
+// The paper's definition (§1): "a prefix p which exceeds a threshold T
+// after excluding the contribution of all its HHH descendants" — i.e. the
+// discounted/conditioned-count definition of Cormode et al. An HhhItem
+// therefore carries both the prefix's *total* volume and its *conditioned*
+// volume (total minus bytes claimed by HHH descendants); the conditioned
+// value is what crossed the threshold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/hierarchy.hpp"
+#include "net/prefix.hpp"
+
+namespace hhh {
+
+struct HhhItem {
+  Ipv4Prefix prefix;
+  std::uint64_t total_bytes = 0;        ///< full subtree volume
+  std::uint64_t conditioned_bytes = 0;  ///< volume after HHH-descendant discount
+
+  bool operator==(const HhhItem&) const = default;
+};
+
+/// One detector report: the HHHs of one evaluation scope (a window, or a
+/// continuous-time query instant), plus the scope's totals.
+class HhhSet {
+ public:
+  HhhSet() = default;
+
+  void add(HhhItem item) { items_.push_back(item); }
+
+  const std::vector<HhhItem>& items() const noexcept { return items_; }
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+
+  /// The prefixes only, sorted and deduplicated — the set the hidden-HHH
+  /// and Jaccard analyses operate on.
+  std::vector<Ipv4Prefix> prefixes() const;
+
+  bool contains(Ipv4Prefix p) const noexcept;
+
+  /// Items restricted to one hierarchy level (by prefix length).
+  std::vector<HhhItem> at_length(unsigned len) const;
+
+  std::string to_string() const;
+
+  std::uint64_t total_bytes = 0;      ///< scope volume (threshold denominator)
+  std::uint64_t threshold_bytes = 0;  ///< the absolute threshold applied
+
+ private:
+  std::vector<HhhItem> items_;
+};
+
+/// Sorted-unique union of prefix sets (accumulator for per-window reports).
+class PrefixUnion {
+ public:
+  void add(const std::vector<Ipv4Prefix>& prefixes);
+  void add(Ipv4Prefix p);
+
+  /// Number of distinct prefixes seen.
+  std::size_t size() const;
+
+  /// Sorted distinct prefixes.
+  const std::vector<Ipv4Prefix>& values() const;
+
+  bool contains(Ipv4Prefix p) const;
+
+ private:
+  void normalize() const;
+
+  mutable std::vector<Ipv4Prefix> values_;
+  mutable bool dirty_ = false;
+};
+
+/// a \ b over sorted-unique prefix vectors.
+std::vector<Ipv4Prefix> prefix_difference(const std::vector<Ipv4Prefix>& a,
+                                          const std::vector<Ipv4Prefix>& b);
+
+}  // namespace hhh

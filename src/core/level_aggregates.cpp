@@ -1,0 +1,53 @@
+#include "core/level_aggregates.hpp"
+
+#include <cassert>
+
+namespace hhh {
+
+LevelAggregates::LevelAggregates(const Hierarchy& hierarchy) : hierarchy_(hierarchy) {
+  maps_.reserve(hierarchy_.levels());
+  for (std::size_t i = 0; i < hierarchy_.levels(); ++i) maps_.emplace_back(1024);
+}
+
+void LevelAggregates::add(Ipv4Address src, std::uint64_t bytes) {
+  total_ += bytes;
+  for (std::size_t level = 0; level < maps_.size(); ++level) {
+    maps_[level][hierarchy_.generalize(src, level).key()] += bytes;
+  }
+}
+
+void LevelAggregates::remove(Ipv4Address src, std::uint64_t bytes) {
+  assert(total_ >= bytes);
+  total_ -= bytes;
+  for (std::size_t level = 0; level < maps_.size(); ++level) {
+    const std::uint64_t key = hierarchy_.generalize(src, level).key();
+    auto* count = maps_[level].find(key);
+    assert(count != nullptr && *count >= bytes);
+    *count -= bytes;
+    if (*count == 0) maps_[level].erase(key);
+  }
+}
+
+void LevelAggregates::clear() {
+  for (auto& m : maps_) m.clear();
+  total_ = 0;
+}
+
+std::uint64_t LevelAggregates::count(Ipv4Prefix prefix) const noexcept {
+  const std::size_t level = hierarchy_.level_of(prefix);
+  if (level == Hierarchy::npos) return 0;
+  const auto* v = maps_[level].find(prefix.key());
+  return v ? *v : 0;
+}
+
+std::size_t LevelAggregates::distinct_at(std::size_t level) const noexcept {
+  return maps_[level].size();
+}
+
+std::size_t LevelAggregates::memory_bytes() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& m : maps_) sum += m.memory_bytes();
+  return sum;
+}
+
+}  // namespace hhh

@@ -1,0 +1,63 @@
+// LevelAggregates — exact per-level byte counters with O(levels) updates.
+//
+// The exact ground-truth engine behind both window models. For every packet
+// it increments (or, when a window slides, decrements) one counter per
+// hierarchy level: the packet's source generalized to that level. HHH
+// extraction (exact_hhh.hpp) then runs over these maps without touching the
+// packet stream again.
+//
+// Counters are erased when they return to zero so that a sliding window's
+// working set stays proportional to the *window's* distinct prefixes, not
+// the whole trace's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/hierarchy.hpp"
+#include "net/packet.hpp"
+#include "util/flat_hash_map.hpp"
+
+namespace hhh {
+
+class LevelAggregates {
+ public:
+  explicit LevelAggregates(const Hierarchy& hierarchy);
+
+  /// Add `bytes` for source `src` at every level.
+  void add(Ipv4Address src, std::uint64_t bytes);
+
+  /// Remove previously added traffic (window slide). Counts must never go
+  /// negative — callers only remove what they added.
+  void remove(Ipv4Address src, std::uint64_t bytes);
+
+  void clear();
+
+  std::uint64_t total_bytes() const noexcept { return total_; }
+
+  const Hierarchy& hierarchy() const noexcept { return hierarchy_; }
+
+  /// Byte count of `prefix` (must be at a hierarchy level), 0 if absent.
+  std::uint64_t count(Ipv4Prefix prefix) const noexcept;
+
+  /// Number of live (non-zero) prefixes at `level`.
+  std::size_t distinct_at(std::size_t level) const noexcept;
+
+  /// Visit every live (prefix_key, bytes) pair at `level`; prefix_key is
+  /// Ipv4Prefix::key() of the level's prefix.
+  template <typename Fn>
+  void for_each_at(std::size_t level, Fn&& fn) const {
+    maps_[level].for_each(
+        [&](std::uint64_t key, const std::uint64_t& bytes) { fn(key, bytes); });
+  }
+
+  /// Memory footprint of all level maps (resource accounting).
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  Hierarchy hierarchy_;
+  std::vector<FlatHashMap<std::uint64_t, std::uint64_t>> maps_;  // one per level
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hhh

@@ -1,0 +1,88 @@
+#include "core/prefix_trie.hpp"
+
+#include <cmath>
+
+namespace hhh {
+
+PrefixTrie::PrefixTrie() { nodes_.emplace_back(); }
+
+void PrefixTrie::add(Ipv4Address addr, std::uint64_t bytes) {
+  total_ += bytes;
+  std::uint32_t node = 0;
+  nodes_[0].bytes += bytes;
+  for (unsigned depth = 0; depth < 32; ++depth) {
+    const unsigned bit = (addr.bits() >> (31 - depth)) & 1;
+    std::uint32_t next = nodes_[node].child[bit];
+    if (next == 0) {
+      next = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+      nodes_[node].child[bit] = next;
+    }
+    node = next;
+    nodes_[node].bytes += bytes;
+  }
+}
+
+std::uint64_t PrefixTrie::subtree_bytes(Ipv4Prefix prefix) const noexcept {
+  std::uint32_t node = 0;
+  for (unsigned depth = 0; depth < prefix.length(); ++depth) {
+    const unsigned bit = (prefix.bits() >> (31 - depth)) & 1;
+    node = nodes_[node].child[bit];
+    if (node == 0) return 0;
+  }
+  return nodes_[node].bytes;
+}
+
+struct PrefixTrie::ExtractCtx {
+  const Hierarchy* hierarchy;
+  std::uint64_t threshold;
+  HhhSet* out;
+};
+
+// Returns the subtree residual: bytes under `node` not claimed by an HHH
+// at or below `node`'s depth.
+std::uint64_t PrefixTrie::extract_walk(std::uint32_t node, unsigned depth, std::uint32_t bits,
+                                       ExtractCtx& ctx) const {
+  std::uint64_t residual;
+  if (depth == 32) {
+    residual = nodes_[node].bytes;
+  } else {
+    residual = 0;
+    const std::uint32_t left = nodes_[node].child[0];
+    const std::uint32_t right = nodes_[node].child[1];
+    if (left != 0) residual += extract_walk(left, depth + 1, bits, ctx);
+    if (right != 0) {
+      residual += extract_walk(right, depth + 1, bits | (1u << (31 - depth)), ctx);
+    }
+  }
+
+  if (ctx.hierarchy->level_of_length(depth) != Hierarchy::npos && residual >= ctx.threshold) {
+    const Ipv4Prefix prefix(Ipv4Address(bits), depth);
+    ctx.out->add(HhhItem{prefix, nodes_[node].bytes, residual});
+    return 0;  // this HHH absorbs its subtree
+  }
+  return residual;
+}
+
+HhhSet PrefixTrie::extract(const Hierarchy& hierarchy, std::uint64_t threshold_bytes) const {
+  HhhSet result;
+  result.total_bytes = total_;
+  result.threshold_bytes = std::max<std::uint64_t>(threshold_bytes, 1);
+  ExtractCtx ctx{&hierarchy, result.threshold_bytes, &result};
+  if (nodes_[0].bytes > 0) extract_walk(0, 0, 0, ctx);
+  return result;
+}
+
+HhhSet PrefixTrie::extract_relative(const Hierarchy& hierarchy, double phi) const {
+  const auto threshold =
+      static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(total_)));
+  return extract(hierarchy, threshold);
+}
+
+void PrefixTrie::clear() {
+  nodes_.clear();
+  nodes_.emplace_back();
+  total_ = 0;
+}
+
+}  // namespace hhh

@@ -1,0 +1,60 @@
+// Binary prefix trie with exact HHH extraction.
+//
+// An independent, structurally different implementation of the same HHH
+// definition as exact_hhh.hpp: counts live at /32 leaves, extraction walks
+// the trie once in post-order computing subtree residuals and marking HHHs
+// at hierarchy levels. Property tests run both engines on random streams
+// and require identical output — a strong check that neither has a
+// discounting bug. The trie also serves longest-prefix aggregation queries
+// that the flat level maps cannot answer (subtree_bytes of an arbitrary
+// prefix, not just hierarchy levels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hhh_types.hpp"
+#include "net/hierarchy.hpp"
+#include "net/prefix.hpp"
+
+namespace hhh {
+
+class PrefixTrie {
+ public:
+  PrefixTrie();
+
+  /// Add `bytes` to the /32 leaf of `addr`.
+  void add(Ipv4Address addr, std::uint64_t bytes);
+
+  /// Total bytes inserted.
+  std::uint64_t total_bytes() const noexcept { return total_; }
+
+  /// Exact bytes inside an arbitrary prefix (any length 0..32).
+  std::uint64_t subtree_bytes(Ipv4Prefix prefix) const noexcept;
+
+  /// Exact HHH extraction at an absolute threshold over `hierarchy`.
+  /// Identical semantics to extract_hhh(LevelAggregates...).
+  HhhSet extract(const Hierarchy& hierarchy, std::uint64_t threshold_bytes) const;
+
+  /// Relative-threshold variant: T = max(1, ceil(phi * total)).
+  HhhSet extract_relative(const Hierarchy& hierarchy, double phi) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  void clear();
+
+ private:
+  struct Node {
+    std::uint32_t child[2] = {0, 0};  // 0 == absent (slot 0 is the root)
+    std::uint64_t bytes = 0;          // subtree sum, maintained on insert
+  };
+
+  struct ExtractCtx;
+  std::uint64_t extract_walk(std::uint32_t node, unsigned depth, std::uint32_t bits,
+                             ExtractCtx& ctx) const;
+
+  std::vector<Node> nodes_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hhh

@@ -1,0 +1,97 @@
+#include "core/rhhh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hhh {
+
+RhhhEngine::RhhhEngine(const Params& params) : params_(params), rng_(params.seed) {
+  levels_.reserve(params_.hierarchy.levels());
+  for (std::size_t i = 0; i < params_.hierarchy.levels(); ++i) {
+    levels_.emplace_back(params_.counters_per_level);
+  }
+}
+
+void RhhhEngine::add(const PacketRecord& packet) {
+  total_bytes_ += packet.ip_len;
+  ++updates_;
+  if (params_.update_all_levels) {
+    for (std::size_t level = 0; level < levels_.size(); ++level) {
+      levels_[level].update(params_.hierarchy.generalize(packet.src, level).key(),
+                            packet.ip_len);
+    }
+    return;
+  }
+  const std::size_t level = static_cast<std::size_t>(rng_.below(levels_.size()));
+  levels_[level].update(params_.hierarchy.generalize(packet.src, level).key(), packet.ip_len);
+}
+
+double RhhhEngine::estimate(Ipv4Prefix prefix) const {
+  const std::size_t level = params_.hierarchy.level_of(prefix);
+  if (level == Hierarchy::npos) return 0.0;
+  const double scale =
+      params_.update_all_levels ? 1.0 : static_cast<double>(levels_.size());
+  return levels_[level].estimate(prefix.key()) * scale;
+}
+
+HhhSet RhhhEngine::extract(double phi) const {
+  HhhSet result;
+  result.total_bytes = total_bytes_;
+  result.threshold_bytes = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(total_bytes_))));
+  const double threshold = static_cast<double>(result.threshold_bytes);
+  const double scale =
+      params_.update_all_levels ? 1.0 : static_cast<double>(levels_.size());
+
+  // Selected HHHs so far (levels below the current one), with their full
+  // scaled estimates; used for closest-ancestor discounting.
+  struct Selected {
+    Ipv4Prefix prefix;
+    double full_estimate;
+  };
+  std::vector<Selected> selected;
+
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    for (const auto& entry : levels_[level].entries()) {
+      const Ipv4Prefix prefix = Ipv4Prefix::from_key(entry.key);
+      const double full = entry.count * scale;
+
+      // Discount every selected HHH descendant whose closest selected
+      // ancestor (among selected ∪ {prefix}) is `prefix` itself.
+      double conditioned = full;
+      for (const auto& d : selected) {
+        if (!prefix.is_ancestor_of(d.prefix)) continue;
+        const bool closest = std::none_of(
+            selected.begin(), selected.end(), [&](const Selected& between) {
+              return between.prefix.length() > prefix.length() &&
+                     between.prefix.length() < d.prefix.length() &&
+                     between.prefix.is_ancestor_of(d.prefix);
+            });
+        if (closest) conditioned -= d.full_estimate;
+      }
+
+      if (conditioned >= threshold) {
+        result.add(HhhItem{prefix, static_cast<std::uint64_t>(full),
+                           static_cast<std::uint64_t>(std::max(0.0, conditioned))});
+        selected.push_back(Selected{prefix, full});
+      }
+    }
+  }
+  return result;
+}
+
+void RhhhEngine::reset() {
+  for (auto& level : levels_) level.clear();
+  total_bytes_ = 0;
+  updates_ = 0;
+  // Note: the RNG is deliberately NOT reseeded — windows keep consuming one
+  // deterministic sequence, matching a hardware deployment.
+}
+
+std::size_t RhhhEngine::memory_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& level : levels_) sum += level.memory_bytes();
+  return sum;
+}
+
+}  // namespace hhh

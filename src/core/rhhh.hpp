@@ -1,0 +1,60 @@
+// Randomized HHH (Ben Basat, Einziger, Friedman, Luizelli, Waisbard —
+// SIGCOMM 2017): the state-of-the-art data-plane HHH sketch the
+// calibration notes name as prior work, used here as the practical
+// windowed engine in the §3 comparisons.
+//
+// Update: choose one hierarchy level uniformly at random and feed the
+// packet's prefix at that level into the level's Space-Saving instance —
+// O(1) per packet regardless of hierarchy depth. Estimates are scaled by
+// the number of levels H (each level sees ~1/H of the stream's weight).
+//
+// Output: bottom-up conditioned-count extraction. A prefix's conditioned
+// estimate subtracts the full (scaled) estimates of already-selected HHH
+// descendants whose *closest* selected ancestor is the prefix itself —
+// the same discounting as the exact definition, on estimated volumes
+// (the practical Z=0 variant of the paper's confidence-interval output).
+//
+// The `update_all_levels` flag turns the sampler off and feeds every
+// level on every packet: that is the classic O(H) hierarchical
+// Space-Saving (HSS), kept as the accuracy-ceiling ablation for RHHH.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sketch/space_saving.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+
+class RhhhEngine final : public HhhEngine {
+ public:
+  struct Params {
+    Hierarchy hierarchy = Hierarchy::byte_granularity();
+    std::size_t counters_per_level = 512;
+    bool update_all_levels = false;  ///< true = deterministic HSS ablation
+    std::uint64_t seed = 0x8111'0001;
+  };
+
+  explicit RhhhEngine(const Params& params);
+
+  void add(const PacketRecord& packet) override;
+  HhhSet extract(double phi) const override;
+  void reset() override;
+  std::uint64_t total_bytes() const override { return total_bytes_; }
+  std::size_t memory_bytes() const override;
+  std::string name() const override { return params_.update_all_levels ? "hss" : "rhhh"; }
+
+  /// Scaled volume estimate of `prefix` (must be at a hierarchy level).
+  double estimate(Ipv4Prefix prefix) const;
+
+ private:
+  Params params_;
+  Rng rng_;
+  std::vector<SpaceSaving> levels_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace hhh

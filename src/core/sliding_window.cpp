@@ -1,0 +1,79 @@
+#include "core/sliding_window.hpp"
+
+#include <stdexcept>
+
+#include "core/exact_hhh.hpp"
+
+namespace hhh {
+
+SlidingWindowHhhDetector::SlidingWindowHhhDetector(const Params& params)
+    : params_(params),
+      steps_per_window_(0),
+      rolling_(params.hierarchy),
+      current_bucket_(4096) {
+  if (params_.step.ns() <= 0 || params_.window.ns() <= 0) {
+    throw std::invalid_argument("SlidingWindowHhhDetector: window/step must be positive");
+  }
+  if (params_.window.ns() % params_.step.ns() != 0) {
+    throw std::invalid_argument("SlidingWindowHhhDetector: window must be a multiple of step");
+  }
+  if (params_.phi <= 0.0 || params_.phi > 1.0) {
+    throw std::invalid_argument("SlidingWindowHhhDetector: phi outside (0,1]");
+  }
+  steps_per_window_ = static_cast<std::size_t>(params_.window / params_.step);
+}
+
+void SlidingWindowHhhDetector::close_steps_before(TimePoint t) {
+  while (TimePoint() + params_.step * static_cast<std::int64_t>(current_step_ + 1) <= t) {
+    // Freeze the step's bucket.
+    Bucket frozen;
+    frozen.reserve(current_bucket_.size());
+    current_bucket_.for_each([&](std::uint32_t src, std::uint64_t& bytes) {
+      frozen.emplace_back(src, bytes);
+    });
+    current_bucket_.clear();
+    live_buckets_.push_back(std::move(frozen));
+
+    // Evict the bucket that just left the window.
+    if (live_buckets_.size() > steps_per_window_) {
+      for (const auto& [src, bytes] : live_buckets_.front()) {
+        rolling_.remove(Ipv4Address(src), bytes);
+      }
+      live_buckets_.pop_front();
+    }
+
+    const TimePoint step_end =
+        TimePoint() + params_.step * static_cast<std::int64_t>(current_step_ + 1);
+    const bool full = live_buckets_.size() == steps_per_window_;
+    if (full || !params_.full_windows_only) {
+      WindowReport report;
+      report.index = current_step_;
+      report.end = step_end;
+      report.start = step_end - params_.window;
+      report.hhhs = extract_hhh_relative(rolling_, params_.phi);
+      if (on_report_) on_report_(report);
+      reports_.push_back(std::move(report));
+    }
+    ++current_step_;
+  }
+}
+
+void SlidingWindowHhhDetector::offer(const PacketRecord& packet) {
+  close_steps_before(packet.ts);
+  rolling_.add(packet.src, packet.ip_len);
+  current_bucket_[packet.src.bits()] += packet.ip_len;
+}
+
+void SlidingWindowHhhDetector::finish(TimePoint end_of_stream) {
+  close_steps_before(end_of_stream);
+}
+
+std::size_t SlidingWindowHhhDetector::memory_bytes() const noexcept {
+  std::size_t sum = rolling_.memory_bytes() + current_bucket_.memory_bytes();
+  for (const auto& b : live_buckets_) {
+    sum += b.capacity() * sizeof(Bucket::value_type);
+  }
+  return sum;
+}
+
+}  // namespace hhh

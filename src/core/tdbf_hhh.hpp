@@ -1,0 +1,81 @@
+// TimeDecayingHhhDetector — the windowless, continuous-time HHH detector
+// the paper's §3 calls for, built on the Time-decaying Bloom Filter
+// extension (sketch/tdbf.hpp).
+//
+// Per hierarchy level the detector keeps:
+//  * a DecayingCountingBloomFilter: collision-bounded decayed-volume
+//    estimates for *any* prefix at that level;
+//  * a decayed Space-Saving summary: enumerable candidate prefixes (a
+//    Bloom structure cannot be enumerated), with counts decayed by the
+//    same half-life via amortized rescaling.
+//
+// There are no windows and no resets: a query at any instant t returns the
+// HHHs of the exponentially weighted traffic (half-life tau), with
+// per-candidate estimates refined as min(space-saving, TDBF) — both are
+// overestimates of the true decayed volume, so the min is the tighter
+// overestimate. Extraction applies the same bottom-up conditioned-count
+// discounting as the exact engine.
+//
+// Window equivalence: a steady rate observed through a disjoint window W
+// accumulates r*W; through exponential decay it accumulates r*tau_eff with
+// tau_eff = half_life/ln 2. Use half_life = W * ln 2 (`for_window`) to
+// approximate "the last W seconds" without a boundary — the equivalence
+// bench/ablation_decay sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hhh_types.hpp"
+#include "net/hierarchy.hpp"
+#include "net/packet.hpp"
+#include "sketch/space_saving.hpp"
+#include "sketch/tdbf.hpp"
+#include "util/sim_time.hpp"
+
+namespace hhh {
+
+class TimeDecayingHhhDetector {
+ public:
+  struct Params {
+    Hierarchy hierarchy = Hierarchy::byte_granularity();
+    Duration half_life = Duration::from_seconds(10.0 * 0.6931);  // ~ W=10 s
+    std::size_t cells_per_level = 1 << 15;
+    std::size_t hashes = 4;
+    std::size_t candidates_per_level = 256;
+    bool conservative = true;
+    std::uint64_t seed = 0x7DBF'4444;
+  };
+
+  explicit TimeDecayingHhhDetector(const Params& params);
+
+  /// Convenience: parameters whose decayed mass matches a window of `w`.
+  static Params for_window(Duration w);
+
+  /// Account a packet; timestamps must be non-decreasing.
+  void offer(const PacketRecord& packet);
+
+  /// Continuous-time HHH query at `now` with relative threshold `phi`
+  /// (T = phi * decayed total). Any instant is valid — this is the whole
+  /// point of the windowless design.
+  HhhSet query(TimePoint now, double phi) const;
+
+  /// Decayed traffic total as of `now` (bytes-equivalent).
+  double decayed_total(TimePoint now) const;
+
+  double half_life_seconds() const noexcept;
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  /// Decay all Space-Saving counts to `now` (amortized; called on offer).
+  void rescale(TimePoint now);
+
+  Params params_;
+  std::vector<DecayingCountingBloomFilter> filters_;  // one per level
+  std::vector<SpaceSaving> candidates_;               // one per level
+  TimePoint last_rescale_;
+  Duration rescale_interval_;
+  double inv_half_life_ns_ = 0.0;
+};
+
+}  // namespace hhh

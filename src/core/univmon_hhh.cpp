@@ -1,0 +1,86 @@
+#include "core/univmon_hhh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hhh {
+
+UnivmonHhhEngine::UnivmonHhhEngine(const Params& params) : params_(params) { rebuild(); }
+
+void UnivmonHhhEngine::rebuild() {
+  sketches_.clear();
+  sketches_.reserve(params_.hierarchy.levels());
+  for (std::size_t i = 0; i < params_.hierarchy.levels(); ++i) {
+    UnivMon::Params up;
+    up.levels = params_.levels;
+    up.sketch_width = params_.sketch_width;
+    up.sketch_depth = params_.sketch_depth;
+    up.top_k = params_.top_k;
+    up.seed = params_.seed + 0x9E37 * (i + 1);
+    sketches_.emplace_back(up);
+  }
+}
+
+void UnivmonHhhEngine::add(const PacketRecord& packet) {
+  total_bytes_ += packet.ip_len;
+  for (std::size_t level = 0; level < sketches_.size(); ++level) {
+    sketches_[level].update(params_.hierarchy.generalize(packet.src, level).key(),
+                            static_cast<std::int64_t>(packet.ip_len));
+  }
+}
+
+HhhSet UnivmonHhhEngine::extract(double phi) const {
+  HhhSet result;
+  result.total_bytes = total_bytes_;
+  result.threshold_bytes = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(total_bytes_))));
+  const double threshold = static_cast<double>(result.threshold_bytes);
+
+  struct Selected {
+    Ipv4Prefix prefix;
+    double full_estimate;
+  };
+  std::vector<Selected> selected;
+
+  for (std::size_t level = 0; level < sketches_.size(); ++level) {
+    // Enumerate candidates below the threshold too (half, for estimation
+    // slack), then apply the conditioned rule.
+    const auto candidates =
+        sketches_[level].heavy_hitters(static_cast<std::int64_t>(threshold / 2.0));
+    for (const auto& candidate : candidates) {
+      const Ipv4Prefix prefix = Ipv4Prefix::from_key(candidate.key);
+      const double full = static_cast<double>(candidate.estimate);
+
+      double conditioned = full;
+      for (const auto& d : selected) {
+        if (!prefix.is_ancestor_of(d.prefix)) continue;
+        const bool closest = std::none_of(
+            selected.begin(), selected.end(), [&](const Selected& between) {
+              return between.prefix.length() > prefix.length() &&
+                     between.prefix.length() < d.prefix.length() &&
+                     between.prefix.is_ancestor_of(d.prefix);
+            });
+        if (closest) conditioned -= d.full_estimate;
+      }
+      if (conditioned >= threshold) {
+        result.add(HhhItem{prefix, static_cast<std::uint64_t>(std::max(0.0, full)),
+                           static_cast<std::uint64_t>(std::max(0.0, conditioned))});
+        selected.push_back(Selected{prefix, full});
+      }
+    }
+  }
+  return result;
+}
+
+void UnivmonHhhEngine::reset() {
+  rebuild();
+  total_bytes_ = 0;
+}
+
+std::size_t UnivmonHhhEngine::memory_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& s : sketches_) sum += s.memory_bytes();
+  return sum;
+}
+
+}  // namespace hhh

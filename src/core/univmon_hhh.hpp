@@ -1,0 +1,48 @@
+// UnivMon-backed HHH engine — the paper's reference [4] deployed the way
+// a UnivMon-equipped switch would compute HHHs per window: one universal
+// sketch per hierarchy level, heavy-hitter queries per level, conditioned
+// discounting across levels (same extraction convention as RHHH).
+//
+// Included as the third sketch family in the windowed-engine comparison
+// (space-saving-based RHHH, lossy-counting-based ancestry, count-sketch-
+// based UnivMon); the engine-conformance suite exercises all of them
+// through the same contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sketch/univmon.hpp"
+
+namespace hhh {
+
+class UnivmonHhhEngine final : public HhhEngine {
+ public:
+  struct Params {
+    Hierarchy hierarchy = Hierarchy::byte_granularity();
+    std::size_t levels = 6;         ///< UnivMon sampling levels per hierarchy level
+    std::size_t sketch_width = 1024;
+    std::size_t sketch_depth = 5;
+    std::size_t top_k = 64;
+    std::uint64_t seed = 0x0417'0002;
+  };
+
+  explicit UnivmonHhhEngine(const Params& params);
+
+  void add(const PacketRecord& packet) override;
+  HhhSet extract(double phi) const override;
+  void reset() override;
+  std::uint64_t total_bytes() const override { return total_bytes_; }
+  std::size_t memory_bytes() const override;
+  std::string name() const override { return "univmon"; }
+
+ private:
+  void rebuild();
+
+  Params params_;
+  std::vector<UnivMon> sketches_;  // one per hierarchy level
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace hhh

@@ -1,0 +1,73 @@
+#include "core/wcss_hhh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hhh {
+
+WcssSlidingHhhDetector::WcssSlidingHhhDetector(const Params& params) : params_(params) {
+  WindowedSpaceSaving::Params wp;
+  wp.window = params.window;
+  wp.frames = params.frames;
+  wp.counters_per_frame = params.counters_per_level;
+  levels_.reserve(params_.hierarchy.levels());
+  for (std::size_t i = 0; i < params_.hierarchy.levels(); ++i) levels_.emplace_back(wp);
+}
+
+void WcssSlidingHhhDetector::offer(const PacketRecord& packet) {
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    levels_[level].update(params_.hierarchy.generalize(packet.src, level).key(),
+                          packet.ip_len, packet.ts);
+  }
+}
+
+HhhSet WcssSlidingHhhDetector::query(TimePoint now, double phi) {
+  HhhSet result;
+  const double total = levels_.front().window_total(now);
+  result.total_bytes = static_cast<std::uint64_t>(total);
+  const double threshold = std::max(phi * total, 1.0);
+  result.threshold_bytes = static_cast<std::uint64_t>(std::ceil(threshold));
+
+  struct Selected {
+    Ipv4Prefix prefix;
+    double full_estimate;
+  };
+  std::vector<Selected> selected;
+
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    // Candidates well below the threshold cannot become HHHs (conditioned
+    // counts only shrink), so enumerate at half the threshold for margin
+    // against per-frame estimation error.
+    const auto candidates = levels_[level].candidates_at_least(threshold * 0.5, now);
+    for (const auto& candidate : candidates) {
+      const Ipv4Prefix prefix = Ipv4Prefix::from_key(candidate.key);
+      const double full = candidate.estimate;
+
+      double conditioned = full;
+      for (const auto& d : selected) {
+        if (!prefix.is_ancestor_of(d.prefix)) continue;
+        const bool closest = std::none_of(
+            selected.begin(), selected.end(), [&](const Selected& between) {
+              return between.prefix.length() > prefix.length() &&
+                     between.prefix.length() < d.prefix.length() &&
+                     between.prefix.is_ancestor_of(d.prefix);
+            });
+        if (closest) conditioned -= d.full_estimate;
+      }
+      if (conditioned >= threshold) {
+        result.add(HhhItem{prefix, static_cast<std::uint64_t>(full),
+                           static_cast<std::uint64_t>(std::max(0.0, conditioned))});
+        selected.push_back(Selected{prefix, full});
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t WcssSlidingHhhDetector::memory_bytes() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& level : levels_) sum += level.memory_bytes();
+  return sum;
+}
+
+}  // namespace hhh

@@ -1,0 +1,125 @@
+#include "dataplane/hashpipe.hpp"
+
+#include <stdexcept>
+
+#include "util/bit.hpp"
+#include "util/flat_hash_map.hpp"
+
+namespace hhh {
+
+HashPipe::HashPipe(const Params& params)
+    : params_(params),
+      slot_mask_(next_pow2(std::max<std::size_t>(params.slots_per_stage, 16)) - 1),
+      pipeline_("hashpipe") {
+  if (params.stages == 0) throw std::invalid_argument("HashPipe: stages >= 1");
+  for (std::size_t i = 0; i < params.stages; ++i) {
+    Stage& st = pipeline_.add_stage("hp" + std::to_string(i));
+    // One wide entry per slot would be a single 96-bit register on RMT;
+    // modeled as two arrays accessed at the same index (same RMW).
+    RegisterArray& keys = st.add_register_array("key", slot_mask_ + 1, 64);
+    RegisterArray& counts = st.add_register_array("count", slot_mask_ + 1, 32);
+    stages_.push_back(StageRefs{&st, &keys, &counts});
+  }
+}
+
+std::size_t HashPipe::slot_index(std::size_t stage, std::uint64_t key) const {
+  // Const view of the stage hash (no per-packet accounting here; update()
+  // performs the accounted call).
+  return static_cast<std::size_t>(hash_u64(key, (static_cast<std::uint64_t>(stage) << 32))) &
+         slot_mask_;
+}
+
+void HashPipe::update(std::uint64_t key, std::uint64_t weight) {
+  total_ += weight;
+  pipeline_.begin_packet();
+
+  // Carried (key, count) metadata in the PHV.
+  std::uint64_t carry_key = key;
+  std::uint64_t carry_count = weight;
+  bool have_carry = true;
+
+  for (std::size_t i = 0; i < stages_.size() && have_carry; ++i) {
+    StageRefs& s = stages_[i];
+    pipeline_.enter(*s.stage);
+    const std::size_t idx =
+        static_cast<std::size_t>(s.stage->hash(carry_key)) & slot_mask_;
+    const std::uint64_t slot_key = s.keys->read(idx);
+    const std::uint64_t slot_count = s.counts->read(idx);
+    const bool empty = slot_count == 0;
+
+    if (i == 0) {
+      // First stage: always insert the arriving key.
+      if (!empty && slot_key == carry_key) {
+        s.counts->write(idx, slot_count + carry_count);
+        have_carry = false;
+      } else {
+        s.keys->write(idx, carry_key);
+        s.counts->write(idx, carry_count);
+        if (empty) {
+          have_carry = false;
+        } else {
+          carry_key = slot_key;
+          carry_count = slot_count;
+        }
+      }
+      continue;
+    }
+
+    if (!empty && slot_key == carry_key) {
+      s.counts->write(idx, slot_count + carry_count);
+      have_carry = false;
+    } else if (empty) {
+      s.keys->write(idx, carry_key);
+      s.counts->write(idx, carry_count);
+      have_carry = false;
+    } else if (carry_count > slot_count) {
+      // Keep the larger: displace the occupant, carry it further.
+      s.keys->write(idx, carry_key);
+      s.counts->write(idx, carry_count);
+      carry_key = slot_key;
+      carry_count = slot_count;
+    }
+    // else: carried entry is smaller; it survives to the next stage (and
+    // is dropped after the last — HashPipe's bounded loss).
+  }
+
+  pipeline_.end_packet();
+}
+
+std::uint64_t HashPipe::estimate(std::uint64_t key) const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const std::size_t idx = slot_index(i, key);
+    if (stages_[i].keys->peek(idx) == key && stages_[i].counts->peek(idx) > 0) {
+      sum += stages_[i].counts->peek(idx);
+    }
+  }
+  return sum;
+}
+
+std::vector<HashPipe::HeavyKey> HashPipe::heavy_keys(std::uint64_t threshold) const {
+  FlatHashMap<std::uint64_t, std::uint64_t> sums(1024);
+  for (const auto& s : stages_) {
+    for (std::size_t idx = 0; idx <= slot_mask_; ++idx) {
+      const std::uint64_t count = s.counts->peek(idx);
+      if (count > 0) sums[s.keys->peek(idx)] += count;
+    }
+  }
+  std::vector<HeavyKey> out;
+  sums.for_each([&](std::uint64_t key, std::uint64_t& count) {
+    if (count >= threshold) out.push_back(HeavyKey{key, count});
+  });
+  return out;
+}
+
+void HashPipe::clear() {
+  for (auto& s : stages_) {
+    for (std::size_t idx = 0; idx <= slot_mask_; ++idx) {
+      s.keys->poke(idx, 0);
+      s.counts->poke(idx, 0);
+    }
+  }
+  total_ = 0;
+}
+
+}  // namespace hhh

@@ -1,0 +1,71 @@
+// HashPipe (Sivaraman, Narayana, Rottenstreich, Muthukrishnan, Rexford —
+// SOSR 2017), the paper's reference [5]: heavy-hitter detection entirely
+// in the data plane, expressed on the pipeline model.
+//
+// d stages, each holding a hash-indexed table of (key, count) slots kept
+// in one wide register entry (one RMW per stage, as on RMT hardware).
+// Stage 1 always inserts the arriving key, evicting the occupant; evicted
+// (key, count) pairs travel down the pipeline and either merge with a
+// matching slot, claim an empty one, or displace a smaller occupant
+// ("keep the larger" policy). A key's total count may be split across
+// stages; the control-plane query sums duplicates before thresholding.
+//
+// Serves as the windowed data-plane baseline in the §3 resource bench
+// (reset per window, as deployed) — the very model whose blind spot the
+// paper quantifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/pipeline.hpp"
+
+namespace hhh {
+
+class HashPipe {
+ public:
+  struct Params {
+    std::size_t stages = 4;
+    std::size_t slots_per_stage = 1024;  ///< rounded up to a power of two
+    std::uint64_t seed = 0x4A5B'0001;    ///< reserved: stage hashes derive from layout
+  };
+
+  explicit HashPipe(const Params& params);
+
+  /// Process one packet (key = e.g. source address, weight = bytes).
+  void update(std::uint64_t key, std::uint64_t weight);
+
+  /// Control-plane estimate: sum of the key's slots across stages
+  /// (underestimates truth: evicted remainders are lost).
+  std::uint64_t estimate(std::uint64_t key) const;
+
+  struct HeavyKey {
+    std::uint64_t key;
+    std::uint64_t count;
+  };
+  /// All keys whose summed count reaches `threshold`.
+  std::vector<HeavyKey> heavy_keys(std::uint64_t threshold) const;
+
+  /// Reset all slots (the disjoint-window boundary).
+  void clear();
+
+  std::uint64_t total_weight() const noexcept { return total_; }
+  PipelineResources resources() const { return pipeline_.resources(); }
+
+ private:
+  struct StageRefs {
+    Stage* stage;
+    RegisterArray* keys;
+    RegisterArray* counts;
+  };
+
+  std::size_t slot_index(std::size_t stage, std::uint64_t key) const;
+
+  Params params_;
+  std::size_t slot_mask_;
+  Pipeline pipeline_;
+  std::vector<StageRefs> stages_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hhh

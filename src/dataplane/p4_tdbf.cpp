@@ -1,0 +1,111 @@
+#include "dataplane/p4_tdbf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bit.hpp"
+
+namespace hhh {
+namespace {
+
+// FRAC_LUT[i] = round(2^16 * 2^(-i/8)): the 8-step fractional-decay table.
+constexpr std::uint32_t kFracLut[8] = {65536, 60097, 55109, 50535,
+                                       46341, 42495, 38968, 35734};
+
+}  // namespace
+
+std::uint64_t P4Tdbf::quantized_decay(std::uint64_t value, std::int64_t dt_ns,
+                                      std::int64_t half_life_ns) {
+  if (dt_ns <= 0 || value == 0) return value;
+  const std::int64_t shift = dt_ns / half_life_ns;
+  if (shift >= 32) return 0;
+  value >>= static_cast<unsigned>(shift);
+  const std::int64_t rem = dt_ns % half_life_ns;
+  const std::size_t frac = static_cast<std::size_t>((rem * 8) / half_life_ns);  // 0..7
+  return (value * kFracLut[frac]) >> 16;
+}
+
+double P4Tdbf::exact_decay(double value, Duration dt, Duration half_life) {
+  if (dt.ns() <= 0) return value;
+  return value * std::exp2(-static_cast<double>(dt.ns()) / static_cast<double>(half_life.ns()));
+}
+
+P4Tdbf::P4Tdbf(const Params& params)
+    : params_(params),
+      cell_mask_(next_pow2(std::max<std::size_t>(params.cells_per_stage, 64)) - 1),
+      pipeline_("p4-tdbf") {
+  if (params.stages == 0) throw std::invalid_argument("P4Tdbf: stages >= 1");
+  if (params.half_life.ns() < 1'000'000) {
+    throw std::invalid_argument("P4Tdbf: half-life below timestamp resolution (1 ms)");
+  }
+  for (std::size_t i = 0; i < params.stages; ++i) {
+    Stage& st = pipeline_.add_stage("tdbf" + std::to_string(i));
+    RegisterArray& cells = st.add_register_array("cell", cell_mask_ + 1, 64);
+    stages_.push_back(StageRefs{&st, &cells});
+  }
+  total_stage_ = &pipeline_.add_stage("total");
+  total_cell_ = &total_stage_->add_register_array("sum", 1, 64);
+}
+
+P4Tdbf::UpdateResult P4Tdbf::update(std::uint64_t key, std::uint64_t weight, TimePoint now) {
+  pipeline_.begin_packet();
+  const std::uint32_t now_ms = coarse_stamp(now);
+  const std::int64_t half_ms = params_.half_life.ns() / 1'000'000;
+
+  // Weight is clamped to the 32-bit cell range (jumbo-safe; IP length
+  // fits easily).
+  const std::uint64_t w = std::min<std::uint64_t>(weight, 0xFFFF'FFFFull);
+
+  std::uint64_t minimum = ~std::uint64_t{0};
+  for (auto& s : stages_) {
+    pipeline_.enter(*s.stage);
+    const std::size_t idx = static_cast<std::size_t>(s.stage->hash(key)) & cell_mask_;
+    const std::uint64_t cell = s.cells->read(idx);
+    const std::int64_t dt_ms =
+        static_cast<std::int64_t>(now_ms - packed_stamp(cell));  // wrap-tolerant
+    std::uint64_t v = quantized_decay(packed_value(cell), dt_ms, half_ms);
+    v = std::min<std::uint64_t>(v + w, 0xFFFF'FFFFull);
+    s.cells->write(idx, pack(static_cast<std::uint32_t>(v), now_ms));
+    minimum = std::min(minimum, v);
+  }
+
+  // Decayed total in the final stage (same RMW discipline).
+  pipeline_.enter(*total_stage_);
+  const std::uint64_t tcell = total_cell_->read(0);
+  const std::int64_t tdt_ms = static_cast<std::int64_t>(now_ms - packed_stamp(tcell));
+  std::uint64_t tv = quantized_decay(packed_value(tcell), tdt_ms, half_ms);
+  tv = std::min<std::uint64_t>(tv + w, 0xFFFF'FFFFull);
+  total_cell_->write(0, pack(static_cast<std::uint32_t>(tv), now_ms));
+
+  pipeline_.end_packet();
+
+  UpdateResult r;
+  r.estimate = minimum;
+  r.alarm = static_cast<double>(minimum) >= params_.phi * static_cast<double>(tv);
+  return r;
+}
+
+std::uint64_t P4Tdbf::estimate(std::uint64_t key, TimePoint now) const {
+  const std::uint32_t now_ms = coarse_stamp(now);
+  const std::int64_t half_ms = params_.half_life.ns() / 1'000'000;
+  std::uint64_t minimum = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    // Control-plane read: recompute the stage hash without accounting.
+    const std::size_t idx =
+        static_cast<std::size_t>(hash_u64(key, (static_cast<std::uint64_t>(i) << 32))) &
+        cell_mask_;
+    const std::uint64_t cell = stages_[i].cells->peek(idx);
+    const std::int64_t dt_ms = static_cast<std::int64_t>(now_ms - packed_stamp(cell));
+    minimum = std::min(minimum, quantized_decay(packed_value(cell), dt_ms, half_ms));
+  }
+  return minimum;
+}
+
+std::uint64_t P4Tdbf::total(TimePoint now) const {
+  const std::uint64_t cell = total_cell_->peek(0);
+  const std::int64_t dt_ms = static_cast<std::int64_t>(coarse_stamp(now) - packed_stamp(cell));
+  return quantized_decay(packed_value(cell), dt_ms, params_.half_life.ns() / 1'000'000);
+}
+
+}  // namespace hhh

@@ -1,0 +1,100 @@
+// P4-TDBF: the Time-decaying Bloom Filter mapped onto the match-action
+// pipeline — the feasibility prototype for the paper's stated future work
+// ("implement them on programmable data-plane devices").
+//
+// Layout: k stages, one register array per stage. A cell packs a
+// quantized decayed value (32 bits) and a coarse timestamp (32 bits) into
+// one 64-bit register entry, so each stage performs exactly one RMW per
+// packet — the same budget as HashPipe.
+//
+// Decay in the data plane cannot evaluate exp2(-dt/h) in floating point.
+// The pipeline version uses the standard quantized trick:
+//   shift  = dt / half_life          (whole half-lives -> right shift)
+//   frac   = (dt mod half_life) * 8 / half_life
+//   value  = (value >> shift) * FRAC_LUT[frac] >> 16
+// with an 8-entry fixed-point lookup table FRAC_LUT[i] = 2^16 * 2^(-i/8)
+// — constants a P4 table can hold. The quantization error against the
+// exact float decay is bounded by the LUT step (< 9 %) and is measured by
+// tests/dataplane_test and bench/resource.
+//
+// A final stage keeps the decayed global total in a single cell so the
+// switch can raise an HH alarm (estimate >= phi * total) entirely in the
+// data plane; candidate enumeration stays in the control plane exactly as
+// in core/tdbf_hhh.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/pipeline.hpp"
+#include "util/sim_time.hpp"
+
+namespace hhh {
+
+class P4Tdbf {
+ public:
+  struct Params {
+    std::size_t stages = 4;              ///< k hash stages
+    std::size_t cells_per_stage = 4096;  ///< rounded up to a power of two
+    Duration half_life = Duration::seconds(10);
+    double phi = 0.05;  ///< in-dataplane alarm threshold
+  };
+
+  explicit P4Tdbf(const Params& params);
+
+  struct UpdateResult {
+    std::uint64_t estimate = 0;  ///< quantized decayed estimate after update
+    bool alarm = false;          ///< estimate >= phi * decayed total
+  };
+
+  /// Process one packet at `now` (non-decreasing). Returns the in-pipeline
+  /// estimate and whether the HH alarm fired for this key.
+  UpdateResult update(std::uint64_t key, std::uint64_t weight, TimePoint now);
+
+  /// Control-plane read of a key's decayed estimate at `now`.
+  std::uint64_t estimate(std::uint64_t key, TimePoint now) const;
+
+  /// Control-plane read of the decayed total at `now`.
+  std::uint64_t total(TimePoint now) const;
+
+  PipelineResources resources() const { return pipeline_.resources(); }
+
+  /// Exact float decay of `value` after `dt` (reference for tests).
+  static double exact_decay(double value, Duration dt, Duration half_life);
+
+  /// The pipeline's quantized decay of `value` after `dt` (public for
+  /// tests to bound the quantization error).
+  static std::uint64_t quantized_decay(std::uint64_t value, std::int64_t dt_ns,
+                                       std::int64_t half_life_ns);
+
+ private:
+  struct StageRefs {
+    Stage* stage;
+    RegisterArray* cells;  ///< 64-bit packed (value:32 | stamp:32)
+  };
+
+  static std::uint64_t pack(std::uint32_t value, std::uint32_t stamp) noexcept {
+    return (static_cast<std::uint64_t>(value) << 32) | stamp;
+  }
+  static std::uint32_t packed_value(std::uint64_t cell) noexcept {
+    return static_cast<std::uint32_t>(cell >> 32);
+  }
+  static std::uint32_t packed_stamp(std::uint64_t cell) noexcept {
+    return static_cast<std::uint32_t>(cell);
+  }
+
+  /// Coarse timestamp: milliseconds, truncated to 32 bits (wraps after
+  /// ~49 days — the standard data-plane compromise).
+  static std::uint32_t coarse_stamp(TimePoint t) noexcept {
+    return static_cast<std::uint32_t>(t.ns() / 1'000'000);
+  }
+
+  Params params_;
+  std::size_t cell_mask_;
+  Pipeline pipeline_;
+  std::vector<StageRefs> stages_;
+  Stage* total_stage_ = nullptr;
+  RegisterArray* total_cell_ = nullptr;  ///< single-cell decayed total
+};
+
+}  // namespace hhh

@@ -1,0 +1,124 @@
+#include "dataplane/pipeline.hpp"
+
+#include "util/strings.hpp"
+
+namespace hhh {
+
+std::string PipelineResources::to_string() const {
+  return str_format(
+      "stages=%zu arrays=%zu sram=%s hash/pkt=%.2f rmw/pkt=%.2f pkts=%llu", stages,
+      register_arrays, human_bytes(sram_bits / 8).c_str(), hash_calls_per_packet,
+      register_accesses_per_packet, static_cast<unsigned long long>(packets_processed));
+}
+
+RegisterArray::RegisterArray(std::string name, std::size_t cells, unsigned width_bits)
+    : name_(std::move(name)), width_bits_(width_bits), cells_(cells, 0) {
+  if (cells == 0) throw std::invalid_argument("RegisterArray: zero cells");
+  if (width_bits == 0 || width_bits > 128) {
+    throw std::invalid_argument("RegisterArray: bad width");
+  }
+}
+
+std::uint64_t RegisterArray::read(std::size_t index) {
+  if (index >= cells_.size()) {
+    throw PipelineConstraintViolation("RegisterArray " + name_ + ": index out of range");
+  }
+  if (accessed_ && accessed_index_ != index) {
+    throw PipelineConstraintViolation("RegisterArray " + name_ +
+                                      ": second index touched in one packet "
+                                      "(single-port RMW constraint)");
+  }
+  if (!accessed_) {
+    accessed_ = true;
+    accessed_index_ = index;
+    ++accesses_total_;
+  }
+  return cells_[index];
+}
+
+void RegisterArray::write(std::size_t index, std::uint64_t value) {
+  if (index >= cells_.size()) {
+    throw PipelineConstraintViolation("RegisterArray " + name_ + ": index out of range");
+  }
+  if (!accessed_ || accessed_index_ != index) {
+    // A write without a prior read at the same index is still one RMW;
+    // model it as such, but forbid a second distinct index.
+    if (accessed_ && accessed_index_ != index) {
+      throw PipelineConstraintViolation("RegisterArray " + name_ +
+                                        ": write to a second index in one packet");
+    }
+    accessed_ = true;
+    accessed_index_ = index;
+    ++accesses_total_;
+  }
+  cells_[index] = value;
+}
+
+RegisterArray& Stage::add_register_array(const std::string& name, std::size_t cells,
+                                         unsigned width_bits) {
+  arrays_.emplace_back(name_ + "." + name, cells, width_bits);
+  return arrays_.back();
+}
+
+std::uint64_t Stage::hash(std::uint64_t key, std::uint64_t salt) {
+  ++hash_calls_total_;
+  return hash_u64(key, (static_cast<std::uint64_t>(index_) << 32) ^ salt);
+}
+
+Stage& Pipeline::add_stage(const std::string& name) {
+  if (in_packet_) throw PipelineConstraintViolation("Pipeline: layout change mid-packet");
+  stages_.push_back(std::make_unique<Stage>(name));
+  stages_.back()->index_ = stages_.size() - 1;
+  stages_.back()->owner_ = this;
+  return *stages_.back();
+}
+
+void Pipeline::begin_packet() {
+  if (in_packet_) throw PipelineConstraintViolation("Pipeline: begin_packet re-entered");
+  in_packet_ = true;
+  current_stage_ = -1;
+  for (auto& s : stages_) {
+    for (auto& a : s->arrays_) a.begin_packet();
+  }
+}
+
+void Pipeline::enter(Stage& stage) {
+  if (!in_packet_) throw PipelineConstraintViolation("Pipeline: enter outside a packet");
+  if (stage.owner_ != this) throw PipelineConstraintViolation("Pipeline: foreign stage");
+  const auto idx = static_cast<std::ptrdiff_t>(stage.index_);
+  if (idx < current_stage_) {
+    throw PipelineConstraintViolation("Pipeline: packet cannot revisit earlier stage '" +
+                                      stage.name() + "'");
+  }
+  current_stage_ = idx;
+}
+
+void Pipeline::end_packet() {
+  if (!in_packet_) throw PipelineConstraintViolation("Pipeline: end_packet without begin");
+  in_packet_ = false;
+  ++packets_;
+}
+
+PipelineResources Pipeline::resources() const {
+  PipelineResources r;
+  r.stages = stages_.size();
+  r.packets_processed = packets_;
+  std::uint64_t hash_calls = 0;
+  std::uint64_t accesses = 0;
+  for (const auto& s : stages_) {
+    hash_calls += s->hash_calls_total_;
+    for (const auto& a : s->arrays_) {
+      ++r.register_arrays;
+      r.sram_bits += static_cast<std::uint64_t>(a.cells_.size()) * a.width_bits_;
+      accesses += a.accesses_total_;
+    }
+  }
+  if (packets_ > 0) {
+    r.hash_calls_per_packet = static_cast<double>(hash_calls) / static_cast<double>(packets_);
+    r.register_accesses_per_packet =
+        static_cast<double>(accesses) / static_cast<double>(packets_);
+  }
+  return r;
+}
+
+}  // namespace hhh

@@ -1,0 +1,144 @@
+// A simplified RMT-style match-action pipeline model.
+//
+// The paper's motivation is detection *inside programmable switches*; its
+// future work is mapping the time-decaying approach onto them. This model
+// lets the repo answer the feasibility questions quantitatively without
+// hardware: programs (hashpipe.hpp, p4_tdbf.hpp) execute against stages
+// whose constraints are *enforced*, not assumed:
+//
+//  * a stateful RegisterArray allows ONE read-modify-write, at ONE index,
+//    per packet (the single-port SRAM constraint of RMT ALUs) — violating
+//    accesses throw PipelineConstraintViolation;
+//  * arrays live in a Stage; a packet visits stages strictly in order
+//    (enforced by Pipeline::begin_packet/touch ordering checks);
+//  * resources are accounted: SRAM bits per stage, register arrays,
+//    hash-unit invocations per packet.
+//
+// The model is deliberately minimal — enough to demonstrate that a program
+// is expressible under data-plane constraints and what it costs, which is
+// what bench/resource reports (§3-T3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace hhh {
+
+class PipelineConstraintViolation : public std::logic_error {
+ public:
+  explicit PipelineConstraintViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Per-pipeline resource totals (the §3-T3 table rows).
+struct PipelineResources {
+  std::size_t stages = 0;
+  std::size_t register_arrays = 0;
+  std::uint64_t sram_bits = 0;
+  double hash_calls_per_packet = 0.0;     ///< averaged over processed packets
+  double register_accesses_per_packet = 0.0;
+  std::uint64_t packets_processed = 0;
+
+  std::string to_string() const;
+};
+
+class Pipeline;
+
+/// A stateful register array bound to one stage.
+class RegisterArray {
+ public:
+  /// `width_bits` is the logical cell width (counts SRAM; cells are stored
+  /// as uint64 regardless).
+  RegisterArray(std::string name, std::size_t cells, unsigned width_bits);
+
+  std::size_t size() const noexcept { return cells_.size(); }
+  unsigned width_bits() const noexcept { return width_bits_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// The packet's single RMW access: returns the current value; the value
+  /// written back is whatever `write` sets before the packet leaves the
+  /// stage. A second access at a *different* index in the same packet
+  /// throws (single-port constraint); re-touching the same index is the
+  /// same RMW and is allowed.
+  std::uint64_t read(std::size_t index);
+  void write(std::size_t index, std::uint64_t value);
+
+  /// Control-plane access (no constraint accounting): benches/queries.
+  std::uint64_t peek(std::size_t index) const { return cells_.at(index); }
+  void poke(std::size_t index, std::uint64_t value) { cells_.at(index) = value; }
+
+ private:
+  friend class Pipeline;
+  void begin_packet() noexcept {
+    accessed_ = false;
+    accessed_index_ = 0;
+  }
+
+  std::string name_;
+  unsigned width_bits_;
+  std::vector<std::uint64_t> cells_;
+  bool accessed_ = false;
+  std::size_t accessed_index_ = 0;
+  std::uint64_t accesses_total_ = 0;
+};
+
+/// One match-action stage: owns register arrays and a hash unit.
+class Stage {
+ public:
+  explicit Stage(std::string name) : name_(std::move(name)) {}
+
+  /// Declare a register array (layout time, not per packet).
+  RegisterArray& add_register_array(const std::string& name, std::size_t cells,
+                                    unsigned width_bits);
+
+  /// The stage's hash unit: seeded per (stage, purpose).
+  std::uint64_t hash(std::uint64_t key, std::uint64_t salt = 0);
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Pipeline;
+  std::string name_;
+  std::deque<RegisterArray> arrays_;  // deque: references stay valid as arrays are added
+  std::uint64_t hash_calls_total_ = 0;
+  std::size_t index_ = 0;  // position in pipeline, set on add_stage
+  const Pipeline* owner_ = nullptr;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(std::string name) : name_(std::move(name)) {}
+
+  Stage& add_stage(const std::string& name);
+
+  /// Begin a packet: resets per-packet access state. Programs must then
+  /// touch stages in pipeline order via `enter(stage)`.
+  void begin_packet();
+
+  /// Mark the program as entering `stage`; going backwards throws (a real
+  /// pipeline cannot revisit an earlier stage for the same packet).
+  void enter(Stage& stage);
+
+  /// End-of-packet bookkeeping (accumulates per-packet statistics).
+  void end_packet();
+
+  PipelineResources resources() const;
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t stage_count() const noexcept { return stages_.size(); }
+  Stage& stage(std::size_t i) { return *stages_.at(i); }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::ptrdiff_t current_stage_ = -1;
+  bool in_packet_ = false;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace hhh

@@ -1,0 +1,51 @@
+#include "net/hierarchy.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace hhh {
+
+Hierarchy::Hierarchy(std::vector<unsigned> lengths) : lengths_(std::move(lengths)) {
+  if (lengths_.empty()) throw std::invalid_argument("Hierarchy: no levels");
+  if (lengths_.front() > 32) throw std::invalid_argument("Hierarchy: length > 32");
+  if (lengths_.back() != 0) throw std::invalid_argument("Hierarchy: must end at /0");
+  for (std::size_t i = 1; i < lengths_.size(); ++i) {
+    if (lengths_[i] >= lengths_[i - 1]) {
+      throw std::invalid_argument("Hierarchy: lengths must strictly decrease");
+    }
+  }
+  level_by_length_.assign(33, npos);
+  for (std::size_t i = 0; i < lengths_.size(); ++i) level_by_length_[lengths_[i]] = i;
+}
+
+Hierarchy Hierarchy::byte_granularity() { return Hierarchy({32, 24, 16, 8, 0}); }
+
+Hierarchy Hierarchy::bit_granularity() {
+  std::vector<unsigned> lens(33);
+  std::iota(lens.rbegin(), lens.rend(), 0u);  // 32, 31, ..., 0
+  return Hierarchy(std::move(lens));
+}
+
+std::size_t Hierarchy::level_of_length(unsigned len) const noexcept {
+  return len > 32 ? npos : level_by_length_[len];
+}
+
+Ipv4Prefix Hierarchy::parent_of(Ipv4Prefix p) const noexcept {
+  const std::size_t level = level_of(p);
+  if (level == npos || level + 1 >= lengths_.size()) return Ipv4Prefix::root();
+  return p.truncated(lengths_[level + 1]);
+}
+
+std::string Hierarchy::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < lengths_.size(); ++i) {
+    if (i) out += ",";
+    out += str_format("/%u", lengths_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace hhh

@@ -1,0 +1,73 @@
+// The 1-D prefix hierarchy HHH algorithms operate on.
+//
+// The paper analyses one-dimensional HHHs over source IP addresses. A
+// Hierarchy fixes the set of prefix lengths that count as "levels":
+//  * byte granularity — {32, 24, 16, 8, 0}, the standard choice of RHHH and
+//    most data-plane work (5 levels);
+//  * bit granularity  — {32, 31, ..., 0} (33 levels);
+//  * any custom strictly-decreasing list of lengths ending at 0.
+//
+// Levels are indexed from 0 = most specific (leaves) upward, matching the
+// bottom-up direction of conditioned-count HHH extraction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace hhh {
+
+class Hierarchy {
+ public:
+  /// Build from prefix lengths, most specific first. Requirements: strictly
+  /// decreasing, last element 0, first element <= 32. Throws
+  /// std::invalid_argument otherwise.
+  explicit Hierarchy(std::vector<unsigned> lengths);
+
+  /// {32, 24, 16, 8, 0}: the granularity used by the paper's experiments.
+  static Hierarchy byte_granularity();
+
+  /// {32, 31, ..., 1, 0}.
+  static Hierarchy bit_granularity();
+
+  /// Number of levels (e.g. 5 for byte granularity).
+  std::size_t levels() const noexcept { return lengths_.size(); }
+
+  /// Prefix length at `level` (level 0 = most specific).
+  unsigned length_at(std::size_t level) const noexcept { return lengths_[level]; }
+
+  std::span<const unsigned> lengths() const noexcept { return lengths_; }
+
+  /// Leaf (most specific) prefix length.
+  unsigned leaf_length() const noexcept { return lengths_.front(); }
+
+  /// Generalize `addr` to the prefix at `level`.
+  Ipv4Prefix generalize(Ipv4Address addr, std::size_t level) const noexcept {
+    return Ipv4Prefix(addr, lengths_[level]);
+  }
+
+  /// Level index of a given prefix length, or npos if the length is not a
+  /// level of this hierarchy.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t level_of_length(unsigned len) const noexcept;
+
+  /// Level of `p`, or npos if p's length is not a level.
+  std::size_t level_of(Ipv4Prefix p) const noexcept { return level_of_length(p.length()); }
+
+  /// The parent of `p` within this hierarchy (one level up). Root maps to
+  /// itself. Precondition: level_of(p) != npos.
+  Ipv4Prefix parent_of(Ipv4Prefix p) const noexcept;
+
+  std::string to_string() const;
+
+  bool operator==(const Hierarchy&) const = default;
+
+ private:
+  std::vector<unsigned> lengths_;             // strictly decreasing, ends with 0
+  std::vector<std::size_t> level_by_length_;  // length -> level, npos if absent
+};
+
+}  // namespace hhh

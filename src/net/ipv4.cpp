@@ -1,0 +1,23 @@
+#include "net/ipv4.hpp"
+
+#include "util/strings.hpp"
+
+namespace hhh {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t bits = 0;
+  for (const auto part : parts) {
+    std::uint64_t v = 0;
+    if (!parse_u64(part, v) || v > 255) return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint32_t>(v);
+  }
+  return Ipv4Address(bits);
+}
+
+std::string Ipv4Address::to_string() const {
+  return str_format("%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+}
+
+}  // namespace hhh

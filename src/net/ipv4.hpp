@@ -1,0 +1,45 @@
+// IPv4 address value type.
+//
+// Addresses are stored in host byte order as a uint32 so that prefix
+// arithmetic (masking, trie descent) is plain integer math. Conversion
+// to/from network byte order happens only at the pcap boundary.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hhh {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order) noexcept : bits_(host_order) {}
+
+  /// Build from dotted octets: Ipv4Address::of(10, 0, 3, 7).
+  static constexpr Ipv4Address of(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                  std::uint8_t d) noexcept {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parse dotted-quad notation ("192.0.2.1"); nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr std::uint32_t bits() const noexcept { return bits_; }
+
+  constexpr std::uint8_t octet(unsigned i) const noexcept {
+    return static_cast<std::uint8_t>(bits_ >> (24 - 8 * i));
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace hhh

@@ -1,0 +1,54 @@
+// The packet record every detector consumes.
+//
+// A PacketRecord is the already-parsed form of one packet: timestamp plus
+// the IPv4/transport fields the measurement algorithms need. Both the
+// synthetic generator and the pcap decoder produce this type, so every
+// algorithm runs unchanged on synthetic and real traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.hpp"
+#include "util/sim_time.hpp"
+
+namespace hhh {
+
+enum class IpProto : std::uint8_t { kTcp = 6, kUdp = 17, kIcmp = 1, kOther = 0 };
+
+struct PacketRecord {
+  TimePoint ts;            ///< capture timestamp
+  Ipv4Address src;         ///< source address (the paper's HHH dimension)
+  Ipv4Address dst;         ///< destination address
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kOther;
+  std::uint32_t ip_len = 0;  ///< IP-layer length in bytes (the "volume" unit)
+
+  bool operator==(const PacketRecord&) const = default;
+};
+
+/// 5-tuple flow key (src, dst, sport, dport, proto) packed for hashing.
+struct FlowKey {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  static FlowKey from(const PacketRecord& p) noexcept {
+    return {p.src.bits(), p.dst.bits(), p.src_port, p.dst_port,
+            static_cast<std::uint8_t>(p.proto)};
+  }
+
+  bool operator==(const FlowKey&) const = default;
+
+  /// Stable 64-bit digest for hash maps and sketches.
+  std::uint64_t key() const noexcept {
+    const std::uint64_t hi = (static_cast<std::uint64_t>(src) << 32) | dst;
+    const std::uint64_t lo = (static_cast<std::uint64_t>(src_port) << 24) |
+                             (static_cast<std::uint64_t>(dst_port) << 8) | proto;
+    return hi * 0x9E3779B97F4A7C15ULL ^ lo;
+  }
+};
+
+}  // namespace hhh

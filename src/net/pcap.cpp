@@ -1,0 +1,242 @@
+#include "net/pcap.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace hhh {
+namespace {
+
+constexpr std::uint32_t kMagicMicro = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicMicroSwapped = 0xD4C3B2A1;
+constexpr std::uint32_t kMagicNano = 0xA1B23C4D;
+constexpr std::uint32_t kMagicNanoSwapped = 0x4D3CB2A1;
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::size_t kEthernetHeaderLen = 14;
+
+std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+std::uint32_t bswap32(std::uint32_t v) noexcept {
+#if defined(__GNUC__)
+  return __builtin_bswap32(v);
+#else
+  return (v << 24) | ((v << 8) & 0x00FF0000u) | ((v >> 8) & 0x0000FF00u) | (v >> 24);
+#endif
+}
+
+std::uint16_t load_be16(const unsigned char* p) noexcept {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+std::uint32_t load_be32(const unsigned char* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+void store_be16(unsigned char* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v >> 8);
+  p[1] = static_cast<unsigned char>(v);
+}
+
+void store_be32(unsigned char* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<unsigned char>(v >> 24);
+  p[1] = static_cast<unsigned char>(v >> 16);
+  p[2] = static_cast<unsigned char>(v >> 8);
+  p[3] = static_cast<unsigned char>(v);
+}
+
+struct FileHeader {
+  std::uint32_t magic;
+  std::uint16_t version_major;
+  std::uint16_t version_minor;
+  std::int32_t thiszone;
+  std::uint32_t sigfigs;
+  std::uint32_t snaplen;
+  std::uint32_t linktype;
+};
+static_assert(sizeof(FileHeader) == 24);
+
+struct RecordHeader {
+  std::uint32_t ts_sec;
+  std::uint32_t ts_frac;  // micro- or nanoseconds depending on magic
+  std::uint32_t incl_len;
+  std::uint32_t orig_len;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+/// IPv4 header checksum over `len` bytes (len even, >= 20).
+std::uint16_t ipv4_checksum(const unsigned char* hdr, std::size_t len) noexcept {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) sum += load_be16(hdr + i);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace
+
+std::optional<PacketRecord> decode_frame(const unsigned char* data, std::size_t len,
+                                         LinkType link_type, TimePoint ts) {
+  const unsigned char* ip = data;
+  std::size_t ip_avail = len;
+
+  if (link_type == LinkType::kEthernet) {
+    if (len < kEthernetHeaderLen) return std::nullopt;
+    const std::uint16_t ethertype = load_be16(data + 12);
+    if (ethertype != kEtherTypeIpv4) return std::nullopt;
+    ip = data + kEthernetHeaderLen;
+    ip_avail = len - kEthernetHeaderLen;
+  }
+
+  if (ip_avail < 20) return std::nullopt;
+  const unsigned version = ip[0] >> 4;
+  if (version != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
+  if (ihl < 20 || ip_avail < ihl) return std::nullopt;
+
+  PacketRecord rec;
+  rec.ts = ts;
+  rec.ip_len = load_be16(ip + 2);
+  const std::uint8_t proto = ip[9];
+  rec.src = Ipv4Address(load_be32(ip + 12));
+  rec.dst = Ipv4Address(load_be32(ip + 16));
+  switch (proto) {
+    case 6: rec.proto = IpProto::kTcp; break;
+    case 17: rec.proto = IpProto::kUdp; break;
+    case 1: rec.proto = IpProto::kIcmp; break;
+    default: rec.proto = IpProto::kOther; break;
+  }
+
+  if ((rec.proto == IpProto::kTcp || rec.proto == IpProto::kUdp) && ip_avail >= ihl + 4) {
+    rec.src_port = load_be16(ip + ihl);
+    rec.dst_port = load_be16(ip + ihl + 2);
+  }
+  return rec;
+}
+
+PcapReader::PcapReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("PcapReader: cannot open " + path);
+  FileHeader hdr{};
+  if (!read_exact(&hdr, sizeof hdr)) throw std::runtime_error("PcapReader: truncated header");
+  switch (hdr.magic) {
+    case kMagicMicro: break;
+    case kMagicNano: nanos_ = true; break;
+    case kMagicMicroSwapped: swap_ = true; break;
+    case kMagicNanoSwapped: swap_ = true; nanos_ = true; break;
+    default: throw std::runtime_error("PcapReader: bad magic in " + path);
+  }
+  const std::uint32_t linktype = fix32(hdr.linktype);
+  if (linktype != static_cast<std::uint32_t>(LinkType::kEthernet) &&
+      linktype != static_cast<std::uint32_t>(LinkType::kRawIp)) {
+    throw std::runtime_error("PcapReader: unsupported link type " + std::to_string(linktype));
+  }
+  link_type_ = static_cast<LinkType>(linktype);
+}
+
+bool PcapReader::read_exact(void* dst, std::size_t len) {
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(len));
+  return static_cast<std::size_t>(in_.gcount()) == len;
+}
+
+std::uint32_t PcapReader::fix32(std::uint32_t v) const noexcept { return swap_ ? bswap32(v) : v; }
+std::uint16_t PcapReader::fix16(std::uint16_t v) const noexcept { return swap_ ? bswap16(v) : v; }
+
+std::optional<PacketRecord> PcapReader::next() {
+  while (true) {
+    RecordHeader rh{};
+    if (!read_exact(&rh, sizeof rh)) return std::nullopt;  // clean EOF
+    const std::uint32_t incl = fix32(rh.incl_len);
+    if (incl > (1u << 26)) throw std::runtime_error("PcapReader: absurd record length");
+    buf_.resize(incl);
+    if (!read_exact(buf_.data(), incl)) return std::nullopt;  // truncated tail
+
+    const std::int64_t sec = fix32(rh.ts_sec);
+    const std::int64_t frac = fix32(rh.ts_frac);
+    const std::int64_t ns = nanos_ ? frac : frac * 1000;
+    const TimePoint ts = TimePoint::from_ns(sec * 1'000'000'000 + ns);
+
+    if (auto rec = decode_frame(buf_.data(), buf_.size(), link_type_, ts)) {
+      ++decoded_;
+      return rec;
+    }
+    ++skipped_;
+  }
+}
+
+PcapWriter::PcapWriter(const std::string& path, LinkType link_type)
+    : out_(path, std::ios::binary | std::ios::trunc), link_type_(link_type) {
+  if (!out_) throw std::runtime_error("PcapWriter: cannot create " + path);
+  FileHeader hdr{};
+  hdr.magic = kMagicMicro;
+  hdr.version_major = 2;
+  hdr.version_minor = 4;
+  hdr.thiszone = 0;
+  hdr.sigfigs = 0;
+  hdr.snaplen = kSnapLen;
+  hdr.linktype = static_cast<std::uint32_t>(link_type);
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof hdr);
+}
+
+PcapWriter::~PcapWriter() { flush(); }
+
+void PcapWriter::flush() { out_.flush(); }
+
+void PcapWriter::write(const PacketRecord& p) {
+  unsigned char frame[kSnapLen] = {};
+  std::size_t off = 0;
+
+  if (link_type_ == LinkType::kEthernet) {
+    // Locally administered MACs derived from the addresses; ethertype IPv4.
+    frame[0] = 0x02;
+    store_be32(frame + 2, p.dst.bits());
+    frame[6] = 0x02;
+    store_be32(frame + 8, p.src.bits());
+    store_be16(frame + 12, kEtherTypeIpv4);
+    off = kEthernetHeaderLen;
+  }
+
+  const bool has_ports = p.proto == IpProto::kTcp || p.proto == IpProto::kUdp;
+  const std::size_t l4_len = p.proto == IpProto::kTcp ? 20 : (has_ports ? 8 : 0);
+  // The record's ip_len is authoritative; never emit less than the headers.
+  const std::uint32_t ip_total =
+      std::max<std::uint32_t>(p.ip_len, static_cast<std::uint32_t>(20 + l4_len));
+
+  unsigned char* ip = frame + off;
+  ip[0] = 0x45;  // v4, IHL=5
+  store_be16(ip + 2, static_cast<std::uint16_t>(std::min<std::uint32_t>(ip_total, 0xFFFF)));
+  ip[8] = 64;  // TTL
+  ip[9] = static_cast<std::uint8_t>(p.proto == IpProto::kOther ? 253 : static_cast<int>(p.proto));
+  store_be32(ip + 12, p.src.bits());
+  store_be32(ip + 16, p.dst.bits());
+  store_be16(ip + 10, ipv4_checksum(ip, 20));
+
+  std::size_t l4_off = off + 20;
+  if (has_ports) {
+    store_be16(frame + l4_off, p.src_port);
+    store_be16(frame + l4_off + 2, p.dst_port);
+    if (p.proto == IpProto::kTcp) {
+      frame[l4_off + 12] = 0x50;  // data offset 5 words
+    } else {
+      store_be16(frame + l4_off + 4,
+                 static_cast<std::uint16_t>(std::min<std::uint32_t>(ip_total - 20, 0xFFFF)));
+    }
+  }
+
+  const std::uint32_t wire_len = static_cast<std::uint32_t>(off) + ip_total;
+  const std::uint32_t capt_len = std::min<std::uint32_t>(wire_len, kSnapLen);
+
+  RecordHeader rh{};
+  const std::int64_t ns = p.ts.ns();
+  rh.ts_sec = static_cast<std::uint32_t>(ns / 1'000'000'000);
+  rh.ts_frac = static_cast<std::uint32_t>((ns % 1'000'000'000) / 1000);
+  rh.incl_len = capt_len;
+  rh.orig_len = wire_len;
+  out_.write(reinterpret_cast<const char*>(&rh), sizeof rh);
+  out_.write(reinterpret_cast<const char*>(frame), capt_len);
+  if (!out_) throw std::runtime_error("PcapWriter: write failed");
+  ++written_;
+}
+
+}  // namespace hhh

@@ -1,0 +1,24 @@
+#include "net/prefix.hpp"
+
+#include "util/strings.hpp"
+
+namespace hhh {
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    const auto addr = Ipv4Address::parse(text);
+    if (!addr) return std::nullopt;
+    return Ipv4Prefix(*addr, 32);
+  }
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  std::uint64_t len = 0;
+  if (!addr || !parse_u64(text.substr(slash + 1), len) || len > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<unsigned>(len));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return str_format("%s/%u", address().to_string().c_str(), len_);
+}
+
+}  // namespace hhh

@@ -1,0 +1,99 @@
+// IPv4 prefixes — the nodes of the HHH hierarchy.
+//
+// A prefix is an (address, length) pair kept in canonical form: all bits
+// below the prefix length are zero. Canonical form makes equality, hashing
+// and ancestor tests cheap, which matters because every HHH set operation
+// (the hidden-HHH analysis, Jaccard comparisons) works on prefix sets.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+#include "util/bit.hpp"
+#include "util/hash.hpp"
+
+namespace hhh {
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Canonicalizes: host bits of `addr` below `len` are masked away.
+  constexpr Ipv4Prefix(Ipv4Address addr, unsigned len) noexcept
+      : bits_(addr.bits() & prefix_mask32(len)), len_(static_cast<std::uint8_t>(len)) {}
+
+  /// Parse "10.1.0.0/16"; a bare address parses as /32. nullopt if malformed.
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  /// The whole address space, 0.0.0.0/0.
+  static constexpr Ipv4Prefix root() noexcept { return Ipv4Prefix(); }
+
+  constexpr Ipv4Address address() const noexcept { return Ipv4Address(bits_); }
+  constexpr std::uint32_t bits() const noexcept { return bits_; }
+  constexpr unsigned length() const noexcept { return len_; }
+  constexpr bool is_host() const noexcept { return len_ == 32; }
+  constexpr bool is_root() const noexcept { return len_ == 0; }
+
+  /// True iff `addr` falls inside this prefix.
+  constexpr bool contains(Ipv4Address addr) const noexcept {
+    return (addr.bits() & prefix_mask32(len_)) == bits_;
+  }
+
+  /// True iff `other` is this prefix or a more specific prefix inside it.
+  constexpr bool contains(Ipv4Prefix other) const noexcept {
+    return other.len_ >= len_ && (other.bits_ & prefix_mask32(len_)) == bits_;
+  }
+
+  /// Strict ancestor test: contains(other) and shorter length.
+  constexpr bool is_ancestor_of(Ipv4Prefix other) const noexcept {
+    return other.len_ > len_ && contains(other);
+  }
+
+  /// The prefix truncated to `len` bits (len <= length()).
+  constexpr Ipv4Prefix truncated(unsigned len) const noexcept {
+    return Ipv4Prefix(Ipv4Address(bits_), len);
+  }
+
+  /// Immediate parent in the bit hierarchy (root().parent() == root()).
+  constexpr Ipv4Prefix parent() const noexcept {
+    return len_ == 0 ? *this : truncated(len_ - 1);
+  }
+
+  /// 64-bit key that uniquely encodes (bits, len); used by hash maps.
+  constexpr std::uint64_t key() const noexcept {
+    return (static_cast<std::uint64_t>(bits_) << 8) | len_;
+  }
+
+  /// Inverse of key().
+  static constexpr Ipv4Prefix from_key(std::uint64_t key) noexcept {
+    return Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(key >> 8)),
+                      static_cast<unsigned>(key & 0xFF));
+  }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+  std::uint8_t len_ = 0;
+};
+
+/// Longest common prefix of two prefixes.
+constexpr Ipv4Prefix common_ancestor(Ipv4Prefix a, Ipv4Prefix b) noexcept {
+  const unsigned max_len = a.length() < b.length() ? a.length() : b.length();
+  const std::uint32_t diff = a.bits() ^ b.bits();
+  unsigned common = diff == 0 ? 32 : static_cast<unsigned>(std::countl_zero(diff));
+  if (common > max_len) common = max_len;
+  return Ipv4Prefix(a.address(), common);
+}
+
+struct PrefixHash {
+  std::uint64_t operator()(const Ipv4Prefix& p) const noexcept { return mix64(p.key()); }
+};
+
+}  // namespace hhh

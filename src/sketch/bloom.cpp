@@ -1,0 +1,54 @@
+#include "sketch/bloom.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bit.hpp"
+
+namespace hhh {
+
+BloomParams BloomParams::for_fpp(std::size_t expected_items, double fpp, std::uint64_t seed) {
+  if (expected_items == 0 || fpp <= 0.0 || fpp >= 1.0) {
+    throw std::invalid_argument("BloomParams: bad (n, fpp)");
+  }
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(expected_items) * std::log(fpp) / (ln2 * ln2);
+  BloomParams p;
+  p.bits = static_cast<std::size_t>(std::ceil(m));
+  p.hashes = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::round(m / static_cast<double>(expected_items) * ln2)));
+  p.seed = seed;
+  return p;
+}
+
+BloomFilter::BloomFilter(const BloomParams& params)
+    : bit_count_(next_pow2(std::max<std::size_t>(params.bits, 64))),
+      hashes_(std::max<std::size_t>(params.hashes, 1), params.seed),
+      words_(bit_count_ / 64, 0) {}
+
+void BloomFilter::insert(std::uint64_t key) {
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    const std::size_t bit = hashes_(i, key) & (bit_count_ - 1);
+    words_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t key) const noexcept {
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    const std::size_t bit = hashes_(i, key) & (bit_count_ - 1);
+    if (!(words_[bit >> 6] & (std::uint64_t{1} << (bit & 63)))) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+double BloomFilter::fill_ratio() const noexcept {
+  std::size_t set = 0;
+  for (const auto w : words_) set += static_cast<std::size_t>(std::popcount(w));
+  return static_cast<double>(set) / static_cast<double>(bit_count_);
+}
+
+}  // namespace hhh

@@ -1,0 +1,50 @@
+// Standard Bloom filter.
+//
+// Membership substrate and the structural base of the Time-decaying Bloom
+// Filter: the TDBF replaces the bit cells with decaying counters but keeps
+// the k-hash cell addressing implemented here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace hhh {
+
+struct BloomParams {
+  std::size_t bits = 1 << 16;  ///< rounded up to a power of two
+  std::size_t hashes = 4;
+  std::uint64_t seed = 0xB100'F117;
+
+  /// Size for a target false-positive probability at `expected_items`:
+  /// m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+  static BloomParams for_fpp(std::size_t expected_items, double fpp,
+                             std::uint64_t seed = 0xB100'F117);
+};
+
+class BloomFilter {
+ public:
+  explicit BloomFilter(const BloomParams& params);
+
+  void insert(std::uint64_t key);
+
+  /// No false negatives; false-positive probability set by the parameters.
+  bool maybe_contains(std::uint64_t key) const noexcept;
+
+  void clear();
+
+  /// Fraction of bits set (saturation diagnostic).
+  double fill_ratio() const noexcept;
+
+  std::size_t bit_count() const noexcept { return bit_count_; }
+  std::size_t hash_count() const noexcept { return hashes_.size(); }
+  std::size_t memory_bytes() const noexcept { return words_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::size_t bit_count_;
+  HashFamily hashes_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hhh

@@ -1,0 +1,69 @@
+#include "sketch/count_min.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bit.hpp"
+
+namespace hhh {
+
+CountMinParams CountMinParams::for_error(double eps, double delta, std::uint64_t seed) {
+  if (eps <= 0.0 || delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("CountMinParams: bad (eps, delta)");
+  }
+  CountMinParams p;
+  p.width = static_cast<std::size_t>(std::ceil(std::exp(1.0) / eps));
+  p.depth = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  p.depth = std::max<std::size_t>(p.depth, 1);
+  p.seed = seed;
+  return p;
+}
+
+CountMinSketch::CountMinSketch(const CountMinParams& params)
+    : width_(next_pow2(std::max<std::size_t>(params.width, 8))),
+      depth_(std::max<std::size_t>(params.depth, 1)),
+      conservative_(params.conservative),
+      hashes_(depth_, params.seed),
+      table_(width_ * depth_, 0) {}
+
+std::size_t CountMinSketch::index(std::size_t row, std::uint64_t key) const noexcept {
+  return row * width_ + (hashes_(row, key) & (width_ - 1));
+}
+
+void CountMinSketch::update(std::uint64_t key, std::uint64_t weight) {
+  total_ += weight;
+  if (!conservative_) {
+    for (std::size_t r = 0; r < depth_; ++r) table_[index(r, key)] += weight;
+    return;
+  }
+  // Conservative update: raise every counter only as far as min + weight.
+  std::uint64_t current = ~std::uint64_t{0};
+  for (std::size_t r = 0; r < depth_; ++r) current = std::min(current, table_[index(r, key)]);
+  const std::uint64_t target = current + weight;
+  for (std::size_t r = 0; r < depth_; ++r) {
+    std::uint64_t& cell = table_[index(r, key)];
+    cell = std::max(cell, target);
+  }
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const noexcept {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t r = 0; r < depth_; ++r) best = std::min(best, table_[index(r, key)]);
+  return best;
+}
+
+void CountMinSketch::clear() {
+  std::fill(table_.begin(), table_.end(), 0);
+  total_ = 0;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_) {
+    throw std::invalid_argument("CountMinSketch::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  total_ += other.total_;
+}
+
+}  // namespace hhh

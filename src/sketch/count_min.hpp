@@ -1,0 +1,64 @@
+// Count-Min sketch (Cormode & Muthukrishnan 2005).
+//
+// d rows of w counters; update adds the item weight to one counter per row,
+// estimate takes the row-wise minimum. Guarantees, for total stream weight
+// N: estimate >= true count, and estimate <= true count + (e/w) * N with
+// probability >= 1 - e^-d. The optional *conservative update* heuristic
+// (Estan & Varghese) only raises counters to the new minimum, tightening
+// the overestimate without affecting the lower bound.
+//
+// This is the generic counting substrate used by per-level HHH detectors
+// and as a baseline in the §3 resource/accuracy benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace hhh {
+
+struct CountMinParams {
+  std::size_t width = 2048;   ///< counters per row (rounded up to pow2)
+  std::size_t depth = 4;      ///< rows
+  bool conservative = false;  ///< conservative-update variant
+  std::uint64_t seed = 0x5EEDC0DE;
+
+  /// Width/depth for target error eps (over-count <= eps*N) with failure
+  /// probability delta: w = ceil(e/eps), d = ceil(ln(1/delta)).
+  static CountMinParams for_error(double eps, double delta, std::uint64_t seed = 0x5EEDC0DE);
+};
+
+class CountMinSketch {
+ public:
+  explicit CountMinSketch(const CountMinParams& params);
+
+  void update(std::uint64_t key, std::uint64_t weight);
+  std::uint64_t estimate(std::uint64_t key) const noexcept;
+
+  /// Total weight inserted (exact; maintained on the side).
+  std::uint64_t total() const noexcept { return total_; }
+
+  void clear();
+
+  /// Merge another sketch built with identical parameters and seed.
+  /// Throws std::invalid_argument on shape mismatch. Merging conservative
+  /// sketches is lossy-safe: counts remain overestimates.
+  void merge(const CountMinSketch& other);
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t memory_bytes() const noexcept { return table_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::size_t index(std::size_t row, std::uint64_t key) const noexcept;
+
+  std::size_t width_;
+  std::size_t depth_;
+  bool conservative_;
+  HashFamily hashes_;
+  std::vector<std::uint64_t> table_;  // row-major depth x width
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hhh

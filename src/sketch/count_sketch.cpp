@@ -1,0 +1,52 @@
+#include "sketch/count_sketch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bit.hpp"
+
+namespace hhh {
+
+CountSketch::CountSketch(std::size_t width, std::size_t depth, std::uint64_t seed)
+    : width_(next_pow2(std::max<std::size_t>(width, 8))),
+      depth_(std::max<std::size_t>(depth, 1)),
+      bucket_hash_(depth_, seed),
+      sign_hash_(depth_, seed ^ 0xABCDEF0123456789ULL),
+      table_(width_ * depth_, 0) {}
+
+std::size_t CountSketch::bucket(std::size_t row, std::uint64_t key) const noexcept {
+  return row * width_ + (bucket_hash_(row, key) & (width_ - 1));
+}
+
+std::int64_t CountSketch::sign(std::size_t row, std::uint64_t key) const noexcept {
+  return (sign_hash_(row, key) & 1) ? 1 : -1;
+}
+
+void CountSketch::update(std::uint64_t key, std::int64_t weight) {
+  for (std::size_t r = 0; r < depth_; ++r) table_[bucket(r, key)] += sign(r, key) * weight;
+}
+
+std::int64_t CountSketch::estimate(std::uint64_t key) const {
+  std::vector<std::int64_t> readings(depth_);
+  for (std::size_t r = 0; r < depth_; ++r) readings[r] = sign(r, key) * table_[bucket(r, key)];
+  std::nth_element(readings.begin(), readings.begin() + depth_ / 2, readings.end());
+  return readings[depth_ / 2];
+}
+
+double CountSketch::f2_estimate() const {
+  std::vector<double> per_row(depth_);
+  for (std::size_t r = 0; r < depth_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < width_; ++c) {
+      const double v = static_cast<double>(table_[r * width_ + c]);
+      sum += v * v;
+    }
+    per_row[r] = sum;
+  }
+  std::nth_element(per_row.begin(), per_row.begin() + depth_ / 2, per_row.end());
+  return per_row[depth_ / 2];
+}
+
+void CountSketch::clear() { std::fill(table_.begin(), table_.end(), 0); }
+
+}  // namespace hhh

@@ -1,0 +1,44 @@
+// Count-Sketch (Charikar, Chen, Farach-Colton 2002).
+//
+// Like Count-Min but with a random sign per (row, key): estimates are
+// unbiased and the error scales with the stream's L2 norm rather than L1,
+// which is what UnivMon's G-sum recursion requires. Estimate = median of
+// the signed row readings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace hhh {
+
+class CountSketch {
+ public:
+  /// width rounded up to a power of two; depth should be odd (median).
+  CountSketch(std::size_t width, std::size_t depth, std::uint64_t seed);
+
+  void update(std::uint64_t key, std::int64_t weight);
+  std::int64_t estimate(std::uint64_t key) const;
+
+  /// Median-of-rows estimate of the second frequency moment, sum f_i^2.
+  double f2_estimate() const;
+
+  void clear();
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t depth() const noexcept { return depth_; }
+  std::size_t memory_bytes() const noexcept { return table_.size() * sizeof(std::int64_t); }
+
+ private:
+  std::size_t bucket(std::size_t row, std::uint64_t key) const noexcept;
+  std::int64_t sign(std::size_t row, std::uint64_t key) const noexcept;
+
+  std::size_t width_;
+  std::size_t depth_;
+  HashFamily bucket_hash_;
+  HashFamily sign_hash_;
+  std::vector<std::int64_t> table_;
+};
+
+}  // namespace hhh

@@ -1,0 +1,95 @@
+#include "sketch/exp_histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hhh {
+
+ExpHistogram::ExpHistogram(std::size_t k, Duration window) : k_(k), window_(window) {
+  if (k == 0) throw std::invalid_argument("ExpHistogram: k must be >= 1");
+  if (window.ns() <= 0) throw std::invalid_argument("ExpHistogram: window must be positive");
+}
+
+void ExpHistogram::add(double weight, TimePoint now) {
+  if (weight <= 0.0) return;
+  expire(now);
+  buckets_.push_back(Bucket{now.ns(), weight,
+                            static_cast<int>(std::floor(std::log2(weight)))});
+  compact();
+}
+
+void ExpHistogram::expire(TimePoint now) const {
+  const std::int64_t cutoff = now.ns() - window_.ns();
+  // A bucket is dropped only once even its *newest* element left the
+  // window; until then it may still straddle the boundary.
+  while (!buckets_.empty() && buckets_.front().newest_ns <= cutoff) buckets_.pop_front();
+}
+
+void ExpHistogram::compact() {
+  // Merge oldest pairs within a size class whenever a class exceeds k_+1
+  // members. Scanning from the back (newest) and counting classes is O(B);
+  // B stays O(k log N) so this is cheap.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Count members per class from newest to oldest; on the (k_+2)-th
+    // member of a class, merge it with the next-older same-class bucket.
+    // Classes are monotonically non-decreasing toward the back in the
+    // classic structure; with weighted inserts they may interleave, so we
+    // do a full scan.
+    for (std::size_t i = buckets_.size(); i-- > 0;) {
+      std::size_t same = 0;
+      for (std::size_t j = buckets_.size(); j-- > i + 1;) {
+        if (buckets_[j].size_class == buckets_[i].size_class) ++same;
+      }
+      if (same >= k_ + 1) {
+        // Merge bucket i into the nearest older same-class bucket (or the
+        // one just before it if none exists).
+        std::size_t target = i;
+        for (std::size_t j = i; j-- > 0;) {
+          if (buckets_[j].size_class == buckets_[i].size_class) {
+            target = j;
+            break;
+          }
+        }
+        if (target == i) {
+          if (i == 0) break;
+          target = i - 1;
+        }
+        buckets_[target].weight += buckets_[i].weight;
+        buckets_[target].newest_ns = std::max(buckets_[target].newest_ns, buckets_[i].newest_ns);
+        buckets_[target].size_class =
+            static_cast<int>(std::floor(std::log2(buckets_[target].weight)));
+        buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(i));
+        merged = true;
+        break;
+      }
+    }
+  }
+}
+
+double ExpHistogram::estimate(TimePoint now) const {
+  expire(now);
+  if (buckets_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& b : buckets_) sum += b.weight;
+  // Half-credit the oldest (possibly straddling) bucket.
+  return sum - buckets_.front().weight / 2.0;
+}
+
+double ExpHistogram::upper_bound(TimePoint now) const {
+  expire(now);
+  double sum = 0.0;
+  for (const auto& b : buckets_) sum += b.weight;
+  return sum;
+}
+
+double ExpHistogram::lower_bound(TimePoint now) const {
+  expire(now);
+  if (buckets_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& b : buckets_) sum += b.weight;
+  return sum - buckets_.front().weight;
+}
+
+}  // namespace hhh

@@ -1,0 +1,59 @@
+// Exponential histogram (Datar, Gionis, Indyk, Motwani 2002), weighted.
+//
+// Approximates the sum of weights that arrived within the trailing window
+// of length W, using O(k log N) buckets, with relative error at most 1/k
+// contributed by the single straddling (oldest) bucket. This is the
+// sliding-window counting substrate behind ref [1]'s family of algorithms
+// and the building block of wcss.hpp's per-key window counts.
+//
+// The weighted generalization keeps buckets of summed weight; a merge
+// happens whenever more than k+1 buckets share a size class (class =
+// floor(log2(weight))). The classic 0/1 bounds carry over with weights
+// because a bucket's class bounds its weight within a factor of two.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/sim_time.hpp"
+
+namespace hhh {
+
+class ExpHistogram {
+ public:
+  /// `k` controls accuracy (error <= oldest bucket <= total/k roughly);
+  /// `window` is the trailing interval the count refers to.
+  ExpHistogram(std::size_t k, Duration window);
+
+  /// Record `weight` at `now`; timestamps must be non-decreasing.
+  void add(double weight, TimePoint now);
+
+  /// Estimate of the weight within (now - window, now]: all live buckets,
+  /// with the conventional half-credit for the straddling oldest bucket.
+  double estimate(TimePoint now) const;
+
+  /// Upper/lower bounds bracketing the true windowed sum.
+  double upper_bound(TimePoint now) const;
+  double lower_bound(TimePoint now) const;
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  Duration window() const noexcept { return window_; }
+
+  void clear() { buckets_.clear(); }
+
+ private:
+  struct Bucket {
+    std::int64_t newest_ns;  // timestamp of the most recent item in bucket
+    double weight;
+    int size_class;
+  };
+
+  void expire(TimePoint now) const;
+  void compact();
+
+  std::size_t k_;
+  Duration window_;
+  mutable std::deque<Bucket> buckets_;  // front = oldest
+};
+
+}  // namespace hhh

@@ -1,0 +1,57 @@
+#include "sketch/misra_gries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhh {
+
+MisraGries::MisraGries(std::size_t capacity) : capacity_(capacity), counters_(capacity * 2) {
+  if (capacity == 0) throw std::invalid_argument("MisraGries: capacity must be >= 1");
+}
+
+void MisraGries::update(std::uint64_t key, double weight) {
+  total_ += weight;
+
+  if (auto* c = counters_.find(key)) {
+    *c += weight;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    *counters_.try_emplace(key).first = weight;
+    return;
+  }
+
+  // All counters busy: subtract the largest amount that zeroes at least one
+  // counter or absorbs the newcomer entirely (weighted MG decrement step).
+  double min_count = weight;
+  counters_.for_each([&](std::uint64_t, double& v) { min_count = std::min(min_count, v); });
+
+  counters_.erase_if([&](std::uint64_t, double& v) {
+    v -= min_count;
+    return v <= 0.0;
+  });
+  const double remaining = weight - min_count;
+  if (remaining > 0.0 && counters_.size() < capacity_) {
+    *counters_.try_emplace(key).first = remaining;
+  }
+}
+
+double MisraGries::estimate(std::uint64_t key) const noexcept {
+  const auto* c = counters_.find(key);
+  return c ? *c : 0.0;
+}
+
+std::vector<MisraGriesEntry> MisraGries::entries() const {
+  std::vector<MisraGriesEntry> out;
+  out.reserve(counters_.size());
+  counters_.for_each(
+      [&](std::uint64_t key, const double& v) { out.push_back(MisraGriesEntry{key, v}); });
+  return out;
+}
+
+void MisraGries::clear() {
+  counters_.clear();
+  total_ = 0.0;
+}
+
+}  // namespace hhh

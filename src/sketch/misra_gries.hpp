@@ -1,0 +1,46 @@
+// Misra-Gries frequent-items summary (1982).
+//
+// The deterministic decrement-based counterpart of Space-Saving: k counters,
+// a new key decrements all counters when none is free. Underestimates:
+//    true count - N/(k+1) <= reported count <= true count.
+// Included as the classic baseline for the §3 accuracy comparison and to
+// cross-check Space-Saving in property tests (SS overestimates, MG
+// underestimates; the truth lies between them).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_hash_map.hpp"
+
+namespace hhh {
+
+struct MisraGriesEntry {
+  std::uint64_t key = 0;
+  double count = 0.0;
+};
+
+class MisraGries {
+ public:
+  explicit MisraGries(std::size_t capacity);
+
+  void update(std::uint64_t key, double weight);
+
+  /// Underestimate of the key's count; 0 if not tracked.
+  double estimate(std::uint64_t key) const noexcept;
+
+  std::vector<MisraGriesEntry> entries() const;
+
+  void clear();
+
+  double total() const noexcept { return total_; }
+  std::size_t size() const noexcept { return counters_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  FlatHashMap<std::uint64_t, double> counters_;
+  double total_ = 0.0;
+};
+
+}  // namespace hhh

@@ -1,0 +1,120 @@
+#include "sketch/space_saving.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhh {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity), index_(capacity * 2) {
+  if (capacity == 0) throw std::invalid_argument("SpaceSaving: capacity must be >= 1");
+  slots_.reserve(capacity);
+  heap_.reserve(capacity);
+}
+
+void SpaceSaving::heap_swap(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  slots_[heap_[a]].heap_pos = a;
+  slots_[heap_[b]].heap_pos = b;
+}
+
+void SpaceSaving::sift_down(std::size_t pos) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * pos + 1;
+    const std::size_t r = l + 1;
+    std::size_t smallest = pos;
+    if (l < n && slots_[heap_[l]].count < slots_[heap_[smallest]].count) smallest = l;
+    if (r < n && slots_[heap_[r]].count < slots_[heap_[smallest]].count) smallest = r;
+    if (smallest == pos) return;
+    heap_swap(pos, smallest);
+    pos = smallest;
+  }
+}
+
+void SpaceSaving::sift_up(std::size_t pos) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (slots_[heap_[parent]].count <= slots_[heap_[pos]].count) return;
+    heap_swap(pos, parent);
+    pos = parent;
+  }
+}
+
+void SpaceSaving::update(std::uint64_t key, double weight) {
+  total_ += weight;
+
+  if (auto* slot_idx = index_.find(key)) {
+    Slot& slot = slots_[*slot_idx];
+    slot.count += weight;
+    sift_down(slot.heap_pos);  // count grew: may need to move away from the top
+    return;
+  }
+
+  if (slots_.size() < capacity_) {
+    const auto idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{key, weight, 0.0, heap_.size()});
+    heap_.push_back(idx);
+    sift_up(slots_[idx].heap_pos);
+    *index_.try_emplace(key).first = idx;
+    return;
+  }
+
+  // Evict the current minimum; the newcomer inherits its count as error.
+  const std::uint32_t victim_idx = heap_[0];
+  Slot& victim = slots_[victim_idx];
+  index_.erase(victim.key);
+  const double inherited = victim.count;
+  victim.key = key;
+  victim.error = inherited;
+  victim.count = inherited + weight;
+  *index_.try_emplace(key).first = victim_idx;
+  sift_down(0);
+}
+
+double SpaceSaving::estimate(std::uint64_t key) const noexcept {
+  const auto* slot_idx = index_.find(key);
+  return slot_idx ? slots_[*slot_idx].count : 0.0;
+}
+
+bool SpaceSaving::tracked(std::uint64_t key) const noexcept { return index_.contains(key); }
+
+double SpaceSaving::min_count() const noexcept {
+  return slots_.size() < capacity_ ? 0.0 : slots_[heap_[0]].count;
+}
+
+std::vector<SpaceSavingEntry> SpaceSaving::entries() const {
+  std::vector<SpaceSavingEntry> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) out.push_back(SpaceSavingEntry{s.key, s.count, s.error});
+  return out;
+}
+
+std::vector<SpaceSavingEntry> SpaceSaving::entries_at_least(double threshold) const {
+  std::vector<SpaceSavingEntry> out;
+  for (const auto& s : slots_) {
+    if (s.count >= threshold) out.push_back(SpaceSavingEntry{s.key, s.count, s.error});
+  }
+  return out;
+}
+
+void SpaceSaving::scale(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("SpaceSaving::scale: negative factor");
+  for (auto& s : slots_) {
+    s.count *= factor;
+    s.error *= factor;
+  }
+  total_ *= factor;
+}
+
+void SpaceSaving::clear() {
+  slots_.clear();
+  heap_.clear();
+  index_.clear();
+  total_ = 0.0;
+}
+
+std::size_t SpaceSaving::memory_bytes() const noexcept {
+  return capacity_ * (sizeof(Slot) + sizeof(std::uint32_t)) + index_.memory_bytes();
+}
+
+}  // namespace hhh

@@ -1,0 +1,89 @@
+// Space-Saving (Metwally, Agrawal, El Abbadi 2005).
+//
+// Maintains at most `capacity` (key, count, error) entries. When a new key
+// arrives and the summary is full, the minimum-count entry is evicted and
+// the newcomer inherits its count as `error`. Guarantees, with total
+// stream weight N and capacity k:
+//    true count <= reported count <= true count + N/k,
+// and every key with true count > N/k is present in the summary. This is
+// the per-level heavy-hitter engine of RHHH, of the baseline windowed HHH
+// detectors, and (with decayed weights) of the time-decaying detector.
+//
+// Counts are doubles so the same implementation serves byte volumes and
+// exponentially decayed volumes; doubles are exact for integer counts up
+// to 2^53, far beyond any per-window byte total here.
+//
+// Implementation: flat hash map key -> slot plus a binary min-heap of
+// slots ordered by count (lazily repaired on increment), O(log k) updates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_hash_map.hpp"
+
+namespace hhh {
+
+struct SpaceSavingEntry {
+  std::uint64_t key = 0;
+  double count = 0.0;
+  double error = 0.0;  ///< inherited overestimate bound
+
+  /// Guaranteed (conservative) lower bound on the true count.
+  double guaranteed() const noexcept { return count - error; }
+};
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity);
+
+  /// Add `weight` to `key`, evicting the minimum entry if necessary.
+  void update(std::uint64_t key, double weight);
+
+  /// Overestimate of the key's count; 0 if not tracked (any untracked key
+  /// has true count <= min_count()).
+  double estimate(std::uint64_t key) const noexcept;
+
+  /// True iff the key currently occupies a summary slot.
+  bool tracked(std::uint64_t key) const noexcept;
+
+  /// Smallest count in the summary (the eviction threshold); 0 if not full.
+  double min_count() const noexcept;
+
+  /// All tracked entries, unordered.
+  std::vector<SpaceSavingEntry> entries() const;
+
+  /// Entries with count >= threshold (the HH query).
+  std::vector<SpaceSavingEntry> entries_at_least(double threshold) const;
+
+  /// Multiply every count/error by `factor` (exponential decay support;
+  /// order statistics are preserved so the heap stays valid).
+  void scale(double factor);
+
+  void clear();
+
+  double total() const noexcept { return total_; }
+  std::size_t size() const noexcept { return slots_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    double count;
+    double error;
+    std::size_t heap_pos;
+  };
+
+  void heap_swap(std::size_t a, std::size_t b);
+  void sift_down(std::size_t pos);
+  void sift_up(std::size_t pos);
+
+  std::size_t capacity_;
+  std::vector<Slot> slots_;             // slot storage, indexed by heap_ entries
+  std::vector<std::uint32_t> heap_;     // min-heap of slot indices by count
+  FlatHashMap<std::uint64_t, std::uint32_t> index_;  // key -> slot
+  double total_ = 0.0;
+};
+
+}  // namespace hhh

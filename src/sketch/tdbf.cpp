@@ -1,0 +1,115 @@
+#include "sketch/tdbf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/bit.hpp"
+
+namespace hhh {
+
+TimeDecayingBloomFilter::TimeDecayingBloomFilter(const Params& params)
+    : cell_count_(next_pow2(std::max<std::size_t>(params.cells, 64))),
+      lifetime_(params.lifetime),
+      hashes_(std::max<std::size_t>(params.hashes, 1), params.seed),
+      cells_(cell_count_, std::numeric_limits<std::int64_t>::min()) {}
+
+void TimeDecayingBloomFilter::insert(std::uint64_t key, TimePoint now) {
+  const std::int64_t deadline = now.ns() + lifetime_.ns();
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    std::int64_t& cell = cells_[hashes_(i, key) & (cell_count_ - 1)];
+    cell = std::max(cell, deadline);
+  }
+}
+
+bool TimeDecayingBloomFilter::maybe_contains(std::uint64_t key, TimePoint now) const noexcept {
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    if (cells_[hashes_(i, key) & (cell_count_ - 1)] < now.ns()) return false;
+  }
+  return true;
+}
+
+double TimeDecayingBloomFilter::fill_ratio(TimePoint now) const noexcept {
+  std::size_t alive = 0;
+  for (const auto deadline : cells_) {
+    if (deadline >= now.ns()) ++alive;
+  }
+  return static_cast<double>(alive) / static_cast<double>(cells_.size());
+}
+
+DecayingCountingBloomFilter::DecayingCountingBloomFilter(const Params& params)
+    : cell_count_(next_pow2(std::max<std::size_t>(params.cells, 64))),
+      inv_half_life_ns_(1.0 / static_cast<double>(params.half_life.ns())),
+      conservative_(params.conservative),
+      hashes_(std::clamp<std::size_t>(params.hashes, 1, 16), params.seed),
+      values_(cell_count_, 0.0),
+      stamps_(cell_count_, 0) {}
+
+double DecayingCountingBloomFilter::decay_factor(std::int64_t from_ns,
+                                                 std::int64_t to_ns) const noexcept {
+  if (to_ns <= from_ns) return 1.0;
+  return std::exp2(-static_cast<double>(to_ns - from_ns) * inv_half_life_ns_);
+}
+
+double DecayingCountingBloomFilter::cell_value_at(std::size_t idx, TimePoint now) const noexcept {
+  return values_[idx] * decay_factor(stamps_[idx], now.ns());
+}
+
+void DecayingCountingBloomFilter::update(std::uint64_t key, double weight, TimePoint now) {
+  // Refresh the global decayed total first.
+  total_value_ = total_value_ * decay_factor(total_stamp_ns_, now.ns()) + weight;
+  total_stamp_ns_ = std::max(total_stamp_ns_, now.ns());
+
+  std::size_t idx[16];
+  const std::size_t k = hashes_.size();
+  for (std::size_t i = 0; i < k; ++i) idx[i] = hashes_(i, key) & (cell_count_ - 1);
+
+  if (!conservative_) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t c = idx[i];
+      values_[c] = values_[c] * decay_factor(stamps_[c], now.ns()) + weight;
+      stamps_[c] = now.ns();
+    }
+    return;
+  }
+
+  // Conservative update on decayed values: bring every cell of the key to
+  // at least (current min + weight), never lower an existing cell.
+  double current_min = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < k; ++i) current_min = std::min(current_min, cell_value_at(idx[i], now));
+  const double target = current_min + weight;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t c = idx[i];
+    const double decayed = values_[c] * decay_factor(stamps_[c], now.ns());
+    values_[c] = std::max(decayed, target);
+    stamps_[c] = now.ns();
+  }
+}
+
+double DecayingCountingBloomFilter::estimate(std::uint64_t key, TimePoint now) const noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < hashes_.size(); ++i) {
+    best = std::min(best, cell_value_at(hashes_(i, key) & (cell_count_ - 1), now));
+  }
+  return best;
+}
+
+double DecayingCountingBloomFilter::total(TimePoint now) const noexcept {
+  return total_value_ * decay_factor(total_stamp_ns_, now.ns());
+}
+
+double DecayingCountingBloomFilter::equivalent_window_seconds() const noexcept {
+  // Steady rate r: decayed mass converges to r * tau with
+  // tau = half_life / ln 2 (integral of 2^(-t/h) over [0, inf)).
+  const double half_life_s = 1.0 / (inv_half_life_ns_ * 1e9);
+  return half_life_s / std::log(2.0);
+}
+
+void DecayingCountingBloomFilter::clear() {
+  std::fill(values_.begin(), values_.end(), 0.0);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  total_value_ = 0.0;
+  total_stamp_ns_ = 0;
+}
+
+}  // namespace hhh

@@ -1,0 +1,129 @@
+// Time-decaying Bloom Filter (Bianchi, d'Heureuse, Niccolini — CCR 2011)
+// and its counting extension: the proof-of-concept structure the paper's
+// §3 proposes for windowless, continuous-time traffic analysis.
+//
+// Two structures are provided.
+//
+// TimeDecayingBloomFilter — the original membership variant. Each cell
+// stores a *deadline* timestamp; insertion writes now + lifetime into the
+// k cells of the key, and a key "is present" while all its cells hold
+// deadlines in the future. Presence therefore decays automatically with
+// time: no windows, no resets, and stale state is overwritten lazily
+// ("on-demand") by later insertions. This is the exact mechanism of the
+// CCR paper, where it tracks recently-active callers.
+//
+// DecayingCountingBloomFilter — the counting extension referenced as
+// "[2]'s extension" in the poster. Cells hold an exponentially decayed
+// volume: a cell read at time t returns  v * 2^-(t - t_last)/tau  where
+// (v, t_last) is the stored pair; updates decay-then-add (optionally with
+// conservative update, raising only the minimal cells). The decayed value
+// of a key estimates its exponentially weighted rate with time constant
+// tau — the continuous-time analogue of "bytes in the last ~tau seconds",
+// with no window boundary to hide bursts behind. A decayed global total is
+// maintained the same way so that relative thresholds (phi * total) carry
+// over from the windowed setting.
+//
+// Decay is evaluated lazily per touched cell (a pow2 per access, or a
+// precomputed table when quantized), so idle cells cost nothing — the
+// property that makes the structure match-action friendly (see
+// dataplane/p4_tdbf, which maps exactly this layout onto pipeline stages).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/sim_time.hpp"
+
+namespace hhh {
+
+/// Membership TDBF: "has this key been seen within the last `lifetime`?"
+class TimeDecayingBloomFilter {
+ public:
+  struct Params {
+    std::size_t cells = 1 << 16;  ///< rounded up to a power of two
+    std::size_t hashes = 4;
+    Duration lifetime = Duration::seconds(10);
+    std::uint64_t seed = 0x7DBF'0001;
+  };
+
+  explicit TimeDecayingBloomFilter(const Params& params);
+
+  /// Record `key` at time `now`; it remains present until now + lifetime.
+  void insert(std::uint64_t key, TimePoint now);
+
+  /// True iff every cell of `key` holds a deadline >= now. No false
+  /// negatives within the lifetime; false positives as in a Bloom filter
+  /// whose effective load is the number of keys seen within one lifetime.
+  bool maybe_contains(std::uint64_t key, TimePoint now) const noexcept;
+
+  /// Fraction of cells still alive at `now` (saturation diagnostic).
+  double fill_ratio(TimePoint now) const noexcept;
+
+  std::size_t cell_count() const noexcept { return cells_.size(); }
+  std::size_t memory_bytes() const noexcept { return cells_.size() * sizeof(std::int64_t); }
+
+ private:
+  std::size_t cell_count_;
+  Duration lifetime_;
+  HashFamily hashes_;
+  std::vector<std::int64_t> cells_;  // deadline in ns; INT64_MIN == never set
+};
+
+/// Counting TDBF with exponential decay — the §3 rate estimator.
+class DecayingCountingBloomFilter {
+ public:
+  struct Params {
+    std::size_t cells = 1 << 16;  ///< rounded up to a power of two
+    std::size_t hashes = 4;
+    /// Half-life of the exponential decay: a burst's contribution halves
+    /// every `half_life`. Chosen near the window length it replaces
+    /// (bench/ablation_decay sweeps this equivalence).
+    Duration half_life = Duration::seconds(10);
+    bool conservative = true;  ///< raise only minimal cells on update
+    std::uint64_t seed = 0x7DBF'0002;
+  };
+
+  explicit DecayingCountingBloomFilter(const Params& params);
+
+  /// Add `weight` (bytes) for `key` at time `now`. Timestamps must be
+  /// non-decreasing across calls (stream order), as in the data plane.
+  void update(std::uint64_t key, double weight, TimePoint now);
+
+  /// Decayed-volume estimate for `key` as of `now` (min over its cells).
+  /// Overestimates (collisions only add), like Count-Min.
+  double estimate(std::uint64_t key, TimePoint now) const noexcept;
+
+  /// Decayed total volume as of `now` — the denominator for relative
+  /// thresholds phi * total.
+  double total(TimePoint now) const noexcept;
+
+  /// Equivalent-window interpretation: a steady rate r measured over a
+  /// disjoint window W yields count r*W; the same rate yields decayed mass
+  /// r * tau_eff with tau_eff = half_life / ln 2. Use this to compare a
+  /// decayed estimate against windowed thresholds.
+  double equivalent_window_seconds() const noexcept;
+
+  void clear();
+
+  std::size_t cell_count() const noexcept { return values_.size(); }
+  std::size_t hash_count() const noexcept { return hashes_.size(); }
+  std::size_t memory_bytes() const noexcept {
+    return values_.size() * (sizeof(double) + sizeof(std::int64_t));
+  }
+
+ private:
+  double decay_factor(std::int64_t from_ns, std::int64_t to_ns) const noexcept;
+  double cell_value_at(std::size_t idx, TimePoint now) const noexcept;
+
+  std::size_t cell_count_;
+  double inv_half_life_ns_;  // 1 / half-life, in 1/ns
+  bool conservative_;
+  HashFamily hashes_;
+  std::vector<double> values_;
+  std::vector<std::int64_t> stamps_;  // last-update time per cell, ns
+  double total_value_ = 0.0;
+  std::int64_t total_stamp_ns_ = 0;
+};
+
+}  // namespace hhh

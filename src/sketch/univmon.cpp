@@ -1,0 +1,98 @@
+#include "sketch/univmon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hhh {
+
+UnivMon::UnivMon(const Params& params) : params_(params), sampler_(params.levels, params.seed) {
+  if (params.levels == 0) throw std::invalid_argument("UnivMon: levels >= 1");
+  levels_.reserve(params.levels);
+  for (std::size_t i = 0; i < params.levels; ++i) {
+    levels_.emplace_back(params.sketch_width >> std::min<std::size_t>(i, 4),  // taper widths
+                         params.sketch_depth, params.seed + 0x1000 + i);
+  }
+}
+
+bool UnivMon::sampled_to(std::uint64_t key, std::size_t level) const noexcept {
+  // Key survives to `level` iff sampling hashes 1..level all accept.
+  for (std::size_t i = 1; i <= level; ++i) {
+    if (sampler_(i - 1, key) & 1) return false;
+  }
+  return true;
+}
+
+void UnivMon::update(std::uint64_t key, std::int64_t weight) {
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    if (!sampled_to(key, level)) break;  // halving substreams are nested
+    Level& lv = levels_[level];
+    lv.sketch.update(key, weight);
+    const std::int64_t est = lv.sketch.estimate(key);
+    // Track as candidate; bounded by periodic trim in level_top().
+    *lv.heap.try_emplace(key).first = est;
+    if (lv.heap.size() > params_.top_k * 4) {
+      // Trim to the top_k strongest candidates to bound memory.
+      auto top = level_top(level);
+      lv.heap.clear();
+      for (const auto& hk : top) *lv.heap.try_emplace(hk.key).first = hk.estimate;
+    }
+  }
+}
+
+std::vector<UnivMon::HeavyKey> UnivMon::level_top(std::size_t level) const {
+  const Level& lv = levels_[level];
+  std::vector<HeavyKey> all;
+  all.reserve(lv.heap.size());
+  lv.heap.for_each([&](std::uint64_t key, const std::int64_t&) {
+    all.push_back(HeavyKey{key, lv.sketch.estimate(key)});
+  });
+  std::sort(all.begin(), all.end(), [](const HeavyKey& a, const HeavyKey& b) {
+    return std::llabs(a.estimate) > std::llabs(b.estimate);
+  });
+  if (all.size() > params_.top_k) all.resize(params_.top_k);
+  return all;
+}
+
+std::vector<UnivMon::HeavyKey> UnivMon::heavy_hitters(std::int64_t threshold) const {
+  std::vector<HeavyKey> out;
+  for (const auto& hk : level_top(0)) {
+    if (hk.estimate >= threshold) out.push_back(hk);
+  }
+  return out;
+}
+
+double UnivMon::g_sum(const std::function<double(double)>& g) const {
+  const std::size_t top_level = levels_.size() - 1;
+  // Y at the deepest level: plain sum over its heavy hitters.
+  double y = 0.0;
+  for (const auto& hk : level_top(top_level)) {
+    y += g(std::abs(static_cast<double>(hk.estimate)));
+  }
+  // Recurse upward.
+  for (std::size_t level = top_level; level-- > 0;) {
+    double corrected = 2.0 * y;
+    for (const auto& hk : level_top(level)) {
+      const double gv = g(std::abs(static_cast<double>(hk.estimate)));
+      // (1 - 2*sampled) term of the UnivMon estimator.
+      corrected += sampled_to(hk.key, level + 1) ? gv - 2.0 * gv : gv;
+    }
+    y = corrected;
+  }
+  return y;
+}
+
+double UnivMon::entropy(double total_weight) const {
+  if (total_weight <= 0.0) return 0.0;
+  const double sum_flogf = g_sum([](double x) { return x <= 1.0 ? 0.0 : x * std::log2(x); });
+  const double h = std::log2(total_weight) - sum_flogf / total_weight;
+  return std::max(0.0, h);
+}
+
+std::size_t UnivMon::memory_bytes() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& lv : levels_) sum += lv.sketch.memory_bytes() + lv.heap.memory_bytes();
+  return sum;
+}
+
+}  // namespace hhh

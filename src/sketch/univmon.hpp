@@ -1,0 +1,82 @@
+// UnivMon (Liu, Manousis, Vorsanger, Sekar, Braverman — SIGCOMM 2016),
+// the paper's reference [4]: universal sketching for flow monitoring.
+//
+// L levels of Count-Sketch; a key reaches level i iff i independent
+// sampling hashes all accept it (each with probability 1/2), halving the
+// substream per level. Each level keeps a heap of its top-k keys by
+// |estimate|. A G-sum (sum g(f_i) over distinct keys) is estimated by the
+// standard bottom-up recursion over levels:
+//     Y_L = sum g(|f|) over level-L heavy hitters
+//     Y_i = 2 * Y_{i+1} - sum_{HH at level i sampled into i+1} g(|f|)
+//           + sum_{HH at level i} g(|f|)   [unsampled correction]
+// Heavy hitters, F2 and (empirical) entropy are exposed; HH detection is
+// what the disjoint-window baseline uses in the §3 comparison.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sketch/count_sketch.hpp"
+#include "util/flat_hash_map.hpp"
+#include "util/hash.hpp"
+
+namespace hhh {
+
+class UnivMon {
+ public:
+  struct Params {
+    std::size_t levels = 8;
+    std::size_t sketch_width = 1024;
+    std::size_t sketch_depth = 5;
+    std::size_t top_k = 64;
+    std::uint64_t seed = 0x0417'1301;
+  };
+
+  explicit UnivMon(const Params& params);
+
+  void update(std::uint64_t key, std::int64_t weight);
+
+  /// Count-Sketch estimate at the base level.
+  std::int64_t estimate(std::uint64_t key) const { return levels_[0].sketch.estimate(key); }
+
+  struct HeavyKey {
+    std::uint64_t key;
+    std::int64_t estimate;
+  };
+
+  /// Level-0 tracked keys with estimate >= threshold.
+  std::vector<HeavyKey> heavy_hitters(std::int64_t threshold) const;
+
+  /// G-sum over distinct keys via the UnivMon recursion.
+  double g_sum(const std::function<double(double)>& g) const;
+
+  /// Second frequency moment estimate (g(x) = x^2).
+  double f2() const { return g_sum([](double x) { return x * x; }); }
+
+  /// Empirical entropy estimate: H = log2(N) - (1/N) sum f log2 f.
+  double entropy(double total_weight) const;
+
+  std::size_t levels() const noexcept { return levels_.size(); }
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct Level {
+    CountSketch sketch;
+    // Tracked candidate keys (bounded): key -> last |estimate|.
+    FlatHashMap<std::uint64_t, std::int64_t> heap;
+    Level(std::size_t width, std::size_t depth, std::uint64_t seed)
+        : sketch(width, depth, seed), heap(128) {}
+  };
+
+  /// Keys tracked at `level`, with fresh estimates, trimmed to top_k.
+  std::vector<HeavyKey> level_top(std::size_t level) const;
+
+  bool sampled_to(std::uint64_t key, std::size_t level) const noexcept;
+
+  Params params_;
+  HashFamily sampler_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace hhh

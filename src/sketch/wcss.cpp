@@ -1,0 +1,90 @@
+#include "sketch/wcss.hpp"
+
+#include <stdexcept>
+
+#include "util/flat_hash_map.hpp"
+
+namespace hhh {
+
+WindowedSpaceSaving::WindowedSpaceSaving(const Params& params) : params_(params) {
+  if (params.frames == 0) throw std::invalid_argument("WindowedSpaceSaving: frames >= 1");
+  if (params.window.ns() <= 0) throw std::invalid_argument("WindowedSpaceSaving: bad window");
+  frame_len_ = params.window / static_cast<std::int64_t>(params.frames);
+  // frames + 1 slots: the window spans at most frames+1 partially-covered
+  // frames; the oldest is included conservatively (overestimate).
+  ring_.reserve(params.frames + 1);
+  for (std::size_t i = 0; i <= params.frames; ++i) {
+    ring_.emplace_back(params.counters_per_frame);
+    ring_frame_.push_back(-1);
+  }
+}
+
+std::int64_t WindowedSpaceSaving::frame_index(TimePoint t) const noexcept {
+  return t.ns() / frame_len_.ns();
+}
+
+void WindowedSpaceSaving::roll(TimePoint now) {
+  const std::int64_t newest = frame_index(now);
+  // Keep frame (newest - frames): it is only *partially* expired and must
+  // be included for the overestimate guarantee. Evict strictly older ones.
+  const std::int64_t oldest_live = newest - static_cast<std::int64_t>(params_.frames);
+  for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+    if (ring_frame_[slot] >= 0 && ring_frame_[slot] < oldest_live) {
+      ring_[slot].clear();
+      ring_frame_[slot] = -1;
+    }
+  }
+}
+
+void WindowedSpaceSaving::update(std::uint64_t key, double weight, TimePoint now) {
+  roll(now);
+  const std::int64_t frame = frame_index(now);
+  const std::size_t slot = static_cast<std::size_t>(frame % static_cast<std::int64_t>(ring_.size()));
+  if (ring_frame_[slot] != frame) {
+    ring_[slot].clear();
+    ring_frame_[slot] = frame;
+  }
+  ring_[slot].update(key, weight);
+}
+
+double WindowedSpaceSaving::estimate(std::uint64_t key, TimePoint now) {
+  roll(now);
+  double sum = 0.0;
+  for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+    if (ring_frame_[slot] >= 0) sum += ring_[slot].estimate(key);
+  }
+  return sum;
+}
+
+double WindowedSpaceSaving::window_total(TimePoint now) {
+  roll(now);
+  double sum = 0.0;
+  for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+    if (ring_frame_[slot] >= 0) sum += ring_[slot].total();
+  }
+  return sum;
+}
+
+std::vector<WindowedSpaceSaving::Candidate> WindowedSpaceSaving::candidates_at_least(
+    double threshold, TimePoint now) {
+  roll(now);
+  // Union of per-frame tracked keys, then merged estimates.
+  FlatHashMap<std::uint64_t, double> merged(1024);
+  for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+    if (ring_frame_[slot] < 0) continue;
+    for (const auto& e : ring_[slot].entries()) merged[e.key] += e.count;
+  }
+  std::vector<Candidate> out;
+  merged.for_each([&](std::uint64_t key, double& est) {
+    if (est >= threshold) out.push_back(Candidate{key, est});
+  });
+  return out;
+}
+
+std::size_t WindowedSpaceSaving::memory_bytes() const noexcept {
+  std::size_t sum = ring_frame_.size() * sizeof(std::int64_t);
+  for (const auto& ss : ring_) sum += ss.memory_bytes();
+  return sum;
+}
+
+}  // namespace hhh

@@ -1,0 +1,68 @@
+// Sliding-window heavy hitters via frame-decomposed Space-Saving —
+// the approach family of ref [1] (Ben-Basat, Einziger, Friedman, Kassner,
+// "Heavy hitters in streams and sliding windows", INFOCOM 2016; WCSS).
+//
+// The trailing window W is split into `frames` equal sub-frames. Each
+// sub-frame owns a Space-Saving summary fed only with that sub-frame's
+// packets; the window query merges the live summaries. Sliding simply
+// retires the oldest frame — no per-item timers.
+//
+// Guarantees (capacity c per frame, m frames, window weight N):
+//  * per-frame Space-Saving error <= N_f / c for its frame weight N_f;
+//  * merged overestimate error <= N / c + (weight of the partially expired
+//    oldest frame), i.e. epsilon-approximate window counts with
+//    epsilon ~ 1/c + 1/m.
+// Every key whose window weight exceeds (1/c + 1/m) * N is reported.
+//
+// This is the sketch-backed engine option of core/sliding_window and the
+// ref-[1] baseline in the §3 benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/space_saving.hpp"
+#include "util/sim_time.hpp"
+
+namespace hhh {
+
+class WindowedSpaceSaving {
+ public:
+  struct Params {
+    Duration window = Duration::seconds(10);
+    std::size_t frames = 8;            ///< sub-frames per window
+    std::size_t counters_per_frame = 512;
+  };
+
+  explicit WindowedSpaceSaving(const Params& params);
+
+  /// Record `weight` for `key` at `now`; timestamps must be non-decreasing.
+  void update(std::uint64_t key, double weight, TimePoint now);
+
+  /// Overestimate of the key's weight within (now - window, now].
+  double estimate(std::uint64_t key, TimePoint now);
+
+  /// Total weight within the live frames (upper bound on window weight).
+  double window_total(TimePoint now);
+
+  /// Keys whose merged estimate reaches `threshold`.
+  struct Candidate {
+    std::uint64_t key;
+    double estimate;
+  };
+  std::vector<Candidate> candidates_at_least(double threshold, TimePoint now);
+
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  /// Retire frames that have fully left the window; open the frame of `now`.
+  void roll(TimePoint now);
+  std::int64_t frame_index(TimePoint t) const noexcept;
+
+  Params params_;
+  Duration frame_len_;
+  std::vector<SpaceSaving> ring_;        // one summary per live frame slot
+  std::vector<std::int64_t> ring_frame_; // which absolute frame a slot holds (-1 empty)
+};
+
+}  // namespace hhh

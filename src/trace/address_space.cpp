@@ -1,0 +1,67 @@
+#include "trace/address_space.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trace/zipf.hpp"
+
+namespace hhh {
+namespace {
+
+/// Draw `count` distinct values in [0, range) (range >> count in practice).
+std::vector<std::uint32_t> distinct_values(std::size_t count, std::uint32_t range, Rng& rng) {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const auto v = static_cast<std::uint32_t>(rng.below(range));
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+AddressSpace::AddressSpace(const AddressSpaceConfig& config, Rng& rng) {
+  if (config.host_count() == 0) throw std::invalid_argument("AddressSpace: empty population");
+
+  const auto w8 = zipf_weights(config.num_slash8, config.zipf_s8);
+  const auto w16 = zipf_weights(config.slash16_per_8, config.zipf_s16);
+  const auto w24 = zipf_weights(config.slash24_per_16, config.zipf_s24);
+  const auto wh = zipf_weights(config.hosts_per_24, config.zipf_host);
+
+  hosts_.reserve(config.host_count());
+  weights_.reserve(config.host_count());
+
+  // Reserve 1-99 for /8 blocks (avoids 0, 127 would be fine but keep it
+  // simple and realistic-looking); shuffle so that popularity is not
+  // correlated with numeric order.
+  auto blocks8 = distinct_values(config.num_slash8, 98, rng);
+  for (auto& b : blocks8) b += 1;
+
+  for (std::size_t i8 = 0; i8 < config.num_slash8; ++i8) {
+    const auto sub16 = distinct_values(config.slash16_per_8, 256, rng);
+    for (std::size_t i16 = 0; i16 < config.slash16_per_8; ++i16) {
+      const auto sub24 = distinct_values(config.slash24_per_16, 256, rng);
+      for (std::size_t i24 = 0; i24 < config.slash24_per_16; ++i24) {
+        const auto low = distinct_values(config.hosts_per_24, 254, rng);
+        for (std::size_t ih = 0; ih < config.hosts_per_24; ++ih) {
+          const std::uint32_t bits = (blocks8[i8] << 24) | (sub16[i16] << 16) |
+                                     (sub24[i24] << 8) | (low[ih] + 1);
+          hosts_.push_back(Ipv4Address(bits));
+          weights_.push_back(w8[i8] * w16[i16] * w24[i24] * wh[ih]);
+        }
+      }
+    }
+  }
+
+  sampler_ = DiscreteSampler(weights_);
+}
+
+Ipv4Address AddressSpace::random_destination(Rng& rng) const noexcept {
+  // Destinations live in 128.0.0.0/2 so they never collide with the modeled
+  // source population; the paper's analysis is on source addresses only.
+  const std::uint32_t bits = 0x8000'0000u | static_cast<std::uint32_t>(rng.below(1u << 30));
+  return Ipv4Address(bits);
+}
+
+}  // namespace hhh

@@ -1,0 +1,77 @@
+// Hierarchical address-space model.
+//
+// Real backbone traffic concentrates mass at every aggregation level: a few
+// /8s carry most bytes, inside each hot /8 a few /16s dominate, and so on.
+// Reproducing that structure matters because HHHs are *defined* per level —
+// a flat Zipf over hosts would produce leaf heavy hitters but too little
+// conditioned mass at /16 and /8.
+//
+// The model samples a fixed population of hosts as a product-form
+// hierarchy: Zipf-weighted /8 blocks, Zipf-weighted /16s inside each /8,
+// Zipf-weighted /24s inside each /16, and Zipf-weighted hosts inside each
+// /24. A host's stationary popularity is the product of its ancestors'
+// weights; background traffic draws hosts from this distribution via an
+// alias sampler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+
+struct AddressSpaceConfig {
+  // Sized so that *aggregates* (/8s, a few /16s) are the only prefixes
+  // persistently above ~1 % of bytes, while individual hosts and /24s are
+  // too weak to qualify without bursting — matching backbone traces where
+  // low-threshold HHH sets are dominated by transients (see EXPERIMENTS.md
+  // calibration notes).
+  std::size_t num_slash8 = 48;       ///< distinct /8 blocks in the mix
+  std::size_t slash16_per_8 = 32;    ///< /16s inside each /8
+  std::size_t slash24_per_16 = 16;   ///< /24s inside each /16
+  std::size_t hosts_per_24 = 16;     ///< active hosts inside each /24
+  double zipf_s8 = 0.95;              ///< skew across /8 blocks
+  double zipf_s16 = 0.95;             ///< skew across /16s within a /8
+  double zipf_s24 = 0.9;             ///< skew across /24s within a /16
+  double zipf_host = 0.5;            ///< skew across hosts within a /24
+
+  std::size_t host_count() const noexcept {
+    return num_slash8 * slash16_per_8 * slash24_per_16 * hosts_per_24;
+  }
+};
+
+/// A fixed population of source addresses with Zipf-hierarchical popularity.
+class AddressSpace {
+ public:
+  /// Builds the population deterministically from `rng`.
+  AddressSpace(const AddressSpaceConfig& config, Rng& rng);
+
+  std::size_t size() const noexcept { return hosts_.size(); }
+
+  /// Host by index (indices are popularity-unordered).
+  Ipv4Address host(std::size_t i) const noexcept { return hosts_[i]; }
+
+  /// Stationary popularity of host i (weights sum to 1).
+  double weight(std::size_t i) const noexcept { return weights_[i]; }
+
+  /// Draw a host index according to the stationary popularity.
+  std::size_t sample(Rng& rng) const noexcept { return sampler_.sample(rng); }
+
+  /// Draw a uniformly random host index (used to pick burst actors so that
+  /// bursts are not dominated by already-heavy sources).
+  std::size_t sample_uniform(Rng& rng) const noexcept { return rng.below(hosts_.size()); }
+
+  /// A destination address outside the modeled source population.
+  Ipv4Address random_destination(Rng& rng) const noexcept;
+
+  const std::vector<Ipv4Address>& hosts() const noexcept { return hosts_; }
+
+ private:
+  std::vector<Ipv4Address> hosts_;
+  std::vector<double> weights_;
+  DiscreteSampler sampler_;
+};
+
+}  // namespace hhh

@@ -1,0 +1,14 @@
+#include "trace/flow_model.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hhh {
+
+double RateModulation::factor(TimePoint t) const noexcept {
+  if (amplitude <= 0.0) return 1.0;
+  const double omega = 2.0 * std::numbers::pi / period.to_seconds();
+  return 1.0 + amplitude * std::sin(omega * t.to_seconds() + phase);
+}
+
+}  // namespace hhh

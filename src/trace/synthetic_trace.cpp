@@ -1,0 +1,218 @@
+#include "trace/synthetic_trace.hpp"
+
+#include <cassert>
+
+#include "util/bit.hpp"
+
+namespace hhh {
+
+TraceConfig TraceConfig::caida_like_day(int day, Duration duration, double background_pps) {
+  TraceConfig cfg;
+  cfg.seed = 0x5EED'0000u + static_cast<std::uint64_t>(day) * 0x9E37u;
+  cfg.duration = duration;
+  cfg.background_pps = background_pps;
+  // Day-to-day variation: different diurnal phase and mildly different
+  // burstiness, as successive capture days exhibit.
+  cfg.modulation.phase = 0.9 * day;
+  cfg.modulation.amplitude = 0.10 + 0.02 * (day % 3);
+  cfg.bursts.spawn_rate *= 1.0 + 0.12 * (day % 4);
+  // Burst rates scale with the background so that burst volumes keep the
+  // same *relative* position against per-window thresholds when the trace
+  // is scaled down (--quick) or up (--full).
+  const double rate_scale = background_pps / 2500.0;
+  cfg.bursts.pps_min *= rate_scale;
+  cfg.bursts.pps_max *= rate_scale;
+  return cfg;
+}
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(const TraceConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      space_(config.address_space, rng_),
+      background_peak_rate_(config.background_pps * config.modulation.peak_factor()) {
+  schedule_background(TimePoint());
+  if (config_.bursts_enabled && config_.bursts.spawn_rate > 0.0) {
+    schedule_burst_spawn(TimePoint());
+  }
+  if (config_.bursts_enabled && config_.bursts.hover_spawn_rate > 0.0) {
+    schedule_hover_spawn(TimePoint());
+  }
+  if (config_.bursts_enabled && config_.bursts.surge_spawn_rate > 0.0) {
+    schedule_surge_spawn(TimePoint());
+  }
+  for (std::uint32_t i = 0; i < config_.episodes.size(); ++i) {
+    events_.push(Event{config_.episodes[i].start, EventKind::kEpisodePacket, i});
+  }
+}
+
+void SyntheticTraceGenerator::schedule_background(TimePoint after) {
+  // Thinning (Lewis-Shedler): schedule at the peak rate, accept in next().
+  const TimePoint at = after + Duration::from_seconds(rng_.exponential(background_peak_rate_));
+  events_.push(Event{at, EventKind::kBackground, 0});
+}
+
+void SyntheticTraceGenerator::schedule_burst_spawn(TimePoint after) {
+  const TimePoint at = after + Duration::from_seconds(rng_.exponential(config_.bursts.spawn_rate));
+  events_.push(Event{at, EventKind::kBurstSpawn, 0});
+}
+
+void SyntheticTraceGenerator::schedule_hover_spawn(TimePoint after) {
+  const double rate = config_.bursts.hover_spawn_rate + config_.bursts.hover5_spawn_rate;
+  const TimePoint at = after + Duration::from_seconds(rng_.exponential(rate));
+  events_.push(Event{at, EventKind::kHoverSpawn, 0});
+}
+
+void SyntheticTraceGenerator::schedule_surge_spawn(TimePoint after) {
+  const TimePoint at =
+      after + Duration::from_seconds(rng_.exponential(config_.bursts.surge_spawn_rate));
+  events_.push(Event{at, EventKind::kSurgeSpawn, 0});
+}
+
+void SyntheticTraceGenerator::spawn_burst(TimePoint at, BurstClass burst_class) {
+  ++bursts_spawned_;
+  Burst burst;
+  switch (burst_class) {
+    case BurstClass::kHover: {
+      // Split the hover population between the 1 % band and the 5 % band
+      // (see BurstModel::hover5_*), proportionally to the spawn rates.
+      const double p5 = config_.bursts.hover5_spawn_rate /
+                        (config_.bursts.hover_spawn_rate + config_.bursts.hover5_spawn_rate);
+      if (rng_.chance(p5)) {
+        burst.end = at + Duration::from_seconds(rng_.bounded_pareto(
+                             config_.bursts.hover5_duration_min_s,
+                             config_.bursts.hover5_duration_max_s,
+                             config_.bursts.hover5_duration_alpha));
+        burst.pps = config_.background_pps *
+                    rng_.uniform(config_.bursts.hover5_rate_frac_min,
+                                 config_.bursts.hover5_rate_frac_max);
+      } else {
+        burst.end = at + config_.bursts.sample_hover_duration(rng_);
+        burst.pps = config_.bursts.sample_hover_pps(rng_, config_.background_pps);
+      }
+      break;
+    }
+    case BurstClass::kSurge:
+      burst.end = at + config_.bursts.sample_surge_duration(rng_);
+      burst.pps = config_.bursts.sample_surge_pps(rng_, config_.background_pps);
+      break;
+    case BurstClass::kSpike:
+      burst.end = at + config_.bursts.sample_duration(rng_);
+      burst.pps = config_.bursts.sample_pps(rng_);
+      break;
+  }
+  burst.active = true;
+
+  const Ipv4Address actor = space_.host(space_.sample_uniform(rng_));
+  const double u = rng_.uniform();
+  if (u < config_.bursts.group16_prob) {
+    burst.prefix = Ipv4Prefix(actor, 16);
+  } else if (u < config_.bursts.group16_prob + config_.bursts.group24_prob) {
+    burst.prefix = Ipv4Prefix(actor, 24);
+  } else {
+    burst.prefix = Ipv4Prefix(actor, 32);
+  }
+
+  std::uint32_t slot;
+  if (!free_burst_slots_.empty()) {
+    slot = free_burst_slots_.back();
+    free_burst_slots_.pop_back();
+    bursts_[slot] = burst;
+  } else {
+    slot = static_cast<std::uint32_t>(bursts_.size());
+    bursts_.push_back(burst);
+  }
+  events_.push(Event{at + Duration::from_seconds(rng_.exponential(burst.pps)),
+                     EventKind::kBurstPacket, slot});
+}
+
+Ipv4Address SyntheticTraceGenerator::burst_source(const Burst& burst) {
+  if (burst.prefix.is_host()) return burst.prefix.address();
+  // Group burst: a random member of the prefix (flash-crowd / reflector mix).
+  const unsigned host_bits = 32 - burst.prefix.length();
+  const std::uint32_t suffix = static_cast<std::uint32_t>(rng_.below(std::uint64_t{1} << host_bits));
+  return Ipv4Address(burst.prefix.bits() | suffix);
+}
+
+PacketRecord SyntheticTraceGenerator::make_packet(TimePoint at, Ipv4Address src,
+                                                  std::uint32_t forced_len) {
+  PacketRecord p;
+  p.ts = at;
+  p.src = src;
+  p.dst = space_.random_destination(rng_);
+  p.src_port = static_cast<std::uint16_t>(1024 + rng_.below(64512));
+  p.dst_port = rng_.chance(0.6) ? 443 : static_cast<std::uint16_t>(rng_.below(65536));
+  p.proto = rng_.chance(0.8) ? IpProto::kTcp : IpProto::kUdp;
+  p.ip_len = forced_len != 0 ? forced_len : config_.sizes.sample(rng_);
+  ++emitted_;
+  return p;
+}
+
+std::optional<PacketRecord> SyntheticTraceGenerator::next() {
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    if (ev.at.ns() >= config_.duration.ns()) return std::nullopt;  // heap is time-ordered
+    events_.pop();
+
+    switch (ev.kind) {
+      case EventKind::kBackground: {
+        schedule_background(ev.at);
+        // Thinning acceptance for the modulated rate.
+        if (rng_.uniform() * config_.modulation.peak_factor() <=
+            config_.modulation.factor(ev.at)) {
+          return make_packet(ev.at, space_.host(space_.sample(rng_)));
+        }
+        break;
+      }
+      case EventKind::kBurstSpawn: {
+        schedule_burst_spawn(ev.at);
+        spawn_burst(ev.at, BurstClass::kSpike);
+        break;
+      }
+      case EventKind::kHoverSpawn: {
+        schedule_hover_spawn(ev.at);
+        spawn_burst(ev.at, BurstClass::kHover);
+        break;
+      }
+      case EventKind::kSurgeSpawn: {
+        schedule_surge_spawn(ev.at);
+        spawn_burst(ev.at, BurstClass::kSurge);
+        break;
+      }
+      case EventKind::kBurstPacket: {
+        Burst& burst = bursts_[ev.index];
+        if (!burst.active) break;
+        if (ev.at >= burst.end) {
+          burst.active = false;
+          free_burst_slots_.push_back(ev.index);
+          break;
+        }
+        events_.push(Event{ev.at + Duration::from_seconds(rng_.exponential(burst.pps)),
+                           EventKind::kBurstPacket, ev.index});
+        return make_packet(ev.at, burst_source(burst));
+      }
+      case EventKind::kEpisodePacket: {
+        const DdosEpisode& ep = config_.episodes[ev.index];
+        if (ev.at >= ep.start + ep.duration) break;
+        events_.push(Event{ev.at + Duration::from_seconds(rng_.exponential(ep.pps)),
+                           EventKind::kEpisodePacket, ev.index});
+        const unsigned host_bits = 32 - ep.source_prefix.length();
+        const std::uint32_t suffix = host_bits >= 32
+            ? static_cast<std::uint32_t>(rng_.next())
+            : static_cast<std::uint32_t>(rng_.below(std::uint64_t{1} << host_bits));
+        PacketRecord p = make_packet(ev.at, Ipv4Address(ep.source_prefix.bits() | suffix));
+        p.dst = ep.target;
+        p.proto = IpProto::kUdp;
+        return p;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<PacketRecord> SyntheticTraceGenerator::generate_all() {
+  std::vector<PacketRecord> out;
+  while (auto p = next()) out.push_back(*p);
+  return out;
+}
+
+}  // namespace hhh

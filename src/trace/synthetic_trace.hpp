@@ -1,0 +1,109 @@
+// Event-driven synthetic trace generator (the CAIDA stand-in).
+//
+// Produces a time-ordered stream of PacketRecord from three superimposed
+// processes:
+//
+//  1. Background: Poisson packet arrivals (rate modulated by
+//     RateModulation), sources drawn from the hierarchical-Zipf
+//     AddressSpace. This yields the *stable* HHHs every detector finds.
+//  2. Bursts: a Poisson process of ON periods (BurstModel) — single hosts,
+//     /24 groups or /16 groups emitting at heavy-tailed rates for
+//     heavy-tailed durations. These create the *transient* HHHs whose
+//     visibility depends on window alignment, i.e. the paper's hidden HHHs.
+//  3. Scripted DdosEpisodes, if configured.
+//
+// Implementation: a binary min-heap of pending events (next background
+// packet, per-burst next packet, next burst spawn, episode activations).
+// Generation is fully deterministic given TraceConfig::seed. next() is a
+// pull interface so multi-gigapacket traces never need to be materialized;
+// generate_all() is a convenience for tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "trace/address_space.hpp"
+#include "trace/flow_model.hpp"
+#include "util/random.hpp"
+#include "util/sim_time.hpp"
+
+namespace hhh {
+
+struct TraceConfig {
+  std::uint64_t seed = 1;
+  Duration duration = Duration::seconds(600);
+  double background_pps = 4000.0;
+  AddressSpaceConfig address_space;
+  PacketSizeModel sizes;
+  RateModulation modulation;
+  BurstModel bursts;
+  bool bursts_enabled = true;
+  std::vector<DdosEpisode> episodes;
+
+  /// A per-"day" preset: same structural parameters, day-specific seed and
+  /// modulation phase, mirroring the paper's four one-hour days.
+  static TraceConfig caida_like_day(int day, Duration duration, double background_pps = 4000.0);
+};
+
+class SyntheticTraceGenerator {
+ public:
+  explicit SyntheticTraceGenerator(const TraceConfig& config);
+
+  /// Next packet in timestamp order; nullopt once `duration` is exhausted.
+  std::optional<PacketRecord> next();
+
+  /// Drain the generator into a vector (tests / small traces only).
+  std::vector<PacketRecord> generate_all();
+
+  const TraceConfig& config() const noexcept { return config_; }
+  std::uint64_t packets_emitted() const noexcept { return emitted_; }
+  std::uint64_t bursts_spawned() const noexcept { return bursts_spawned_; }
+
+ private:
+  enum class EventKind : std::uint8_t {
+    kBackground,
+    kBurstPacket,
+    kBurstSpawn,
+    kHoverSpawn,
+    kSurgeSpawn,
+    kEpisodePacket,
+  };
+
+  struct Event {
+    TimePoint at;
+    EventKind kind;
+    std::uint32_t index;  // burst slot or episode index
+    bool operator>(const Event& o) const noexcept { return at > o.at; }
+  };
+
+  struct Burst {
+    TimePoint end;
+    double pps = 0.0;
+    Ipv4Prefix prefix;   // /32 for host bursts, /24 or /16 for group bursts
+    bool active = false;
+  };
+
+  void schedule_background(TimePoint after);
+  void schedule_burst_spawn(TimePoint after);
+  void schedule_hover_spawn(TimePoint after);
+  void schedule_surge_spawn(TimePoint after);
+  enum class BurstClass : std::uint8_t { kSpike, kHover, kSurge };
+  void spawn_burst(TimePoint at, BurstClass burst_class);
+  PacketRecord make_packet(TimePoint at, Ipv4Address src, std::uint32_t forced_len = 0);
+  Ipv4Address burst_source(const Burst& burst);
+
+  TraceConfig config_;
+  Rng rng_;
+  AddressSpace space_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Burst> bursts_;
+  std::vector<std::uint32_t> free_burst_slots_;
+  double background_peak_rate_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t bursts_spawned_ = 0;
+};
+
+}  // namespace hhh

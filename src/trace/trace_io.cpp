@@ -1,0 +1,160 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace hhh {
+namespace {
+
+constexpr char kMagic[4] = {'H', 'H', 'T', '1'};
+
+#pragma pack(push, 1)
+struct DiskRecordFull {
+  std::int64_t ts_ns;
+  std::uint32_t src;
+  std::uint32_t dst;
+  std::uint32_t ip_len;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint8_t proto;
+  std::uint8_t pad;
+};
+#pragma pack(pop)
+static_assert(sizeof(DiskRecordFull) == 26, "on-disk layout drift");
+
+DiskRecordFull to_disk(const PacketRecord& p) noexcept {
+  DiskRecordFull d{};
+  d.ts_ns = p.ts.ns();
+  d.src = p.src.bits();
+  d.dst = p.dst.bits();
+  d.src_port = p.src_port;
+  d.dst_port = p.dst_port;
+  d.proto = static_cast<std::uint8_t>(p.proto);
+  d.ip_len = p.ip_len;
+  return d;
+}
+
+PacketRecord from_disk(const DiskRecordFull& d) noexcept {
+  PacketRecord p;
+  p.ts = TimePoint::from_ns(d.ts_ns);
+  p.src = Ipv4Address(d.src);
+  p.dst = Ipv4Address(d.dst);
+  p.src_port = d.src_port;
+  p.dst_port = d.dst_port;
+  switch (d.proto) {
+    case 6: p.proto = IpProto::kTcp; break;
+    case 17: p.proto = IpProto::kUdp; break;
+    case 1: p.proto = IpProto::kIcmp; break;
+    default: p.proto = IpProto::kOther; break;
+  }
+  p.ip_len = d.ip_len;
+  return p;
+}
+
+}  // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("BinaryTraceWriter: cannot create " + path);
+  out_.write(kMagic, sizeof kMagic);
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() { flush(); }
+
+void BinaryTraceWriter::write(const PacketRecord& p) {
+  const DiskRecordFull d = to_disk(p);
+  out_.write(reinterpret_cast<const char*>(&d), sizeof d);
+  if (!out_) throw std::runtime_error("BinaryTraceWriter: write failed");
+  ++written_;
+}
+
+void BinaryTraceWriter::flush() { out_.flush(); }
+
+BinaryTraceReader::BinaryTraceReader(const std::string& path) : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("BinaryTraceReader: cannot open " + path);
+  char magic[4];
+  in_.read(magic, sizeof magic);
+  if (in_.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("BinaryTraceReader: bad magic in " + path);
+  }
+}
+
+std::optional<PacketRecord> BinaryTraceReader::next() {
+  DiskRecordFull d;
+  in_.read(reinterpret_cast<char*>(&d), sizeof d);
+  if (static_cast<std::size_t>(in_.gcount()) != sizeof d) return std::nullopt;
+  ++read_;
+  return from_disk(d);
+}
+
+CsvTraceWriter::CsvTraceWriter(const std::string& path) : out_(path, std::ios::trunc) {
+  if (!out_) throw std::runtime_error("CsvTraceWriter: cannot create " + path);
+  out_ << "ts_ns,src,dst,src_port,dst_port,proto,ip_len\n";
+}
+
+void CsvTraceWriter::write(const PacketRecord& p) {
+  out_ << p.ts.ns() << ',' << p.src.to_string() << ',' << p.dst.to_string() << ','
+       << p.src_port << ',' << p.dst_port << ',' << static_cast<int>(p.proto) << ','
+       << p.ip_len << '\n';
+}
+
+void CsvTraceWriter::flush() { out_.flush(); }
+
+CsvTraceReader::CsvTraceReader(const std::string& path) : in_(path) {
+  if (!in_) throw std::runtime_error("CsvTraceReader: cannot open " + path);
+  std::string header;
+  std::getline(in_, header);  // skip header row
+}
+
+std::optional<PacketRecord> CsvTraceReader::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    const auto fields = split(line, ',');
+    if (fields.size() != 7) {
+      ++skipped_;
+      continue;
+    }
+    std::uint64_t ts = 0;
+    std::uint64_t sport = 0;
+    std::uint64_t dport = 0;
+    std::uint64_t proto = 0;
+    std::uint64_t len = 0;
+    const auto src = Ipv4Address::parse(fields[1]);
+    const auto dst = Ipv4Address::parse(fields[2]);
+    if (!parse_u64(fields[0], ts) || !src || !dst || !parse_u64(fields[3], sport) ||
+        !parse_u64(fields[4], dport) || !parse_u64(fields[5], proto) ||
+        !parse_u64(fields[6], len) || sport > 0xFFFF || dport > 0xFFFF) {
+      ++skipped_;
+      continue;
+    }
+    PacketRecord p;
+    p.ts = TimePoint::from_ns(static_cast<std::int64_t>(ts));
+    p.src = *src;
+    p.dst = *dst;
+    p.src_port = static_cast<std::uint16_t>(sport);
+    p.dst_port = static_cast<std::uint16_t>(dport);
+    p.proto = proto == 6 ? IpProto::kTcp
+              : proto == 17 ? IpProto::kUdp
+              : proto == 1 ? IpProto::kIcmp
+                           : IpProto::kOther;
+    p.ip_len = static_cast<std::uint32_t>(len);
+    return p;
+  }
+  return std::nullopt;
+}
+
+void write_binary_trace(const std::string& path, const std::vector<PacketRecord>& packets) {
+  BinaryTraceWriter w(path);
+  for (const auto& p : packets) w.write(p);
+}
+
+std::vector<PacketRecord> read_binary_trace(const std::string& path) {
+  BinaryTraceReader r(path);
+  std::vector<PacketRecord> out;
+  while (auto p = r.next()) out.push_back(*p);
+  return out;
+}
+
+}  // namespace hhh

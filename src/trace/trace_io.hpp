@@ -1,0 +1,78 @@
+// Compact trace persistence: binary ("HHT1") and CSV formats.
+//
+// The binary format is a fixed 24-byte little-endian record per packet —
+// compact enough to store an hour of backbone-scale traffic, and the
+// reader streams so traces never have to fit in memory. CSV is provided
+// for interoperability with ad-hoc tooling (one packet per line:
+// ts_ns,src,dst,sport,dport,proto,ip_len).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace hhh {
+
+class BinaryTraceWriter {
+ public:
+  /// Creates/truncates `path`; throws std::runtime_error on failure.
+  explicit BinaryTraceWriter(const std::string& path);
+  ~BinaryTraceWriter();
+
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  void write(const PacketRecord& p);
+  void flush();
+  std::uint64_t packets_written() const noexcept { return written_; }
+
+ private:
+  std::ofstream out_;
+  std::uint64_t written_ = 0;
+};
+
+class BinaryTraceReader {
+ public:
+  /// Opens `path`; throws std::runtime_error on failure or bad magic.
+  explicit BinaryTraceReader(const std::string& path);
+
+  std::optional<PacketRecord> next();
+  std::uint64_t packets_read() const noexcept { return read_; }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t read_ = 0;
+};
+
+class CsvTraceWriter {
+ public:
+  explicit CsvTraceWriter(const std::string& path);
+  void write(const PacketRecord& p);
+  void flush();
+
+ private:
+  std::ofstream out_;
+};
+
+class CsvTraceReader {
+ public:
+  explicit CsvTraceReader(const std::string& path);
+
+  /// Next well-formed row; malformed rows are skipped and counted.
+  std::optional<PacketRecord> next();
+  std::uint64_t rows_skipped() const noexcept { return skipped_; }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t skipped_ = 0;
+};
+
+/// Convenience: write/read a whole trace.
+void write_binary_trace(const std::string& path, const std::vector<PacketRecord>& packets);
+std::vector<PacketRecord> read_binary_trace(const std::string& path);
+
+}  // namespace hhh

@@ -1,0 +1,56 @@
+#include "trace/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hhh {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (s < 0.0 || !std::isfinite(s)) throw std::invalid_argument("ZipfSampler: bad exponent");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -s));
+}
+
+double ZipfSampler::h(double x) const {
+  // H(x) = (x^(1-s) - 1) / (1-s), continuously extended to log(x) at s == 1.
+  const double one_minus_s = 1.0 - s_;
+  if (std::abs(one_minus_s) < 1e-12) return std::log(x);
+  return (std::pow(x, one_minus_s) - 1.0) / one_minus_s;
+}
+
+double ZipfSampler::h_inv(double x) const {
+  const double one_minus_s = 1.0 - s_;
+  if (std::abs(one_minus_s) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + one_minus_s * x, 1.0 / one_minus_s);
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);  // u in (H(1.5)-1, H(n+0.5)]
+    const double x = h_inv(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    // Accept k if u lies within its bucket (rejection-inversion test).
+    if (static_cast<double>(k) - x <= threshold_ ||
+        u >= h(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+std::vector<double> zipf_weights(std::size_t n, double s) {
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    w[k] = std::pow(static_cast<double>(k + 1), -s);
+    sum += w[k];
+  }
+  for (auto& v : w) v /= sum;
+  return w;
+}
+
+}  // namespace hhh

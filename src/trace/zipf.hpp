@@ -1,0 +1,49 @@
+// Zipf(s, N) samplers.
+//
+// Internet address popularity is famously Zipf-like; the trace generator
+// uses Zipf draws at every level of the address hierarchy. Two samplers:
+//
+//  * ZipfSampler — rejection-inversion (Hörmann & Derflinger 1996): exact,
+//    O(1) expected time, O(1) memory, any N up to 2^62, any s >= 0
+//    (s == 1 handled via the log closed form). Used when N is large or the
+//    distribution is sampled only a few times.
+//  * DiscreteSampler (util/random.hpp) over precomputed Zipf weights — O(1)
+//    per draw after O(N) setup; zipf_weights() builds the weight vector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hhh {
+
+/// Exact Zipf(s, n) sampler over ranks {1, ..., n}: P(k) proportional to k^-s.
+class ZipfSampler {
+ public:
+  /// Requirements: n >= 1, s >= 0. Throws std::invalid_argument otherwise.
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draw a rank in [1, n].
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double s() const noexcept { return s_; }
+
+ private:
+  // H(x) = integral of x^-s: the generalized harmonic integral used by
+  // rejection-inversion; h_inv is its inverse.
+  double h(double x) const;
+  double h_inv(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;       // H(1.5) - 1
+  double h_n_;        // H(n + 0.5)
+  double threshold_;  // acceptance shortcut for rank 1
+};
+
+/// Normalized Zipf weight vector: w[k] proportional to (k+1)^-s, sum = 1.
+std::vector<double> zipf_weights(std::size_t n, double s);
+
+}  // namespace hhh

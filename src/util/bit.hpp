@@ -1,0 +1,39 @@
+// Bit-manipulation helpers shared by sketches, tries and prefix arithmetic.
+//
+// Everything here is constexpr and branch-light; these functions sit on the
+// per-packet hot path of every detector in the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace hhh {
+
+/// Round `v` up to the next power of two (returns 1 for v == 0).
+constexpr std::uint64_t next_pow2(std::uint64_t v) noexcept {
+  if (v <= 1) return 1;
+  return std::uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+/// True iff `v` is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// floor(log2(v)); undefined for v == 0 at the call sites, returns 0 here.
+constexpr unsigned floor_log2(std::uint64_t v) noexcept {
+  return v == 0 ? 0u : 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// A 32-bit mask with the top `len` bits set (len in [0,32]).
+constexpr std::uint32_t prefix_mask32(unsigned len) noexcept {
+  return len == 0 ? 0u : (len >= 32 ? 0xFFFF'FFFFu : ~0u << (32u - len));
+}
+
+/// Reduce a 64-bit hash onto [0, n) without modulo bias (Lemire reduction).
+constexpr std::uint64_t fast_range(std::uint64_t hash, std::uint64_t n) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(hash) * static_cast<unsigned __int128>(n)) >> 64);
+}
+
+}  // namespace hhh

@@ -1,0 +1,83 @@
+// Non-cryptographic hashing for sketches and hash tables.
+//
+// The library deliberately implements its own hashing rather than relying on
+// std::hash: sketch error bounds assume (approximately) pairwise-independent
+// hash families with explicit seeds, and std::hash gives no such guarantee
+// (for integers it is commonly the identity).
+//
+// Two primitives are provided:
+//  * xxhash64(data, len, seed) — a faithful xxHash64 for byte strings,
+//  * mix64(x) / hash_u64(x, seed) — strong 64-bit finalizers for fixed-width
+//    keys (the per-packet hot path; IPv4 keys are 32/64-bit integers).
+//
+// HashFamily wraps `k` independently seeded instances for multi-row sketches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hhh {
+
+/// xxHash64 over an arbitrary byte range. Reference-compatible output.
+std::uint64_t xxhash64(const void* data, std::size_t len, std::uint64_t seed = 0) noexcept;
+
+inline std::uint64_t xxhash64(std::string_view s, std::uint64_t seed = 0) noexcept {
+  return xxhash64(s.data(), s.size(), seed);
+}
+
+/// String-literal overload. Without it, xxhash64("abc", 7) would silently
+/// resolve to the (pointer, length) overload above with length 7 treated
+/// as... a seed of 0 and a length of 7 — an easy-to-miss footgun.
+inline std::uint64_t xxhash64(const char* s, std::uint64_t seed = 0) noexcept {
+  return xxhash64(std::string_view(s), seed);
+}
+
+/// Stafford variant 13 of the murmur64 finalizer: a bijective 64-bit mixer
+/// with full avalanche. Suitable as a one-value hash for integer keys.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Seeded hash of a 64-bit key; distinct seeds give (empirically)
+/// independent functions. Used for sketch rows.
+constexpr std::uint64_t hash_u64(std::uint64_t key, std::uint64_t seed) noexcept {
+  // Feed the seed through the mixer twice so that related seeds (0,1,2,...)
+  // still produce unrelated functions.
+  return mix64(key + 0x9E3779B97F4A7C15ULL * (seed + 1));
+}
+
+/// A family of k seeded hash functions over 64-bit keys.
+///
+/// Row i of a sketch evaluates `family(i, key)`; the family owns the per-row
+/// seeds so that two sketches built with different master seeds are
+/// independent.
+class HashFamily {
+ public:
+  HashFamily() = default;
+
+  /// Construct k functions derived from `master_seed`.
+  HashFamily(std::size_t k, std::uint64_t master_seed);
+
+  std::size_t size() const noexcept { return seeds_.size(); }
+
+  std::uint64_t operator()(std::size_t i, std::uint64_t key) const noexcept {
+    return hash_u64(key, seeds_[i]);
+  }
+
+  /// Hash of an arbitrary byte range with row i's seed.
+  std::uint64_t bytes(std::size_t i, const void* data, std::size_t len) const noexcept {
+    return xxhash64(data, len, seeds_[i]);
+  }
+
+ private:
+  std::vector<std::uint64_t> seeds_;
+};
+
+}  // namespace hhh

@@ -1,0 +1,52 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The library is quiet by default (kWarn); benches and examples raise the
+// level explicitly. No global constructors beyond a POD atomic, no locking —
+// all experiment code is single-threaded by design.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hhh {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line to stderr as "[LEVEL] message". Exposed for tests.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace hhh
+
+#define HHH_LOG(level)                                   \
+  if (::hhh::log_level() > ::hhh::LogLevel::level) {     \
+  } else                                                 \
+    ::hhh::detail::LogMessage(::hhh::LogLevel::level)
+
+#define HHH_DEBUG HHH_LOG(kDebug)
+#define HHH_INFO HHH_LOG(kInfo)
+#define HHH_WARN HHH_LOG(kWarn)
+#define HHH_ERROR HHH_LOG(kError)

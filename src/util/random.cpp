@@ -1,0 +1,124 @@
+#include "util/random.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numbers>
+
+#include "util/bit.hpp"
+
+namespace hhh {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  assert(n > 0);
+  return fast_range(next(), n);
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Guard the log argument away from zero; uniform() < 1 by construction.
+  return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::pareto(double x_min, double alpha) noexcept {
+  return x_min / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+double Rng::bounded_pareto(double x_min, double x_max, double alpha) noexcept {
+  // Inverse-CDF sampling of the truncated Pareto.
+  const double la = std::pow(x_min, alpha);
+  const double ha = std::pow(x_max, alpha);
+  const double u = uniform();
+  return std::pow((ha * la) / (ha - u * (ha - la)), 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box–Muller; draw u1 away from 0 to keep log finite.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // large-mean arrival counts used by the trace generator.
+  const double v = normal(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    // Degenerate input: fall back to uniform.
+    std::fill(prob_.begin(), prob_.end(), 1.0);
+    return;
+  }
+
+  // Vose's alias method.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t l : large) prob_[l] = 1.0;
+  for (std::uint32_t s : small) prob_[s] = 1.0;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const noexcept {
+  assert(!prob_.empty());
+  const std::size_t slot = static_cast<std::size_t>(fast_range(rng.next(), prob_.size()));
+  return rng.uniform() < prob_[slot] ? slot : alias_[slot];
+}
+
+}  // namespace hhh

@@ -1,0 +1,71 @@
+// Simulated time: integer nanoseconds since trace start.
+//
+// Every algorithm in the library is driven by packet timestamps, never by
+// wall-clock time; this keeps experiments deterministic and lets benches
+// replay an hour of traffic in seconds. TimePoint/Duration are thin strong
+// typedefs over int64 nanoseconds with only the arithmetic the code needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hhh {
+
+/// A span of simulated time, in nanoseconds. May be negative in arithmetic.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration nanos(std::int64_t n) noexcept { return Duration(n); }
+  static constexpr Duration micros(std::int64_t u) noexcept { return Duration(u * 1'000); }
+  static constexpr Duration millis(std::int64_t m) noexcept { return Duration(m * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) noexcept { return Duration(s * 1'000'000'000); }
+  static constexpr Duration from_seconds(double s) noexcept {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  constexpr std::int64_t ns() const noexcept { return ns_; }
+  constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const noexcept { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr Duration operator+(Duration o) const noexcept { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const noexcept { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator*(std::int64_t k) const noexcept { return Duration(ns_ * k); }
+  constexpr Duration operator/(std::int64_t k) const noexcept { return Duration(ns_ / k); }
+  constexpr std::int64_t operator/(Duration o) const noexcept { return ns_ / o.ns_; }
+  constexpr Duration& operator+=(Duration o) noexcept { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) noexcept { ns_ -= o.ns_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time (nanoseconds since trace start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_ns(std::int64_t n) noexcept { return TimePoint(n); }
+  static constexpr TimePoint from_seconds(double s) noexcept {
+    return TimePoint(static_cast<std::int64_t>(s * 1e9));
+  }
+
+  constexpr std::int64_t ns() const noexcept { return ns_; }
+  constexpr double to_seconds() const noexcept { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr TimePoint operator+(Duration d) const noexcept { return TimePoint(ns_ + d.ns()); }
+  constexpr TimePoint operator-(Duration d) const noexcept { return TimePoint(ns_ - d.ns()); }
+  constexpr Duration operator-(TimePoint o) const noexcept { return Duration::nanos(ns_ - o.ns_); }
+  constexpr TimePoint& operator+=(Duration d) noexcept { ns_ += d.ns(); return *this; }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// "12.345s"-style rendering for logs and tables.
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+}  // namespace hhh

@@ -1,0 +1,38 @@
+// Small string/format helpers used by tables, logs and trace I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hhh {
+
+/// Split `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1234567" -> "1,234,567" (table rendering).
+std::string with_thousands(std::uint64_t v);
+
+/// Render `v` with `digits` decimal places.
+std::string fixed(double v, int digits);
+
+/// "12.3%" from a fraction in [0,1].
+std::string percent(double fraction, int digits = 1);
+
+/// Human-readable byte count ("1.21 MiB").
+std::string human_bytes(std::uint64_t bytes);
+
+/// Parse a non-negative integer; returns false on any malformed input.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Parse a double; returns false on malformed input.
+bool parse_double(std::string_view s, double& out);
+
+}  // namespace hhh

@@ -1,0 +1,95 @@
+#include "analysis/churn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhh {
+namespace {
+
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+
+TEST(Churn, EmptyStream) {
+  ChurnAnalysis churn;
+  churn.finish();
+  EXPECT_EQ(churn.reports(), 0u);
+  EXPECT_DOUBLE_EQ(churn.mean_births_per_report(), 0.0);
+  EXPECT_DOUBLE_EQ(churn.transient_fraction(), 0.0);
+}
+
+TEST(Churn, PerfectlyStableStream) {
+  ChurnAnalysis churn;
+  const std::vector<Ipv4Prefix> set = {pfx("10.0.0.0/8"), pfx("10.1.0.0/16")};
+  for (int i = 0; i < 5; ++i) churn.add_report(set);
+  churn.finish();
+  EXPECT_EQ(churn.reports(), 5u);
+  EXPECT_DOUBLE_EQ(churn.stability().min(), 1.0);
+  EXPECT_DOUBLE_EQ(churn.mean_births_per_report(), 0.0);
+  EXPECT_DOUBLE_EQ(churn.mean_deaths_per_report(), 0.0);
+  // Both prefixes lived the whole stream.
+  EXPECT_DOUBLE_EQ(churn.lifetimes().min(), 5.0);
+  EXPECT_DOUBLE_EQ(churn.transient_fraction(), 0.0);
+}
+
+TEST(Churn, FullTurnoverEveryReport) {
+  ChurnAnalysis churn;
+  churn.add_report({pfx("1.0.0.0/8")});
+  churn.add_report({pfx("2.0.0.0/8")});
+  churn.add_report({pfx("3.0.0.0/8")});
+  churn.finish();
+  EXPECT_DOUBLE_EQ(churn.stability().max(), 0.0) << "disjoint consecutive sets";
+  EXPECT_DOUBLE_EQ(churn.mean_births_per_report(), 1.0);
+  EXPECT_DOUBLE_EQ(churn.mean_deaths_per_report(), 1.0);
+  EXPECT_DOUBLE_EQ(churn.lifetimes().max(), 1.0);
+  EXPECT_DOUBLE_EQ(churn.transient_fraction(), 1.0);
+}
+
+TEST(Churn, MixedLifetimesAndIntervals) {
+  ChurnAnalysis churn;
+  // A stays for all 4 reports; B flickers twice (two intervals of 1);
+  // C lives reports 2-3 (one interval of 2).
+  churn.add_report({pfx("10.0.0.0/8"), pfx("20.0.0.0/8")});
+  churn.add_report({pfx("10.0.0.0/8"), pfx("30.0.0.0/8")});
+  churn.add_report({pfx("10.0.0.0/8"), pfx("20.0.0.0/8"), pfx("30.0.0.0/8")});
+  churn.add_report({pfx("10.0.0.0/8")});
+  churn.finish();
+
+  // Lifetimes: A=4; B=1,1; C=2... C appears in reports 1 and 2 (indices),
+  // i.e. one interval of length 2. B = 20/8 in reports 0 and 2: two
+  // intervals of 1.
+  EXPECT_EQ(churn.lifetimes().size(), 4u);
+  EXPECT_DOUBLE_EQ(churn.lifetimes().max(), 4.0);
+  EXPECT_DOUBLE_EQ(churn.lifetimes().min(), 1.0);
+  // Transients: only B (every interval length 1). A and C are not.
+  EXPECT_NEAR(churn.transient_fraction(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Churn, DuplicatesInReportAreIgnored) {
+  ChurnAnalysis churn;
+  churn.add_report({pfx("10.0.0.0/8"), pfx("10.0.0.0/8")});
+  churn.add_report({pfx("10.0.0.0/8")});
+  churn.finish();
+  EXPECT_DOUBLE_EQ(churn.stability().min(), 1.0);
+  EXPECT_EQ(churn.lifetimes().size(), 1u);
+}
+
+TEST(Churn, ReappearanceStartsNewInterval) {
+  ChurnAnalysis churn;
+  churn.add_report({pfx("10.0.0.0/8")});
+  churn.add_report({});
+  churn.add_report({pfx("10.0.0.0/8")});
+  churn.finish();
+  // Two intervals of length 1 for the same prefix.
+  EXPECT_EQ(churn.lifetimes().size(), 2u);
+  EXPECT_DOUBLE_EQ(churn.lifetimes().max(), 1.0);
+  EXPECT_DOUBLE_EQ(churn.transient_fraction(), 1.0);
+}
+
+TEST(Churn, EmptyToEmptyIsPerfectlySimilar) {
+  ChurnAnalysis churn;
+  churn.add_report({});
+  churn.add_report({});
+  churn.finish();
+  EXPECT_DOUBLE_EQ(churn.stability().min(), 1.0) << "J(empty, empty) = 1 by convention";
+}
+
+}  // namespace
+}  // namespace hhh

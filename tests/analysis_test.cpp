@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cdf.hpp"
+#include "analysis/jaccard.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/table.hpp"
+#include "net/prefix.hpp"
+
+namespace hhh {
+namespace {
+
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+
+// --- Jaccard ---------------------------------------------------------------
+
+TEST(Jaccard, IdenticalSetsGiveOne) {
+  const std::vector<int> a = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsGiveZero) {
+  EXPECT_DOUBLE_EQ(jaccard<int>({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  // |{2,3}| / |{1,2,3,4}| = 0.5
+  EXPECT_DOUBLE_EQ(jaccard<int>({1, 2, 3}, {2, 3, 4}), 0.5);
+}
+
+TEST(Jaccard, EmptySetsConventionallyOne) {
+  EXPECT_DOUBLE_EQ(jaccard<int>({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard<int>({1}, {}), 0.0);
+}
+
+TEST(Jaccard, DeduplicatesInput) {
+  EXPECT_DOUBLE_EQ(jaccard<int>({1, 1, 2, 2}, {2, 2}), 0.5);
+}
+
+TEST(Jaccard, WorksOnPrefixes) {
+  const std::vector<Ipv4Prefix> a = {pfx("10.0.0.0/8"), pfx("10.1.0.0/16")};
+  const std::vector<Ipv4Prefix> b = {pfx("10.0.0.0/8")};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 0.5);
+}
+
+// --- CDF ---------------------------------------------------------------------
+
+TEST(Cdf, FractionQueries) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_least(5.0), 0.0);
+}
+
+TEST(Cdf, Quantiles) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 20.0);
+  EXPECT_THROW(cdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Cdf, IncrementalAddAndStats) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  cdf.add(3.0);
+  cdf.add(1.0);
+  cdf.add(2.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(1.5), 1.0 / 3.0);
+}
+
+TEST(Cdf, EmptyThrows) {
+  EmpiricalCdf cdf;
+  EXPECT_THROW(cdf.fraction_at_most(1.0), std::logic_error);
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+  EXPECT_THROW(cdf.mean(), std::logic_error);
+}
+
+TEST(Cdf, CurveAndTsv) {
+  EmpiricalCdf cdf({0.0, 1.0});
+  const auto curve = cdf.curve(3);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  const auto tsv = cdf.to_tsv();
+  EXPECT_NE(tsv.find('\t'), std::string::npos);
+}
+
+TEST(Cdf, SingleSample) {
+  EmpiricalCdf cdf({5.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(5.0), 1.0);
+}
+
+// --- Metrics -----------------------------------------------------------------
+
+TEST(Metrics, ExactComparison) {
+  const std::vector<Ipv4Prefix> truth = {pfx("10.0.0.0/8"), pfx("20.0.0.0/8"),
+                                         pfx("30.0.0.0/8")};
+  const std::vector<Ipv4Prefix> detected = {pfx("10.0.0.0/8"), pfx("40.0.0.0/8")};
+  const auto pr = compare_exact(detected, truth);
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 2u);
+  EXPECT_DOUBLE_EQ(pr.precision(), 0.5);
+  EXPECT_NEAR(pr.recall(), 1.0 / 3.0, 1e-12);
+  EXPECT_GT(pr.f1(), 0.0);
+  EXPECT_FALSE(pr.to_string().empty());
+}
+
+TEST(Metrics, PerfectAndEmptyCases) {
+  const std::vector<Ipv4Prefix> set = {pfx("10.0.0.0/8")};
+  const auto perfect = compare_exact(set, set);
+  EXPECT_DOUBLE_EQ(perfect.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(perfect.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(perfect.f1(), 1.0);
+
+  const auto empty_both = compare_exact({}, {});
+  EXPECT_DOUBLE_EQ(empty_both.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(empty_both.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(empty_both.f1(), 1.0);
+}
+
+TEST(Metrics, DuplicatesNormalizedAway) {
+  const std::vector<Ipv4Prefix> detected = {pfx("10.0.0.0/8"), pfx("10.0.0.0/8")};
+  const std::vector<Ipv4Prefix> truth = {pfx("10.0.0.0/8")};
+  const auto pr = compare_exact(detected, truth);
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_positives, 0u);
+}
+
+TEST(Metrics, TolerantAcceptsAdjacentLevel) {
+  // Detected the /24 while truth holds the covering /32's /24 sibling...
+  // i.e. truth has the host, detection reported its /24: one level apart.
+  const std::vector<Ipv4Prefix> truth = {pfx("10.1.2.3/32")};
+  const std::vector<Ipv4Prefix> detected = {pfx("10.1.2.0/24")};
+  const auto strict = compare_exact(detected, truth);
+  EXPECT_EQ(strict.true_positives, 0u);
+  const auto tolerant = compare_tolerant(detected, truth, 8);
+  EXPECT_EQ(tolerant.true_positives, 1u);
+  EXPECT_EQ(tolerant.false_negatives, 0u);
+}
+
+TEST(Metrics, TolerantRespectsSlackLimit) {
+  const std::vector<Ipv4Prefix> truth = {pfx("10.1.2.3/32")};
+  const std::vector<Ipv4Prefix> detected = {pfx("10.0.0.0/8")};  // 24 bits away
+  const auto tolerant = compare_tolerant(detected, truth, 8);
+  EXPECT_EQ(tolerant.true_positives, 0u);
+  EXPECT_EQ(tolerant.false_positives, 1u);
+}
+
+TEST(Metrics, TolerantRequiresContainment) {
+  const std::vector<Ipv4Prefix> truth = {pfx("10.1.2.0/24")};
+  const std::vector<Ipv4Prefix> detected = {pfx("10.1.3.0/24")};  // sibling
+  const auto tolerant = compare_tolerant(detected, truth, 8);
+  EXPECT_EQ(tolerant.true_positives, 0u);
+}
+
+// --- Table -------------------------------------------------------------------
+
+TEST(Table, ConsoleRendering) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const auto out = t.to_console();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, ArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,132 @@
+#include "core/ancestry_hhh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/exact_hhh.hpp"
+#include "core/level_aggregates.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace hhh {
+namespace {
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+
+PacketRecord pkt(Ipv4Address src, std::uint32_t bytes) {
+  PacketRecord p;
+  p.src = src;
+  p.ip_len = bytes;
+  return p;
+}
+
+std::vector<PacketRecord> skewed_stream(int n, std::uint64_t seed) {
+  TraceConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = Duration::seconds(3600);
+  cfg.background_pps = 100000.0;
+  cfg.address_space.num_slash8 = 10;
+  cfg.address_space.slash16_per_8 = 6;
+  cfg.address_space.slash24_per_16 = 5;
+  cfg.address_space.hosts_per_24 = 4;
+  cfg.bursts_enabled = false;
+  SyntheticTraceGenerator gen(cfg);
+  std::vector<PacketRecord> out;
+  while (static_cast<int>(out.size()) < n) {
+    auto p = gen.next();
+    if (!p) break;
+    out.push_back(*p);
+  }
+  return out;
+}
+
+TEST(Ancestry, RejectsBadEps) {
+  EXPECT_THROW(AncestryHhhEngine({.eps = 0.0}), std::invalid_argument);
+  EXPECT_THROW(AncestryHhhEngine({.eps = 1.0}), std::invalid_argument);
+}
+
+TEST(Ancestry, ExactOnTinyStream) {
+  AncestryHhhEngine engine({.eps = 0.001});
+  for (int i = 0; i < 10; ++i) engine.add(pkt(ip("10.1.2.3"), 100));
+  const auto result = engine.extract(0.5);
+  ASSERT_GE(result.size(), 1u);
+  EXPECT_EQ(result.items()[0].prefix, pfx("10.1.2.3/32"));
+  EXPECT_EQ(engine.total_bytes(), 1000u);
+}
+
+TEST(Ancestry, SpaceStaysBounded) {
+  AncestryHhhEngine engine({.eps = 0.01});
+  const auto packets = skewed_stream(200000, 1);
+  for (const auto& p : packets) engine.add(p);
+  // Weighted lossy counting keeps O(H/eps log(eps N)) entries; for
+  // eps=0.01 and 5 levels that is a few thousand, not the ~10k distinct
+  // keys of the stream.
+  EXPECT_LT(engine.entry_count(), 5000u);
+  EXPECT_GT(engine.entry_count(), 0u);
+}
+
+TEST(Ancestry, RecallIsCompleteAtHighThreshold) {
+  // Deterministic guarantee: every prefix with true volume >= (phi+eps)*N
+  // must be reported when extracting at phi.
+  const double eps = 0.005;
+  AncestryHhhEngine engine({.eps = eps});
+  LevelAggregates agg(Hierarchy::byte_granularity());
+  const auto packets = skewed_stream(150000, 2);
+  for (const auto& p : packets) {
+    engine.add(p);
+    agg.add(p.src, p.ip_len);
+  }
+  const double phi = 0.05;
+  const auto approx = engine.extract(phi);
+  const auto approx_prefixes = approx.prefixes();
+  // Check recall against exact HHHs at the inflated threshold phi+eps.
+  const auto exact_strict = extract_hhh_relative(agg, phi + eps + 0.01);
+  std::size_t found = 0;
+  for (const auto& p : exact_strict.prefixes()) {
+    if (std::binary_search(approx_prefixes.begin(), approx_prefixes.end(), p)) ++found;
+  }
+  ASSERT_FALSE(exact_strict.prefixes().empty());
+  EXPECT_GE(static_cast<double>(found) / exact_strict.prefixes().size(), 0.8);
+}
+
+TEST(Ancestry, UpperEstimatesDominateTruth) {
+  const double eps = 0.01;
+  AncestryHhhEngine engine({.eps = eps});
+  LevelAggregates agg(Hierarchy::byte_granularity());
+  const auto packets = skewed_stream(100000, 3);
+  for (const auto& p : packets) {
+    engine.add(p);
+    agg.add(p.src, p.ip_len);
+  }
+  // Upper-estimate sandwich: counted subtree mass can lose at most eps*N
+  // (covered by the +eps*N term), and the estimate never exceeds
+  // truth + eps*N (exact counted mass plus the added slack).
+  const auto result = engine.extract(0.02);
+  const double eps_n = eps * static_cast<double>(engine.total_bytes());
+  for (const auto& item : result.items()) {
+    const double truth = static_cast<double>(agg.count(item.prefix));
+    EXPECT_GE(static_cast<double>(item.total_bytes) + 1e-6, truth)
+        << item.prefix.to_string();
+    EXPECT_LE(static_cast<double>(item.total_bytes), truth + eps_n * 1.01 + 1.0)
+        << item.prefix.to_string();
+  }
+}
+
+TEST(Ancestry, ResetClears) {
+  AncestryHhhEngine engine({.eps = 0.01});
+  for (int i = 0; i < 10000; ++i) engine.add(pkt(ip("10.0.0.1"), 100));
+  engine.reset();
+  EXPECT_EQ(engine.total_bytes(), 0u);
+  EXPECT_EQ(engine.entry_count(), 0u);
+  EXPECT_TRUE(engine.extract(0.1).empty());
+}
+
+TEST(Ancestry, NameAndMemory) {
+  AncestryHhhEngine engine({.eps = 0.01});
+  EXPECT_EQ(engine.name(), "ancestry");
+  EXPECT_GT(engine.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,190 @@
+// Engine-conformance suite: every HhhEngine implementation must satisfy
+// the same behavioural contract, because the disjoint-window driver (and
+// anything else that swaps engines) relies on it. Parameterized over
+// factories so a new engine only needs one registration line.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "core/ancestry_hhh.hpp"
+#include "core/disjoint_window.hpp"
+#include "core/engine.hpp"
+#include "core/rhhh.hpp"
+#include "core/univmon_hhh.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace hhh {
+namespace {
+
+struct EngineCase {
+  std::string name;
+  std::function<std::unique_ptr<HhhEngine>()> make;
+};
+
+std::vector<EngineCase> engine_cases() {
+  return {
+      {"exact", [] { return make_exact_engine(Hierarchy::byte_granularity()); }},
+      {"rhhh",
+       [] {
+         return std::make_unique<RhhhEngine>(
+             RhhhEngine::Params{.counters_per_level = 512, .seed = 42});
+       }},
+      {"hss",
+       [] {
+         return std::make_unique<RhhhEngine>(RhhhEngine::Params{
+             .counters_per_level = 512, .update_all_levels = true, .seed = 42});
+       }},
+      {"ancestry",
+       [] { return std::make_unique<AncestryHhhEngine>(AncestryHhhEngine::Params{.eps = 0.005}); }},
+      {"univmon",
+       [] {
+         return std::make_unique<UnivmonHhhEngine>(
+             UnivmonHhhEngine::Params{.sketch_width = 2048, .top_k = 128});
+       }},
+  };
+}
+
+class EngineConformance : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::unique_ptr<HhhEngine> engine() const { return engine_cases()[GetParam()].make(); }
+
+  static std::vector<PacketRecord> workload(std::uint64_t seed, int n) {
+    TraceConfig cfg;
+    cfg.seed = seed;
+    cfg.duration = Duration::seconds(3600);
+    cfg.background_pps = 50000.0;
+    cfg.address_space.num_slash8 = 8;
+    cfg.address_space.slash16_per_8 = 5;
+    cfg.address_space.slash24_per_16 = 4;
+    cfg.address_space.hosts_per_24 = 4;
+    cfg.bursts_enabled = false;
+    SyntheticTraceGenerator gen(cfg);
+    std::vector<PacketRecord> out;
+    while (static_cast<int>(out.size()) < n) {
+      auto p = gen.next();
+      if (!p) break;
+      out.push_back(*p);
+    }
+    return out;
+  }
+};
+
+TEST_P(EngineConformance, TotalBytesIsExact) {
+  auto e = engine();
+  const auto packets = workload(1, 5000);
+  std::uint64_t expected = 0;
+  for (const auto& p : packets) {
+    e->add(p);
+    expected += p.ip_len;
+  }
+  EXPECT_EQ(e->total_bytes(), expected);
+}
+
+TEST_P(EngineConformance, ResetForgetsEverything) {
+  auto e = engine();
+  for (const auto& p : workload(2, 5000)) e->add(p);
+  e->reset();
+  EXPECT_EQ(e->total_bytes(), 0u);
+  EXPECT_TRUE(e->extract(0.01).empty());
+}
+
+TEST_P(EngineConformance, ExtractRespectsThresholdArithmetic) {
+  auto e = engine();
+  for (const auto& p : workload(3, 20000)) e->add(p);
+  const auto set = e->extract(0.05);
+  EXPECT_EQ(set.total_bytes, e->total_bytes());
+  EXPECT_GE(set.threshold_bytes,
+            static_cast<std::uint64_t>(0.05 * static_cast<double>(e->total_bytes())));
+  for (const auto& item : set.items()) {
+    // Every reported conditioned volume crossed the threshold, and no item
+    // conditions above its own total estimate.
+    EXPECT_GE(item.conditioned_bytes, set.threshold_bytes) << item.prefix.to_string();
+    // Count-sketch-backed engines report unbiased (not monotone) totals;
+    // allow small estimation noise between the two numbers.
+    EXPECT_LE(item.conditioned_bytes,
+              item.total_bytes + item.total_bytes / 8 + 2)
+        << item.prefix.to_string();
+  }
+}
+
+TEST_P(EngineConformance, ReportedPrefixesAreAtHierarchyLevels) {
+  auto e = engine();
+  for (const auto& p : workload(4, 20000)) e->add(p);
+  const auto hierarchy = Hierarchy::byte_granularity();
+  // NB: extract() returns by value; items() is a reference into it. Keep
+  // the set alive for the whole loop (range-for does NOT extend the
+  // temporary through a member call in C++20 — the conformance suite
+  // itself tripped on this once).
+  const auto set = e->extract(0.02);
+  for (const auto& item : set.items()) {
+    EXPECT_NE(hierarchy.level_of(item.prefix), Hierarchy::npos)
+        << item.prefix.to_string() << " is not a hierarchy level";
+  }
+}
+
+TEST_P(EngineConformance, NoDuplicatePrefixesInOneReport) {
+  auto e = engine();
+  for (const auto& p : workload(5, 20000)) e->add(p);
+  const auto set = e->extract(0.01);
+  std::set<Ipv4Prefix> seen;
+  for (const auto& item : set.items()) {
+    EXPECT_TRUE(seen.insert(item.prefix).second)
+        << "duplicate " << item.prefix.to_string();
+  }
+}
+
+TEST_P(EngineConformance, ConditionedSumBoundedByTotalTraffic) {
+  // The conditioned counts partition (a subset of) the traffic under the
+  // discounting definition: their sum must not exceed the stream total by
+  // more than estimation error (exact engines: never).
+  auto e = engine();
+  for (const auto& p : workload(6, 20000)) e->add(p);
+  const auto set = e->extract(0.02);
+  std::uint64_t sum = 0;
+  for (const auto& item : set.items()) sum += item.conditioned_bytes;
+  // Allow approximate engines 30% slack (overestimates), exact none.
+  EXPECT_LE(sum, e->total_bytes() + e->total_bytes() * 3 / 10);
+}
+
+TEST_P(EngineConformance, MemoryReportedNonZeroAfterTraffic) {
+  auto e = engine();
+  for (const auto& p : workload(7, 2000)) e->add(p);
+  EXPECT_GT(e->memory_bytes(), 0u);
+  EXPECT_FALSE(e->name().empty());
+}
+
+TEST_P(EngineConformance, WorksInsideDisjointWindowDriver) {
+  DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 0.5},
+                                engine_cases()[GetParam()].make());
+  PacketRecord p;
+  p.src = Ipv4Address::of(10, 0, 0, 1);
+  p.ip_len = 1000;
+  for (int t = 0; t < 4; ++t) {
+    p.ts = TimePoint::from_seconds(t + 0.5);
+    det.offer(p);
+  }
+  det.finish(TimePoint::from_seconds(4.0));
+  ASSERT_EQ(det.reports().size(), 4u);
+  for (const auto& r : det.reports()) {
+    EXPECT_EQ(r.hhhs.total_bytes, 1000u) << "window " << r.index;
+    // Every engine must report the lone source at SOME level (the
+    // randomized RHHH with a single packet per window only learns the one
+    // level it sampled, so the leaf itself is not guaranteed).
+    bool found = false;
+    for (const auto& item : r.hhhs.items()) {
+      found |= item.prefix.contains(Ipv4Address::of(10, 0, 0, 1));
+    }
+    EXPECT_TRUE(found) << "window " << r.index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineConformance,
+                         ::testing::Range<std::size_t>(0, 5),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return engine_cases()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace hhh

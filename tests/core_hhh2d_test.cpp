@@ -1,0 +1,278 @@
+#include "core/hhh2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+
+PacketRecord pkt(Ipv4Address src, Ipv4Address dst, std::uint32_t bytes,
+                 double t_seconds = 0.0) {
+  PacketRecord p;
+  p.ts = TimePoint::from_seconds(t_seconds);
+  p.src = src;
+  p.dst = dst;
+  p.ip_len = bytes;
+  return p;
+}
+
+// --- Brute-force reference --------------------------------------------------
+//
+// Independent implementation of the 2-D overlap-rule definition, straight
+// from first principles: iterate lattice nodes in generality order; a
+// node's conditioned count sums the leaves it contains that no
+// already-selected HHH strict descendant contains. O(nodes * leaves * |H|)
+// — fine for the tiny universes used here, and structurally unrelated to
+// the bitmask sweep it validates.
+HhhSet2D brute_force_2d(const std::vector<PacketRecord>& packets,
+                        const Hierarchy2D& hierarchy, std::uint64_t threshold) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> leaves;
+  std::uint64_t total = 0;
+  for (const auto& p : packets) {
+    leaves[{p.src.bits(), p.dst.bits()}] += p.ip_len;
+    total += p.ip_len;
+  }
+
+  HhhSet2D result;
+  result.total_bytes = total;
+  result.threshold_bytes = std::max<std::uint64_t>(threshold, 1);
+
+  std::vector<PrefixPair> selected;
+  const std::size_t ns = hierarchy.src_levels();
+  const std::size_t nd = hierarchy.dst_levels();
+  for (std::size_t g = 0; g < ns + nd - 1; ++g) {
+    for (std::size_t i = 0; i <= g && i < ns; ++i) {
+      const std::size_t j = g - i;
+      if (j >= nd) continue;
+      // Enumerate candidate nodes at (i, j) from the leaves.
+      std::set<std::pair<std::uint32_t, std::uint32_t>> nodes;
+      for (const auto& [leaf, bytes] : leaves) {
+        nodes.insert({hierarchy.src().generalize(Ipv4Address(leaf.first), i).bits(),
+                      hierarchy.dst().generalize(Ipv4Address(leaf.second), j).bits()});
+      }
+      for (const auto& node_bits : nodes) {
+        const PrefixPair node{
+            Ipv4Prefix(Ipv4Address(node_bits.first), hierarchy.src().length_at(i)),
+            Ipv4Prefix(Ipv4Address(node_bits.second), hierarchy.dst().length_at(j))};
+        std::uint64_t conditioned = 0;
+        std::uint64_t node_total = 0;
+        for (const auto& [leaf, bytes] : leaves) {
+          const PrefixPair leaf_pair{Ipv4Prefix(Ipv4Address(leaf.first), 32),
+                                     Ipv4Prefix(Ipv4Address(leaf.second), 32)};
+          if (!node.contains(leaf_pair)) continue;
+          node_total += bytes;
+          const bool covered = std::any_of(
+              selected.begin(), selected.end(), [&](const PrefixPair& h) {
+                return h != node && node.contains(h) && h.contains(leaf_pair);
+              });
+          if (!covered) conditioned += bytes;
+        }
+        if (conditioned >= result.threshold_bytes) {
+          result.items.push_back(HhhItem2D{node, node_total, conditioned});
+          selected.push_back(node);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+void expect_same_sets(const HhhSet2D& a, const HhhSet2D& b) {
+  auto na = a.nodes();
+  auto nb = b.nodes();
+  ASSERT_EQ(na.size(), nb.size());
+  for (std::size_t i = 0; i < na.size(); ++i) {
+    EXPECT_EQ(na[i].to_string(), nb[i].to_string());
+  }
+  // Conditioned counts must agree item by item.
+  auto ia = a.items;
+  auto ib = b.items;
+  const auto by_node = [](const HhhItem2D& x, const HhhItem2D& y) { return x.node < y.node; };
+  std::sort(ia.begin(), ia.end(), by_node);
+  std::sort(ib.begin(), ib.end(), by_node);
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_EQ(ia[i].conditioned_bytes, ib[i].conditioned_bytes)
+        << ia[i].node.to_string();
+    EXPECT_EQ(ia[i].total_bytes, ib[i].total_bytes) << ia[i].node.to_string();
+  }
+}
+
+// --- Hand-verified scenarios --------------------------------------------------
+
+TEST(Hhh2D, SingleHeavyPair) {
+  const auto hierarchy = Hierarchy2D::byte_granularity();
+  std::vector<PacketRecord> packets = {pkt(ip("10.1.2.3"), ip("192.0.2.9"), 1000),
+                                       pkt(ip("99.0.0.1"), ip("192.0.2.1"), 10)};
+  const auto set = exact_hhh_2d_of(packets, hierarchy, 0.5);
+  ASSERT_EQ(set.items.size(), 1u);
+  EXPECT_EQ(set.items[0].node.to_string(), "10.1.2.3/32 -> 192.0.2.9/32");
+  EXPECT_EQ(set.items[0].conditioned_bytes, 1000u);
+}
+
+TEST(Hhh2D, FanOutAggregatesOnSourceAxis) {
+  // One source spraying many destinations: no single (src,dst/32) pair is
+  // heavy, but (src/32, dst/0 aka root) is — a scanner signature the 1-D
+  // source view also sees, but here with the dst dimension pinpointed to
+  // "everywhere".
+  const auto hierarchy = Hierarchy2D::byte_granularity();
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 20; ++i) {
+    packets.push_back(pkt(ip("10.1.2.3"), Ipv4Address(0x40000000u + (static_cast<std::uint32_t>(i) << 24)), 100));
+  }
+  packets.push_back(pkt(ip("99.0.0.1"), ip("192.0.2.1"), 2000));
+  const auto set = exact_hhh_2d_of(packets, hierarchy, 0.4);  // T = 1600
+  bool found_fanout = false;
+  for (const auto& item : set.items) {
+    if (item.node.src == pfx("10.1.2.3/32") && item.node.dst == Ipv4Prefix::root()) {
+      found_fanout = true;
+      EXPECT_EQ(item.conditioned_bytes, 2000u);
+    }
+  }
+  EXPECT_TRUE(found_fanout);
+}
+
+TEST(Hhh2D, ConvergenceAggregatesOnDestinationAxis) {
+  // Many sources hammering one destination (a DDoS victim): heavy at
+  // (src root, dst/32).
+  const auto hierarchy = Hierarchy2D::byte_granularity();
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 20; ++i) {
+    packets.push_back(pkt(Ipv4Address(0x0A000000u + (static_cast<std::uint32_t>(i) << 24)), ip("203.0.113.7"), 100));
+  }
+  const auto set = exact_hhh_2d_of(packets, hierarchy, 0.9);
+  bool found = false;
+  for (const auto& item : set.items) {
+    if (item.node.dst == pfx("203.0.113.7/32") && item.node.src == Ipv4Prefix::root()) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Hhh2D, DescendantDiscountsAncestorAcrossBothAxes) {
+  const auto hierarchy = Hierarchy2D::byte_granularity();
+  // Heavy pair (A, B); its diagonal ancestor (A/24, B/24) carries only the
+  // sibling noise after discounting.
+  std::vector<PacketRecord> packets = {
+      pkt(ip("10.1.2.3"), ip("192.0.2.9"), 900),
+      pkt(ip("10.1.2.4"), ip("192.0.2.10"), 100),
+  };
+  const auto set = exact_hhh_2d_of(packets, hierarchy, 0.5);  // T = 500
+  ASSERT_EQ(set.items.size(), 1u) << "only the exact pair qualifies";
+  EXPECT_EQ(set.items[0].node.src, pfx("10.1.2.3/32"));
+}
+
+TEST(Hhh2D, LatticeDoubleCountingAvoidedByOverlapRule) {
+  // A leaf has TWO incomparable HHH ancestors: (src/32, root) and
+  // (root, dst/32). Under the overlap rule the leaf is discounted once
+  // from their common ancestor (root, root), not twice.
+  const auto hierarchy = Hierarchy2D::byte_granularity();
+  std::vector<PacketRecord> packets;
+  // 600 bytes from S to D (makes both (S,*) and (*,D) heavy),
+  // plus 400 scattered.
+  packets.push_back(pkt(ip("10.0.0.1"), ip("200.0.0.1"), 600));
+  packets.push_back(pkt(ip("20.0.0.1"), ip("201.0.0.1"), 200));
+  packets.push_back(pkt(ip("30.0.0.1"), ip("202.0.0.1"), 200));
+  const auto set = exact_hhh_2d_of(packets, hierarchy, 0.5);  // T = 500
+  // The (root,root) node's conditioned count: 1000 - 600 (covered once) =
+  // 400 < 500, so the root pair must NOT be an HHH. Naive subtraction of
+  // both ancestors would give 1000 - 600 - 600 < 0 (nonsense); counting
+  // the overlap once keeps it exact.
+  for (const auto& item : set.items) {
+    EXPECT_FALSE(item.node.src.is_root() && item.node.dst.is_root())
+        << "root pair wrongly selected with conditioned "
+        << item.conditioned_bytes;
+  }
+}
+
+TEST(Hhh2D, MatchesBruteForceOnRandomStreams) {
+  const auto hierarchy = Hierarchy2D::byte_granularity();
+  Rng rng(1234);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<PacketRecord> packets;
+    const int n = 200 + static_cast<int>(rng.below(300));
+    for (int i = 0; i < n; ++i) {
+      const Ipv4Address src(static_cast<std::uint32_t>(rng.below(6)) << 24 |
+                            static_cast<std::uint32_t>(rng.below(3)) << 16 |
+                            static_cast<std::uint32_t>(rng.below(3)) << 8 |
+                            static_cast<std::uint32_t>(rng.below(4)));
+      const Ipv4Address dst(static_cast<std::uint32_t>(rng.below(5) + 100) << 24 |
+                            static_cast<std::uint32_t>(rng.below(3)) << 16 |
+                            static_cast<std::uint32_t>(rng.below(2)) << 8 |
+                            static_cast<std::uint32_t>(rng.below(3)));
+      packets.push_back(pkt(src, dst, 1 + static_cast<std::uint32_t>(rng.below(1000))));
+    }
+    std::uint64_t total = 0;
+    for (const auto& p : packets) total += p.ip_len;
+    for (const double phi : {0.02, 0.1, 0.3}) {
+      const auto threshold = static_cast<std::uint64_t>(phi * static_cast<double>(total));
+      LeafPairCounts counts;
+      for (const auto& p : packets) counts.add(p.src, p.dst, p.ip_len);
+      const auto fast = extract_hhh_2d(counts, hierarchy, threshold);
+      const auto slow = brute_force_2d(packets, hierarchy, threshold);
+      expect_same_sets(fast, slow);
+    }
+  }
+}
+
+TEST(Hhh2D, LeafPairCountsAddRemove) {
+  LeafPairCounts counts;
+  counts.add(ip("10.0.0.1"), ip("20.0.0.1"), 100);
+  counts.add(ip("10.0.0.1"), ip("20.0.0.2"), 50);
+  EXPECT_EQ(counts.total_bytes(), 150u);
+  EXPECT_EQ(counts.distinct_pairs(), 2u);
+  counts.remove(ip("10.0.0.1"), ip("20.0.0.1"), 100);
+  EXPECT_EQ(counts.total_bytes(), 50u);
+  EXPECT_EQ(counts.distinct_pairs(), 1u);
+  counts.clear();
+  EXPECT_EQ(counts.total_bytes(), 0u);
+}
+
+TEST(Hhh2D, HiddenAnalysisFindsStraddlingBurst) {
+  // 2-D version of the boundary-straddling scenario: a (src,dst) pair
+  // bursting across the window edge is revealed by the sliding model only.
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 2200; ++i) {
+    packets.push_back(pkt(ip("50.0.0.1"), ip("203.0.113.1"), 100, i * 0.01));
+  }
+  for (int i = 0; i < 600; ++i) {
+    packets.push_back(pkt(ip("66.6.6.6"), ip("203.0.113.9"), 100, 8.0 + i * (4.0 / 600)));
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const PacketRecord& a, const PacketRecord& b) { return a.ts < b.ts; });
+
+  const auto result =
+      analyze_hidden_hhh_2d(packets, Duration::seconds(10), Duration::seconds(1), 0.25,
+                            Hierarchy2D::byte_granularity());
+  bool burst_hidden = false;
+  for (const auto& node : result.hidden) {
+    if (node.src == pfx("66.6.6.6/32")) burst_hidden = true;
+  }
+  EXPECT_TRUE(burst_hidden);
+  EXPECT_GT(result.hidden_fraction_of_union(), 0.0);
+  EXPECT_GT(result.disjoint_windows, 0u);
+  EXPECT_GT(result.sliding_reports, 0u);
+}
+
+TEST(Hhh2D, RejectsOversizedLattice) {
+  EXPECT_THROW(Hierarchy2D(Hierarchy::bit_granularity(), Hierarchy::byte_granularity()),
+               std::invalid_argument);
+}
+
+TEST(Hhh2D, WindowMustBeMultipleOfStep) {
+  std::vector<PacketRecord> packets = {pkt(ip("1.2.3.4"), ip("5.6.7.8"), 10, 0.5)};
+  EXPECT_THROW(analyze_hidden_hhh_2d(packets, Duration::seconds(10), Duration::seconds(3),
+                                     0.1, Hierarchy2D::byte_granularity()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhh

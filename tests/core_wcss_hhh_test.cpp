@@ -1,0 +1,119 @@
+#include "core/wcss_hhh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/exact_hhh.hpp"
+#include "core/level_aggregates.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace hhh {
+namespace {
+
+Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
+Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+
+PacketRecord pkt(double t, Ipv4Address src, std::uint32_t bytes) {
+  PacketRecord p;
+  p.ts = TimePoint::from_seconds(t);
+  p.src = src;
+  p.ip_len = bytes;
+  return p;
+}
+
+TimePoint at(double t) { return TimePoint::from_seconds(t); }
+
+TEST(WcssHhh, SteadyHeavySourceDetected) {
+  WcssSlidingHhhDetector det({.window = Duration::seconds(10)});
+  for (int i = 0; i < 2000; ++i) {
+    det.offer(pkt(i * 0.01, ip("10.1.2.3"), 700));
+    det.offer(pkt(i * 0.01, ip(i % 2 ? "50.0.0.1" : "60.0.0.1"), 300));
+  }
+  const auto result = det.query(at(20.0), 0.3);
+  const auto prefixes = result.prefixes();
+  EXPECT_TRUE(std::binary_search(prefixes.begin(), prefixes.end(), pfx("10.1.2.3/32")));
+}
+
+TEST(WcssHhh, ExpiredTrafficLeavesTheWindow) {
+  WcssSlidingHhhDetector det({.window = Duration::seconds(5), .frames = 5});
+  // Heavy source only during [0, 2); queries are interleaved with the
+  // stream because the detector (like the switch it models) only moves
+  // forward in time.
+  for (int i = 0; i < 200; ++i) det.offer(pkt(i * 0.01, ip("66.6.6.6"), 1000));
+  const auto early = det.query(at(2.0), 0.3).prefixes();
+  EXPECT_TRUE(std::binary_search(early.begin(), early.end(), pfx("66.6.6.6/32")));
+
+  for (int i = 0; i < 1200; ++i) det.offer(pkt(2.0 + i * 0.01, ip("50.0.0.1"), 200));
+  const auto late = det.query(at(14.0), 0.3).prefixes();
+  EXPECT_FALSE(std::binary_search(late.begin(), late.end(), pfx("66.6.6.6/32")));
+}
+
+TEST(WcssHhh, HierarchicalAggregation) {
+  WcssSlidingHhhDetector det({.window = Duration::seconds(10)});
+  // Four siblings, each ~12%: the /24 qualifies at 30%, the hosts do not.
+  for (int i = 0; i < 1500; ++i) {
+    const double t = i * 0.01;
+    det.offer(pkt(t, ip("10.1.2.1"), 120));
+    det.offer(pkt(t, ip("10.1.2.2"), 120));
+    det.offer(pkt(t, ip("10.1.2.3"), 120));
+    det.offer(pkt(t, ip("10.1.2.4"), 120));
+    det.offer(pkt(t, ip("99.0.0.1"), 520));
+  }
+  const auto result = det.query(at(15.0), 0.3);
+  const auto prefixes = result.prefixes();
+  EXPECT_TRUE(std::binary_search(prefixes.begin(), prefixes.end(), pfx("10.1.2.0/24")));
+  EXPECT_FALSE(std::binary_search(prefixes.begin(), prefixes.end(), pfx("10.1.2.1/32")));
+}
+
+TEST(WcssHhh, RecallAgainstExactSlidingWindow) {
+  TraceConfig cfg;
+  cfg.seed = 77;
+  cfg.duration = Duration::seconds(40);
+  cfg.background_pps = 2000.0;
+  cfg.address_space.num_slash8 = 8;
+  cfg.address_space.slash16_per_8 = 6;
+  cfg.address_space.slash24_per_16 = 4;
+  cfg.address_space.hosts_per_24 = 4;
+  const auto packets = SyntheticTraceGenerator(cfg).generate_all();
+
+  WcssSlidingHhhDetector det(
+      {.window = Duration::seconds(10), .frames = 10, .counters_per_level = 1024});
+  LevelAggregates trailing(Hierarchy::byte_granularity());
+  for (const auto& p : packets) {
+    det.offer(p);
+    if (p.ts >= at(30.0)) trailing.add(p.src, p.ip_len);
+  }
+  const auto exact = extract_hhh_relative(trailing, 0.05);
+  const auto approx = det.query(at(40.0), 0.05);
+  const auto approx_prefixes = approx.prefixes();
+  std::size_t recalled = 0;
+  for (const auto& p : exact.prefixes()) {
+    if (std::binary_search(approx_prefixes.begin(), approx_prefixes.end(), p)) ++recalled;
+  }
+  ASSERT_FALSE(exact.prefixes().empty());
+  EXPECT_GE(static_cast<double>(recalled) / exact.prefixes().size(), 0.7);
+}
+
+TEST(WcssHhh, BoundedMemoryUnderDistinctFlood) {
+  WcssSlidingHhhDetector det(
+      {.window = Duration::seconds(10), .frames = 8, .counters_per_level = 128});
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) {
+    det.offer(pkt(i * 0.001, Ipv4Address(static_cast<std::uint32_t>(rng.next())), 100));
+  }
+  EXPECT_LT(det.memory_bytes(), 4u << 20);
+}
+
+TEST(WcssHhh, ThresholdTracksWindowTotal) {
+  WcssSlidingHhhDetector det({.window = Duration::seconds(10)});
+  for (int i = 0; i < 1000; ++i) det.offer(pkt(i * 0.01, ip("10.0.0.1"), 100));
+  const auto result = det.query(at(10.0), 0.1);
+  EXPECT_GT(result.total_bytes, 0u);
+  EXPECT_NEAR(static_cast<double>(result.threshold_bytes),
+              0.1 * static_cast<double>(result.total_bytes),
+              static_cast<double>(result.total_bytes) * 0.02 + 2.0);
+}
+
+}  // namespace
+}  // namespace hhh

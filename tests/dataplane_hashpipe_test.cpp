@@ -1,0 +1,123 @@
+#include "dataplane/hashpipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/zipf.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TEST(HashPipe, SingleKeyCountedExactly) {
+  HashPipe hp({.stages = 4, .slots_per_stage = 64});
+  for (int i = 0; i < 100; ++i) hp.update(42, 10);
+  EXPECT_EQ(hp.estimate(42), 1000u);
+}
+
+TEST(HashPipe, NeverOverestimates) {
+  // HashPipe loses evicted remainders; it can only undercount.
+  HashPipe hp({.stages = 4, .slots_per_stage = 128});
+  Rng rng(1);
+  ZipfSampler zipf(5000, 1.2);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    hp.update(key, 1);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_LE(hp.estimate(key), count) << key;
+  }
+}
+
+TEST(HashPipe, HeavyKeysRetainMostOfTheirCount) {
+  HashPipe hp({.stages = 6, .slots_per_stage = 512});
+  Rng rng(2);
+  ZipfSampler zipf(10000, 1.2);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 300000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    hp.update(key, 1);
+    ++truth[key];
+  }
+  // The top-5 ranks must retain >= 80% of their true counts (the SOSR
+  // paper reports high accuracy for heavy keys at comparable loads).
+  for (std::uint64_t key = 1; key <= 5; ++key) {
+    EXPECT_GE(hp.estimate(key), truth[key] * 8 / 10) << "rank " << key;
+  }
+}
+
+TEST(HashPipe, HeavyKeysQueryFindsTopKeys) {
+  HashPipe hp({.stages = 4, .slots_per_stage = 256});
+  Rng rng(3);
+  // Key 7 gets 30% of 50k updates.
+  std::uint64_t truth7 = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.chance(0.3)) {
+      hp.update(7, 1);
+      ++truth7;
+    } else {
+      hp.update(1000 + rng.below(2000), 1);
+    }
+  }
+  const auto heavy = hp.heavy_keys(truth7 / 2);
+  bool found = false;
+  for (const auto& h : heavy) {
+    if (h.key == 7) {
+      found = true;
+      EXPECT_LE(h.count, truth7);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HashPipe, HeavyKeysSumsAcrossStages) {
+  // A key's count may fragment across stages after evictions; heavy_keys
+  // must report the sum, matching estimate().
+  HashPipe hp({.stages = 3, .slots_per_stage = 16});
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    hp.update(rng.below(200), 1);
+  }
+  for (const auto& h : hp.heavy_keys(1)) {
+    EXPECT_EQ(h.count, hp.estimate(h.key)) << h.key;
+  }
+}
+
+TEST(HashPipe, ClearResets) {
+  HashPipe hp({.stages = 2, .slots_per_stage = 32});
+  hp.update(5, 100);
+  hp.clear();
+  EXPECT_EQ(hp.estimate(5), 0u);
+  EXPECT_EQ(hp.total_weight(), 0u);
+  EXPECT_TRUE(hp.heavy_keys(1).empty());
+}
+
+TEST(HashPipe, ResourceReportMatchesLayout) {
+  HashPipe hp({.stages = 4, .slots_per_stage = 1024});
+  hp.update(1, 1);
+  const auto res = hp.resources();
+  EXPECT_EQ(res.stages, 4u);
+  EXPECT_EQ(res.register_arrays, 8u);  // key + count arrays per stage
+  EXPECT_EQ(res.sram_bits, 4u * 1024 * (64 + 32));
+  EXPECT_EQ(res.packets_processed, 1u);
+  // Every packet hashes once per visited stage; a fresh insert stops at
+  // stage 1.
+  EXPECT_GE(res.hash_calls_per_packet, 1.0);
+}
+
+TEST(HashPipe, ZeroStagesRejected) {
+  EXPECT_THROW(HashPipe({.stages = 0}), std::invalid_argument);
+}
+
+TEST(HashPipe, TotalWeightTracksStream) {
+  HashPipe hp({.stages = 2, .slots_per_stage = 32});
+  hp.update(1, 100);
+  hp.update(2, 250);
+  EXPECT_EQ(hp.total_weight(), 350u);
+}
+
+}  // namespace
+}  // namespace hhh

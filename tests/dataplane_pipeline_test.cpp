@@ -1,0 +1,138 @@
+#include "dataplane/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhh {
+namespace {
+
+TEST(Pipeline, RegisterArrayRejectsBadLayout) {
+  Stage stage("s");
+  EXPECT_THROW(stage.add_register_array("a", 0, 32), std::invalid_argument);
+  EXPECT_THROW(stage.add_register_array("a", 16, 0), std::invalid_argument);
+  EXPECT_THROW(stage.add_register_array("a", 16, 200), std::invalid_argument);
+}
+
+TEST(Pipeline, SingleRmwPerPacketEnforced) {
+  Pipeline pipe("p");
+  Stage& st = pipe.add_stage("s0");
+  RegisterArray& arr = st.add_register_array("r", 16, 64);
+
+  pipe.begin_packet();
+  pipe.enter(st);
+  arr.read(3);
+  arr.write(3, 42);          // same index: still the one RMW
+  EXPECT_EQ(arr.read(3), 42u);
+  EXPECT_THROW(arr.read(5), PipelineConstraintViolation) << "second index";
+  EXPECT_THROW(arr.write(7, 1), PipelineConstraintViolation);
+  pipe.end_packet();
+
+  // Next packet may touch a different index.
+  pipe.begin_packet();
+  pipe.enter(st);
+  EXPECT_EQ(arr.read(5), 0u);
+  pipe.end_packet();
+}
+
+TEST(Pipeline, IndexOutOfRangeThrows) {
+  Pipeline pipe("p");
+  Stage& st = pipe.add_stage("s0");
+  RegisterArray& arr = st.add_register_array("r", 8, 32);
+  pipe.begin_packet();
+  pipe.enter(st);
+  EXPECT_THROW(arr.read(8), PipelineConstraintViolation);
+  pipe.end_packet();
+}
+
+TEST(Pipeline, StagesMustBeVisitedInOrder) {
+  Pipeline pipe("p");
+  Stage& s0 = pipe.add_stage("s0");
+  Stage& s1 = pipe.add_stage("s1");
+  pipe.begin_packet();
+  pipe.enter(s1);
+  EXPECT_THROW(pipe.enter(s0), PipelineConstraintViolation) << "backwards";
+  pipe.end_packet();
+
+  // Forward order is fine, skipping is fine.
+  pipe.begin_packet();
+  pipe.enter(s0);
+  pipe.enter(s1);
+  pipe.end_packet();
+}
+
+TEST(Pipeline, PacketFramingErrors) {
+  Pipeline pipe("p");
+  Stage& s0 = pipe.add_stage("s0");
+  EXPECT_THROW(pipe.enter(s0), PipelineConstraintViolation) << "outside packet";
+  EXPECT_THROW(pipe.end_packet(), PipelineConstraintViolation);
+  pipe.begin_packet();
+  EXPECT_THROW(pipe.begin_packet(), PipelineConstraintViolation) << "re-entered";
+  pipe.end_packet();
+}
+
+TEST(Pipeline, ForeignStageRejected) {
+  Pipeline a("a");
+  Pipeline b("b");
+  Stage& sa = a.add_stage("s");
+  b.add_stage("s");
+  b.begin_packet();
+  EXPECT_THROW(b.enter(sa), PipelineConstraintViolation);
+  b.end_packet();
+}
+
+TEST(Pipeline, ResourceAccounting) {
+  Pipeline pipe("p");
+  Stage& s0 = pipe.add_stage("s0");
+  RegisterArray& r0 = s0.add_register_array("r0", 1024, 64);
+  Stage& s1 = pipe.add_stage("s1");
+  RegisterArray& r1 = s1.add_register_array("r1", 512, 32);
+
+  for (int i = 0; i < 10; ++i) {
+    pipe.begin_packet();
+    pipe.enter(s0);
+    s0.hash(static_cast<std::uint64_t>(i));
+    r0.write(static_cast<std::size_t>(i), 1);
+    pipe.enter(s1);
+    if (i % 2 == 0) r1.write(static_cast<std::size_t>(i), 1);
+    pipe.end_packet();
+  }
+
+  const auto res = pipe.resources();
+  EXPECT_EQ(res.stages, 2u);
+  EXPECT_EQ(res.register_arrays, 2u);
+  EXPECT_EQ(res.sram_bits, 1024u * 64 + 512u * 32);
+  EXPECT_EQ(res.packets_processed, 10u);
+  EXPECT_DOUBLE_EQ(res.hash_calls_per_packet, 1.0);
+  EXPECT_DOUBLE_EQ(res.register_accesses_per_packet, 1.5);
+  EXPECT_FALSE(res.to_string().empty());
+}
+
+TEST(Pipeline, ControlPlanePeekPokeUnrestricted) {
+  Pipeline pipe("p");
+  Stage& st = pipe.add_stage("s0");
+  RegisterArray& arr = st.add_register_array("r", 8, 64);
+  // No packet context needed; any number of accesses allowed.
+  arr.poke(0, 11);
+  arr.poke(1, 22);
+  EXPECT_EQ(arr.peek(0), 11u);
+  EXPECT_EQ(arr.peek(1), 22u);
+}
+
+TEST(Pipeline, StageHashDeterministicPerStage) {
+  Pipeline pipe("p");
+  Stage& s0 = pipe.add_stage("s0");
+  Stage& s1 = pipe.add_stage("s1");
+  pipe.begin_packet();
+  pipe.enter(s0);
+  const auto h0 = s0.hash(123);
+  pipe.enter(s1);
+  const auto h1 = s1.hash(123);
+  pipe.end_packet();
+  EXPECT_NE(h0, h1) << "stages must hash independently";
+  pipe.begin_packet();
+  pipe.enter(s0);
+  EXPECT_EQ(s0.hash(123), h0);
+  pipe.end_packet();
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,88 @@
+#include "net/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hhh {
+namespace {
+
+TEST(Hierarchy, ByteGranularityShape) {
+  const auto h = Hierarchy::byte_granularity();
+  ASSERT_EQ(h.levels(), 5u);
+  EXPECT_EQ(h.length_at(0), 32u);
+  EXPECT_EQ(h.length_at(1), 24u);
+  EXPECT_EQ(h.length_at(2), 16u);
+  EXPECT_EQ(h.length_at(3), 8u);
+  EXPECT_EQ(h.length_at(4), 0u);
+  EXPECT_EQ(h.leaf_length(), 32u);
+}
+
+TEST(Hierarchy, BitGranularityShape) {
+  const auto h = Hierarchy::bit_granularity();
+  ASSERT_EQ(h.levels(), 33u);
+  EXPECT_EQ(h.length_at(0), 32u);
+  EXPECT_EQ(h.length_at(32), 0u);
+  for (std::size_t i = 0; i + 1 < h.levels(); ++i) {
+    EXPECT_EQ(h.length_at(i), h.length_at(i + 1) + 1);
+  }
+}
+
+TEST(Hierarchy, InvalidConstructionsThrow) {
+  EXPECT_THROW(Hierarchy({}), std::invalid_argument);
+  EXPECT_THROW(Hierarchy({32, 24}), std::invalid_argument);       // no /0
+  EXPECT_THROW(Hierarchy({24, 32, 0}), std::invalid_argument);    // not decreasing
+  EXPECT_THROW(Hierarchy({32, 32, 0}), std::invalid_argument);    // duplicate
+  EXPECT_THROW(Hierarchy({33, 0}), std::invalid_argument);        // > 32
+}
+
+TEST(Hierarchy, CustomLevels) {
+  const Hierarchy h({32, 20, 0});
+  EXPECT_EQ(h.levels(), 3u);
+  EXPECT_EQ(h.level_of_length(20), 1u);
+  EXPECT_EQ(h.level_of_length(24), Hierarchy::npos);
+  EXPECT_EQ(h.level_of_length(0), 2u);
+}
+
+TEST(Hierarchy, Generalize) {
+  const auto h = Hierarchy::byte_granularity();
+  const auto addr = Ipv4Address::of(10, 1, 2, 3);
+  EXPECT_EQ(h.generalize(addr, 0).to_string(), "10.1.2.3/32");
+  EXPECT_EQ(h.generalize(addr, 1).to_string(), "10.1.2.0/24");
+  EXPECT_EQ(h.generalize(addr, 2).to_string(), "10.1.0.0/16");
+  EXPECT_EQ(h.generalize(addr, 3).to_string(), "10.0.0.0/8");
+  EXPECT_EQ(h.generalize(addr, 4), Ipv4Prefix::root());
+}
+
+TEST(Hierarchy, LevelOfPrefix) {
+  const auto h = Hierarchy::byte_granularity();
+  EXPECT_EQ(h.level_of(*Ipv4Prefix::parse("10.0.0.0/8")), 3u);
+  EXPECT_EQ(h.level_of(*Ipv4Prefix::parse("10.0.0.0/12")), Hierarchy::npos);
+  EXPECT_EQ(h.level_of(Ipv4Prefix::root()), 4u);
+}
+
+TEST(Hierarchy, ParentOf) {
+  const auto h = Hierarchy::byte_granularity();
+  const auto p24 = *Ipv4Prefix::parse("10.1.2.0/24");
+  EXPECT_EQ(h.parent_of(p24).to_string(), "10.1.0.0/16");
+  EXPECT_EQ(h.parent_of(Ipv4Prefix::root()), Ipv4Prefix::root());
+  const auto host = *Ipv4Prefix::parse("10.1.2.3/32");
+  EXPECT_EQ(h.parent_of(host).to_string(), "10.1.2.0/24");
+}
+
+TEST(Hierarchy, ToString) {
+  EXPECT_EQ(Hierarchy::byte_granularity().to_string(), "{/32,/24,/16,/8,/0}");
+}
+
+TEST(Hierarchy, EqualityAndCopy) {
+  const auto a = Hierarchy::byte_granularity();
+  const auto b = Hierarchy::byte_granularity();
+  const auto c = Hierarchy::bit_granularity();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  const Hierarchy copy = a;  // value semantics
+  EXPECT_EQ(copy, a);
+}
+
+}  // namespace
+}  // namespace hhh

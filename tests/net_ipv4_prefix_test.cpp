@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TEST(Ipv4Address, OfAndOctets) {
+  const auto a = Ipv4Address::of(10, 1, 2, 3);
+  EXPECT_EQ(a.bits(), 0x0A010203u);
+  EXPECT_EQ(a.octet(0), 10);
+  EXPECT_EQ(a.octet(1), 1);
+  EXPECT_EQ(a.octet(2), 2);
+  EXPECT_EQ(a.octet(3), 3);
+}
+
+TEST(Ipv4Address, ParseValid) {
+  const auto a = Ipv4Address::parse("192.168.0.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Ipv4Address::of(192, 168, 0, 1));
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->bits(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->bits(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+}
+
+TEST(Ipv4Address, ToStringRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4Address a(static_cast<std::uint32_t>(rng.next()));
+    const auto parsed = Ipv4Address::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Ipv4Prefix, CanonicalizesHostBits) {
+  const Ipv4Prefix p(Ipv4Address::of(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.address(), Ipv4Address::of(10, 1, 0, 0));
+  EXPECT_EQ(p.length(), 16u);
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, ParseForms) {
+  const auto p = Ipv4Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 8u);
+  const auto host = Ipv4Prefix::parse("1.2.3.4");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(host->length(), 32u);
+  EXPECT_TRUE(host->is_host());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3/8").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/x").has_value());
+  // Non-canonical input is canonicalized, not rejected.
+  EXPECT_EQ(Ipv4Prefix::parse("1.2.3.4/8")->to_string(), "1.0.0.0/8");
+}
+
+TEST(Ipv4Prefix, ContainsAddress) {
+  const auto p = *Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(Ipv4Address::of(10, 1, 200, 3)));
+  EXPECT_FALSE(p.contains(Ipv4Address::of(10, 2, 0, 0)));
+  EXPECT_TRUE(Ipv4Prefix::root().contains(Ipv4Address::of(1, 2, 3, 4)));
+}
+
+TEST(Ipv4Prefix, ContainsAndAncestry) {
+  const auto p8 = *Ipv4Prefix::parse("10.0.0.0/8");
+  const auto p16 = *Ipv4Prefix::parse("10.1.0.0/16");
+  const auto other16 = *Ipv4Prefix::parse("11.1.0.0/16");
+  EXPECT_TRUE(p8.contains(p16));
+  EXPECT_TRUE(p8.is_ancestor_of(p16));
+  EXPECT_FALSE(p16.is_ancestor_of(p8));
+  EXPECT_FALSE(p8.is_ancestor_of(p8)) << "strict ancestry";
+  EXPECT_TRUE(p8.contains(p8));
+  EXPECT_FALSE(p8.contains(other16));
+  EXPECT_TRUE(Ipv4Prefix::root().is_ancestor_of(p8));
+}
+
+TEST(Ipv4Prefix, TruncatedAndParent) {
+  const auto host = *Ipv4Prefix::parse("10.1.2.3/32");
+  EXPECT_EQ(host.truncated(24).to_string(), "10.1.2.0/24");
+  EXPECT_EQ(host.truncated(0), Ipv4Prefix::root());
+  EXPECT_EQ(host.parent().length(), 31u);
+  EXPECT_EQ(Ipv4Prefix::root().parent(), Ipv4Prefix::root());
+}
+
+TEST(Ipv4Prefix, KeyRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Prefix p(Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+                       static_cast<unsigned>(rng.below(33)));
+    EXPECT_EQ(Ipv4Prefix::from_key(p.key()), p);
+  }
+}
+
+TEST(Ipv4Prefix, OrderingIsTotal) {
+  const auto a = *Ipv4Prefix::parse("10.0.0.0/8");
+  const auto b = *Ipv4Prefix::parse("10.0.0.0/16");
+  const auto c = *Ipv4Prefix::parse("11.0.0.0/8");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE((a < b) != (b < a));
+  EXPECT_TRUE((a < c) != (c < a));
+}
+
+TEST(CommonAncestor, Basics) {
+  const auto a = *Ipv4Prefix::parse("10.1.2.0/24");
+  const auto b = *Ipv4Prefix::parse("10.1.3.0/24");
+  EXPECT_EQ(common_ancestor(a, b).to_string(), "10.1.2.0/23");
+  EXPECT_EQ(common_ancestor(a, a), a);
+  const auto far = *Ipv4Prefix::parse("192.0.0.0/8");
+  EXPECT_EQ(common_ancestor(a, far).length(), 0u);
+}
+
+TEST(CommonAncestor, LimitedByShorterPrefix) {
+  const auto wide = *Ipv4Prefix::parse("10.0.0.0/8");
+  const auto narrow = *Ipv4Prefix::parse("10.1.2.3/32");
+  EXPECT_EQ(common_ancestor(wide, narrow), wide);
+}
+
+TEST(CommonAncestor, IsTrueAncestorProperty) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Prefix a(Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+                       static_cast<unsigned>(rng.below(33)));
+    const Ipv4Prefix b(Ipv4Address(static_cast<std::uint32_t>(rng.next())),
+                       static_cast<unsigned>(rng.below(33)));
+    const Ipv4Prefix c = common_ancestor(a, b);
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_TRUE(c.contains(b));
+    // Maximality: one level deeper no longer contains both (when possible).
+    if (c.length() < a.length() && c.length() < b.length()) {
+      const Ipv4Prefix deeper_a = a.truncated(c.length() + 1);
+      EXPECT_FALSE(deeper_a.contains(a) && deeper_a.contains(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hhh

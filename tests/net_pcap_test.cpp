@@ -1,0 +1,283 @@
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace hhh {
+namespace {
+
+class PcapTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "hhh_pcap_test";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+
+  void TearDown() override {
+    std::filesystem::remove_all(std::filesystem::temp_directory_path() / "hhh_pcap_test");
+  }
+
+  static PacketRecord sample_packet(std::int64_t ts_us, std::uint32_t src,
+                                    std::uint32_t dst, IpProto proto) {
+    PacketRecord p;
+    p.ts = TimePoint::from_ns(ts_us * 1000);
+    p.src = Ipv4Address(src);
+    p.dst = Ipv4Address(dst);
+    p.src_port = 1234;
+    p.dst_port = 443;
+    p.proto = proto;
+    p.ip_len = 600;
+    return p;
+  }
+};
+
+TEST_F(PcapTest, EthernetRoundTrip) {
+  const std::string path = temp_path("eth.pcap");
+  std::vector<PacketRecord> sent;
+  {
+    PcapWriter writer(path, LinkType::kEthernet);
+    for (int i = 0; i < 50; ++i) {
+      sent.push_back(sample_packet(1000 + i * 10, 0x0A000001u + i, 0xC0A80001u,
+                                   i % 2 ? IpProto::kTcp : IpProto::kUdp));
+      writer.write(sent.back());
+    }
+    EXPECT_EQ(writer.packets_written(), 50u);
+  }
+
+  PcapReader reader(path);
+  EXPECT_EQ(reader.link_type(), LinkType::kEthernet);
+  EXPECT_FALSE(reader.nanosecond_timestamps());
+  for (const auto& expected : sent) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->ts, expected.ts);
+    EXPECT_EQ(got->src, expected.src);
+    EXPECT_EQ(got->dst, expected.dst);
+    EXPECT_EQ(got->src_port, expected.src_port);
+    EXPECT_EQ(got->dst_port, expected.dst_port);
+    EXPECT_EQ(got->proto, expected.proto);
+    EXPECT_EQ(got->ip_len, expected.ip_len);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.packets_decoded(), 50u);
+  EXPECT_EQ(reader.packets_skipped(), 0u);
+}
+
+TEST_F(PcapTest, RawIpRoundTrip) {
+  const std::string path = temp_path("raw.pcap");
+  {
+    PcapWriter writer(path, LinkType::kRawIp);
+    writer.write(sample_packet(5000, 0x01020304, 0x05060708, IpProto::kUdp));
+  }
+  PcapReader reader(path);
+  EXPECT_EQ(reader.link_type(), LinkType::kRawIp);
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src.to_string(), "1.2.3.4");
+  EXPECT_EQ(got->dst.to_string(), "5.6.7.8");
+  EXPECT_EQ(got->ip_len, 600u);
+}
+
+TEST_F(PcapTest, IcmpPacketHasNoPorts) {
+  const std::string path = temp_path("icmp.pcap");
+  {
+    PcapWriter writer(path);
+    auto p = sample_packet(1, 0x0A000001, 0x0B000001, IpProto::kIcmp);
+    p.src_port = 7777;  // must be ignored for ICMP
+    writer.write(p);
+  }
+  PcapReader reader(path);
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->proto, IpProto::kIcmp);
+  EXPECT_EQ(got->src_port, 0);
+  EXPECT_EQ(got->dst_port, 0);
+}
+
+TEST_F(PcapTest, MissingFileThrows) {
+  EXPECT_THROW(PcapReader("/nonexistent/file.pcap"), std::runtime_error);
+}
+
+TEST_F(PcapTest, BadMagicThrows) {
+  const std::string path = temp_path("junk.pcap");
+  std::ofstream f(path, std::ios::binary);
+  const char junk[32] = "this is not a pcap file at all";
+  f.write(junk, sizeof junk);
+  f.close();
+  EXPECT_THROW(PcapReader{path}, std::runtime_error);
+}
+
+TEST_F(PcapTest, TruncatedTailReturnsCleanEof) {
+  const std::string full = temp_path("full.pcap");
+  {
+    PcapWriter writer(full);
+    writer.write(sample_packet(1, 0x0A000001, 0x0B000001, IpProto::kTcp));
+    writer.write(sample_packet(2, 0x0A000002, 0x0B000001, IpProto::kTcp));
+  }
+  // Copy all but the last 10 bytes.
+  std::ifstream in(full, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  const std::string cut = temp_path("cut.pcap");
+  std::ofstream out(cut, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 10));
+  out.close();
+
+  PcapReader reader(cut);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value()) << "truncated record must not be returned";
+}
+
+TEST_F(PcapTest, NonIpv4FramesAreSkipped) {
+  // Hand-craft a capture with one ARP frame followed by one IPv4 frame.
+  const std::string path = temp_path("mixed.pcap");
+  {
+    PcapWriter writer(path);
+    writer.write(sample_packet(9, 0x0A000001, 0x0B000001, IpProto::kTcp));
+  }
+  // Read the writer's bytes, then splice an ARP record in front.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  std::vector<char> arp_record;
+  const std::uint32_t hdr[4] = {0, 0, 60, 60};  // ts_sec, ts_usec, incl, orig
+  arp_record.insert(arp_record.end(), reinterpret_cast<const char*>(hdr),
+                    reinterpret_cast<const char*>(hdr) + 16);
+  std::vector<char> frame(60, 0);
+  frame[12] = 0x08;  // ethertype 0x0806 = ARP
+  frame[13] = 0x06;
+  arp_record.insert(arp_record.end(), frame.begin(), frame.end());
+
+  const std::string mixed = temp_path("mixed2.pcap");
+  std::ofstream out(mixed, std::ios::binary);
+  out.write(bytes.data(), 24);  // file header
+  out.write(arp_record.data(), static_cast<std::streamsize>(arp_record.size()));
+  out.write(bytes.data() + 24, static_cast<std::streamsize>(bytes.size() - 24));
+  out.close();
+
+  PcapReader reader(mixed);
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->proto, IpProto::kTcp);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.packets_skipped(), 1u);
+}
+
+TEST_F(PcapTest, DecodeFrameRejectsShortInput) {
+  unsigned char tiny[10] = {};
+  EXPECT_FALSE(decode_frame(tiny, sizeof tiny, LinkType::kEthernet, TimePoint()).has_value());
+  EXPECT_FALSE(decode_frame(tiny, sizeof tiny, LinkType::kRawIp, TimePoint()).has_value());
+}
+
+TEST_F(PcapTest, DecodeFrameRejectsNonV4) {
+  unsigned char frame[40] = {};
+  frame[0] = 0x65;  // version 6
+  EXPECT_FALSE(decode_frame(frame, sizeof frame, LinkType::kRawIp, TimePoint()).has_value());
+}
+
+namespace {
+
+// Hand-assemble a one-packet capture with arbitrary magic/endianness.
+std::vector<char> crafted_capture(std::uint32_t magic, bool swap, std::uint32_t ts_sec,
+                                  std::uint32_t ts_frac) {
+  const auto put32 = [&](std::vector<char>& v, std::uint32_t x) {
+    if (swap) x = __builtin_bswap32(x);
+    v.push_back(static_cast<char>(x));
+    v.push_back(static_cast<char>(x >> 8));
+    v.push_back(static_cast<char>(x >> 16));
+    v.push_back(static_cast<char>(x >> 24));
+  };
+  const auto put16 = [&](std::vector<char>& v, std::uint16_t x) {
+    if (swap) x = static_cast<std::uint16_t>((x << 8) | (x >> 8));
+    v.push_back(static_cast<char>(x));
+    v.push_back(static_cast<char>(x >> 8));
+  };
+
+  std::vector<char> out;
+  put32(out, magic);            // written in file order below
+  put16(out, 2);                // version major
+  put16(out, 4);                // version minor
+  put32(out, 0);                // thiszone
+  put32(out, 0);                // sigfigs
+  put32(out, 65535);            // snaplen
+  put32(out, 101);              // LINKTYPE_RAW
+
+  // Minimal 20-byte IPv4 header, proto UDP... keep proto=1 (ICMP, no L4).
+  unsigned char ip[20] = {};
+  ip[0] = 0x45;
+  ip[2] = 0;
+  ip[3] = 20;       // total length 20
+  ip[9] = 1;        // ICMP
+  ip[12] = 10; ip[13] = 0; ip[14] = 0; ip[15] = 1;
+  ip[16] = 20; ip[17] = 0; ip[18] = 0; ip[19] = 2;
+
+  put32(out, ts_sec);
+  put32(out, ts_frac);
+  put32(out, sizeof ip);  // incl_len
+  put32(out, sizeof ip);  // orig_len
+  out.insert(out.end(), reinterpret_cast<const char*>(ip),
+             reinterpret_cast<const char*>(ip) + sizeof ip);
+  return out;
+}
+
+}  // namespace
+
+TEST_F(PcapTest, NanosecondMagicReadsNanosecondTimestamps) {
+  const std::string path = temp_path("nano.pcap");
+  const auto bytes = crafted_capture(0xA1B23C4Du, /*swap=*/false, 3, 500'000'001);
+  std::ofstream f(path, std::ios::binary);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.close();
+
+  PcapReader reader(path);
+  EXPECT_TRUE(reader.nanosecond_timestamps());
+  const auto p = reader.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ts.ns(), 3'500'000'001LL);
+  EXPECT_EQ(p->src.to_string(), "10.0.0.1");
+  EXPECT_EQ(p->proto, IpProto::kIcmp);
+}
+
+TEST_F(PcapTest, ByteSwappedCaptureIsDecoded) {
+  // A capture written on an opposite-endianness machine: swapped magic and
+  // swapped header fields, but network-order packet bytes as always.
+  const std::string path = temp_path("swapped.pcap");
+  const auto bytes = crafted_capture(0xA1B2C3D4u, /*swap=*/true, 7, 250'000);
+  std::ofstream f(path, std::ios::binary);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.close();
+
+  PcapReader reader(path);
+  EXPECT_FALSE(reader.nanosecond_timestamps());
+  EXPECT_EQ(reader.link_type(), LinkType::kRawIp);
+  const auto p = reader.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ts.ns(), 7'000'000'000LL + 250'000'000LL);
+  EXPECT_EQ(p->dst.to_string(), "20.0.0.2");
+}
+
+TEST_F(PcapTest, LargeIpLenSurvivesSnaplen) {
+  // A 1500-byte packet is truncated by the 256-byte snaplen, but ip_len
+  // must still read 1500 (it comes from the IP header, not capture size).
+  const std::string path = temp_path("big.pcap");
+  {
+    PcapWriter writer(path);
+    auto p = sample_packet(1, 0x0A000001, 0x0B000001, IpProto::kUdp);
+    p.ip_len = 1500;
+    writer.write(p);
+  }
+  PcapReader reader(path);
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->ip_len, 1500u);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,236 @@
+// Parameterized property sweeps: the theoretical guarantees of every
+// sketch and detector, checked across their parameter spaces rather than
+// at single configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "core/exact_hhh.hpp"
+#include "core/level_aggregates.hpp"
+#include "core/sliding_window.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/space_saving.hpp"
+#include "sketch/tdbf.hpp"
+#include "sketch/wcss.hpp"
+#include "trace/zipf.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TimePoint at(double seconds) { return TimePoint::from_seconds(seconds); }
+
+// --- Space-Saving: eps = 1/capacity error bound across capacities & skews ---
+
+class SpaceSavingSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SpaceSavingSweep, ErrorBoundHoldsEverywhere) {
+  const auto [capacity, skew] = GetParam();
+  SpaceSaving ss(static_cast<std::size_t>(capacity));
+  Rng rng(0xABC0 + static_cast<std::uint64_t>(capacity));
+  ZipfSampler zipf(3000, skew);
+  std::map<std::uint64_t, double> truth;
+  for (int i = 0; i < 60000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    ss.update(key, 1.0);
+    truth[key] += 1.0;
+  }
+  const double bound = ss.total() / static_cast<double>(capacity);
+  for (const auto& entry : ss.entries()) {
+    EXPECT_GE(entry.count + 1e-9, truth[entry.key]);
+    EXPECT_LE(entry.count - truth[entry.key], bound + 1e-6);
+  }
+  // Completeness: every key above the bound is tracked.
+  for (const auto& [key, count] : truth) {
+    if (count > bound) {
+      EXPECT_TRUE(ss.tracked(key)) << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CapacityBySkew, SpaceSavingSweep,
+                         ::testing::Combine(::testing::Values(16, 64, 256),
+                                            ::testing::Values(0.6, 1.0, 1.4)));
+
+// --- Count-Min: error shrinks as width grows --------------------------------
+
+class CountMinWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CountMinWidthSweep, OverestimateWithinEpsN) {
+  const int width = GetParam();
+  CountMinSketch cm(CountMinParams{.width = static_cast<std::size_t>(width), .depth = 5});
+  Rng rng(0xCE11);
+  ZipfSampler zipf(5000, 1.1);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 80000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    cm.update(key, 1);
+    ++truth[key];
+  }
+  const double eps_n =
+      std::exp(1.0) / static_cast<double>(cm.width()) * static_cast<double>(cm.total());
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cm.estimate(key), count);
+    if (static_cast<double>(cm.estimate(key) - count) > eps_n) ++violations;
+  }
+  EXPECT_LE(violations, static_cast<int>(truth.size() / 50));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CountMinWidthSweep, ::testing::Values(256, 1024, 4096));
+
+// --- Decaying counting Bloom filter: overestimate across geometries ---------
+
+class DcbfSweep : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(DcbfSweep, DecayedOverestimateHolds) {
+  const auto [log_cells, hashes, half_life_s] = GetParam();
+  DecayingCountingBloomFilter dcbf(
+      {.cells = 1u << log_cells,
+       .hashes = static_cast<std::size_t>(hashes),
+       .half_life = Duration::from_seconds(half_life_s)});
+  Rng rng(0xDCBF);
+  std::map<std::uint64_t, double> decayed;
+  const double horizon = 30.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = horizon * static_cast<double>(i) / 20000.0;
+    const std::uint64_t key = rng.below(400);
+    const double w = 1.0 + static_cast<double>(rng.below(100));
+    dcbf.update(key, w, at(t));
+    decayed[key] += w * std::exp2((t - horizon) / half_life_s);
+  }
+  for (const auto& [key, truth] : decayed) {
+    EXPECT_GE(dcbf.estimate(key, at(horizon)) + 1e-6, truth)
+        << "cells=2^" << log_cells << " hashes=" << hashes << " hl=" << half_life_s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, DcbfSweep,
+                         ::testing::Combine(::testing::Values(12, 14),
+                                            ::testing::Values(2, 4),
+                                            ::testing::Values(2.0, 8.0)));
+
+// --- Windowed Space-Saving: window overestimate across frame counts ---------
+
+class WcssSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WcssSweep, WindowOverestimateAcrossGeometry) {
+  const auto [frames, counters] = GetParam();
+  WindowedSpaceSaving w({.window = Duration::seconds(6),
+                         .frames = static_cast<std::size_t>(frames),
+                         .counters_per_frame = static_cast<std::size_t>(counters)});
+  Rng rng(0x3C55);
+  ZipfSampler zipf(300, 1.1);
+  std::deque<std::tuple<double, std::uint64_t, double>> events;
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.exponential(400.0);
+    const std::uint64_t key = zipf.sample(rng);
+    const double weight = 1.0 + static_cast<double>(rng.below(64));
+    w.update(key, weight, at(t));
+    events.emplace_back(t, key, weight);
+    if (i % 2000 == 1999) {
+      std::map<std::uint64_t, double> truth;
+      for (const auto& [et, ek, ew] : events) {
+        if (et > t - 6.0) truth[ek] += ew;
+      }
+      for (std::uint64_t probe = 1; probe <= 5; ++probe) {
+        EXPECT_GE(w.estimate(probe, at(t)) + 1e-6, truth[probe])
+            << "frames=" << frames << " counters=" << counters;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometry, WcssSweep,
+                         ::testing::Combine(::testing::Values(3, 6, 12),
+                                            ::testing::Values(64, 256)));
+
+// --- Exact extraction invariants across hierarchies -------------------------
+
+class HierarchySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchySweep, ConditionedCountsPartitionTraffic) {
+  // Under any hierarchy, at T=1 every byte is claimed by exactly one HHH
+  // (the most specific level already absorbs everything); and at any T the
+  // sum of conditioned counts never exceeds the total.
+  const int which = GetParam();
+  const Hierarchy hierarchy = which == 0   ? Hierarchy::byte_granularity()
+                              : which == 1 ? Hierarchy::bit_granularity()
+                                           : Hierarchy({32, 20, 10, 0});
+  Rng rng(0x41E0 + static_cast<std::uint64_t>(which));
+  LevelAggregates agg(hierarchy);
+  for (int i = 0; i < 3000; ++i) {
+    const Ipv4Address a(static_cast<std::uint32_t>(rng.below(50)) << 24 |
+                        static_cast<std::uint32_t>(rng.below(16)) << 12 |
+                        static_cast<std::uint32_t>(rng.below(64)));
+    agg.add(a, 1 + rng.below(1000));
+  }
+
+  const auto all = extract_hhh(agg, 1);
+  std::uint64_t claimed = 0;
+  for (const auto& item : all.items()) claimed += item.conditioned_bytes;
+  EXPECT_EQ(claimed, agg.total_bytes()) << "T=1 must partition all bytes";
+
+  for (const std::uint64_t threshold : {agg.total_bytes() / 50, agg.total_bytes() / 10}) {
+    const auto set = extract_hhh(agg, threshold);
+    std::uint64_t sum = 0;
+    for (const auto& item : set.items()) {
+      sum += item.conditioned_bytes;
+      EXPECT_LE(item.conditioned_bytes, item.total_bytes);
+      EXPECT_NE(hierarchy.level_of(item.prefix), Hierarchy::npos);
+    }
+    EXPECT_LE(sum, agg.total_bytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hierarchies, HierarchySweep, ::testing::Values(0, 1, 2));
+
+// --- Sliding detector equals brute force across (window, step) --------------
+
+class SlidingGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SlidingGeometrySweep, MatchesBruteForceWindows) {
+  const auto [window_s, step_divisor] = GetParam();
+  const Duration window = Duration::seconds(window_s);
+  const Duration step = window / step_divisor;
+
+  Rng rng(0x511D);
+  std::vector<PacketRecord> packets;
+  double t = 0.0;
+  while (t < 25.0) {
+    t += rng.exponential(80.0);
+    PacketRecord p;
+    p.ts = at(t);
+    p.src = Ipv4Address(static_cast<std::uint32_t>(rng.below(20)) << 24 |
+                        static_cast<std::uint32_t>(rng.below(16)));
+    p.ip_len = 1 + static_cast<std::uint32_t>(rng.below(1500));
+    packets.push_back(p);
+  }
+
+  SlidingWindowHhhDetector det({.window = window, .step = step, .phi = 0.08});
+  for (const auto& p : packets) det.offer(p);
+  det.finish(at(25.0));
+
+  for (const auto& report : det.reports()) {
+    std::vector<PacketRecord> in_window;
+    for (const auto& p : packets) {
+      if (p.ts >= report.start && p.ts < report.end) in_window.push_back(p);
+    }
+    const auto expected = exact_hhh_of(in_window, Hierarchy::byte_granularity(), 0.08);
+    EXPECT_EQ(report.hhhs.prefixes(), expected.prefixes())
+        << "W=" << window_s << "s step=W/" << step_divisor << " end "
+        << report.end.to_seconds();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometry, SlidingGeometrySweep,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Values(1, 2, 4)));
+
+}  // namespace
+}  // namespace hhh

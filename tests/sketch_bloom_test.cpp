@@ -1,0 +1,65 @@
+#include "sketch/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter bf(BloomParams{.bits = 1 << 14, .hashes = 4});
+  for (std::uint64_t k = 0; k < 1000; ++k) bf.insert(k * 7 + 1);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(bf.maybe_contains(k * 7 + 1)) << k;
+  }
+}
+
+TEST(Bloom, FalsePositiveRateNearTarget) {
+  const std::size_t n = 5000;
+  const double target_fpp = 0.01;
+  BloomFilter bf(BloomParams::for_fpp(n, target_fpp));
+  Rng rng(1);
+  for (std::size_t i = 0; i < n; ++i) bf.insert(rng.next());
+
+  int false_positives = 0;
+  const int probes = 100000;
+  Rng probe_rng(2);
+  for (int i = 0; i < probes; ++i) {
+    if (bf.maybe_contains(probe_rng.next() | 0x8000'0000'0000'0000ULL)) ++false_positives;
+  }
+  const double fpp = false_positives / static_cast<double>(probes);
+  EXPECT_LT(fpp, target_fpp * 3 + 0.005);
+}
+
+TEST(Bloom, ForFppComputesSaneParams) {
+  const auto p = BloomParams::for_fpp(1000, 0.01);
+  // m/n ~ 9.6 bits/key at 1%, k ~ 6.6.
+  EXPECT_NEAR(static_cast<double>(p.bits) / 1000.0, 9.6, 0.5);
+  EXPECT_GE(p.hashes, 5u);
+  EXPECT_LE(p.hashes, 8u);
+  EXPECT_THROW(BloomParams::for_fpp(0, 0.01), std::invalid_argument);
+  EXPECT_THROW(BloomParams::for_fpp(10, 1.5), std::invalid_argument);
+}
+
+TEST(Bloom, FillRatioGrowsAndClears) {
+  BloomFilter bf(BloomParams{.bits = 4096, .hashes = 3});
+  EXPECT_DOUBLE_EQ(bf.fill_ratio(), 0.0);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) bf.insert(rng.next());
+  const double filled = bf.fill_ratio();
+  EXPECT_GT(filled, 0.2);
+  EXPECT_LT(filled, 0.5);
+  bf.clear();
+  EXPECT_DOUBLE_EQ(bf.fill_ratio(), 0.0);
+  EXPECT_FALSE(bf.maybe_contains(12345) && bf.fill_ratio() > 0.0);
+}
+
+TEST(Bloom, MemoryMatchesBits) {
+  BloomFilter bf(BloomParams{.bits = 1 << 12, .hashes = 3});
+  EXPECT_EQ(bf.memory_bytes(), (1u << 12) / 8);
+  EXPECT_EQ(bf.bit_count(), 1u << 12);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,129 @@
+#include "sketch/count_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "trace/zipf.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+std::map<std::uint64_t, std::uint64_t> zipf_stream(CountMinSketch& cm, int packets,
+                                                   std::uint64_t seed,
+                                                   CountMinSketch* second = nullptr) {
+  Rng rng(seed);
+  ZipfSampler zipf(5000, 1.1);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < packets; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    const std::uint64_t w = 1 + rng.below(1500);
+    cm.update(key, w);
+    if (second) second->update(key, w);
+    truth[key] += w;
+  }
+  return truth;
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch cm(CountMinParams{.width = 512, .depth = 4});
+  const auto truth = zipf_stream(cm, 50000, 1);
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cm.estimate(key), count) << "key " << key;
+  }
+}
+
+TEST(CountMin, ErrorWithinClassicBound) {
+  CountMinParams params{.width = 2048, .depth = 5};
+  CountMinSketch cm(params);
+  const auto truth = zipf_stream(cm, 100000, 2);
+  // eps = e / width over total weight N; allow the rare >bound key but not
+  // systematic violation.
+  const double eps = std::exp(1.0) / static_cast<double>(cm.width());
+  const double bound = eps * static_cast<double>(cm.total());
+  int violations = 0;
+  for (const auto& [key, count] : truth) {
+    if (static_cast<double>(cm.estimate(key) - count) > bound) ++violations;
+  }
+  EXPECT_LE(violations, static_cast<int>(truth.size() / 100));
+}
+
+TEST(CountMin, ConservativeIsAtLeastAsTight) {
+  CountMinParams vanilla_params{.width = 256, .depth = 4, .conservative = false};
+  CountMinParams cons_params{.width = 256, .depth = 4, .conservative = true};
+  CountMinSketch vanilla(vanilla_params);
+  CountMinSketch conservative(cons_params);
+  const auto truth = zipf_stream(vanilla, 60000, 3, &conservative);
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(conservative.estimate(key), count);
+    EXPECT_LE(conservative.estimate(key), vanilla.estimate(key)) << "key " << key;
+  }
+}
+
+TEST(CountMin, UnseenKeyBoundedByCollisions) {
+  CountMinSketch cm(CountMinParams{.width = 4096, .depth = 5});
+  zipf_stream(cm, 20000, 4);
+  // An unseen key may collide, but with width 4096 the estimate must be a
+  // tiny fraction of the stream.
+  EXPECT_LT(cm.estimate(0xDEAD'0000'0000'BEEF),
+            cm.total() / 50);
+}
+
+TEST(CountMin, TotalIsExact) {
+  CountMinSketch cm(CountMinParams{.width = 64, .depth = 2});
+  cm.update(1, 10);
+  cm.update(2, 20);
+  cm.update(1, 5);
+  EXPECT_EQ(cm.total(), 35u);
+}
+
+TEST(CountMin, ClearResets) {
+  CountMinSketch cm(CountMinParams{.width = 64, .depth = 2});
+  cm.update(7, 100);
+  cm.clear();
+  EXPECT_EQ(cm.total(), 0u);
+  EXPECT_EQ(cm.estimate(7), 0u);
+}
+
+TEST(CountMin, MergeEqualsSequential) {
+  const CountMinParams params{.width = 512, .depth = 4, .seed = 77};
+  CountMinSketch a(params);
+  CountMinSketch b(params);
+  CountMinSketch combined(params);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t key = rng.below(300);
+    const std::uint64_t w = 1 + rng.below(100);
+    (i % 2 ? a : b).update(key, w);
+    combined.update(key, w);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), combined.total());
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    EXPECT_EQ(a.estimate(key), combined.estimate(key)) << key;
+  }
+}
+
+TEST(CountMin, MergeShapeMismatchThrows) {
+  CountMinSketch a(CountMinParams{.width = 128, .depth = 4});
+  CountMinSketch b(CountMinParams{.width = 256, .depth = 4});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(CountMinParams, ForErrorComputesDimensions) {
+  const auto p = CountMinParams::for_error(0.001, 0.01);
+  EXPECT_GE(p.width, static_cast<std::size_t>(std::exp(1.0) / 0.001) - 1);
+  EXPECT_GE(p.depth, 4u);  // ln(100) ~ 4.6
+  EXPECT_THROW(CountMinParams::for_error(0.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(CountMinParams::for_error(0.1, 1.5), std::invalid_argument);
+}
+
+TEST(CountMin, MemoryAccounting) {
+  CountMinSketch cm(CountMinParams{.width = 1024, .depth = 4});
+  EXPECT_EQ(cm.memory_bytes(), 1024u * 4 * sizeof(std::uint64_t));
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,91 @@
+#include "sketch/count_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "trace/zipf.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TEST(CountSketch, HeavyKeysEstimatedAccurately) {
+  CountSketch cs(4096, 5, 11);
+  Rng rng(1);
+  ZipfSampler zipf(2000, 1.2);
+  std::map<std::uint64_t, std::int64_t> truth;
+  std::int64_t total = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    cs.update(key, 1);
+    ++truth[key];
+    ++total;
+  }
+  // The heaviest keys should be estimated within a few percent.
+  for (std::uint64_t key = 1; key <= 5; ++key) {
+    const double t = static_cast<double>(truth[key]);
+    EXPECT_NEAR(static_cast<double>(cs.estimate(key)), t, t * 0.1 + 50) << key;
+  }
+}
+
+TEST(CountSketch, SignedUpdatesCancel) {
+  CountSketch cs(1024, 5, 2);
+  cs.update(42, 1000);
+  cs.update(42, -1000);
+  EXPECT_EQ(cs.estimate(42), 0);
+}
+
+TEST(CountSketch, ErrorsAreRoughlyCentered) {
+  // Count-Sketch is unbiased: signed errors over many light keys should
+  // straddle zero rather than all being positive (unlike Count-Min).
+  CountSketch cs(256, 5, 3);
+  Rng rng(4);
+  std::map<std::uint64_t, std::int64_t> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.below(2000);
+    cs.update(key, 1);
+    ++truth[key];
+  }
+  int positive = 0;
+  int negative = 0;
+  for (const auto& [key, count] : truth) {
+    const auto err = cs.estimate(key) - count;
+    if (err > 0) ++positive;
+    if (err < 0) ++negative;
+  }
+  EXPECT_GT(negative, static_cast<int>(truth.size() / 5));
+  EXPECT_GT(positive, static_cast<int>(truth.size() / 5));
+}
+
+TEST(CountSketch, F2WithinFactorOfTruth) {
+  CountSketch cs(8192, 7, 5);
+  Rng rng(6);
+  ZipfSampler zipf(1000, 1.0);
+  std::map<std::uint64_t, double> truth;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    cs.update(key, 1);
+    truth[key] += 1.0;
+  }
+  double f2 = 0.0;
+  for (const auto& [key, count] : truth) f2 += count * count;
+  EXPECT_NEAR(cs.f2_estimate(), f2, f2 * 0.15);
+}
+
+TEST(CountSketch, ClearResets) {
+  CountSketch cs(64, 3, 7);
+  cs.update(1, 100);
+  cs.clear();
+  EXPECT_EQ(cs.estimate(1), 0);
+  EXPECT_DOUBLE_EQ(cs.f2_estimate(), 0.0);
+}
+
+TEST(CountSketch, MemoryAccounting) {
+  CountSketch cs(1000, 3, 9);  // width rounds to 1024
+  EXPECT_EQ(cs.memory_bytes(), 1024u * 3 * sizeof(std::int64_t));
+}
+
+}  // namespace
+}  // namespace hhh

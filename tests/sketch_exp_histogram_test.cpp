@@ -1,0 +1,116 @@
+#include "sketch/exp_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TimePoint at(double seconds) { return TimePoint::from_seconds(seconds); }
+
+TEST(ExpHistogram, RejectsBadParams) {
+  EXPECT_THROW(ExpHistogram(0, Duration::seconds(1)), std::invalid_argument);
+  EXPECT_THROW(ExpHistogram(4, Duration::seconds(0)), std::invalid_argument);
+}
+
+TEST(ExpHistogram, EmptyEstimatesZero) {
+  ExpHistogram eh(4, Duration::seconds(10));
+  EXPECT_DOUBLE_EQ(eh.estimate(at(5.0)), 0.0);
+  EXPECT_DOUBLE_EQ(eh.upper_bound(at(5.0)), 0.0);
+  EXPECT_DOUBLE_EQ(eh.lower_bound(at(5.0)), 0.0);
+}
+
+TEST(ExpHistogram, RecentItemsCountedFully) {
+  ExpHistogram eh(8, Duration::seconds(10));
+  eh.add(100.0, at(1.0));
+  eh.add(50.0, at(2.0));
+  // Upper bound includes everything; true value 150 within bounds.
+  EXPECT_DOUBLE_EQ(eh.upper_bound(at(3.0)), 150.0);
+  EXPECT_GE(eh.estimate(at(3.0)), eh.lower_bound(at(3.0)));
+  EXPECT_LE(eh.estimate(at(3.0)), eh.upper_bound(at(3.0)));
+}
+
+TEST(ExpHistogram, ExpiredItemsDropOut) {
+  ExpHistogram eh(8, Duration::seconds(10));
+  eh.add(100.0, at(0.0));
+  eh.add(1.0, at(11.0));  // first item now outside (1, 11]
+  EXPECT_LE(eh.upper_bound(at(11.0)), 1.0 + 1e-9);
+}
+
+TEST(ExpHistogram, BoundsBracketBruteForce) {
+  const Duration window = Duration::seconds(5);
+  ExpHistogram eh(16, window);
+  Rng rng(1);
+  std::deque<std::pair<double, double>> events;  // (t, w)
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.exponential(200.0);
+    const double w = 1.0 + static_cast<double>(rng.below(100));
+    eh.add(w, at(t));
+    events.emplace_back(t, w);
+    while (!events.empty() && events.front().first <= t - window.to_seconds()) {
+      events.pop_front();
+    }
+    if (i % 500 == 0) {
+      double truth = 0.0;
+      for (const auto& [et, ew] : events) truth += ew;
+      EXPECT_LE(eh.lower_bound(at(t)), truth + 1e-6) << "t=" << t;
+      EXPECT_GE(eh.upper_bound(at(t)) + 1e-6, truth) << "t=" << t;
+    }
+  }
+}
+
+TEST(ExpHistogram, EstimateErrorShrinksWithK) {
+  // Relative error of the estimate should improve with larger k.
+  const Duration window = Duration::seconds(5);
+  Rng rng(2);
+  double err_small = 0.0;
+  double err_large = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    ExpHistogram eh(pass == 0 ? 2 : 32, window);
+    Rng local(42);
+    std::deque<std::pair<double, double>> events;
+    double t = 0.0;
+    double total_err = 0.0;
+    int samples = 0;
+    for (int i = 0; i < 10000; ++i) {
+      t += local.exponential(150.0);
+      const double w = 1.0 + static_cast<double>(local.below(64));
+      eh.add(w, at(t));
+      events.emplace_back(t, w);
+      while (!events.empty() && events.front().first <= t - 5.0) events.pop_front();
+      if (i % 200 == 199) {
+        double truth = 0.0;
+        for (const auto& [et, ew] : events) truth += ew;
+        total_err += std::abs(eh.estimate(at(t)) - truth) / (truth + 1.0);
+        ++samples;
+      }
+    }
+    (pass == 0 ? err_small : err_large) = total_err / samples;
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(ExpHistogram, BucketCountStaysLogarithmic) {
+  ExpHistogram eh(4, Duration::seconds(100));
+  for (int i = 0; i < 50000; ++i) {
+    eh.add(1.0, at(i * 0.001));
+  }
+  // 50k unit items, k=4: bucket count should be O(k log N) ~ tens, not
+  // thousands.
+  EXPECT_LT(eh.bucket_count(), 120u);
+}
+
+TEST(ExpHistogram, ClearEmpties) {
+  ExpHistogram eh(4, Duration::seconds(10));
+  eh.add(5.0, at(1.0));
+  eh.clear();
+  EXPECT_EQ(eh.bucket_count(), 0u);
+  EXPECT_DOUBLE_EQ(eh.upper_bound(at(1.0)), 0.0);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,113 @@
+#include "sketch/misra_gries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/zipf.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TEST(MisraGries, ExactWhileUnderCapacity) {
+  MisraGries mg(8);
+  mg.update(1, 5.0);
+  mg.update(2, 3.0);
+  mg.update(1, 1.0);
+  EXPECT_DOUBLE_EQ(mg.estimate(1), 6.0);
+  EXPECT_DOUBLE_EQ(mg.estimate(2), 3.0);
+  EXPECT_DOUBLE_EQ(mg.estimate(3), 0.0);
+}
+
+TEST(MisraGries, NeverOverestimates) {
+  MisraGries mg(32);
+  Rng rng(1);
+  ZipfSampler zipf(3000, 1.1);
+  std::map<std::uint64_t, double> truth;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    const double w = 1.0 + static_cast<double>(rng.below(50));
+    mg.update(key, w);
+    truth[key] += w;
+  }
+  for (const auto& e : mg.entries()) {
+    EXPECT_LE(e.count, truth[e.key] + 1e-9) << e.key;
+  }
+}
+
+TEST(MisraGries, UnderestimateBounded) {
+  const std::size_t capacity = 64;
+  MisraGries mg(capacity);
+  Rng rng(2);
+  ZipfSampler zipf(2000, 1.2);
+  std::map<std::uint64_t, double> truth;
+  for (int i = 0; i < 150000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    mg.update(key, 1.0);
+    truth[key] += 1.0;
+  }
+  const double bound = mg.total() / static_cast<double>(capacity + 1);
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(mg.estimate(key), count - bound - 1e-6) << key;
+  }
+}
+
+TEST(MisraGries, DecrementFreesSlots) {
+  MisraGries mg(2);
+  mg.update(1, 3.0);
+  mg.update(2, 1.0);
+  // Newcomer weight 2: min(3,1,2)=1 subtracted -> key2 dies, key3 enters
+  // with remainder 1.
+  mg.update(3, 2.0);
+  EXPECT_DOUBLE_EQ(mg.estimate(1), 2.0);
+  EXPECT_DOUBLE_EQ(mg.estimate(2), 0.0);
+  EXPECT_DOUBLE_EQ(mg.estimate(3), 1.0);
+}
+
+TEST(MisraGries, NewcomerFullyAbsorbed) {
+  MisraGries mg(2);
+  mg.update(1, 10.0);
+  mg.update(2, 10.0);
+  mg.update(3, 2.0);  // absorbed: all counters decremented by 2
+  EXPECT_DOUBLE_EQ(mg.estimate(1), 8.0);
+  EXPECT_DOUBLE_EQ(mg.estimate(2), 8.0);
+  EXPECT_DOUBLE_EQ(mg.estimate(3), 0.0);
+  EXPECT_EQ(mg.size(), 2u);
+}
+
+TEST(MisraGries, CapacityRespected) {
+  MisraGries mg(16);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) mg.update(rng.below(500), 1.0);
+  EXPECT_LE(mg.size(), 16u);
+}
+
+TEST(MisraGries, ClearAndZeroCapacity) {
+  EXPECT_THROW(MisraGries(0), std::invalid_argument);
+  MisraGries mg(4);
+  mg.update(1, 2.0);
+  mg.clear();
+  EXPECT_EQ(mg.size(), 0u);
+  EXPECT_DOUBLE_EQ(mg.total(), 0.0);
+}
+
+// Sandwich property: MG (under) <= truth <= SS (over) is checked here for
+// MG's side via heavy keys surviving.
+TEST(MisraGries, HeavyKeysSurvive) {
+  const std::size_t capacity = 20;
+  MisraGries mg(capacity);
+  Rng rng(4);
+  std::map<std::uint64_t, double> truth;
+  // One dominant key plus noise.
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t key = rng.chance(0.3) ? 7777 : 10000 + rng.below(5000);
+    mg.update(key, 1.0);
+    truth[key] += 1.0;
+  }
+  EXPECT_GT(mg.estimate(7777), truth[7777] - mg.total() / (capacity + 1) - 1.0);
+  EXPECT_GT(mg.estimate(7777), 0.0);
+}
+
+}  // namespace
+}  // namespace hhh

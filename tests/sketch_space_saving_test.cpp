@@ -1,0 +1,163 @@
+#include "sketch/space_saving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "trace/zipf.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TEST(SpaceSaving, ExactWhileUnderCapacity) {
+  SpaceSaving ss(10);
+  ss.update(1, 5.0);
+  ss.update(2, 3.0);
+  ss.update(1, 2.0);
+  EXPECT_DOUBLE_EQ(ss.estimate(1), 7.0);
+  EXPECT_DOUBLE_EQ(ss.estimate(2), 3.0);
+  EXPECT_DOUBLE_EQ(ss.estimate(99), 0.0);
+  EXPECT_EQ(ss.size(), 2u);
+  EXPECT_DOUBLE_EQ(ss.min_count(), 0.0) << "not full yet";
+}
+
+TEST(SpaceSaving, EvictionInheritsMinimum) {
+  SpaceSaving ss(2);
+  ss.update(1, 10.0);
+  ss.update(2, 4.0);
+  ss.update(3, 1.0);  // evicts key 2 (min=4): key 3 gets count 5, error 4
+  EXPECT_FALSE(ss.tracked(2));
+  ASSERT_TRUE(ss.tracked(3));
+  EXPECT_DOUBLE_EQ(ss.estimate(3), 5.0);
+  const auto entries = ss.entries();
+  const auto it = std::find_if(entries.begin(), entries.end(),
+                               [](const auto& e) { return e.key == 3; });
+  ASSERT_NE(it, entries.end());
+  EXPECT_DOUBLE_EQ(it->error, 4.0);
+  EXPECT_DOUBLE_EQ(it->guaranteed(), 1.0);
+}
+
+TEST(SpaceSaving, OverestimatesAndBoundsError) {
+  const std::size_t capacity = 64;
+  SpaceSaving ss(capacity);
+  Rng rng(1);
+  ZipfSampler zipf(10000, 1.1);
+  std::map<std::uint64_t, double> truth;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    const double w = 1.0 + static_cast<double>(rng.below(100));
+    ss.update(key, w);
+    truth[key] += w;
+  }
+  const double bound = ss.total() / static_cast<double>(capacity);
+  for (const auto& e : ss.entries()) {
+    const double t = truth[e.key];
+    EXPECT_GE(e.count + 1e-9, t) << "underestimate for " << e.key;
+    EXPECT_LE(e.count - t, bound + 1e-6) << "error above N/k for " << e.key;
+  }
+}
+
+TEST(SpaceSaving, AllTrueHeavyKeysAreTracked) {
+  const std::size_t capacity = 50;
+  SpaceSaving ss(capacity);
+  Rng rng(2);
+  ZipfSampler zipf(5000, 1.3);
+  std::map<std::uint64_t, double> truth;
+  for (int i = 0; i < 300000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    ss.update(key, 1.0);
+    truth[key] += 1.0;
+  }
+  const double guarantee = ss.total() / static_cast<double>(capacity);
+  for (const auto& [key, count] : truth) {
+    if (count > guarantee) {
+      EXPECT_TRUE(ss.tracked(key)) << "heavy key " << key << " lost";
+    }
+  }
+}
+
+TEST(SpaceSaving, EntriesAtLeastFilters) {
+  SpaceSaving ss(10);
+  ss.update(1, 100.0);
+  ss.update(2, 50.0);
+  ss.update(3, 10.0);
+  const auto heavy = ss.entries_at_least(50.0);
+  ASSERT_EQ(heavy.size(), 2u);
+  for (const auto& e : heavy) EXPECT_GE(e.count, 50.0);
+}
+
+TEST(SpaceSaving, ScalePreservesOrderAndTotal) {
+  SpaceSaving ss(8);
+  for (std::uint64_t k = 1; k <= 8; ++k) ss.update(k, static_cast<double>(k * 10));
+  const double total_before = ss.total();
+  ss.scale(0.5);
+  EXPECT_DOUBLE_EQ(ss.total(), total_before * 0.5);
+  EXPECT_DOUBLE_EQ(ss.estimate(8), 40.0);
+  EXPECT_DOUBLE_EQ(ss.estimate(1), 5.0);
+  // Eviction still works after scaling (heap order must be intact).
+  ss.update(100, 1.0);
+  EXPECT_TRUE(ss.tracked(100));
+  EXPECT_FALSE(ss.tracked(1)) << "the scaled minimum should have been evicted";
+}
+
+TEST(SpaceSaving, ScaleNegativeThrows) {
+  SpaceSaving ss(4);
+  EXPECT_THROW(ss.scale(-1.0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, ZeroCapacityThrows) {
+  EXPECT_THROW(SpaceSaving(0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, ClearEmptiesSummary) {
+  SpaceSaving ss(4);
+  ss.update(1, 1.0);
+  ss.clear();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_DOUBLE_EQ(ss.total(), 0.0);
+  EXPECT_FALSE(ss.tracked(1));
+  ss.update(2, 2.0);
+  EXPECT_DOUBLE_EQ(ss.estimate(2), 2.0);
+}
+
+TEST(SpaceSaving, MinCountIsEvictionThreshold) {
+  SpaceSaving ss(3);
+  ss.update(1, 5.0);
+  ss.update(2, 7.0);
+  ss.update(3, 3.0);
+  EXPECT_DOUBLE_EQ(ss.min_count(), 3.0);
+  ss.update(4, 1.0);  // evict 3 -> count 4
+  EXPECT_DOUBLE_EQ(ss.min_count(), 4.0);
+}
+
+// Heap-integrity fuzz: estimates must stay >= truth under random workloads.
+TEST(SpaceSaving, RandomizedInvariants) {
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t capacity = 4 + rng.below(60);
+    SpaceSaving ss(capacity);
+    std::map<std::uint64_t, double> truth;
+    const int ops = 5000;
+    for (int i = 0; i < ops; ++i) {
+      const std::uint64_t key = rng.below(capacity * 3);
+      const double w = 1.0 + static_cast<double>(rng.below(20));
+      ss.update(key, w);
+      truth[key] += w;
+    }
+    EXPECT_LE(ss.size(), capacity);
+    double entry_total = 0.0;
+    for (const auto& e : ss.entries()) {
+      EXPECT_GE(e.count + 1e-9, truth[e.key]);
+      EXPECT_GE(e.guaranteed(), -1e-9);
+      entry_total += e.count;
+    }
+    // Sum of counts >= true total of tracked keys, <= total stream weight
+    // plus inherited double counting bounded by total.
+    EXPECT_LE(entry_total, ss.total() + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace hhh

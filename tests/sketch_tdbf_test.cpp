@@ -1,0 +1,163 @@
+#include "sketch/tdbf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TimePoint at(double seconds) { return TimePoint::from_seconds(seconds); }
+
+TEST(TimeDecayingBloom, PresentWithinLifetime) {
+  TimeDecayingBloomFilter tdbf({.cells = 1 << 12, .hashes = 4,
+                                .lifetime = Duration::seconds(10)});
+  tdbf.insert(42, at(0.0));
+  EXPECT_TRUE(tdbf.maybe_contains(42, at(0.0)));
+  EXPECT_TRUE(tdbf.maybe_contains(42, at(9.9)));
+  EXPECT_FALSE(tdbf.maybe_contains(42, at(10.1)));
+}
+
+TEST(TimeDecayingBloom, ReinsertionExtendsLifetime) {
+  TimeDecayingBloomFilter tdbf({.cells = 1 << 12, .hashes = 4,
+                                .lifetime = Duration::seconds(5)});
+  tdbf.insert(7, at(0.0));
+  tdbf.insert(7, at(4.0));
+  EXPECT_TRUE(tdbf.maybe_contains(7, at(8.9)));
+  EXPECT_FALSE(tdbf.maybe_contains(7, at(9.1)));
+}
+
+TEST(TimeDecayingBloom, UnseenKeyMostlyAbsent) {
+  TimeDecayingBloomFilter tdbf({.cells = 1 << 14, .hashes = 4,
+                                .lifetime = Duration::seconds(10)});
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) tdbf.insert(rng.next(), at(1.0));
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (tdbf.maybe_contains(rng.next() | 0x8000'0000'0000'0000ULL, at(1.0))) ++fp;
+  }
+  EXPECT_LT(fp, 100);  // sparse filter: fpp well under 1%
+}
+
+TEST(TimeDecayingBloom, FillRatioDecaysWithTime) {
+  TimeDecayingBloomFilter tdbf({.cells = 1 << 10, .hashes = 3,
+                                .lifetime = Duration::seconds(2)});
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) tdbf.insert(rng.next(), at(0.0));
+  const double live_now = tdbf.fill_ratio(at(0.0));
+  const double live_later = tdbf.fill_ratio(at(3.0));
+  EXPECT_GT(live_now, 0.3);
+  EXPECT_DOUBLE_EQ(live_later, 0.0) << "all deadlines passed";
+}
+
+// ---------------------------------------------------------------------------
+// Counting extension.
+// ---------------------------------------------------------------------------
+
+DecayingCountingBloomFilter::Params counting_params(double half_life_s,
+                                                    bool conservative = true) {
+  DecayingCountingBloomFilter::Params p;
+  p.cells = 1 << 14;
+  p.hashes = 4;
+  p.half_life = Duration::from_seconds(half_life_s);
+  p.conservative = conservative;
+  return p;
+}
+
+TEST(DecayingCounting, ImmediateEstimateIsExactWhenSparse) {
+  DecayingCountingBloomFilter dcbf(counting_params(10.0));
+  dcbf.update(1, 500.0, at(0.0));
+  dcbf.update(1, 250.0, at(0.0));
+  EXPECT_NEAR(dcbf.estimate(1, at(0.0)), 750.0, 1e-6);
+}
+
+TEST(DecayingCounting, ValueHalvesEveryHalfLife) {
+  DecayingCountingBloomFilter dcbf(counting_params(5.0));
+  dcbf.update(9, 1000.0, at(0.0));
+  EXPECT_NEAR(dcbf.estimate(9, at(5.0)), 500.0, 1.0);
+  EXPECT_NEAR(dcbf.estimate(9, at(10.0)), 250.0, 1.0);
+  EXPECT_NEAR(dcbf.estimate(9, at(20.0)), 62.5, 0.5);
+}
+
+TEST(DecayingCounting, TotalDecaysLikeCells) {
+  DecayingCountingBloomFilter dcbf(counting_params(2.0));
+  dcbf.update(1, 100.0, at(0.0));
+  dcbf.update(2, 300.0, at(0.0));
+  EXPECT_NEAR(dcbf.total(at(0.0)), 400.0, 1e-6);
+  EXPECT_NEAR(dcbf.total(at(2.0)), 200.0, 0.1);
+  EXPECT_NEAR(dcbf.total(at(4.0)), 100.0, 0.1);
+}
+
+TEST(DecayingCounting, NeverUnderestimatesDecayedTruth) {
+  DecayingCountingBloomFilter dcbf(counting_params(8.0));
+  Rng rng(3);
+  std::map<std::uint64_t, double> decayed;  // truth decayed to t = 60
+  const double h = 8.0;
+  for (int i = 0; i < 30000; ++i) {
+    const double t = 60.0 * static_cast<double>(i) / 30000.0;
+    const std::uint64_t key = rng.below(300);
+    const double w = 1.0 + static_cast<double>(rng.below(100));
+    dcbf.update(key, w, at(t));
+    decayed[key] += w * std::exp2((t - 60.0) / h);
+  }
+  for (const auto& [key, truth] : decayed) {
+    EXPECT_GE(dcbf.estimate(key, at(60.0)) + 1e-6, truth) << key;
+  }
+}
+
+TEST(DecayingCounting, ConservativeTighterThanVanilla) {
+  DecayingCountingBloomFilter cons(counting_params(8.0, true));
+  DecayingCountingBloomFilter vanilla(counting_params(8.0, false));
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const double t = static_cast<double>(i) * 1e-3;
+    const std::uint64_t key = rng.below(5000);  // force collisions
+    const double w = 1.0 + static_cast<double>(rng.below(50));
+    cons.update(key, w, at(t));
+    vanilla.update(key, w, at(t));
+  }
+  double cons_sum = 0.0;
+  double vanilla_sum = 0.0;
+  for (std::uint64_t key = 0; key < 5000; ++key) {
+    cons_sum += cons.estimate(key, at(20.0));
+    vanilla_sum += vanilla.estimate(key, at(20.0));
+  }
+  EXPECT_LE(cons_sum, vanilla_sum * 1.001);
+}
+
+TEST(DecayingCounting, OldBurstFadesBelowNewTraffic) {
+  // The windowless core property: a finished burst stops dominating after
+  // a few half-lives, without any reset.
+  DecayingCountingBloomFilter dcbf(counting_params(2.0));
+  for (int i = 0; i < 100; ++i) dcbf.update(1, 100.0, at(0.0 + i * 0.01));
+  for (int i = 0; i < 100; ++i) dcbf.update(2, 10.0, at(14.0 + i * 0.01));
+  const TimePoint now = at(15.0);
+  EXPECT_LT(dcbf.estimate(1, now), dcbf.estimate(2, now));
+}
+
+TEST(DecayingCounting, EquivalentWindowFormula) {
+  DecayingCountingBloomFilter dcbf(counting_params(6.931));  // ~W=10s
+  EXPECT_NEAR(dcbf.equivalent_window_seconds(), 10.0, 0.01);
+}
+
+TEST(DecayingCounting, ClearResets) {
+  DecayingCountingBloomFilter dcbf(counting_params(5.0));
+  dcbf.update(1, 100.0, at(1.0));
+  dcbf.clear();
+  EXPECT_DOUBLE_EQ(dcbf.estimate(1, at(1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(dcbf.total(at(1.0)), 0.0);
+}
+
+TEST(DecayingCounting, SteadyRateConvergesToRateTimesTau) {
+  DecayingCountingBloomFilter dcbf(counting_params(4.0));
+  // 100 bytes every 10 ms for 60 s = 10 kB/s steady.
+  for (int i = 0; i < 6000; ++i) dcbf.update(5, 100.0, at(i * 0.01));
+  const double tau = dcbf.equivalent_window_seconds();
+  EXPECT_NEAR(dcbf.estimate(5, at(60.0)), 10000.0 * tau, 10000.0 * tau * 0.05);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,115 @@
+#include "sketch/univmon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "trace/zipf.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+UnivMon::Params default_params() {
+  UnivMon::Params p;
+  p.levels = 8;
+  p.sketch_width = 2048;
+  p.sketch_depth = 5;
+  p.top_k = 32;
+  return p;
+}
+
+TEST(UnivMon, HeavyHittersAreFound) {
+  UnivMon um(default_params());
+  Rng rng(1);
+  ZipfSampler zipf(5000, 1.3);
+  std::map<std::uint64_t, std::int64_t> truth;
+  std::int64_t total = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    um.update(key, 1);
+    ++truth[key];
+    ++total;
+  }
+  const std::int64_t threshold = total / 100;  // 1% HHs
+  const auto hh = um.heavy_hitters(threshold);
+  // Every true 2% key must be reported (1% threshold with slack).
+  for (const auto& [key, count] : truth) {
+    if (count >= total / 50) {
+      bool found = false;
+      for (const auto& h : hh) found |= h.key == key;
+      EXPECT_TRUE(found) << "missing heavy key " << key;
+    }
+  }
+}
+
+TEST(UnivMon, HeavyHitterEstimatesAreClose) {
+  UnivMon um(default_params());
+  Rng rng(2);
+  ZipfSampler zipf(1000, 1.2);
+  std::map<std::uint64_t, std::int64_t> truth;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    um.update(key, 1);
+    ++truth[key];
+  }
+  for (std::uint64_t key = 1; key <= 3; ++key) {
+    const double t = static_cast<double>(truth[key]);
+    EXPECT_NEAR(static_cast<double>(um.estimate(key)), t, t * 0.15 + 20) << key;
+  }
+}
+
+TEST(UnivMon, F2WithinFactorTwo) {
+  UnivMon um(default_params());
+  Rng rng(3);
+  ZipfSampler zipf(2000, 1.1);
+  std::map<std::uint64_t, double> truth;
+  for (int i = 0; i < 150000; ++i) {
+    const std::uint64_t key = zipf.sample(rng);
+    um.update(key, 1);
+    truth[key] += 1.0;
+  }
+  double f2 = 0.0;
+  for (const auto& [key, count] : truth) f2 += count * count;
+  const double est = um.f2();
+  EXPECT_GT(est, f2 * 0.5);
+  EXPECT_LT(est, f2 * 2.0);
+}
+
+TEST(UnivMon, EntropyOfUniformVsSkewed) {
+  // Uniform traffic has higher entropy than skewed traffic; the estimator
+  // must preserve that ordering (the anomaly-detection use of UnivMon).
+  UnivMon uniform(default_params());
+  UnivMon skewed(default_params());
+  Rng rng(4);
+  ZipfSampler zipf(256, 1.5);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    uniform.update(rng.below(256), 1);
+    skewed.update(zipf.sample(rng), 1);
+  }
+  const double h_uniform = uniform.entropy(n);
+  const double h_skewed = skewed.entropy(n);
+  EXPECT_GT(h_uniform, h_skewed);
+  // Uniform over 256 keys: H ~ 8 bits.
+  EXPECT_NEAR(h_uniform, 8.0, 1.5);
+}
+
+TEST(UnivMon, MemoryAccountedAndBounded) {
+  UnivMon um(default_params());
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) um.update(rng.next(), 1);
+  EXPECT_GT(um.memory_bytes(), 0u);
+  EXPECT_LT(um.memory_bytes(), 10u << 20);
+  EXPECT_EQ(um.levels(), 8u);
+}
+
+TEST(UnivMon, RejectsZeroLevels) {
+  UnivMon::Params p = default_params();
+  p.levels = 0;
+  EXPECT_THROW(UnivMon{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhh

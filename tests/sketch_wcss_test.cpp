@@ -1,0 +1,124 @@
+#include "sketch/wcss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "trace/zipf.hpp"
+#include "util/random.hpp"
+
+namespace hhh {
+namespace {
+
+TimePoint at(double seconds) { return TimePoint::from_seconds(seconds); }
+
+TEST(WindowedSpaceSaving, RejectsBadParams) {
+  EXPECT_THROW(WindowedSpaceSaving({.window = Duration::seconds(10), .frames = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(WindowedSpaceSaving({.window = Duration::seconds(0), .frames = 4}),
+               std::invalid_argument);
+}
+
+TEST(WindowedSpaceSaving, CountsWithinWindow) {
+  WindowedSpaceSaving w({.window = Duration::seconds(10), .frames = 5,
+                         .counters_per_frame = 64});
+  w.update(1, 100.0, at(0.5));
+  w.update(1, 50.0, at(3.0));
+  EXPECT_GE(w.estimate(1, at(5.0)), 150.0);
+}
+
+TEST(WindowedSpaceSaving, OldTrafficExpires) {
+  WindowedSpaceSaving w({.window = Duration::seconds(10), .frames = 5,
+                         .counters_per_frame = 64});
+  w.update(1, 1000.0, at(0.5));
+  EXPECT_GE(w.estimate(1, at(5.0)), 1000.0);
+  // 12+ seconds later the frame holding the update has left the window.
+  EXPECT_DOUBLE_EQ(w.estimate(1, at(13.0)), 0.0);
+}
+
+TEST(WindowedSpaceSaving, WindowTotalTracksLiveFrames) {
+  WindowedSpaceSaving w({.window = Duration::seconds(4), .frames = 4,
+                         .counters_per_frame = 16});
+  w.update(1, 100.0, at(0.5));
+  w.update(2, 100.0, at(1.5));
+  EXPECT_DOUBLE_EQ(w.window_total(at(2.0)), 200.0);
+  EXPECT_DOUBLE_EQ(w.window_total(at(10.0)), 0.0);
+}
+
+TEST(WindowedSpaceSaving, NeverUnderestimatesWindowCount) {
+  // Overestimate property: estimate >= true weight in (now - W, now], since
+  // frames covering the window are all included and Space-Saving
+  // overestimates within each frame.
+  WindowedSpaceSaving w({.window = Duration::seconds(5), .frames = 5,
+                         .counters_per_frame = 128});
+  Rng rng(1);
+  ZipfSampler zipf(500, 1.1);
+  std::deque<std::tuple<double, std::uint64_t, double>> events;
+  double t = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    t += rng.exponential(500.0);
+    const std::uint64_t key = zipf.sample(rng);
+    const double weight = 1.0 + static_cast<double>(rng.below(100));
+    w.update(key, weight, at(t));
+    events.emplace_back(t, key, weight);
+
+    if (i % 1000 == 999) {
+      std::map<std::uint64_t, double> truth;
+      for (const auto& [et, ek, ew] : events) {
+        if (et > t - 5.0) truth[ek] += ew;
+      }
+      for (std::uint64_t probe = 1; probe <= 10; ++probe) {
+        EXPECT_GE(w.estimate(probe, at(t)) + 1e-6, truth[probe])
+            << "t=" << t << " key=" << probe;
+      }
+    }
+  }
+}
+
+TEST(WindowedSpaceSaving, HeavyKeysAppearInCandidates) {
+  WindowedSpaceSaving w({.window = Duration::seconds(5), .frames = 5,
+                         .counters_per_frame = 64});
+  Rng rng(2);
+  // Key 42 carries ~30% of traffic.
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.exponential(1000.0);
+    const std::uint64_t key = rng.chance(0.3) ? 42 : 100 + rng.below(400);
+    w.update(key, 100.0, at(t));
+  }
+  const double total = w.window_total(at(t));
+  const auto candidates = w.candidates_at_least(total * 0.2, at(t));
+  bool found = false;
+  for (const auto& c : candidates) found |= c.key == 42;
+  EXPECT_TRUE(found);
+}
+
+TEST(WindowedSpaceSaving, SlidingRevealsBoundaryStraddlingBurst) {
+  // The motivating scenario: a burst split across two disjoint windows is
+  // visible whole in some sliding position.
+  WindowedSpaceSaving w({.window = Duration::seconds(10), .frames = 10,
+                         .counters_per_frame = 32});
+  // Burst from t=8..12 (straddles the t=10 boundary), 200 units at 100/s.
+  for (int i = 0; i < 400; ++i) {
+    w.update(7, 1.0, at(8.0 + i * 0.01));
+  }
+  // At t=12, the full burst is inside (2, 12].
+  EXPECT_GE(w.estimate(7, at(12.0)), 400.0);
+}
+
+TEST(WindowedSpaceSaving, MemoryIsBounded) {
+  WindowedSpaceSaving w({.window = Duration::seconds(10), .frames = 8,
+                         .counters_per_frame = 128});
+  Rng rng(3);
+  double t = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    t += 0.001;
+    w.update(rng.next(), 1.0, at(t));  // all-distinct keys
+  }
+  // 9 frames x 128 counters bounded memory regardless of distinct keys.
+  EXPECT_LT(w.memory_bytes(), 1u << 20);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,132 @@
+#include "trace/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "net/prefix.hpp"
+
+namespace hhh {
+namespace {
+
+AddressSpaceConfig small_config() {
+  AddressSpaceConfig cfg;
+  cfg.num_slash8 = 6;
+  cfg.slash16_per_8 = 5;
+  cfg.slash24_per_16 = 4;
+  cfg.hosts_per_24 = 3;
+  return cfg;
+}
+
+TEST(AddressSpace, PopulationSizeMatchesConfig) {
+  Rng rng(1);
+  const auto cfg = small_config();
+  AddressSpace space(cfg, rng);
+  EXPECT_EQ(space.size(), cfg.host_count());
+  EXPECT_EQ(space.size(), 6u * 5 * 4 * 3);
+}
+
+TEST(AddressSpace, WeightsFormDistribution) {
+  Rng rng(2);
+  AddressSpace space(small_config(), rng);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_GT(space.weight(i), 0.0);
+    sum += space.weight(i);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(AddressSpace, HostsAreDistinct) {
+  Rng rng(3);
+  AddressSpace space(small_config(), rng);
+  std::set<std::uint32_t> uniq;
+  for (std::size_t i = 0; i < space.size(); ++i) uniq.insert(space.host(i).bits());
+  EXPECT_EQ(uniq.size(), space.size());
+}
+
+TEST(AddressSpace, HostOctetsNeverZero) {
+  Rng rng(4);
+  AddressSpace space(small_config(), rng);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_NE(space.host(i).octet(0), 0) << "reserved /8 used";
+    EXPECT_NE(space.host(i).octet(3), 0) << "network address used as host";
+  }
+}
+
+TEST(AddressSpace, SamplingFollowsWeights) {
+  Rng rng(5);
+  AddressSpace space(small_config(), rng);
+  // Aggregate empirical mass per /8 and compare with configured weights.
+  std::map<std::uint32_t, double> mass_true;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    mass_true[space.host(i).bits() >> 24] += space.weight(i);
+  }
+  std::map<std::uint32_t, int> hits;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) ++hits[space.host(space.sample(rng)).bits() >> 24];
+  for (const auto& [block, mass] : mass_true) {
+    EXPECT_NEAR(hits[block] / static_cast<double>(trials), mass, 0.01)
+        << "block " << block;
+  }
+}
+
+TEST(AddressSpace, HierarchicalConcentration) {
+  // The heaviest /8 must carry disproportionate mass (Zipf s=1 across 6
+  // blocks -> top block ~ 1/H_6 ~ 0.41).
+  Rng rng(6);
+  AddressSpace space(small_config(), rng);
+  std::map<std::uint32_t, double> mass;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    mass[space.host(i).bits() >> 24] += space.weight(i);
+  }
+  double top = 0.0;
+  for (const auto& [block, m] : mass) top = std::max(top, m);
+  EXPECT_GT(top, 0.3);
+  EXPECT_LT(top, 0.55);
+}
+
+TEST(AddressSpace, DeterministicGivenSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  AddressSpace a(small_config(), rng1);
+  AddressSpace b(small_config(), rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.host(i), b.host(i));
+    EXPECT_DOUBLE_EQ(a.weight(i), b.weight(i));
+  }
+}
+
+TEST(AddressSpace, DestinationsDisjointFromSources) {
+  Rng rng(8);
+  AddressSpace space(small_config(), rng);
+  std::set<std::uint32_t> sources;
+  for (std::size_t i = 0; i < space.size(); ++i) sources.insert(space.host(i).bits());
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = space.random_destination(rng);
+    EXPECT_GE(d.octet(0), 128) << "destination outside the reserved half";
+    EXPECT_FALSE(sources.count(d.bits()));
+  }
+}
+
+TEST(AddressSpace, UniformSampleCoversPopulation) {
+  Rng rng(9);
+  AddressSpace space(small_config(), rng);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 20000; ++i) seen.insert(space.sample_uniform(rng));
+  // With 360 hosts and 20k uniform draws, expect near-complete coverage.
+  EXPECT_GT(seen.size(), space.size() * 95 / 100);
+}
+
+TEST(AddressSpace, EmptyConfigThrows) {
+  Rng rng(10);
+  AddressSpaceConfig cfg;
+  cfg.num_slash8 = 0;
+  EXPECT_THROW(AddressSpace(cfg, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hhh

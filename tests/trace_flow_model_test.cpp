@@ -1,0 +1,116 @@
+#include "trace/flow_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hhh {
+namespace {
+
+TEST(PacketSizeModel, SamplesOnlyConfiguredPoints) {
+  PacketSizeModel model;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto len = model.sample(rng);
+    EXPECT_TRUE(len == model.small_len || len == model.medium_len || len == model.large_len);
+  }
+}
+
+TEST(PacketSizeModel, EmpiricalMeanMatchesFormula) {
+  PacketSizeModel model;
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += model.sample(rng);
+  EXPECT_NEAR(sum / n, model.mean(), model.mean() * 0.02);
+}
+
+TEST(RateModulation, FactorOscillatesAroundOne) {
+  RateModulation mod;
+  mod.amplitude = 0.3;
+  mod.period = Duration::seconds(100);
+  double min_f = 10.0;
+  double max_f = 0.0;
+  double sum = 0.0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    const double f = mod.factor(TimePoint::from_seconds(i * 0.1));
+    min_f = std::min(min_f, f);
+    max_f = std::max(max_f, f);
+    sum += f;
+  }
+  EXPECT_NEAR(min_f, 0.7, 0.01);
+  EXPECT_NEAR(max_f, 1.3, 0.01);
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(mod.peak_factor(), 1.3);
+}
+
+TEST(RateModulation, ZeroAmplitudeIsFlat) {
+  RateModulation mod;
+  mod.amplitude = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(mod.factor(TimePoint::from_seconds(i * 7.0)), 1.0);
+  }
+}
+
+TEST(BurstModel, SpikeSamplesWithinBounds) {
+  BurstModel model;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double d = model.sample_duration(rng).to_seconds();
+    EXPECT_GE(d, model.duration_min_s);
+    EXPECT_LE(d, model.duration_max_s);
+    const double pps = model.sample_pps(rng);
+    EXPECT_GE(pps, model.pps_min);
+    EXPECT_LE(pps, model.pps_max);
+  }
+}
+
+TEST(BurstModel, HoverRatesScaleWithBackground) {
+  BurstModel model;
+  Rng rng(4);
+  const double background = 5000.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double pps = model.sample_hover_pps(rng, background);
+    EXPECT_GE(pps, background * model.hover_rate_frac_min * 0.999);
+    EXPECT_LE(pps, background * model.hover_rate_frac_max * 1.001);
+  }
+  // Doubling the background doubles the band.
+  Rng rng2(4);
+  const double p1 = model.sample_hover_pps(rng2, 1000.0);
+  Rng rng3(4);
+  const double p2 = model.sample_hover_pps(rng3, 2000.0);
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-9);
+}
+
+TEST(BurstModel, SurgeStrongerThanHover) {
+  // Surges must sit well above hovers relative to the same background —
+  // the class separation the Fig. 2/3 calibration relies on.
+  BurstModel model;
+  EXPECT_GT(model.surge_rate_frac_min, model.hover_rate_frac_max);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double s = model.sample_surge_pps(rng, 1000.0);
+    EXPECT_GE(s, 1000.0 * model.surge_rate_frac_min * 0.999);
+    EXPECT_LE(s, 1000.0 * model.surge_rate_frac_max * 1.001);
+    const double d = model.sample_surge_duration(rng).to_seconds();
+    EXPECT_GE(d, model.surge_duration_min_s);
+    EXPECT_LE(d, model.surge_duration_max_s);
+  }
+}
+
+TEST(BurstModel, HoverDurationsLongerThanSpikes) {
+  // Hovers exist to straddle MANY window positions; their duration range
+  // must extend well past the spike range.
+  BurstModel model;
+  EXPECT_GT(model.hover_duration_max_s, model.duration_max_s);
+}
+
+TEST(DdosEpisode, DefaultsAreSane) {
+  DdosEpisode ep;
+  EXPECT_GT(ep.duration.ns(), 0);
+  EXPECT_GT(ep.pps, 0.0);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,167 @@
+#include "trace/synthetic_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace hhh {
+namespace {
+
+TraceConfig quick_config(std::uint64_t seed = 1) {
+  TraceConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = Duration::seconds(20);
+  cfg.background_pps = 800.0;
+  cfg.address_space.num_slash8 = 8;
+  cfg.address_space.slash16_per_8 = 6;
+  cfg.address_space.slash24_per_16 = 4;
+  cfg.address_space.hosts_per_24 = 4;
+  return cfg;
+}
+
+TEST(SyntheticTrace, TimestampsAreMonotoneAndBounded) {
+  SyntheticTraceGenerator gen(quick_config());
+  TimePoint last;
+  std::size_t count = 0;
+  while (auto p = gen.next()) {
+    EXPECT_GE(p->ts, last);
+    EXPECT_LT(p->ts.ns(), Duration::seconds(20).ns());
+    last = p->ts;
+    ++count;
+  }
+  EXPECT_GT(count, 1000u);
+}
+
+TEST(SyntheticTrace, DeterministicPerSeed) {
+  SyntheticTraceGenerator a(quick_config(5));
+  SyntheticTraceGenerator b(quick_config(5));
+  SyntheticTraceGenerator c(quick_config(6));
+  const auto va = a.generate_all();
+  const auto vb = b.generate_all();
+  const auto vc = c.generate_all();
+  ASSERT_EQ(va.size(), vb.size());
+  EXPECT_TRUE(va == vb);
+  EXPECT_NE(va.size(), vc.size());
+}
+
+TEST(SyntheticTrace, BackgroundRateRoughlyMatchesConfig) {
+  auto cfg = quick_config(2);
+  cfg.bursts_enabled = false;
+  cfg.modulation.amplitude = 0.0;
+  SyntheticTraceGenerator gen(cfg);
+  const auto packets = gen.generate_all();
+  const double pps = static_cast<double>(packets.size()) / cfg.duration.to_seconds();
+  EXPECT_NEAR(pps, cfg.background_pps, cfg.background_pps * 0.1);
+}
+
+TEST(SyntheticTrace, BurstsAddTraffic) {
+  auto base = quick_config(3);
+  base.bursts_enabled = false;
+  auto bursty = quick_config(3);
+  bursty.bursts_enabled = true;
+  SyntheticTraceGenerator g1(base);
+  SyntheticTraceGenerator g2(bursty);
+  const auto quiet = g1.generate_all().size();
+  const auto loud = g2.generate_all().size();
+  EXPECT_GT(loud, quiet + quiet / 20) << "bursts should add noticeable volume";
+  EXPECT_GT(g2.bursts_spawned(), 5u);
+}
+
+TEST(SyntheticTrace, PacketFieldsArePlausible) {
+  SyntheticTraceGenerator gen(quick_config(4));
+  std::set<std::uint32_t> sizes;
+  std::size_t checked = 0;
+  while (auto p = gen.next()) {
+    ASSERT_NE(p->src.bits(), 0u);
+    ASSERT_GE(p->dst.octet(0), 128) << "destinations live in the upper half";
+    ASSERT_GT(p->ip_len, 0u);
+    ASSERT_LE(p->ip_len, 1500u);
+    sizes.insert(p->ip_len);
+    if (++checked > 20000) break;
+  }
+  EXPECT_EQ(sizes.size(), 3u) << "three-point packet size mixture expected";
+}
+
+TEST(SyntheticTrace, PacketSizeMixtureMatchesModel) {
+  auto cfg = quick_config(5);
+  cfg.bursts_enabled = false;
+  SyntheticTraceGenerator gen(cfg);
+  const auto packets = gen.generate_all();
+  double mean = 0.0;
+  for (const auto& p : packets) mean += p.ip_len;
+  mean /= static_cast<double>(packets.size());
+  EXPECT_NEAR(mean, cfg.sizes.mean(), cfg.sizes.mean() * 0.05);
+}
+
+TEST(SyntheticTrace, ModulationShiftsLoadOverTime) {
+  auto cfg = quick_config(6);
+  cfg.bursts_enabled = false;
+  cfg.duration = Duration::seconds(30);
+  cfg.modulation.amplitude = 0.5;
+  cfg.modulation.period = Duration::seconds(30);
+  cfg.modulation.phase = 0.0;  // sin peaks at t = 7.5 s, troughs at 22.5 s
+  SyntheticTraceGenerator gen(cfg);
+  std::size_t first_half = 0;
+  std::size_t second_half = 0;
+  while (auto p = gen.next()) {
+    (p->ts.ns() < Duration::seconds(15).ns() ? first_half : second_half)++;
+  }
+  EXPECT_GT(first_half, second_half * 12 / 10);
+}
+
+TEST(SyntheticTrace, DdosEpisodeInjectsPrefixTraffic) {
+  auto cfg = quick_config(7);
+  cfg.bursts_enabled = false;
+  DdosEpisode ep;
+  ep.start = TimePoint::from_seconds(5.0);
+  ep.duration = Duration::seconds(5);
+  ep.pps = 2000.0;
+  ep.source_prefix = *Ipv4Prefix::parse("203.0.0.0/16");
+  ep.target = Ipv4Address::of(198, 51, 100, 7);
+  cfg.episodes.push_back(ep);
+
+  SyntheticTraceGenerator gen(cfg);
+  std::size_t episode_packets = 0;
+  while (auto p = gen.next()) {
+    if (ep.source_prefix.contains(p->src)) {
+      ++episode_packets;
+      EXPECT_EQ(p->dst, ep.target);
+      EXPECT_GE(p->ts, ep.start);
+      EXPECT_LT(p->ts, ep.start + ep.duration + Duration::seconds(1));
+    }
+  }
+  // ~2000 pps for 5 s = ~10k packets.
+  EXPECT_NEAR(static_cast<double>(episode_packets), 10000.0, 2000.0);
+}
+
+TEST(SyntheticTrace, GroupBurstsEmitFromWholePrefix) {
+  auto cfg = quick_config(8);
+  cfg.bursts.group24_prob = 1.0;  // force every burst to be a /24 group
+  cfg.bursts.group16_prob = 0.0;
+  cfg.bursts.spawn_rate = 2.0;
+  cfg.background_pps = 100.0;  // keep background small
+  SyntheticTraceGenerator gen(cfg);
+
+  // Count distinct hosts per /24; group bursts must produce /24s with many
+  // more distinct hosts than the configured 4 per /24.
+  std::map<std::uint32_t, std::set<std::uint32_t>> hosts_per_24;
+  while (auto p = gen.next()) {
+    hosts_per_24[p->src.bits() >> 8].insert(p->src.bits());
+  }
+  std::size_t crowded = 0;
+  for (const auto& [prefix, hosts] : hosts_per_24) {
+    if (hosts.size() > 8) ++crowded;
+  }
+  EXPECT_GT(crowded, 0u) << "no flash-crowd /24 found";
+}
+
+TEST(SyntheticTrace, CaidaLikeDaysDiffer) {
+  const auto d0 = TraceConfig::caida_like_day(0, Duration::seconds(5));
+  const auto d1 = TraceConfig::caida_like_day(1, Duration::seconds(5));
+  EXPECT_NE(d0.seed, d1.seed);
+  EXPECT_NE(d0.modulation.phase, d1.modulation.phase);
+}
+
+}  // namespace
+}  // namespace hhh

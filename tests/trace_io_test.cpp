@@ -1,0 +1,123 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/synthetic_trace.hpp"
+
+namespace hhh {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "hhh_trace_io";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(std::filesystem::temp_directory_path() / "hhh_trace_io");
+  }
+
+  static std::vector<PacketRecord> sample_trace() {
+    TraceConfig cfg;
+    cfg.seed = 99;
+    cfg.duration = Duration::seconds(2);
+    cfg.background_pps = 500;
+    cfg.address_space.num_slash8 = 4;
+    cfg.address_space.slash16_per_8 = 3;
+    cfg.address_space.slash24_per_16 = 3;
+    cfg.address_space.hosts_per_24 = 3;
+    return SyntheticTraceGenerator(cfg).generate_all();
+  }
+};
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  const auto packets = sample_trace();
+  ASSERT_FALSE(packets.empty());
+  const std::string path = temp_path("t.bin");
+  write_binary_trace(path, packets);
+  const auto back = read_binary_trace(path);
+  ASSERT_EQ(back.size(), packets.size());
+  EXPECT_TRUE(back == packets);
+}
+
+TEST_F(TraceIoTest, BinaryStreamingReaderCounts) {
+  const auto packets = sample_trace();
+  const std::string path = temp_path("t2.bin");
+  write_binary_trace(path, packets);
+  BinaryTraceReader reader(path);
+  std::size_t n = 0;
+  while (reader.next()) ++n;
+  EXPECT_EQ(n, packets.size());
+  EXPECT_EQ(reader.packets_read(), packets.size());
+}
+
+TEST_F(TraceIoTest, BinaryBadMagicThrows) {
+  const std::string path = temp_path("bad.bin");
+  std::ofstream f(path, std::ios::binary);
+  f << "NOPE and then some bytes";
+  f.close();
+  EXPECT_THROW(BinaryTraceReader{path}, std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BinaryMissingFileThrows) {
+  EXPECT_THROW(BinaryTraceReader{"/no/such/file.bin"}, std::runtime_error);
+  EXPECT_THROW(BinaryTraceWriter{"/no/such/dir/file.bin"}, std::runtime_error);
+}
+
+TEST_F(TraceIoTest, CsvRoundTrip) {
+  const auto packets = sample_trace();
+  const std::string path = temp_path("t.csv");
+  {
+    CsvTraceWriter w(path);
+    for (const auto& p : packets) w.write(p);
+    w.flush();
+  }
+  CsvTraceReader r(path);
+  std::size_t i = 0;
+  while (auto p = r.next()) {
+    ASSERT_LT(i, packets.size());
+    EXPECT_EQ(p->ts, packets[i].ts);
+    EXPECT_EQ(p->src, packets[i].src);
+    EXPECT_EQ(p->dst, packets[i].dst);
+    EXPECT_EQ(p->src_port, packets[i].src_port);
+    EXPECT_EQ(p->dst_port, packets[i].dst_port);
+    EXPECT_EQ(p->proto, packets[i].proto);
+    EXPECT_EQ(p->ip_len, packets[i].ip_len);
+    ++i;
+  }
+  EXPECT_EQ(i, packets.size());
+  EXPECT_EQ(r.rows_skipped(), 0u);
+}
+
+TEST_F(TraceIoTest, CsvSkipsMalformedRows) {
+  const std::string path = temp_path("mangled.csv");
+  {
+    std::ofstream f(path);
+    f << "ts_ns,src,dst,src_port,dst_port,proto,ip_len\n";
+    f << "1000,10.0.0.1,192.0.2.1,1,2,6,100\n";
+    f << "not,a,valid,row\n";
+    f << "2000,999.0.0.1,192.0.2.1,1,2,6,100\n";   // bad address
+    f << "3000,10.0.0.1,192.0.2.1,99999,2,6,100\n";  // bad port
+    f << "4000,10.0.0.2,192.0.2.2,5,6,17,200\n";
+  }
+  CsvTraceReader r(path);
+  std::vector<PacketRecord> rows;
+  while (auto p = r.next()) rows.push_back(*p);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].src.to_string(), "10.0.0.1");
+  EXPECT_EQ(rows[1].proto, IpProto::kUdp);
+  EXPECT_EQ(r.rows_skipped(), 3u);
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  const std::string path = temp_path("empty.bin");
+  write_binary_trace(path, {});
+  EXPECT_TRUE(read_binary_trace(path).empty());
+}
+
+}  // namespace
+}  // namespace hhh

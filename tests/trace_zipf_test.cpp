@@ -1,0 +1,89 @@
+#include "trace/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hhh {
+namespace {
+
+TEST(ZipfWeights, NormalizedAndMonotone) {
+  const auto w = zipf_weights(100, 1.0);
+  ASSERT_EQ(w.size(), 100u);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+  // w[0]/w[1] = 2 for s = 1.
+  EXPECT_NEAR(w[0] / w[1], 2.0, 1e-9);
+}
+
+TEST(ZipfWeights, ZeroSkewIsUniform) {
+  const auto w = zipf_weights(10, 0.0);
+  for (const double v : w) EXPECT_NEAR(v, 0.1, 1e-12);
+}
+
+TEST(ZipfSampler, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(ZipfSampler, SingleElement) {
+  ZipfSampler z(1, 1.2);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(rng), 1u);
+}
+
+TEST(ZipfSampler, StaysInRange) {
+  ZipfSampler z(50, 1.1);
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    const auto k = z.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 50u);
+  }
+}
+
+// The sampler's empirical distribution must match the analytic pmf.
+class ZipfDistributionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfDistributionTest, MatchesAnalyticPmf) {
+  const double s = GetParam();
+  const std::uint64_t n = 30;
+  ZipfSampler z(n, s);
+  Rng rng(42);
+  const int trials = 300000;
+  std::vector<int> hits(n + 1, 0);
+  for (int i = 0; i < trials; ++i) ++hits[z.sample(rng)];
+
+  const auto w = zipf_weights(n, s);
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    const double expected = w[k - 1] * trials;
+    const double tolerance = 5.0 * std::sqrt(expected + 1.0) + 1.0;
+    EXPECT_NEAR(hits[k], expected, tolerance) << "rank " << k << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewSweep, ZipfDistributionTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(ZipfSampler, LargeNStillCheap) {
+  // Rejection-inversion needs no O(n) setup: a huge n must work instantly.
+  ZipfSampler z(1ULL << 40, 1.05);
+  Rng rng(3);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 10000; ++i) max_seen = std::max(max_seen, z.sample(rng));
+  EXPECT_GE(max_seen, 1000u) << "tail never sampled — suspicious";
+  EXPECT_LE(max_seen, 1ULL << 40);
+}
+
+TEST(ZipfSampler, DeterministicGivenSeed) {
+  ZipfSampler z(1000, 1.0);
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(a), z.sample(b));
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,154 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/bit.hpp"
+
+namespace hhh {
+namespace {
+
+// Reference vectors from the published xxHash64 test suite.
+TEST(XxHash64, MatchesReferenceVectors) {
+  EXPECT_EQ(xxhash64("", 0), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(xxhash64("a", 0), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(xxhash64("abc", 0), 0x44BC2CF5AD770999ULL);
+}
+
+TEST(XxHash64, LongInputsAreStableAndLaneSensitive) {
+  // >= 32 bytes exercises the 4-lane main loop; 31 vs 32 bytes must take
+  // different paths yet both be deterministic, and every lane must matter.
+  const std::string base(64, 'q');
+  const std::uint64_t h64 = xxhash64(base.data(), 64, 0);
+  EXPECT_EQ(h64, xxhash64(base.data(), 64, 0));
+  for (std::size_t flip : {0u, 8u, 16u, 24u, 33u, 63u}) {
+    std::string mutated = base;
+    mutated[flip] = 'r';
+    EXPECT_NE(xxhash64(mutated.data(), 64, 0), h64) << "byte " << flip << " ignored";
+  }
+  EXPECT_NE(xxhash64(base.data(), 31, 0), xxhash64(base.data(), 32, 0));
+}
+
+TEST(XxHash64, SeedChangesOutput) {
+  const std::string data = "the quick brown fox";
+  EXPECT_NE(xxhash64(data, 1), xxhash64(data, 2));
+}
+
+TEST(XxHash64, AllLengthBranchesDiffer) {
+  // Exercise the 8-byte, 4-byte and tail paths.
+  std::string s;
+  std::set<std::uint64_t> seen;
+  for (int len = 0; len <= 40; ++len) {
+    EXPECT_TRUE(seen.insert(xxhash64(s, 7)).second) << "collision at len " << len;
+    s.push_back(static_cast<char>('a' + len % 26));
+  }
+}
+
+TEST(Mix64, IsBijectiveOnSample) {
+  // A bijection cannot collide; check a decent sample.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 20000; ++x) {
+    EXPECT_TRUE(outputs.insert(mix64(x)).second);
+  }
+}
+
+TEST(Mix64, Avalanche) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  double total_flips = 0.0;
+  int trials = 0;
+  for (std::uint64_t x = 1; x < 1000; x += 7) {
+    for (int bit = 0; bit < 64; bit += 9) {
+      const std::uint64_t d = mix64(x) ^ mix64(x ^ (1ULL << bit));
+      total_flips += std::popcount(d);
+      ++trials;
+    }
+  }
+  const double mean = total_flips / trials;
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 36.0);
+}
+
+TEST(HashU64, SeedsAreIndependent) {
+  // Same key under nearby seeds must not correlate.
+  int equal_bits = 0;
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    equal_bits += std::popcount(~(hash_u64(key, 0) ^ hash_u64(key, 1)));
+  }
+  // Random agreement is ~32 bits/word; allow generous slack.
+  EXPECT_NEAR(equal_bits / 64.0, 32.0, 6.0);
+}
+
+TEST(HashFamily, SizeAndDeterminism) {
+  HashFamily f1(5, 42);
+  HashFamily f2(5, 42);
+  HashFamily f3(5, 43);
+  ASSERT_EQ(f1.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(f1(i, 123), f2(i, 123));
+    EXPECT_NE(f1(i, 123), f3(i, 123)) << "seed should matter";
+  }
+}
+
+TEST(HashFamily, RowsDiffer) {
+  HashFamily f(8, 1);
+  std::set<std::uint64_t> values;
+  for (std::size_t i = 0; i < 8; ++i) values.insert(f(i, 0xDEADBEEF));
+  EXPECT_EQ(values.size(), 8u);
+}
+
+TEST(HashFamily, BytesHashMatchesSeededXx) {
+  HashFamily f(2, 99);
+  const char data[] = "payload";
+  // bytes() must be deterministic and row-dependent.
+  EXPECT_EQ(f.bytes(0, data, 7), f.bytes(0, data, 7));
+  EXPECT_NE(f.bytes(0, data, 7), f.bytes(1, data, 7));
+}
+
+TEST(FastRange, StaysInRangeAndCoversBuckets) {
+  const std::uint64_t n = 10;
+  std::vector<int> hits(n, 0);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const std::uint64_t r = fast_range(mix64(i), n);
+    ASSERT_LT(r, n);
+    ++hits[r];
+  }
+  for (std::uint64_t b = 0; b < n; ++b) {
+    EXPECT_GT(hits[b], 700) << "bucket " << b << " underfull";
+    EXPECT_LT(hits[b], 1300) << "bucket " << b << " overfull";
+  }
+}
+
+TEST(BitHelpers, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2((1ULL << 40) + 1), 1ULL << 41);
+}
+
+TEST(BitHelpers, PrefixMask32) {
+  EXPECT_EQ(prefix_mask32(0), 0u);
+  EXPECT_EQ(prefix_mask32(8), 0xFF000000u);
+  EXPECT_EQ(prefix_mask32(16), 0xFFFF0000u);
+  EXPECT_EQ(prefix_mask32(24), 0xFFFFFF00u);
+  EXPECT_EQ(prefix_mask32(32), 0xFFFFFFFFu);
+  EXPECT_EQ(prefix_mask32(1), 0x80000000u);
+  EXPECT_EQ(prefix_mask32(31), 0xFFFFFFFEu);
+}
+
+TEST(BitHelpers, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(1025), 10u);
+}
+
+}  // namespace
+}  // namespace hhh

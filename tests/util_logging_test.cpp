@@ -1,0 +1,56 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hhh {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }  // restore default
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, MacroRespectsThreshold) {
+  // The macro must not evaluate its stream arguments below the threshold.
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto touch = [&]() {
+    ++evaluations;
+    return "msg";
+  };
+  HHH_DEBUG << touch();
+  HHH_INFO << touch();
+  HHH_WARN << touch();
+  EXPECT_EQ(evaluations, 0) << "suppressed levels must not evaluate operands";
+  HHH_ERROR << touch();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto touch = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  HHH_ERROR << touch();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, LogLineDoesNotCrashOnAnyLevel) {
+  // Direct emission path (stderr): just exercise all levels.
+  log_line(LogLevel::kDebug, "debug line");
+  log_line(LogLevel::kInfo, "info line");
+  log_line(LogLevel::kWarn, "warn line");
+  log_line(LogLevel::kError, "error line");
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,203 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hhh {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123);
+  Rng b(123);
+  Rng c(124);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  double min_v = 1.0;
+  double max_v = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    min_v = std::min(min_v, u);
+    max_v = std::max(max_v, u);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_LT(min_v, 0.001);
+  EXPECT_GT(max_v, 0.999);
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  Rng rng(11);
+  const std::uint64_t n = 7;
+  std::vector<int> hits(n, 0);
+  const int trials = 70000;
+  for (int i = 0; i < trials; ++i) ++hits[rng.below(n)];
+  for (std::uint64_t b = 0; b < n; ++b) {
+    EXPECT_NEAR(hits[b], trials / static_cast<int>(n), 600);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ParetoTailAndMinimum) {
+  Rng rng(19);
+  const double x_min = 2.0;
+  const double alpha = 1.5;
+  int above_4 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.pareto(x_min, alpha);
+    ASSERT_GE(v, x_min);
+    if (v > 4.0) ++above_4;
+  }
+  // P(X > 4) = (2/4)^1.5 ~ 0.3536
+  EXPECT_NEAR(above_4 / static_cast<double>(n), 0.3536, 0.02);
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.bounded_pareto(1.0, 100.0, 1.2);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LE(v, 100.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(31);
+  for (const double mean : {0.5, 8.0, 200.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(37);
+  std::vector<double> v(20001);
+  for (auto& x : v) x = rng.lognormal(1.0, 0.5);
+  std::nth_element(v.begin(), v.begin() + 10000, v.end());
+  // Median of lognormal(mu, sigma) = e^mu.
+  EXPECT_NEAR(v[10000], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(41);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, ForkDiverges) {
+  Rng rng(43);
+  Rng child = rng.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += rng.next() == child.next() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(47);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> hits(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++hits[rng.weighted_index(w)];
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(hits[2] / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(DiscreteSampler, MatchesWeights) {
+  Rng rng(53);
+  const std::vector<double> w = {5.0, 1.0, 0.0, 2.0, 2.0};
+  DiscreteSampler sampler(w);
+  ASSERT_EQ(sampler.size(), w.size());
+  std::vector<int> hits(w.size(), 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[sampler.sample(rng)];
+  EXPECT_EQ(hits[2], 0);
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[3] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(hits[4] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(DiscreteSampler, SingleAndUniformDegenerate) {
+  Rng rng(59);
+  DiscreteSampler single(std::vector<double>{42.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(single.sample(rng), 0u);
+
+  // All-zero weights fall back to uniform rather than crashing.
+  DiscreteSampler zeros(std::vector<double>{0.0, 0.0, 0.0});
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 30000; ++i) ++hits[zeros.sample(rng)];
+  for (int b = 0; b < 3; ++b) EXPECT_GT(hits[b], 8000);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), a);
+  EXPECT_EQ(sm2.next(), b);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "util/sim_time.hpp"
+#include "util/strings.hpp"
+
+namespace hhh {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+TEST(Strings, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(1000000000ULL), "1,000,000,000");
+}
+
+TEST(Strings, PercentAndFixed) {
+  EXPECT_EQ(percent(0.345), "34.5%");
+  EXPECT_EQ(percent(0.345, 0), "34%");
+  EXPECT_EQ(fixed(2.5, 1), "2.5");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(human_bytes(1536 * 1024), "1.50 MiB");
+}
+
+TEST(Strings, ParseU64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("123", v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_TRUE(parse_u64("  99 ", v));
+  EXPECT_EQ(v, 99u);
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12x", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("1.5", v));
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("2.5", v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(parse_double("-1e3", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(SimTime, DurationFactoriesAgree) {
+  EXPECT_EQ(Duration::seconds(2).ns(), 2'000'000'000);
+  EXPECT_EQ(Duration::millis(5).ns(), 5'000'000);
+  EXPECT_EQ(Duration::micros(7).ns(), 7'000);
+  EXPECT_EQ(Duration::from_seconds(0.5).ns(), 500'000'000);
+}
+
+TEST(SimTime, Arithmetic) {
+  const Duration a = Duration::seconds(3);
+  const Duration b = Duration::seconds(1);
+  EXPECT_EQ((a + b).ns(), Duration::seconds(4).ns());
+  EXPECT_EQ((a - b).ns(), Duration::seconds(2).ns());
+  EXPECT_EQ((a * 2).ns(), Duration::seconds(6).ns());
+  EXPECT_EQ((a / 3).ns(), Duration::seconds(1).ns());
+  EXPECT_EQ(a / b, 3);
+  EXPECT_LT(b, a);
+}
+
+TEST(SimTime, TimePointArithmetic) {
+  TimePoint t = TimePoint::from_seconds(10.0);
+  t += Duration::seconds(5);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 15.0);
+  const TimePoint u = TimePoint::from_seconds(12.0);
+  EXPECT_EQ((t - u).ns(), Duration::seconds(3).ns());
+  EXPECT_GT(t, u);
+  EXPECT_EQ((u + Duration::seconds(3)), t);
+}
+
+TEST(SimTime, ToStringForms) {
+  EXPECT_EQ(to_string(Duration::seconds(2)), "2.000s");
+  EXPECT_EQ(to_string(Duration::millis(12)), "12.000ms");
+  EXPECT_EQ(to_string(Duration::nanos(500)), "500ns");
+  EXPECT_EQ(to_string(TimePoint::from_seconds(1.5)), "t=1.500000s");
+}
+
+}  // namespace
+}  // namespace hhh

@@ -2,33 +2,9 @@
 
 #include <stdexcept>
 
-#include "core/exact_hhh.hpp"
-#include "core/level_aggregates.hpp"
+#include "core/exact_engine.hpp"
 
 namespace hhh {
-
-namespace {
-
-class ExactEngine final : public HhhEngine {
- public:
-  explicit ExactEngine(const Hierarchy& hierarchy) : agg_(hierarchy) {}
-
-  void add(const PacketRecord& packet) override { agg_.add(packet.src, packet.ip_len); }
-  HhhSet extract(double phi) const override { return extract_hhh_relative(agg_, phi); }
-  void reset() override { agg_.clear(); }
-  std::uint64_t total_bytes() const override { return agg_.total_bytes(); }
-  std::size_t memory_bytes() const override { return agg_.memory_bytes(); }
-  std::string name() const override { return "exact"; }
-
- private:
-  LevelAggregates agg_;
-};
-
-}  // namespace
-
-std::unique_ptr<HhhEngine> make_exact_engine(const Hierarchy& hierarchy) {
-  return std::make_unique<ExactEngine>(hierarchy);
-}
 
 DisjointWindowHhhDetector::DisjointWindowHhhDetector(const Params& params,
                                                      std::unique_ptr<HhhEngine> engine)
@@ -60,6 +36,19 @@ void DisjointWindowHhhDetector::close_windows_before(TimePoint t) {
 void DisjointWindowHhhDetector::offer(const PacketRecord& packet) {
   close_windows_before(packet.ts);
   engine_->add(packet);
+}
+
+void DisjointWindowHhhDetector::offer_batch(std::span<const PacketRecord> packets) {
+  std::size_t i = 0;
+  while (i < packets.size()) {
+    close_windows_before(packets[i].ts);
+    const TimePoint window_end =
+        TimePoint() + params_.window * static_cast<std::int64_t>(current_window_ + 1);
+    std::size_t j = i + 1;
+    while (j < packets.size() && packets[j].ts < window_end) ++j;
+    engine_->add_batch(packets.subspan(i, j - i));
+    i = j;
+  }
 }
 
 void DisjointWindowHhhDetector::finish(TimePoint end_of_stream) {

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -42,6 +43,11 @@ class DisjointWindowHhhDetector {
   /// Feed the next packet; timestamps must be non-decreasing. Windows that
   /// ended before this packet are closed (and reported) first.
   void offer(const PacketRecord& packet);
+
+  /// Feed a timestamp-ordered batch. Equivalent to offer() per packet,
+  /// but maximal same-window runs are handed to the engine's add_batch()
+  /// fast path, so window boundaries still close (and report) in order.
+  void offer_batch(std::span<const PacketRecord> packets);
 
   /// Close every window ending at or before `end_of_stream`.
   void finish(TimePoint end_of_stream);

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/hhh_types.hpp"
@@ -26,6 +27,16 @@ class HhhEngine {
 
   /// Account one packet (source + IP bytes).
   virtual void add(const PacketRecord& packet) = 0;
+
+  /// Account a batch of packets. Observationally equivalent to calling
+  /// add() once per record in order — total_bytes() and extract() must
+  /// agree with the loop (randomized engines may consume their RNG
+  /// differently, but the sampling distribution must match). Engines
+  /// override this when batching admits a cheaper implementation
+  /// (amortized sampling, deferred propagation, level-major passes).
+  virtual void add_batch(std::span<const PacketRecord> packets) {
+    for (const auto& p : packets) add(p);
+  }
 
   /// HHHs of the traffic added since the last reset, at relative
   /// threshold `phi` (T = ceil(phi * total)).

@@ -1,0 +1,27 @@
+#include "core/exact_engine.hpp"
+
+#include "core/exact_hhh.hpp"
+
+namespace hhh {
+
+ExactEngine::ExactEngine(const Hierarchy& hierarchy) : agg_(hierarchy) {}
+
+void ExactEngine::add(const PacketRecord& packet) { agg_.add(packet.src, packet.ip_len); }
+
+void ExactEngine::add_batch(std::span<const PacketRecord> packets) {
+  // Addition into the level counters commutes, so LevelAggregates' deferred
+  // trie propagation yields byte-identical state to the add() loop.
+  agg_.add_batch(packets);
+}
+
+HhhSet ExactEngine::extract(double phi) const { return extract_hhh_relative(agg_, phi); }
+
+void ExactEngine::reset() { agg_.clear(); }
+
+std::size_t ExactEngine::memory_bytes() const { return agg_.memory_bytes(); }
+
+std::unique_ptr<HhhEngine> make_exact_engine(const Hierarchy& hierarchy) {
+  return std::make_unique<ExactEngine>(hierarchy);
+}
+
+}  // namespace hhh

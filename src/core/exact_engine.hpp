@@ -1,0 +1,36 @@
+// ExactEngine — the ground-truth HhhEngine over LevelAggregates.
+//
+// add() pays O(levels) per packet (one counter per hierarchy level).
+// add_batch() routes through LevelAggregates::add_batch, whose deferred
+// trie propagation re-coalesces the batch per level while walking up the
+// hierarchy, so each level map sees every distinct prefix once — the
+// batched analogue of the O(1)-amortized update direction RHHH takes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/engine.hpp"
+#include "core/level_aggregates.hpp"
+
+namespace hhh {
+
+class ExactEngine final : public HhhEngine {
+ public:
+  explicit ExactEngine(const Hierarchy& hierarchy);
+
+  void add(const PacketRecord& packet) override;
+  void add_batch(std::span<const PacketRecord> packets) override;
+  HhhSet extract(double phi) const override;
+  void reset() override;
+  std::uint64_t total_bytes() const override { return agg_.total_bytes(); }
+  std::size_t memory_bytes() const override;
+  std::string name() const override { return "exact"; }
+
+  const LevelAggregates& aggregates() const noexcept { return agg_; }
+
+ private:
+  LevelAggregates agg_;
+};
+
+}  // namespace hhh

@@ -16,6 +16,40 @@ void LevelAggregates::add(Ipv4Address src, std::uint64_t bytes) {
   }
 }
 
+void LevelAggregates::add_batch(std::span<const PacketRecord> packets) {
+  if (packets.empty()) return;
+  // Deferred trie propagation. Coalesce the batch at the leaf level, apply
+  // it, then re-coalesce the (strictly shrinking) distinct set one level up
+  // and repeat. Duplication compounds at coarser levels — a /8 map absorbs
+  // thousands of leaf updates as a handful of entries — which is where the
+  // per-packet add() burns most of its hash lookups.
+  scratch_.clear();
+  std::uint64_t batch_total = 0;
+  const unsigned leaf_len = hierarchy_.leaf_length();
+  for (const auto& p : packets) {
+    batch_total += p.ip_len;
+    scratch_[Ipv4Prefix(p.src, leaf_len).key()] += p.ip_len;
+  }
+  total_ += batch_total;
+  for (std::size_t level = 0;; ++level) {
+    auto& map = maps_[level];
+    if (level + 1 == maps_.size()) {
+      scratch_.for_each(
+          [&](const std::uint64_t& key, std::uint64_t& bytes) { map[key] += bytes; });
+      break;
+    }
+    // Fused pass: apply this level's distinct sums and build the next
+    // level's coalesced set in the same scan.
+    const unsigned next_len = hierarchy_.length_at(level + 1);
+    carry_.clear();
+    scratch_.for_each([&](const std::uint64_t& key, std::uint64_t& bytes) {
+      map[key] += bytes;
+      carry_[Ipv4Prefix::from_key(key).truncated(next_len).key()] += bytes;
+    });
+    std::swap(scratch_, carry_);
+  }
+}
+
 void LevelAggregates::remove(Ipv4Address src, std::uint64_t bytes) {
   assert(total_ >= bytes);
   total_ -= bytes;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/hierarchy.hpp"
@@ -26,6 +27,13 @@ class LevelAggregates {
 
   /// Add `bytes` for source `src` at every level.
   void add(Ipv4Address src, std::uint64_t bytes);
+
+  /// Batched add, byte-identical in effect to calling add() per packet.
+  /// The batch is coalesced at the leaf level first and the distinct set is
+  /// re-coalesced while propagating up the trie, so each level map sees
+  /// every distinct prefix once: O(n + sum of per-level distinct) counter
+  /// updates instead of O(n * levels).
+  void add_batch(std::span<const PacketRecord> packets);
 
   /// Remove previously added traffic (window slide). Counts must never go
   /// negative — callers only remove what they added.
@@ -58,6 +66,9 @@ class LevelAggregates {
   Hierarchy hierarchy_;
   std::vector<FlatHashMap<std::uint64_t, std::uint64_t>> maps_;  // one per level
   std::uint64_t total_ = 0;
+  // add_batch() ping-pong scratch (members so batches reuse capacity).
+  FlatHashMap<std::uint64_t, std::uint64_t> scratch_;
+  FlatHashMap<std::uint64_t, std::uint64_t> carry_;
 };
 
 }  // namespace hhh

@@ -40,6 +40,7 @@ class RhhhEngine final : public HhhEngine {
   explicit RhhhEngine(const Params& params);
 
   void add(const PacketRecord& packet) override;
+  void add_batch(std::span<const PacketRecord> packets) override;
   HhhSet extract(double phi) const override;
   void reset() override;
   std::uint64_t total_bytes() const override { return total_bytes_; }

@@ -1,0 +1,226 @@
+// Window-boundary edge cases for both window models.
+//
+// The paper's whole argument lives at window boundaries (traffic split
+// across a boundary hides HHHs), so the boundary arithmetic itself must
+// be airtight: empty windows still report, a packet exactly on a boundary
+// lands in the *next* window, phi = 1.0 is a legal threshold, and a
+// single packet is a complete window.
+#include <gtest/gtest.h>
+
+#include "core/disjoint_window.hpp"
+#include "core/sliding_window.hpp"
+#include "harness/golden.hpp"
+#include "harness/trace_builder.hpp"
+
+namespace hhh {
+namespace {
+
+using harness::packet_at;
+
+const Ipv4Address kSrc = Ipv4Address::of(10, 1, 2, 3);
+
+// --- DisjointWindowHhhDetector ----------------------------------------------
+
+TEST(DisjointWindowBoundary, EmptyWindowsStillReportEmptySets) {
+  DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 0.05});
+  // Traffic only in window 0 and window 3; 1 and 2 are silent.
+  det.offer(packet_at(0.5, kSrc, 100));
+  det.offer(packet_at(3.5, kSrc, 100));
+  det.finish(TimePoint::from_seconds(4.0));
+  ASSERT_EQ(det.reports().size(), 4u);
+  for (const std::size_t quiet : {std::size_t{1}, std::size_t{2}}) {
+    const auto& r = det.reports()[quiet];
+    EXPECT_EQ(r.index, quiet);
+    EXPECT_TRUE(r.hhhs.empty()) << "window " << quiet;
+    EXPECT_EQ(r.hhhs.total_bytes, 0u) << "window " << quiet;
+  }
+  EXPECT_FALSE(det.reports()[0].hhhs.empty());
+  EXPECT_FALSE(det.reports()[3].hhhs.empty());
+}
+
+TEST(DisjointWindowBoundary, ExtractOnFreshEngineIsEmpty) {
+  DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 0.05});
+  det.finish(TimePoint::from_seconds(0.0));  // nothing elapsed, nothing offered
+  EXPECT_TRUE(det.reports().empty());
+  EXPECT_TRUE(det.engine().extract(0.05).empty());
+  EXPECT_EQ(det.engine().total_bytes(), 0u);
+}
+
+TEST(DisjointWindowBoundary, PacketExactlyOnBoundaryOpensNextWindow) {
+  // Windows cover [kW, (k+1)W): a packet at t = W belongs to window 1 and
+  // its arrival closes (and resets) window 0.
+  DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 0.5});
+  det.offer(packet_at(0.25, kSrc, 700));
+  det.offer(packet_at(1.0, kSrc, 300));  // exactly on the boundary
+  det.finish(TimePoint::from_seconds(2.0));
+  ASSERT_EQ(det.reports().size(), 2u);
+  EXPECT_EQ(det.reports()[0].hhhs.total_bytes, 700u);
+  EXPECT_EQ(det.reports()[1].hhhs.total_bytes, 300u);
+  EXPECT_EQ(det.reports()[0].end, det.reports()[1].start);
+}
+
+TEST(DisjointWindowBoundary, ResetAtBoundaryForgetsPriorWindow) {
+  // 900 bytes in window 0 + 100 in window 1: if the boundary reset leaked
+  // state, window 1's lone source would clear phi=0.5 of 1000 bytes.
+  DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 0.5});
+  det.offer(packet_at(0.1, kSrc, 900));
+  det.offer(packet_at(1.1, Ipv4Address::of(192, 168, 0, 1), 100));
+  det.finish(TimePoint::from_seconds(2.0));
+  ASSERT_EQ(det.reports().size(), 2u);
+  EXPECT_EQ(det.reports()[1].hhhs.total_bytes, 100u);
+  EXPECT_EQ(det.reports()[1].hhhs.threshold_bytes, 50u);
+  // The window-1 report must be about 192.168.0.1 only.
+  for (const auto& item : det.reports()[1].hhhs.items()) {
+    EXPECT_TRUE(item.prefix.contains(Ipv4Address::of(192, 168, 0, 1)))
+        << item.prefix.to_string();
+    EXPECT_LE(item.total_bytes, 100u);
+  }
+}
+
+TEST(DisjointWindowBoundary, SinglePacketWindowReportsWholeAncestry) {
+  DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 1.0});
+  det.offer(packet_at(0.5, kSrc, 42));
+  det.finish(TimePoint::from_seconds(1.0));
+  ASSERT_EQ(det.reports().size(), 1u);
+  const auto& set = det.reports()[0].hhhs;
+  EXPECT_EQ(set.total_bytes, 42u);
+  // With one packet, exactly the packet's leaf is an HHH (its ancestors'
+  // conditioned counts are discounted to zero by the leaf).
+  EXPECT_TRUE(harness::hhh_set_covers(set, {Ipv4Prefix(kSrc, 32)}));
+  EXPECT_EQ(set.size(), 1u) << set.to_string();
+}
+
+TEST(DisjointWindowBoundary, PhiOfOneRequiresTheWholeWindowVolume) {
+  // phi = 1.0 -> T = total: only a prefix carrying EVERY byte qualifies.
+  DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 1.0});
+  det.offer(packet_at(0.2, Ipv4Address::of(10, 0, 0, 1), 500));
+  det.offer(packet_at(0.4, Ipv4Address::of(10, 0, 0, 2), 500));
+  det.finish(TimePoint::from_seconds(1.0));
+  ASSERT_EQ(det.reports().size(), 1u);
+  const auto& set = det.reports()[0].hhhs;
+  EXPECT_EQ(set.threshold_bytes, 1000u);
+  // Neither host qualifies alone; the /24 (and nothing below it) does.
+  EXPECT_TRUE(harness::hhh_set_covers(set, {*Ipv4Prefix::parse("10.0.0.0/24")}));
+  for (const auto& item : set.items()) {
+    EXPECT_GE(item.conditioned_bytes, 1000u) << item.prefix.to_string();
+  }
+}
+
+TEST(DisjointWindowBoundary, RejectsInvalidParams) {
+  EXPECT_THROW(DisjointWindowHhhDetector({.window = Duration::seconds(0)}),
+               std::invalid_argument);
+  EXPECT_THROW(DisjointWindowHhhDetector({.window = Duration::seconds(1), .phi = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DisjointWindowHhhDetector({.window = Duration::seconds(1), .phi = 1.5}),
+               std::invalid_argument);
+  // phi = 1.0 is the inclusive upper edge and must be accepted.
+  EXPECT_NO_THROW(DisjointWindowHhhDetector({.window = Duration::seconds(1), .phi = 1.0}));
+}
+
+TEST(DisjointWindowBoundary, OfferBatchMatchesOfferLoop) {
+  // Batched driver ingestion must close the same windows with the same
+  // exact HHH sets as per-packet offer(), including when a batch spans
+  // several window boundaries and when a packet sits exactly on one.
+  auto packets =
+      harness::TraceBuilder(0x0FF3).compact_space().duration_seconds(5.0).packets(8000);
+  packets.push_back(packet_at(5.0, kSrc, 1234));  // exactly on a boundary
+  DisjointWindowHhhDetector loop({.window = Duration::seconds(1), .phi = 0.02});
+  for (const auto& p : packets) loop.offer(p);
+  DisjointWindowHhhDetector batched({.window = Duration::seconds(1), .phi = 0.02});
+  batched.offer_batch(packets);
+  const TimePoint end = TimePoint::from_seconds(6.0);
+  loop.finish(end);
+  batched.finish(end);
+  ASSERT_EQ(loop.reports().size(), batched.reports().size());
+  for (std::size_t i = 0; i < loop.reports().size(); ++i) {
+    EXPECT_EQ(loop.reports()[i].index, batched.reports()[i].index);
+    EXPECT_TRUE(harness::hhh_sets_equal(loop.reports()[i].hhhs, batched.reports()[i].hhhs))
+        << "window " << i;
+  }
+}
+
+TEST(DisjointWindowBoundary, OfferBatchReportsIntermediateEmptyWindows) {
+  // One batch whose packets skip two whole windows: the quiet windows
+  // must still be closed and reported, in order, from inside the batch.
+  const std::vector<PacketRecord> packets = {packet_at(0.5, kSrc, 100),
+                                             packet_at(3.5, kSrc, 200)};
+  DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 0.5});
+  det.offer_batch(packets);
+  det.finish(TimePoint::from_seconds(4.0));
+  ASSERT_EQ(det.reports().size(), 4u);
+  EXPECT_EQ(det.reports()[0].hhhs.total_bytes, 100u);
+  EXPECT_EQ(det.reports()[1].hhhs.total_bytes, 0u);
+  EXPECT_EQ(det.reports()[2].hhhs.total_bytes, 0u);
+  EXPECT_EQ(det.reports()[3].hhhs.total_bytes, 200u);
+}
+
+// --- SlidingWindowHhhDetector -----------------------------------------------
+
+TEST(SlidingWindowBoundary, EmptyStepsStillReport) {
+  SlidingWindowHhhDetector det({.window = Duration::seconds(2),
+                                .step = Duration::seconds(1),
+                                .phi = 0.05});
+  det.offer(packet_at(0.5, kSrc, 100));
+  det.finish(TimePoint::from_seconds(5.0));
+  // full_windows_only: first report at t = 2 (covering (0,2]); steps at
+  // t = 3, 4, 5 cover silent history.
+  ASSERT_EQ(det.reports().size(), 4u);
+  EXPECT_EQ(det.reports()[0].hhhs.total_bytes, 100u);
+  for (std::size_t i = 1; i < det.reports().size(); ++i) {
+    EXPECT_EQ(det.reports()[i].hhhs.total_bytes, 0u) << "step " << i;
+    EXPECT_TRUE(det.reports()[i].hhhs.empty()) << "step " << i;
+  }
+}
+
+TEST(SlidingWindowBoundary, PacketLeavesExactlyWhenWindowPasses) {
+  // Window 2 s, step 1 s. A packet at t = 0.5 is inside windows ending at
+  // 2.0 (covers (0,2]) but outside the window ending at 3.0 (covers (1,3]).
+  SlidingWindowHhhDetector det({.window = Duration::seconds(2),
+                                .step = Duration::seconds(1),
+                                .phi = 0.5});
+  det.offer(packet_at(0.5, kSrc, 100));
+  det.finish(TimePoint::from_seconds(3.0));
+  ASSERT_EQ(det.reports().size(), 2u);
+  EXPECT_EQ(det.reports()[0].hhhs.total_bytes, 100u);
+  EXPECT_EQ(det.reports()[1].hhhs.total_bytes, 0u);
+}
+
+TEST(SlidingWindowBoundary, SinglePacketWindowAtPhiOne) {
+  SlidingWindowHhhDetector det({.window = Duration::seconds(1),
+                                .step = Duration::seconds(1),
+                                .phi = 1.0});
+  det.offer(packet_at(0.5, kSrc, 77));
+  det.finish(TimePoint::from_seconds(1.0));
+  ASSERT_EQ(det.reports().size(), 1u);
+  const auto& set = det.reports()[0].hhhs;
+  EXPECT_EQ(set.total_bytes, 77u);
+  EXPECT_EQ(set.threshold_bytes, 77u);
+  EXPECT_TRUE(harness::hhh_set_covers(set, {Ipv4Prefix(kSrc, 32)}));
+}
+
+TEST(SlidingWindowBoundary, FirstFullWindowMatchesDisjointFirstWindow) {
+  // With step == window the sliding detector degenerates to disjoint
+  // tiling; both must produce identical exact HHH sets per window.
+  const auto packets =
+      harness::TraceBuilder(0x81D6E).compact_space().duration_seconds(4.0).packets(6000);
+  DisjointWindowHhhDetector disjoint({.window = Duration::seconds(1), .phi = 0.02});
+  SlidingWindowHhhDetector sliding({.window = Duration::seconds(1),
+                                    .step = Duration::seconds(1),
+                                    .phi = 0.02});
+  for (const auto& p : packets) {
+    disjoint.offer(p);
+    sliding.offer(p);
+  }
+  const TimePoint end = TimePoint::from_seconds(4.0);
+  disjoint.finish(end);
+  sliding.finish(end);
+  ASSERT_EQ(disjoint.reports().size(), sliding.reports().size());
+  for (std::size_t i = 0; i < disjoint.reports().size(); ++i) {
+    EXPECT_TRUE(
+        harness::hhh_sets_equal(disjoint.reports()[i].hhhs, sliding.reports()[i].hhhs))
+        << "window " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hhh

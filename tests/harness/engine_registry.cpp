@@ -1,0 +1,41 @@
+#include "harness/engine_registry.hpp"
+
+#include "core/ancestry_hhh.hpp"
+#include "core/exact_engine.hpp"
+#include "core/rhhh.hpp"
+#include "core/univmon_hhh.hpp"
+
+namespace hhh::harness {
+
+const std::vector<EngineCase>& conformance_engines() {
+  static const std::vector<EngineCase> cases = {
+      {"exact", [] { return make_exact_engine(Hierarchy::byte_granularity()); }},
+      {"rhhh",
+       [] {
+         return std::make_unique<RhhhEngine>(
+             RhhhEngine::Params{.counters_per_level = 512, .seed = 42});
+       }},
+      {"hss",
+       [] {
+         return std::make_unique<RhhhEngine>(RhhhEngine::Params{
+             .counters_per_level = 512, .update_all_levels = true, .seed = 42});
+       }},
+      {"ancestry",
+       [] {
+         return std::make_unique<AncestryHhhEngine>(
+             AncestryHhhEngine::Params{.eps = 0.005});
+       }},
+      {"univmon",
+       [] {
+         return std::make_unique<UnivmonHhhEngine>(
+             UnivmonHhhEngine::Params{.sketch_width = 2048, .top_k = 128});
+       }},
+  };
+  return cases;
+}
+
+std::string conformance_engine_name(std::size_t index) {
+  return conformance_engines()[index].name;
+}
+
+}  // namespace hhh::harness

@@ -1,0 +1,29 @@
+// The one place a new HhhEngine registers for conformance testing.
+//
+// Add ONE entry to conformance_engines() and the whole behavioural
+// contract in tests/core_engine_conformance_test.cpp (plus any future
+// parameterized suite built on this registry) runs against the engine.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace hhh::harness {
+
+struct EngineCase {
+  std::string name;  ///< gtest parameter suffix — [A-Za-z0-9_] only
+  std::function<std::unique_ptr<HhhEngine>()> make;
+};
+
+/// Every engine under conformance. Factories are deterministic: fixed
+/// seeds, fixed sizes.
+const std::vector<EngineCase>& conformance_engines();
+
+/// Name for gtest's INSTANTIATE_TEST_SUITE_P labelling.
+std::string conformance_engine_name(std::size_t index);
+
+}  // namespace hhh::harness

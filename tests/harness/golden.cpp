@@ -1,0 +1,119 @@
+#include "harness/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace hhh::harness {
+
+namespace {
+
+std::map<Ipv4Prefix, HhhItem> by_prefix(const HhhSet& set) {
+  std::map<Ipv4Prefix, HhhItem> out;
+  for (const auto& item : set.items()) out.emplace(item.prefix, item);
+  return out;
+}
+
+std::string item_volumes(const HhhItem& item) {
+  std::ostringstream os;
+  os << "conditioned=" << item.conditioned_bytes << " total=" << item.total_bytes;
+  return os.str();
+}
+
+}  // namespace
+
+std::string diff_hhh_sets(const HhhSet& expected, const HhhSet& actual) {
+  const auto exp = by_prefix(expected);
+  const auto act = by_prefix(actual);
+  std::ostringstream os;
+  for (const auto& [prefix, item] : exp) {
+    const auto it = act.find(prefix);
+    if (it == act.end()) {
+      os << "  only in expected: " << prefix.to_string() << " (" << item_volumes(item)
+         << ")\n";
+    } else if (it->second != item) {
+      os << "  volume mismatch at " << prefix.to_string() << ": expected "
+         << item_volumes(item) << ", actual " << item_volumes(it->second) << "\n";
+    }
+  }
+  for (const auto& [prefix, item] : act) {
+    if (!exp.contains(prefix)) {
+      os << "  only in actual:   " << prefix.to_string() << " (" << item_volumes(item)
+         << ")\n";
+    }
+  }
+  if (expected.total_bytes != actual.total_bytes) {
+    os << "  scope total_bytes: expected " << expected.total_bytes << ", actual "
+       << actual.total_bytes << "\n";
+  }
+  if (expected.threshold_bytes != actual.threshold_bytes) {
+    os << "  threshold_bytes:   expected " << expected.threshold_bytes << ", actual "
+       << actual.threshold_bytes << "\n";
+  }
+  return os.str();
+}
+
+::testing::AssertionResult hhh_sets_equal(const HhhSet& expected, const HhhSet& actual) {
+  const std::string diff = diff_hhh_sets(expected, actual);
+  if (diff.empty()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "HHH sets differ (" << expected.size()
+                                       << " expected vs " << actual.size()
+                                       << " actual items):\n"
+                                       << diff;
+}
+
+::testing::AssertionResult hhh_prefixes_equal(const HhhSet& expected, const HhhSet& actual) {
+  const auto exp = expected.prefixes();
+  const auto act = actual.prefixes();
+  if (exp == act) return ::testing::AssertionSuccess();
+  auto result = ::testing::AssertionFailure();
+  result << "HHH prefix sets differ:\n";
+  for (const auto& p : prefix_difference(exp, act)) {
+    result << "  only in expected: " << p.to_string() << "\n";
+  }
+  for (const auto& p : prefix_difference(act, exp)) {
+    result << "  only in actual:   " << p.to_string() << "\n";
+  }
+  return result;
+}
+
+::testing::AssertionResult hhh_set_covers(const HhhSet& actual,
+                                          const std::vector<Ipv4Prefix>& required) {
+  std::vector<Ipv4Prefix> missing;
+  for (const auto& p : required) {
+    if (!actual.contains(p)) missing.push_back(p);
+  }
+  if (missing.empty()) return ::testing::AssertionSuccess();
+  auto result = ::testing::AssertionFailure();
+  result << "HHH set missing " << missing.size() << " required prefix(es):\n";
+  for (const auto& p : missing) result << "  " << p.to_string() << "\n";
+  result << "actual set:\n" << actual.to_string();
+  return result;
+}
+
+::testing::AssertionResult hhh_sets_close(const HhhSet& expected, const HhhSet& actual,
+                                          double rel_tol) {
+  auto membership = hhh_prefixes_equal(expected, actual);
+  if (!membership) return membership;
+  const auto act = by_prefix(actual);
+  auto result = ::testing::AssertionFailure();
+  bool ok = true;
+  for (const auto& item : expected.items()) {
+    const HhhItem& got = act.at(item.prefix);
+    const auto close = [&](std::uint64_t want, std::uint64_t have) {
+      const double tol = rel_tol * static_cast<double>(std::max<std::uint64_t>(want, 1));
+      return std::abs(static_cast<double>(have) - static_cast<double>(want)) <= tol;
+    };
+    if (!close(item.conditioned_bytes, got.conditioned_bytes) ||
+        !close(item.total_bytes, got.total_bytes)) {
+      ok = false;
+      result << "  " << item.prefix.to_string() << ": expected " << item_volumes(item)
+             << ", actual " << item_volumes(got) << " (rel_tol " << rel_tol << ")\n";
+    }
+  }
+  if (ok) return ::testing::AssertionSuccess();
+  return result;
+}
+
+}  // namespace hhh::harness

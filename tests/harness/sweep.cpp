@@ -1,0 +1,29 @@
+#include "harness/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/random.hpp"
+
+namespace hhh::harness {
+
+std::vector<std::uint64_t> sweep_seeds(std::uint64_t base_seed, std::size_t count) {
+  SplitMix64 sm(base_seed);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(sm.next());
+  return seeds;
+}
+
+void for_each_seed(std::uint64_t base_seed, std::size_t count,
+                   const std::function<void(std::uint64_t)>& body) {
+  for (const std::uint64_t seed : sweep_seeds(base_seed, count)) {
+    std::ostringstream trace;
+    trace << "sweep seed=0x" << std::hex << seed;
+    SCOPED_TRACE(trace.str());
+    body(seed);
+  }
+}
+
+}  // namespace hhh::harness

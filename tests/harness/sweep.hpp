@@ -1,0 +1,26 @@
+// Seed-controlled randomized sweeps.
+//
+// Randomized tests must (a) derive every stream from an explicit base
+// seed so `ctest -j` is reproducible, and (b) name the failing seed in
+// the assertion output so a failure can be replayed in isolation. These
+// helpers enforce both: seeds are expanded deterministically with
+// SplitMix64 and each iteration runs under a SCOPED_TRACE carrying the
+// seed value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hhh::harness {
+
+/// `count` distinct 64-bit seeds derived deterministically from
+/// `base_seed` (SplitMix64 expansion — matches how Rng seeds its state).
+std::vector<std::uint64_t> sweep_seeds(std::uint64_t base_seed, std::size_t count);
+
+/// Run `body(seed)` for each derived seed, wrapped in a SCOPED_TRACE so a
+/// failing iteration reports "sweep seed=0x...".
+void for_each_seed(std::uint64_t base_seed, std::size_t count,
+                   const std::function<void(std::uint64_t)>& body);
+
+}  // namespace hhh::harness

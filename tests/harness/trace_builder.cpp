@@ -1,0 +1,81 @@
+#include "harness/trace_builder.hpp"
+
+namespace hhh::harness {
+
+TraceBuilder::TraceBuilder(std::uint64_t seed) {
+  cfg_.seed = seed;
+  cfg_.duration = Duration::seconds(3600);
+  cfg_.background_pps = 50000.0;
+  cfg_.bursts_enabled = false;
+}
+
+TraceBuilder& TraceBuilder::duration_seconds(double seconds) {
+  cfg_.duration = Duration::from_seconds(seconds);
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::background_pps(double pps) {
+  cfg_.background_pps = pps;
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::bursts(bool enabled) {
+  cfg_.bursts_enabled = enabled;
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::address_space(const AddressSpaceConfig& cfg) {
+  cfg_.address_space = cfg;
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::compact_space() {
+  cfg_.address_space.num_slash8 = 8;
+  cfg_.address_space.slash16_per_8 = 5;
+  cfg_.address_space.slash24_per_16 = 4;
+  cfg_.address_space.hosts_per_24 = 4;
+  return *this;
+}
+
+std::vector<PacketRecord> TraceBuilder::packets(std::size_t n) const {
+  SyntheticTraceGenerator gen(cfg_);
+  std::vector<PacketRecord> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    auto p = gen.next();
+    if (!p) break;
+    out.push_back(*p);
+  }
+  return out;
+}
+
+std::vector<PacketRecord> TraceBuilder::all() const {
+  return SyntheticTraceGenerator(cfg_).generate_all();
+}
+
+PacketRecord packet_at(double seconds, Ipv4Address src, std::uint32_t bytes) {
+  PacketRecord p;
+  p.ts = TimePoint::from_seconds(seconds);
+  p.src = src;
+  p.ip_len = bytes;
+  return p;
+}
+
+std::vector<PacketRecord> packet_train(Ipv4Address src, std::uint32_t bytes, std::size_t n,
+                                       double start_seconds, double gap_seconds) {
+  std::vector<PacketRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        packet_at(start_seconds + static_cast<double>(i) * gap_seconds, src, bytes));
+  }
+  return out;
+}
+
+std::uint64_t byte_sum(const std::vector<PacketRecord>& packets) {
+  std::uint64_t sum = 0;
+  for (const auto& p : packets) sum += p.ip_len;
+  return sum;
+}
+
+}  // namespace hhh::harness

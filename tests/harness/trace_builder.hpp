@@ -1,0 +1,57 @@
+// Deterministic workload builders shared by the test suites.
+//
+// Two kinds of traffic, both reproducible from an explicit seed:
+//  * TraceBuilder — a fluent wrapper over TraceConfig for synthetic
+//    CAIDA-like streams (the conformance and property suites);
+//  * hand-crafted helpers — exact packets with chosen sources, sizes and
+//    timestamps, for tests that assert byte-precise goldens.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace hhh::harness {
+
+class TraceBuilder {
+ public:
+  /// Seeds are mandatory: there is no default, so every test names its
+  /// stream explicitly and `ctest -j` stays deterministic.
+  explicit TraceBuilder(std::uint64_t seed);
+
+  TraceBuilder& duration_seconds(double seconds);
+  TraceBuilder& background_pps(double pps);
+  TraceBuilder& bursts(bool enabled);
+  TraceBuilder& address_space(const AddressSpaceConfig& cfg);
+
+  /// The small 8x5x4x4 address space the conformance suite uses: big
+  /// enough to populate every hierarchy level, small enough that exact
+  /// engines stay fast.
+  TraceBuilder& compact_space();
+
+  const TraceConfig& config() const noexcept { return cfg_; }
+
+  /// First `n` packets of the stream (fewer if the trace is shorter).
+  std::vector<PacketRecord> packets(std::size_t n) const;
+
+  /// The whole stream (keep durations short).
+  std::vector<PacketRecord> all() const;
+
+ private:
+  TraceConfig cfg_;
+};
+
+/// One packet at `seconds` from `src` carrying `bytes` IP bytes.
+PacketRecord packet_at(double seconds, Ipv4Address src, std::uint32_t bytes);
+
+/// `n` identical packets from `src`, `gap_seconds` apart starting at
+/// `start_seconds` — the workhorse for window-boundary tests.
+std::vector<PacketRecord> packet_train(Ipv4Address src, std::uint32_t bytes, std::size_t n,
+                                       double start_seconds = 0.0, double gap_seconds = 1e-3);
+
+/// Sum of ip_len over `packets` (what total_bytes() must report).
+std::uint64_t byte_sum(const std::vector<PacketRecord>& packets);
+
+}  // namespace hhh::harness

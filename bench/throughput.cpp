@@ -20,6 +20,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ancestry_hhh.hpp"
@@ -27,6 +28,7 @@
 #include "core/exact_hhh.hpp"
 #include "core/level_aggregates.hpp"
 #include "core/rhhh.hpp"
+#include "core/sharded_engine.hpp"
 #include "core/tdbf_hhh.hpp"
 #include "core/univmon_hhh.hpp"
 #include "dataplane/hashpipe.hpp"
@@ -66,6 +68,7 @@ struct EngineResult {
   std::string name;
   double add_pps = 0.0;        ///< per-packet add() loop
   double add_batch_pps = 0.0;  ///< add_batch() in batch_size chunks
+  std::size_t shards = 0;      ///< worker threads (0 = single-threaded engine)
 };
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -88,17 +91,27 @@ double best_pps(int repeats, std::size_t packets, MakeEngine&& make, Replay&& re
   return best;
 }
 
+/// Replays are timed to *completion*: a sharded engine returns from
+/// add/add_batch once batches are enqueued, so each replay ends with
+/// drain() — workers must have ingested every packet before the clock
+/// stops, otherwise we'd be measuring enqueue speed. `shards` is purely
+/// informational (0 = single-threaded engine).
 template <typename MakeEngine>
 EngineResult measure_engine(const std::string& name, MakeEngine&& make,
                             const std::vector<PacketRecord>& packets,
-                            const ThroughputOptions& opt) {
+                            const ThroughputOptions& opt, std::size_t shards = 0) {
   EngineResult result;
   result.name = name;
+  result.shards = shards;
   std::uint64_t guard = 0;  // defeats dead-code elimination across replays
 
+  const auto finish = [&](HhhEngine& engine) {
+    if (auto* sharded = dynamic_cast<ShardedHhhEngine*>(&engine)) sharded->drain();
+    guard ^= engine.total_bytes();
+  };
   result.add_pps = best_pps(opt.repeats, packets.size(), make, [&](HhhEngine& engine) {
     for (const auto& p : packets) engine.add(p);
-    guard ^= engine.total_bytes();
+    finish(engine);
   });
 
   result.add_batch_pps = best_pps(opt.repeats, packets.size(), make, [&](HhhEngine& engine) {
@@ -106,10 +119,10 @@ EngineResult measure_engine(const std::string& name, MakeEngine&& make,
     for (std::size_t i = 0; i < all.size(); i += opt.batch_size) {
       engine.add_batch(all.subspan(i, std::min(opt.batch_size, all.size() - i)));
     }
-    guard ^= engine.total_bytes();
+    finish(engine);
   });
 
-  std::printf("%-8s  add: %10.0f pps   add_batch: %10.0f pps   (x%.2f)%s\n",
+  std::printf("%-18s  add: %10.0f pps   add_batch: %10.0f pps   (x%.2f)%s\n",
               result.name.c_str(), result.add_pps, result.add_batch_pps,
               result.add_batch_pps / result.add_pps, guard ? "" : " ");
   return result;
@@ -117,8 +130,10 @@ EngineResult measure_engine(const std::string& name, MakeEngine&& make,
 
 int run_throughput_harness(const ThroughputOptions& opt) {
   const auto& packets = stream();
-  std::printf("== throughput: add() loop vs add_batch(%zu) over %zu packets ==\n",
-              opt.batch_size, packets.size());
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("== throughput: add() loop vs add_batch(%zu) over %zu packets "
+              "(%u hardware threads) ==\n",
+              opt.batch_size, packets.size(), hw_threads);
 
   std::vector<EngineResult> results;
   results.push_back(measure_engine(
@@ -150,6 +165,22 @@ int run_throughput_harness(const ThroughputOptions& opt) {
       },
       packets, opt));
 
+  // Sharded scaling rows: the same exact computation fanned out over N
+  // worker threads (hash-partitioned streams, merged at extraction). The
+  // per-shard-count trajectory is the point — on a multi-core host the
+  // exact engine's add_batch should scale with shards until partitioning
+  // (front-end) or memory bandwidth saturates.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    results.push_back(measure_engine(
+        "sharded_exact_x" + std::to_string(shards),
+        [shards] { return make_sharded_exact_engine(Hierarchy::byte_granularity(), shards); },
+        packets, opt, shards));
+  }
+  results.push_back(measure_engine(
+      "sharded_rhhh_x4",
+      [] { return make_sharded_rhhh_engine(Hierarchy::byte_granularity(), 4, 512, 0xBE9C); },
+      packets, opt, 4));
+
   std::FILE* out = std::fopen(opt.json_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.json_path.c_str());
@@ -160,14 +191,15 @@ int run_throughput_harness(const ThroughputOptions& opt) {
   std::fprintf(out, "  \"packets\": %zu,\n", packets.size());
   std::fprintf(out, "  \"batch_size\": %zu,\n", opt.batch_size);
   std::fprintf(out, "  \"repeats\": %d,\n", opt.repeats);
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw_threads);
   std::fprintf(out, "  \"engines\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(out,
-                 "    {\"engine\": \"%s\", \"add_pps\": %.1f, \"add_batch_pps\": %.1f, "
-                 "\"batch_speedup\": %.4f}%s\n",
-                 r.name.c_str(), r.add_pps, r.add_batch_pps, r.add_batch_pps / r.add_pps,
-                 i + 1 < results.size() ? "," : "");
+                 "    {\"engine\": \"%s\", \"shards\": %zu, \"add_pps\": %.1f, "
+                 "\"add_batch_pps\": %.1f, \"batch_speedup\": %.4f}%s\n",
+                 r.name.c_str(), r.shards, r.add_pps, r.add_batch_pps,
+                 r.add_batch_pps / r.add_pps, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

@@ -39,6 +39,38 @@ void AncestryHhhEngine::add(const PacketRecord& packet) {
   }
 }
 
+void AncestryHhhEngine::add_batch(std::span<const PacketRecord> packets) {
+  // Same per-packet sequence as add() — deltas are stamped at the same
+  // stream positions and compress() fires at the same bytes — so the trie
+  // state is byte-identical to the loop. The win is purely mechanical: no
+  // virtual dispatch per packet, the leaf map reference / leaf length /
+  // eps hoisted out of the loop, and the running total kept in a register
+  // (the member store per packet cannot be elided in add(): node writes
+  // may alias it as far as the compiler knows).
+  auto& leaf = levels_[0];
+  const unsigned leaf_len = params_.hierarchy.leaf_length();
+  const double eps = params_.eps;
+  std::uint64_t total = total_bytes_;
+  std::uint64_t compress_at = next_compress_at_;
+  for (const auto& p : packets) {
+    total += p.ip_len;
+    auto [node, inserted] = leaf.try_emplace(Ipv4Prefix(p.src, leaf_len).key());
+    if (inserted) {
+      node->delta = static_cast<std::uint64_t>(eps * static_cast<double>(total));
+    }
+    node->f += p.ip_len;
+    if (total >= compress_at) {
+      total_bytes_ = total;  // compress() reads the member
+      compress();
+      const auto growth = std::max<std::uint64_t>(
+          compress_stride_, static_cast<std::uint64_t>(eps * static_cast<double>(total)));
+      compress_at = total + growth;
+    }
+  }
+  total_bytes_ = total;
+  next_compress_at_ = compress_at;
+}
+
 void AncestryHhhEngine::compress() {
   const auto limit =
       static_cast<std::uint64_t>(params_.eps * static_cast<double>(total_bytes_));

@@ -1,18 +1,19 @@
-// Full-ancestry streaming HHH (Cormode, Korn, Muthukrishnan, Srivastava) —
-// the classic deterministic epsilon-approximate baseline, implemented as a
-// weighted (byte-stream) lossy-counting trie over the hierarchy.
-//
-// State: per hierarchy level, a map prefix -> (f, delta) where f counts
-// bytes attributed since the entry was created and delta bounds the bytes
-// that may have been attributed and compressed away before creation
-// (delta = eps * N_at_creation). Periodically (every 1/eps bytes) the trie
-// is compressed bottom-up: entries with f + delta <= eps * N roll their f
-// into their parent and are deleted.
-//
-// Guarantees: for every prefix, true subtree volume is within
-// [f, f + delta + children-rolled-mass] and the total state is
-// O(H/eps * log(eps N)) entries. Extraction mirrors the exact bottom-up
-// discounting on the (f + delta) upper estimates.
+/// \file
+/// Full-ancestry streaming HHH (Cormode, Korn, Muthukrishnan, Srivastava) —
+/// the classic deterministic epsilon-approximate baseline, implemented as a
+/// weighted (byte-stream) lossy-counting trie over the hierarchy.
+///
+/// State: per hierarchy level, a map prefix -> (f, delta) where f counts
+/// bytes attributed since the entry was created and delta bounds the bytes
+/// that may have been attributed and compressed away before creation
+/// (delta = eps * N_at_creation). Periodically (every 1/eps bytes) the trie
+/// is compressed bottom-up: entries with f + delta <= eps * N roll their f
+/// into their parent and are deleted.
+///
+/// Guarantees: for every prefix, true subtree volume is within
+/// [f, f + delta + children-rolled-mass] and the total state is
+/// O(H/eps * log(eps N)) entries. Extraction mirrors the exact bottom-up
+/// discounting on the (f + delta) upper estimates.
 #pragma once
 
 #include <cstdint>
@@ -23,20 +24,37 @@
 
 namespace hhh {
 
+/// Deterministic lossy-counting HHH engine (full-ancestry baseline).
 class AncestryHhhEngine final : public HhhEngine {
  public:
+  /// Construction-time configuration.
   struct Params {
-    Hierarchy hierarchy = Hierarchy::byte_granularity();
+    Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
     double eps = 0.001;  ///< estimate error bound, as a fraction of N
   };
 
+  /// Engine over `params.hierarchy` with error bound `params.eps`; throws
+  /// std::invalid_argument when eps is outside (0, 1).
   explicit AncestryHhhEngine(const Params& params);
 
+  /// Leaf-level lossy-counting insert + amortized bottom-up compression.
   void add(const PacketRecord& packet) override;
+  /// Identical per-packet sequence to the add() loop — same deltas, same
+  /// compression points, so extraction is byte-identical — but with the
+  /// leaf map, prefix length and compression test hoisted out of the
+  /// virtual-dispatch loop. Fixes the batch path previously measuring
+  /// *slower* than the per-packet loop (default add_batch pays one virtual
+  /// call per packet).
+  void add_batch(std::span<const PacketRecord> packets) override;
+  /// Bottom-up conditioned-count extraction over (f + eps*N) upper bounds.
   HhhSet extract(double phi) const override;
+  /// Drop the trie and restart the compression cadence.
   void reset() override;
+  /// Exact byte total since the last reset.
   std::uint64_t total_bytes() const override { return total_bytes_; }
+  /// Footprint of the per-level entry maps.
   std::size_t memory_bytes() const override;
+  /// "ancestry".
   std::string name() const override { return "ancestry"; }
 
   /// Upper estimate of a prefix's subtree byte volume: counted mass of all

@@ -3,13 +3,20 @@
 #include <stdexcept>
 
 #include "core/exact_engine.hpp"
+#include "core/sharded_engine.hpp"
 
 namespace hhh {
 
+namespace {
+std::unique_ptr<HhhEngine> default_engine(const DisjointWindowHhhDetector::Params& params) {
+  if (params.shards > 1) return make_sharded_exact_engine(params.hierarchy, params.shards);
+  return make_exact_engine(params.hierarchy);
+}
+}  // namespace
+
 DisjointWindowHhhDetector::DisjointWindowHhhDetector(const Params& params,
                                                      std::unique_ptr<HhhEngine> engine)
-    : params_(params),
-      engine_(engine ? std::move(engine) : make_exact_engine(params.hierarchy)) {
+    : params_(params), engine_(engine ? std::move(engine) : default_engine(params)) {
   if (params_.window.ns() <= 0) {
     throw std::invalid_argument("DisjointWindowHhhDetector: window must be positive");
   }

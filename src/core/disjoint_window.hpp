@@ -1,11 +1,12 @@
-// Disjoint fixed-time windows — the model of Fig. 1a.
-//
-// The stream is partitioned into consecutive intervals of length W
-// ([0,W), [W,2W), ...); the engine computes the window's HHHs at its end
-// and is then reset. This is the practice of the data-plane detectors the
-// paper examines (UnivMon, HashPipe, RHHH deployments) and the subject of
-// its critique: traffic dynamics that straddle a boundary are split and
-// can fall below both windows' thresholds.
+/// \file
+/// Disjoint fixed-time windows — the model of Fig. 1a.
+///
+/// The stream is partitioned into consecutive intervals of length W
+/// ([0,W), [W,2W), ...); the engine computes the window's HHHs at its end
+/// and is then reset. This is the practice of the data-plane detectors the
+/// paper examines (UnivMon, HashPipe, RHHH deployments) and the subject of
+/// its critique: traffic dynamics that straddle a boundary are split and
+/// can fall below both windows' thresholds.
 #pragma once
 
 #include <functional>
@@ -24,19 +25,25 @@ namespace hhh {
 struct WindowReport {
   std::size_t index = 0;  ///< window ordinal (disjoint) / step ordinal (sliding)
   TimePoint start;        ///< window covers [start, end)
-  TimePoint end;
-  HhhSet hhhs;
+  TimePoint end;          ///< exclusive window end
+  HhhSet hhhs;            ///< the window's HHH set
 };
 
+/// The disjoint fixed-window HHH detector (paper Fig. 1a model).
 class DisjointWindowHhhDetector {
  public:
+  /// Construction-time configuration.
   struct Params {
-    Duration window = Duration::seconds(10);
-    double phi = 0.05;
-    Hierarchy hierarchy = Hierarchy::byte_granularity();
+    Duration window = Duration::seconds(10);  ///< window length W
+    double phi = 0.05;                        ///< relative HHH threshold
+    Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
+    /// Worker threads for the *default* engine: 1 = single-threaded exact
+    /// engine; >1 = ShardedHhhEngine over exact replicas (byte-identical
+    /// reports, parallel ingestion). Ignored when an engine is injected.
+    std::size_t shards = 1;
   };
 
-  /// `engine` defaults to the exact engine.
+  /// `engine` defaults to the exact engine (sharded when params.shards > 1).
   explicit DisjointWindowHhhDetector(const Params& params,
                                      std::unique_ptr<HhhEngine> engine = nullptr);
 
@@ -59,6 +66,7 @@ class DisjointWindowHhhDetector {
   /// Optional streaming callback invoked as each window closes.
   void set_on_report(std::function<void(const WindowReport&)> cb) { on_report_ = std::move(cb); }
 
+  /// The engine computing each window's HHHs (read-only).
   const HhhEngine& engine() const noexcept { return *engine_; }
 
  private:

@@ -1,0 +1,12 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+namespace hhh {
+
+void HhhEngine::merge_from(const HhhEngine& other) {
+  throw std::logic_error("HhhEngine::merge_from: engine '" + name() +
+                         "' cannot merge state from '" + other.name() + "'");
+}
+
+}  // namespace hhh

@@ -1,14 +1,15 @@
-// HhhEngine — the pluggable per-window HHH computation.
-//
-// The disjoint-window driver (Fig. 1a) is agnostic to *how* HHHs are
-// computed inside a window: exactly (ground truth), or with a streaming
-// sketch (RHHH, full-ancestry) as a programmable data plane would. This
-// interface decouples the window model from the engine so the §3 benches
-// can swap engines while keeping the windowing identical.
-//
-// Engines are reset at window boundaries by the driver — exactly the
-// "reset the data structure at the end of each time window" practice the
-// paper examines.
+/// \file
+/// HhhEngine — the pluggable per-window HHH computation.
+///
+/// The disjoint-window driver (Fig. 1a) is agnostic to *how* HHHs are
+/// computed inside a window: exactly (ground truth), or with a streaming
+/// sketch (RHHH, full-ancestry) as a programmable data plane would. This
+/// interface decouples the window model from the engine so the §3 benches
+/// can swap engines while keeping the windowing identical.
+///
+/// Engines are reset at window boundaries by the driver — exactly the
+/// "reset the data structure at the end of each time window" practice the
+/// paper examines.
 #pragma once
 
 #include <cstdint>
@@ -19,10 +20,22 @@
 #include "core/hhh_types.hpp"
 #include "net/packet.hpp"
 
+/// \namespace hhh
+/// \brief Hierarchical heavy-hitter measurement library: engines, window
+/// models, sketches, trace generation and the paper's analyses.
 namespace hhh {
 
+/// The pluggable per-window HHH computation behind every window model.
+///
+/// Implementations range from the exact ground truth (ExactEngine) to the
+/// streaming sketches a programmable data plane would run (RhhhEngine,
+/// AncestryHhhEngine, UnivmonHhhEngine) and the sharded parallel front-end
+/// (ShardedHhhEngine). The disjoint-window driver resets the engine at
+/// every window boundary and extracts at window close; engines are driven
+/// by exactly one caller thread at a time.
 class HhhEngine {
  public:
+  /// Engines are owned polymorphically by the window drivers.
   virtual ~HhhEngine() = default;
 
   /// Account one packet (source + IP bytes).
@@ -48,8 +61,35 @@ class HhhEngine {
   /// Bytes accounted since the last reset (exact in every engine).
   virtual std::uint64_t total_bytes() const = 0;
 
+  /// Resident memory footprint of the engine's state, in bytes.
   virtual std::size_t memory_bytes() const = 0;
+
+  /// Stable engine identifier ("exact", "rhhh", ...) used in bench output.
   virtual std::string name() const = 0;
+
+  /// True when merge_from() is supported by this engine type. Mergeable
+  /// engines are the building block of sharded ingestion: N replicas each
+  /// ingest a hash-partition of the stream and are folded together at
+  /// extraction time.
+  virtual bool mergeable() const { return false; }
+
+  /// Fold another engine's accumulated state into this one, as if this
+  /// engine had also ingested every packet `other` ingested.
+  ///
+  /// Error-bound semantics per engine:
+  ///  * exact — lossless: merge(A, B) followed by extract() is
+  ///    byte-identical to one engine ingesting A's and B's streams;
+  ///  * rhhh / hss — per-level Space-Saving summaries are merged with the
+  ///    mergeable-summaries bound (Agarwal et al., PODS'12): a summary of
+  ///    capacity k over weight N overestimates by at most N/k, and merging
+  ///    sums the bounds, so the merged overestimate is at most
+  ///    (N_self + N_other)/k per level (scaled by H in sampled mode);
+  ///  * engines without merge support (ancestry, univmon, tdbf) throw
+  ///    std::logic_error — the default implementation.
+  ///
+  /// Throws std::invalid_argument when `other` is an incompatible
+  /// configuration (different hierarchy, different mode).
+  virtual void merge_from(const HhhEngine& other);
 };
 
 /// The exact engine: LevelAggregates + extract_hhh.

@@ -1,5 +1,7 @@
 #include "core/exact_engine.hpp"
 
+#include <stdexcept>
+
 #include "core/exact_hhh.hpp"
 
 namespace hhh {
@@ -15,6 +17,15 @@ void ExactEngine::add_batch(std::span<const PacketRecord> packets) {
 }
 
 HhhSet ExactEngine::extract(double phi) const { return extract_hhh_relative(agg_, phi); }
+
+void ExactEngine::merge_from(const HhhEngine& other) {
+  const auto* peer = dynamic_cast<const ExactEngine*>(&other);
+  if (peer == nullptr) {
+    throw std::invalid_argument("ExactEngine::merge_from: peer is not an ExactEngine ('" +
+                                other.name() + "')");
+  }
+  agg_.merge(peer->agg_);
+}
 
 void ExactEngine::reset() { agg_.clear(); }
 

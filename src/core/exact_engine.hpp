@@ -1,10 +1,11 @@
-// ExactEngine — the ground-truth HhhEngine over LevelAggregates.
-//
-// add() pays O(levels) per packet (one counter per hierarchy level).
-// add_batch() routes through LevelAggregates::add_batch, whose deferred
-// trie propagation re-coalesces the batch per level while walking up the
-// hierarchy, so each level map sees every distinct prefix once — the
-// batched analogue of the O(1)-amortized update direction RHHH takes.
+/// \file
+/// ExactEngine — the ground-truth HhhEngine over LevelAggregates.
+///
+/// add() pays O(levels) per packet (one counter per hierarchy level).
+/// add_batch() routes through LevelAggregates::add_batch, whose deferred
+/// trie propagation re-coalesces the batch per level while walking up the
+/// hierarchy, so each level map sees every distinct prefix once — the
+/// batched analogue of the O(1)-amortized update direction RHHH takes.
 #pragma once
 
 #include <cstdint>
@@ -15,18 +16,35 @@
 
 namespace hhh {
 
+/// Ground-truth HhhEngine: exact per-level counters + exact extraction.
 class ExactEngine final : public HhhEngine {
  public:
+  /// Exact engine over `hierarchy` (one counter map per level).
   explicit ExactEngine(const Hierarchy& hierarchy);
 
+  /// O(levels) per packet: one counter increment per hierarchy level.
   void add(const PacketRecord& packet) override;
+  /// Deferred trie propagation (LevelAggregates::add_batch) — byte-identical
+  /// to the add() loop, cheaper on duplicate-heavy batches.
   void add_batch(std::span<const PacketRecord> packets) override;
+  /// Exact conditioned-count HHH extraction over the level counters.
   HhhSet extract(double phi) const override;
+  /// Zero all counters (window boundary).
   void reset() override;
+  /// Exact byte total since the last reset.
   std::uint64_t total_bytes() const override { return agg_.total_bytes(); }
+  /// Footprint of the level counter maps.
   std::size_t memory_bytes() const override;
+  /// "exact".
   std::string name() const override { return "exact"; }
 
+  /// Always true: counter addition commutes, so merging is lossless.
+  bool mergeable() const override { return true; }
+  /// Lossless merge: adds `other`'s counters into this engine. Requires
+  /// `other` to be an ExactEngine over the same hierarchy.
+  void merge_from(const HhhEngine& other) override;
+
+  /// The underlying counters (read-only; tests and analyses).
   const LevelAggregates& aggregates() const noexcept { return agg_; }
 
  private:

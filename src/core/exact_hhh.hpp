@@ -1,18 +1,19 @@
-// Exact HHH extraction — the ground truth of every experiment.
-//
-// Implements the paper's definition (discounted/conditioned counts,
-// Cormode et al.) bottom-up over LevelAggregates:
-//
-//   residual(leaf)   = bytes(leaf)
-//   residual(p)      = sum over children c of p at the level below of
-//                      (c is HHH ? 0 : residual(c))
-//   p is an HHH  <=>  residual(p) >= T
-//
-// residual(p) is exactly "p's volume after excluding the contribution of
-// all its HHH descendants" because an HHH child absorbs its whole subtree
-// (its own residual plus everything deeper already discounted).
-//
-// Cost: one pass over each level's live counters — O(distinct prefixes).
+/// \file
+/// Exact HHH extraction — the ground truth of every experiment.
+///
+/// Implements the paper's definition (discounted/conditioned counts,
+/// Cormode et al.) bottom-up over LevelAggregates:
+///
+///     residual(leaf)   = bytes(leaf)
+///     residual(p)      = sum over children c of p at the level below of
+///                        (c is HHH ? 0 : residual(c))
+///     p is an HHH  <=>  residual(p) >= T
+///
+/// residual(p) is exactly "p's volume after excluding the contribution of
+/// all its HHH descendants" because an HHH child absorbs its whole subtree
+/// (its own residual plus everything deeper already discounted).
+///
+/// Cost: one pass over each level's live counters — O(distinct prefixes).
 #pragma once
 
 #include <cstdint>

@@ -1,28 +1,29 @@
-// Two-dimensional HHH: (source, destination) prefix pairs.
-//
-// The paper restricts itself to one-dimensional HHHs over source
-// addresses; the general problem (Cormode et al.) is two-dimensional —
-// nodes are pairs (source prefix, destination prefix) ordered by the
-// *lattice* of joint generalizations, not a tree: a node has up to two
-// parents (generalize source one level, or destination one level). This
-// module implements the full 2-D machinery as the library's extension
-// beyond the poster's scope:
-//
-//  * Hierarchy2D — the product of two 1-D hierarchies (default byte x byte,
-//    a 5x5 = 25-node lattice per packet);
-//  * LeafPairCounts — exact (src/32, dst/32) byte counters with add/remove
-//    (so both window models work);
-//  * extract_hhh_2d — exact conditioned-count extraction under the
-//    "overlap" (inclusion-exclusion-free) rule: the conditioned count of a
-//    node p counts the bytes of leaves under p that no HHH *strict lattice
-//    descendant* of p covers. Implemented as a lattice sweep in generality
-//    order with a per-leaf coverage bitmask — O(lattice * leaves), exact;
-//  * analyze_hidden_hhh_2d — the Fig. 2 measurement lifted to 2-D.
-//
-// The overlap rule is the one the streaming 2-D literature targets
-// (Cormode's 'HHH with the overlap rule'): each leaf is discounted from an
-// ancestor as soon as at least one HHH descendant covers it, with no
-// double-subtraction ambiguity — the natural semantics for accounting.
+/// \file
+/// Two-dimensional HHH: (source, destination) prefix pairs.
+///
+/// The paper restricts itself to one-dimensional HHHs over source
+/// addresses; the general problem (Cormode et al.) is two-dimensional —
+/// nodes are pairs (source prefix, destination prefix) ordered by the
+/// *lattice* of joint generalizations, not a tree: a node has up to two
+/// parents (generalize source one level, or destination one level). This
+/// module implements the full 2-D machinery as the library's extension
+/// beyond the poster's scope:
+///
+///  * Hierarchy2D — the product of two 1-D hierarchies (default byte x byte,
+///    a 5x5 = 25-node lattice per packet);
+///  * LeafPairCounts — exact (src/32, dst/32) byte counters with add/remove
+///    (so both window models work);
+///  * extract_hhh_2d — exact conditioned-count extraction under the
+///    "overlap" (inclusion-exclusion-free) rule: the conditioned count of a
+///    node p counts the bytes of leaves under p that no HHH *strict lattice
+///    descendant* of p covers. Implemented as a lattice sweep in generality
+///    order with a per-leaf coverage bitmask — O(lattice * leaves), exact;
+///  * analyze_hidden_hhh_2d — the Fig. 2 measurement lifted to 2-D.
+///
+/// The overlap rule is the one the streaming 2-D literature targets
+/// (Cormode's 'HHH with the overlap rule'): each leaf is discounted from an
+/// ancestor as soon as at least one HHH descendant covers it, with no
+/// double-subtraction ambiguity — the natural semantics for accounting.
 #pragma once
 
 #include <cstdint>
@@ -40,16 +41,22 @@ namespace hhh {
 /// Product of two 1-D hierarchies.
 class Hierarchy2D {
  public:
+  /// Lattice over `src` levels x `dst` levels.
   Hierarchy2D(Hierarchy src, Hierarchy dst);
 
   /// Byte granularity on both dimensions (5 x 5 lattice).
   static Hierarchy2D byte_granularity();
 
+  /// The source-dimension hierarchy.
   const Hierarchy& src() const noexcept { return src_; }
+  /// The destination-dimension hierarchy.
   const Hierarchy& dst() const noexcept { return dst_; }
 
+  /// Source levels.
   std::size_t src_levels() const noexcept { return src_.levels(); }
+  /// Destination levels.
   std::size_t dst_levels() const noexcept { return dst_.levels(); }
+  /// Lattice nodes per packet (src_levels x dst_levels).
   std::size_t lattice_size() const noexcept { return src_.levels() * dst_.levels(); }
 
  private:
@@ -59,10 +66,12 @@ class Hierarchy2D {
 
 /// A lattice node: source and destination prefixes (at hierarchy levels).
 struct PrefixPair {
-  Ipv4Prefix src;
-  Ipv4Prefix dst;
+  Ipv4Prefix src;  ///< source-dimension prefix
+  Ipv4Prefix dst;  ///< destination-dimension prefix
 
+  /// Field-wise equality.
   bool operator==(const PrefixPair&) const = default;
+  /// Lexicographic (src, dst) ordering for sorted containers.
   auto operator<=>(const PrefixPair&) const = default;
 
   /// True iff this pair contains `other` in both dimensions.
@@ -70,36 +79,48 @@ struct PrefixPair {
     return src.contains(other.src) && dst.contains(other.dst);
   }
 
+  /// "src|dst" rendering.
   std::string to_string() const;
 };
 
+/// One reported 2-D HHH: a lattice node with its volumes.
 struct HhhItem2D {
-  PrefixPair node;
-  std::uint64_t total_bytes = 0;
-  std::uint64_t conditioned_bytes = 0;
+  PrefixPair node;                      ///< the reported lattice node
+  std::uint64_t total_bytes = 0;        ///< full coverage volume
+  std::uint64_t conditioned_bytes = 0;  ///< volume after HHH-descendant discount
 
+  /// Field-wise equality.
   bool operator==(const HhhItem2D&) const = default;
 };
 
+/// One 2-D extraction result (scope totals + items).
 struct HhhSet2D {
-  std::vector<HhhItem2D> items;
-  std::uint64_t total_bytes = 0;
-  std::uint64_t threshold_bytes = 0;
+  std::vector<HhhItem2D> items;       ///< reported nodes, in extraction order
+  std::uint64_t total_bytes = 0;      ///< scope volume (threshold denominator)
+  std::uint64_t threshold_bytes = 0;  ///< the absolute threshold applied
 
+  /// The reported lattice nodes only, extraction order.
   std::vector<PrefixPair> nodes() const;
+  /// True iff some item reports exactly `node`.
   bool contains(const PrefixPair& node) const noexcept;
 };
 
 /// Exact (src/32, dst/32) leaf counters with removal support.
 class LeafPairCounts {
  public:
+  /// Empty counter table.
   LeafPairCounts() : counts_(1 << 12) {}
 
+  /// Add `bytes` to the (src, dst) leaf pair.
   void add(Ipv4Address src, Ipv4Address dst, std::uint64_t bytes);
+  /// Remove previously added bytes (window slide); never goes negative.
   void remove(Ipv4Address src, Ipv4Address dst, std::uint64_t bytes);
+  /// Drop every counter.
   void clear();
 
+  /// Bytes currently accounted.
   std::uint64_t total_bytes() const noexcept { return total_; }
+  /// Number of live (non-zero) leaf pairs.
   std::size_t distinct_pairs() const noexcept { return counts_.size(); }
 
   /// Visit every live ((src,dst) packed key, bytes) pair.
@@ -108,12 +129,15 @@ class LeafPairCounts {
     counts_.for_each([&](std::uint64_t key, const std::uint64_t& bytes) { fn(key, bytes); });
   }
 
+  /// Pack a (src, dst) pair into the 64-bit map key.
   static std::uint64_t pack(Ipv4Address src, Ipv4Address dst) noexcept {
     return (static_cast<std::uint64_t>(src.bits()) << 32) | dst.bits();
   }
+  /// Source half of a packed key.
   static Ipv4Address unpack_src(std::uint64_t key) noexcept {
     return Ipv4Address(static_cast<std::uint32_t>(key >> 32));
   }
+  /// Destination half of a packed key.
   static Ipv4Address unpack_dst(std::uint64_t key) noexcept {
     return Ipv4Address(static_cast<std::uint32_t>(key));
   }
@@ -139,13 +163,14 @@ HhhSet2D exact_hhh_2d_of(std::span<const PacketRecord> packets, const Hierarchy2
 /// windows vs sliding window (step s), hidden = sliding-revealed lattice
 /// nodes the disjoint tiling misses. Distinct-node (metric A) accounting.
 struct Hidden2DResult {
-  std::vector<PrefixPair> sliding_nodes;
-  std::vector<PrefixPair> disjoint_nodes;
-  std::vector<PrefixPair> hidden;
-  std::size_t union_size = 0;
-  std::size_t disjoint_windows = 0;
-  std::size_t sliding_reports = 0;
+  std::vector<PrefixPair> sliding_nodes;   ///< distinct nodes, sliding model
+  std::vector<PrefixPair> disjoint_nodes;  ///< distinct nodes, disjoint model
+  std::vector<PrefixPair> hidden;          ///< sliding \ disjoint
+  std::size_t union_size = 0;              ///< |sliding ∪ disjoint|
+  std::size_t disjoint_windows = 0;        ///< windows tiled
+  std::size_t sliding_reports = 0;         ///< sliding positions evaluated
 
+  /// |hidden| / |union| (0 when the union is empty).
   double hidden_fraction_of_union() const noexcept {
     return union_size == 0
                ? 0.0
@@ -153,6 +178,7 @@ struct Hidden2DResult {
   }
 };
 
+/// Run the 2-D hidden-HHH comparison over `packets` (see Hidden2DResult).
 Hidden2DResult analyze_hidden_hhh_2d(std::span<const PacketRecord> packets, Duration window,
                                      Duration step, double phi, const Hierarchy2D& hierarchy);
 

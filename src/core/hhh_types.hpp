@@ -1,11 +1,12 @@
-// HHH result types shared by every detector.
-//
-// The paper's definition (§1): "a prefix p which exceeds a threshold T
-// after excluding the contribution of all its HHH descendants" — i.e. the
-// discounted/conditioned-count definition of Cormode et al. An HhhItem
-// therefore carries both the prefix's *total* volume and its *conditioned*
-// volume (total minus bytes claimed by HHH descendants); the conditioned
-// value is what crossed the threshold.
+/// \file
+/// HHH result types shared by every detector.
+///
+/// The paper's definition (§1): "a prefix p which exceeds a threshold T
+/// after excluding the contribution of all its HHH descendants" — i.e. the
+/// discounted/conditioned-count definition of Cormode et al. An HhhItem
+/// therefore carries both the prefix's *total* volume and its *conditioned*
+/// volume (total minus bytes claimed by HHH descendants); the conditioned
+/// value is what crossed the threshold.
 #pragma once
 
 #include <cstdint>
@@ -17,11 +18,13 @@
 
 namespace hhh {
 
+/// One reported HHH: a prefix with its total and conditioned volumes.
 struct HhhItem {
-  Ipv4Prefix prefix;
+  Ipv4Prefix prefix;                    ///< the reported prefix
   std::uint64_t total_bytes = 0;        ///< full subtree volume
   std::uint64_t conditioned_bytes = 0;  ///< volume after HHH-descendant discount
 
+  /// Field-wise equality.
   bool operator==(const HhhItem&) const = default;
 };
 
@@ -29,23 +32,30 @@ struct HhhItem {
 /// continuous-time query instant), plus the scope's totals.
 class HhhSet {
  public:
+  /// Empty report (no items, zero totals).
   HhhSet() = default;
 
+  /// Append one reported HHH.
   void add(HhhItem item) { items_.push_back(item); }
 
+  /// All reported items, in extraction order.
   const std::vector<HhhItem>& items() const noexcept { return items_; }
+  /// Number of reported items.
   std::size_t size() const noexcept { return items_.size(); }
+  /// True when nothing crossed the threshold.
   bool empty() const noexcept { return items_.empty(); }
 
   /// The prefixes only, sorted and deduplicated — the set the hidden-HHH
   /// and Jaccard analyses operate on.
   std::vector<Ipv4Prefix> prefixes() const;
 
+  /// True iff some item reports exactly prefix `p`.
   bool contains(Ipv4Prefix p) const noexcept;
 
   /// Items restricted to one hierarchy level (by prefix length).
   std::vector<HhhItem> at_length(unsigned len) const;
 
+  /// Multi-line human-readable rendering (tests, examples).
   std::string to_string() const;
 
   std::uint64_t total_bytes = 0;      ///< scope volume (threshold denominator)
@@ -58,7 +68,9 @@ class HhhSet {
 /// Sorted-unique union of prefix sets (accumulator for per-window reports).
 class PrefixUnion {
  public:
+  /// Accumulate a batch of prefixes (duplicates welcome).
   void add(const std::vector<Ipv4Prefix>& prefixes);
+  /// Accumulate one prefix.
   void add(Ipv4Prefix p);
 
   /// Number of distinct prefixes seen.
@@ -67,6 +79,7 @@ class PrefixUnion {
   /// Sorted distinct prefixes.
   const std::vector<Ipv4Prefix>& values() const;
 
+  /// True iff `p` has been added.
   bool contains(Ipv4Prefix p) const;
 
  private:

@@ -1,19 +1,20 @@
-// The paper's two measurements.
-//
-// 1. Hidden HHHs (Fig. 2). Run the disjoint tiling (window W) and the
-//    sliding window (same W, step s = 1 s) over the same trace; collect the
-//    distinct HHH prefixes each model ever reports. The *hidden* HHHs are
-//    those the sliding model reveals but the disjoint model never reports:
-//        hidden = union(sliding) \ union(disjoint).
-//    The headline percentage is |hidden| / |union(sliding) + union(disjoint)|
-//    (reported alongside |hidden| / |union(sliding)| as a variant; see
-//    DESIGN.md §5).
-//
-// 2. Window micro-variation (Fig. 3). Tile the trace with the baseline
-//    window W and with windows W - delta for small deltas (10-100 ms), both
-//    tilings anchored at t = 0; compare the i-th windows of the two tilings
-//    with the Jaccard coefficient while they still overlap
-//    ((i+1) * delta < W), and aggregate per-delta into an empirical CDF.
+/// \file
+/// The paper's two measurements.
+///
+/// 1. Hidden HHHs (Fig. 2). Run the disjoint tiling (window W) and the
+///    sliding window (same W, step s = 1 s) over the same trace; collect the
+///    distinct HHH prefixes each model ever reports. The *hidden* HHHs are
+///    those the sliding model reveals but the disjoint model never reports:
+///    hidden = union(sliding) \\ union(disjoint).
+///    The headline percentage is |hidden| / |union(sliding) + union(disjoint)|
+///    (reported alongside |hidden| / |union(sliding)| as a variant; see
+///    DESIGN.md §5).
+///
+/// 2. Window micro-variation (Fig. 3). Tile the trace with the baseline
+///    window W and with windows W - delta for small deltas (10-100 ms), both
+///    tilings anchored at t = 0; compare the i-th windows of the two tilings
+///    with the Jaccard coefficient while they still overlap
+///    ((i+1) * delta < W), and aggregate per-delta into an empirical CDF.
 #pragma once
 
 #include <span>
@@ -27,23 +28,25 @@
 
 namespace hhh {
 
+/// Configuration of one hidden-HHH comparison cell.
 struct HiddenHhhParams {
-  Duration window = Duration::seconds(10);
-  Duration step = Duration::seconds(1);
-  double phi = 0.05;
-  Hierarchy hierarchy = Hierarchy::byte_granularity();
+  Duration window = Duration::seconds(10);  ///< window W for both models
+  Duration step = Duration::seconds(1);     ///< sliding step s
+  double phi = 0.05;                        ///< relative HHH threshold
+  Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
 };
 
+/// Output of one hidden-HHH comparison cell.
 struct HiddenHhhResult {
-  HiddenHhhParams params;
+  HiddenHhhParams params;  ///< the cell's configuration, echoed back
 
   std::vector<Ipv4Prefix> sliding_prefixes;   ///< distinct, sorted
   std::vector<Ipv4Prefix> disjoint_prefixes;  ///< distinct, sorted
-  std::vector<Ipv4Prefix> hidden;             ///< sliding \ disjoint
+  std::vector<Ipv4Prefix> hidden;             ///< sliding \\ disjoint
 
-  std::size_t union_size = 0;           ///< |sliding ∪ disjoint|
-  std::size_t disjoint_windows = 0;
-  std::size_t sliding_reports = 0;
+  std::size_t union_size = 0;         ///< |sliding ∪ disjoint|
+  std::size_t disjoint_windows = 0;   ///< windows tiled
+  std::size_t sliding_reports = 0;    ///< sliding positions evaluated
 
   /// Per-disjoint-window instance counts (the second metric; see below).
   std::size_t windowed_hidden_instances = 0;
@@ -89,22 +92,25 @@ std::vector<std::vector<HiddenHhhResult>> analyze_hidden_hhh_grid(
     std::span<const PacketRecord> packets, std::span<const Duration> windows,
     Duration step, std::span<const double> phis, const Hierarchy& hierarchy);
 
+/// Configuration of the window micro-variation (Fig. 3) experiment.
 struct WindowSimilarityParams {
-  Duration baseline_window = Duration::seconds(10);
+  Duration baseline_window = Duration::seconds(10);  ///< window W
   /// Shrink amounts; the paper sweeps 10..100 ms.
   std::vector<Duration> deltas;
-  double phi = 0.05;
-  Hierarchy hierarchy = Hierarchy::byte_granularity();
+  double phi = 0.05;  ///< relative HHH threshold
+  Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
 };
 
+/// Per-delta Jaccard distribution of the micro-variation experiment.
 struct SimilarityPoint {
-  Duration delta;
+  Duration delta;           ///< the shrink amount this point measured
   EmpiricalCdf jaccard;     ///< one sample per compared (overlapping) pair
-  std::size_t pairs = 0;
+  std::size_t pairs = 0;    ///< window pairs compared
 };
 
+/// Output of the window micro-variation experiment.
 struct WindowSimilarityResult {
-  WindowSimilarityParams params;
+  WindowSimilarityParams params;        ///< configuration, echoed back
   std::vector<SimilarityPoint> points;  ///< one per delta, in input order
 };
 

@@ -1,6 +1,7 @@
 #include "core/level_aggregates.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace hhh {
 
@@ -59,6 +60,18 @@ void LevelAggregates::remove(Ipv4Address src, std::uint64_t bytes) {
     assert(count != nullptr && *count >= bytes);
     *count -= bytes;
     if (*count == 0) maps_[level].erase(key);
+  }
+}
+
+void LevelAggregates::merge(const LevelAggregates& other) {
+  if (other.hierarchy_ != hierarchy_) {
+    throw std::invalid_argument("LevelAggregates::merge: hierarchy mismatch");
+  }
+  total_ += other.total_;
+  for (std::size_t level = 0; level < maps_.size(); ++level) {
+    auto& map = maps_[level];
+    other.maps_[level].for_each(
+        [&](std::uint64_t key, const std::uint64_t& bytes) { map[key] += bytes; });
   }
 }
 

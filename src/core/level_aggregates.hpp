@@ -1,14 +1,15 @@
-// LevelAggregates — exact per-level byte counters with O(levels) updates.
-//
-// The exact ground-truth engine behind both window models. For every packet
-// it increments (or, when a window slides, decrements) one counter per
-// hierarchy level: the packet's source generalized to that level. HHH
-// extraction (exact_hhh.hpp) then runs over these maps without touching the
-// packet stream again.
-//
-// Counters are erased when they return to zero so that a sliding window's
-// working set stays proportional to the *window's* distinct prefixes, not
-// the whole trace's.
+/// \file
+/// LevelAggregates — exact per-level byte counters with O(levels) updates.
+///
+/// The exact ground-truth engine behind both window models. For every packet
+/// it increments (or, when a window slides, decrements) one counter per
+/// hierarchy level: the packet's source generalized to that level. HHH
+/// extraction (exact_hhh.hpp) then runs over these maps without touching the
+/// packet stream again.
+///
+/// Counters are erased when they return to zero so that a sliding window's
+/// working set stays proportional to the *window's* distinct prefixes, not
+/// the whole trace's.
 #pragma once
 
 #include <cstdint>
@@ -21,8 +22,11 @@
 
 namespace hhh {
 
+/// Exact per-level byte counters: one FlatHashMap per hierarchy level,
+/// updated for every packet, queried by the exact HHH extraction.
 class LevelAggregates {
  public:
+  /// Counters for every level of `hierarchy`, all initially zero.
   explicit LevelAggregates(const Hierarchy& hierarchy);
 
   /// Add `bytes` for source `src` at every level.
@@ -39,10 +43,20 @@ class LevelAggregates {
   /// negative — callers only remove what they added.
   void remove(Ipv4Address src, std::uint64_t bytes);
 
+  /// Fold another instance's counters into this one. Lossless: counter
+  /// addition commutes, so merge(A, B) is byte-identical to one instance
+  /// having ingested A's and B's streams in any order — the foundation of
+  /// the sharded exact engine's exactness guarantee. Throws
+  /// std::invalid_argument when the hierarchies differ.
+  void merge(const LevelAggregates& other);
+
+  /// Zero every counter (window boundary).
   void clear();
 
+  /// Bytes accounted since construction / the last clear().
   std::uint64_t total_bytes() const noexcept { return total_; }
 
+  /// The hierarchy the counters are organised by.
   const Hierarchy& hierarchy() const noexcept { return hierarchy_; }
 
   /// Byte count of `prefix` (must be at a hierarchy level), 0 if absent.

@@ -1,13 +1,14 @@
-// Binary prefix trie with exact HHH extraction.
-//
-// An independent, structurally different implementation of the same HHH
-// definition as exact_hhh.hpp: counts live at /32 leaves, extraction walks
-// the trie once in post-order computing subtree residuals and marking HHHs
-// at hierarchy levels. Property tests run both engines on random streams
-// and require identical output — a strong check that neither has a
-// discounting bug. The trie also serves longest-prefix aggregation queries
-// that the flat level maps cannot answer (subtree_bytes of an arbitrary
-// prefix, not just hierarchy levels).
+/// \file
+/// Binary prefix trie with exact HHH extraction.
+///
+/// An independent, structurally different implementation of the same HHH
+/// definition as exact_hhh.hpp: counts live at /32 leaves, extraction walks
+/// the trie once in post-order computing subtree residuals and marking HHHs
+/// at hierarchy levels. Property tests run both engines on random streams
+/// and require identical output — a strong check that neither has a
+/// discounting bug. The trie also serves longest-prefix aggregation queries
+/// that the flat level maps cannot answer (subtree_bytes of an arbitrary
+/// prefix, not just hierarchy levels).
 #pragma once
 
 #include <cstdint>
@@ -19,8 +20,11 @@
 
 namespace hhh {
 
+/// Exact binary trie over /32 leaves with subtree queries and HHH
+/// extraction.
 class PrefixTrie {
  public:
+  /// Empty trie (a lone root node).
   PrefixTrie();
 
   /// Add `bytes` to the /32 leaf of `addr`.
@@ -39,8 +43,10 @@ class PrefixTrie {
   /// Relative-threshold variant: T = max(1, ceil(phi * total)).
   HhhSet extract_relative(const Hierarchy& hierarchy, double phi) const;
 
+  /// Live trie nodes (space diagnostic).
   std::size_t node_count() const noexcept { return nodes_.size(); }
 
+  /// Drop every node and count.
   void clear();
 
  private:

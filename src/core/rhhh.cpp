@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace hhh {
 
@@ -68,6 +69,26 @@ void RhhhEngine::add_batch(std::span<const PacketRecord> packets) {
   }
   total_bytes_ += bytes;
   updates_ += n;
+}
+
+void RhhhEngine::merge_from(const HhhEngine& other) {
+  const auto* peer = dynamic_cast<const RhhhEngine*>(&other);
+  if (peer == nullptr) {
+    throw std::invalid_argument("RhhhEngine::merge_from: peer is not an RhhhEngine ('" +
+                                other.name() + "')");
+  }
+  if (peer->params_.hierarchy != params_.hierarchy ||
+      peer->params_.update_all_levels != params_.update_all_levels ||
+      peer->params_.counters_per_level != params_.counters_per_level) {
+    // Capacities must match too: the documented (N1+N2)/k bound is computed
+    // from *this* engine's k, which a smaller peer capacity would void.
+    throw std::invalid_argument("RhhhEngine::merge_from: incompatible configuration");
+  }
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    levels_[level].merge_from(peer->levels_[level]);
+  }
+  total_bytes_ += peer->total_bytes_;
+  updates_ += peer->updates_;
 }
 
 double RhhhEngine::estimate(Ipv4Prefix prefix) const {

@@ -1,22 +1,23 @@
-// Randomized HHH (Ben Basat, Einziger, Friedman, Luizelli, Waisbard —
-// SIGCOMM 2017): the state-of-the-art data-plane HHH sketch the
-// calibration notes name as prior work, used here as the practical
-// windowed engine in the §3 comparisons.
-//
-// Update: choose one hierarchy level uniformly at random and feed the
-// packet's prefix at that level into the level's Space-Saving instance —
-// O(1) per packet regardless of hierarchy depth. Estimates are scaled by
-// the number of levels H (each level sees ~1/H of the stream's weight).
-//
-// Output: bottom-up conditioned-count extraction. A prefix's conditioned
-// estimate subtracts the full (scaled) estimates of already-selected HHH
-// descendants whose *closest* selected ancestor is the prefix itself —
-// the same discounting as the exact definition, on estimated volumes
-// (the practical Z=0 variant of the paper's confidence-interval output).
-//
-// The `update_all_levels` flag turns the sampler off and feeds every
-// level on every packet: that is the classic O(H) hierarchical
-// Space-Saving (HSS), kept as the accuracy-ceiling ablation for RHHH.
+/// \file
+/// Randomized HHH (Ben Basat, Einziger, Friedman, Luizelli, Waisbard —
+/// SIGCOMM 2017): the state-of-the-art data-plane HHH sketch the
+/// calibration notes name as prior work, used here as the practical
+/// windowed engine in the §3 comparisons.
+///
+/// Update: choose one hierarchy level uniformly at random and feed the
+/// packet's prefix at that level into the level's Space-Saving instance —
+/// O(1) per packet regardless of hierarchy depth. Estimates are scaled by
+/// the number of levels H (each level sees ~1/H of the stream's weight).
+///
+/// Output: bottom-up conditioned-count extraction. A prefix's conditioned
+/// estimate subtracts the full (scaled) estimates of already-selected HHH
+/// descendants whose *closest* selected ancestor is the prefix itself —
+/// the same discounting as the exact definition, on estimated volumes
+/// (the practical Z=0 variant of the paper's confidence-interval output).
+///
+/// The `update_all_levels` flag turns the sampler off and feeds every
+/// level on every packet: that is the classic O(H) hierarchical
+/// Space-Saving (HSS), kept as the accuracy-ceiling ablation for RHHH.
 #pragma once
 
 #include <cstdint>
@@ -28,24 +29,49 @@
 
 namespace hhh {
 
+/// Randomized HHH engine (RHHH), with a deterministic HSS ablation mode.
 class RhhhEngine final : public HhhEngine {
  public:
+  /// Construction-time configuration.
   struct Params {
-    Hierarchy hierarchy = Hierarchy::byte_granularity();
-    std::size_t counters_per_level = 512;
-    bool update_all_levels = false;  ///< true = deterministic HSS ablation
-    std::uint64_t seed = 0x8111'0001;
+    Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
+    std::size_t counters_per_level = 512;  ///< Space-Saving capacity per level
+    bool update_all_levels = false;        ///< true = deterministic HSS ablation
+    std::uint64_t seed = 0x8111'0001;      ///< level-sampler RNG seed
   };
 
+  /// Engine with one Space-Saving summary per hierarchy level.
   explicit RhhhEngine(const Params& params);
 
+  /// O(1): sample one level uniformly, update its summary (RHHH); or O(H)
+  /// updating every level in HSS mode.
   void add(const PacketRecord& packet) override;
+  /// Amortized sampling (RHHH) / level-major update order (HSS); same
+  /// distribution and totals as the add() loop.
   void add_batch(std::span<const PacketRecord> packets) override;
+  /// Bottom-up conditioned-count extraction over scaled estimates.
   HhhSet extract(double phi) const override;
+  /// Clear every summary; the RNG sequence deliberately continues.
   void reset() override;
+  /// Exact byte total since the last reset (tracked outside the sketches).
   std::uint64_t total_bytes() const override { return total_bytes_; }
+  /// Sum of the per-level summaries' footprints.
   std::size_t memory_bytes() const override;
+  /// "rhhh", or "hss" in update_all_levels mode.
   std::string name() const override { return params_.update_all_levels ? "hss" : "rhhh"; }
+
+  /// Always true: per-level Space-Saving summaries are mergeable.
+  bool mergeable() const override { return true; }
+  /// Merge another RhhhEngine's per-level summaries into this one
+  /// (SpaceSaving::merge_from per level; totals add exactly).
+  ///
+  /// Error bound: with capacity k per level, level-l estimates of the
+  /// merged engine overestimate the combined (sampled) level weight by at
+  /// most (N1_l + N2_l)/k, where Ni_l is the weight engine i fed level l —
+  /// the same epsilon-degradation as feeding one engine both streams, so
+  /// sharded RHHH keeps RHHH's accuracy class. Requires identical
+  /// hierarchy and mode; throws std::invalid_argument otherwise.
+  void merge_from(const HhhEngine& other) override;
 
   /// Scaled volume estimate of `prefix` (must be at a hierarchy level).
   double estimate(Ipv4Prefix prefix) const;

@@ -1,0 +1,178 @@
+#include "core/sharded_engine.hpp"
+
+#include <stdexcept>
+
+#include "core/rhhh.hpp"
+#include "util/hash.hpp"
+
+namespace hhh {
+
+ShardedHhhEngine::ShardedHhhEngine(const Params& params, EngineFactory factory)
+    : params_(params), factory_(std::move(factory)) {
+  if (params_.shards == 0) {
+    throw std::invalid_argument("ShardedHhhEngine: shards must be >= 1");
+  }
+  if (params_.dispatch_batch == 0) params_.dispatch_batch = 1;
+  staging_.reserve(params_.dispatch_batch);
+  shards_.reserve(params_.shards);
+  for (std::size_t i = 0; i < params_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(params_.ring_capacity);
+    shard->engine = factory_(i);
+    if (!shard->engine || !shard->engine->mergeable()) {
+      throw std::invalid_argument("ShardedHhhEngine: factory must produce mergeable engines");
+    }
+    shards_.push_back(std::move(shard));
+  }
+  // Spawn only after every replica exists: workers reference *shards_[i],
+  // whose addresses are stable behind the unique_ptrs. If a spawn fails
+  // mid-loop (e.g. EAGAIN under a pid limit), already-running workers must
+  // be shut down here — the destructor won't run for a half-constructed
+  // object, and destroying a joinable std::thread terminates the process.
+  try {
+    for (auto& shard : shards_) {
+      shard->worker = std::thread(&ShardedHhhEngine::worker_loop, std::ref(*shard));
+    }
+  } catch (...) {
+    for (auto& shard : shards_) shard->ring.close();
+    for (auto& shard : shards_) {
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+    throw;
+  }
+}
+
+ShardedHhhEngine::~ShardedHhhEngine() {
+  for (auto& shard : shards_) shard->ring.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedHhhEngine::worker_loop(Shard& shard) {
+  std::vector<PacketRecord> batch;
+  while (shard.ring.pop_wait(batch)) {
+    shard.engine->add_batch(batch);
+    shard.completed.fetch_add(1, std::memory_order_release);
+    shard.completed.notify_all();  // front-end may be parked in drain()
+  }
+}
+
+std::size_t ShardedHhhEngine::shard_of(const PacketRecord& p) const noexcept {
+  const std::uint64_t key = params_.partition == PartitionKey::kFlow
+                                ? FlowKey::from(p).key()
+                                : static_cast<std::uint64_t>(p.src.bits());
+  // Multiply-shift range reduction over the mixed upper half: uniform over
+  // [0, shards) without division on the per-packet path.
+  return static_cast<std::size_t>(((mix64(key) >> 32) * shards_.size()) >> 32);
+}
+
+void ShardedHhhEngine::dispatch(std::vector<std::vector<PacketRecord>>& buckets) const {
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].empty()) continue;
+    shards_[i]->ring.push(std::move(buckets[i]));  // blocks when full: backpressure
+    ++shards_[i]->dispatched;
+  }
+}
+
+std::uint64_t ShardedHhhEngine::partition_and_dispatch(
+    std::span<const PacketRecord> packets) const {
+  std::vector<std::vector<PacketRecord>> buckets(shards_.size());
+  for (auto& b : buckets) b.reserve(packets.size() / shards_.size() + 16);
+  std::uint64_t bytes = 0;
+  for (const auto& p : packets) {
+    bytes += p.ip_len;
+    buckets[shard_of(p)].push_back(p);
+  }
+  dispatch(buckets);
+  return bytes;
+}
+
+void ShardedHhhEngine::flush_staging() const {
+  if (staging_.empty()) return;
+  // total_bytes_ was already credited by add(); only partition + enqueue.
+  partition_and_dispatch(staging_);
+  staging_.clear();
+}
+
+void ShardedHhhEngine::add(const PacketRecord& packet) {
+  total_bytes_ += packet.ip_len;
+  staging_.push_back(packet);
+  if (staging_.size() >= params_.dispatch_batch) flush_staging();
+}
+
+void ShardedHhhEngine::add_batch(std::span<const PacketRecord> packets) {
+  if (packets.empty()) return;
+  flush_staging();  // keep per-shard FIFO order across add()/add_batch mixes
+  total_bytes_ += partition_and_dispatch(packets);
+}
+
+void ShardedHhhEngine::quiesce() const {
+  for (const auto& shard : shards_) {
+    std::uint64_t done = shard->completed.load(std::memory_order_acquire);
+    while (done != shard->dispatched) {
+      shard->completed.wait(done, std::memory_order_acquire);
+      done = shard->completed.load(std::memory_order_acquire);
+    }
+  }
+}
+
+void ShardedHhhEngine::drain() const {
+  flush_staging();
+  quiesce();
+}
+
+HhhSet ShardedHhhEngine::extract(double phi) const {
+  drain();
+  // Fold the quiesced replicas into a fresh scratch engine. The acquire
+  // on each shard's completion counter (in quiesce) orders every replica
+  // write before these reads.
+  auto merged = factory_(shards_.size());
+  for (const auto& shard : shards_) merged->merge_from(*shard->engine);
+  return merged->extract(phi);
+}
+
+void ShardedHhhEngine::reset() {
+  drain();
+  for (auto& shard : shards_) shard->engine->reset();
+  staging_.clear();
+  total_bytes_ = 0;
+}
+
+std::size_t ShardedHhhEngine::memory_bytes() const {
+  drain();
+  std::size_t sum = staging_.capacity() * sizeof(PacketRecord);
+  for (const auto& shard : shards_) {
+    sum += shard->engine->memory_bytes() + shard->ring.memory_bytes();
+  }
+  return sum;
+}
+
+std::string ShardedHhhEngine::name() const {
+  return "sharded_" + shards_.front()->engine->name() + "_x" +
+         std::to_string(shards_.size());
+}
+
+std::unique_ptr<HhhEngine> make_sharded_exact_engine(const Hierarchy& hierarchy,
+                                                     std::size_t shards) {
+  ShardedHhhEngine::Params params;
+  params.shards = shards;
+  return std::make_unique<ShardedHhhEngine>(
+      params, [hierarchy](std::size_t) { return make_exact_engine(hierarchy); });
+}
+
+std::unique_ptr<HhhEngine> make_sharded_rhhh_engine(const Hierarchy& hierarchy,
+                                                    std::size_t shards,
+                                                    std::size_t counters_per_level,
+                                                    std::uint64_t base_seed) {
+  ShardedHhhEngine::Params params;
+  params.shards = shards;
+  return std::make_unique<ShardedHhhEngine>(
+      params, [hierarchy, counters_per_level, base_seed](std::size_t shard) {
+        return std::make_unique<RhhhEngine>(
+            RhhhEngine::Params{.hierarchy = hierarchy,
+                               .counters_per_level = counters_per_level,
+                               .seed = base_seed + shard});
+      });
+}
+
+}  // namespace hhh

@@ -1,0 +1,149 @@
+/// \file
+/// ShardedHhhEngine — parallel ingestion over mergeable engine replicas.
+///
+/// The first structure in the library that lets throughput scale with cores
+/// instead of IPC. The front-end (caller) thread hash-partitions packets by
+/// flow key across N shards; each shard is a worker thread that owns a
+/// *private* replica of the inner engine and an SPSC ring of packet batches
+/// (util/spsc_ring.hpp), so the hot path has no locks, no shared counters
+/// and no cross-shard cache traffic. At extract()/reset() — the window
+/// boundary in DisjointWindowHhhDetector — the front-end quiesces the rings
+/// and folds the replicas together through HhhEngine::merge_from().
+///
+/// Accuracy is inherited from the merge semantics (see engine.hpp): with an
+/// exact inner engine the sharded result is byte-identical to single-thread
+/// ingestion; with RHHH/HSS the per-level error bounds sum across shards,
+/// keeping the same epsilon class as one engine over the whole stream.
+///
+/// Determinism: the partition function is a fixed hash, each shard's ring
+/// is FIFO and each replica is seeded by the factory, so for a fixed stream
+/// the extracted sets are reproducible regardless of thread scheduling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace hhh {
+
+/// HhhEngine that fans ingestion out to N worker threads, each owning a
+/// private mergeable replica, and merges on extraction.
+class ShardedHhhEngine final : public HhhEngine {
+ public:
+  /// Builds the replica for one shard. Called shards+1 times: once per
+  /// shard and once for the merge scratch engine; `shard` is the shard
+  /// index (scratch uses index = shards). Factories must hand out
+  /// mergeable, identically-configured engines (distinct seeds per shard
+  /// are fine and recommended for randomized engines).
+  using EngineFactory = std::function<std::unique_ptr<HhhEngine>(std::size_t shard)>;
+
+  /// What the packets are partitioned by.
+  enum class PartitionKey : std::uint8_t {
+    kFlow,    ///< 5-tuple hash: spreads a heavy source across shards (load balance)
+    kSource,  ///< source-address hash: each source confined to one shard
+  };
+
+  /// Construction-time configuration.
+  struct Params {
+    std::size_t shards = 4;            ///< worker thread / replica count
+    std::size_t ring_capacity = 64;    ///< batches in flight per shard
+    std::size_t dispatch_batch = 4096; ///< add() staging flush threshold (packets)
+    PartitionKey partition = PartitionKey::kFlow;  ///< shard selector input
+  };
+
+  /// Spawns `params.shards` workers, each with a replica from `factory`.
+  /// Throws std::invalid_argument on zero shards or a non-mergeable
+  /// replica.
+  ShardedHhhEngine(const Params& params, EngineFactory factory);
+
+  /// Joins the workers (any queued batches are drained first).
+  ~ShardedHhhEngine() override;
+
+  /// Stage one packet; staged packets are dispatched to the shard rings
+  /// every `dispatch_batch` packets (and at any extract/reset/drain).
+  void add(const PacketRecord& packet) override;
+
+  /// Partition the batch by flow-key hash and push one sub-batch per shard
+  /// onto the rings. Returns as soon as the batches are enqueued — workers
+  /// ingest concurrently; call drain() or extract() to synchronize.
+  void add_batch(std::span<const PacketRecord> packets) override;
+
+  /// Quiesce all shards, fold the replicas into a fresh scratch engine via
+  /// merge_from(), and extract from the merged state.
+  HhhSet extract(double phi) const override;
+
+  /// Quiesce and reset every replica (window boundary).
+  void reset() override;
+
+  /// Exact byte total handed to add()/add_batch() since the last reset
+  /// (tracked on the front-end thread; workers never touch it).
+  std::uint64_t total_bytes() const override { return total_bytes_; }
+
+  /// Replica footprints plus ring buffers. Synchronizing: drains pending
+  /// batches first so the replica reads are well-defined — expect a stall
+  /// when called mid-ingestion.
+  std::size_t memory_bytes() const override;
+
+  /// "sharded_<inner>_x<N>", e.g. "sharded_exact_x4".
+  std::string name() const override;
+
+  /// Merging two sharded engines is not supported (merge the inners).
+  bool mergeable() const override { return false; }
+
+  /// Block until every dispatched batch has been ingested by its worker.
+  /// Exposed so benchmarks can time ingestion-to-completion rather than
+  /// enqueue speed. Logically const: it completes pending work without
+  /// changing what has been accounted.
+  void drain() const;
+
+  /// Shard count.
+  std::size_t shards() const noexcept { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::unique_ptr<HhhEngine> engine;
+    SpscRing<std::vector<PacketRecord>> ring;
+    std::thread worker;
+    // Batches handed to the ring (front-end) vs fully ingested (worker).
+    // dispatched is front-end-private; completed is the sync point.
+    std::uint64_t dispatched = 0;
+    alignas(64) std::atomic<std::uint64_t> completed{0};
+
+    explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
+  };
+
+  std::size_t shard_of(const PacketRecord& p) const noexcept;
+  // The dispatch path is const so extract()/memory_bytes() can drain
+  // without const_cast: enqueueing staged work mutates no observable
+  // accounting state (Shard internals are reached through pointers).
+  void dispatch(std::vector<std::vector<PacketRecord>>& buckets) const;
+  std::uint64_t partition_and_dispatch(std::span<const PacketRecord> packets) const;
+  void flush_staging() const;
+  void quiesce() const;
+  static void worker_loop(Shard& shard);
+
+  Params params_;
+  EngineFactory factory_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::vector<PacketRecord> staging_;  // add() accumulation
+  std::uint64_t total_bytes_ = 0;              // front-end byte ledger
+};
+
+/// Sharded exact engine: byte-identical to single-thread exact ingestion.
+std::unique_ptr<HhhEngine> make_sharded_exact_engine(const Hierarchy& hierarchy,
+                                                     std::size_t shards);
+
+/// Sharded RHHH: shard s gets seed `base_seed + s` (scratch gets
+/// `base_seed + shards`); summed per-level error bounds (see engine.hpp).
+std::unique_ptr<HhhEngine> make_sharded_rhhh_engine(const Hierarchy& hierarchy,
+                                                    std::size_t shards,
+                                                    std::size_t counters_per_level,
+                                                    std::uint64_t base_seed);
+
+}  // namespace hhh

@@ -1,14 +1,15 @@
-// Sliding window with step s — the comparison model of Fig. 1b.
-//
-// A report is produced every `step` (the paper uses 1 s) covering the
-// trailing `window` (the paper uses the same 5/10/20 s lengths as the
-// disjoint tiling). Exact computation throughout: packets are bucketized
-// per step; a rolling LevelAggregates adds each packet once and subtracts
-// a whole bucket when it leaves the window, so the cost is O(levels) per
-// packet plus O(distinct-in-bucket) per slide — this is what makes exact
-// ground truth over thousands of window positions feasible.
-//
-// Requirements: window is an integer multiple of step (checked).
+/// \file
+/// Sliding window with step s — the comparison model of Fig. 1b.
+///
+/// A report is produced every `step` (the paper uses 1 s) covering the
+/// trailing `window` (the paper uses the same 5/10/20 s lengths as the
+/// disjoint tiling). Exact computation throughout: packets are bucketized
+/// per step; a rolling LevelAggregates adds each packet once and subtracts
+/// a whole bucket when it leaves the window, so the cost is O(levels) per
+/// packet plus O(distinct-in-bucket) per slide — this is what makes exact
+/// ground truth over thousands of window positions feasible.
+///
+/// Requirements: window is an integer multiple of step (checked).
 #pragma once
 
 #include <deque>
@@ -24,18 +25,21 @@
 
 namespace hhh {
 
+/// The exact sliding-window HHH detector (paper Fig. 1b model).
 class SlidingWindowHhhDetector {
  public:
+  /// Construction-time configuration.
   struct Params {
-    Duration window = Duration::seconds(10);
-    Duration step = Duration::seconds(1);
-    double phi = 0.05;
-    Hierarchy hierarchy = Hierarchy::byte_granularity();
+    Duration window = Duration::seconds(10);  ///< trailing window W
+    Duration step = Duration::seconds(1);     ///< report cadence s
+    double phi = 0.05;                        ///< relative HHH threshold
+    Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
     /// When true (default), a report is emitted only once a full window of
     /// history exists (t >= window), matching the paper's methodology.
     bool full_windows_only = true;
   };
 
+  /// Detector over `params`; throws when window % step != 0.
   explicit SlidingWindowHhhDetector(const Params& params);
 
   /// Feed the next packet; timestamps must be non-decreasing.
@@ -48,8 +52,10 @@ class SlidingWindowHhhDetector {
   /// ordinal; the report covers (end - window, end].
   const std::vector<WindowReport>& reports() const noexcept { return reports_; }
 
+  /// Optional streaming callback invoked as each step closes.
   void set_on_report(std::function<void(const WindowReport&)> cb) { on_report_ = std::move(cb); }
 
+  /// Footprint of the rolling counters and live buckets.
   std::size_t memory_bytes() const noexcept;
 
  private:

@@ -1,26 +1,27 @@
-// TimeDecayingHhhDetector — the windowless, continuous-time HHH detector
-// the paper's §3 calls for, built on the Time-decaying Bloom Filter
-// extension (sketch/tdbf.hpp).
-//
-// Per hierarchy level the detector keeps:
-//  * a DecayingCountingBloomFilter: collision-bounded decayed-volume
-//    estimates for *any* prefix at that level;
-//  * a decayed Space-Saving summary: enumerable candidate prefixes (a
-//    Bloom structure cannot be enumerated), with counts decayed by the
-//    same half-life via amortized rescaling.
-//
-// There are no windows and no resets: a query at any instant t returns the
-// HHHs of the exponentially weighted traffic (half-life tau), with
-// per-candidate estimates refined as min(space-saving, TDBF) — both are
-// overestimates of the true decayed volume, so the min is the tighter
-// overestimate. Extraction applies the same bottom-up conditioned-count
-// discounting as the exact engine.
-//
-// Window equivalence: a steady rate observed through a disjoint window W
-// accumulates r*W; through exponential decay it accumulates r*tau_eff with
-// tau_eff = half_life/ln 2. Use half_life = W * ln 2 (`for_window`) to
-// approximate "the last W seconds" without a boundary — the equivalence
-// bench/ablation_decay sweeps.
+/// \file
+/// TimeDecayingHhhDetector — the windowless, continuous-time HHH detector
+/// the paper's §3 calls for, built on the Time-decaying Bloom Filter
+/// extension (sketch/tdbf.hpp).
+///
+/// Per hierarchy level the detector keeps:
+///  * a DecayingCountingBloomFilter: collision-bounded decayed-volume
+///    estimates for *any* prefix at that level;
+///  * a decayed Space-Saving summary: enumerable candidate prefixes (a
+///    Bloom structure cannot be enumerated), with counts decayed by the
+///    same half-life via amortized rescaling.
+///
+/// There are no windows and no resets: a query at any instant t returns the
+/// HHHs of the exponentially weighted traffic (half-life tau), with
+/// per-candidate estimates refined as min(space-saving, TDBF) — both are
+/// overestimates of the true decayed volume, so the min is the tighter
+/// overestimate. Extraction applies the same bottom-up conditioned-count
+/// discounting as the exact engine.
+///
+/// Window equivalence: a steady rate observed through a disjoint window W
+/// accumulates r*W; through exponential decay it accumulates r*tau_eff with
+/// tau_eff = half_life/ln 2. Use half_life = W * ln 2 (`for_window`) to
+/// approximate "the last W seconds" without a boundary — the equivalence
+/// bench/ablation_decay sweeps.
 #pragma once
 
 #include <cstdint>
@@ -35,18 +36,21 @@
 
 namespace hhh {
 
+/// Windowless continuous-time HHH detector over decaying structures.
 class TimeDecayingHhhDetector {
  public:
+  /// Construction-time configuration.
   struct Params {
-    Hierarchy hierarchy = Hierarchy::byte_granularity();
-    Duration half_life = Duration::from_seconds(10.0 * 0.6931);  // ~ W=10 s
-    std::size_t cells_per_level = 1 << 15;
-    std::size_t hashes = 4;
-    std::size_t candidates_per_level = 256;
-    bool conservative = true;
-    std::uint64_t seed = 0x7DBF'4444;
+    Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
+    Duration half_life = Duration::from_seconds(10.0 * 0.6931);  ///< decay tau (~ W=10 s)
+    std::size_t cells_per_level = 1 << 15;     ///< TDBF cells per level
+    std::size_t hashes = 4;                    ///< TDBF hash count
+    std::size_t candidates_per_level = 256;    ///< Space-Saving capacity per level
+    bool conservative = true;                  ///< conservative TDBF updates
+    std::uint64_t seed = 0x7DBF'4444;          ///< hash-family seed
   };
 
+  /// Detector over `params` (one TDBF + candidate summary per level).
   explicit TimeDecayingHhhDetector(const Params& params);
 
   /// Convenience: parameters whose decayed mass matches a window of `w`.
@@ -63,7 +67,9 @@ class TimeDecayingHhhDetector {
   /// Decayed traffic total as of `now` (bytes-equivalent).
   double decayed_total(TimePoint now) const;
 
+  /// The configured half-life, in seconds.
   double half_life_seconds() const noexcept;
+  /// Footprint of the filters and candidate summaries.
   std::size_t memory_bytes() const noexcept;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace hhh {
 
@@ -62,6 +63,17 @@ HhhSet WcssSlidingHhhDetector::query(TimePoint now, double phi) {
     }
   }
   return result;
+}
+
+void WcssSlidingHhhDetector::merge_from(const WcssSlidingHhhDetector& other) {
+  if (other.params_.hierarchy != params_.hierarchy ||
+      other.params_.window != params_.window || other.params_.frames != params_.frames ||
+      other.params_.counters_per_level != params_.counters_per_level) {
+    throw std::invalid_argument("WcssSlidingHhhDetector::merge_from: Params mismatch");
+  }
+  for (std::size_t level = 0; level < levels_.size(); ++level) {
+    levels_[level].merge_from(other.levels_[level]);
+  }
 }
 
 std::size_t WcssSlidingHhhDetector::memory_bytes() const noexcept {

@@ -1,15 +1,16 @@
-// Sliding-window HHH with bounded state: per-level WCSS-style summaries.
-//
-// Reference [1] of the paper (Ben-Basat et al., INFOCOM 2016) gives
-// epsilon-approximate heavy hitters over sliding windows in constant
-// space. This detector lifts that building block to HHHs exactly the way
-// RHHH lifts Space-Saving: one windowed summary per hierarchy level and
-// conditioned-count extraction across levels at query time.
-//
-// Against the exact sliding detector this trades ground-truth accuracy for
-// O(levels x frames x counters) state independent of traffic (compare
-// bench/resource); against TDBF-HHH it keeps the sharp window semantics
-// (an event fully expires after W) instead of the exponential taper.
+/// \file
+/// Sliding-window HHH with bounded state: per-level WCSS-style summaries.
+///
+/// Reference [1] of the paper (Ben-Basat et al., INFOCOM 2016) gives
+/// epsilon-approximate heavy hitters over sliding windows in constant
+/// space. This detector lifts that building block to HHHs exactly the way
+/// RHHH lifts Space-Saving: one windowed summary per hierarchy level and
+/// conditioned-count extraction across levels at query time.
+///
+/// Against the exact sliding detector this trades ground-truth accuracy for
+/// O(levels x frames x counters) state independent of traffic (compare
+/// bench/resource); against TDBF-HHH it keeps the sharp window semantics
+/// (an event fully expires after W) instead of the exponential taper.
 #pragma once
 
 #include <cstdint>
@@ -23,15 +24,18 @@
 
 namespace hhh {
 
+/// Sliding-window HHH detector over per-level WCSS summaries.
 class WcssSlidingHhhDetector {
  public:
+  /// Construction-time configuration.
   struct Params {
-    Hierarchy hierarchy = Hierarchy::byte_granularity();
-    Duration window = Duration::seconds(10);
-    std::size_t frames = 10;
-    std::size_t counters_per_level = 512;
+    Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
+    Duration window = Duration::seconds(10);  ///< trailing window length
+    std::size_t frames = 10;                  ///< sub-frames per window
+    std::size_t counters_per_level = 512;     ///< per-frame summary capacity
   };
 
+  /// Detector with one WindowedSpaceSaving per hierarchy level.
   explicit WcssSlidingHhhDetector(const Params& params);
 
   /// Account one packet; timestamps must be non-decreasing.
@@ -45,6 +49,15 @@ class WcssSlidingHhhDetector {
   /// Overestimate of the trailing window's total bytes.
   double window_total(TimePoint now) { return levels_.front().window_total(now); }
 
+  /// Fold another detector's per-level window summaries into this one
+  /// (WindowedSpaceSaving::merge_from per level). Both detectors must
+  /// share Params and be driven by the same simulated clock — the sharded
+  /// sliding-window deployment, where each shard sees a hash-partition of
+  /// the stream. Error bounds sum per level, exactly as for RHHH merges.
+  /// Throws std::invalid_argument on a Params mismatch.
+  void merge_from(const WcssSlidingHhhDetector& other);
+
+  /// Heap footprint of all level summaries (resource accounting).
   std::size_t memory_bytes() const noexcept;
 
  private:

@@ -1,8 +1,9 @@
-// Standard Bloom filter.
-//
-// Membership substrate and the structural base of the Time-decaying Bloom
-// Filter: the TDBF replaces the bit cells with decaying counters but keeps
-// the k-hash cell addressing implemented here.
+/// \file
+/// Standard Bloom filter.
+///
+/// Membership substrate and the structural base of the Time-decaying Bloom
+/// Filter: the TDBF replaces the bit cells with decaying counters but keeps
+/// the k-hash cell addressing implemented here.
 #pragma once
 
 #include <cstdint>
@@ -12,10 +13,11 @@
 
 namespace hhh {
 
+/// Bloom filter sizing parameters.
 struct BloomParams {
-  std::size_t bits = 1 << 16;  ///< rounded up to a power of two
-  std::size_t hashes = 4;
-  std::uint64_t seed = 0xB100'F117;
+  std::size_t bits = 1 << 16;        ///< rounded up to a power of two
+  std::size_t hashes = 4;            ///< hash functions per key
+  std::uint64_t seed = 0xB100'F117;  ///< hash-family seed
 
   /// Size for a target false-positive probability at `expected_items`:
   /// m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
@@ -23,22 +25,29 @@ struct BloomParams {
                              std::uint64_t seed = 0xB100'F117);
 };
 
+/// Plain k-hash Bloom filter over 64-bit keys.
 class BloomFilter {
  public:
+  /// Filter sized by `params` (bit count rounded up to a power of two).
   explicit BloomFilter(const BloomParams& params);
 
+  /// Set the k bits of `key`.
   void insert(std::uint64_t key);
 
   /// No false negatives; false-positive probability set by the parameters.
   bool maybe_contains(std::uint64_t key) const noexcept;
 
+  /// Zero every bit.
   void clear();
 
   /// Fraction of bits set (saturation diagnostic).
   double fill_ratio() const noexcept;
 
+  /// Bit-array size.
   std::size_t bit_count() const noexcept { return bit_count_; }
+  /// Hash functions per key.
   std::size_t hash_count() const noexcept { return hashes_.size(); }
+  /// Heap footprint of the bit array.
   std::size_t memory_bytes() const noexcept { return words_.size() * sizeof(std::uint64_t); }
 
  private:

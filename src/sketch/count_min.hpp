@@ -1,14 +1,15 @@
-// Count-Min sketch (Cormode & Muthukrishnan 2005).
-//
-// d rows of w counters; update adds the item weight to one counter per row,
-// estimate takes the row-wise minimum. Guarantees, for total stream weight
-// N: estimate >= true count, and estimate <= true count + (e/w) * N with
-// probability >= 1 - e^-d. The optional *conservative update* heuristic
-// (Estan & Varghese) only raises counters to the new minimum, tightening
-// the overestimate without affecting the lower bound.
-//
-// This is the generic counting substrate used by per-level HHH detectors
-// and as a baseline in the §3 resource/accuracy benches.
+/// \file
+/// Count-Min sketch (Cormode & Muthukrishnan 2005).
+///
+/// d rows of w counters; update adds the item weight to one counter per row,
+/// estimate takes the row-wise minimum. Guarantees, for total stream weight
+/// N: estimate >= true count, and estimate <= true count + (e/w) * N with
+/// probability >= 1 - e^-d. The optional *conservative update* heuristic
+/// (Estan & Varghese) only raises counters to the new minimum, tightening
+/// the overestimate without affecting the lower bound.
+///
+/// This is the generic counting substrate used by per-level HHH detectors
+/// and as a baseline in the §3 resource/accuracy benches.
 #pragma once
 
 #include <cstdint>
@@ -18,27 +19,33 @@
 
 namespace hhh {
 
+/// Count-Min sizing parameters.
 struct CountMinParams {
   std::size_t width = 2048;   ///< counters per row (rounded up to pow2)
   std::size_t depth = 4;      ///< rows
   bool conservative = false;  ///< conservative-update variant
-  std::uint64_t seed = 0x5EEDC0DE;
+  std::uint64_t seed = 0x5EEDC0DE;  ///< hash-family seed
 
   /// Width/depth for target error eps (over-count <= eps*N) with failure
   /// probability delta: w = ceil(e/eps), d = ceil(ln(1/delta)).
   static CountMinParams for_error(double eps, double delta, std::uint64_t seed = 0x5EEDC0DE);
 };
 
+/// The d x w counter table with min-estimates.
 class CountMinSketch {
  public:
+  /// Sketch sized by `params`.
   explicit CountMinSketch(const CountMinParams& params);
 
+  /// Add `weight` to `key`'s counter in every row.
   void update(std::uint64_t key, std::uint64_t weight);
+  /// Row-wise minimum: overestimate of the key's true weight.
   std::uint64_t estimate(std::uint64_t key) const noexcept;
 
   /// Total weight inserted (exact; maintained on the side).
   std::uint64_t total() const noexcept { return total_; }
 
+  /// Zero every counter.
   void clear();
 
   /// Merge another sketch built with identical parameters and seed.
@@ -46,8 +53,11 @@ class CountMinSketch {
   /// sketches is lossy-safe: counts remain overestimates.
   void merge(const CountMinSketch& other);
 
+  /// Counters per row.
   std::size_t width() const noexcept { return width_; }
+  /// Row count.
   std::size_t depth() const noexcept { return depth_; }
+  /// Heap footprint of the counter table.
   std::size_t memory_bytes() const noexcept { return table_.size() * sizeof(std::uint64_t); }
 
  private:

@@ -1,9 +1,10 @@
-// Count-Sketch (Charikar, Chen, Farach-Colton 2002).
-//
-// Like Count-Min but with a random sign per (row, key): estimates are
-// unbiased and the error scales with the stream's L2 norm rather than L1,
-// which is what UnivMon's G-sum recursion requires. Estimate = median of
-// the signed row readings.
+/// \file
+/// Count-Sketch (Charikar, Chen, Farach-Colton 2002).
+///
+/// Like Count-Min but with a random sign per (row, key): estimates are
+/// unbiased and the error scales with the stream's L2 norm rather than L1,
+/// which is what UnivMon's G-sum recursion requires. Estimate = median of
+/// the signed row readings.
 #pragma once
 
 #include <cstdint>
@@ -13,21 +14,28 @@
 
 namespace hhh {
 
+/// Signed counter table with unbiased median estimates.
 class CountSketch {
  public:
   /// width rounded up to a power of two; depth should be odd (median).
   CountSketch(std::size_t width, std::size_t depth, std::uint64_t seed);
 
+  /// Add `weight` (signed) to `key`'s signed counter in every row.
   void update(std::uint64_t key, std::int64_t weight);
+  /// Median of the signed row readings: unbiased estimate of the weight.
   std::int64_t estimate(std::uint64_t key) const;
 
   /// Median-of-rows estimate of the second frequency moment, sum f_i^2.
   double f2_estimate() const;
 
+  /// Zero every counter.
   void clear();
 
+  /// Counters per row.
   std::size_t width() const noexcept { return width_; }
+  /// Row count.
   std::size_t depth() const noexcept { return depth_; }
+  /// Heap footprint of the counter table.
   std::size_t memory_bytes() const noexcept { return table_.size() * sizeof(std::int64_t); }
 
  private:

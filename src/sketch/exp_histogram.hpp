@@ -1,15 +1,16 @@
-// Exponential histogram (Datar, Gionis, Indyk, Motwani 2002), weighted.
-//
-// Approximates the sum of weights that arrived within the trailing window
-// of length W, using O(k log N) buckets, with relative error at most 1/k
-// contributed by the single straddling (oldest) bucket. This is the
-// sliding-window counting substrate behind ref [1]'s family of algorithms
-// and the building block of wcss.hpp's per-key window counts.
-//
-// The weighted generalization keeps buckets of summed weight; a merge
-// happens whenever more than k+1 buckets share a size class (class =
-// floor(log2(weight))). The classic 0/1 bounds carry over with weights
-// because a bucket's class bounds its weight within a factor of two.
+/// \file
+/// Exponential histogram (Datar, Gionis, Indyk, Motwani 2002), weighted.
+///
+/// Approximates the sum of weights that arrived within the trailing window
+/// of length W, using O(k log N) buckets, with relative error at most 1/k
+/// contributed by the single straddling (oldest) bucket. This is the
+/// sliding-window counting substrate behind ref [1]'s family of algorithms
+/// and the building block of wcss.hpp's per-key window counts.
+///
+/// The weighted generalization keeps buckets of summed weight; a merge
+/// happens whenever more than k+1 buckets share a size class (class =
+/// floor(log2(weight))). The classic 0/1 bounds carry over with weights
+/// because a bucket's class bounds its weight within a factor of two.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +20,7 @@
 
 namespace hhh {
 
+/// Weighted exponential histogram over a trailing time window.
 class ExpHistogram {
  public:
   /// `k` controls accuracy (error <= oldest bucket <= total/k roughly);
@@ -32,13 +34,17 @@ class ExpHistogram {
   /// with the conventional half-credit for the straddling oldest bucket.
   double estimate(TimePoint now) const;
 
-  /// Upper/lower bounds bracketing the true windowed sum.
+  /// Upper bound on the true windowed sum (all live buckets in full).
   double upper_bound(TimePoint now) const;
+  /// Lower bound on the true windowed sum (straddling bucket excluded).
   double lower_bound(TimePoint now) const;
 
+  /// Live buckets (space diagnostic).
   std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  /// The configured trailing-window length.
   Duration window() const noexcept { return window_; }
 
+  /// Drop every bucket.
   void clear() { buckets_.clear(); }
 
  private:

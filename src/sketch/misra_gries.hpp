@@ -1,11 +1,12 @@
-// Misra-Gries frequent-items summary (1982).
-//
-// The deterministic decrement-based counterpart of Space-Saving: k counters,
-// a new key decrements all counters when none is free. Underestimates:
-//    true count - N/(k+1) <= reported count <= true count.
-// Included as the classic baseline for the §3 accuracy comparison and to
-// cross-check Space-Saving in property tests (SS overestimates, MG
-// underestimates; the truth lies between them).
+/// \file
+/// Misra-Gries frequent-items summary (1982).
+///
+/// The deterministic decrement-based counterpart of Space-Saving: k counters,
+/// a new key decrements all counters when none is free. Underestimates:
+/// true count - N/(k+1) <= reported count <= true count.
+/// Included as the classic baseline for the §3 accuracy comparison and to
+/// cross-check Space-Saving in property tests (SS overestimates, MG
+/// underestimates; the truth lies between them).
 #pragma once
 
 #include <cstdint>
@@ -15,26 +16,35 @@
 
 namespace hhh {
 
+/// One tracked (key, count) pair of a Misra-Gries summary.
 struct MisraGriesEntry {
-  std::uint64_t key = 0;
-  double count = 0.0;
+  std::uint64_t key = 0;  ///< the tracked stream key
+  double count = 0.0;     ///< underestimate of the key's true weight
 };
 
+/// Bounded frequent-items summary with the decrement eviction policy.
 class MisraGries {
  public:
+  /// Summary tracking at most `capacity` keys.
   explicit MisraGries(std::size_t capacity);
 
+  /// Add `weight` to `key`, decrementing all counters when full.
   void update(std::uint64_t key, double weight);
 
   /// Underestimate of the key's count; 0 if not tracked.
   double estimate(std::uint64_t key) const noexcept;
 
+  /// All tracked entries, unordered.
   std::vector<MisraGriesEntry> entries() const;
 
+  /// Drop every counter.
   void clear();
 
+  /// Total weight fed into the summary.
   double total() const noexcept { return total_; }
+  /// Number of currently tracked keys.
   std::size_t size() const noexcept { return counters_.size(); }
+  /// Maximum number of tracked keys.
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:

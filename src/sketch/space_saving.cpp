@@ -106,6 +106,62 @@ void SpaceSaving::scale(double factor) {
   total_ *= factor;
 }
 
+void SpaceSaving::merge_from(const SpaceSaving& other) {
+  if (&other == this) {  // self-merge: every count doubles
+    for (auto& s : slots_) {
+      s.count *= 2.0;
+      s.error *= 2.0;
+    }
+    total_ *= 2.0;
+    return;
+  }
+
+  // A key absent from a summary has true weight <= that summary's
+  // min_count(); folding the min in as (count, error) keeps every merged
+  // count an overestimate with a correspondingly larger error bound.
+  const double self_min = min_count();
+  const double other_min = other.min_count();
+
+  std::vector<SpaceSavingEntry> merged;
+  merged.reserve(slots_.size() + other.slots_.size());
+  for (const auto& s : slots_) {
+    if (const auto* peer_idx = other.index_.find(s.key)) {
+      const Slot& p = other.slots_[*peer_idx];
+      merged.push_back(SpaceSavingEntry{s.key, s.count + p.count, s.error + p.error});
+    } else {
+      merged.push_back(SpaceSavingEntry{s.key, s.count + other_min, s.error + other_min});
+    }
+  }
+  for (const auto& p : other.slots_) {
+    if (index_.contains(p.key)) continue;  // handled above
+    merged.push_back(SpaceSavingEntry{p.key, p.count + self_min, p.error + self_min});
+  }
+
+  // Keep the `capacity_` heaviest merged entries. Anything dropped has a
+  // merged count <= every survivor's, so the untracked-key invariant
+  // (true count <= min_count()) is preserved.
+  if (merged.size() > capacity_) {
+    std::nth_element(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(capacity_),
+                     merged.end(),
+                     [](const SpaceSavingEntry& a, const SpaceSavingEntry& b) {
+                       return a.count > b.count;
+                     });
+    merged.resize(capacity_);
+  }
+
+  const double merged_total = total_ + other.total_;
+  slots_.clear();
+  heap_.clear();
+  index_.clear();
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    slots_.push_back(Slot{merged[i].key, merged[i].count, merged[i].error, i});
+    heap_.push_back(static_cast<std::uint32_t>(i));
+    *index_.try_emplace(merged[i].key).first = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t i = slots_.size() / 2; i-- > 0;) sift_down(i);  // heapify
+  total_ = merged_total;
+}
+
 void SpaceSaving::clear() {
   slots_.clear();
   heap_.clear();

@@ -1,20 +1,21 @@
-// Space-Saving (Metwally, Agrawal, El Abbadi 2005).
-//
-// Maintains at most `capacity` (key, count, error) entries. When a new key
-// arrives and the summary is full, the minimum-count entry is evicted and
-// the newcomer inherits its count as `error`. Guarantees, with total
-// stream weight N and capacity k:
-//    true count <= reported count <= true count + N/k,
-// and every key with true count > N/k is present in the summary. This is
-// the per-level heavy-hitter engine of RHHH, of the baseline windowed HHH
-// detectors, and (with decayed weights) of the time-decaying detector.
-//
-// Counts are doubles so the same implementation serves byte volumes and
-// exponentially decayed volumes; doubles are exact for integer counts up
-// to 2^53, far beyond any per-window byte total here.
-//
-// Implementation: flat hash map key -> slot plus a binary min-heap of
-// slots ordered by count (lazily repaired on increment), O(log k) updates.
+/// \file
+/// Space-Saving (Metwally, Agrawal, El Abbadi 2005).
+///
+/// Maintains at most `capacity` (key, count, error) entries. When a new key
+/// arrives and the summary is full, the minimum-count entry is evicted and
+/// the newcomer inherits its count as `error`. Guarantees, with total
+/// stream weight N and capacity k:
+/// true count <= reported count <= true count + N/k,
+/// and every key with true count > N/k is present in the summary. This is
+/// the per-level heavy-hitter engine of RHHH, of the baseline windowed HHH
+/// detectors, and (with decayed weights) of the time-decaying detector.
+///
+/// Counts are doubles so the same implementation serves byte volumes and
+/// exponentially decayed volumes; doubles are exact for integer counts up
+/// to 2^53, far beyond any per-window byte total here.
+///
+/// Implementation: flat hash map key -> slot plus a binary min-heap of
+/// slots ordered by count (lazily repaired on increment), O(log k) updates.
 #pragma once
 
 #include <cstdint>
@@ -24,17 +25,20 @@
 
 namespace hhh {
 
+/// One tracked (key, count, error) triple of a SpaceSaving summary.
 struct SpaceSavingEntry {
-  std::uint64_t key = 0;
-  double count = 0.0;
-  double error = 0.0;  ///< inherited overestimate bound
+  std::uint64_t key = 0;  ///< the tracked stream key
+  double count = 0.0;     ///< overestimate of the key's true weight
+  double error = 0.0;     ///< inherited overestimate bound
 
   /// Guaranteed (conservative) lower bound on the true count.
   double guaranteed() const noexcept { return count - error; }
 };
 
+/// Bounded heavy-hitter summary with the Space-Saving eviction policy.
 class SpaceSaving {
  public:
+  /// Summary tracking at most `capacity` keys; throws on capacity 0.
   explicit SpaceSaving(std::size_t capacity);
 
   /// Add `weight` to `key`, evicting the minimum entry if necessary.
@@ -60,11 +64,31 @@ class SpaceSaving {
   /// order statistics are preserved so the heap stays valid).
   void scale(double factor);
 
+  /// Fold another summary into this one (mergeable summaries, Agarwal et
+  /// al., PODS'12). For every key in either summary the merged count sums
+  /// both sides' overestimates — a key absent from one side contributes
+  /// that side's min_count(), the tight upper bound on its weight there —
+  /// then only the `capacity` largest merged entries are kept.
+  ///
+  /// Error bound: if this summary overestimates by at most N1/k1 and
+  /// `other` by at most N2/k2, every merged count overestimates the true
+  /// combined weight by at most N1/k1 + N2/k2, and any key dropped by the
+  /// truncation has merged count <= the surviving min_count() — i.e. the
+  /// standard Space-Saving guarantees hold for the concatenated stream
+  /// with the summed error bound. Capacities need not match; the result
+  /// keeps this summary's capacity.
+  void merge_from(const SpaceSaving& other);
+
+  /// Drop every entry (summary becomes as constructed).
   void clear();
 
+  /// Total weight fed into the summary since construction / clear().
   double total() const noexcept { return total_; }
+  /// Number of currently tracked keys (<= capacity()).
   std::size_t size() const noexcept { return slots_.size(); }
+  /// Maximum number of tracked keys.
   std::size_t capacity() const noexcept { return capacity_; }
+  /// Heap footprint of slots, heap and index (resource accounting).
   std::size_t memory_bytes() const noexcept;
 
  private:

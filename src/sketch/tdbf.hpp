@@ -1,32 +1,33 @@
-// Time-decaying Bloom Filter (Bianchi, d'Heureuse, Niccolini — CCR 2011)
-// and its counting extension: the proof-of-concept structure the paper's
-// §3 proposes for windowless, continuous-time traffic analysis.
-//
-// Two structures are provided.
-//
-// TimeDecayingBloomFilter — the original membership variant. Each cell
-// stores a *deadline* timestamp; insertion writes now + lifetime into the
-// k cells of the key, and a key "is present" while all its cells hold
-// deadlines in the future. Presence therefore decays automatically with
-// time: no windows, no resets, and stale state is overwritten lazily
-// ("on-demand") by later insertions. This is the exact mechanism of the
-// CCR paper, where it tracks recently-active callers.
-//
-// DecayingCountingBloomFilter — the counting extension referenced as
-// "[2]'s extension" in the poster. Cells hold an exponentially decayed
-// volume: a cell read at time t returns  v * 2^-(t - t_last)/tau  where
-// (v, t_last) is the stored pair; updates decay-then-add (optionally with
-// conservative update, raising only the minimal cells). The decayed value
-// of a key estimates its exponentially weighted rate with time constant
-// tau — the continuous-time analogue of "bytes in the last ~tau seconds",
-// with no window boundary to hide bursts behind. A decayed global total is
-// maintained the same way so that relative thresholds (phi * total) carry
-// over from the windowed setting.
-//
-// Decay is evaluated lazily per touched cell (a pow2 per access, or a
-// precomputed table when quantized), so idle cells cost nothing — the
-// property that makes the structure match-action friendly (see
-// dataplane/p4_tdbf, which maps exactly this layout onto pipeline stages).
+/// \file
+/// Time-decaying Bloom Filter (Bianchi, d'Heureuse, Niccolini — CCR 2011)
+/// and its counting extension: the proof-of-concept structure the paper's
+/// §3 proposes for windowless, continuous-time traffic analysis.
+///
+/// Two structures are provided.
+///
+/// TimeDecayingBloomFilter — the original membership variant. Each cell
+/// stores a *deadline* timestamp; insertion writes now + lifetime into the
+/// k cells of the key, and a key "is present" while all its cells hold
+/// deadlines in the future. Presence therefore decays automatically with
+/// time: no windows, no resets, and stale state is overwritten lazily
+/// ("on-demand") by later insertions. This is the exact mechanism of the
+/// CCR paper, where it tracks recently-active callers.
+///
+/// DecayingCountingBloomFilter — the counting extension referenced as
+/// "[2]'s extension" in the poster. Cells hold an exponentially decayed
+/// volume: a cell read at time t returns v * 2^-(t - t_last)/tau where
+/// (v, t_last) is the stored pair; updates decay-then-add (optionally with
+/// conservative update, raising only the minimal cells). The decayed value
+/// of a key estimates its exponentially weighted rate with time constant
+/// tau — the continuous-time analogue of "bytes in the last ~tau seconds",
+/// with no window boundary to hide bursts behind. A decayed global total is
+/// maintained the same way so that relative thresholds (phi * total) carry
+/// over from the windowed setting.
+///
+/// Decay is evaluated lazily per touched cell (a pow2 per access, or a
+/// precomputed table when quantized), so idle cells cost nothing — the
+/// property that makes the structure match-action friendly (see
+/// dataplane/p4_tdbf, which maps exactly this layout onto pipeline stages).
 #pragma once
 
 #include <cstdint>
@@ -40,13 +41,15 @@ namespace hhh {
 /// Membership TDBF: "has this key been seen within the last `lifetime`?"
 class TimeDecayingBloomFilter {
  public:
+  /// Construction-time configuration.
   struct Params {
     std::size_t cells = 1 << 16;  ///< rounded up to a power of two
-    std::size_t hashes = 4;
-    Duration lifetime = Duration::seconds(10);
-    std::uint64_t seed = 0x7DBF'0001;
+    std::size_t hashes = 4;       ///< hash functions per key
+    Duration lifetime = Duration::seconds(10);  ///< presence duration
+    std::uint64_t seed = 0x7DBF'0001;  ///< hash-family seed
   };
 
+  /// Filter sized by `params`.
   explicit TimeDecayingBloomFilter(const Params& params);
 
   /// Record `key` at time `now`; it remains present until now + lifetime.
@@ -60,7 +63,9 @@ class TimeDecayingBloomFilter {
   /// Fraction of cells still alive at `now` (saturation diagnostic).
   double fill_ratio(TimePoint now) const noexcept;
 
+  /// Cell-array size.
   std::size_t cell_count() const noexcept { return cells_.size(); }
+  /// Heap footprint of the deadline array.
   std::size_t memory_bytes() const noexcept { return cells_.size() * sizeof(std::int64_t); }
 
  private:
@@ -73,17 +78,19 @@ class TimeDecayingBloomFilter {
 /// Counting TDBF with exponential decay — the §3 rate estimator.
 class DecayingCountingBloomFilter {
  public:
+  /// Construction-time configuration.
   struct Params {
     std::size_t cells = 1 << 16;  ///< rounded up to a power of two
-    std::size_t hashes = 4;
+    std::size_t hashes = 4;       ///< hash functions per key
     /// Half-life of the exponential decay: a burst's contribution halves
     /// every `half_life`. Chosen near the window length it replaces
     /// (bench/ablation_decay sweeps this equivalence).
     Duration half_life = Duration::seconds(10);
     bool conservative = true;  ///< raise only minimal cells on update
-    std::uint64_t seed = 0x7DBF'0002;
+    std::uint64_t seed = 0x7DBF'0002;  ///< hash-family seed
   };
 
+  /// Filter sized by `params`.
   explicit DecayingCountingBloomFilter(const Params& params);
 
   /// Add `weight` (bytes) for `key` at time `now`. Timestamps must be
@@ -104,10 +111,14 @@ class DecayingCountingBloomFilter {
   /// decayed estimate against windowed thresholds.
   double equivalent_window_seconds() const noexcept;
 
+  /// Zero every cell and the decayed total.
   void clear();
 
+  /// Cell-array size.
   std::size_t cell_count() const noexcept { return values_.size(); }
+  /// Hash functions per key.
   std::size_t hash_count() const noexcept { return hashes_.size(); }
+  /// Heap footprint of the value and timestamp arrays.
   std::size_t memory_bytes() const noexcept {
     return values_.size() * (sizeof(double) + sizeof(std::int64_t));
   }

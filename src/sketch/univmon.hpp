@@ -1,16 +1,19 @@
-// UnivMon (Liu, Manousis, Vorsanger, Sekar, Braverman — SIGCOMM 2016),
-// the paper's reference [4]: universal sketching for flow monitoring.
-//
-// L levels of Count-Sketch; a key reaches level i iff i independent
-// sampling hashes all accept it (each with probability 1/2), halving the
-// substream per level. Each level keeps a heap of its top-k keys by
-// |estimate|. A G-sum (sum g(f_i) over distinct keys) is estimated by the
-// standard bottom-up recursion over levels:
-//     Y_L = sum g(|f|) over level-L heavy hitters
-//     Y_i = 2 * Y_{i+1} - sum_{HH at level i sampled into i+1} g(|f|)
-//           + sum_{HH at level i} g(|f|)   [unsampled correction]
-// Heavy hitters, F2 and (empirical) entropy are exposed; HH detection is
-// what the disjoint-window baseline uses in the §3 comparison.
+/// \file
+/// UnivMon (Liu, Manousis, Vorsanger, Sekar, Braverman — SIGCOMM 2016),
+/// the paper's reference [4]: universal sketching for flow monitoring.
+///
+/// L levels of Count-Sketch; a key reaches level i iff i independent
+/// sampling hashes all accept it (each with probability 1/2), halving the
+/// substream per level. Each level keeps a heap of its top-k keys by
+/// |estimate|. A G-sum (sum g(f_i) over distinct keys) is estimated by the
+/// standard bottom-up recursion over levels:
+///
+///     Y_L = sum g(|f|) over level-L heavy hitters
+///     Y_i = 2 * Y_{i+1} - sum_{HH at level i sampled into i+1} g(|f|)
+///           + sum_{HH at level i} g(|f|)   [unsampled correction]
+///
+/// Heavy hitters, F2 and (empirical) entropy are exposed; HH detection is
+/// what the disjoint-window baseline uses in the §3 comparison.
 #pragma once
 
 #include <cstdint>
@@ -23,26 +26,31 @@
 
 namespace hhh {
 
+/// The universal sketch: sampled Count-Sketch levels with G-sum queries.
 class UnivMon {
  public:
+  /// Construction-time configuration.
   struct Params {
-    std::size_t levels = 8;
-    std::size_t sketch_width = 1024;
-    std::size_t sketch_depth = 5;
-    std::size_t top_k = 64;
-    std::uint64_t seed = 0x0417'1301;
+    std::size_t levels = 8;            ///< sampling levels L
+    std::size_t sketch_width = 1024;   ///< Count-Sketch width per level
+    std::size_t sketch_depth = 5;      ///< Count-Sketch depth (rows)
+    std::size_t top_k = 64;            ///< tracked heavy keys per level
+    std::uint64_t seed = 0x0417'1301;  ///< hash-family seed
   };
 
+  /// Sketch sized by `params`.
   explicit UnivMon(const Params& params);
 
+  /// Feed `weight` for `key` into every level that samples the key.
   void update(std::uint64_t key, std::int64_t weight);
 
   /// Count-Sketch estimate at the base level.
   std::int64_t estimate(std::uint64_t key) const { return levels_[0].sketch.estimate(key); }
 
+  /// One heavy key with its base-level estimate.
   struct HeavyKey {
-    std::uint64_t key;
-    std::int64_t estimate;
+    std::uint64_t key;       ///< the stream key
+    std::int64_t estimate;   ///< Count-Sketch estimate of its weight
   };
 
   /// Level-0 tracked keys with estimate >= threshold.
@@ -57,7 +65,9 @@ class UnivMon {
   /// Empirical entropy estimate: H = log2(N) - (1/N) sum f log2 f.
   double entropy(double total_weight) const;
 
+  /// Sampling-level count.
   std::size_t levels() const noexcept { return levels_.size(); }
+  /// Heap footprint of all level sketches and candidate heaps.
   std::size_t memory_bytes() const noexcept;
 
  private:

@@ -81,6 +81,33 @@ std::vector<WindowedSpaceSaving::Candidate> WindowedSpaceSaving::candidates_at_l
   return out;
 }
 
+void WindowedSpaceSaving::merge_from(const WindowedSpaceSaving& other) {
+  if (other.params_.window != params_.window || other.params_.frames != params_.frames ||
+      other.params_.counters_per_frame != params_.counters_per_frame) {
+    throw std::invalid_argument("WindowedSpaceSaving::merge_from: Params mismatch");
+  }
+  if (&other == this) {
+    for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+      if (ring_frame_[slot] >= 0) ring_[slot].merge_from(ring_[slot]);
+    }
+    return;
+  }
+  // Rings have identical geometry, so absolute frame f lives in the same
+  // slot on both sides: merge matching frames, adopt frames only the peer
+  // has, drop peer frames older than what this side already holds (they
+  // are outside the window by now).
+  for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+    const std::int64_t peer_frame = other.ring_frame_[slot];
+    if (peer_frame < 0) continue;
+    if (ring_frame_[slot] > peer_frame) continue;  // ours is newer: peer's expired
+    if (ring_frame_[slot] < peer_frame) {
+      ring_[slot].clear();  // stale or empty: adopt the peer's frame
+      ring_frame_[slot] = peer_frame;
+    }
+    ring_[slot].merge_from(other.ring_[slot]);
+  }
+}
+
 std::size_t WindowedSpaceSaving::memory_bytes() const noexcept {
   std::size_t sum = ring_frame_.size() * sizeof(std::int64_t);
   for (const auto& ss : ring_) sum += ss.memory_bytes();

@@ -1,21 +1,23 @@
-// Sliding-window heavy hitters via frame-decomposed Space-Saving —
-// the approach family of ref [1] (Ben-Basat, Einziger, Friedman, Kassner,
-// "Heavy hitters in streams and sliding windows", INFOCOM 2016; WCSS).
-//
-// The trailing window W is split into `frames` equal sub-frames. Each
-// sub-frame owns a Space-Saving summary fed only with that sub-frame's
-// packets; the window query merges the live summaries. Sliding simply
-// retires the oldest frame — no per-item timers.
-//
-// Guarantees (capacity c per frame, m frames, window weight N):
-//  * per-frame Space-Saving error <= N_f / c for its frame weight N_f;
-//  * merged overestimate error <= N / c + (weight of the partially expired
-//    oldest frame), i.e. epsilon-approximate window counts with
-//    epsilon ~ 1/c + 1/m.
-// Every key whose window weight exceeds (1/c + 1/m) * N is reported.
-//
-// This is the sketch-backed engine option of core/sliding_window and the
-// ref-[1] baseline in the §3 benches.
+/// \file
+/// Sliding-window heavy hitters via frame-decomposed Space-Saving —
+/// the approach family of ref [1] (Ben-Basat, Einziger, Friedman, Kassner,
+/// "Heavy hitters in streams and sliding windows", INFOCOM 2016; WCSS).
+///
+/// The trailing window W is split into `frames` equal sub-frames. Each
+/// sub-frame owns a Space-Saving summary fed only with that sub-frame's
+/// packets; the window query merges the live summaries. Sliding simply
+/// retires the oldest frame — no per-item timers.
+///
+/// Guarantees (capacity c per frame, m frames, window weight N):
+///  * per-frame Space-Saving error <= N_f / c for its frame weight N_f;
+///  * merged overestimate error <= N / c + (weight of the partially expired
+///    oldest frame), i.e. epsilon-approximate window counts with
+///    epsilon ~ 1/c + 1/m.
+///
+/// Every key whose window weight exceeds (1/c + 1/m) * N is reported.
+///
+/// This is the sketch-backed engine option of core/sliding_window and the
+/// ref-[1] baseline in the §3 benches.
 #pragma once
 
 #include <cstdint>
@@ -26,14 +28,19 @@
 
 namespace hhh {
 
+/// Sliding-window heavy-hitter summary: per-frame Space-Saving instances
+/// over a ring of window sub-frames (the WCSS approach family).
 class WindowedSpaceSaving {
  public:
+  /// Construction-time configuration.
   struct Params {
-    Duration window = Duration::seconds(10);
-    std::size_t frames = 8;            ///< sub-frames per window
-    std::size_t counters_per_frame = 512;
+    Duration window = Duration::seconds(10);  ///< trailing window length W
+    std::size_t frames = 8;                   ///< sub-frames per window
+    std::size_t counters_per_frame = 512;     ///< Space-Saving capacity per frame
   };
 
+  /// Summary for a trailing window of `params.window`; throws on a
+  /// non-positive window or zero frames.
   explicit WindowedSpaceSaving(const Params& params);
 
   /// Record `weight` for `key` at `now`; timestamps must be non-decreasing.
@@ -45,13 +52,24 @@ class WindowedSpaceSaving {
   /// Total weight within the live frames (upper bound on window weight).
   double window_total(TimePoint now);
 
-  /// Keys whose merged estimate reaches `threshold`.
+  /// One key whose merged window estimate crossed a query threshold.
   struct Candidate {
-    std::uint64_t key;
-    double estimate;
+    std::uint64_t key;    ///< the stream key
+    double estimate;      ///< merged (overestimated) window weight
   };
+  /// Keys whose merged estimate reaches `threshold`.
   std::vector<Candidate> candidates_at_least(double threshold, TimePoint now);
 
+  /// Fold another summary into this one, frame by frame. Both summaries
+  /// must share Params and be fed from the same simulated clock: frames
+  /// are aligned by *absolute* frame index, matching slots merge via
+  /// SpaceSaving::merge_from (summed error bounds), and a frame present
+  /// only in one side is adopted as-is. Frames older than what this side
+  /// already rolled past are dropped (they are outside the window).
+  /// Throws std::invalid_argument on a Params mismatch.
+  void merge_from(const WindowedSpaceSaving& other);
+
+  /// Heap footprint of the frame summaries (resource accounting).
   std::size_t memory_bytes() const noexcept;
 
  private:

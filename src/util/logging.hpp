@@ -1,8 +1,10 @@
 // Minimal leveled logger for library diagnostics.
 //
 // The library is quiet by default (kWarn); benches and examples raise the
-// level explicitly. No global constructors beyond a POD atomic, no locking —
-// all experiment code is single-threaded by design.
+// level explicitly. No global constructors beyond a POD atomic, no locking:
+// the level gate is an atomic and log_line() emits one formatted write per
+// message, so concurrent callers (e.g. sharded-ingestion workers) interleave
+// at line granularity at worst.
 #pragma once
 
 #include <sstream>

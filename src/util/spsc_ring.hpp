@@ -1,0 +1,144 @@
+// SpscRing: a lock-free single-producer / single-consumer ring buffer.
+//
+// The queue behind sharded ingestion (core/sharded_engine.hpp): the
+// front-end thread pushes per-shard packet batches, each worker thread pops
+// from its own ring. try_push/try_pop are wait-free (one acquire load, one
+// release store, no CAS — SPSC needs none); the blocking variants spin
+// briefly and then park on C++20 atomic wait/notify, so an idle worker
+// costs nothing and a saturated one never syscalls.
+//
+// The producer caches the consumer's head (and vice versa) so the hot path
+// touches the *other* side's index only when its cached copy says the ring
+// looks full/empty — the classic SPSC false-sharing optimisation; head and
+// tail live on separate cache lines.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/bit.hpp"
+
+namespace hhh {
+
+/// Lock-free bounded FIFO for exactly one producer and one consumer thread.
+///
+/// Capacity is rounded up to a power of two. Elements are moved in and out.
+/// close() lets the producer signal end-of-stream: pop_wait() then drains
+/// the remaining elements and returns false once the ring is empty.
+template <typename T>
+class SpscRing {
+ public:
+  /// Ring holding at least `min_capacity` elements (rounded up to 2^k).
+  explicit SpscRing(std::size_t min_capacity = 64)
+      : buffer_(next_pow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(buffer_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer: move `value` in; returns false (value untouched) if full.
+  bool try_push(T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {  // looks full: refresh the real head
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    buffer_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    // The consumer parks on events_, not tail_: close() must also be able
+    // to wake it, and only a word whose *value* changes on every wakeup
+    // source avoids the missed-wakeup race.
+    events_.fetch_add(1, std::memory_order_release);
+    events_.notify_one();
+    return true;
+  }
+
+  /// Producer: blocking push — spins, then parks until the consumer frees
+  /// a slot.
+  void push(T value) {
+    while (!try_push(value)) {
+      for (int spin = 0; spin < kSpins; ++spin) {
+        if (try_push(value)) return;
+      }
+      // Park until head advances past the value we saw when full.
+      const std::size_t head = head_.load(std::memory_order_acquire);
+      if (tail_.load(std::memory_order_relaxed) - head <= mask_) continue;
+      head_.wait(head, std::memory_order_acquire);
+    }
+  }
+
+  /// Consumer: move the oldest element into `out`; false if empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {  // looks empty: refresh the real tail
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(buffer_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    head_.notify_one();  // cheap when no producer is parked
+    return true;
+  }
+
+  /// Consumer: blocking pop. Returns false only after close() AND the ring
+  /// has drained; otherwise waits for the next element.
+  bool pop_wait(T& out) {
+    while (true) {
+      for (int spin = 0; spin < kSpins; ++spin) {
+        if (try_pop(out)) return true;
+      }
+      // Snapshot the event epoch BEFORE the emptiness/closed re-checks:
+      // any push or close after this line bumps events_, so the wait
+      // below returns immediately instead of sleeping through it.
+      const std::uint64_t seen = events_.load(std::memory_order_acquire);
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Closed: one final check, then report end-of-stream.
+        return try_pop(out);
+      }
+      events_.wait(seen, std::memory_order_acquire);
+    }
+  }
+
+  /// Producer: mark end-of-stream and wake a parked consumer.
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    events_.fetch_add(1, std::memory_order_release);
+    events_.notify_all();
+  }
+
+  /// True once close() has been called (elements may still be queued).
+  bool closed() const noexcept { return closed_.load(std::memory_order_acquire); }
+
+  /// Elements currently queued (racy snapshot; exact when quiescent).
+  std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_acquire) - head_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Usable slot count (power of two).
+  std::size_t capacity() const noexcept { return buffer_.size(); }
+
+  /// Heap footprint of the slot array (resource accounting).
+  std::size_t memory_bytes() const noexcept { return buffer_.size() * sizeof(T); }
+
+ private:
+  static constexpr int kSpins = 64;
+
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  // Producer-owned line: its index plus a cached copy of the consumer's.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+  // Consumer-owned line.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+  // Wakeup epoch: bumped by every push and by close() so a parked consumer
+  // can never miss either event (tail_ alone cannot signal close).
+  alignas(64) std::atomic<std::uint64_t> events_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace hhh

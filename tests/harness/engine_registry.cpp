@@ -3,6 +3,7 @@
 #include "core/ancestry_hhh.hpp"
 #include "core/exact_engine.hpp"
 #include "core/rhhh.hpp"
+#include "core/sharded_engine.hpp"
 #include "core/univmon_hhh.hpp"
 
 namespace hhh::harness {
@@ -29,6 +30,15 @@ const std::vector<EngineCase>& conformance_engines() {
        [] {
          return std::make_unique<UnivmonHhhEngine>(
              UnivmonHhhEngine::Params{.sketch_width = 2048, .top_k = 128});
+       }},
+      // Sharded variants: the parallel front-end must satisfy the exact
+      // same behavioural contract as the engines it wraps.
+      {"sharded_exact_x4",
+       [] { return make_sharded_exact_engine(Hierarchy::byte_granularity(), 4); }},
+      {"sharded_rhhh_x4",
+       [] {
+         return make_sharded_rhhh_engine(Hierarchy::byte_granularity(), 4,
+                                         /*counters_per_level=*/512, /*base_seed=*/42);
        }},
   };
   return cases;

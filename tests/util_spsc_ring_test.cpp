@@ -1,0 +1,111 @@
+// SpscRing: FIFO order, wrap-around, close semantics and a real
+// producer/consumer stress run (the sharded-ingestion transport).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/spsc_ring.hpp"
+
+namespace hhh {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(3);
+  EXPECT_EQ(ring.capacity(), 4u);
+  SpscRing<int> big(65);
+  EXPECT_EQ(big.capacity(), 128u);
+}
+
+TEST(SpscRing, FifoOrderWithinCapacity) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.try_push(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(ring.try_push(overflow)) << "ring should be full";
+  EXPECT_EQ(overflow, 99) << "failed push must not consume the value";
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out;
+  EXPECT_FALSE(ring.try_pop(out)) << "ring should be empty";
+}
+
+TEST(SpscRing, WrapAroundKeepsOrder) {
+  SpscRing<int> ring(4);
+  int next_push = 0, next_pop = 0;
+  for (int round = 0; round < 100; ++round) {
+    int v = next_push++;
+    ASSERT_TRUE(ring.try_push(v));
+    v = next_push++;
+    ASSERT_TRUE(ring.try_push(v));
+    int out;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, next_pop++);
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, next_pop++);
+  }
+}
+
+TEST(SpscRing, PopWaitDrainsAfterClose) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+  int out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.pop_wait(out)) << "queued elements must drain after close";
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop_wait(out)) << "drained + closed ring reports end-of-stream";
+}
+
+TEST(SpscRing, MovesElementsThrough) {
+  SpscRing<std::vector<int>> ring(4);
+  std::vector<int> batch(1000);
+  std::iota(batch.begin(), batch.end(), 0);
+  ring.push(std::move(batch));
+  std::vector<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_EQ(out.size(), 1000u);
+  EXPECT_EQ(out[999], 999);
+}
+
+TEST(SpscRing, ProducerConsumerStressPreservesEveryElement) {
+  // A small ring forces constant wrap-around and both blocking paths
+  // (producer full-park, consumer empty-park) under real concurrency.
+  constexpr std::uint64_t kCount = 200000;
+  SpscRing<std::uint64_t> ring(16);
+
+  std::uint64_t consumer_sum = 0;
+  std::uint64_t consumer_last = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    std::uint64_t v;
+    while (ring.pop_wait(v)) {
+      ordered &= (consumer_last == 0 || v == consumer_last + 1);
+      consumer_last = v;
+      consumer_sum += v;
+    }
+  });
+
+  for (std::uint64_t i = 1; i <= kCount; ++i) ring.push(i);
+  ring.close();
+  consumer.join();
+
+  EXPECT_TRUE(ordered) << "elements must arrive in push order";
+  EXPECT_EQ(consumer_last, kCount);
+  EXPECT_EQ(consumer_sum, kCount * (kCount + 1) / 2);
+}
+
+}  // namespace
+}  // namespace hhh

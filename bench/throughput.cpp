@@ -40,6 +40,7 @@
 #include "sketch/wcss.hpp"
 #include "trace/synthetic_trace.hpp"
 #include "util/strings.hpp"
+#include "wire/snapshot.hpp"
 
 #if HHH_HAVE_GBENCH
 #include <benchmark/benchmark.h>
@@ -73,6 +74,55 @@ struct EngineResult {
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// --- snapshot (wire) round-trip rows ----------------------------------------
+
+struct SnapshotResult {
+  std::string name;
+  std::size_t snapshot_bytes = 0;
+  double serialize_mbps = 0.0;    ///< save_engine() throughput, MB/s of frame
+  double deserialize_mbps = 0.0;  ///< load_engine()/load_engine_into(), MB/s
+};
+
+/// Serialize+deserialize throughput of one ingested engine — the cost a
+/// vantage point pays per epoch to ship its summary, and the collector
+/// pays to take it in.
+template <typename MakeEngine>
+SnapshotResult measure_snapshot(const std::string& name, MakeEngine&& make,
+                                const std::vector<PacketRecord>& packets,
+                                const ThroughputOptions& opt) {
+  auto engine = make();
+  engine->add_batch(packets);
+  if (auto* sharded = dynamic_cast<ShardedHhhEngine*>(engine.get())) sharded->drain();
+
+  SnapshotResult result;
+  result.name = name;
+  const std::vector<std::uint8_t> frame = wire::save_engine(*engine);
+  result.snapshot_bytes = frame.size();
+  const double mb = static_cast<double>(frame.size()) / 1e6;
+
+  for (int r = 0; r < opt.repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto bytes = wire::save_engine(*engine);
+    const double elapsed = seconds_since(t0);
+    if (elapsed > 0.0 && !bytes.empty()) {
+      result.serialize_mbps = std::max(result.serialize_mbps, mb / elapsed);
+    }
+  }
+  for (int r = 0; r < opt.repeats; ++r) {
+    auto receiver = make();
+    const auto t0 = std::chrono::steady_clock::now();
+    wire::load_engine_into(frame, *receiver);
+    const double elapsed = seconds_since(t0);
+    if (elapsed > 0.0 && receiver->total_bytes() == engine->total_bytes()) {
+      result.deserialize_mbps = std::max(result.deserialize_mbps, mb / elapsed);
+    }
+  }
+  std::printf("%-18s  snapshot: %8zu B   serialize: %8.1f MB/s   deserialize: %8.1f MB/s\n",
+              result.name.c_str(), result.snapshot_bytes, result.serialize_mbps,
+              result.deserialize_mbps);
+  return result;
 }
 
 /// Best-of-`repeats` throughput of one full replay (packets/second).
@@ -181,6 +231,43 @@ int run_throughput_harness(const ThroughputOptions& opt) {
       [] { return make_sharded_rhhh_engine(Hierarchy::byte_granularity(), 4, 512, 0xBE9C); },
       packets, opt, 4));
 
+  // Wire round-trip trajectory: what serialize/deserialize costs per
+  // engine summary (the multi-vantage shipping path).
+  std::printf("\n== snapshot round trip (wire/snapshot.hpp frames) ==\n");
+  std::vector<SnapshotResult> snapshots;
+  snapshots.push_back(measure_snapshot(
+      "exact", [] { return make_exact_engine(Hierarchy::byte_granularity()); }, packets,
+      opt));
+  snapshots.push_back(measure_snapshot(
+      "rhhh",
+      [] {
+        return std::make_unique<RhhhEngine>(
+            RhhhEngine::Params{.counters_per_level = 512, .seed = 0xBE9C});
+      },
+      packets, opt));
+  snapshots.push_back(measure_snapshot(
+      "hss",
+      [] {
+        return std::make_unique<RhhhEngine>(RhhhEngine::Params{
+            .counters_per_level = 512, .update_all_levels = true, .seed = 0xBE9C});
+      },
+      packets, opt));
+  snapshots.push_back(measure_snapshot(
+      "ancestry",
+      [] { return std::make_unique<AncestryHhhEngine>(AncestryHhhEngine::Params{.eps = 0.005}); },
+      packets, opt));
+  snapshots.push_back(measure_snapshot(
+      "univmon",
+      [] {
+        return std::make_unique<UnivmonHhhEngine>(
+            UnivmonHhhEngine::Params{.sketch_width = 2048, .top_k = 128});
+      },
+      packets, opt));
+  snapshots.push_back(measure_snapshot(
+      "sharded_exact_x4",
+      [] { return make_sharded_exact_engine(Hierarchy::byte_granularity(), 4); }, packets,
+      opt));
+
   std::FILE* out = std::fopen(opt.json_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.json_path.c_str());
@@ -200,6 +287,16 @@ int run_throughput_harness(const ThroughputOptions& opt) {
                  "\"add_batch_pps\": %.1f, \"batch_speedup\": %.4f}%s\n",
                  r.name.c_str(), r.shards, r.add_pps, r.add_batch_pps,
                  r.add_batch_pps / r.add_pps, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"snapshot_roundtrip\": [\n");
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const auto& s = snapshots[i];
+    std::fprintf(out,
+                 "    {\"engine\": \"%s\", \"snapshot_bytes\": %zu, "
+                 "\"serialize_mbps\": %.2f, \"deserialize_mbps\": %.2f}%s\n",
+                 s.name.c_str(), s.snapshot_bytes, s.serialize_mbps, s.deserialize_mbps,
+                 i + 1 < snapshots.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

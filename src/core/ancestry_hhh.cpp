@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "wire/codec.hpp"
+
 namespace hhh {
 
 AncestryHhhEngine::AncestryHhhEngine(const Params& params) : params_(params) {
@@ -160,6 +162,59 @@ void AncestryHhhEngine::reset() {
   for (auto& level : levels_) level.clear();
   total_bytes_ = 0;
   next_compress_at_ = compress_stride_;
+}
+
+void AncestryHhhEngine::save_state(wire::Writer& w) const {
+  wire::write_hierarchy(w, params_.hierarchy);
+  w.f64(params_.eps);
+  w.u64(total_bytes_);
+  w.u64(next_compress_at_);
+  for (const auto& level : levels_) {
+    w.u64(level.size());
+    level.for_each([&](std::uint64_t key, const Node& node) {
+      w.u64(key);
+      w.u64(node.f);
+      w.u64(node.delta);
+    });
+  }
+}
+
+AncestryHhhEngine::Params AncestryHhhEngine::read_params(wire::Reader& r) {
+  Params p;
+  p.hierarchy = wire::read_hierarchy(r);
+  p.eps = r.f64();
+  wire::check(p.eps > 0.0 && p.eps < 1.0, wire::WireError::kBadValue,
+              "AncestryHhhEngine eps outside (0,1)");
+  return p;
+}
+
+void AncestryHhhEngine::read_state(wire::Reader& r) {
+  total_bytes_ = r.u64();
+  next_compress_at_ = r.u64();
+  for (auto& level : levels_) {
+    const std::uint64_t n = r.count(24);
+    level = FlatHashMap<std::uint64_t, Node>(std::max<std::size_t>(n * 2, 256));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t key = r.u64();
+      auto [node, inserted] = level.try_emplace(key);
+      wire::check(inserted, wire::WireError::kBadValue, "AncestryHhhEngine duplicate key");
+      node->f = r.u64();
+      node->delta = r.u64();
+    }
+  }
+}
+
+void AncestryHhhEngine::load_state(wire::Reader& r) {
+  const Params p = read_params(r);
+  wire::check(p.hierarchy == params_.hierarchy && p.eps == params_.eps,
+              wire::WireError::kParamsMismatch, "AncestryHhhEngine params mismatch");
+  read_state(r);
+}
+
+std::unique_ptr<AncestryHhhEngine> AncestryHhhEngine::deserialize(wire::Reader& r) {
+  auto engine = std::make_unique<AncestryHhhEngine>(read_params(r));
+  engine->read_state(r);
+  return engine;
 }
 
 std::size_t AncestryHhhEngine::memory_bytes() const {

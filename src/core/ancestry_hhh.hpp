@@ -65,7 +65,21 @@ class AncestryHhhEngine final : public HhhEngine {
   /// Number of live trie entries across all levels (space diagnostic).
   std::size_t entry_count() const;
 
+  /// Always true: the lossy-counting trie serializes losslessly.
+  bool serializable() const override { return true; }
+  /// Write params (hierarchy, eps), totals, the compression cursor and
+  /// every live (prefix, f, delta) trie entry.
+  void save_state(wire::Writer& w) const override;
+  /// Restore state; throws wire::WireFormatError(kParamsMismatch) when
+  /// the snapshot's params differ from this engine's.
+  void load_state(wire::Reader& r) override;
+  /// Construct an ancestry engine directly from a save_state() payload.
+  static std::unique_ptr<AncestryHhhEngine> deserialize(wire::Reader& r);
+
  private:
+  static Params read_params(wire::Reader& r);
+  void read_state(wire::Reader& r);
+
   struct Node {
     std::uint64_t f = 0;      ///< bytes counted since creation
     std::uint64_t delta = 0;  ///< upper bound on bytes missed before creation

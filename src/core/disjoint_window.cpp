@@ -4,6 +4,7 @@
 
 #include "core/exact_engine.hpp"
 #include "core/sharded_engine.hpp"
+#include "wire/codec.hpp"
 
 namespace hhh {
 
@@ -60,6 +61,47 @@ void DisjointWindowHhhDetector::offer_batch(std::span<const PacketRecord> packet
 
 void DisjointWindowHhhDetector::finish(TimePoint end_of_stream) {
   close_windows_before(end_of_stream);
+}
+
+void DisjointWindowHhhDetector::checkpoint(wire::Writer& w) const {
+  w.i64(params_.window.ns());
+  w.f64(params_.phi);
+  wire::write_hierarchy(w, params_.hierarchy);
+  w.u64(params_.shards);
+  w.u64(current_window_);
+  engine_->save_state(w);
+  w.u64(reports_.size());
+  for (const auto& report : reports_) {
+    w.u64(report.index);
+    wire::write_timepoint(w, report.start);
+    wire::write_timepoint(w, report.end);
+    wire::write_hhh_set(w, report.hhhs);
+  }
+}
+
+void DisjointWindowHhhDetector::restore(wire::Reader& r) {
+  using wire::WireError;
+  wire::check(r.i64() == params_.window.ns(), WireError::kParamsMismatch,
+              "DisjointWindowHhhDetector window mismatch");
+  wire::check(r.f64() == params_.phi, WireError::kParamsMismatch,
+              "DisjointWindowHhhDetector phi mismatch");
+  wire::check(wire::read_hierarchy(r) == params_.hierarchy, WireError::kParamsMismatch,
+              "DisjointWindowHhhDetector hierarchy mismatch");
+  wire::check(r.u64() == params_.shards, WireError::kParamsMismatch,
+              "DisjointWindowHhhDetector shard count mismatch");
+  current_window_ = r.u64();
+  engine_->load_state(r);
+  const std::uint64_t n = r.count(40);
+  reports_.clear();
+  reports_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WindowReport report;
+    report.index = r.u64();
+    report.start = wire::read_timepoint(r);
+    report.end = wire::read_timepoint(r);
+    report.hhhs = wire::read_hhh_set(r);
+    reports_.push_back(std::move(report));
+  }
 }
 
 }  // namespace hhh

@@ -18,6 +18,7 @@
 #include "core/hhh_types.hpp"
 #include "net/packet.hpp"
 #include "util/sim_time.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -68,6 +69,21 @@ class DisjointWindowHhhDetector {
 
   /// The engine computing each window's HHHs (read-only).
   const HhhEngine& engine() const noexcept { return *engine_; }
+
+  /// Write the detector's full state — params, window cursor, the
+  /// engine's mid-window state and every closed report — so a
+  /// long-running monitor can survive a restart *mid-window* without
+  /// losing the partially accumulated traffic. Requires a serializable
+  /// engine (throws std::logic_error otherwise).
+  void checkpoint(wire::Writer& w) const;
+
+  /// Restore a checkpoint written by checkpoint() into a detector
+  /// constructed with the same Params (and, for injected engines, the
+  /// same engine configuration). After restore, feeding the identical
+  /// remaining stream produces reports byte-identical to a monitor that
+  /// never restarted. Throws wire::WireFormatError(kParamsMismatch) on a
+  /// configuration mismatch.
+  void restore(wire::Reader& r);
 
  private:
   void close_windows_before(TimePoint t);

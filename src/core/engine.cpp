@@ -9,4 +9,14 @@ void HhhEngine::merge_from(const HhhEngine& other) {
                          "' cannot merge state from '" + other.name() + "'");
 }
 
+void HhhEngine::save_state(wire::Writer&) const {
+  throw std::logic_error("HhhEngine::save_state: engine '" + name() +
+                         "' is not serializable");
+}
+
+void HhhEngine::load_state(wire::Reader&) {
+  throw std::logic_error("HhhEngine::load_state: engine '" + name() +
+                         "' is not serializable");
+}
+
 }  // namespace hhh

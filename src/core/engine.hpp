@@ -19,6 +19,7 @@
 
 #include "core/hhh_types.hpp"
 #include "net/packet.hpp"
+#include "wire/fwd.hpp"
 
 /// \namespace hhh
 /// \brief Hierarchical heavy-hitter measurement library: engines, window
@@ -90,6 +91,30 @@ class HhhEngine {
   /// Throws std::invalid_argument when `other` is an incompatible
   /// configuration (different hierarchy, different mode).
   virtual void merge_from(const HhhEngine& other);
+
+  /// True when save_state()/load_state() are implemented. Serializable
+  /// engines can be snapshotted to the versioned wire format
+  /// (wire/snapshot.hpp) and shipped across process/machine boundaries —
+  /// the substrate of the multi-vantage collector and of checkpoint/
+  /// restore in long-running monitors.
+  virtual bool serializable() const { return false; }
+
+  /// Write the engine's construction parameters followed by its full
+  /// state to the wire. The contract every implementation must keep:
+  /// `load_state(save_state(e))` into an identically-configured engine
+  /// yields a byte-identical extract() — and, because RNG state travels
+  /// too, identical behaviour on any subsequently ingested stream.
+  ///
+  /// The default implementation throws std::logic_error (not
+  /// serializable).
+  virtual void save_state(wire::Writer& w) const;
+
+  /// Restore state written by save_state(). The receiving engine must be
+  /// constructed with the same parameters; a mismatch throws
+  /// wire::WireFormatError with code kParamsMismatch, corrupt input
+  /// throws kTruncated/kBadValue — never UB. The default implementation
+  /// throws std::logic_error.
+  virtual void load_state(wire::Reader& r);
 };
 
 /// The exact engine: LevelAggregates + extract_hhh.

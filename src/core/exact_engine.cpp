@@ -1,8 +1,10 @@
 #include "core/exact_engine.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/exact_hhh.hpp"
+#include "wire/wire.hpp"
 
 namespace hhh {
 
@@ -28,6 +30,17 @@ void ExactEngine::merge_from(const HhhEngine& other) {
 }
 
 void ExactEngine::reset() { agg_.clear(); }
+
+void ExactEngine::save_state(wire::Writer& w) const { agg_.save_state(w); }
+
+void ExactEngine::load_state(wire::Reader& r) { agg_.load_state(r); }
+
+std::unique_ptr<ExactEngine> ExactEngine::deserialize(wire::Reader& r) {
+  LevelAggregates agg = LevelAggregates::deserialize(r);
+  auto engine = std::make_unique<ExactEngine>(agg.hierarchy());
+  engine->agg_ = std::move(agg);
+  return engine;
+}
 
 std::size_t ExactEngine::memory_bytes() const { return agg_.memory_bytes(); }
 

@@ -44,6 +44,15 @@ class ExactEngine final : public HhhEngine {
   /// `other` to be an ExactEngine over the same hierarchy.
   void merge_from(const HhhEngine& other) override;
 
+  /// Always true: the level counters serialize losslessly.
+  bool serializable() const override { return true; }
+  /// Write the hierarchy + level counters (LevelAggregates::save_state).
+  void save_state(wire::Writer& w) const override;
+  /// Restore counters; throws wire::WireFormatError on hierarchy mismatch.
+  void load_state(wire::Reader& r) override;
+  /// Construct an exact engine directly from a save_state() payload.
+  static std::unique_ptr<ExactEngine> deserialize(wire::Reader& r);
+
   /// The underlying counters (read-only; tests and analyses).
   const LevelAggregates& aggregates() const noexcept { return agg_; }
 

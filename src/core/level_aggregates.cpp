@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "wire/codec.hpp"
+
 namespace hhh {
 
 LevelAggregates::LevelAggregates(const Hierarchy& hierarchy) : hierarchy_(hierarchy) {
@@ -89,6 +91,47 @@ std::uint64_t LevelAggregates::count(Ipv4Prefix prefix) const noexcept {
 
 std::size_t LevelAggregates::distinct_at(std::size_t level) const noexcept {
   return maps_[level].size();
+}
+
+void LevelAggregates::save_state(wire::Writer& w) const {
+  wire::write_hierarchy(w, hierarchy_);
+  w.u64(total_);
+  for (const auto& map : maps_) {
+    w.u64(map.size());
+    map.for_each([&](std::uint64_t key, const std::uint64_t& bytes) {
+      w.u64(key);
+      w.u64(bytes);
+    });
+  }
+}
+
+void LevelAggregates::read_counters(wire::Reader& r) {
+  total_ = r.u64();
+  for (auto& map : maps_) {
+    const std::uint64_t n = r.count(16);
+    // Pre-size for the declared entry count: inserting a large level map
+    // into a default-capacity table would rehash O(log n) times and
+    // dominate deserialization.
+    map = FlatHashMap<std::uint64_t, std::uint64_t>(n * 2);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t key = r.u64();
+      auto [v, inserted] = map.try_emplace(key);
+      wire::check(inserted, wire::WireError::kBadValue, "LevelAggregates duplicate key");
+      *v = r.u64();
+    }
+  }
+}
+
+void LevelAggregates::load_state(wire::Reader& r) {
+  wire::check(wire::read_hierarchy(r) == hierarchy_, wire::WireError::kParamsMismatch,
+              "LevelAggregates hierarchy mismatch");
+  read_counters(r);
+}
+
+LevelAggregates LevelAggregates::deserialize(wire::Reader& r) {
+  LevelAggregates agg(wire::read_hierarchy(r));
+  agg.read_counters(r);
+  return agg;
 }
 
 std::size_t LevelAggregates::memory_bytes() const noexcept {

@@ -19,6 +19,7 @@
 #include "net/hierarchy.hpp"
 #include "net/packet.hpp"
 #include "util/flat_hash_map.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -73,10 +74,27 @@ class LevelAggregates {
         [&](std::uint64_t key, const std::uint64_t& bytes) { fn(key, bytes); });
   }
 
+  /// Write the hierarchy and every level's live counters to the wire.
+  /// Lossless: the restored counters are equal, so extraction and all
+  /// future add/remove/merge behaviour are byte-identical.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore counters written by save_state() into an instance over the
+  /// same hierarchy. Throws wire::WireFormatError on a hierarchy mismatch
+  /// (kParamsMismatch) or corrupt input.
+  void load_state(wire::Reader& r);
+
+  /// Construct an instance directly from the wire (reads the hierarchy
+  /// from the payload). Counterpart of save_state() for readers that do
+  /// not know the configuration up front (the snapshot loader).
+  static LevelAggregates deserialize(wire::Reader& r);
+
   /// Memory footprint of all level maps (resource accounting).
   std::size_t memory_bytes() const noexcept;
 
  private:
+  void read_counters(wire::Reader& r);
+
   Hierarchy hierarchy_;
   std::vector<FlatHashMap<std::uint64_t, std::uint64_t>> maps_;  // one per level
   std::uint64_t total_ = 0;

@@ -1,8 +1,11 @@
 #include "core/rhhh.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
+
+#include "wire/codec.hpp"
 
 namespace hhh {
 
@@ -151,6 +154,55 @@ void RhhhEngine::reset() {
   updates_ = 0;
   // Note: the RNG is deliberately NOT reseeded — windows keep consuming one
   // deterministic sequence, matching a hardware deployment.
+}
+
+void RhhhEngine::save_state(wire::Writer& w) const {
+  wire::write_hierarchy(w, params_.hierarchy);
+  w.u64(params_.counters_per_level);
+  w.boolean(params_.update_all_levels);
+  w.u64(params_.seed);
+  for (const std::uint64_t s : rng_.state()) w.u64(s);
+  w.u64(total_bytes_);
+  w.u64(updates_);
+  for (const auto& level : levels_) level.save_state(w);
+}
+
+RhhhEngine::Params RhhhEngine::read_params(wire::Reader& r) {
+  Params p;
+  p.hierarchy = wire::read_hierarchy(r);
+  p.counters_per_level = r.u64();
+  p.update_all_levels = r.boolean();
+  p.seed = r.u64();
+  // Upper bound far above any real configuration: wire-controlled sizes
+  // must not be able to drive multi-GB allocations before validation.
+  wire::check(p.counters_per_level > 0 && p.counters_per_level <= (1u << 20),
+              wire::WireError::kBadValue, "RhhhEngine counters_per_level out of range");
+  return p;
+}
+
+void RhhhEngine::read_state(wire::Reader& r) {
+  std::array<std::uint64_t, 4> state;
+  for (auto& s : state) s = r.u64();
+  rng_.set_state(state);
+  total_bytes_ = r.u64();
+  updates_ = r.u64();
+  for (auto& level : levels_) level.load_state(r);
+}
+
+void RhhhEngine::load_state(wire::Reader& r) {
+  const Params p = read_params(r);
+  wire::check(p.hierarchy == params_.hierarchy &&
+                  p.counters_per_level == params_.counters_per_level &&
+                  p.update_all_levels == params_.update_all_levels &&
+                  p.seed == params_.seed,
+              wire::WireError::kParamsMismatch, "RhhhEngine params mismatch");
+  read_state(r);
+}
+
+std::unique_ptr<RhhhEngine> RhhhEngine::deserialize(wire::Reader& r) {
+  auto engine = std::make_unique<RhhhEngine>(read_params(r));
+  engine->read_state(r);
+  return engine;
 }
 
 std::size_t RhhhEngine::memory_bytes() const {

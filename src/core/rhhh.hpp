@@ -76,7 +76,23 @@ class RhhhEngine final : public HhhEngine {
   /// Scaled volume estimate of `prefix` (must be at a hierarchy level).
   double estimate(Ipv4Prefix prefix) const;
 
+  /// Always true: per-level summaries and the sampler RNG serialize.
+  bool serializable() const override { return true; }
+  /// Write params, RNG state, totals and every level summary. Because the
+  /// sampler state travels, a restored engine draws the same levels for
+  /// any subsequent stream — full behavioural equivalence, not just an
+  /// equal extract().
+  void save_state(wire::Writer& w) const override;
+  /// Restore state; throws wire::WireFormatError(kParamsMismatch) when
+  /// the snapshot's params differ from this engine's.
+  void load_state(wire::Reader& r) override;
+  /// Construct an RHHH/HSS engine directly from a save_state() payload.
+  static std::unique_ptr<RhhhEngine> deserialize(wire::Reader& r);
+
  private:
+  static Params read_params(wire::Reader& r);
+  void read_state(wire::Reader& r);
+
   Params params_;
   Rng rng_;
   std::vector<SpaceSaving> levels_;

@@ -4,6 +4,7 @@
 
 #include "core/rhhh.hpp"
 #include "util/hash.hpp"
+#include "wire/wire.hpp"
 
 namespace hhh {
 
@@ -136,6 +137,32 @@ void ShardedHhhEngine::reset() {
   for (auto& shard : shards_) shard->engine->reset();
   staging_.clear();
   total_bytes_ = 0;
+}
+
+bool ShardedHhhEngine::serializable() const {
+  return shards_.front()->engine->serializable();
+}
+
+void ShardedHhhEngine::save_state(wire::Writer& w) const {
+  drain();  // replicas are stable and synchronized after the quiesce
+  w.u64(shards_.size());
+  w.u8(static_cast<std::uint8_t>(params_.partition));
+  w.u64(total_bytes_);
+  for (const auto& shard : shards_) shard->engine->save_state(w);
+}
+
+void ShardedHhhEngine::load_state(wire::Reader& r) {
+  drain();
+  wire::check(r.u64() == shards_.size(), wire::WireError::kParamsMismatch,
+              "ShardedHhhEngine shard count mismatch");
+  wire::check(r.u8() == static_cast<std::uint8_t>(params_.partition),
+              wire::WireError::kParamsMismatch,
+              "ShardedHhhEngine partition key mismatch");
+  total_bytes_ = r.u64();
+  // Safe to mutate replicas from this thread: workers are parked after
+  // the quiesce, and the next ring push/pop pair publishes these writes
+  // to the owning worker (same ordering reset() relies on).
+  for (auto& shard : shards_) shard->engine->load_state(r);
 }
 
 std::size_t ShardedHhhEngine::memory_bytes() const {

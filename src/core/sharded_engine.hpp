@@ -96,6 +96,25 @@ class ShardedHhhEngine final : public HhhEngine {
   /// Merging two sharded engines is not supported (merge the inners).
   bool mergeable() const override { return false; }
 
+  /// True when every replica is serializable. Sharded snapshots restore
+  /// only into an identically-constructed engine (same factory, same
+  /// shard count) — the factory itself cannot travel over the wire — so
+  /// the standalone snapshot loader rejects them; checkpoint/restore in
+  /// DisjointWindowHhhDetector reconstructs the engine first and then
+  /// calls load_state().
+  bool serializable() const override;
+
+  /// Quiesce every worker, then write shard-count/partition params, the
+  /// front-end byte ledger and each replica's save_state() in shard
+  /// order. Per-replica RNG state travels, so a restored sharded engine
+  /// is behaviourally identical on any subsequent stream.
+  void save_state(wire::Writer& w) const override;
+
+  /// Restore a checkpoint written by save_state() into an engine built
+  /// with the same Params and factory. Throws wire::WireFormatError
+  /// (kParamsMismatch) on a shard-count/partition mismatch.
+  void load_state(wire::Reader& r) override;
+
   /// Block until every dispatched batch has been ingested by its worker.
   /// Exposed so benchmarks can time ingestion-to-completion rather than
   /// enqueue speed. Logically const: it completes pending work without

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "wire/codec.hpp"
+
 namespace hhh {
 
 TimeDecayingHhhDetector::TimeDecayingHhhDetector(const Params& params) : params_(params) {
@@ -116,6 +118,40 @@ std::size_t TimeDecayingHhhDetector::memory_bytes() const noexcept {
   for (const auto& f : filters_) sum += f.memory_bytes();
   for (const auto& ss : candidates_) sum += ss.memory_bytes();
   return sum;
+}
+
+void TimeDecayingHhhDetector::save_state(wire::Writer& w) const {
+  wire::write_hierarchy(w, params_.hierarchy);
+  w.i64(params_.half_life.ns());
+  w.u64(params_.cells_per_level);
+  w.u64(params_.hashes);
+  w.u64(params_.candidates_per_level);
+  w.boolean(params_.conservative);
+  w.u64(params_.seed);
+  wire::write_timepoint(w, last_rescale_);
+  for (const auto& f : filters_) f.save_state(w);
+  for (const auto& ss : candidates_) ss.save_state(w);
+}
+
+void TimeDecayingHhhDetector::load_state(wire::Reader& r) {
+  using wire::WireError;
+  wire::check(wire::read_hierarchy(r) == params_.hierarchy, WireError::kParamsMismatch,
+              "TimeDecayingHhhDetector hierarchy mismatch");
+  wire::check(r.i64() == params_.half_life.ns(), WireError::kParamsMismatch,
+              "TimeDecayingHhhDetector half-life mismatch");
+  wire::check(r.u64() == params_.cells_per_level, WireError::kParamsMismatch,
+              "TimeDecayingHhhDetector cell count mismatch");
+  wire::check(r.u64() == params_.hashes, WireError::kParamsMismatch,
+              "TimeDecayingHhhDetector hash count mismatch");
+  wire::check(r.u64() == params_.candidates_per_level, WireError::kParamsMismatch,
+              "TimeDecayingHhhDetector candidate capacity mismatch");
+  wire::check(r.boolean() == params_.conservative, WireError::kParamsMismatch,
+              "TimeDecayingHhhDetector conservative-mode mismatch");
+  wire::check(r.u64() == params_.seed, WireError::kParamsMismatch,
+              "TimeDecayingHhhDetector seed mismatch");
+  last_rescale_ = wire::read_timepoint(r);
+  for (auto& f : filters_) f.load_state(r);
+  for (auto& ss : candidates_) ss.load_state(r);
 }
 
 }  // namespace hhh

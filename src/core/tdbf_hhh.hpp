@@ -33,6 +33,7 @@
 #include "sketch/space_saving.hpp"
 #include "sketch/tdbf.hpp"
 #include "util/sim_time.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -71,6 +72,18 @@ class TimeDecayingHhhDetector {
   double half_life_seconds() const noexcept;
   /// Footprint of the filters and candidate summaries.
   std::size_t memory_bytes() const noexcept;
+
+  /// Write the detector's full continuous-time state (per-level filters,
+  /// candidate summaries, rescale cursor) to the wire — the windowless
+  /// monitor's checkpoint, since there is no window boundary to restart
+  /// cleanly at.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore a checkpoint written by save_state() into a detector
+  /// constructed with the same Params; queries then continue exactly
+  /// where the checkpointed monitor left off. Throws
+  /// wire::WireFormatError(kParamsMismatch) on a configuration mismatch.
+  void load_state(wire::Reader& r);
 
  private:
   /// Decay all Space-Saving counts to `now` (amortized; called on offer).

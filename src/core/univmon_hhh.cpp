@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "wire/codec.hpp"
+
 namespace hhh {
 
 UnivmonHhhEngine::UnivmonHhhEngine(const Params& params) : params_(params) { rebuild(); }
@@ -75,6 +77,53 @@ HhhSet UnivmonHhhEngine::extract(double phi) const {
 void UnivmonHhhEngine::reset() {
   rebuild();
   total_bytes_ = 0;
+}
+
+void UnivmonHhhEngine::save_state(wire::Writer& w) const {
+  wire::write_hierarchy(w, params_.hierarchy);
+  w.u64(params_.levels);
+  w.u64(params_.sketch_width);
+  w.u64(params_.sketch_depth);
+  w.u64(params_.top_k);
+  w.u64(params_.seed);
+  w.u64(total_bytes_);
+  for (const auto& sketch : sketches_) sketch.save_state(w);
+}
+
+UnivmonHhhEngine::Params UnivmonHhhEngine::read_params(wire::Reader& r) {
+  Params p;
+  p.hierarchy = wire::read_hierarchy(r);
+  p.levels = r.u64();
+  p.sketch_width = r.u64();
+  p.sketch_depth = r.u64();
+  p.top_k = r.u64();
+  p.seed = r.u64();
+  wire::check(p.levels > 0 && p.levels <= 32, wire::WireError::kBadValue,
+              "UnivmonHhhEngine sampling level count out of range");
+  wire::check(p.sketch_width <= (1u << 20) && p.sketch_depth <= 16,
+              wire::WireError::kBadValue, "UnivmonHhhEngine sketch shape out of range");
+  return p;
+}
+
+void UnivmonHhhEngine::read_state(wire::Reader& r) {
+  total_bytes_ = r.u64();
+  for (auto& sketch : sketches_) sketch.load_state(r);
+}
+
+void UnivmonHhhEngine::load_state(wire::Reader& r) {
+  const Params p = read_params(r);
+  wire::check(p.hierarchy == params_.hierarchy && p.levels == params_.levels &&
+                  p.sketch_width == params_.sketch_width &&
+                  p.sketch_depth == params_.sketch_depth && p.top_k == params_.top_k &&
+                  p.seed == params_.seed,
+              wire::WireError::kParamsMismatch, "UnivmonHhhEngine params mismatch");
+  read_state(r);
+}
+
+std::unique_ptr<UnivmonHhhEngine> UnivmonHhhEngine::deserialize(wire::Reader& r) {
+  auto engine = std::make_unique<UnivmonHhhEngine>(read_params(r));
+  engine->read_state(r);
+  return engine;
 }
 
 std::size_t UnivmonHhhEngine::memory_bytes() const {

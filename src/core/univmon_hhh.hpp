@@ -47,8 +47,20 @@ class UnivmonHhhEngine final : public HhhEngine {
   /// "univmon".
   std::string name() const override { return "univmon"; }
 
+  /// Always true: per-level universal sketches serialize losslessly.
+  bool serializable() const override { return true; }
+  /// Write params, the exact byte total and every per-level UnivMon.
+  void save_state(wire::Writer& w) const override;
+  /// Restore state; throws wire::WireFormatError(kParamsMismatch) when
+  /// the snapshot's params differ from this engine's.
+  void load_state(wire::Reader& r) override;
+  /// Construct a UnivMon engine directly from a save_state() payload.
+  static std::unique_ptr<UnivmonHhhEngine> deserialize(wire::Reader& r);
+
  private:
   void rebuild();
+  static Params read_params(wire::Reader& r);
+  void read_state(wire::Reader& r);
 
   Params params_;
   std::vector<UnivMon> sketches_;  // one per hierarchy level

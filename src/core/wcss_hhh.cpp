@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "wire/codec.hpp"
+
 namespace hhh {
 
 WcssSlidingHhhDetector::WcssSlidingHhhDetector(const Params& params) : params_(params) {
@@ -80,6 +82,50 @@ std::size_t WcssSlidingHhhDetector::memory_bytes() const noexcept {
   std::size_t sum = 0;
   for (const auto& level : levels_) sum += level.memory_bytes();
   return sum;
+}
+
+TimePoint WcssSlidingHhhDetector::high_watermark() const noexcept {
+  TimePoint latest;
+  for (const auto& level : levels_) latest = std::max(latest, level.high_watermark());
+  return latest;
+}
+
+void WcssSlidingHhhDetector::save_state(wire::Writer& w) const {
+  wire::write_hierarchy(w, params_.hierarchy);
+  w.i64(params_.window.ns());
+  w.u64(params_.frames);
+  w.u64(params_.counters_per_level);
+  for (const auto& level : levels_) level.save_state(w);
+}
+
+WcssSlidingHhhDetector::Params WcssSlidingHhhDetector::read_params(wire::Reader& r) {
+  Params p;
+  p.hierarchy = wire::read_hierarchy(r);
+  p.window = Duration::nanos(r.i64());
+  p.frames = r.u64();
+  p.counters_per_level = r.u64();
+  // Bounds generous for real deployments but small enough that a crafted
+  // frame cannot drive huge allocations at construction time.
+  wire::check(p.window.ns() > 0 && p.frames > 0 && p.frames <= (1u << 12) &&
+                  p.counters_per_level > 0 && p.counters_per_level <= (1u << 20),
+              wire::WireError::kBadValue, "WcssSlidingHhhDetector params out of range");
+  return p;
+}
+
+void WcssSlidingHhhDetector::load_state(wire::Reader& r) {
+  const Params p = read_params(r);
+  wire::check(p.hierarchy == params_.hierarchy && p.window == params_.window &&
+                  p.frames == params_.frames &&
+                  p.counters_per_level == params_.counters_per_level,
+              wire::WireError::kParamsMismatch, "WcssSlidingHhhDetector params mismatch");
+  for (auto& level : levels_) level.load_state(r);
+}
+
+std::unique_ptr<WcssSlidingHhhDetector> WcssSlidingHhhDetector::deserialize(
+    wire::Reader& r) {
+  auto detector = std::make_unique<WcssSlidingHhhDetector>(read_params(r));
+  for (auto& level : detector->levels_) level.load_state(r);
+  return detector;
 }
 
 }  // namespace hhh

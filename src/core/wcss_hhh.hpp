@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/hhh_types.hpp"
@@ -21,6 +22,7 @@
 #include "net/packet.hpp"
 #include "sketch/wcss.hpp"
 #include "util/sim_time.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -57,10 +59,29 @@ class WcssSlidingHhhDetector {
   /// Throws std::invalid_argument on a Params mismatch.
   void merge_from(const WcssSlidingHhhDetector& other);
 
+  /// Latest instant every level's window state covers (max of the level
+  /// summaries' high watermarks); TimePoint() before any traffic. The
+  /// natural query instant for a restored or merged detector.
+  TimePoint high_watermark() const noexcept;
+
+  /// Write params and every level's window state to the wire.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore state written by save_state() into a detector constructed
+  /// with the same Params; throws wire::WireFormatError on mismatch.
+  void load_state(wire::Reader& r);
+
+  /// Construct a detector directly from a save_state() payload (reads
+  /// Params from the wire) — the multi-vantage collector's entry point
+  /// for sliding-window snapshots.
+  static std::unique_ptr<WcssSlidingHhhDetector> deserialize(wire::Reader& r);
+
   /// Heap footprint of all level summaries (resource accounting).
   std::size_t memory_bytes() const noexcept;
 
  private:
+  static Params read_params(wire::Reader& r);
+
   Params params_;
   std::vector<WindowedSpaceSaving> levels_;
 };

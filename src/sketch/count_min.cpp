@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/bit.hpp"
+#include "wire/wire.hpp"
 
 namespace hhh {
 
@@ -64,6 +65,22 @@ void CountMinSketch::merge(const CountMinSketch& other) {
   }
   for (std::size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
   total_ += other.total_;
+}
+
+void CountMinSketch::save_state(wire::Writer& w) const {
+  w.u64(width_);
+  w.u64(depth_);
+  for (const std::uint64_t v : table_) w.u64(v);
+  w.u64(total_);
+}
+
+void CountMinSketch::load_state(wire::Reader& r) {
+  wire::check(r.u64() == width_, wire::WireError::kParamsMismatch,
+              "CountMinSketch width mismatch");
+  wire::check(r.u64() == depth_, wire::WireError::kParamsMismatch,
+              "CountMinSketch depth mismatch");
+  for (auto& v : table_) v = r.u64();
+  total_ = r.u64();
 }
 
 }  // namespace hhh

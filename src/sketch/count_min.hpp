@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/hash.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -52,6 +53,13 @@ class CountMinSketch {
   /// Throws std::invalid_argument on shape mismatch. Merging conservative
   /// sketches is lossy-safe: counts remain overestimates.
   void merge(const CountMinSketch& other);
+
+  /// Write the counter table and exact total to the wire.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore counters written by save_state() into a sketch constructed
+  /// with the same params. Throws wire::WireFormatError on shape mismatch.
+  void load_state(wire::Reader& r);
 
   /// Counters per row.
   std::size_t width() const noexcept { return width_; }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/bit.hpp"
+#include "wire/wire.hpp"
 
 namespace hhh {
 
@@ -48,5 +49,19 @@ double CountSketch::f2_estimate() const {
 }
 
 void CountSketch::clear() { std::fill(table_.begin(), table_.end(), 0); }
+
+void CountSketch::save_state(wire::Writer& w) const {
+  w.u64(width_);
+  w.u64(depth_);
+  for (const std::int64_t v : table_) w.i64(v);
+}
+
+void CountSketch::load_state(wire::Reader& r) {
+  wire::check(r.u64() == width_, wire::WireError::kParamsMismatch,
+              "CountSketch width mismatch");
+  wire::check(r.u64() == depth_, wire::WireError::kParamsMismatch,
+              "CountSketch depth mismatch");
+  for (auto& v : table_) v = r.i64();
+}
 
 }  // namespace hhh

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/hash.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -30,6 +31,15 @@ class CountSketch {
 
   /// Zero every counter.
   void clear();
+
+  /// Write the counter table to the wire. Hash families are derived from
+  /// the construction seed, so only (shape, counters) travel.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore counters written by save_state() into a sketch constructed
+  /// with the same width/depth/seed. Throws wire::WireFormatError on a
+  /// shape mismatch (kParamsMismatch).
+  void load_state(wire::Reader& r);
 
   /// Counters per row.
   std::size_t width() const noexcept { return width_; }

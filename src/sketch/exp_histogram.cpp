@@ -1,7 +1,10 @@
 #include "sketch/exp_histogram.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "wire/wire.hpp"
 
 namespace hhh {
 
@@ -90,6 +93,38 @@ double ExpHistogram::lower_bound(TimePoint now) const {
   double sum = 0.0;
   for (const auto& b : buckets_) sum += b.weight;
   return sum - buckets_.front().weight;
+}
+
+void ExpHistogram::save_state(wire::Writer& w) const {
+  w.u64(k_);
+  w.i64(window_.ns());
+  w.u64(buckets_.size());
+  for (const auto& b : buckets_) {
+    w.i64(b.newest_ns);
+    w.f64(b.weight);
+    w.i64(b.size_class);
+  }
+}
+
+void ExpHistogram::load_state(wire::Reader& r) {
+  using wire::WireError;
+  wire::check(r.u64() == k_, WireError::kParamsMismatch, "ExpHistogram k mismatch");
+  wire::check(r.i64() == window_.ns(), WireError::kParamsMismatch,
+              "ExpHistogram window mismatch");
+  const std::uint64_t n = r.count(24);
+  std::deque<Bucket> buckets;
+  std::int64_t prev = std::numeric_limits<std::int64_t>::min();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bucket b;
+    b.newest_ns = r.i64();
+    b.weight = r.f64();
+    b.size_class = static_cast<int>(r.i64());
+    wire::check(b.newest_ns >= prev, WireError::kBadValue,
+                "ExpHistogram buckets out of time order");
+    prev = b.newest_ns;
+    buckets.push_back(b);
+  }
+  buckets_ = std::move(buckets);
 }
 
 }  // namespace hhh

@@ -17,6 +17,7 @@
 #include <deque>
 
 #include "util/sim_time.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -46,6 +47,13 @@ class ExpHistogram {
 
   /// Drop every bucket.
   void clear() { buckets_.clear(); }
+
+  /// Write the live bucket list to the wire.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore state written by save_state() into a histogram constructed
+  /// with the same (k, window). Throws wire::WireFormatError on mismatch.
+  void load_state(wire::Reader& r);
 
  private:
   struct Bucket {

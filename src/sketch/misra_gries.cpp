@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "wire/wire.hpp"
+
 namespace hhh {
 
 MisraGries::MisraGries(std::size_t capacity) : capacity_(capacity), counters_(capacity * 2) {
@@ -52,6 +54,33 @@ std::vector<MisraGriesEntry> MisraGries::entries() const {
 void MisraGries::clear() {
   counters_.clear();
   total_ = 0.0;
+}
+
+void MisraGries::save_state(wire::Writer& w) const {
+  w.u64(capacity_);
+  w.f64(total_);
+  w.u64(counters_.size());
+  counters_.for_each([&](std::uint64_t key, const double& v) {
+    w.u64(key);
+    w.f64(v);
+  });
+}
+
+void MisraGries::load_state(wire::Reader& r) {
+  using wire::WireError;
+  wire::check(r.u64() == capacity_, WireError::kParamsMismatch,
+              "MisraGries capacity mismatch");
+  const double total = r.f64();
+  const std::uint64_t n = r.count(16);
+  wire::check(n <= capacity_, WireError::kBadValue, "MisraGries counter count > capacity");
+  counters_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.u64();
+    auto [v, inserted] = counters_.try_emplace(key);
+    wire::check(inserted, WireError::kBadValue, "MisraGries duplicate key");
+    *v = r.f64();
+  }
+  total_ = total;
 }
 
 }  // namespace hhh

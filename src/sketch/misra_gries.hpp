@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/flat_hash_map.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -39,6 +40,13 @@ class MisraGries {
 
   /// Drop every counter.
   void clear();
+
+  /// Write the tracked counters and total to the wire.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore state written by save_state() into a summary constructed
+  /// with the same capacity. Throws wire::WireFormatError on mismatch.
+  void load_state(wire::Reader& r);
 
   /// Total weight fed into the summary.
   double total() const noexcept { return total_; }

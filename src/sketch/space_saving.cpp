@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "wire/wire.hpp"
+
 namespace hhh {
 
 SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity), index_(capacity * 2) {
@@ -167,6 +169,68 @@ void SpaceSaving::clear() {
   heap_.clear();
   index_.clear();
   total_ = 0.0;
+}
+
+void SpaceSaving::save_state(wire::Writer& w) const {
+  w.u64(capacity_);
+  w.f64(total_);
+  w.u64(slots_.size());
+  for (const auto& s : slots_) {
+    w.u64(s.key);
+    w.f64(s.count);
+    w.f64(s.error);
+    w.u64(s.heap_pos);
+  }
+  for (const std::uint32_t h : heap_) w.u32(h);
+}
+
+void SpaceSaving::load_state(wire::Reader& r) {
+  using wire::WireError;
+  wire::check(r.u64() == capacity_, WireError::kParamsMismatch,
+              "SpaceSaving capacity mismatch");
+  const double total = r.f64();
+  const std::uint64_t n = r.count(32);
+  wire::check(n <= capacity_, WireError::kBadValue, "SpaceSaving slot count > capacity");
+
+  std::vector<Slot> slots;
+  slots.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Slot s;
+    s.key = r.u64();
+    s.count = r.f64();
+    s.error = r.f64();
+    s.heap_pos = r.u64();
+    wire::check(s.heap_pos < n, WireError::kBadValue, "SpaceSaving heap_pos out of range");
+    slots.push_back(s);
+  }
+  std::vector<std::uint32_t> heap;
+  heap.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint32_t h = r.u32();
+    wire::check(h < n, WireError::kBadValue, "SpaceSaving heap index out of range");
+    heap.push_back(h);
+  }
+  // Cross-consistency: heap and slots must describe one permutation, and
+  // the min-heap order must hold — a CRC-valid but hand-crafted frame
+  // must not be able to smuggle in a structurally broken summary.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    wire::check(heap[slots[i].heap_pos] == i, WireError::kBadValue,
+                "SpaceSaving heap/slot permutation inconsistent");
+  }
+  for (std::uint64_t i = 1; i < n; ++i) {
+    wire::check(slots[heap[(i - 1) / 2]].count <= slots[heap[i]].count,
+                WireError::kBadValue, "SpaceSaving heap order violated");
+  }
+
+  slots_ = std::move(slots);
+  heap_ = std::move(heap);
+  index_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto [v, inserted] = index_.try_emplace(slots_[i].key);
+    wire::check(inserted, wire::WireError::kBadValue, "SpaceSaving duplicate key");
+    *v = static_cast<std::uint32_t>(i);
+  }
+  total_ = total;
 }
 
 std::size_t SpaceSaving::memory_bytes() const noexcept {

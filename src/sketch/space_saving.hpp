@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "util/flat_hash_map.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -81,6 +82,16 @@ class SpaceSaving {
 
   /// Drop every entry (summary becomes as constructed).
   void clear();
+
+  /// Write the full summary state (slots, heap order, total) to the wire.
+  /// The round trip through load_state() is exact: estimates, eviction
+  /// order and therefore all future behaviour are preserved.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore state written by save_state() into a summary constructed
+  /// with the same capacity. Throws wire::WireFormatError on a capacity
+  /// mismatch (kParamsMismatch) or structurally invalid input (kBadValue).
+  void load_state(wire::Reader& r);
 
   /// Total weight fed into the summary since construction / clear().
   double total() const noexcept { return total_; }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/bit.hpp"
+#include "wire/wire.hpp"
 
 namespace hhh {
 
@@ -110,6 +111,33 @@ void DecayingCountingBloomFilter::clear() {
   std::fill(stamps_.begin(), stamps_.end(), 0);
   total_value_ = 0.0;
   total_stamp_ns_ = 0;
+}
+
+void DecayingCountingBloomFilter::save_state(wire::Writer& w) const {
+  w.u64(cell_count_);
+  w.u64(hashes_.size());
+  w.boolean(conservative_);
+  w.f64(inv_half_life_ns_);
+  for (const double v : values_) w.f64(v);
+  for (const std::int64_t s : stamps_) w.i64(s);
+  w.f64(total_value_);
+  w.i64(total_stamp_ns_);
+}
+
+void DecayingCountingBloomFilter::load_state(wire::Reader& r) {
+  using wire::WireError;
+  wire::check(r.u64() == cell_count_, WireError::kParamsMismatch,
+              "DecayingCountingBloomFilter cell count mismatch");
+  wire::check(r.u64() == hashes_.size(), WireError::kParamsMismatch,
+              "DecayingCountingBloomFilter hash count mismatch");
+  wire::check(r.boolean() == conservative_, WireError::kParamsMismatch,
+              "DecayingCountingBloomFilter conservative-mode mismatch");
+  wire::check(r.f64() == inv_half_life_ns_, WireError::kParamsMismatch,
+              "DecayingCountingBloomFilter half-life mismatch");
+  for (auto& v : values_) v = r.f64();
+  for (auto& s : stamps_) s = r.i64();
+  total_value_ = r.f64();
+  total_stamp_ns_ = r.i64();
 }
 
 }  // namespace hhh

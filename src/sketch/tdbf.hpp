@@ -35,6 +35,7 @@
 
 #include "util/hash.hpp"
 #include "util/sim_time.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -113,6 +114,14 @@ class DecayingCountingBloomFilter {
 
   /// Zero every cell and the decayed total.
   void clear();
+
+  /// Write the full filter state (cell values, per-cell stamps, decayed
+  /// total) to the wire; the round trip through load_state() is exact.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore state written by save_state() into a filter constructed with
+  /// the same Params. Throws wire::WireFormatError on a shape mismatch.
+  void load_state(wire::Reader& r);
 
   /// Cell-array size.
   std::size_t cell_count() const noexcept { return values_.size(); }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "wire/wire.hpp"
+
 namespace hhh {
 
 UnivMon::UnivMon(const Params& params) : params_(params), sampler_(params.levels, params.seed) {
@@ -87,6 +89,32 @@ double UnivMon::entropy(double total_weight) const {
   const double sum_flogf = g_sum([](double x) { return x <= 1.0 ? 0.0 : x * std::log2(x); });
   const double h = std::log2(total_weight) - sum_flogf / total_weight;
   return std::max(0.0, h);
+}
+
+void UnivMon::save_state(wire::Writer& w) const {
+  w.u64(levels_.size());
+  for (const Level& lv : levels_) {
+    lv.sketch.save_state(w);
+    w.u64(lv.heap.size());
+    lv.heap.for_each([&](std::uint64_t key, const std::int64_t& est) {
+      w.u64(key);
+      w.i64(est);
+    });
+  }
+}
+
+void UnivMon::load_state(wire::Reader& r) {
+  wire::check(r.u64() == levels_.size(), wire::WireError::kParamsMismatch,
+              "UnivMon level count mismatch");
+  for (Level& lv : levels_) {
+    lv.sketch.load_state(r);
+    const std::uint64_t n = r.count(16);
+    lv.heap.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t key = r.u64();
+      *lv.heap.try_emplace(key).first = r.i64();
+    }
+  }
 }
 
 std::size_t UnivMon::memory_bytes() const noexcept {

@@ -23,6 +23,7 @@
 #include "sketch/count_sketch.hpp"
 #include "util/flat_hash_map.hpp"
 #include "util/hash.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -64,6 +65,15 @@ class UnivMon {
 
   /// Empirical entropy estimate: H = log2(N) - (1/N) sum f log2 f.
   double entropy(double total_weight) const;
+
+  /// Write the full sketch state (per-level counter tables + candidate
+  /// heaps) to the wire. Hash families are derived from the construction
+  /// seed and do not travel.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore state written by save_state() into a sketch constructed with
+  /// the same Params. Throws wire::WireFormatError on a shape mismatch.
+  void load_state(wire::Reader& r);
 
   /// Sampling-level count.
   std::size_t levels() const noexcept { return levels_.size(); }

@@ -1,8 +1,10 @@
 #include "sketch/wcss.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/flat_hash_map.hpp"
+#include "wire/wire.hpp"
 
 namespace hhh {
 
@@ -105,6 +107,44 @@ void WindowedSpaceSaving::merge_from(const WindowedSpaceSaving& other) {
       ring_frame_[slot] = peer_frame;
     }
     ring_[slot].merge_from(other.ring_[slot]);
+  }
+}
+
+TimePoint WindowedSpaceSaving::high_watermark() const noexcept {
+  const std::int64_t newest =
+      *std::max_element(ring_frame_.begin(), ring_frame_.end());
+  if (newest < 0) return TimePoint();
+  return TimePoint::from_ns(newest * frame_len_.ns());
+}
+
+void WindowedSpaceSaving::save_state(wire::Writer& w) const {
+  w.i64(params_.window.ns());
+  w.u64(params_.frames);
+  w.u64(params_.counters_per_frame);
+  for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+    w.i64(ring_frame_[slot]);
+    ring_[slot].save_state(w);
+  }
+}
+
+void WindowedSpaceSaving::load_state(wire::Reader& r) {
+  using wire::WireError;
+  wire::check(r.i64() == params_.window.ns(), WireError::kParamsMismatch,
+              "WindowedSpaceSaving window mismatch");
+  wire::check(r.u64() == params_.frames, WireError::kParamsMismatch,
+              "WindowedSpaceSaving frame count mismatch");
+  wire::check(r.u64() == params_.counters_per_frame, WireError::kParamsMismatch,
+              "WindowedSpaceSaving counters_per_frame mismatch");
+  for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+    const std::int64_t frame = r.i64();
+    wire::check(
+        frame == -1 ||
+            (frame >= 0 &&
+             static_cast<std::size_t>(frame % static_cast<std::int64_t>(ring_.size())) ==
+                 slot),
+        WireError::kBadValue, "WindowedSpaceSaving frame not at its ring slot");
+    ring_frame_[slot] = frame;
+    ring_[slot].load_state(r);
   }
 }
 

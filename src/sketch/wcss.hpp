@@ -25,6 +25,7 @@
 
 #include "sketch/space_saving.hpp"
 #include "util/sim_time.hpp"
+#include "wire/fwd.hpp"
 
 namespace hhh {
 
@@ -68,6 +69,21 @@ class WindowedSpaceSaving {
   /// already rolled past are dropped (they are outside the window).
   /// Throws std::invalid_argument on a Params mismatch.
   void merge_from(const WindowedSpaceSaving& other);
+
+  /// Start of the newest frame this summary has observed — the latest
+  /// instant at which a query covers every live frame. TimePoint() when
+  /// nothing has been recorded yet. Lets a restored (or merged) monitor
+  /// resume its clock without an external timestamp.
+  TimePoint high_watermark() const noexcept;
+
+  /// Write the full window state (frame ring, absolute frame indices) to
+  /// the wire; the round trip through load_state() is exact.
+  void save_state(wire::Writer& w) const;
+
+  /// Restore state written by save_state() into a summary constructed
+  /// with the same Params. Throws wire::WireFormatError on a Params
+  /// mismatch (kParamsMismatch) or structurally invalid input.
+  void load_state(wire::Reader& r);
 
   /// Heap footprint of the frame summaries (resource accounting).
   std::size_t memory_bytes() const noexcept;

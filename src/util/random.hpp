@@ -104,6 +104,14 @@ class Rng {
   /// Fork an independent generator (for parallel or per-component streams).
   Rng fork() noexcept { return Rng(next() ^ 0xA5A5'5A5A'DEAD'BEEFULL); }
 
+  /// The raw xoshiro256** state, for checkpointing. Restoring it with
+  /// set_state() resumes the exact output sequence — randomized engines
+  /// serialize this so a deserialized engine replays identically.
+  const std::array<std::uint64_t, 4>& state() const noexcept { return state_; }
+
+  /// Restore state captured by state().
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept { state_ = s; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,81 @@
+/// \file
+/// Shared field codecs for library types that appear in many payloads
+/// (Hierarchy, Duration/TimePoint, HhhSet). Implementation-side header:
+/// included by .cpp files that implement save_state/load_state, never by
+/// public headers.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hhh_types.hpp"
+#include "net/hierarchy.hpp"
+#include "util/sim_time.hpp"
+#include "wire/wire.hpp"
+
+namespace hhh::wire {
+
+/// Encode a Hierarchy as (u8 level count, u8 prefix length per level).
+inline void write_hierarchy(Writer& w, const Hierarchy& h) {
+  w.u8(static_cast<std::uint8_t>(h.levels()));
+  for (const unsigned len : h.lengths()) w.u8(static_cast<std::uint8_t>(len));
+}
+
+/// Decode a Hierarchy; structural violations (non-decreasing lengths,
+/// missing root, length > 32) surface as kBadValue.
+inline Hierarchy read_hierarchy(Reader& r) {
+  const std::size_t levels = r.u8();
+  std::vector<unsigned> lengths;
+  lengths.reserve(levels);
+  for (std::size_t i = 0; i < levels; ++i) lengths.push_back(r.u8());
+  try {
+    return Hierarchy(std::move(lengths));
+  } catch (const std::invalid_argument& e) {
+    throw WireFormatError(WireError::kBadValue, e.what());
+  }
+}
+
+/// Encode a Duration as i64 nanoseconds.
+inline void write_duration(Writer& w, Duration d) { w.i64(d.ns()); }
+
+/// Decode a Duration from i64 nanoseconds.
+inline Duration read_duration(Reader& r) { return Duration::nanos(r.i64()); }
+
+/// Encode a TimePoint as i64 nanoseconds since trace start.
+inline void write_timepoint(Writer& w, TimePoint t) { w.i64(t.ns()); }
+
+/// Decode a TimePoint from i64 nanoseconds.
+inline TimePoint read_timepoint(Reader& r) { return TimePoint::from_ns(r.i64()); }
+
+/// Encode one HhhSet: scope totals plus (prefix, total, conditioned) items.
+inline void write_hhh_set(Writer& w, const HhhSet& set) {
+  w.u64(set.total_bytes);
+  w.u64(set.threshold_bytes);
+  w.u64(set.size());
+  for (const auto& item : set.items()) {
+    w.u64(item.prefix.key());
+    w.u64(item.total_bytes);
+    w.u64(item.conditioned_bytes);
+  }
+}
+
+/// Decode one HhhSet; prefix keys with length > 32 surface as kBadValue.
+inline HhhSet read_hhh_set(Reader& r) {
+  HhhSet set;
+  set.total_bytes = r.u64();
+  set.threshold_bytes = r.u64();
+  const std::uint64_t n = r.count(24);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.u64();
+    check((key & 0xFF) <= 32, WireError::kBadValue, "prefix length > 32");
+    HhhItem item;
+    item.prefix = Ipv4Prefix::from_key(key);
+    item.total_bytes = r.u64();
+    item.conditioned_bytes = r.u64();
+    set.add(item);
+  }
+  return set;
+}
+
+}  // namespace hhh::wire

@@ -1,0 +1,12 @@
+/// \file
+/// Forward declarations of the wire layer, for headers that expose
+/// serialization hooks (`save_state`/`load_state`) without dragging the
+/// whole encoder into every translation unit.
+#pragma once
+
+namespace hhh::wire {
+
+class Writer;
+class Reader;
+
+}  // namespace hhh::wire

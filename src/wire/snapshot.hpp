@@ -1,0 +1,122 @@
+/// \file
+/// Snapshot framing: the self-describing container every serialized
+/// engine/detector travels in, over files, pipes or sockets.
+///
+/// Frame layout (all integers little-endian):
+///
+/// | offset | size | field                                     |
+/// |-------:|-----:|-------------------------------------------|
+/// |      0 |    4 | magic `"HHHS"` (0x48 0x48 0x48 0x53)      |
+/// |      4 |    2 | format version (currently 1)              |
+/// |      6 |    2 | SnapshotKind                              |
+/// |      8 |    8 | payload length N                          |
+/// |     16 |    N | payload (the object's save_state() bytes) |
+/// |   16+N |    4 | CRC-32 over bytes [0, 16+N)               |
+///
+/// Frames are self-delimiting (the header carries the payload length), so
+/// a byte stream of concatenated frames — what vantage points pipe to the
+/// collector — needs no outer framing. Validation order is magic →
+/// version → declared size vs available bytes → CRC → payload decode;
+/// every failure throws a typed wire::WireFormatError.
+///
+/// Versioning policy: the version is bumped whenever any payload encoding
+/// changes shape; readers accept exactly the versions they know (currently
+/// only 1) and reject everything else with kBadVersion. There are no
+/// in-place "minor" extensions — a frame either parses under a known
+/// version's rules or is refused.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wire/wire.hpp"
+
+namespace hhh {
+class HhhEngine;
+}  // namespace hhh
+
+namespace hhh::wire {
+
+/// First four frame bytes: "HHHS".
+inline constexpr std::uint8_t kSnapshotMagic[4] = {'H', 'H', 'H', 'S'};
+/// The format version this build writes and accepts.
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+/// Frame header bytes (magic + version + kind + payload length).
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Trailing CRC-32 bytes.
+inline constexpr std::size_t kFrameCrcBytes = 4;
+
+/// What a frame's payload contains. Values are wire-stable: never reuse
+/// or renumber.
+enum class SnapshotKind : std::uint16_t {
+  kExactEngine = 1,     ///< ExactEngine (lossless counters)
+  kRhhhEngine = 2,      ///< RhhhEngine (RHHH or HSS mode)
+  kAncestryEngine = 3,  ///< AncestryHhhEngine
+  kUnivmonEngine = 4,   ///< UnivmonHhhEngine
+  kShardedEngine = 5,   ///< ShardedHhhEngine (restore-in-place only)
+  kWcssDetector = 6,    ///< WcssSlidingHhhDetector
+  kTdbfDetector = 7,    ///< TimeDecayingHhhDetector checkpoint
+  kDisjointWindow = 8,  ///< DisjointWindowHhhDetector checkpoint
+};
+
+/// Stable lower-case name of a SnapshotKind ("exact_engine", ...).
+const char* to_string(SnapshotKind kind) noexcept;
+
+/// A validated view into one frame of a (possibly longer) byte stream.
+struct FrameView {
+  SnapshotKind kind;                        ///< declared payload kind
+  std::span<const std::uint8_t> payload;    ///< payload bytes (CRC-checked)
+  std::size_t frame_size = 0;               ///< total frame bytes consumed
+};
+
+/// Wrap a payload in a frame (magic, version, kind, length, CRC).
+std::vector<std::uint8_t> build_frame(SnapshotKind kind,
+                                      std::span<const std::uint8_t> payload);
+
+/// Validate and view the first frame of `buffer` (magic → version → size
+/// → CRC). Trailing bytes after the frame are allowed — that is how
+/// concatenated frame streams are consumed; use FrameView::frame_size to
+/// advance. Throws WireFormatError on any violation.
+FrameView parse_frame(std::span<const std::uint8_t> buffer);
+
+/// The SnapshotKind a serializable engine's snapshot carries, derived
+/// from the engine's stable name(). Throws WireFormatError
+/// (kUnsupportedEngine) for engines that are not serializable.
+SnapshotKind engine_snapshot_kind(const HhhEngine& engine);
+
+/// Serialize `engine` into one framed snapshot.
+std::vector<std::uint8_t> save_engine(const HhhEngine& engine);
+
+/// Construct a new engine from a snapshot frame. `buffer` must contain
+/// exactly one frame (kTrailingBytes otherwise — use parse_frame for
+/// streams). Sharded snapshots are rejected with kUnsupportedEngine:
+/// their factory cannot travel, restore them with load_engine_into().
+std::unique_ptr<HhhEngine> load_engine(std::span<const std::uint8_t> buffer);
+
+/// Construct a new engine from an already-validated frame.
+std::unique_ptr<HhhEngine> load_engine(const FrameView& frame);
+
+/// Restore a snapshot into an existing, identically-configured engine —
+/// the checkpoint/restore path, and the only restore path for sharded
+/// engines. Validates that the frame kind matches the receiving engine
+/// (kParamsMismatch otherwise) and that the payload is fully consumed.
+void load_engine_into(std::span<const std::uint8_t> buffer, HhhEngine& engine);
+
+/// Write `bytes` to `path` atomically enough for checkpoints (write to
+/// path + ".tmp", then rename). Throws std::runtime_error on I/O errors.
+void write_file(const std::string& path, std::span<const std::uint8_t> bytes);
+
+/// Read a whole file into memory. Throws std::runtime_error on I/O
+/// errors.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Drain an open stream (e.g. stdin carrying concatenated frames) into
+/// memory. Throws std::runtime_error on a stream read error — a
+/// mid-stream failure must not be mistaken for end-of-stream.
+std::vector<std::uint8_t> read_stream(std::FILE* f);
+
+}  // namespace hhh::wire

@@ -1,0 +1,117 @@
+#include "wire/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace hhh::wire {
+
+const char* to_string(WireError e) noexcept {
+  switch (e) {
+    case WireError::kTruncated: return "truncated";
+    case WireError::kBadMagic: return "bad_magic";
+    case WireError::kBadVersion: return "bad_version";
+    case WireError::kBadCrc: return "bad_crc";
+    case WireError::kBadValue: return "bad_value";
+    case WireError::kParamsMismatch: return "params_mismatch";
+    case WireError::kUnsupportedEngine: return "unsupported_engine";
+    case WireError::kTrailingBytes: return "trailing_bytes";
+  }
+  return "unknown";
+}
+
+WireFormatError::WireFormatError(WireError code, const std::string& detail)
+    : std::runtime_error(std::string("wire: ") + to_string(code) + ": " + detail),
+      code_(code) {}
+
+void Writer::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void Writer::raw(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  out_->insert(out_->end(), bytes, bytes + len);
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw WireFormatError(WireError::kTruncated,
+                          "need " + std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()));
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  const auto lo = u8();
+  return static_cast<std::uint16_t>(lo | (static_cast<std::uint16_t>(u8()) << 8));
+}
+
+std::uint32_t Reader::u32() {
+  const auto lo = u16();
+  return lo | (static_cast<std::uint32_t>(u16()) << 16);
+}
+
+std::uint64_t Reader::u64() {
+  const auto lo = u32();
+  return lo | (static_cast<std::uint64_t>(u32()) << 32);
+}
+
+bool Reader::boolean() {
+  const std::uint8_t v = u8();
+  check(v <= 1, WireError::kBadValue, "boolean byte not 0/1");
+  return v != 0;
+}
+
+std::string Reader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+void Reader::raw(void* dst, std::size_t len) {
+  need(len);
+  std::memcpy(dst, data_.data() + pos_, len);
+  pos_ += len;
+}
+
+std::uint64_t Reader::count(std::size_t min_element_bytes) {
+  const std::uint64_t n = u64();
+  if (min_element_bytes > 0 &&
+      n > static_cast<std::uint64_t>(remaining()) / min_element_bytes) {
+    throw WireFormatError(WireError::kTruncated,
+                          "declared count " + std::to_string(n) +
+                              " exceeds remaining input");
+  }
+  return n;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ bytes[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hhh::wire

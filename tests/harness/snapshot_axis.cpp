@@ -1,0 +1,95 @@
+#include "harness/snapshot_axis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "harness/golden.hpp"
+#include "harness/sweep.hpp"
+#include "harness/trace_builder.hpp"
+#include "wire/snapshot.hpp"
+
+namespace hhh::harness {
+
+namespace {
+
+std::vector<PacketRecord> workload(std::uint64_t seed, std::size_t n) {
+  return TraceBuilder(seed).compact_space().packets(n);
+}
+
+void expect_same_extracts(HhhEngine& expected, HhhEngine& actual) {
+  EXPECT_EQ(expected.total_bytes(), actual.total_bytes());
+  for (const double phi : {0.01, 0.05, 0.2}) {
+    EXPECT_TRUE(hhh_sets_equal(expected.extract(phi), actual.extract(phi)))
+        << "at phi=" << phi;
+  }
+}
+
+}  // namespace
+
+void run_snapshot_roundtrip_case(const EngineCase& engine_case) {
+  for_each_seed(0x5AFE'0001, 3, [&](std::uint64_t seed) {
+    const auto packets = workload(seed, 8000);
+    auto original = engine_case.make();
+    original->add_batch(packets);
+    ASSERT_TRUE(original->serializable());
+
+    const std::vector<std::uint8_t> frame = wire::save_engine(*original);
+
+    // (1) restore into a fresh identically-configured engine.
+    auto restored = engine_case.make();
+    wire::load_engine_into(frame, *restored);
+    expect_same_extracts(*original, *restored);
+
+    // (2) behavioural equivalence under continued ingestion: the snapshot
+    // carries RNG state, so both sides must keep agreeing byte-for-byte.
+    const auto more = workload(seed ^ 0xDEAD'BEEF, 4000);
+    original->add_batch(more);
+    restored->add_batch(more);
+    expect_same_extracts(*original, *restored);
+
+    // (3) standalone construction from the payload's own params, where
+    // the kind supports it (sharded engines need their factory).
+    const std::vector<std::uint8_t> frame2 = wire::save_engine(*original);
+    if (wire::engine_snapshot_kind(*original) != wire::SnapshotKind::kShardedEngine) {
+      auto standalone = wire::load_engine(frame2);
+      expect_same_extracts(*original, *standalone);
+    }
+  });
+}
+
+void run_snapshot_merge_case(const EngineCase& engine_case) {
+  if (!engine_case.make()->mergeable()) {
+    GTEST_SKIP() << "engine is not mergeable";
+  }
+  for_each_seed(0x5AFE'0002, 2, [&](std::uint64_t seed) {
+    const auto stream_a = workload(seed, 6000);
+    const auto stream_b = workload(seed ^ 0xF00D, 6000);
+
+    // In-process reference: merge_from between live engines.
+    auto ref_a = engine_case.make();
+    auto ref_b = engine_case.make();
+    ref_a->add_batch(stream_a);
+    ref_b->add_batch(stream_b);
+    ref_a->merge_from(*ref_b);
+
+    // Collector path: both sides cross the wire first.
+    auto wire_a = engine_case.make();
+    auto wire_b = engine_case.make();
+    {
+      auto live_a = engine_case.make();
+      auto live_b = engine_case.make();
+      live_a->add_batch(stream_a);
+      live_b->add_batch(stream_b);
+      wire::load_engine_into(wire::save_engine(*live_a), *wire_a);
+      wire::load_engine_into(wire::save_engine(*live_b), *wire_b);
+    }
+    wire_a->merge_from(*wire_b);
+
+    expect_same_extracts(*ref_a, *wire_a);
+  });
+}
+
+}  // namespace hhh::harness

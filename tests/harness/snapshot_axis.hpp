@@ -1,0 +1,31 @@
+// The serialize→deserialize→extract conformance axis.
+//
+// Every engine in the conformance registry automatically inherits this
+// sweep (tests/core_engine_snapshot_test.cpp instantiates it over the
+// registry) — registering an engine is all it takes; there is no
+// per-engine serialization boilerplate to write or forget.
+//
+// The contract enforced, per seed:
+//  1. save_engine(e) → load_engine_into(fresh registry engine) yields a
+//     byte-identical extract() at several thresholds and an equal
+//     total_bytes();
+//  2. the restored engine stays behaviourally identical under further
+//     ingestion (RNG state travels with the snapshot);
+//  3. for standalone-constructible kinds, load_engine() (which rebuilds
+//     the engine from the payload's own params) agrees too;
+//  4. wire-merging two snapshots equals in-process merge_from — the
+//     collector invariant.
+#pragma once
+
+#include "harness/engine_registry.hpp"
+
+namespace hhh::harness {
+
+/// Run the full round-trip sweep for one registry engine.
+void run_snapshot_roundtrip_case(const EngineCase& engine_case);
+
+/// Run the collector-equivalence check (invariant 4) for one registry
+/// engine: wire round trip must not change what merge_from produces.
+void run_snapshot_merge_case(const EngineCase& engine_case);
+
+}  // namespace hhh::harness

@@ -1,0 +1,262 @@
+// hhh-collector — the multi-vantage aggregation point.
+//
+// Independent vantage-point processes (border routers, PoPs, taps) each
+// run an HhhEngine over their local slice of the traffic and ship a
+// snapshot (wire/snapshot.hpp) per measurement epoch. This tool folds N
+// such snapshots into one network-wide engine via the same merge_from()
+// semantics the sharded front-end uses in-process — lossless for exact
+// engines, summed error bounds for RHHH/HSS, frame-aligned for WCSS
+// sliding detectors — and reports:
+//
+//   * the merged (network-wide) HHH set;
+//   * the *hidden* HHHs: prefixes heavy network-wide that no single
+//     vantage reported — the distributed analogue of the paper's
+//     window-hidden HHHs (traffic split across observation scopes falls
+//     below every local threshold yet crosses the global one).
+//
+// Usage:
+//   hhh-collector [options] snapshot.bin...
+//   generator | hhh-collector [options] --stdin
+//
+// Options:
+//   --phi=<f>              relative threshold, applied per scope (default 0.05)
+//   --threshold-bytes=<n>  absolute threshold T in bytes; each scope then
+//                          uses phi = T / scope_total. This is the mode in
+//                          which distributed hidden HHHs exist: a source
+//                          sending T/3 through each of 3 vantages is under
+//                          T everywhere locally but over T globally.
+//   --out=<path>           also write the merged engine as a snapshot, so
+//                          collectors compose into aggregation trees
+//   --stdin                read concatenated snapshot frames from stdin
+//
+// Exit codes: 0 success, 1 usage error, 2 I/O or malformed snapshot,
+// 3 incompatible snapshots (params mismatch between vantages).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/hhh_types.hpp"
+#include "core/wcss_hhh.hpp"
+#include "wire/snapshot.hpp"
+#include "wire/wire.hpp"
+
+namespace {
+
+using namespace hhh;
+
+struct Options {
+  double phi = 0.05;
+  double threshold_bytes = 0.0;  // 0 = relative mode
+  std::string out_path;
+  bool from_stdin = false;
+  std::vector<std::string> files;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: hhh-collector [--phi=F] [--threshold-bytes=N] [--out=PATH]\n"
+               "                     (snapshot.bin... | --stdin)\n"
+               "Merges vantage-point snapshots and reports network-wide + hidden HHHs.\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (arg.rfind("--phi=", 0) == 0) {
+      opt.phi = std::atof(arg.c_str() + 6);
+      if (opt.phi <= 0.0 || opt.phi > 1.0) return false;
+    } else if (arg.rfind("--threshold-bytes=", 0) == 0) {
+      opt.threshold_bytes = std::atof(arg.c_str() + 18);
+      if (opt.threshold_bytes <= 0.0) return false;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opt.out_path = arg.substr(6);
+    } else if (arg == "--stdin") {
+      opt.from_stdin = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return false;
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+  // Exactly one input source: files XOR stdin.
+  return opt.from_stdin ? opt.files.empty() : !opt.files.empty();
+}
+
+/// One vantage point's decoded snapshot plus bookkeeping for the report.
+struct Vantage {
+  std::string label;
+  std::unique_ptr<HhhEngine> engine;                   // engine snapshots
+  std::unique_ptr<WcssSlidingHhhDetector> wcss;        // sliding snapshots
+};
+
+/// The scope-local threshold: absolute-T mode converts T into the phi
+/// this scope's total implies; relative mode uses phi as-is.
+double scope_phi(const Options& opt, double scope_total) {
+  if (opt.threshold_bytes <= 0.0) return opt.phi;
+  if (scope_total <= 0.0) return 1.0;
+  return std::min(1.0, opt.threshold_bytes / scope_total);
+}
+
+void print_set(const char* heading, const HhhSet& set) {
+  std::printf("%s (total %llu B, threshold %llu B, %zu HHHs)\n", heading,
+              static_cast<unsigned long long>(set.total_bytes),
+              static_cast<unsigned long long>(set.threshold_bytes), set.size());
+  for (const auto& item : set.items()) {
+    std::printf("  %-18s  total %12llu B  conditioned %12llu B\n",
+                item.prefix.to_string().c_str(),
+                static_cast<unsigned long long>(item.total_bytes),
+                static_cast<unsigned long long>(item.conditioned_bytes));
+  }
+}
+
+int run(const Options& opt) {
+  // ---- decode every vantage ------------------------------------------------
+  std::vector<Vantage> vantages;
+  try {
+    if (opt.from_stdin) {
+      const std::vector<std::uint8_t> stream = wire::read_stream(stdin);
+      std::span<const std::uint8_t> rest(stream);
+      std::size_t index = 0;
+      while (!rest.empty()) {
+        const wire::FrameView frame = wire::parse_frame(rest);
+        Vantage v;
+        v.label = "stdin[" + std::to_string(index++) + "]";
+        if (frame.kind == wire::SnapshotKind::kWcssDetector) {
+          wire::Reader r(frame.payload);
+          v.wcss = WcssSlidingHhhDetector::deserialize(r);
+          wire::check(r.done(), wire::WireError::kTrailingBytes,
+                      "payload continues past detector state");
+        } else {
+          v.engine = wire::load_engine(frame);
+        }
+        vantages.push_back(std::move(v));
+        rest = rest.subspan(frame.frame_size);
+      }
+    } else {
+      for (const std::string& path : opt.files) {
+        const std::vector<std::uint8_t> bytes = wire::read_file(path);
+        const wire::FrameView frame = wire::parse_frame(bytes);
+        wire::check(frame.frame_size == bytes.size(), wire::WireError::kTrailingBytes,
+                    "trailing bytes after the snapshot frame");
+        Vantage v;
+        v.label = path;
+        if (frame.kind == wire::SnapshotKind::kWcssDetector) {
+          wire::Reader r(frame.payload);
+          v.wcss = WcssSlidingHhhDetector::deserialize(r);
+          wire::check(r.done(), wire::WireError::kTrailingBytes,
+                      "payload continues past detector state");
+        } else {
+          v.engine = wire::load_engine(frame);
+        }
+        vantages.push_back(std::move(v));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (vantages.empty()) {
+    std::fprintf(stderr, "error: no snapshot frames found\n");
+    return 2;
+  }
+  const bool sliding = vantages.front().wcss != nullptr;
+  for (const Vantage& v : vantages) {
+    if ((v.wcss != nullptr) != sliding) {
+      std::fprintf(stderr, "error: cannot mix engine and sliding-window snapshots\n");
+      return 3;
+    }
+  }
+
+  // ---- per-vantage extraction (before merging mutates vantage 0) -----------
+  std::printf("== %zu vantage point(s) ==\n", vantages.size());
+  PrefixUnion seen_locally;
+  std::vector<HhhSet> local_sets;
+  for (Vantage& v : vantages) {
+    HhhSet set;
+    if (sliding) {
+      const TimePoint now = v.wcss->high_watermark();
+      set = v.wcss->query(now, scope_phi(opt, v.wcss->window_total(now)));
+    } else {
+      set = v.engine->extract(
+          scope_phi(opt, static_cast<double>(v.engine->total_bytes())));
+    }
+    std::printf("%-28s  total %14llu B   %3zu local HHHs\n", v.label.c_str(),
+                static_cast<unsigned long long>(set.total_bytes), set.size());
+    seen_locally.add(set.prefixes());
+    local_sets.push_back(std::move(set));
+  }
+
+  // ---- fold into vantage 0 -------------------------------------------------
+  try {
+    for (std::size_t i = 1; i < vantages.size(); ++i) {
+      if (sliding) {
+        vantages.front().wcss->merge_from(*vantages[i].wcss);
+      } else {
+        vantages.front().engine->merge_from(*vantages[i].engine);
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: incompatible snapshots: %s\n", e.what());
+    return 3;
+  }
+
+  HhhSet merged;
+  if (sliding) {
+    TimePoint now;
+    for (const Vantage& v : vantages) now = std::max(now, v.wcss->high_watermark());
+    merged = vantages.front().wcss->query(
+        now, scope_phi(opt, vantages.front().wcss->window_total(now)));
+  } else {
+    HhhEngine& folded = *vantages.front().engine;
+    merged = folded.extract(scope_phi(opt, static_cast<double>(folded.total_bytes())));
+  }
+  std::printf("\n");
+  print_set("== merged network-wide HHH set ==", merged);
+
+  // ---- the reveal: heavy globally, hidden from every single vantage --------
+  const std::vector<Ipv4Prefix> hidden =
+      prefix_difference(merged.prefixes(), seen_locally.values());
+  std::printf("\n== hidden HHHs (no single vantage reported them) ==\n");
+  if (hidden.empty()) {
+    std::printf("  none\n");
+  } else {
+    for (const Ipv4Prefix& p : hidden) std::printf("  %s\n", p.to_string().c_str());
+  }
+
+  if (!opt.out_path.empty()) {
+    if (sliding) {
+      std::vector<std::uint8_t> payload;
+      wire::Writer w(payload);
+      vantages.front().wcss->save_state(w);
+      wire::write_file(opt.out_path,
+                       wire::build_frame(wire::SnapshotKind::kWcssDetector, payload));
+    } else {
+      wire::write_file(opt.out_path, wire::save_engine(*vantages.front().engine));
+    }
+    std::printf("\nwrote merged snapshot to %s\n", opt.out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(stderr);
+    return 1;
+  }
+  try {
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

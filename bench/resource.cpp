@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
   {
     LevelAggregates agg(Hierarchy::byte_granularity());
-    for (const auto& p : packets) agg.add(p.src, p.ip_len);
+    for (const auto& p : packets) agg.add(p.src(), p.ip_len);
     mem.add_row({"exact (one window)", human_bytes(agg.memory_bytes()),
                  "grows with distinct prefixes per window"});
   }
@@ -66,13 +66,15 @@ int main(int argc, char** argv) {
   {
     WindowedSpaceSaving wss({.window = Duration::seconds(10), .frames = 10,
                              .counters_per_frame = 512});
-    for (const auto& p : packets) wss.update(p.src.bits(), p.ip_len, p.ts);
+    for (const auto& p : packets) wss.update(p.src().v4().bits(), p.ip_len, p.ts);
     mem.add_row({"wcss-style sliding HH", human_bytes(wss.memory_bytes()),
                  "11 frame summaries"});
   }
   {
     UnivMon um({.levels = 8, .sketch_width = 1024, .sketch_depth = 5, .top_k = 32});
-    for (const auto& p : packets) um.update(p.src.bits(), static_cast<std::int64_t>(p.ip_len));
+    for (const auto& p : packets) {
+      um.update(p.src().v4().bits(), static_cast<std::int64_t>(p.ip_len));
+    }
     mem.add_row({"univmon (8 lvl)", human_bytes(um.memory_bytes()),
                  "count-sketches + heaps"});
   }
@@ -90,7 +92,7 @@ int main(int argc, char** argv) {
 
   {
     HashPipe hp({.stages = 4, .slots_per_stage = 4096});
-    for (const auto& p : packets) hp.update(p.src.bits(), p.ip_len);
+    for (const auto& p : packets) hp.update(p.src().v4().bits(), p.ip_len);
     const auto r = hp.resources();
     pipe.add_row({"hashpipe (HH only, 1 level)", std::to_string(r.stages),
                   std::to_string(r.register_arrays), human_bytes(r.sram_bits / 8),
@@ -100,7 +102,7 @@ int main(int argc, char** argv) {
   {
     P4Tdbf tdbf({.stages = 4, .cells_per_stage = 4096,
                  .half_life = Duration::seconds(7), .phi = 0.05});
-    for (const auto& p : packets) tdbf.update(p.src.bits(), p.ip_len, p.ts);
+    for (const auto& p : packets) tdbf.update(p.src().v4().bits(), p.ip_len, p.ts);
     const auto r = tdbf.resources();
     pipe.add_row({"p4-tdbf (1 level)", std::to_string(r.stages),
                   std::to_string(r.register_arrays), human_bytes(r.sram_bits / 8),

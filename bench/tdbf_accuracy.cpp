@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
 
     struct Row {
       std::string name;
-      std::vector<Ipv4Prefix> reported;
+      std::vector<PrefixKey> reported;
       std::size_t memory = 0;
     };
     std::vector<Row> rows;

@@ -57,6 +57,18 @@ const std::vector<PacketRecord>& stream() {
   return packets;
 }
 
+/// The same stream embedded into IPv6 (v6_fraction = 1): identical Zipf
+/// structure at shifted hierarchy levels, so the v6 rows below measure the
+/// 128-bit key layer, not a different workload.
+const std::vector<PacketRecord>& v6_stream() {
+  static const std::vector<PacketRecord> packets = [] {
+    TraceConfig cfg = TraceConfig::caida_like_day(0, Duration::seconds(40), 25000.0);
+    cfg.v6_fraction = 1.0;
+    return SyntheticTraceGenerator(cfg).generate_all();
+  }();
+  return packets;
+}
+
 // --- JSON throughput harness -------------------------------------------------
 
 struct ThroughputOptions {
@@ -220,7 +232,8 @@ int run_throughput_harness(const ThroughputOptions& opt) {
   // per-shard-count trajectory is the point — on a multi-core host the
   // exact engine's add_batch should scale with shards until partitioning
   // (front-end) or memory bandwidth saturates.
-  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
     results.push_back(measure_engine(
         "sharded_exact_x" + std::to_string(shards),
         [shards] { return make_sharded_exact_engine(Hierarchy::byte_granularity(), shards); },
@@ -230,6 +243,23 @@ int run_throughput_harness(const ThroughputOptions& opt) {
       "sharded_rhhh_x4",
       [] { return make_sharded_rhhh_engine(Hierarchy::byte_granularity(), 4, 512, 0xBE9C); },
       packets, opt, 4));
+
+  // IPv6 rows: the generic key layer's 128-bit instantiations over the
+  // same Zipf structure. exact_v6 pays 17 levels of 24-byte keys per
+  // packet (vs 5 levels of 8-byte keys for v4); rhhh_v6 stays O(1) per
+  // packet regardless — the RHHH trade made visible across families.
+  results.push_back(measure_engine(
+      "exact_v6", [] { return make_exact_engine(Hierarchy::v6_byte_granularity()); },
+      v6_stream(), opt));
+  results.push_back(measure_engine(
+      "rhhh_v6",
+      [] {
+        return std::make_unique<RhhhV6Engine>(
+            RhhhParams{.hierarchy = Hierarchy::v6_byte_granularity(),
+                       .counters_per_level = 512,
+                       .seed = 0xBE9C});
+      },
+      v6_stream(), opt));
 
   // Wire round-trip trajectory: what serialize/deserialize costs per
   // engine summary (the multi-vantage shipping path).
@@ -252,6 +282,18 @@ int run_throughput_harness(const ThroughputOptions& opt) {
             .counters_per_level = 512, .update_all_levels = true, .seed = 0xBE9C});
       },
       packets, opt));
+  snapshots.push_back(measure_snapshot(
+      "exact_v6", [] { return make_exact_engine(Hierarchy::v6_byte_granularity()); },
+      v6_stream(), opt));
+  snapshots.push_back(measure_snapshot(
+      "rhhh_v6",
+      [] {
+        return std::make_unique<RhhhV6Engine>(
+            RhhhParams{.hierarchy = Hierarchy::v6_byte_granularity(),
+                       .counters_per_level = 512,
+                       .seed = 0xBE9C});
+      },
+      v6_stream(), opt));
   snapshots.push_back(measure_snapshot(
       "ancestry",
       [] { return std::make_unique<AncestryHhhEngine>(AncestryHhhEngine::Params{.eps = 0.005}); },
@@ -342,7 +384,7 @@ void BM_ExactLevelAggregates(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& p = packets[i++ % packets.size()];
-    agg.add(p.src, p.ip_len);
+    agg.add(p.src(), p.ip_len);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -355,7 +397,7 @@ void BM_CountMin(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& p = packets[i++ % packets.size()];
-    cm.update(p.src.bits(), p.ip_len);
+    cm.update(p.src().v4().bits(), p.ip_len);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -367,7 +409,7 @@ void BM_SpaceSaving(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& p = packets[i++ % packets.size()];
-    ss.update(p.src.bits(), p.ip_len);
+    ss.update(p.src().v4().bits(), p.ip_len);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -420,7 +462,7 @@ void BM_DecayingCountingBloom(benchmark::State& state) {
   MonotoneReplay replay(packets);
   for (auto _ : state) {
     const PacketRecord p = replay.next();
-    dcbf.update(p.src.bits(), p.ip_len, p.ts);
+    dcbf.update(p.src().v4().bits(), p.ip_len, p.ts);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -444,7 +486,7 @@ void BM_WindowedSpaceSaving(benchmark::State& state) {
   MonotoneReplay replay(packets);
   for (auto _ : state) {
     const PacketRecord p = replay.next();
-    wss.update(p.src.bits(), p.ip_len, p.ts);
+    wss.update(p.src().v4().bits(), p.ip_len, p.ts);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -456,7 +498,7 @@ void BM_UnivMon(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& p = packets[i++ % packets.size()];
-    um.update(p.src.bits(), static_cast<std::int64_t>(p.ip_len));
+    um.update(p.src().v4().bits(), static_cast<std::int64_t>(p.ip_len));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -468,7 +510,7 @@ void BM_HashPipe(benchmark::State& state) {
   std::size_t i = 0;
   for (auto _ : state) {
     const auto& p = packets[i++ % packets.size()];
-    hp.update(p.src.bits(), p.ip_len);
+    hp.update(p.src().v4().bits(), p.ip_len);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -480,7 +522,7 @@ void BM_P4Tdbf(benchmark::State& state) {
   MonotoneReplay replay(packets);
   for (auto _ : state) {
     const PacketRecord p = replay.next();
-    tdbf.update(p.src.bits(), p.ip_len, p.ts);
+    tdbf.update(p.src().v4().bits(), p.ip_len, p.ts);
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -491,7 +533,7 @@ BENCHMARK(BM_P4Tdbf);
 void BM_ExactExtraction(benchmark::State& state) {
   const auto& packets = stream();
   LevelAggregates agg(Hierarchy::byte_granularity());
-  for (const auto& p : packets) agg.add(p.src, p.ip_len);
+  for (const auto& p : packets) agg.add(p.src(), p.ip_len);
   for (auto _ : state) {
     benchmark::DoNotOptimize(extract_hhh_relative(agg, 0.01));
   }

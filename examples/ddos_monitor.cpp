@@ -25,7 +25,7 @@ using namespace hhh;
 
 namespace {
 
-bool covers_attack(const HhhSet& set, Ipv4Prefix attack) {
+bool covers_attack(const HhhSet& set, PrefixKey attack) {
   for (const auto& item : set.items()) {
     // The attack prefix itself, anything inside it, or a covering aggregate
     // no coarser than /8. The root (0.0.0.0/0) covers everything and must

@@ -14,14 +14,18 @@
 //
 // Each "vantage process" serializes its engine to a snapshot file
 // (wire/snapshot.hpp); the "collector" reads the files back, folds them
-// with HhhEngine::merge_from, and the /24 appears. The same flow works
-// across real process boundaries with the bundled tool:
+// with HhhEngine::merge_from, and the /24 appears. Two additional
+// dual-stack vantages observe IPv6 traffic with a distributed v6 sender
+// (2001:db8:113::/48) split the same way — the collector groups the
+// snapshots by family and reveals both hidden HHHs in one invocation.
+// The same flow works across real process boundaries with the bundled
+// tool:
 //
 //   ./build/tools/hhh-collector --threshold-bytes=1000000
-//       vantage0.snap vantage1.snap vantage2.snap
+//       vantage0.snap vantage1.snap vantage2.snap v6vantage0.snap v6vantage1.snap
 //
-// The example exits non-zero if the reveal does not happen, so it doubles
-// as an end-to-end smoke test of the wire format (CTest runs it).
+// The example exits non-zero if either reveal does not happen, so it
+// doubles as an end-to-end smoke test of the wire format (CTest runs it).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -40,9 +44,9 @@ namespace {
 
 constexpr double kThresholdBytes = 1'000'000.0;  // 1 MB per epoch
 
-PacketRecord packet(Ipv4Address src, std::uint32_t bytes) {
+PacketRecord packet(IpAddress src, std::uint32_t bytes) {
   PacketRecord p;
-  p.src = src;
+  p.set_src(src);
   p.ip_len = bytes;
   return p;
 }
@@ -76,29 +80,43 @@ std::vector<std::uint8_t> run_vantage(std::size_t vantage) {
   return wire::save_engine(engine);
 }
 
+/// One dual-stack vantage's IPv6 epoch: a local v6 heavy source plus a
+/// distributed sender inside 2001:db8:113::/48 pushing 0.6 MB per vantage
+/// (under the 1 MB local threshold; 1.2 MB across both).
+std::vector<std::uint8_t> run_v6_vantage(std::size_t vantage) {
+  ExactV6Engine engine(Hierarchy::v6_byte_granularity());
+
+  // Local heavy: one /128 host per vantage, 1.2 MB.
+  const IpAddress local_heavy =
+      IpAddress::v6(0x2001'0db8'0000'0000ULL + ((vantage + 1) << 16), 1);
+  for (int i = 0; i < 1200; ++i) engine.add(packet(local_heavy, 1000));
+
+  // Background: 200 distinct small v6 sources.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    engine.add(packet(IpAddress::v6(0x2001'0db8'00ff'0000ULL | (i * 7919), i + 1), 1000));
+  }
+
+  // Distributed sender: 30 subnets of 2001:db8:113::/48 (distinct per
+  // vantage, spread across the /56 byte directly under the /48 so no
+  // deeper level aggregates the mass first), 20 x 1000 B each = 0.6 MB —
+  // under the local threshold.
+  for (std::uint64_t host = 0; host < 30; ++host) {
+    const std::uint64_t id = vantage * 30 + host + 1;  // distinct /56 per host
+    const IpAddress src = IpAddress::v6(0x2001'0db8'0113'0000ULL | (id << 8), 1);
+    for (int i = 0; i < 20; ++i) engine.add(packet(src, 1000));
+  }
+
+  return wire::save_engine(engine);
+}
+
 double scope_phi(double total) {
   return std::min(1.0, kThresholdBytes / std::max(total, 1.0));
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::filesystem::path dir =
-      argc >= 2 ? std::filesystem::path(argv[1])
-                : std::filesystem::temp_directory_path() / "hhh_multi_vantage";
-  std::filesystem::create_directories(dir);
-
-  // --- the three "vantage processes" write snapshot files -------------------
-  std::vector<std::string> paths;
-  for (std::size_t v = 0; v < 3; ++v) {
-    const std::string path = (dir / ("vantage" + std::to_string(v) + ".snap")).string();
-    wire::write_file(path, run_vantage(v));
-    paths.push_back(path);
-  }
-  std::printf("wrote 3 vantage snapshots to %s\n\n", dir.string().c_str());
-
-  // --- the "collector process" reads them back -------------------------------
-  const auto attacker = *Ipv4Prefix::parse("203.0.113.0/24");
+/// Extract-or-report helper shared by both family passes: loads every
+/// snapshot, reports local visibility of `attacker`, merges, and returns
+/// whether the attacker was hidden locally yet revealed by the merge.
+bool reveal(const std::vector<std::string>& paths, PrefixKey attacker) {
   std::vector<std::unique_ptr<HhhEngine>> engines;
   bool hidden_everywhere = true;
   for (const std::string& path : paths) {
@@ -119,15 +137,46 @@ int main(int argc, char** argv) {
   std::printf("\nmerged: total %.2f MB at threshold %.1f MB\n",
               static_cast<double>(merged.total_bytes()) / 1e6, kThresholdBytes / 1e6);
   for (const auto& item : network.items()) {
-    std::printf("  %-18s  %9.2f MB\n", item.prefix.to_string().c_str(),
+    std::printf("  %-22s  %9.2f MB\n", item.prefix.to_string().c_str(),
                 static_cast<double>(item.conditioned_bytes) / 1e6);
   }
 
   const bool revealed = network.contains(attacker);
-  std::printf("\n%s is %s network-wide%s\n", attacker.to_string().c_str(),
+  std::printf("\n%s is %s network-wide%s\n\n", attacker.to_string().c_str(),
               revealed ? "an HHH" : "NOT an HHH",
               hidden_everywhere && revealed
                   ? " — hidden from every single vantage, revealed by the merge"
                   : "");
-  return hidden_everywhere && revealed ? 0 : 1;
+  return hidden_everywhere && revealed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir =
+      argc >= 2 ? std::filesystem::path(argv[1])
+                : std::filesystem::temp_directory_path() / "hhh_multi_vantage";
+  std::filesystem::create_directories(dir);
+
+  // --- the vantage "processes" write snapshot files -------------------------
+  std::vector<std::string> v4_paths;
+  for (std::size_t v = 0; v < 3; ++v) {
+    const std::string path = (dir / ("vantage" + std::to_string(v) + ".snap")).string();
+    wire::write_file(path, run_vantage(v));
+    v4_paths.push_back(path);
+  }
+  std::vector<std::string> v6_paths;
+  for (std::size_t v = 0; v < 2; ++v) {
+    const std::string path =
+        (dir / ("v6vantage" + std::to_string(v) + ".snap")).string();
+    wire::write_file(path, run_v6_vantage(v));
+    v6_paths.push_back(path);
+  }
+  std::printf("wrote %zu vantage snapshots (3 IPv4 + 2 IPv6) to %s\n\n",
+              v4_paths.size() + v6_paths.size(), dir.string().c_str());
+
+  // --- the "collector process" reads them back, one merge per family --------
+  const bool v4_ok = reveal(v4_paths, *PrefixKey::parse("203.0.113.0/24"));
+  const bool v6_ok = reveal(v6_paths, *PrefixKey::parse("2001:db8:113::/48"));
+  return v4_ok && v6_ok ? 0 : 1;
 }

@@ -32,7 +32,7 @@ int main() {
 
   std::uint64_t packets = 0;
   while (auto p = generator.next()) {
-    exact.add(p->src, p->ip_len);
+    exact.add(p->src(), p->ip_len);
     rhhh.add(*p);
     ancestry.add(*p);
     ++packets;

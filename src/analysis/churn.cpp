@@ -6,7 +6,7 @@
 
 namespace hhh {
 
-void ChurnAnalysis::add_report(std::vector<Ipv4Prefix> prefixes) {
+void ChurnAnalysis::add_report(std::vector<PrefixKey> prefixes) {
   std::sort(prefixes.begin(), prefixes.end());
   prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
 
@@ -64,7 +64,7 @@ double ChurnAnalysis::transient_fraction() const {
   if (closed_.empty()) return 0.0;
   // Group intervals by prefix: a prefix is a pure transient iff all its
   // intervals have lifetime 1.
-  std::vector<std::pair<Ipv4Prefix, std::size_t>> sorted = closed_;
+  std::vector<std::pair<PrefixKey, std::size_t>> sorted = closed_;
   std::sort(sorted.begin(), sorted.end());
   std::size_t distinct = 0;
   std::size_t transient = 0;

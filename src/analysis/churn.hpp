@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "analysis/cdf.hpp"
-#include "net/prefix.hpp"
+#include "net/ip.hpp"
 
 namespace hhh {
 
@@ -27,7 +27,7 @@ class ChurnAnalysis {
   ChurnAnalysis() = default;
 
   /// Feed the next report's prefix set (any order, duplicates tolerated).
-  void add_report(std::vector<Ipv4Prefix> prefixes);
+  void add_report(std::vector<PrefixKey> prefixes);
 
   /// Close the stream: prefixes still alive get their final lifetimes.
   void finish();
@@ -52,13 +52,13 @@ class ChurnAnalysis {
 
  private:
   struct Live {
-    Ipv4Prefix prefix;
+    PrefixKey prefix;
     std::size_t since = 0;  // report index when this interval started
   };
 
-  std::vector<Ipv4Prefix> previous_;
+  std::vector<PrefixKey> previous_;
   std::vector<Live> live_;
-  std::vector<std::pair<Ipv4Prefix, std::size_t>> closed_;  // (prefix, lifetime)
+  std::vector<std::pair<PrefixKey, std::size_t>> closed_;  // (prefix, lifetime)
   EmpiricalCdf stability_;
   mutable EmpiricalCdf lifetimes_;
   std::size_t reports_ = 0;

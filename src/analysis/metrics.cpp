@@ -7,7 +7,7 @@
 namespace hhh {
 namespace {
 
-std::vector<Ipv4Prefix> normalized(std::vector<Ipv4Prefix> v) {
+std::vector<PrefixKey> normalized(std::vector<PrefixKey> v) {
   std::sort(v.begin(), v.end());
   v.erase(std::unique(v.begin(), v.end()), v.end());
   return v;
@@ -20,8 +20,8 @@ std::string PrecisionRecall::to_string() const {
                     recall(), f1(), true_positives, false_positives, false_negatives);
 }
 
-PrecisionRecall compare_exact(const std::vector<Ipv4Prefix>& detected,
-                              const std::vector<Ipv4Prefix>& truth) {
+PrecisionRecall compare_exact(const std::vector<PrefixKey>& detected,
+                              const std::vector<PrefixKey>& truth) {
   const auto d = normalized(detected);
   const auto t = normalized(truth);
   PrecisionRecall pr;
@@ -36,12 +36,12 @@ PrecisionRecall compare_exact(const std::vector<Ipv4Prefix>& detected,
   return pr;
 }
 
-PrecisionRecall compare_tolerant(const std::vector<Ipv4Prefix>& detected,
-                                 const std::vector<Ipv4Prefix>& truth, unsigned bit_slack) {
+PrecisionRecall compare_tolerant(const std::vector<PrefixKey>& detected,
+                                 const std::vector<PrefixKey>& truth, unsigned bit_slack) {
   const auto d = normalized(detected);
   const auto t = normalized(truth);
 
-  const auto related = [bit_slack](Ipv4Prefix a, Ipv4Prefix b) {
+  const auto related = [bit_slack](PrefixKey a, PrefixKey b) {
     const unsigned la = a.length();
     const unsigned lb = b.length();
     const unsigned diff = la > lb ? la - lb : lb - la;

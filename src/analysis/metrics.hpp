@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "net/prefix.hpp"
+#include "net/ip.hpp"
 
 namespace hhh {
 
@@ -41,14 +41,14 @@ struct PrecisionRecall {
 
 /// Exact set comparison: a detected prefix counts iff it appears verbatim
 /// in `truth`.
-PrecisionRecall compare_exact(const std::vector<Ipv4Prefix>& detected,
-                              const std::vector<Ipv4Prefix>& truth);
+PrecisionRecall compare_exact(const std::vector<PrefixKey>& detected,
+                              const std::vector<PrefixKey>& truth);
 
 /// Tolerant comparison: a detected prefix also counts if `truth` contains
 /// an ancestor or descendant within `level_slack` hierarchy levels (byte
 /// granularity levels == 8-bit steps).
-PrecisionRecall compare_tolerant(const std::vector<Ipv4Prefix>& detected,
-                                 const std::vector<Ipv4Prefix>& truth,
+PrecisionRecall compare_tolerant(const std::vector<PrefixKey>& detected,
+                                 const std::vector<PrefixKey>& truth,
                                  unsigned bit_slack = 8);
 
 }  // namespace hhh

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "net/key_domain.hpp"
 #include "wire/codec.hpp"
 
 namespace hhh {
@@ -12,6 +13,9 @@ AncestryHhhEngine::AncestryHhhEngine(const Params& params) : params_(params) {
   if (params.eps <= 0.0 || params.eps >= 1.0) {
     throw std::invalid_argument("AncestryHhhEngine: eps outside (0,1)");
   }
+  if (params.hierarchy.family() != AddressFamily::kIpv4) {
+    throw std::invalid_argument("AncestryHhhEngine: IPv4 hierarchies only");
+  }
   levels_.reserve(params_.hierarchy.levels());
   for (std::size_t i = 0; i < params_.hierarchy.levels(); ++i) levels_.emplace_back(256);
   compress_stride_ = static_cast<std::uint64_t>(std::ceil(1.0 / params.eps));
@@ -19,10 +23,11 @@ AncestryHhhEngine::AncestryHhhEngine(const Params& params) : params_(params) {
 }
 
 void AncestryHhhEngine::add(const PacketRecord& packet) {
+  if (packet.family() != AddressFamily::kIpv4) return;
   total_bytes_ += packet.ip_len;
 
   // Insert at the leaf level; undercount bound for new entries is eps*N.
-  const std::uint64_t key = params_.hierarchy.generalize(packet.src, 0).key();
+  const std::uint64_t key = V4Domain::key(packet.src(), params_.hierarchy.leaf_length());
   auto [node, inserted] = levels_[0].try_emplace(key);
   if (inserted) {
     node->delta = static_cast<std::uint64_t>(params_.eps * static_cast<double>(total_bytes_));
@@ -55,8 +60,9 @@ void AncestryHhhEngine::add_batch(std::span<const PacketRecord> packets) {
   std::uint64_t total = total_bytes_;
   std::uint64_t compress_at = next_compress_at_;
   for (const auto& p : packets) {
+    if (p.family() != AddressFamily::kIpv4) continue;
     total += p.ip_len;
-    auto [node, inserted] = leaf.try_emplace(Ipv4Prefix(p.src, leaf_len).key());
+    auto [node, inserted] = leaf.try_emplace(V4Domain::key(p.src(), leaf_len));
     if (inserted) {
       node->delta = static_cast<std::uint64_t>(eps * static_cast<double>(total));
     }
@@ -86,7 +92,7 @@ void AncestryHhhEngine::compress() {
       // stale (created long ago), and a stale small delta lets escaped
       // mass compound past eps*N across incarnations — eps*N at creation
       // always dominates every escape that happened before now.
-      const std::uint64_t parent_key = Ipv4Prefix::from_key(key).truncated(parent_len).key();
+      const std::uint64_t parent_key = V4Domain::truncate(key, parent_len);
       auto [parent, inserted] = parents.try_emplace(parent_key);
       if (inserted) parent->delta = std::max(node.delta, limit);
       parent->f += node.f;
@@ -103,7 +109,7 @@ HhhSet AncestryHhhEngine::extract(double phi) const {
   const double threshold = static_cast<double>(result.threshold_bytes);
 
   struct Selected {
-    Ipv4Prefix prefix;
+    PrefixKey prefix;
     double full_estimate;
   };
   std::vector<Selected> selected;
@@ -116,7 +122,7 @@ HhhSet AncestryHhhEngine::extract(double phi) const {
   // Upper estimate: sum of f over p's subtree + eps*N. Summing deltas of
   // descendants would double-count uncertainty thousands of times over.
   const double eps_n = params_.eps * static_cast<double>(total_bytes_);
-  std::vector<std::vector<std::pair<Ipv4Prefix, double>>> upper(levels_.size());
+  std::vector<std::vector<std::pair<PrefixKey, double>>> upper(levels_.size());
   FlatHashMap<std::uint64_t, double> carry(256);  // subtree f-mass flowing upward
   for (std::size_t level = 0; level < levels_.size(); ++level) {
     FlatHashMap<std::uint64_t, double> f_sum(256);
@@ -129,9 +135,9 @@ HhhSet AncestryHhhEngine::extract(double phi) const {
     const bool has_parent = level + 1 < levels_.size();
     const unsigned parent_len = has_parent ? params_.hierarchy.length_at(level + 1) : 0;
     f_sum.for_each([&](std::uint64_t key, double& mass) {
-      const Ipv4Prefix prefix = Ipv4Prefix::from_key(key);
+      const PrefixKey prefix = V4Domain::prefix(key);
       upper[level].emplace_back(prefix, mass + eps_n);
-      if (has_parent) carry[prefix.truncated(parent_len).key()] += mass;
+      if (has_parent) carry[V4Domain::truncate(key, parent_len)] += mass;
     });
   }
 
@@ -223,14 +229,14 @@ std::size_t AncestryHhhEngine::memory_bytes() const {
   return sum;
 }
 
-double AncestryHhhEngine::estimate(Ipv4Prefix prefix) const {
+double AncestryHhhEngine::estimate(PrefixKey prefix) const {
   double mass = 0.0;
   const std::size_t query_level = params_.hierarchy.level_of(prefix);
   for (std::size_t level = 0; level < levels_.size(); ++level) {
     // Entries above the query level cannot lie inside the prefix.
     if (query_level != Hierarchy::npos && level > query_level) break;
     levels_[level].for_each([&](std::uint64_t key, const Node& node) {
-      if (prefix.contains(Ipv4Prefix::from_key(key))) mass += static_cast<double>(node.f);
+      if (prefix.contains(V4Domain::prefix(key))) mass += static_cast<double>(node.f);
     });
   }
   return mass + params_.eps * static_cast<double>(total_bytes_);

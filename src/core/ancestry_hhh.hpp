@@ -34,7 +34,8 @@ class AncestryHhhEngine final : public HhhEngine {
   };
 
   /// Engine over `params.hierarchy` with error bound `params.eps`; throws
-  /// std::invalid_argument when eps is outside (0, 1).
+  /// std::invalid_argument when eps is outside (0, 1) or the hierarchy is
+  /// not IPv4 (this baseline engine is v4-only; use exact_v6/rhhh_v6 for v6).
   explicit AncestryHhhEngine(const Params& params);
 
   /// Leaf-level lossy-counting insert + amortized bottom-up compression.
@@ -60,7 +61,7 @@ class AncestryHhhEngine final : public HhhEngine {
   /// Upper estimate of a prefix's subtree byte volume: counted mass of all
   /// live entries inside the prefix plus the eps*N escape bound. Satisfies
   /// truth <= estimate <= truth + eps*N (see extract() notes).
-  double estimate(Ipv4Prefix prefix) const;
+  double estimate(PrefixKey prefix) const;
 
   /// Number of live trie entries across all levels (space diagnostic).
   std::size_t entry_count() const;

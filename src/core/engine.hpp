@@ -39,7 +39,11 @@ class HhhEngine {
   /// Engines are owned polymorphically by the window drivers.
   virtual ~HhhEngine() = default;
 
-  /// Account one packet (source + IP bytes).
+  /// Account one packet (source + IP bytes). Packets whose address
+  /// family differs from the engine's hierarchy are ignored — neither
+  /// counted in total_bytes() nor fed to the summaries — so a dual-stack
+  /// pipeline can fan one mixed stream to one engine per family (or
+  /// route packets itself, which is cheaper).
   virtual void add(const PacketRecord& packet) = 0;
 
   /// Account a batch of packets. Observationally equivalent to calling

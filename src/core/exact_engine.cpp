@@ -4,24 +4,38 @@
 #include <utility>
 
 #include "core/exact_hhh.hpp"
-#include "wire/wire.hpp"
+#include "wire/codec.hpp"
 
 namespace hhh {
 
-ExactEngine::ExactEngine(const Hierarchy& hierarchy) : agg_(hierarchy) {}
+template <typename D>
+BasicExactEngine<D>::BasicExactEngine(const Hierarchy& hierarchy) : agg_(hierarchy) {}
 
-void ExactEngine::add(const PacketRecord& packet) { agg_.add(packet.src, packet.ip_len); }
+template <typename D>
+void BasicExactEngine<D>::add(const PacketRecord& packet) {
+  agg_.add(packet.src(), packet.ip_len);
+}
 
-void ExactEngine::add_batch(std::span<const PacketRecord> packets) {
+template <typename D>
+void BasicExactEngine<D>::add_batch(std::span<const PacketRecord> packets) {
   // Addition into the level counters commutes, so LevelAggregates' deferred
   // trie propagation yields byte-identical state to the add() loop.
   agg_.add_batch(packets);
 }
 
-HhhSet ExactEngine::extract(double phi) const { return extract_hhh_relative(agg_, phi); }
+template <typename D>
+HhhSet BasicExactEngine<D>::extract(double phi) const {
+  return extract_hhh_relative(agg_, phi);
+}
 
-void ExactEngine::merge_from(const HhhEngine& other) {
-  const auto* peer = dynamic_cast<const ExactEngine*>(&other);
+template <typename D>
+std::string BasicExactEngine<D>::name() const {
+  return D::kFamily == AddressFamily::kIpv4 ? "exact" : "exact_v6";
+}
+
+template <typename D>
+void BasicExactEngine<D>::merge_from(const HhhEngine& other) {
+  const auto* peer = dynamic_cast<const BasicExactEngine*>(&other);
   if (peer == nullptr) {
     throw std::invalid_argument("ExactEngine::merge_from: peer is not an ExactEngine ('" +
                                 other.name() + "')");
@@ -29,23 +43,46 @@ void ExactEngine::merge_from(const HhhEngine& other) {
   agg_.merge(peer->agg_);
 }
 
-void ExactEngine::reset() { agg_.clear(); }
+template <typename D>
+void BasicExactEngine<D>::reset() {
+  agg_.clear();
+}
 
-void ExactEngine::save_state(wire::Writer& w) const { agg_.save_state(w); }
+template <typename D>
+void BasicExactEngine<D>::save_state(wire::Writer& w) const {
+  agg_.save_state(w);
+}
 
-void ExactEngine::load_state(wire::Reader& r) { agg_.load_state(r); }
+template <typename D>
+void BasicExactEngine<D>::load_state(wire::Reader& r) {
+  agg_.load_state(r);
+}
 
-std::unique_ptr<ExactEngine> ExactEngine::deserialize(wire::Reader& r) {
-  LevelAggregates agg = LevelAggregates::deserialize(r);
-  auto engine = std::make_unique<ExactEngine>(agg.hierarchy());
-  engine->agg_ = std::move(agg);
+template <typename D>
+std::size_t BasicExactEngine<D>::memory_bytes() const {
+  return agg_.memory_bytes();
+}
+
+template class BasicExactEngine<V4Domain>;
+template class BasicExactEngine<V6Domain>;
+
+std::unique_ptr<HhhEngine> deserialize_exact_engine(wire::Reader& r) {
+  const Hierarchy hierarchy = wire::read_hierarchy(r);
+  if (hierarchy.family() == AddressFamily::kIpv4) {
+    auto engine = std::make_unique<ExactEngine>(hierarchy);
+    engine->agg_ = LevelAggregates::deserialize_counters(hierarchy, r);
+    return engine;
+  }
+  auto engine = std::make_unique<ExactV6Engine>(hierarchy);
+  engine->agg_ = LevelAggregatesV6::deserialize_counters(hierarchy, r);
   return engine;
 }
 
-std::size_t ExactEngine::memory_bytes() const { return agg_.memory_bytes(); }
-
 std::unique_ptr<HhhEngine> make_exact_engine(const Hierarchy& hierarchy) {
-  return std::make_unique<ExactEngine>(hierarchy);
+  if (hierarchy.family() == AddressFamily::kIpv4) {
+    return std::make_unique<ExactEngine>(hierarchy);
+  }
+  return std::make_unique<ExactV6Engine>(hierarchy);
 }
 
 }  // namespace hhh

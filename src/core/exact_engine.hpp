@@ -6,9 +6,14 @@
 /// trie propagation re-coalesces the batch per level while walking up the
 /// hierarchy, so each level map sees every distinct prefix once — the
 /// batched analogue of the O(1)-amortized update direction RHHH takes.
+///
+/// Templated on the key domain: `ExactEngine` (IPv4, name "exact") and
+/// `ExactV6Engine` (IPv6, name "exact_v6") are the two instantiations;
+/// make_exact_engine() picks the right one from the hierarchy's family.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "core/engine.hpp"
@@ -17,10 +22,12 @@
 namespace hhh {
 
 /// Ground-truth HhhEngine: exact per-level counters + exact extraction.
-class ExactEngine final : public HhhEngine {
+template <typename D>
+class BasicExactEngine final : public HhhEngine {
  public:
-  /// Exact engine over `hierarchy` (one counter map per level).
-  explicit ExactEngine(const Hierarchy& hierarchy);
+  /// Exact engine over `hierarchy` (one counter map per level). The
+  /// hierarchy family must match the domain's.
+  explicit BasicExactEngine(const Hierarchy& hierarchy);
 
   /// O(levels) per packet: one counter increment per hierarchy level.
   void add(const PacketRecord& packet) override;
@@ -35,13 +42,14 @@ class ExactEngine final : public HhhEngine {
   std::uint64_t total_bytes() const override { return agg_.total_bytes(); }
   /// Footprint of the level counter maps.
   std::size_t memory_bytes() const override;
-  /// "exact".
-  std::string name() const override { return "exact"; }
+  /// "exact" (IPv4) / "exact_v6" (IPv6).
+  std::string name() const override;
 
   /// Always true: counter addition commutes, so merging is lossless.
   bool mergeable() const override { return true; }
   /// Lossless merge: adds `other`'s counters into this engine. Requires
-  /// `other` to be an ExactEngine over the same hierarchy.
+  /// `other` to be an exact engine over the same hierarchy (and therefore
+  /// the same family).
   void merge_from(const HhhEngine& other) override;
 
   /// Always true: the level counters serialize losslessly.
@@ -50,14 +58,26 @@ class ExactEngine final : public HhhEngine {
   void save_state(wire::Writer& w) const override;
   /// Restore counters; throws wire::WireFormatError on hierarchy mismatch.
   void load_state(wire::Reader& r) override;
-  /// Construct an exact engine directly from a save_state() payload.
-  static std::unique_ptr<ExactEngine> deserialize(wire::Reader& r);
 
   /// The underlying counters (read-only; tests and analyses).
-  const LevelAggregates& aggregates() const noexcept { return agg_; }
+  const BasicLevelAggregates<D>& aggregates() const noexcept { return agg_; }
 
  private:
-  LevelAggregates agg_;
+  friend std::unique_ptr<HhhEngine> deserialize_exact_engine(wire::Reader& r);
+
+  BasicLevelAggregates<D> agg_;
 };
+
+/// The IPv4 ground-truth engine (name "exact").
+using ExactEngine = BasicExactEngine<V4Domain>;
+/// The IPv6 ground-truth engine (name "exact_v6").
+using ExactV6Engine = BasicExactEngine<V6Domain>;
+
+extern template class BasicExactEngine<V4Domain>;
+extern template class BasicExactEngine<V6Domain>;
+
+/// Construct an exact engine directly from a save_state() payload: reads
+/// the hierarchy header and picks the family instantiation.
+std::unique_ptr<HhhEngine> deserialize_exact_engine(wire::Reader& r);
 
 }  // namespace hhh

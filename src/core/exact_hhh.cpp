@@ -16,15 +16,15 @@ constexpr std::size_t kMaxThresholds = 8;
 // non-HHH child contributes its slot-i residual.
 using ResidualVec = std::array<std::uint64_t, kMaxThresholds>;
 
-}  // namespace
-
-namespace {
-
 /// Single-threshold extraction with scalar residuals — the hot path for
 /// per-window reports. extract_hhh_multi's array-valued residual maps pay
 /// ~8x the slot size in robin-hood displacement, which matters when a
 /// window holds hundreds of thousands of distinct prefixes.
-HhhSet extract_hhh_single(const LevelAggregates& agg, std::uint64_t threshold_bytes) {
+template <typename D>
+HhhSet extract_hhh_single(const BasicLevelAggregates<D>& agg,
+                          std::uint64_t threshold_bytes) {
+  using MapKey = typename D::MapKey;
+  using Map = FlatHashMap<MapKey, std::uint64_t, typename D::Hash>;
   const Hierarchy& hierarchy = agg.hierarchy();
   const std::uint64_t threshold = std::max<std::uint64_t>(threshold_bytes, 1);
 
@@ -34,23 +34,22 @@ HhhSet extract_hhh_single(const LevelAggregates& agg, std::uint64_t threshold_by
 
   // Sized up front: the leaf level dominates and rehash-growth of a
   // hundreds-of-thousands-entry map would double the extraction cost.
-  FlatHashMap<std::uint64_t, std::uint64_t> residual(agg.distinct_at(0) * 2 + 16);
-  agg.for_each_at(0, [&](std::uint64_t key, std::uint64_t bytes) { residual[key] = bytes; });
+  Map residual(agg.distinct_at(0) * 2 + 16);
+  agg.for_each_at(0, [&](const MapKey& key, std::uint64_t bytes) { residual[key] = bytes; });
 
   for (std::size_t level = 0; level < hierarchy.levels(); ++level) {
     const bool has_parent = level + 1 < hierarchy.levels();
     const unsigned parent_len = has_parent ? hierarchy.length_at(level + 1) : 0;
-    FlatHashMap<std::uint64_t, std::uint64_t> parent_residual(
-        has_parent ? agg.distinct_at(level + 1) * 2 + 16 : 16);
+    Map parent_residual(has_parent ? agg.distinct_at(level + 1) * 2 + 16 : 16);
 
-    residual.for_each([&](std::uint64_t key, std::uint64_t& res) {
-      const Ipv4Prefix prefix = Ipv4Prefix::from_key(key);
+    residual.for_each([&](const MapKey& key, std::uint64_t& res) {
       if (res >= threshold) {
+        const PrefixKey prefix = D::prefix(key);
         result.add(HhhItem{prefix, agg.count(prefix), res});
         return;  // HHH absorbs its subtree
       }
       if (has_parent && res > 0) {
-        parent_residual[prefix.truncated(parent_len).key()] += res;
+        parent_residual[D::truncate(key, parent_len)] += res;
       }
     });
     residual = std::move(parent_residual);
@@ -60,8 +59,11 @@ HhhSet extract_hhh_single(const LevelAggregates& agg, std::uint64_t threshold_by
 
 }  // namespace
 
-std::vector<HhhSet> extract_hhh_multi(const LevelAggregates& agg,
+template <typename D>
+std::vector<HhhSet> extract_hhh_multi(const BasicLevelAggregates<D>& agg,
                                       std::span<const std::uint64_t> thresholds) {
+  using MapKey = typename D::MapKey;
+  using ResidualMap = FlatHashMap<MapKey, ResidualVec, typename D::Hash>;
   const std::size_t k = thresholds.size();
   if (k == 0) return {};
   if (k > kMaxThresholds) {
@@ -82,8 +84,8 @@ std::vector<HhhSet> extract_hhh_multi(const LevelAggregates& agg,
     results[i].threshold_bytes = t[i];
   }
 
-  FlatHashMap<std::uint64_t, ResidualVec> residual(agg.distinct_at(0) * 2 + 16);
-  agg.for_each_at(0, [&](std::uint64_t key, std::uint64_t bytes) {
+  ResidualMap residual(agg.distinct_at(0) * 2 + 16);
+  agg.for_each_at(0, [&](const MapKey& key, std::uint64_t bytes) {
     ResidualVec& r = residual[key];
     for (std::size_t i = 0; i < k; ++i) r[i] = bytes;
   });
@@ -91,20 +93,20 @@ std::vector<HhhSet> extract_hhh_multi(const LevelAggregates& agg,
   for (std::size_t level = 0; level < hierarchy.levels(); ++level) {
     const bool has_parent = level + 1 < hierarchy.levels();
     const unsigned parent_len = has_parent ? hierarchy.length_at(level + 1) : 0;
-    FlatHashMap<std::uint64_t, ResidualVec> parent_residual(
-        has_parent ? agg.distinct_at(level + 1) * 2 + 16 : 16);
+    ResidualMap parent_residual(has_parent ? agg.distinct_at(level + 1) * 2 + 16 : 16);
 
-    residual.for_each([&](std::uint64_t key, ResidualVec& res) {
-      const Ipv4Prefix prefix = Ipv4Prefix::from_key(key);
+    residual.for_each([&](const MapKey& key, ResidualVec& res) {
       // The prefix's total is fetched lazily, only when some threshold
       // marks it as an HHH (count() is a hash lookup).
       std::uint64_t total = 0;
       bool have_total = false;
+      PrefixKey prefix;
       ResidualVec up{};
       bool any_up = false;
       for (std::size_t i = 0; i < k; ++i) {
         if (res[i] >= t[i]) {
           if (!have_total) {
+            prefix = D::prefix(key);
             total = agg.count(prefix);
             have_total = true;
           }
@@ -116,7 +118,7 @@ std::vector<HhhSet> extract_hhh_multi(const LevelAggregates& agg,
         }
       }
       if (has_parent && any_up) {
-        ResidualVec& parent = parent_residual[prefix.truncated(parent_len).key()];
+        ResidualVec& parent = parent_residual[D::truncate(key, parent_len)];
         for (std::size_t i = 0; i < k; ++i) parent[i] += up[i];
       }
     });
@@ -126,7 +128,8 @@ std::vector<HhhSet> extract_hhh_multi(const LevelAggregates& agg,
   return results;
 }
 
-std::vector<HhhSet> extract_hhh_multi_relative(const LevelAggregates& agg,
+template <typename D>
+std::vector<HhhSet> extract_hhh_multi_relative(const BasicLevelAggregates<D>& agg,
                                                std::span<const double> phis) {
   std::vector<std::uint64_t> thresholds;
   thresholds.reserve(phis.size());
@@ -137,12 +140,14 @@ std::vector<HhhSet> extract_hhh_multi_relative(const LevelAggregates& agg,
   return extract_hhh_multi(agg, thresholds);
 }
 
-HhhSet extract_hhh(const LevelAggregates& agg, std::uint64_t threshold_bytes) {
+template <typename D>
+HhhSet extract_hhh(const BasicLevelAggregates<D>& agg, std::uint64_t threshold_bytes) {
   auto results = extract_hhh_multi(agg, std::span<const std::uint64_t>(&threshold_bytes, 1));
   return std::move(results.front());
 }
 
-HhhSet extract_hhh_relative(const LevelAggregates& agg, double phi) {
+template <typename D>
+HhhSet extract_hhh_relative(const BasicLevelAggregates<D>& agg, double phi) {
   const auto threshold =
       static_cast<std::uint64_t>(std::ceil(phi * static_cast<double>(agg.total_bytes())));
   return extract_hhh(agg, threshold);
@@ -150,9 +155,31 @@ HhhSet extract_hhh_relative(const LevelAggregates& agg, double phi) {
 
 HhhSet exact_hhh_of(std::span<const PacketRecord> packets, const Hierarchy& hierarchy,
                     double phi) {
-  LevelAggregates agg(hierarchy);
-  for (const auto& p : packets) agg.add(p.src, p.ip_len);
+  if (hierarchy.family() == AddressFamily::kIpv4) {
+    LevelAggregates agg(hierarchy);
+    for (const auto& p : packets) {
+      if (p.family() == AddressFamily::kIpv4) agg.add(p.src(), p.ip_len);
+    }
+    return extract_hhh_relative(agg, phi);
+  }
+  LevelAggregatesV6 agg(hierarchy);
+  for (const auto& p : packets) {
+    if (p.family() == AddressFamily::kIpv6) agg.add(p.src(), p.ip_len);
+  }
   return extract_hhh_relative(agg, phi);
 }
+
+template HhhSet extract_hhh<V4Domain>(const BasicLevelAggregates<V4Domain>&, std::uint64_t);
+template HhhSet extract_hhh<V6Domain>(const BasicLevelAggregates<V6Domain>&, std::uint64_t);
+template HhhSet extract_hhh_relative<V4Domain>(const BasicLevelAggregates<V4Domain>&, double);
+template HhhSet extract_hhh_relative<V6Domain>(const BasicLevelAggregates<V6Domain>&, double);
+template std::vector<HhhSet> extract_hhh_multi<V4Domain>(
+    const BasicLevelAggregates<V4Domain>&, std::span<const std::uint64_t>);
+template std::vector<HhhSet> extract_hhh_multi<V6Domain>(
+    const BasicLevelAggregates<V6Domain>&, std::span<const std::uint64_t>);
+template std::vector<HhhSet> extract_hhh_multi_relative<V4Domain>(
+    const BasicLevelAggregates<V4Domain>&, std::span<const double>);
+template std::vector<HhhSet> extract_hhh_multi_relative<V6Domain>(
+    const BasicLevelAggregates<V6Domain>&, std::span<const double>);
 
 }  // namespace hhh

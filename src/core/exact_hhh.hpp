@@ -14,6 +14,11 @@
 /// (its own residual plus everything deeper already discounted).
 ///
 /// Cost: one pass over each level's live counters — O(distinct prefixes).
+///
+/// All extraction entry points are templates over the key domain (IPv4 /
+/// IPv6 instantiations are explicit in exact_hhh.cpp); the packet-level
+/// convenience exact_hhh_of dispatches on the hierarchy's family at
+/// runtime.
 #pragma once
 
 #include <cstdint>
@@ -27,14 +32,18 @@ namespace hhh {
 
 /// Extract the HHH set at an absolute byte threshold (T >= 1 enforced:
 /// a zero threshold would mark every live prefix).
-HhhSet extract_hhh(const LevelAggregates& agg, std::uint64_t threshold_bytes);
+template <typename D>
+HhhSet extract_hhh(const BasicLevelAggregates<D>& agg, std::uint64_t threshold_bytes);
 
 /// Extract at a relative threshold: T = max(1, ceil(phi * total_bytes)).
 /// This is the paper's setting ("flows which exceed 1%, 5%, 10% of the
 /// total bytes measured in a specific time-window").
-HhhSet extract_hhh_relative(const LevelAggregates& agg, double phi);
+template <typename D>
+HhhSet extract_hhh_relative(const BasicLevelAggregates<D>& agg, double phi);
 
 /// One-shot convenience: aggregate `packets` and extract at fraction `phi`.
+/// Dispatches on hierarchy.family(); packets of the other family are
+/// ignored by the aggregation (their bytes never enter the counters).
 HhhSet exact_hhh_of(std::span<const PacketRecord> packets, const Hierarchy& hierarchy,
                     double phi);
 
@@ -43,11 +52,13 @@ HhhSet exact_hhh_of(std::span<const PacketRecord> packets, const Hierarchy& hier
 /// HHH-descendant discount depends on which children qualified at that
 /// threshold. The φ-sweep benches (Fig. 2) rely on this being ~K× cheaper
 /// than K separate extractions. At most 8 thresholds per call.
-std::vector<HhhSet> extract_hhh_multi(const LevelAggregates& agg,
+template <typename D>
+std::vector<HhhSet> extract_hhh_multi(const BasicLevelAggregates<D>& agg,
                                       std::span<const std::uint64_t> thresholds);
 
 /// Relative-threshold variant of the multi-extraction.
-std::vector<HhhSet> extract_hhh_multi_relative(const LevelAggregates& agg,
+template <typename D>
+std::vector<HhhSet> extract_hhh_multi_relative(const BasicLevelAggregates<D>& agg,
                                                std::span<const double> phis);
 
 }  // namespace hhh

@@ -147,7 +147,10 @@ HhhSet2D extract_hhh_2d_relative(const LeafPairCounts& counts, const Hierarchy2D
 HhhSet2D exact_hhh_2d_of(std::span<const PacketRecord> packets, const Hierarchy2D& hierarchy,
                          double phi) {
   LeafPairCounts counts;
-  for (const auto& p : packets) counts.add(p.src, p.dst, p.ip_len);
+  for (const auto& p : packets) {
+    if (p.family() != AddressFamily::kIpv4) continue;  // 2-D model is v4
+    counts.add(p.src().v4(), p.dst().v4(), p.ip_len);
+  }
   return extract_hhh_2d_relative(counts, hierarchy, phi);
 }
 
@@ -203,10 +206,11 @@ Hidden2DResult analyze_hidden_hhh_2d(std::span<const PacketRecord> packets, Dura
   };
 
   for (const auto& p : packets) {
+    if (p.family() != AddressFamily::kIpv4) continue;  // 2-D model is v4
     close_steps_before(p.ts);
-    rolling.add(p.src, p.dst, p.ip_len);
-    disjoint.add(p.src, p.dst, p.ip_len);
-    bucket[LeafPairCounts::pack(p.src, p.dst)] += p.ip_len;
+    rolling.add(p.src().v4(), p.dst().v4(), p.ip_len);
+    disjoint.add(p.src().v4(), p.dst().v4(), p.ip_len);
+    bucket[LeafPairCounts::pack(p.src().v4(), p.dst().v4())] += p.ip_len;
   }
   close_steps_before(packets.back().ts);
 

@@ -6,8 +6,8 @@
 
 namespace hhh {
 
-std::vector<Ipv4Prefix> HhhSet::prefixes() const {
-  std::vector<Ipv4Prefix> out;
+std::vector<PrefixKey> HhhSet::prefixes() const {
+  std::vector<PrefixKey> out;
   out.reserve(items_.size());
   for (const auto& item : items_) out.push_back(item.prefix);
   std::sort(out.begin(), out.end());
@@ -15,7 +15,7 @@ std::vector<Ipv4Prefix> HhhSet::prefixes() const {
   return out;
 }
 
-bool HhhSet::contains(Ipv4Prefix p) const noexcept {
+bool HhhSet::contains(PrefixKey p) const noexcept {
   return std::any_of(items_.begin(), items_.end(),
                      [&](const HhhItem& item) { return item.prefix == p; });
 }
@@ -40,12 +40,12 @@ std::string HhhSet::to_string() const {
   return out;
 }
 
-void PrefixUnion::add(const std::vector<Ipv4Prefix>& prefixes) {
+void PrefixUnion::add(const std::vector<PrefixKey>& prefixes) {
   values_.insert(values_.end(), prefixes.begin(), prefixes.end());
   dirty_ = true;
 }
 
-void PrefixUnion::add(Ipv4Prefix p) {
+void PrefixUnion::add(PrefixKey p) {
   values_.push_back(p);
   dirty_ = true;
 }
@@ -62,19 +62,19 @@ std::size_t PrefixUnion::size() const {
   return values_.size();
 }
 
-const std::vector<Ipv4Prefix>& PrefixUnion::values() const {
+const std::vector<PrefixKey>& PrefixUnion::values() const {
   normalize();
   return values_;
 }
 
-bool PrefixUnion::contains(Ipv4Prefix p) const {
+bool PrefixUnion::contains(PrefixKey p) const {
   normalize();
   return std::binary_search(values_.begin(), values_.end(), p);
 }
 
-std::vector<Ipv4Prefix> prefix_difference(const std::vector<Ipv4Prefix>& a,
-                                          const std::vector<Ipv4Prefix>& b) {
-  std::vector<Ipv4Prefix> out;
+std::vector<PrefixKey> prefix_difference(const std::vector<PrefixKey>& a,
+                                          const std::vector<PrefixKey>& b) {
+  std::vector<PrefixKey> out;
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
   return out;
 }

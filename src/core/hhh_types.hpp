@@ -14,13 +14,14 @@
 #include <vector>
 
 #include "net/hierarchy.hpp"
+#include "net/ip.hpp"
 #include "net/prefix.hpp"
 
 namespace hhh {
 
 /// One reported HHH: a prefix with its total and conditioned volumes.
 struct HhhItem {
-  Ipv4Prefix prefix;                    ///< the reported prefix
+  PrefixKey prefix;                    ///< the reported prefix
   std::uint64_t total_bytes = 0;        ///< full subtree volume
   std::uint64_t conditioned_bytes = 0;  ///< volume after HHH-descendant discount
 
@@ -47,10 +48,10 @@ class HhhSet {
 
   /// The prefixes only, sorted and deduplicated — the set the hidden-HHH
   /// and Jaccard analyses operate on.
-  std::vector<Ipv4Prefix> prefixes() const;
+  std::vector<PrefixKey> prefixes() const;
 
   /// True iff some item reports exactly prefix `p`.
-  bool contains(Ipv4Prefix p) const noexcept;
+  bool contains(PrefixKey p) const noexcept;
 
   /// Items restricted to one hierarchy level (by prefix length).
   std::vector<HhhItem> at_length(unsigned len) const;
@@ -69,28 +70,28 @@ class HhhSet {
 class PrefixUnion {
  public:
   /// Accumulate a batch of prefixes (duplicates welcome).
-  void add(const std::vector<Ipv4Prefix>& prefixes);
+  void add(const std::vector<PrefixKey>& prefixes);
   /// Accumulate one prefix.
-  void add(Ipv4Prefix p);
+  void add(PrefixKey p);
 
   /// Number of distinct prefixes seen.
   std::size_t size() const;
 
   /// Sorted distinct prefixes.
-  const std::vector<Ipv4Prefix>& values() const;
+  const std::vector<PrefixKey>& values() const;
 
   /// True iff `p` has been added.
-  bool contains(Ipv4Prefix p) const;
+  bool contains(PrefixKey p) const;
 
  private:
   void normalize() const;
 
-  mutable std::vector<Ipv4Prefix> values_;
+  mutable std::vector<PrefixKey> values_;
   mutable bool dirty_ = false;
 };
 
 /// a \ b over sorted-unique prefix vectors.
-std::vector<Ipv4Prefix> prefix_difference(const std::vector<Ipv4Prefix>& a,
-                                          const std::vector<Ipv4Prefix>& b);
+std::vector<PrefixKey> prefix_difference(const std::vector<PrefixKey>& a,
+                                          const std::vector<PrefixKey>& b);
 
 }  // namespace hhh

@@ -138,10 +138,11 @@ std::vector<HiddenHhhResult> grid_for_window(std::span<const PacketRecord> packe
   };
 
   for (const auto& p : packets) {
+    if (p.family() != AddressFamily::kIpv4) continue;  // v4 analysis
     close_steps_before(p.ts);
-    rolling.add(p.src, p.ip_len);
-    disjoint.add(p.src, p.ip_len);
-    bucket[p.src.bits()] += p.ip_len;
+    rolling.add(p.src(), p.ip_len);
+    disjoint.add(p.src(), p.ip_len);
+    bucket[p.src().v4().bits()] += p.ip_len;
   }
   close_steps_before(packets.back().ts);
 
@@ -203,7 +204,7 @@ WindowSimilarityResult analyze_window_similarity(std::span<const PacketRecord> p
   }
   // Retain the prefix sets only; full HhhSets for thousands of windows
   // would be wasteful.
-  std::vector<std::vector<std::vector<Ipv4Prefix>>> sets(detectors.size());
+  std::vector<std::vector<std::vector<PrefixKey>>> sets(detectors.size());
   for (std::size_t d = 0; d < detectors.size(); ++d) {
     detectors[d]->set_on_report(
         [&sets, d](const WindowReport& r) { sets[d].push_back(r.hhhs.prefixes()); });

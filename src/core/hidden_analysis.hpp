@@ -40,9 +40,9 @@ struct HiddenHhhParams {
 struct HiddenHhhResult {
   HiddenHhhParams params;  ///< the cell's configuration, echoed back
 
-  std::vector<Ipv4Prefix> sliding_prefixes;   ///< distinct, sorted
-  std::vector<Ipv4Prefix> disjoint_prefixes;  ///< distinct, sorted
-  std::vector<Ipv4Prefix> hidden;             ///< sliding \\ disjoint
+  std::vector<PrefixKey> sliding_prefixes;   ///< distinct, sorted
+  std::vector<PrefixKey> disjoint_prefixes;  ///< distinct, sorted
+  std::vector<PrefixKey> hidden;             ///< sliding \\ disjoint
 
   std::size_t union_size = 0;         ///< |sliding ∪ disjoint|
   std::size_t disjoint_windows = 0;   ///< windows tiled

@@ -1,120 +1,33 @@
 #include "core/level_aggregates.hpp"
 
-#include <cassert>
-#include <stdexcept>
-
 #include "wire/codec.hpp"
 
 namespace hhh {
 
-LevelAggregates::LevelAggregates(const Hierarchy& hierarchy) : hierarchy_(hierarchy) {
-  maps_.reserve(hierarchy_.levels());
-  for (std::size_t i = 0; i < hierarchy_.levels(); ++i) maps_.emplace_back(1024);
-}
-
-void LevelAggregates::add(Ipv4Address src, std::uint64_t bytes) {
-  total_ += bytes;
-  for (std::size_t level = 0; level < maps_.size(); ++level) {
-    maps_[level][hierarchy_.generalize(src, level).key()] += bytes;
-  }
-}
-
-void LevelAggregates::add_batch(std::span<const PacketRecord> packets) {
-  if (packets.empty()) return;
-  // Deferred trie propagation. Coalesce the batch at the leaf level, apply
-  // it, then re-coalesce the (strictly shrinking) distinct set one level up
-  // and repeat. Duplication compounds at coarser levels — a /8 map absorbs
-  // thousands of leaf updates as a handful of entries — which is where the
-  // per-packet add() burns most of its hash lookups.
-  scratch_.clear();
-  std::uint64_t batch_total = 0;
-  const unsigned leaf_len = hierarchy_.leaf_length();
-  for (const auto& p : packets) {
-    batch_total += p.ip_len;
-    scratch_[Ipv4Prefix(p.src, leaf_len).key()] += p.ip_len;
-  }
-  total_ += batch_total;
-  for (std::size_t level = 0;; ++level) {
-    auto& map = maps_[level];
-    if (level + 1 == maps_.size()) {
-      scratch_.for_each(
-          [&](const std::uint64_t& key, std::uint64_t& bytes) { map[key] += bytes; });
-      break;
-    }
-    // Fused pass: apply this level's distinct sums and build the next
-    // level's coalesced set in the same scan.
-    const unsigned next_len = hierarchy_.length_at(level + 1);
-    carry_.clear();
-    scratch_.for_each([&](const std::uint64_t& key, std::uint64_t& bytes) {
-      map[key] += bytes;
-      carry_[Ipv4Prefix::from_key(key).truncated(next_len).key()] += bytes;
-    });
-    std::swap(scratch_, carry_);
-  }
-}
-
-void LevelAggregates::remove(Ipv4Address src, std::uint64_t bytes) {
-  assert(total_ >= bytes);
-  total_ -= bytes;
-  for (std::size_t level = 0; level < maps_.size(); ++level) {
-    const std::uint64_t key = hierarchy_.generalize(src, level).key();
-    auto* count = maps_[level].find(key);
-    assert(count != nullptr && *count >= bytes);
-    *count -= bytes;
-    if (*count == 0) maps_[level].erase(key);
-  }
-}
-
-void LevelAggregates::merge(const LevelAggregates& other) {
-  if (other.hierarchy_ != hierarchy_) {
-    throw std::invalid_argument("LevelAggregates::merge: hierarchy mismatch");
-  }
-  total_ += other.total_;
-  for (std::size_t level = 0; level < maps_.size(); ++level) {
-    auto& map = maps_[level];
-    other.maps_[level].for_each(
-        [&](std::uint64_t key, const std::uint64_t& bytes) { map[key] += bytes; });
-  }
-}
-
-void LevelAggregates::clear() {
-  for (auto& m : maps_) m.clear();
-  total_ = 0;
-}
-
-std::uint64_t LevelAggregates::count(Ipv4Prefix prefix) const noexcept {
-  const std::size_t level = hierarchy_.level_of(prefix);
-  if (level == Hierarchy::npos) return 0;
-  const auto* v = maps_[level].find(prefix.key());
-  return v ? *v : 0;
-}
-
-std::size_t LevelAggregates::distinct_at(std::size_t level) const noexcept {
-  return maps_[level].size();
-}
-
-void LevelAggregates::save_state(wire::Writer& w) const {
+template <typename D>
+void BasicLevelAggregates<D>::save_state(wire::Writer& w) const {
   wire::write_hierarchy(w, hierarchy_);
   w.u64(total_);
   for (const auto& map : maps_) {
     w.u64(map.size());
-    map.for_each([&](std::uint64_t key, const std::uint64_t& bytes) {
-      w.u64(key);
+    map.for_each([&](const MapKey& key, const std::uint64_t& bytes) {
+      D::write_key(w, key);
       w.u64(bytes);
     });
   }
 }
 
-void LevelAggregates::read_counters(wire::Reader& r) {
+template <typename D>
+void BasicLevelAggregates<D>::read_counters(wire::Reader& r) {
   total_ = r.u64();
   for (auto& map : maps_) {
     const std::uint64_t n = r.count(16);
     // Pre-size for the declared entry count: inserting a large level map
     // into a default-capacity table would rehash O(log n) times and
     // dominate deserialization.
-    map = FlatHashMap<std::uint64_t, std::uint64_t>(n * 2);
+    map = Map(n * 2);
     for (std::uint64_t i = 0; i < n; ++i) {
-      const std::uint64_t key = r.u64();
+      const MapKey key = D::read_key(r);
       auto [v, inserted] = map.try_emplace(key);
       wire::check(inserted, wire::WireError::kBadValue, "LevelAggregates duplicate key");
       *v = r.u64();
@@ -122,22 +35,22 @@ void LevelAggregates::read_counters(wire::Reader& r) {
   }
 }
 
-void LevelAggregates::load_state(wire::Reader& r) {
+template <typename D>
+void BasicLevelAggregates<D>::load_state(wire::Reader& r) {
   wire::check(wire::read_hierarchy(r) == hierarchy_, wire::WireError::kParamsMismatch,
               "LevelAggregates hierarchy mismatch");
   read_counters(r);
 }
 
-LevelAggregates LevelAggregates::deserialize(wire::Reader& r) {
-  LevelAggregates agg(wire::read_hierarchy(r));
-  agg.read_counters(r);
-  return agg;
+template <typename D>
+BasicLevelAggregates<D> BasicLevelAggregates<D>::deserialize(wire::Reader& r) {
+  const Hierarchy hierarchy = wire::read_hierarchy(r);
+  wire::check(hierarchy.family() == D::kFamily, wire::WireError::kParamsMismatch,
+              "LevelAggregates address family mismatch");
+  return deserialize_counters(hierarchy, r);
 }
 
-std::size_t LevelAggregates::memory_bytes() const noexcept {
-  std::size_t sum = 0;
-  for (const auto& m : maps_) sum += m.memory_bytes();
-  return sum;
-}
+template class BasicLevelAggregates<V4Domain>;
+template class BasicLevelAggregates<V6Domain>;
 
 }  // namespace hhh

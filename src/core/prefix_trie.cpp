@@ -1,17 +1,38 @@
 #include "core/prefix_trie.hpp"
 
+#include <cassert>
 #include <cmath>
 
 namespace hhh {
+namespace {
 
-PrefixTrie::PrefixTrie() { nodes_.emplace_back(); }
+/// Bit `depth` (0 = MSB) of the left-aligned 128-bit value.
+constexpr unsigned bit_at(std::uint64_t hi, std::uint64_t lo, unsigned depth) noexcept {
+  return static_cast<unsigned>(
+      (depth < 64 ? hi >> (63 - depth) : lo >> (127 - depth)) & 1u);
+}
 
-void PrefixTrie::add(Ipv4Address addr, std::uint64_t bytes) {
+/// Set bit `depth` of the (hi, lo) pair.
+constexpr void set_bit(std::uint64_t& hi, std::uint64_t& lo, unsigned depth) noexcept {
+  if (depth < 64) {
+    hi |= 1ULL << (63 - depth);
+  } else {
+    lo |= 1ULL << (127 - depth);
+  }
+}
+
+}  // namespace
+
+PrefixTrie::PrefixTrie(AddressFamily family) : family_(family) { nodes_.emplace_back(); }
+
+void PrefixTrie::add(IpAddress addr, std::uint64_t bytes) {
+  if (addr.family() != family_) return;  // dual-stack callers route per family
+  const unsigned width = address_bits(family_);
   total_ += bytes;
   std::uint32_t node = 0;
   nodes_[0].bytes += bytes;
-  for (unsigned depth = 0; depth < 32; ++depth) {
-    const unsigned bit = (addr.bits() >> (31 - depth)) & 1;
+  for (unsigned depth = 0; depth < width; ++depth) {
+    const unsigned bit = bit_at(addr.hi(), addr.lo(), depth);
     std::uint32_t next = nodes_[node].child[bit];
     if (next == 0) {
       next = static_cast<std::uint32_t>(nodes_.size());
@@ -23,10 +44,11 @@ void PrefixTrie::add(Ipv4Address addr, std::uint64_t bytes) {
   }
 }
 
-std::uint64_t PrefixTrie::subtree_bytes(Ipv4Prefix prefix) const noexcept {
+std::uint64_t PrefixTrie::subtree_bytes(PrefixKey prefix) const noexcept {
+  if (prefix.family() != family_) return 0;
   std::uint32_t node = 0;
   for (unsigned depth = 0; depth < prefix.length(); ++depth) {
-    const unsigned bit = (prefix.bits() >> (31 - depth)) & 1;
+    const unsigned bit = bit_at(prefix.bits_hi(), prefix.bits_lo(), depth);
     node = nodes_[node].child[bit];
     if (node == 0) return 0;
   }
@@ -36,28 +58,33 @@ std::uint64_t PrefixTrie::subtree_bytes(Ipv4Prefix prefix) const noexcept {
 struct PrefixTrie::ExtractCtx {
   const Hierarchy* hierarchy;
   std::uint64_t threshold;
+  unsigned width;
   HhhSet* out;
 };
 
 // Returns the subtree residual: bytes under `node` not claimed by an HHH
 // at or below `node`'s depth.
-std::uint64_t PrefixTrie::extract_walk(std::uint32_t node, unsigned depth, std::uint32_t bits,
+std::uint64_t PrefixTrie::extract_walk(std::uint32_t node, unsigned depth,
+                                       std::uint64_t bits_hi, std::uint64_t bits_lo,
                                        ExtractCtx& ctx) const {
   std::uint64_t residual;
-  if (depth == 32) {
+  if (depth == ctx.width) {
     residual = nodes_[node].bytes;
   } else {
     residual = 0;
     const std::uint32_t left = nodes_[node].child[0];
     const std::uint32_t right = nodes_[node].child[1];
-    if (left != 0) residual += extract_walk(left, depth + 1, bits, ctx);
+    if (left != 0) residual += extract_walk(left, depth + 1, bits_hi, bits_lo, ctx);
     if (right != 0) {
-      residual += extract_walk(right, depth + 1, bits | (1u << (31 - depth)), ctx);
+      std::uint64_t hi = bits_hi;
+      std::uint64_t lo = bits_lo;
+      set_bit(hi, lo, depth);
+      residual += extract_walk(right, depth + 1, hi, lo, ctx);
     }
   }
 
   if (ctx.hierarchy->level_of_length(depth) != Hierarchy::npos && residual >= ctx.threshold) {
-    const Ipv4Prefix prefix(Ipv4Address(bits), depth);
+    const PrefixKey prefix(IpAddress::from_bits(family_, bits_hi, bits_lo), depth);
     ctx.out->add(HhhItem{prefix, nodes_[node].bytes, residual});
     return 0;  // this HHH absorbs its subtree
   }
@@ -65,11 +92,12 @@ std::uint64_t PrefixTrie::extract_walk(std::uint32_t node, unsigned depth, std::
 }
 
 HhhSet PrefixTrie::extract(const Hierarchy& hierarchy, std::uint64_t threshold_bytes) const {
+  assert(hierarchy.family() == family_);
   HhhSet result;
   result.total_bytes = total_;
   result.threshold_bytes = std::max<std::uint64_t>(threshold_bytes, 1);
-  ExtractCtx ctx{&hierarchy, result.threshold_bytes, &result};
-  if (nodes_[0].bytes > 0) extract_walk(0, 0, 0, ctx);
+  ExtractCtx ctx{&hierarchy, result.threshold_bytes, address_bits(family_), &result};
+  if (nodes_[0].bytes > 0) extract_walk(0, 0, 0, 0, ctx);
   return result;
 }
 

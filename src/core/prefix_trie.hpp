@@ -2,13 +2,16 @@
 /// Binary prefix trie with exact HHH extraction.
 ///
 /// An independent, structurally different implementation of the same HHH
-/// definition as exact_hhh.hpp: counts live at /32 leaves, extraction walks
-/// the trie once in post-order computing subtree residuals and marking HHHs
-/// at hierarchy levels. Property tests run both engines on random streams
-/// and require identical output — a strong check that neither has a
-/// discounting bug. The trie also serves longest-prefix aggregation queries
-/// that the flat level maps cannot answer (subtree_bytes of an arbitrary
-/// prefix, not just hierarchy levels).
+/// definition as exact_hhh.hpp: counts live at host leaves, extraction
+/// walks the trie once in post-order computing subtree residuals and
+/// marking HHHs at hierarchy levels. Property tests run both engines on
+/// random streams and require identical output — a strong check that
+/// neither has a discounting bug. The trie also serves longest-prefix
+/// aggregation queries that the flat level maps cannot answer
+/// (subtree_bytes of an arbitrary prefix, not just hierarchy levels).
+///
+/// Family-generic: the trie is constructed for one address family (IPv4 by
+/// default) and descends up to 32 or 128 bits of the left-aligned address.
 #pragma once
 
 #include <cstdint>
@@ -16,28 +19,34 @@
 
 #include "core/hhh_types.hpp"
 #include "net/hierarchy.hpp"
-#include "net/prefix.hpp"
+#include "net/ip.hpp"
 
 namespace hhh {
 
-/// Exact binary trie over /32 leaves with subtree queries and HHH
+/// Exact binary trie over host leaves with subtree queries and HHH
 /// extraction.
 class PrefixTrie {
  public:
-  /// Empty trie (a lone root node).
-  PrefixTrie();
+  /// Empty trie (a lone root node) over `family`'s address space.
+  explicit PrefixTrie(AddressFamily family = AddressFamily::kIpv4);
 
-  /// Add `bytes` to the /32 leaf of `addr`.
-  void add(Ipv4Address addr, std::uint64_t bytes);
+  /// The family this trie indexes.
+  AddressFamily family() const noexcept { return family_; }
+
+  /// Add `bytes` to the host leaf of `addr`. Precondition: addr's family
+  /// matches the trie's.
+  void add(IpAddress addr, std::uint64_t bytes);
 
   /// Total bytes inserted.
   std::uint64_t total_bytes() const noexcept { return total_; }
 
-  /// Exact bytes inside an arbitrary prefix (any length 0..32).
-  std::uint64_t subtree_bytes(Ipv4Prefix prefix) const noexcept;
+  /// Exact bytes inside an arbitrary prefix (any length up to the family
+  /// width). Cross-family queries return 0.
+  std::uint64_t subtree_bytes(PrefixKey prefix) const noexcept;
 
   /// Exact HHH extraction at an absolute threshold over `hierarchy`.
-  /// Identical semantics to extract_hhh(LevelAggregates...).
+  /// Identical semantics to extract_hhh(LevelAggregates...). The
+  /// hierarchy's family must match the trie's.
   HhhSet extract(const Hierarchy& hierarchy, std::uint64_t threshold_bytes) const;
 
   /// Relative-threshold variant: T = max(1, ceil(phi * total)).
@@ -56,11 +65,12 @@ class PrefixTrie {
   };
 
   struct ExtractCtx;
-  std::uint64_t extract_walk(std::uint32_t node, unsigned depth, std::uint32_t bits,
-                             ExtractCtx& ctx) const;
+  std::uint64_t extract_walk(std::uint32_t node, unsigned depth, std::uint64_t bits_hi,
+                             std::uint64_t bits_lo, ExtractCtx& ctx) const;
 
   std::vector<Node> nodes_;
   std::uint64_t total_ = 0;
+  AddressFamily family_;
 };
 
 }  // namespace hhh

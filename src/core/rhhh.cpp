@@ -8,41 +8,78 @@
 #include "wire/codec.hpp"
 
 namespace hhh {
+namespace {
 
-RhhhEngine::RhhhEngine(const Params& params) : params_(params), rng_(params.seed) {
+RhhhParams read_rhhh_params(wire::Reader& r) {
+  RhhhParams p;
+  p.hierarchy = wire::read_hierarchy(r);
+  p.counters_per_level = r.u64();
+  p.update_all_levels = r.boolean();
+  p.seed = r.u64();
+  // Upper bound far above any real configuration: wire-controlled sizes
+  // must not be able to drive multi-GB allocations before validation.
+  wire::check(p.counters_per_level > 0 && p.counters_per_level <= (1u << 20),
+              wire::WireError::kBadValue, "RhhhEngine counters_per_level out of range");
+  return p;
+}
+
+void write_rhhh_params(wire::Writer& w, const RhhhParams& p) {
+  wire::write_hierarchy(w, p.hierarchy);
+  w.u64(p.counters_per_level);
+  w.boolean(p.update_all_levels);
+  w.u64(p.seed);
+}
+
+}  // namespace
+
+template <typename D>
+BasicRhhhEngine<D>::BasicRhhhEngine(const Params& params)
+    : params_(params), rng_(params.seed) {
+  if (params_.hierarchy.family() != D::kFamily) {
+    throw std::invalid_argument("RhhhEngine: hierarchy family mismatch");
+  }
   levels_.reserve(params_.hierarchy.levels());
   for (std::size_t i = 0; i < params_.hierarchy.levels(); ++i) {
     levels_.emplace_back(params_.counters_per_level);
   }
 }
 
-void RhhhEngine::add(const PacketRecord& packet) {
+template <typename D>
+void BasicRhhhEngine<D>::add(const PacketRecord& packet) {
+  if (packet.family() != D::kFamily) return;
   total_bytes_ += packet.ip_len;
   ++updates_;
   if (params_.update_all_levels) {
     for (std::size_t level = 0; level < levels_.size(); ++level) {
-      levels_[level].update(params_.hierarchy.generalize(packet.src, level).key(),
+      levels_[level].update(D::key(packet.src(), params_.hierarchy.length_at(level)),
                             packet.ip_len);
     }
     return;
   }
   const std::size_t level = static_cast<std::size_t>(rng_.below(levels_.size()));
-  levels_[level].update(params_.hierarchy.generalize(packet.src, level).key(), packet.ip_len);
+  levels_[level].update(D::key(packet.src(), params_.hierarchy.length_at(level)),
+                        packet.ip_len);
 }
 
-void RhhhEngine::add_batch(std::span<const PacketRecord> packets) {
+template <typename D>
+void BasicRhhhEngine<D>::add_batch(std::span<const PacketRecord> packets) {
   if (params_.update_all_levels) {
     // HSS ablation: level-major order walks each Space-Saving instance
     // once over the whole batch instead of cycling through all H maps per
     // packet, keeping one map's slots/heap hot in cache at a time.
     for (std::size_t level = 0; level < levels_.size(); ++level) {
       auto& ss = levels_[level];
+      const unsigned len = params_.hierarchy.length_at(level);
       for (const auto& p : packets) {
-        ss.update(params_.hierarchy.generalize(p.src, level).key(), p.ip_len);
+        if (p.family() != D::kFamily) continue;
+        ss.update(D::key_halves(p.src_hi(), p.src_lo(), len), p.ip_len);
       }
     }
-    for (const auto& p : packets) total_bytes_ += p.ip_len;
-    updates_ += packets.size();
+    for (const auto& p : packets) {
+      if (p.family() != D::kFamily) continue;
+      total_bytes_ += p.ip_len;
+      ++updates_;
+    }
     return;
   }
 
@@ -53,29 +90,35 @@ void RhhhEngine::add_batch(std::span<const PacketRecord> packets) {
   // per-packet level choice stays independent and uniform (bias < 2^-27
   // for H <= 33), so extract() statistics match the add() loop.
   const std::uint64_t num_levels = levels_.size();
-  const std::size_t n = packets.size();
+  const unsigned* const lens = params_.hierarchy.lengths().data();
   std::uint64_t bytes = 0;
-  std::size_t i = 0;
-  while (i < n) {
-    const std::uint64_t draw = rng_.next();
-    const std::size_t lo =
-        static_cast<std::size_t>(((draw & 0xFFFF'FFFFULL) * num_levels) >> 32);
-    const PacketRecord& p0 = packets[i];
-    levels_[lo].update(params_.hierarchy.generalize(p0.src, lo).key(), p0.ip_len);
-    bytes += p0.ip_len;
-    if (++i == n) break;
-    const std::size_t hi = static_cast<std::size_t>(((draw >> 32) * num_levels) >> 32);
-    const PacketRecord& p1 = packets[i];
-    levels_[hi].update(params_.hierarchy.generalize(p1.src, hi).key(), p1.ip_len);
-    bytes += p1.ip_len;
-    ++i;
+  std::uint64_t matched = 0;
+  std::uint32_t spare = 0;
+  bool have_spare = false;
+  for (const PacketRecord& p : packets) {
+    if (p.family() != D::kFamily) continue;  // skipped packets draw nothing
+    std::uint64_t half;
+    if (have_spare) {
+      half = spare;
+      have_spare = false;
+    } else {
+      const std::uint64_t draw = rng_.next();
+      half = draw & 0xFFFF'FFFFULL;
+      spare = static_cast<std::uint32_t>(draw >> 32);
+      have_spare = true;
+    }
+    const std::size_t level = static_cast<std::size_t>((half * num_levels) >> 32);
+    levels_[level].update(D::key_halves(p.src_hi(), p.src_lo(), lens[level]), p.ip_len);
+    bytes += p.ip_len;
+    ++matched;
   }
   total_bytes_ += bytes;
-  updates_ += n;
+  updates_ += matched;
 }
 
-void RhhhEngine::merge_from(const HhhEngine& other) {
-  const auto* peer = dynamic_cast<const RhhhEngine*>(&other);
+template <typename D>
+void BasicRhhhEngine<D>::merge_from(const HhhEngine& other) {
+  const auto* peer = dynamic_cast<const BasicRhhhEngine*>(&other);
   if (peer == nullptr) {
     throw std::invalid_argument("RhhhEngine::merge_from: peer is not an RhhhEngine ('" +
                                 other.name() + "')");
@@ -94,15 +137,23 @@ void RhhhEngine::merge_from(const HhhEngine& other) {
   updates_ += peer->updates_;
 }
 
-double RhhhEngine::estimate(Ipv4Prefix prefix) const {
+template <typename D>
+double BasicRhhhEngine<D>::estimate(PrefixKey prefix) const {
   const std::size_t level = params_.hierarchy.level_of(prefix);
   if (level == Hierarchy::npos) return 0.0;
   const double scale =
       params_.update_all_levels ? 1.0 : static_cast<double>(levels_.size());
-  return levels_[level].estimate(prefix.key()) * scale;
+  return levels_[level].estimate(D::map_key(prefix)) * scale;
 }
 
-HhhSet RhhhEngine::extract(double phi) const {
+template <typename D>
+std::string BasicRhhhEngine<D>::name() const {
+  const char* base = params_.update_all_levels ? "hss" : "rhhh";
+  return D::kFamily == AddressFamily::kIpv4 ? base : std::string(base) + "_v6";
+}
+
+template <typename D>
+HhhSet BasicRhhhEngine<D>::extract(double phi) const {
   HhhSet result;
   result.total_bytes = total_bytes_;
   result.threshold_bytes = std::max<std::uint64_t>(
@@ -114,14 +165,14 @@ HhhSet RhhhEngine::extract(double phi) const {
   // Selected HHHs so far (levels below the current one), with their full
   // scaled estimates; used for closest-ancestor discounting.
   struct Selected {
-    Ipv4Prefix prefix;
+    PrefixKey prefix;
     double full_estimate;
   };
   std::vector<Selected> selected;
 
   for (std::size_t level = 0; level < levels_.size(); ++level) {
     for (const auto& entry : levels_[level].entries()) {
-      const Ipv4Prefix prefix = Ipv4Prefix::from_key(entry.key);
+      const PrefixKey prefix = D::prefix(entry.key);
       const double full = entry.count * scale;
 
       // Discount every selected HHH descendant whose closest selected
@@ -148,7 +199,8 @@ HhhSet RhhhEngine::extract(double phi) const {
   return result;
 }
 
-void RhhhEngine::reset() {
+template <typename D>
+void BasicRhhhEngine<D>::reset() {
   for (auto& level : levels_) level.clear();
   total_bytes_ = 0;
   updates_ = 0;
@@ -156,31 +208,17 @@ void RhhhEngine::reset() {
   // deterministic sequence, matching a hardware deployment.
 }
 
-void RhhhEngine::save_state(wire::Writer& w) const {
-  wire::write_hierarchy(w, params_.hierarchy);
-  w.u64(params_.counters_per_level);
-  w.boolean(params_.update_all_levels);
-  w.u64(params_.seed);
+template <typename D>
+void BasicRhhhEngine<D>::save_state(wire::Writer& w) const {
+  write_rhhh_params(w, params_);
   for (const std::uint64_t s : rng_.state()) w.u64(s);
   w.u64(total_bytes_);
   w.u64(updates_);
   for (const auto& level : levels_) level.save_state(w);
 }
 
-RhhhEngine::Params RhhhEngine::read_params(wire::Reader& r) {
-  Params p;
-  p.hierarchy = wire::read_hierarchy(r);
-  p.counters_per_level = r.u64();
-  p.update_all_levels = r.boolean();
-  p.seed = r.u64();
-  // Upper bound far above any real configuration: wire-controlled sizes
-  // must not be able to drive multi-GB allocations before validation.
-  wire::check(p.counters_per_level > 0 && p.counters_per_level <= (1u << 20),
-              wire::WireError::kBadValue, "RhhhEngine counters_per_level out of range");
-  return p;
-}
-
-void RhhhEngine::read_state(wire::Reader& r) {
+template <typename D>
+void BasicRhhhEngine<D>::read_state(wire::Reader& r) {
   std::array<std::uint64_t, 4> state;
   for (auto& s : state) s = r.u64();
   rng_.set_state(state);
@@ -189,8 +227,9 @@ void RhhhEngine::read_state(wire::Reader& r) {
   for (auto& level : levels_) level.load_state(r);
 }
 
-void RhhhEngine::load_state(wire::Reader& r) {
-  const Params p = read_params(r);
+template <typename D>
+void BasicRhhhEngine<D>::load_state(wire::Reader& r) {
+  const Params p = read_rhhh_params(r);
   wire::check(p.hierarchy == params_.hierarchy &&
                   p.counters_per_level == params_.counters_per_level &&
                   p.update_all_levels == params_.update_all_levels &&
@@ -199,16 +238,26 @@ void RhhhEngine::load_state(wire::Reader& r) {
   read_state(r);
 }
 
-std::unique_ptr<RhhhEngine> RhhhEngine::deserialize(wire::Reader& r) {
-  auto engine = std::make_unique<RhhhEngine>(read_params(r));
-  engine->read_state(r);
-  return engine;
-}
-
-std::size_t RhhhEngine::memory_bytes() const {
+template <typename D>
+std::size_t BasicRhhhEngine<D>::memory_bytes() const {
   std::size_t sum = 0;
   for (const auto& level : levels_) sum += level.memory_bytes();
   return sum;
+}
+
+template class BasicRhhhEngine<V4Domain>;
+template class BasicRhhhEngine<V6Domain>;
+
+std::unique_ptr<HhhEngine> deserialize_rhhh_engine(wire::Reader& r) {
+  const RhhhParams p = read_rhhh_params(r);
+  if (p.hierarchy.family() == AddressFamily::kIpv4) {
+    auto engine = std::make_unique<RhhhEngine>(p);
+    engine->read_state(r);
+    return engine;
+  }
+  auto engine = std::make_unique<RhhhV6Engine>(p);
+  engine->read_state(r);
+  return engine;
 }
 
 }  // namespace hhh

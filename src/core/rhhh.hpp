@@ -18,9 +18,15 @@
 /// The `update_all_levels` flag turns the sampler off and feeds every
 /// level on every packet: that is the classic O(H) hierarchical
 /// Space-Saving (HSS), kept as the accuracy-ceiling ablation for RHHH.
+///
+/// RHHH treats the hierarchy as a parameter, not a constant — exactly what
+/// makes it family-generic: `RhhhEngine` (IPv4) and `RhhhV6Engine` (IPv6,
+/// 17- or 33-level hierarchies) are the two instantiations of one
+/// template over the key domain.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -29,19 +35,25 @@
 
 namespace hhh {
 
-/// Randomized HHH engine (RHHH), with a deterministic HSS ablation mode.
-class RhhhEngine final : public HhhEngine {
- public:
-  /// Construction-time configuration.
-  struct Params {
-    Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
-    std::size_t counters_per_level = 512;  ///< Space-Saving capacity per level
-    bool update_all_levels = false;        ///< true = deterministic HSS ablation
-    std::uint64_t seed = 0x8111'0001;      ///< level-sampler RNG seed
-  };
+/// Construction-time configuration shared by both family instantiations.
+struct RhhhParams {
+  Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
+  std::size_t counters_per_level = 512;  ///< Space-Saving capacity per level
+  bool update_all_levels = false;        ///< true = deterministic HSS ablation
+  std::uint64_t seed = 0x8111'0001;      ///< level-sampler RNG seed
+};
 
-  /// Engine with one Space-Saving summary per hierarchy level.
-  explicit RhhhEngine(const Params& params);
+/// Randomized HHH engine (RHHH), with a deterministic HSS ablation mode.
+template <typename D>
+class BasicRhhhEngine final : public HhhEngine {
+ public:
+  /// Construction-time configuration (shared across families).
+  using Params = RhhhParams;
+
+  /// Engine with one Space-Saving summary per hierarchy level. The
+  /// hierarchy family must match the domain's; throws
+  /// std::invalid_argument otherwise.
+  explicit BasicRhhhEngine(const Params& params);
 
   /// O(1): sample one level uniformly, update its summary (RHHH); or O(H)
   /// updating every level in HSS mode.
@@ -57,12 +69,12 @@ class RhhhEngine final : public HhhEngine {
   std::uint64_t total_bytes() const override { return total_bytes_; }
   /// Sum of the per-level summaries' footprints.
   std::size_t memory_bytes() const override;
-  /// "rhhh", or "hss" in update_all_levels mode.
-  std::string name() const override { return params_.update_all_levels ? "hss" : "rhhh"; }
+  /// "rhhh" / "hss", with a "_v6" suffix for the IPv6 instantiation.
+  std::string name() const override;
 
   /// Always true: per-level Space-Saving summaries are mergeable.
   bool mergeable() const override { return true; }
-  /// Merge another RhhhEngine's per-level summaries into this one
+  /// Merge another engine's per-level summaries into this one
   /// (SpaceSaving::merge_from per level; totals add exactly).
   ///
   /// Error bound: with capacity k per level, level-l estimates of the
@@ -74,7 +86,7 @@ class RhhhEngine final : public HhhEngine {
   void merge_from(const HhhEngine& other) override;
 
   /// Scaled volume estimate of `prefix` (must be at a hierarchy level).
-  double estimate(Ipv4Prefix prefix) const;
+  double estimate(PrefixKey prefix) const;
 
   /// Always true: per-level summaries and the sampler RNG serialize.
   bool serializable() const override { return true; }
@@ -86,18 +98,29 @@ class RhhhEngine final : public HhhEngine {
   /// Restore state; throws wire::WireFormatError(kParamsMismatch) when
   /// the snapshot's params differ from this engine's.
   void load_state(wire::Reader& r) override;
-  /// Construct an RHHH/HSS engine directly from a save_state() payload.
-  static std::unique_ptr<RhhhEngine> deserialize(wire::Reader& r);
 
  private:
-  static Params read_params(wire::Reader& r);
+  friend std::unique_ptr<HhhEngine> deserialize_rhhh_engine(wire::Reader& r);
+
   void read_state(wire::Reader& r);
 
   Params params_;
   Rng rng_;
-  std::vector<SpaceSaving> levels_;
+  std::vector<BasicSpaceSaving<D>> levels_;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t updates_ = 0;
 };
+
+/// The IPv4 engine (names "rhhh" / "hss").
+using RhhhEngine = BasicRhhhEngine<V4Domain>;
+/// The IPv6 engine (names "rhhh_v6" / "hss_v6").
+using RhhhV6Engine = BasicRhhhEngine<V6Domain>;
+
+extern template class BasicRhhhEngine<V4Domain>;
+extern template class BasicRhhhEngine<V6Domain>;
+
+/// Construct an RHHH/HSS engine directly from a save_state() payload:
+/// reads the params header and picks the family instantiation.
+std::unique_ptr<HhhEngine> deserialize_rhhh_engine(wire::Reader& r);
 
 }  // namespace hhh

@@ -59,9 +59,11 @@ void ShardedHhhEngine::worker_loop(Shard& shard) {
 }
 
 std::size_t ShardedHhhEngine::shard_of(const PacketRecord& p) const noexcept {
+  // Source mode folds both address words so v6 sources spread too; for
+  // v4 the low word is zero and this reduces to mixing the v4 bits.
   const std::uint64_t key = params_.partition == PartitionKey::kFlow
                                 ? FlowKey::from(p).key()
-                                : static_cast<std::uint64_t>(p.src.bits());
+                                : (p.src().hi() ^ mix64(p.src().lo()));
   // Multiply-shift range reduction over the mixed upper half: uniform over
   // [0, shards) without division on the per-packet path.
   return static_cast<std::size_t>(((mix64(key) >> 32) * shards_.size()) >> 32);

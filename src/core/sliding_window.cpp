@@ -59,9 +59,10 @@ void SlidingWindowHhhDetector::close_steps_before(TimePoint t) {
 }
 
 void SlidingWindowHhhDetector::offer(const PacketRecord& packet) {
+  if (packet.family() != AddressFamily::kIpv4) return;  // v4 rolling model
   close_steps_before(packet.ts);
-  rolling_.add(packet.src, packet.ip_len);
-  current_bucket_[packet.src.bits()] += packet.ip_len;
+  rolling_.add(packet.src(), packet.ip_len);
+  current_bucket_[packet.src().v4().bits()] += packet.ip_len;
 }
 
 void SlidingWindowHhhDetector::finish(TimePoint end_of_stream) {

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "net/key_domain.hpp"
 #include "wire/codec.hpp"
 
 namespace hhh {
 
 TimeDecayingHhhDetector::TimeDecayingHhhDetector(const Params& params) : params_(params) {
+  if (params_.hierarchy.family() != AddressFamily::kIpv4) {
+    throw std::invalid_argument("TimeDecayingHhhDetector: IPv4 hierarchies only");
+  }
   const std::size_t levels = params_.hierarchy.levels();
   filters_.reserve(levels);
   candidates_.reserve(levels);
@@ -43,6 +48,7 @@ void TimeDecayingHhhDetector::rescale(TimePoint now) {
 }
 
 void TimeDecayingHhhDetector::offer(const PacketRecord& packet) {
+  if (packet.family() != AddressFamily::kIpv4) return;
   if (packet.ts - last_rescale_ >= rescale_interval_) rescale(packet.ts);
 
   // Candidate counts are stored decayed-to-last_rescale_; an arrival at a
@@ -52,7 +58,7 @@ void TimeDecayingHhhDetector::offer(const PacketRecord& packet) {
   const double weight = static_cast<double>(packet.ip_len);
 
   for (std::size_t level = 0; level < filters_.size(); ++level) {
-    const std::uint64_t key = params_.hierarchy.generalize(packet.src, level).key();
+    const std::uint64_t key = V4Domain::key(packet.src(), params_.hierarchy.length_at(level));
     filters_[level].update(key, weight, packet.ts);
     candidates_[level].update(key, weight * up_factor);
   }
@@ -75,14 +81,14 @@ HhhSet TimeDecayingHhhDetector::query(TimePoint now, double phi) const {
       std::exp2(-static_cast<double>((now - last_rescale_).ns()) * inv_half_life_ns_);
 
   struct Selected {
-    Ipv4Prefix prefix;
+    PrefixKey prefix;
     double full_estimate;
   };
   std::vector<Selected> selected;
 
   for (std::size_t level = 0; level < filters_.size(); ++level) {
     for (const auto& entry : candidates_[level].entries()) {
-      const Ipv4Prefix prefix = Ipv4Prefix::from_key(entry.key);
+      const PrefixKey prefix = V4Domain::prefix(entry.key);
       const double ss_estimate = entry.count * read_factor;
       const double bf_estimate = filters_[level].estimate(entry.key, now);
       const double full = std::min(ss_estimate, bf_estimate);

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
+#include "net/key_domain.hpp"
 #include "wire/codec.hpp"
 
 namespace hhh {
 
-UnivmonHhhEngine::UnivmonHhhEngine(const Params& params) : params_(params) { rebuild(); }
+UnivmonHhhEngine::UnivmonHhhEngine(const Params& params) : params_(params) {
+  if (params_.hierarchy.family() != AddressFamily::kIpv4) {
+    throw std::invalid_argument("UnivmonHhhEngine: IPv4 hierarchies only");
+  }
+  rebuild();
+}
 
 void UnivmonHhhEngine::rebuild() {
   sketches_.clear();
@@ -24,9 +31,10 @@ void UnivmonHhhEngine::rebuild() {
 }
 
 void UnivmonHhhEngine::add(const PacketRecord& packet) {
+  if (packet.family() != AddressFamily::kIpv4) return;
   total_bytes_ += packet.ip_len;
   for (std::size_t level = 0; level < sketches_.size(); ++level) {
-    sketches_[level].update(params_.hierarchy.generalize(packet.src, level).key(),
+    sketches_[level].update(V4Domain::key(packet.src(), params_.hierarchy.length_at(level)),
                             static_cast<std::int64_t>(packet.ip_len));
   }
 }
@@ -39,7 +47,7 @@ HhhSet UnivmonHhhEngine::extract(double phi) const {
   const double threshold = static_cast<double>(result.threshold_bytes);
 
   struct Selected {
-    Ipv4Prefix prefix;
+    PrefixKey prefix;
     double full_estimate;
   };
   std::vector<Selected> selected;
@@ -50,7 +58,7 @@ HhhSet UnivmonHhhEngine::extract(double phi) const {
     const auto candidates =
         sketches_[level].heavy_hitters(static_cast<std::int64_t>(threshold / 2.0));
     for (const auto& candidate : candidates) {
-      const Ipv4Prefix prefix = Ipv4Prefix::from_key(candidate.key);
+      const PrefixKey prefix = V4Domain::prefix(candidate.key);
       const double full = static_cast<double>(candidate.estimate);
 
       double conditioned = full;

@@ -4,11 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "net/key_domain.hpp"
 #include "wire/codec.hpp"
 
 namespace hhh {
 
 WcssSlidingHhhDetector::WcssSlidingHhhDetector(const Params& params) : params_(params) {
+  if (params_.hierarchy.family() != AddressFamily::kIpv4) {
+    throw std::invalid_argument("WcssSlidingHhhDetector: IPv4 hierarchies only");
+  }
   WindowedSpaceSaving::Params wp;
   wp.window = params.window;
   wp.frames = params.frames;
@@ -18,8 +22,9 @@ WcssSlidingHhhDetector::WcssSlidingHhhDetector(const Params& params) : params_(p
 }
 
 void WcssSlidingHhhDetector::offer(const PacketRecord& packet) {
+  if (packet.family() != AddressFamily::kIpv4) return;
   for (std::size_t level = 0; level < levels_.size(); ++level) {
-    levels_[level].update(params_.hierarchy.generalize(packet.src, level).key(),
+    levels_[level].update(V4Domain::key(packet.src(), params_.hierarchy.length_at(level)),
                           packet.ip_len, packet.ts);
   }
 }
@@ -32,7 +37,7 @@ HhhSet WcssSlidingHhhDetector::query(TimePoint now, double phi) {
   result.threshold_bytes = static_cast<std::uint64_t>(std::ceil(threshold));
 
   struct Selected {
-    Ipv4Prefix prefix;
+    PrefixKey prefix;
     double full_estimate;
   };
   std::vector<Selected> selected;
@@ -43,7 +48,7 @@ HhhSet WcssSlidingHhhDetector::query(TimePoint now, double phi) {
     // against per-frame estimation error.
     const auto candidates = levels_[level].candidates_at_least(threshold * 0.5, now);
     for (const auto& candidate : candidates) {
-      const Ipv4Prefix prefix = Ipv4Prefix::from_key(candidate.key);
+      const PrefixKey prefix = V4Domain::prefix(candidate.key);
       const double full = candidate.estimate;
 
       double conditioned = full;

@@ -7,16 +7,19 @@
 
 namespace hhh {
 
-Hierarchy::Hierarchy(std::vector<unsigned> lengths) : lengths_(std::move(lengths)) {
+Hierarchy::Hierarchy(std::vector<unsigned> lengths, AddressFamily family)
+    : lengths_(std::move(lengths)), family_(family) {
   if (lengths_.empty()) throw std::invalid_argument("Hierarchy: no levels");
-  if (lengths_.front() > 32) throw std::invalid_argument("Hierarchy: length > 32");
+  if (lengths_.front() > width()) {
+    throw std::invalid_argument("Hierarchy: length > address width");
+  }
   if (lengths_.back() != 0) throw std::invalid_argument("Hierarchy: must end at /0");
   for (std::size_t i = 1; i < lengths_.size(); ++i) {
     if (lengths_[i] >= lengths_[i - 1]) {
       throw std::invalid_argument("Hierarchy: lengths must strictly decrease");
     }
   }
-  level_by_length_.assign(33, npos);
+  level_by_length_.assign(width() + 1, npos);
   for (std::size_t i = 0; i < lengths_.size(); ++i) level_by_length_[lengths_[i]] = i;
 }
 
@@ -28,18 +31,32 @@ Hierarchy Hierarchy::bit_granularity() {
   return Hierarchy(std::move(lens));
 }
 
-std::size_t Hierarchy::level_of_length(unsigned len) const noexcept {
-  return len > 32 ? npos : level_by_length_[len];
+Hierarchy Hierarchy::v6_byte_granularity() {
+  std::vector<unsigned> lens;
+  for (unsigned len = 128; len > 0; len -= 8) lens.push_back(len);
+  lens.push_back(0);
+  return Hierarchy(std::move(lens), AddressFamily::kIpv6);
 }
 
-Ipv4Prefix Hierarchy::parent_of(Ipv4Prefix p) const noexcept {
+Hierarchy Hierarchy::v6_nibble_granularity() {
+  std::vector<unsigned> lens;
+  for (unsigned len = 128; len > 0; len -= 4) lens.push_back(len);
+  lens.push_back(0);
+  return Hierarchy(std::move(lens), AddressFamily::kIpv6);
+}
+
+std::size_t Hierarchy::level_of_length(unsigned len) const noexcept {
+  return len > width() ? npos : level_by_length_[len];
+}
+
+PrefixKey Hierarchy::parent_of(PrefixKey p) const noexcept {
   const std::size_t level = level_of(p);
-  if (level == npos || level + 1 >= lengths_.size()) return Ipv4Prefix::root();
+  if (level == npos || level + 1 >= lengths_.size()) return PrefixKey::root(family_);
   return p.truncated(lengths_[level + 1]);
 }
 
 std::string Hierarchy::to_string() const {
-  std::string out = "{";
+  std::string out = family_ == AddressFamily::kIpv4 ? "{" : "v6{";
   for (std::size_t i = 0; i < lengths_.size(); ++i) {
     if (i) out += ",";
     out += str_format("/%u", lengths_[i]);

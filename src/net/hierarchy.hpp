@@ -1,10 +1,14 @@
 // The 1-D prefix hierarchy HHH algorithms operate on.
 //
 // The paper analyses one-dimensional HHHs over source IP addresses. A
-// Hierarchy fixes the set of prefix lengths that count as "levels":
-//  * byte granularity — {32, 24, 16, 8, 0}, the standard choice of RHHH and
-//    most data-plane work (5 levels);
-//  * bit granularity  — {32, 31, ..., 0} (33 levels);
+// Hierarchy fixes the address family and the set of prefix lengths that
+// count as "levels":
+//  * IPv4 byte granularity — {32, 24, 16, 8, 0}, the standard choice of
+//    RHHH and most data-plane work (5 levels);
+//  * IPv4 bit granularity  — {32, 31, ..., 0} (33 levels);
+//  * IPv6 byte granularity — {128, 120, ..., 8, 0} (17 levels);
+//  * IPv6 nibble granularity — {128, 124, ..., 4, 0} (33 levels), matching
+//    the 4-bit steps of v6 addressing plans;
 //  * any custom strictly-decreasing list of lengths ending at 0.
 //
 // Levels are indexed from 0 = most specific (leaves) upward, matching the
@@ -16,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "net/ip.hpp"
 #include "net/prefix.hpp"
 
 namespace hhh {
@@ -23,15 +28,28 @@ namespace hhh {
 class Hierarchy {
  public:
   /// Build from prefix lengths, most specific first. Requirements: strictly
-  /// decreasing, last element 0, first element <= 32. Throws
-  /// std::invalid_argument otherwise.
-  explicit Hierarchy(std::vector<unsigned> lengths);
+  /// decreasing, last element 0, first element <= address_bits(family).
+  /// Throws std::invalid_argument otherwise.
+  explicit Hierarchy(std::vector<unsigned> lengths,
+                     AddressFamily family = AddressFamily::kIpv4);
 
   /// {32, 24, 16, 8, 0}: the granularity used by the paper's experiments.
   static Hierarchy byte_granularity();
 
   /// {32, 31, ..., 1, 0}.
   static Hierarchy bit_granularity();
+
+  /// IPv6 {128, 120, ..., 8, 0} (17 levels).
+  static Hierarchy v6_byte_granularity();
+
+  /// IPv6 {128, 124, ..., 4, 0} (33 levels).
+  static Hierarchy v6_nibble_granularity();
+
+  /// The address family every level of this hierarchy generalizes.
+  AddressFamily family() const noexcept { return family_; }
+
+  /// 32 for IPv4 hierarchies, 128 for IPv6.
+  unsigned width() const noexcept { return address_bits(family_); }
 
   /// Number of levels (e.g. 5 for byte granularity).
   std::size_t levels() const noexcept { return lengths_.size(); }
@@ -44,7 +62,14 @@ class Hierarchy {
   /// Leaf (most specific) prefix length.
   unsigned leaf_length() const noexcept { return lengths_.front(); }
 
-  /// Generalize `addr` to the prefix at `level`.
+  /// Generalize `addr` to the prefix at `level`. The address family must
+  /// match the hierarchy's.
+  PrefixKey generalize(IpAddress addr, std::size_t level) const noexcept {
+    return PrefixKey(addr, lengths_[level]);
+  }
+
+  /// IPv4 fast-path overload, kept for the many v4-only call sites.
+  /// Precondition: family() == kIpv4.
   Ipv4Prefix generalize(Ipv4Address addr, std::size_t level) const noexcept {
     return Ipv4Prefix(addr, lengths_[level]);
   }
@@ -54,12 +79,15 @@ class Hierarchy {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t level_of_length(unsigned len) const noexcept;
 
-  /// Level of `p`, or npos if p's length is not a level.
-  std::size_t level_of(Ipv4Prefix p) const noexcept { return level_of_length(p.length()); }
+  /// Level of `p`, or npos if p's length is not a level or p's family is
+  /// not the hierarchy's.
+  std::size_t level_of(PrefixKey p) const noexcept {
+    return p.family() == family_ ? level_of_length(p.length()) : npos;
+  }
 
   /// The parent of `p` within this hierarchy (one level up). Root maps to
   /// itself. Precondition: level_of(p) != npos.
-  Ipv4Prefix parent_of(Ipv4Prefix p) const noexcept;
+  PrefixKey parent_of(PrefixKey p) const noexcept;
 
   std::string to_string() const;
 
@@ -68,6 +96,7 @@ class Hierarchy {
  private:
   std::vector<unsigned> lengths_;             // strictly decreasing, ends with 0
   std::vector<std::size_t> level_by_length_;  // length -> level, npos if absent
+  AddressFamily family_ = AddressFamily::kIpv4;
 };
 
 }  // namespace hhh

@@ -1,0 +1,147 @@
+#include "net/ip.hpp"
+
+#include <array>
+
+#include "util/strings.hpp"
+
+namespace hhh {
+namespace {
+
+/// The eight 16-bit groups of a v6 address, network order.
+std::array<std::uint16_t, 8> groups_of(std::uint64_t hi, std::uint64_t lo) {
+  std::array<std::uint16_t, 8> g;
+  for (unsigned i = 0; i < 4; ++i) {
+    g[i] = static_cast<std::uint16_t>(hi >> (48 - 16 * i));
+    g[4 + i] = static_cast<std::uint16_t>(lo >> (48 - 16 * i));
+  }
+  return g;
+}
+
+bool parse_hex_group(std::string_view part, std::uint16_t& out) {
+  if (part.empty() || part.size() > 4) return false;
+  std::uint32_t v = 0;
+  for (const char c : part) {
+    std::uint32_t d;
+    if (c >= '0' && c <= '9') {
+      d = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      d = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      d = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    v = v * 16 + d;
+  }
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+/// Parse a run of ':'-separated hex groups ("2001:db8:0:1"); empty input
+/// yields zero groups. Returns false on any malformed group.
+bool parse_groups(std::string_view text, std::vector<std::uint16_t>& out) {
+  if (text.empty()) return true;
+  for (const auto part : split(text, ':')) {
+    std::uint16_t g = 0;
+    if (!parse_hex_group(part, g)) return false;
+    out.push_back(g);
+  }
+  return true;
+}
+
+std::optional<IpAddress> parse_v6(std::string_view text) {
+  const std::size_t gap = text.find("::");
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  if (gap == std::string_view::npos) {
+    if (!parse_groups(text, head) || head.size() != 8) return std::nullopt;
+  } else {
+    if (text.find("::", gap + 1) != std::string_view::npos) return std::nullopt;
+    if (!parse_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail)) return std::nullopt;
+    // "::" must stand for at least one zero group in a valid address, but
+    // accepting exactly-8 keeps round-trips of "1:2:3:4:5:6:7:8" variants
+    // lenient; more than 8 total is always malformed.
+    if (head.size() + tail.size() > 8) return std::nullopt;
+    head.resize(8 - tail.size(), 0);
+    head.insert(head.end(), tail.begin(), tail.end());
+  }
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    hi = (hi << 16) | head[i];
+    lo = (lo << 16) | head[4 + i];
+  }
+  return IpAddress::v6(hi, lo);
+}
+
+std::string format_v6(std::uint64_t hi, std::uint64_t lo) {
+  const auto g = groups_of(hi, lo);
+  // RFC 5952: compress the longest run of >= 2 zero groups (first wins).
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (g[static_cast<unsigned>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && g[static_cast<unsigned>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    out += str_format("%x", g[static_cast<unsigned>(i)]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  const auto v4 = Ipv4Address::parse(text);
+  if (!v4) return std::nullopt;
+  return IpAddress(*v4);
+}
+
+std::string IpAddress::to_string() const {
+  if (is_v4()) return v4().to_string();
+  return format_v6(hi_, lo_);
+}
+
+std::optional<PrefixKey> PrefixKey::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  std::uint64_t len = 0;
+  std::string_view addr_text = text;
+  const bool has_len = slash != std::string_view::npos;
+  if (has_len) {
+    if (!parse_u64(text.substr(slash + 1), len)) return std::nullopt;
+    addr_text = text.substr(0, slash);
+  }
+  const auto addr = IpAddress::parse(addr_text);
+  if (!addr) return std::nullopt;
+  const unsigned width = address_bits(addr->family());
+  if (!has_len) len = width;
+  if (len > width) return std::nullopt;
+  return PrefixKey(*addr, static_cast<unsigned>(len));
+}
+
+std::string PrefixKey::to_string() const {
+  return str_format("%s/%u", address().to_string().c_str(), static_cast<unsigned>(len_));
+}
+
+}  // namespace hhh

@@ -1,0 +1,285 @@
+// Address-family-generic addresses and prefix keys — the generic key layer.
+//
+// The HHH definition is over *hierarchies*, not over IPv4: every algorithm
+// in the library reasons about "a prefix of the key space at some level".
+// This header provides the family-generic value types that make IPv6 (and
+// mixed-family deployments) first-class:
+//
+//  * AddressFamily — the runtime tag (kIpv4 / kIpv6);
+//  * IpAddress     — 128-bit address storage. Bits are left-aligned: bit 0
+//    is the most significant bit of `hi()`, so an IPv4 address occupies the
+//    top 32 bits and prefix arithmetic is the same two-word mask for both
+//    families (branch-free on the hot path);
+//  * PrefixKey     — (address bits, length, family) in canonical form (host
+//    bits below the length are zero), the generic replacement for
+//    Ipv4Prefix in every result type and analysis.
+//
+// Hot-path note: engines do not hash PrefixKey directly. The per-family
+// compile-time key codecs in net/key_domain.hpp give the exact pre-generic
+// uint64 representation for IPv4 (zero overhead) and a 128-bit key for
+// IPv6; PrefixKey is the lingua franca at extraction/analysis/wire
+// boundaries.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "util/bit.hpp"
+#include "util/hash.hpp"
+
+namespace hhh {
+
+/// Runtime address-family tag. Values are wire-stable (encoded in version-2
+/// snapshots): never renumber.
+enum class AddressFamily : std::uint8_t { kIpv4 = 4, kIpv6 = 6 };
+
+/// Address width in bits: 32 or 128.
+constexpr unsigned address_bits(AddressFamily family) noexcept {
+  return family == AddressFamily::kIpv4 ? 32u : 128u;
+}
+
+/// "v4" / "v6" — used in engine names and human-readable output.
+constexpr const char* family_suffix(AddressFamily family) noexcept {
+  return family == AddressFamily::kIpv4 ? "v4" : "v6";
+}
+
+/// Family-generic address: 128 bits of left-aligned storage plus the tag.
+///
+/// Left alignment (an IPv4 address sits in the top 32 bits of `hi()`) makes
+/// "generalize to /len" the same (mask hi, mask lo) operation for both
+/// families, which is what keeps the generic paths branch-free.
+class IpAddress {
+ public:
+  /// 0.0.0.0 (the IPv4 zero address).
+  constexpr IpAddress() = default;
+
+  /// Implicit from IPv4 — the migration affordance that lets all existing
+  /// v4 call sites (tests, traces, examples) compile unchanged.
+  constexpr IpAddress(Ipv4Address v4) noexcept  // NOLINT(google-explicit-constructor)
+      : hi_(static_cast<std::uint64_t>(v4.bits()) << 32), family_(AddressFamily::kIpv4) {}
+
+  /// IPv6 address from its two left-aligned 64-bit halves.
+  static constexpr IpAddress v6(std::uint64_t hi, std::uint64_t lo) noexcept {
+    IpAddress a;
+    a.hi_ = hi;
+    a.lo_ = lo;
+    a.family_ = AddressFamily::kIpv6;
+    return a;
+  }
+
+  /// Build from raw halves with an explicit family (wire decode).
+  static constexpr IpAddress from_bits(AddressFamily family, std::uint64_t hi,
+                                       std::uint64_t lo) noexcept {
+    IpAddress a;
+    a.hi_ = hi;
+    a.lo_ = lo;
+    a.family_ = family;
+    return a;
+  }
+
+  /// Parse either family: dotted quad ("192.0.2.1") or RFC-4291 textual
+  /// IPv6 ("2001:db8::1", "::", full form). nullopt on malformed input.
+  static std::optional<IpAddress> parse(std::string_view text);
+
+  /// The runtime family tag.
+  constexpr AddressFamily family() const noexcept { return family_; }
+  /// True for IPv4 addresses.
+  constexpr bool is_v4() const noexcept { return family_ == AddressFamily::kIpv4; }
+  /// True for IPv6 addresses.
+  constexpr bool is_v6() const noexcept { return family_ == AddressFamily::kIpv6; }
+
+  /// Top 64 bits of the left-aligned 128-bit value.
+  constexpr std::uint64_t hi() const noexcept { return hi_; }
+  /// Bottom 64 bits of the left-aligned 128-bit value.
+  constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  /// The IPv4 value. Precondition: is_v4().
+  constexpr Ipv4Address v4() const noexcept {
+    return Ipv4Address(static_cast<std::uint32_t>(hi_ >> 32));
+  }
+
+  /// Byte `i` of the address in network order (i in [0, 4) or [0, 16)).
+  constexpr std::uint8_t byte(unsigned i) const noexcept {
+    return static_cast<std::uint8_t>(i < 8 ? hi_ >> (56 - 8 * i) : lo_ >> (120 - 8 * i));
+  }
+
+  /// Dotted quad for v4, compressed RFC-5952 form for v6.
+  std::string to_string() const;
+
+  /// Ordered by (family, bits): families never interleave in sorted sets.
+  constexpr auto operator<=>(const IpAddress& o) const noexcept {
+    if (auto c = family_ <=> o.family_; c != 0) return c;
+    if (auto c = hi_ <=> o.hi_; c != 0) return c;
+    return lo_ <=> o.lo_;
+  }
+  /// Member-wise equality.
+  constexpr bool operator==(const IpAddress&) const noexcept = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+  AddressFamily family_ = AddressFamily::kIpv4;
+};
+
+/// Family-generic prefix — the nodes of every HHH hierarchy. Canonical
+/// form: address bits below `length()` are zero, so equality, ordering and
+/// hashing are plain word comparisons.
+class PrefixKey {
+ public:
+  /// 0.0.0.0/0 (the IPv4 root).
+  constexpr PrefixKey() = default;
+
+  /// Canonicalizes: host bits of `addr` below `len` are masked away.
+  /// len must be <= address_bits(addr.family()).
+  constexpr PrefixKey(IpAddress addr, unsigned len) noexcept
+      : hi_(addr.hi() & prefix_mask64(len)),
+        lo_(addr.lo() & prefix_mask64(len > 64 ? len - 64 : 0)),
+        len_(static_cast<std::uint8_t>(len)),
+        family_(addr.family()) {}
+
+  /// Implicit from Ipv4Prefix — keeps existing v4 call sites compiling.
+  constexpr PrefixKey(Ipv4Prefix p) noexcept  // NOLINT(google-explicit-constructor)
+      : hi_(static_cast<std::uint64_t>(p.bits()) << 32),
+        len_(static_cast<std::uint8_t>(p.length())),
+        family_(AddressFamily::kIpv4) {}
+
+  /// The whole address space of `family` (::/0 or 0.0.0.0/0).
+  static constexpr PrefixKey root(AddressFamily family = AddressFamily::kIpv4) noexcept {
+    PrefixKey p;
+    p.family_ = family;
+    return p;
+  }
+
+  /// Parse "10.1.0.0/16" or "2001:db8::/32"; a bare address parses as a
+  /// host prefix (/32 or /128). nullopt if malformed.
+  static std::optional<PrefixKey> parse(std::string_view text);
+
+  /// The prefix's address family.
+  constexpr AddressFamily family() const noexcept { return family_; }
+  /// True for IPv4 prefixes.
+  constexpr bool is_v4() const noexcept { return family_ == AddressFamily::kIpv4; }
+  /// Prefix length in bits (0..32 or 0..128).
+  constexpr unsigned length() const noexcept { return len_; }
+  /// Top 64 bits of the canonical (masked) address.
+  constexpr std::uint64_t bits_hi() const noexcept { return hi_; }
+  /// Bottom 64 bits of the canonical (masked) address.
+  constexpr std::uint64_t bits_lo() const noexcept { return lo_; }
+  /// The prefix's (canonical) base address.
+  constexpr IpAddress address() const noexcept {
+    return IpAddress::from_bits(family_, hi_, lo_);
+  }
+  /// True for host prefixes (/32 v4, /128 v6).
+  constexpr bool is_host() const noexcept { return len_ == address_bits(family_); }
+  /// True for /0.
+  constexpr bool is_root() const noexcept { return len_ == 0; }
+
+  /// The IPv4 view. Precondition: is_v4().
+  constexpr Ipv4Prefix v4() const noexcept {
+    return Ipv4Prefix(Ipv4Address(static_cast<std::uint32_t>(hi_ >> 32)), len_);
+  }
+
+  /// True iff `addr` falls inside this prefix (families must match).
+  constexpr bool contains(IpAddress addr) const noexcept {
+    return family_ == addr.family() &&
+           (addr.hi() & prefix_mask64(len_)) == hi_ &&
+           (addr.lo() & prefix_mask64(len_ > 64 ? len_ - 64 : 0)) == lo_;
+  }
+
+  /// True iff `other` is this prefix or a more specific prefix inside it.
+  /// Cross-family prefixes never contain one another.
+  constexpr bool contains(PrefixKey other) const noexcept {
+    return family_ == other.family_ && other.len_ >= len_ &&
+           (other.hi_ & prefix_mask64(len_)) == hi_ &&
+           (other.lo_ & prefix_mask64(len_ > 64 ? len_ - 64 : 0)) == lo_;
+  }
+
+  /// Strict ancestor test: contains(other) and shorter length.
+  constexpr bool is_ancestor_of(PrefixKey other) const noexcept {
+    return other.len_ > len_ && contains(other);
+  }
+
+  /// The prefix truncated to `len` bits (len <= length()).
+  constexpr PrefixKey truncated(unsigned len) const noexcept {
+    return PrefixKey(address(), len);
+  }
+
+  /// Immediate parent in the bit hierarchy (root maps to itself).
+  constexpr PrefixKey parent() const noexcept {
+    return len_ == 0 ? *this : truncated(len_ - 1u);
+  }
+
+  /// The pre-generic 64-bit packing (bits << 8 | len) — the IPv4 map/wire
+  /// key, bit-identical to Ipv4Prefix::key(). Precondition: is_v4().
+  constexpr std::uint64_t v4_key() const noexcept { return (hi_ >> 32 << 8) | len_; }
+
+  /// Inverse of v4_key().
+  static constexpr PrefixKey from_v4_key(std::uint64_t key) noexcept {
+    return Ipv4Prefix::from_key(key);
+  }
+
+  /// "10.0.0.0/8" / "2001:db8::/32".
+  std::string to_string() const;
+
+  /// Ordered by (family, bits, length): a sorted prefix set groups by
+  /// family, and within a family matches the Ipv4Prefix order.
+  constexpr auto operator<=>(const PrefixKey& o) const noexcept {
+    if (auto c = family_ <=> o.family_; c != 0) return c;
+    if (auto c = hi_ <=> o.hi_; c != 0) return c;
+    if (auto c = lo_ <=> o.lo_; c != 0) return c;
+    return len_ <=> o.len_;
+  }
+  /// Member-wise equality.
+  constexpr bool operator==(const PrefixKey&) const noexcept = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+  std::uint8_t len_ = 0;
+  AddressFamily family_ = AddressFamily::kIpv4;
+};
+
+/// Longest common prefix of two same-family prefixes; for cross-family
+/// inputs returns the first prefix's family root (no common hierarchy).
+constexpr PrefixKey common_ancestor(PrefixKey a, PrefixKey b) noexcept {
+  if (a.family() != b.family()) return PrefixKey::root(a.family());
+  const unsigned max_len = a.length() < b.length() ? a.length() : b.length();
+  const std::uint64_t dh = a.bits_hi() ^ b.bits_hi();
+  const std::uint64_t dl = a.bits_lo() ^ b.bits_lo();
+  unsigned common;
+  if (dh != 0) {
+    common = static_cast<unsigned>(std::countl_zero(dh));
+  } else if (dl != 0) {
+    common = 64u + static_cast<unsigned>(std::countl_zero(dl));
+  } else {
+    common = address_bits(a.family());
+  }
+  if (common > max_len) common = max_len;
+  return PrefixKey(a.address(), common);
+}
+
+/// Hash functor for PrefixKey-keyed tables (analysis-side; engines use the
+/// per-family codecs in net/key_domain.hpp on their hot paths).
+struct PrefixKeyHash {
+  /// Mixed digest over (family, bits, length).
+  std::uint64_t operator()(const PrefixKey& p) const noexcept {
+    std::uint64_t h = mix64(p.bits_hi() + 0x9E3779B97F4A7C15ULL *
+                                              (static_cast<std::uint64_t>(p.family()) + 1));
+    h = mix64(h ^ p.bits_lo());
+    return mix64(h ^ p.length());
+  }
+};
+
+/// Hash functor for IpAddress-keyed tables.
+struct IpAddressHash {
+  /// Mixed digest of the address (its host-prefix PrefixKey hash).
+  std::uint64_t operator()(const IpAddress& a) const noexcept {
+    return PrefixKeyHash{}(PrefixKey(a, address_bits(a.family())));
+  }
+};
+
+}  // namespace hhh

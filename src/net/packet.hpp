@@ -1,53 +1,128 @@
 // The packet record every detector consumes.
 //
 // A PacketRecord is the already-parsed form of one packet: timestamp plus
-// the IPv4/transport fields the measurement algorithms need. Both the
+// the network/transport fields the measurement algorithms need. Both the
 // synthetic generator and the pcap decoder produce this type, so every
-// algorithm runs unchanged on synthetic and real traffic.
+// algorithm runs unchanged on synthetic and real traffic — IPv4, IPv6 or a
+// mixed stream.
+//
+// Layout is deliberate hot-path engineering: addresses are stored as raw
+// left-aligned 64-bit halves with ONE family tag per record (src and dst
+// of an IP packet always share a family), keeping the record at 56 bytes —
+// the per-packet ingestion loops are partially memory-bound, so record
+// size is throughput. The fields the v4 loops touch (ip_len, src_hi) sit
+// in the first 32 bytes.
 #pragma once
 
 #include <cstdint>
 
-#include "net/ipv4.hpp"
+#include "net/ip.hpp"
+#include "util/hash.hpp"
 #include "util/sim_time.hpp"
 
 namespace hhh {
 
 enum class IpProto : std::uint8_t { kTcp = 6, kUdp = 17, kIcmp = 1, kOther = 0 };
 
+/// IpProto from an on-wire protocol / next-header number. ICMPv6 (58)
+/// maps to kIcmp; everything unrecognized maps to kOther. Shared by the
+/// pcap decoder and the trace readers so the mapping cannot drift.
+constexpr IpProto ip_proto_from_wire(std::uint8_t proto) noexcept {
+  switch (proto) {
+    case 6: return IpProto::kTcp;
+    case 17: return IpProto::kUdp;
+    case 1: return IpProto::kIcmp;
+    case 58: return IpProto::kIcmp;  // ICMPv6
+    default: return IpProto::kOther;
+  }
+}
+
 struct PacketRecord {
-  TimePoint ts;            ///< capture timestamp
-  Ipv4Address src;         ///< source address (the paper's HHH dimension)
-  Ipv4Address dst;         ///< destination address
+  TimePoint ts;              ///< capture timestamp
+  std::uint32_t ip_len = 0;  ///< IP-layer length in bytes (the "volume" unit)
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
   IpProto proto = IpProto::kOther;
-  std::uint32_t ip_len = 0;  ///< IP-layer length in bytes (the "volume" unit)
+
+  /// Source address (the paper's HHH dimension).
+  IpAddress src() const noexcept { return IpAddress::from_bits(family_, src_hi_, src_lo_); }
+  /// Destination address.
+  IpAddress dst() const noexcept { return IpAddress::from_bits(family_, dst_hi_, dst_lo_); }
+
+  /// The record's address family. set_src()/set_dst() keep it in sync;
+  /// one IP packet has one family, so the last family set wins (producers
+  /// always set src and dst from the same packet).
+  AddressFamily family() const noexcept { return family_; }
+
+  void set_src(IpAddress a) noexcept {
+    src_hi_ = a.hi();
+    src_lo_ = a.lo();
+    family_ = a.family();
+  }
+  void set_dst(IpAddress a) noexcept {
+    dst_hi_ = a.hi();
+    dst_lo_ = a.lo();
+    family_ = a.family();
+  }
+
+  /// Raw left-aligned address halves — the zero-copy path for hashing and
+  /// per-family key codecs (V4Domain reads only src_hi()).
+  std::uint64_t src_hi() const noexcept { return src_hi_; }
+  std::uint64_t src_lo() const noexcept { return src_lo_; }
+  std::uint64_t dst_hi() const noexcept { return dst_hi_; }
+  std::uint64_t dst_lo() const noexcept { return dst_lo_; }
 
   bool operator==(const PacketRecord&) const = default;
-};
 
-/// 5-tuple flow key (src, dst, sport, dport, proto) packed for hashing.
+ private:
+  AddressFamily family_ = AddressFamily::kIpv4;
+  std::uint64_t src_hi_ = 0;
+  std::uint64_t src_lo_ = 0;
+  std::uint64_t dst_hi_ = 0;
+  std::uint64_t dst_lo_ = 0;
+};
+static_assert(sizeof(PacketRecord) == 56, "PacketRecord layout drift (see header note)");
+
+/// 5-tuple flow key (src, dst, sport, dport, proto) packed for hashing,
+/// family-aware.
 struct FlowKey {
-  std::uint32_t src = 0;
-  std::uint32_t dst = 0;
+  std::uint64_t src_hi = 0;
+  std::uint64_t src_lo = 0;
+  std::uint64_t dst_hi = 0;
+  std::uint64_t dst_lo = 0;
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
   std::uint8_t proto = 0;
+  AddressFamily family = AddressFamily::kIpv4;
 
   static FlowKey from(const PacketRecord& p) noexcept {
-    return {p.src.bits(), p.dst.bits(), p.src_port, p.dst_port,
-            static_cast<std::uint8_t>(p.proto)};
+    return {p.src_hi(),  p.src_lo(),  p.dst_hi(),
+            p.dst_lo(),  p.src_port,  p.dst_port,
+            static_cast<std::uint8_t>(p.proto), p.family()};
   }
 
   bool operator==(const FlowKey&) const = default;
 
   /// Stable 64-bit digest for hash maps and sketches.
+  ///
+  /// A chained mix64 (util/hash) over every tuple word. The previous
+  /// single multiply-xor left the low port/proto bits nearly unmixed, so
+  /// adversarial 5-tuples (sequential ports from one host pair) collided
+  /// in sketch rows; the chain gives full avalanche per input bit (see
+  /// tests/util_hash_test.cpp FlowKey regressions). IPv4 keys skip the
+  /// two always-zero low halves — one perfectly predicted branch.
   std::uint64_t key() const noexcept {
-    const std::uint64_t hi = (static_cast<std::uint64_t>(src) << 32) | dst;
-    const std::uint64_t lo = (static_cast<std::uint64_t>(src_port) << 24) |
-                             (static_cast<std::uint64_t>(dst_port) << 8) | proto;
-    return hi * 0x9E3779B97F4A7C15ULL ^ lo;
+    const std::uint64_t tail = (static_cast<std::uint64_t>(src_port) << 48) |
+                               (static_cast<std::uint64_t>(dst_port) << 32) |
+                               (static_cast<std::uint64_t>(proto) << 8) |
+                               static_cast<std::uint64_t>(family);
+    std::uint64_t h = mix64(src_hi + 0x9E3779B97F4A7C15ULL);
+    if (family != AddressFamily::kIpv4) {
+      h = mix64(h ^ src_lo);
+      h = mix64(h ^ dst_lo);
+    }
+    h = mix64(h ^ dst_hi);
+    return mix64(h ^ tail);
   }
 };
 

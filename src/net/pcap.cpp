@@ -13,7 +13,9 @@ constexpr std::uint32_t kMagicNano = 0xA1B23C4D;
 constexpr std::uint32_t kMagicNanoSwapped = 0x4D3CB2A1;
 
 constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEtherTypeIpv6 = 0x86DD;
 constexpr std::size_t kEthernetHeaderLen = 14;
+constexpr std::size_t kIpv6HeaderLen = 40;
 
 std::uint16_t bswap16(std::uint16_t v) noexcept {
   return static_cast<std::uint16_t>((v << 8) | (v >> 8));
@@ -36,6 +38,10 @@ std::uint32_t load_be32(const unsigned char* p) noexcept {
          (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
 }
 
+std::uint64_t load_be64(const unsigned char* p) noexcept {
+  return (static_cast<std::uint64_t>(load_be32(p)) << 32) | load_be32(p + 4);
+}
+
 void store_be16(unsigned char* p, std::uint16_t v) noexcept {
   p[0] = static_cast<unsigned char>(v >> 8);
   p[1] = static_cast<unsigned char>(v);
@@ -46,6 +52,11 @@ void store_be32(unsigned char* p, std::uint32_t v) noexcept {
   p[1] = static_cast<unsigned char>(v >> 16);
   p[2] = static_cast<unsigned char>(v >> 8);
   p[3] = static_cast<unsigned char>(v);
+}
+
+void store_be64(unsigned char* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
 }
 
 struct FileHeader {
@@ -75,45 +86,110 @@ std::uint16_t ipv4_checksum(const unsigned char* hdr, std::size_t len) noexcept 
   return static_cast<std::uint16_t>(~sum);
 }
 
-}  // namespace
+void set_error(FrameDecodeError* error, FrameDecodeError value) noexcept {
+  if (error != nullptr) *error = value;
+}
 
-std::optional<PacketRecord> decode_frame(const unsigned char* data, std::size_t len,
-                                         LinkType link_type, TimePoint ts) {
-  const unsigned char* ip = data;
-  std::size_t ip_avail = len;
-
-  if (link_type == LinkType::kEthernet) {
-    if (len < kEthernetHeaderLen) return std::nullopt;
-    const std::uint16_t ethertype = load_be16(data + 12);
-    if (ethertype != kEtherTypeIpv4) return std::nullopt;
-    ip = data + kEthernetHeaderLen;
-    ip_avail = len - kEthernetHeaderLen;
-  }
-
-  if (ip_avail < 20) return std::nullopt;
-  const unsigned version = ip[0] >> 4;
-  if (version != 4) return std::nullopt;
+std::optional<PacketRecord> decode_ipv4(const unsigned char* ip, std::size_t ip_avail,
+                                        TimePoint ts, FrameDecodeError* error) {
   const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
-  if (ihl < 20 || ip_avail < ihl) return std::nullopt;
+  if (ihl < 20 || ip_avail < ihl) {
+    set_error(error, FrameDecodeError::kMalformed);
+    return std::nullopt;
+  }
 
   PacketRecord rec;
   rec.ts = ts;
   rec.ip_len = load_be16(ip + 2);
   const std::uint8_t proto = ip[9];
-  rec.src = Ipv4Address(load_be32(ip + 12));
-  rec.dst = Ipv4Address(load_be32(ip + 16));
-  switch (proto) {
-    case 6: rec.proto = IpProto::kTcp; break;
-    case 17: rec.proto = IpProto::kUdp; break;
-    case 1: rec.proto = IpProto::kIcmp; break;
-    default: rec.proto = IpProto::kOther; break;
-  }
+  rec.set_src(Ipv4Address(load_be32(ip + 12)));
+  rec.set_dst(Ipv4Address(load_be32(ip + 16)));
+  rec.proto = ip_proto_from_wire(proto);
 
-  if ((rec.proto == IpProto::kTcp || rec.proto == IpProto::kUdp) && ip_avail >= ihl + 4) {
+  if ((proto == 6 || proto == 17) && ip_avail >= ihl + 4) {
     rec.src_port = load_be16(ip + ihl);
     rec.dst_port = load_be16(ip + ihl + 2);
   }
   return rec;
+}
+
+std::optional<PacketRecord> decode_ipv6(const unsigned char* ip, std::size_t ip_avail,
+                                        TimePoint ts, FrameDecodeError* error) {
+  if (ip_avail < kIpv6HeaderLen) {
+    set_error(error, FrameDecodeError::kMalformed);
+    return std::nullopt;
+  }
+
+  PacketRecord rec;
+  rec.ts = ts;
+  // The v6 payload length excludes the fixed header; record the total
+  // IP-layer size so byte accounting matches the IPv4 convention.
+  rec.ip_len = static_cast<std::uint32_t>(kIpv6HeaderLen) + load_be16(ip + 4);
+  const std::uint8_t next_header = ip[6];
+  rec.set_src(IpAddress::v6(load_be64(ip + 8), load_be64(ip + 16)));
+  rec.set_dst(IpAddress::v6(load_be64(ip + 24), load_be64(ip + 32)));
+  rec.proto = ip_proto_from_wire(next_header);
+
+  // Ports only when the transport header directly follows the fixed
+  // header; frames with extension headers keep addresses/volume but no
+  // ports (extension-header walking is deliberately out of scope).
+  if ((next_header == 6 || next_header == 17) && ip_avail >= kIpv6HeaderLen + 4) {
+    rec.src_port = load_be16(ip + kIpv6HeaderLen);
+    rec.dst_port = load_be16(ip + kIpv6HeaderLen + 2);
+  }
+  return rec;
+}
+
+}  // namespace
+
+std::optional<PacketRecord> decode_frame(const unsigned char* data, std::size_t len,
+                                         LinkType link_type, TimePoint ts,
+                                         FrameDecodeError* error) {
+  const unsigned char* ip = data;
+  std::size_t ip_avail = len;
+
+  if (link_type == LinkType::kEthernet) {
+    if (len < kEthernetHeaderLen) {
+      set_error(error, FrameDecodeError::kMalformed);
+      return std::nullopt;
+    }
+    const std::uint16_t ethertype = load_be16(data + 12);
+    if (ethertype != kEtherTypeIpv4 && ethertype != kEtherTypeIpv6) {
+      set_error(error, FrameDecodeError::kNotIp);
+      return std::nullopt;
+    }
+    ip = data + kEthernetHeaderLen;
+    ip_avail = len - kEthernetHeaderLen;
+  }
+
+  if (ip_avail < 1) {
+    set_error(error, FrameDecodeError::kMalformed);
+    return std::nullopt;
+  }
+  const unsigned version = ip[0] >> 4;
+  if (version == 4) {
+    if (ip_avail < 20) {
+      set_error(error, FrameDecodeError::kMalformed);
+      return std::nullopt;
+    }
+    // An Ethernet frame claiming IPv6 must not carry a v4 header (and
+    // vice versa) — treat the inconsistency as malformed.
+    if (link_type == LinkType::kEthernet && load_be16(data + 12) != kEtherTypeIpv4) {
+      set_error(error, FrameDecodeError::kMalformed);
+      return std::nullopt;
+    }
+    return decode_ipv4(ip, ip_avail, ts, error);
+  }
+  if (version == 6) {
+    if (link_type == LinkType::kEthernet && load_be16(data + 12) != kEtherTypeIpv6) {
+      set_error(error, FrameDecodeError::kMalformed);
+      return std::nullopt;
+    }
+    return decode_ipv6(ip, ip_avail, ts, error);
+  }
+  set_error(error, link_type == LinkType::kEthernet ? FrameDecodeError::kMalformed
+                                                    : FrameDecodeError::kNotIp);
+  return std::nullopt;
 }
 
 PcapReader::PcapReader(const std::string& path) : in_(path, std::ios::binary) {
@@ -157,11 +233,20 @@ std::optional<PacketRecord> PcapReader::next() {
     const std::int64_t ns = nanos_ ? frac : frac * 1000;
     const TimePoint ts = TimePoint::from_ns(sec * 1'000'000'000 + ns);
 
-    if (auto rec = decode_frame(buf_.data(), buf_.size(), link_type_, ts)) {
-      ++decoded_;
+    FrameDecodeError error = FrameDecodeError::kNotIp;
+    if (auto rec = decode_frame(buf_.data(), buf_.size(), link_type_, ts, &error)) {
+      if (rec->family() == AddressFamily::kIpv4) {
+        ++decoded_v4_;
+      } else {
+        ++decoded_v6_;
+      }
       return rec;
     }
-    ++skipped_;
+    if (error == FrameDecodeError::kNotIp) {
+      ++skipped_non_ip_;
+    } else {
+      ++skipped_malformed_;
+    }
   }
 }
 
@@ -186,33 +271,52 @@ void PcapWriter::flush() { out_.flush(); }
 void PcapWriter::write(const PacketRecord& p) {
   unsigned char frame[kSnapLen] = {};
   std::size_t off = 0;
+  const bool v6 = p.family() == AddressFamily::kIpv6;
 
   if (link_type_ == LinkType::kEthernet) {
-    // Locally administered MACs derived from the addresses; ethertype IPv4.
+    // Locally administered MACs derived from the addresses; family ethertype.
     frame[0] = 0x02;
-    store_be32(frame + 2, p.dst.bits());
+    store_be32(frame + 2, static_cast<std::uint32_t>(p.dst().hi() >> 32));
     frame[6] = 0x02;
-    store_be32(frame + 8, p.src.bits());
-    store_be16(frame + 12, kEtherTypeIpv4);
+    store_be32(frame + 8, static_cast<std::uint32_t>(p.src().hi() >> 32));
+    store_be16(frame + 12, v6 ? kEtherTypeIpv6 : kEtherTypeIpv4);
     off = kEthernetHeaderLen;
   }
 
+  const std::uint8_t wire_proto =
+      p.proto == IpProto::kOther
+          ? 253
+          : (v6 && p.proto == IpProto::kIcmp ? 58
+                                             : static_cast<std::uint8_t>(p.proto));
   const bool has_ports = p.proto == IpProto::kTcp || p.proto == IpProto::kUdp;
   const std::size_t l4_len = p.proto == IpProto::kTcp ? 20 : (has_ports ? 8 : 0);
+  const std::size_t ip_header = v6 ? kIpv6HeaderLen : 20;
   // The record's ip_len is authoritative; never emit less than the headers.
-  const std::uint32_t ip_total =
-      std::max<std::uint32_t>(p.ip_len, static_cast<std::uint32_t>(20 + l4_len));
+  const std::uint32_t ip_total = std::max<std::uint32_t>(
+      p.ip_len, static_cast<std::uint32_t>(ip_header + l4_len));
 
   unsigned char* ip = frame + off;
-  ip[0] = 0x45;  // v4, IHL=5
-  store_be16(ip + 2, static_cast<std::uint16_t>(std::min<std::uint32_t>(ip_total, 0xFFFF)));
-  ip[8] = 64;  // TTL
-  ip[9] = static_cast<std::uint8_t>(p.proto == IpProto::kOther ? 253 : static_cast<int>(p.proto));
-  store_be32(ip + 12, p.src.bits());
-  store_be32(ip + 16, p.dst.bits());
-  store_be16(ip + 10, ipv4_checksum(ip, 20));
+  if (v6) {
+    ip[0] = 0x60;  // version 6, traffic class / flow label zero
+    store_be16(ip + 4, static_cast<std::uint16_t>(std::min<std::uint32_t>(
+                           ip_total - kIpv6HeaderLen, 0xFFFF)));
+    ip[6] = wire_proto;
+    ip[7] = 64;  // hop limit
+    store_be64(ip + 8, p.src().hi());
+    store_be64(ip + 16, p.src().lo());
+    store_be64(ip + 24, p.dst().hi());
+    store_be64(ip + 32, p.dst().lo());
+  } else {
+    ip[0] = 0x45;  // v4, IHL=5
+    store_be16(ip + 2, static_cast<std::uint16_t>(std::min<std::uint32_t>(ip_total, 0xFFFF)));
+    ip[8] = 64;  // TTL
+    ip[9] = wire_proto;
+    store_be32(ip + 12, static_cast<std::uint32_t>(p.src().hi() >> 32));
+    store_be32(ip + 16, static_cast<std::uint32_t>(p.dst().hi() >> 32));
+    store_be16(ip + 10, ipv4_checksum(ip, 20));
+  }
 
-  std::size_t l4_off = off + 20;
+  const std::size_t l4_off = off + ip_header;
   if (has_ports) {
     store_be16(frame + l4_off, p.src_port);
     store_be16(frame + l4_off + 2, p.dst_port);
@@ -220,7 +324,8 @@ void PcapWriter::write(const PacketRecord& p) {
       frame[l4_off + 12] = 0x50;  // data offset 5 words
     } else {
       store_be16(frame + l4_off + 4,
-                 static_cast<std::uint16_t>(std::min<std::uint32_t>(ip_total - 20, 0xFFFF)));
+                 static_cast<std::uint16_t>(std::min<std::uint32_t>(
+                     ip_total - static_cast<std::uint32_t>(ip_header), 0xFFFF)));
     }
   }
 

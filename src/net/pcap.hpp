@@ -3,10 +3,11 @@
 // The paper's measurements run on CAIDA traces, which ship as pcap. This
 // module lets the same binaries consume real captures: it decodes the
 // classic file format (both endiannesses, microsecond and nanosecond
-// variants) and the Ethernet / raw-IP link layers down to IPv4 + TCP/UDP
-// headers, producing PacketRecord. The writer emits valid captures from
-// synthetic traces so the whole pipeline can be exercised end-to-end
-// without any external data (see examples/pcap_analysis).
+// variants) and the Ethernet / raw-IP link layers down to IPv4 or IPv6 +
+// TCP/UDP headers, producing PacketRecord. The writer emits valid captures
+// from synthetic traces (either family, including mixed streams) so the
+// whole pipeline can be exercised end-to-end without any external data
+// (see examples/pcap_analysis).
 //
 // No dependency on libpcap; the format is implemented from its on-disk
 // layout.
@@ -28,21 +29,34 @@ enum class LinkType : std::uint32_t {
   kRawIp = 101,    // DLT_RAW: packet starts at the IP header
 };
 
-/// Streaming pcap reader. Non-IPv4 frames are skipped (counted), truncated
-/// frames are decoded from the captured bytes when possible.
+/// Streaming pcap reader. IPv4 and IPv6 frames decode; anything else is
+/// skipped and counted by class (non-IP ethertype vs malformed IP), so
+/// consumers can report exactly what a capture contained.
 class PcapReader {
  public:
   /// Opens `path`; throws std::runtime_error on I/O error or bad magic.
   explicit PcapReader(const std::string& path);
 
-  /// Reads the next IPv4 packet; nullopt at end of file.
+  /// Reads the next IP packet (either family); nullopt at end of file.
   std::optional<PacketRecord> next();
 
   LinkType link_type() const noexcept { return link_type_; }
   bool nanosecond_timestamps() const noexcept { return nanos_; }
 
-  std::uint64_t packets_decoded() const noexcept { return decoded_; }
-  std::uint64_t packets_skipped() const noexcept { return skipped_; }
+  /// Total packets decoded (both families).
+  std::uint64_t packets_decoded() const noexcept { return decoded_v4_ + decoded_v6_; }
+  /// Decoded IPv4 packets.
+  std::uint64_t packets_decoded_v4() const noexcept { return decoded_v4_; }
+  /// Decoded IPv6 packets.
+  std::uint64_t packets_decoded_v6() const noexcept { return decoded_v6_; }
+  /// Frames skipped for any reason.
+  std::uint64_t packets_skipped() const noexcept {
+    return skipped_non_ip_ + skipped_malformed_;
+  }
+  /// Frames skipped because the ethertype is not IP (ARP, LLDP, ...).
+  std::uint64_t packets_skipped_non_ip() const noexcept { return skipped_non_ip_; }
+  /// Frames that claimed to be IP but were too short / structurally bad.
+  std::uint64_t packets_skipped_malformed() const noexcept { return skipped_malformed_; }
 
  private:
   bool read_exact(void* dst, std::size_t len);
@@ -53,8 +67,10 @@ class PcapReader {
   LinkType link_type_ = LinkType::kEthernet;
   bool swap_ = false;   // file endianness differs from host
   bool nanos_ = false;  // nanosecond-resolution variant
-  std::uint64_t decoded_ = 0;
-  std::uint64_t skipped_ = 0;
+  std::uint64_t decoded_v4_ = 0;
+  std::uint64_t decoded_v6_ = 0;
+  std::uint64_t skipped_non_ip_ = 0;
+  std::uint64_t skipped_malformed_ = 0;
   std::vector<unsigned char> buf_;
 };
 
@@ -68,7 +84,7 @@ class PcapWriter {
   PcapWriter(const PcapWriter&) = delete;
   PcapWriter& operator=(const PcapWriter&) = delete;
 
-  /// Serializes `p` as (Ethernet +) IPv4 (+ TCP/UDP) and appends it.
+  /// Serializes `p` as (Ethernet +) IPv4/IPv6 (+ TCP/UDP) and appends it.
   /// The on-wire frame is reconstructed from the record; payload bytes are
   /// zero-filled up to ip_len (capped at snaplen).
   void write(const PacketRecord& p);
@@ -84,9 +100,17 @@ class PcapWriter {
   std::uint64_t written_ = 0;
 };
 
-/// Decode one link-layer frame into a PacketRecord (shared by reader/tests).
-/// Returns nullopt if the frame is not IPv4 or too short.
+/// Why decode_frame() rejected a frame.
+enum class FrameDecodeError : std::uint8_t {
+  kNotIp,      ///< ethertype is neither IPv4 nor IPv6
+  kMalformed,  ///< IP version/headers inconsistent or truncated
+};
+
+/// Decode one link-layer frame into a PacketRecord (shared by reader and
+/// tests). On failure returns nullopt and, when `error` is non-null,
+/// classifies the reason.
 std::optional<PacketRecord> decode_frame(const unsigned char* data, std::size_t len,
-                                         LinkType link_type, TimePoint ts);
+                                         LinkType link_type, TimePoint ts,
+                                         FrameDecodeError* error = nullptr);
 
 }  // namespace hhh

@@ -7,99 +7,49 @@
 
 namespace hhh {
 
-SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity), index_(capacity * 2) {
+template <typename D>
+BasicSpaceSaving<D>::BasicSpaceSaving(std::size_t capacity)
+    : capacity_(capacity), index_(capacity * 2) {
   if (capacity == 0) throw std::invalid_argument("SpaceSaving: capacity must be >= 1");
   slots_.reserve(capacity);
   heap_.reserve(capacity);
 }
 
-void SpaceSaving::heap_swap(std::size_t a, std::size_t b) {
-  std::swap(heap_[a], heap_[b]);
-  slots_[heap_[a]].heap_pos = a;
-  slots_[heap_[b]].heap_pos = b;
-}
-
-void SpaceSaving::sift_down(std::size_t pos) {
-  const std::size_t n = heap_.size();
-  while (true) {
-    const std::size_t l = 2 * pos + 1;
-    const std::size_t r = l + 1;
-    std::size_t smallest = pos;
-    if (l < n && slots_[heap_[l]].count < slots_[heap_[smallest]].count) smallest = l;
-    if (r < n && slots_[heap_[r]].count < slots_[heap_[smallest]].count) smallest = r;
-    if (smallest == pos) return;
-    heap_swap(pos, smallest);
-    pos = smallest;
-  }
-}
-
-void SpaceSaving::sift_up(std::size_t pos) {
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) / 2;
-    if (slots_[heap_[parent]].count <= slots_[heap_[pos]].count) return;
-    heap_swap(pos, parent);
-    pos = parent;
-  }
-}
-
-void SpaceSaving::update(std::uint64_t key, double weight) {
-  total_ += weight;
-
-  if (auto* slot_idx = index_.find(key)) {
-    Slot& slot = slots_[*slot_idx];
-    slot.count += weight;
-    sift_down(slot.heap_pos);  // count grew: may need to move away from the top
-    return;
-  }
-
-  if (slots_.size() < capacity_) {
-    const auto idx = static_cast<std::uint32_t>(slots_.size());
-    slots_.push_back(Slot{key, weight, 0.0, heap_.size()});
-    heap_.push_back(idx);
-    sift_up(slots_[idx].heap_pos);
-    *index_.try_emplace(key).first = idx;
-    return;
-  }
-
-  // Evict the current minimum; the newcomer inherits its count as error.
-  const std::uint32_t victim_idx = heap_[0];
-  Slot& victim = slots_[victim_idx];
-  index_.erase(victim.key);
-  const double inherited = victim.count;
-  victim.key = key;
-  victim.error = inherited;
-  victim.count = inherited + weight;
-  *index_.try_emplace(key).first = victim_idx;
-  sift_down(0);
-}
-
-double SpaceSaving::estimate(std::uint64_t key) const noexcept {
+template <typename D>
+double BasicSpaceSaving<D>::estimate(const Key& key) const noexcept {
   const auto* slot_idx = index_.find(key);
   return slot_idx ? slots_[*slot_idx].count : 0.0;
 }
 
-bool SpaceSaving::tracked(std::uint64_t key) const noexcept { return index_.contains(key); }
+template <typename D>
+bool BasicSpaceSaving<D>::tracked(const Key& key) const noexcept {
+  return index_.contains(key);
+}
 
-double SpaceSaving::min_count() const noexcept {
+template <typename D>
+double BasicSpaceSaving<D>::min_count() const noexcept {
   return slots_.size() < capacity_ ? 0.0 : slots_[heap_[0]].count;
 }
 
-std::vector<SpaceSavingEntry> SpaceSaving::entries() const {
-  std::vector<SpaceSavingEntry> out;
+template <typename D>
+auto BasicSpaceSaving<D>::entries() const -> std::vector<Entry> {
+  std::vector<Entry> out;
   out.reserve(slots_.size());
-  for (const auto& s : slots_) out.push_back(SpaceSavingEntry{s.key, s.count, s.error});
+  for (const auto& s : slots_) out.push_back(Entry{s.key, s.count, s.error});
   return out;
 }
 
-std::vector<SpaceSavingEntry> SpaceSaving::entries_at_least(double threshold) const {
-  std::vector<SpaceSavingEntry> out;
+template <typename D>
+auto BasicSpaceSaving<D>::entries_at_least(double threshold) const -> std::vector<Entry> {
+  std::vector<Entry> out;
   for (const auto& s : slots_) {
-    if (s.count >= threshold) out.push_back(SpaceSavingEntry{s.key, s.count, s.error});
+    if (s.count >= threshold) out.push_back(Entry{s.key, s.count, s.error});
   }
   return out;
 }
 
-void SpaceSaving::scale(double factor) {
+template <typename D>
+void BasicSpaceSaving<D>::scale(double factor) {
   if (factor < 0.0) throw std::invalid_argument("SpaceSaving::scale: negative factor");
   for (auto& s : slots_) {
     s.count *= factor;
@@ -108,7 +58,8 @@ void SpaceSaving::scale(double factor) {
   total_ *= factor;
 }
 
-void SpaceSaving::merge_from(const SpaceSaving& other) {
+template <typename D>
+void BasicSpaceSaving<D>::merge_from(const BasicSpaceSaving& other) {
   if (&other == this) {  // self-merge: every count doubles
     for (auto& s : slots_) {
       s.count *= 2.0;
@@ -124,19 +75,19 @@ void SpaceSaving::merge_from(const SpaceSaving& other) {
   const double self_min = min_count();
   const double other_min = other.min_count();
 
-  std::vector<SpaceSavingEntry> merged;
+  std::vector<Entry> merged;
   merged.reserve(slots_.size() + other.slots_.size());
   for (const auto& s : slots_) {
     if (const auto* peer_idx = other.index_.find(s.key)) {
       const Slot& p = other.slots_[*peer_idx];
-      merged.push_back(SpaceSavingEntry{s.key, s.count + p.count, s.error + p.error});
+      merged.push_back(Entry{s.key, s.count + p.count, s.error + p.error});
     } else {
-      merged.push_back(SpaceSavingEntry{s.key, s.count + other_min, s.error + other_min});
+      merged.push_back(Entry{s.key, s.count + other_min, s.error + other_min});
     }
   }
   for (const auto& p : other.slots_) {
     if (index_.contains(p.key)) continue;  // handled above
-    merged.push_back(SpaceSavingEntry{p.key, p.count + self_min, p.error + self_min});
+    merged.push_back(Entry{p.key, p.count + self_min, p.error + self_min});
   }
 
   // Keep the `capacity_` heaviest merged entries. Anything dropped has a
@@ -145,9 +96,7 @@ void SpaceSaving::merge_from(const SpaceSaving& other) {
   if (merged.size() > capacity_) {
     std::nth_element(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(capacity_),
                      merged.end(),
-                     [](const SpaceSavingEntry& a, const SpaceSavingEntry& b) {
-                       return a.count > b.count;
-                     });
+                     [](const Entry& a, const Entry& b) { return a.count > b.count; });
     merged.resize(capacity_);
   }
 
@@ -164,19 +113,21 @@ void SpaceSaving::merge_from(const SpaceSaving& other) {
   total_ = merged_total;
 }
 
-void SpaceSaving::clear() {
+template <typename D>
+void BasicSpaceSaving<D>::clear() {
   slots_.clear();
   heap_.clear();
   index_.clear();
   total_ = 0.0;
 }
 
-void SpaceSaving::save_state(wire::Writer& w) const {
+template <typename D>
+void BasicSpaceSaving<D>::save_state(wire::Writer& w) const {
   w.u64(capacity_);
   w.f64(total_);
   w.u64(slots_.size());
   for (const auto& s : slots_) {
-    w.u64(s.key);
+    D::write_key(w, s.key);
     w.f64(s.count);
     w.f64(s.error);
     w.u64(s.heap_pos);
@@ -184,7 +135,8 @@ void SpaceSaving::save_state(wire::Writer& w) const {
   for (const std::uint32_t h : heap_) w.u32(h);
 }
 
-void SpaceSaving::load_state(wire::Reader& r) {
+template <typename D>
+void BasicSpaceSaving<D>::load_state(wire::Reader& r) {
   using wire::WireError;
   wire::check(r.u64() == capacity_, WireError::kParamsMismatch,
               "SpaceSaving capacity mismatch");
@@ -196,7 +148,7 @@ void SpaceSaving::load_state(wire::Reader& r) {
   slots.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     Slot s;
-    s.key = r.u64();
+    s.key = D::read_key(r);
     s.count = r.f64();
     s.error = r.f64();
     s.heap_pos = r.u64();
@@ -233,8 +185,12 @@ void SpaceSaving::load_state(wire::Reader& r) {
   total_ = total;
 }
 
-std::size_t SpaceSaving::memory_bytes() const noexcept {
+template <typename D>
+std::size_t BasicSpaceSaving<D>::memory_bytes() const noexcept {
   return capacity_ * (sizeof(Slot) + sizeof(std::uint32_t)) + index_.memory_bytes();
 }
+
+template class BasicSpaceSaving<V4Domain>;
+template class BasicSpaceSaving<V6Domain>;
 
 }  // namespace hhh

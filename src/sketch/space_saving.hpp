@@ -16,19 +16,26 @@
 ///
 /// Implementation: flat hash map key -> slot plus a binary min-heap of
 /// slots ordered by count (lazily repaired on increment), O(log k) updates.
+///
+/// The summary is templated on a key domain (net/key_domain.hpp):
+/// `SpaceSaving` (= BasicSpaceSaving<V4Domain>) tracks the packed 64-bit
+/// keys of the pre-generic code; BasicSpaceSaving<V6Domain> tracks 128-bit
+/// IPv6 prefix keys. The domain supplies key type, hash and wire encoding.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "net/key_domain.hpp"
 #include "util/flat_hash_map.hpp"
 #include "wire/fwd.hpp"
 
 namespace hhh {
 
-/// One tracked (key, count, error) triple of a SpaceSaving summary.
-struct SpaceSavingEntry {
-  std::uint64_t key = 0;  ///< the tracked stream key
+/// One tracked (key, count, error) triple of a Space-Saving summary.
+template <typename K>
+struct BasicSpaceSavingEntry {
+  K key{};                ///< the tracked stream key
   double count = 0.0;     ///< overestimate of the key's true weight
   double error = 0.0;     ///< inherited overestimate bound
 
@@ -36,30 +43,39 @@ struct SpaceSavingEntry {
   double guaranteed() const noexcept { return count - error; }
 };
 
+/// The classic 64-bit-keyed entry (IPv4 and generic digest summaries).
+using SpaceSavingEntry = BasicSpaceSavingEntry<std::uint64_t>;
+
 /// Bounded heavy-hitter summary with the Space-Saving eviction policy.
-class SpaceSaving {
+template <typename D>
+class BasicSpaceSaving {
  public:
+  /// The domain's storage key.
+  using Key = typename D::MapKey;
+  /// The summary's entry type.
+  using Entry = BasicSpaceSavingEntry<Key>;
+
   /// Summary tracking at most `capacity` keys; throws on capacity 0.
-  explicit SpaceSaving(std::size_t capacity);
+  explicit BasicSpaceSaving(std::size_t capacity);
 
   /// Add `weight` to `key`, evicting the minimum entry if necessary.
-  void update(std::uint64_t key, double weight);
+  void update(const Key& key, double weight);
 
   /// Overestimate of the key's count; 0 if not tracked (any untracked key
   /// has true count <= min_count()).
-  double estimate(std::uint64_t key) const noexcept;
+  double estimate(const Key& key) const noexcept;
 
   /// True iff the key currently occupies a summary slot.
-  bool tracked(std::uint64_t key) const noexcept;
+  bool tracked(const Key& key) const noexcept;
 
   /// Smallest count in the summary (the eviction threshold); 0 if not full.
   double min_count() const noexcept;
 
   /// All tracked entries, unordered.
-  std::vector<SpaceSavingEntry> entries() const;
+  std::vector<Entry> entries() const;
 
   /// Entries with count >= threshold (the HH query).
-  std::vector<SpaceSavingEntry> entries_at_least(double threshold) const;
+  std::vector<Entry> entries_at_least(double threshold) const;
 
   /// Multiply every count/error by `factor` (exponential decay support;
   /// order statistics are preserved so the heap stays valid).
@@ -78,7 +94,7 @@ class SpaceSaving {
   /// standard Space-Saving guarantees hold for the concatenated stream
   /// with the summed error bound. Capacities need not match; the result
   /// keeps this summary's capacity.
-  void merge_from(const SpaceSaving& other);
+  void merge_from(const BasicSpaceSaving& other);
 
   /// Drop every entry (summary becomes as constructed).
   void clear();
@@ -104,7 +120,7 @@ class SpaceSaving {
 
  private:
   struct Slot {
-    std::uint64_t key;
+    Key key;
     double count;
     double error;
     std::size_t heap_pos;
@@ -117,8 +133,84 @@ class SpaceSaving {
   std::size_t capacity_;
   std::vector<Slot> slots_;             // slot storage, indexed by heap_ entries
   std::vector<std::uint32_t> heap_;     // min-heap of slot indices by count
-  FlatHashMap<std::uint64_t, std::uint32_t> index_;  // key -> slot
+  FlatHashMap<Key, std::uint32_t, typename D::Hash> index_;  // key -> slot
   double total_ = 0.0;
 };
+
+
+template <typename D>
+inline void BasicSpaceSaving<D>::heap_swap(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  slots_[heap_[a]].heap_pos = a;
+  slots_[heap_[b]].heap_pos = b;
+}
+
+template <typename D>
+inline void BasicSpaceSaving<D>::sift_down(std::size_t pos) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * pos + 1;
+    const std::size_t r = l + 1;
+    std::size_t smallest = pos;
+    if (l < n && slots_[heap_[l]].count < slots_[heap_[smallest]].count) smallest = l;
+    if (r < n && slots_[heap_[r]].count < slots_[heap_[smallest]].count) smallest = r;
+    if (smallest == pos) return;
+    heap_swap(pos, smallest);
+    pos = smallest;
+  }
+}
+
+template <typename D>
+inline void BasicSpaceSaving<D>::sift_up(std::size_t pos) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (slots_[heap_[parent]].count <= slots_[heap_[pos]].count) return;
+    heap_swap(pos, parent);
+    pos = parent;
+  }
+}
+
+// update() lives in the header so the one-call-per-packet engines (RHHH's
+// sampled path above all) inline the tracked-key fast path instead of
+// paying a cross-TU call per packet.
+template <typename D>
+inline void BasicSpaceSaving<D>::update(const Key& key, double weight) {
+  total_ += weight;
+
+  if (auto* slot_idx = index_.find(key)) {
+    Slot& slot = slots_[*slot_idx];
+    slot.count += weight;
+    sift_down(slot.heap_pos);  // count grew: may need to move away from the top
+    return;
+  }
+
+  if (slots_.size() < capacity_) {
+    const auto idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{key, weight, 0.0, heap_.size()});
+    heap_.push_back(idx);
+    sift_up(slots_[idx].heap_pos);
+    *index_.try_emplace(key).first = idx;
+    return;
+  }
+
+  // Evict the current minimum; the newcomer inherits its count as error.
+  const std::uint32_t victim_idx = heap_[0];
+  Slot& victim = slots_[victim_idx];
+  index_.erase(victim.key);
+  const double inherited = victim.count;
+  victim.key = key;
+  victim.error = inherited;
+  victim.count = inherited + weight;
+  *index_.try_emplace(key).first = victim_idx;
+  sift_down(0);
+}
+
+/// The IPv4 / 64-bit-keyed instantiation — the pre-generic SpaceSaving.
+using SpaceSaving = BasicSpaceSaving<V4Domain>;
+/// The IPv6 instantiation (128-bit keys).
+using SpaceSavingV6 = BasicSpaceSaving<V6Domain>;
+
+extern template class BasicSpaceSaving<V4Domain>;
+extern template class BasicSpaceSaving<V6Domain>;
 
 }  // namespace hhh

@@ -77,7 +77,9 @@ void DecayingCountingBloomFilter::update(std::uint64_t key, double weight, TimeP
   // Conservative update on decayed values: bring every cell of the key to
   // at least (current min + weight), never lower an existing cell.
   double current_min = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < k; ++i) current_min = std::min(current_min, cell_value_at(idx[i], now));
+  for (std::size_t i = 0; i < k; ++i) {
+    current_min = std::min(current_min, cell_value_at(idx[i], now));
+  }
   const double target = current_min + weight;
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t c = idx[i];

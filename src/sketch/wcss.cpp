@@ -41,7 +41,8 @@ void WindowedSpaceSaving::roll(TimePoint now) {
 void WindowedSpaceSaving::update(std::uint64_t key, double weight, TimePoint now) {
   roll(now);
   const std::int64_t frame = frame_index(now);
-  const std::size_t slot = static_cast<std::size_t>(frame % static_cast<std::int64_t>(ring_.size()));
+  const std::size_t slot =
+      static_cast<std::size_t>(frame % static_cast<std::int64_t>(ring_.size()));
   if (ring_frame_[slot] != frame) {
     ring_[slot].clear();
     ring_frame_[slot] = frame;

@@ -129,7 +129,8 @@ Ipv4Address SyntheticTraceGenerator::burst_source(const Burst& burst) {
   if (burst.prefix.is_host()) return burst.prefix.address();
   // Group burst: a random member of the prefix (flash-crowd / reflector mix).
   const unsigned host_bits = 32 - burst.prefix.length();
-  const std::uint32_t suffix = static_cast<std::uint32_t>(rng_.below(std::uint64_t{1} << host_bits));
+  const std::uint32_t suffix =
+      static_cast<std::uint32_t>(rng_.below(std::uint64_t{1} << host_bits));
   return Ipv4Address(burst.prefix.bits() | suffix);
 }
 
@@ -137,12 +138,18 @@ PacketRecord SyntheticTraceGenerator::make_packet(TimePoint at, Ipv4Address src,
                                                   std::uint32_t forced_len) {
   PacketRecord p;
   p.ts = at;
-  p.src = src;
-  p.dst = space_.random_destination(rng_);
+  p.set_src(src);
+  p.set_dst(space_.random_destination(rng_));
   p.src_port = static_cast<std::uint16_t>(1024 + rng_.below(64512));
   p.dst_port = rng_.chance(0.6) ? 443 : static_cast<std::uint16_t>(rng_.below(65536));
   p.proto = rng_.chance(0.8) ? IpProto::kTcp : IpProto::kUdp;
   p.ip_len = forced_len != 0 ? forced_len : config_.sizes.sample(rng_);
+  // Family draw LAST and only in mixed/v6 mode: a pure-v4 config consumes
+  // exactly the pre-generic RNG sequence (seed-audit compatibility).
+  if (config_.v6_fraction > 0.0 && rng_.chance(config_.v6_fraction)) {
+    p.set_src(v6_embed(src));
+    p.set_dst(v6_embed(p.dst().v4()));
+  }
   ++emitted_;
   return p;
 }
@@ -199,8 +206,13 @@ std::optional<PacketRecord> SyntheticTraceGenerator::next() {
         const std::uint32_t suffix = host_bits >= 32
             ? static_cast<std::uint32_t>(rng_.next())
             : static_cast<std::uint32_t>(rng_.below(std::uint64_t{1} << host_bits));
-        PacketRecord p = make_packet(ev.at, Ipv4Address(ep.source_prefix.bits() | suffix));
-        p.dst = ep.target;
+        const Ipv4Address attacker(ep.source_prefix.bits() | suffix);
+        PacketRecord p = make_packet(ev.at, attacker);
+        // Episodes are scripted IPv4 attacks (source_prefix/target are
+        // v4): re-pin BOTH addresses so the mixed-family embedding in
+        // make_packet can never leave a half-converted record.
+        p.set_src(attacker);
+        p.set_dst(ep.target);
         p.proto = IpProto::kUdp;
         return p;
       }

@@ -34,6 +34,13 @@ namespace hhh {
 
 struct TraceConfig {
   std::uint64_t seed = 1;
+  /// Fraction of packets emitted as IPv6 (0 = pure v4, 1 = pure v6,
+  /// in between = a mixed-family stream). v6 packets carry the drawn v4
+  /// source/destination embedded via v6_embed(), so the hierarchical Zipf
+  /// structure is preserved at the corresponding v6 byte levels. With the
+  /// default 0 the generator consumes no extra RNG draws and existing v4
+  /// streams stay byte-identical (seed audit).
+  double v6_fraction = 0.0;
   Duration duration = Duration::seconds(600);
   double background_pps = 4000.0;
   AddressSpaceConfig address_space;
@@ -47,6 +54,14 @@ struct TraceConfig {
   /// modulation phase, mirroring the paper's four one-hour days.
   static TraceConfig caida_like_day(int day, Duration duration, double background_pps = 4000.0);
 };
+
+/// Deterministic v4 -> v6 embedding used by the mixed-family generator:
+/// the four v4 octets become bytes 4..7 of a 2001:db8::/32 address, so a
+/// v4 /L prefix corresponds exactly to the v6 /(32+L) prefix — goldens
+/// computed on the v4 structure translate to v6 by shifting lengths.
+constexpr IpAddress v6_embed(Ipv4Address a) noexcept {
+  return IpAddress::v6((0x2001'0db8ULL << 32) | a.bits(), 0);
+}
 
 class SyntheticTraceGenerator {
  public:

@@ -8,10 +8,15 @@
 namespace hhh {
 namespace {
 
-constexpr char kMagic[4] = {'H', 'H', 'T', '1'};
+// Two on-disk generations: HHT1 records are IPv4-only (26 bytes), HHT2
+// records carry full 128-bit addresses plus a family tag (50 bytes). The
+// writer emits HHT2; the reader accepts both, so traces written before the
+// generic key layer still load.
+constexpr char kMagicV1[4] = {'H', 'H', 'T', '1'};
+constexpr char kMagicV2[4] = {'H', 'H', 'T', '2'};
 
 #pragma pack(push, 1)
-struct DiskRecordFull {
+struct DiskRecordV1 {
   std::int64_t ts_ns;
   std::uint32_t src;
   std::uint32_t dst;
@@ -21,34 +26,63 @@ struct DiskRecordFull {
   std::uint8_t proto;
   std::uint8_t pad;
 };
-#pragma pack(pop)
-static_assert(sizeof(DiskRecordFull) == 26, "on-disk layout drift");
 
-DiskRecordFull to_disk(const PacketRecord& p) noexcept {
-  DiskRecordFull d{};
+struct DiskRecordV2 {
+  std::int64_t ts_ns;
+  std::uint64_t src_hi;
+  std::uint64_t src_lo;
+  std::uint64_t dst_hi;
+  std::uint64_t dst_lo;
+  std::uint32_t ip_len;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint8_t proto;
+  std::uint8_t family;
+};
+#pragma pack(pop)
+static_assert(sizeof(DiskRecordV1) == 26, "on-disk layout drift");
+static_assert(sizeof(DiskRecordV2) == 50, "on-disk layout drift");
+
+DiskRecordV2 to_disk(const PacketRecord& p) noexcept {
+  DiskRecordV2 d{};
   d.ts_ns = p.ts.ns();
-  d.src = p.src.bits();
-  d.dst = p.dst.bits();
+  d.src_hi = p.src().hi();
+  d.src_lo = p.src().lo();
+  d.dst_hi = p.dst().hi();
+  d.dst_lo = p.dst().lo();
   d.src_port = p.src_port;
   d.dst_port = p.dst_port;
   d.proto = static_cast<std::uint8_t>(p.proto);
+  d.family = static_cast<std::uint8_t>(p.family());
   d.ip_len = p.ip_len;
   return d;
 }
 
-PacketRecord from_disk(const DiskRecordFull& d) noexcept {
+PacketRecord from_disk_v1(const DiskRecordV1& d) noexcept {
   PacketRecord p;
   p.ts = TimePoint::from_ns(d.ts_ns);
-  p.src = Ipv4Address(d.src);
-  p.dst = Ipv4Address(d.dst);
+  p.set_src(Ipv4Address(d.src));
+  p.set_dst(Ipv4Address(d.dst));
   p.src_port = d.src_port;
   p.dst_port = d.dst_port;
-  switch (d.proto) {
-    case 6: p.proto = IpProto::kTcp; break;
-    case 17: p.proto = IpProto::kUdp; break;
-    case 1: p.proto = IpProto::kIcmp; break;
-    default: p.proto = IpProto::kOther; break;
+  p.proto = ip_proto_from_wire(d.proto);
+  p.ip_len = d.ip_len;
+  return p;
+}
+
+std::optional<PacketRecord> from_disk_v2(const DiskRecordV2& d) noexcept {
+  if (d.family != static_cast<std::uint8_t>(AddressFamily::kIpv4) &&
+      d.family != static_cast<std::uint8_t>(AddressFamily::kIpv6)) {
+    return std::nullopt;
   }
+  PacketRecord p;
+  p.ts = TimePoint::from_ns(d.ts_ns);
+  const auto family = static_cast<AddressFamily>(d.family);
+  p.set_src(IpAddress::from_bits(family, d.src_hi, d.src_lo));
+  p.set_dst(IpAddress::from_bits(family, d.dst_hi, d.dst_lo));
+  p.src_port = d.src_port;
+  p.dst_port = d.dst_port;
+  p.proto = ip_proto_from_wire(d.proto);
   p.ip_len = d.ip_len;
   return p;
 }
@@ -58,13 +92,13 @@ PacketRecord from_disk(const DiskRecordFull& d) noexcept {
 BinaryTraceWriter::BinaryTraceWriter(const std::string& path)
     : out_(path, std::ios::binary | std::ios::trunc) {
   if (!out_) throw std::runtime_error("BinaryTraceWriter: cannot create " + path);
-  out_.write(kMagic, sizeof kMagic);
+  out_.write(kMagicV2, sizeof kMagicV2);
 }
 
 BinaryTraceWriter::~BinaryTraceWriter() { flush(); }
 
 void BinaryTraceWriter::write(const PacketRecord& p) {
-  const DiskRecordFull d = to_disk(p);
+  const DiskRecordV2 d = to_disk(p);
   out_.write(reinterpret_cast<const char*>(&d), sizeof d);
   if (!out_) throw std::runtime_error("BinaryTraceWriter: write failed");
   ++written_;
@@ -76,17 +110,34 @@ BinaryTraceReader::BinaryTraceReader(const std::string& path) : in_(path, std::i
   if (!in_) throw std::runtime_error("BinaryTraceReader: cannot open " + path);
   char magic[4];
   in_.read(magic, sizeof magic);
-  if (in_.gcount() != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+  if (in_.gcount() != 4) throw std::runtime_error("BinaryTraceReader: bad magic in " + path);
+  if (std::memcmp(magic, kMagicV2, 4) == 0) {
+    v1_ = false;
+  } else if (std::memcmp(magic, kMagicV1, 4) == 0) {
+    v1_ = true;
+  } else {
     throw std::runtime_error("BinaryTraceReader: bad magic in " + path);
   }
 }
 
 std::optional<PacketRecord> BinaryTraceReader::next() {
-  DiskRecordFull d;
-  in_.read(reinterpret_cast<char*>(&d), sizeof d);
-  if (static_cast<std::size_t>(in_.gcount()) != sizeof d) return std::nullopt;
-  ++read_;
-  return from_disk(d);
+  if (v1_) {
+    DiskRecordV1 d;
+    in_.read(reinterpret_cast<char*>(&d), sizeof d);
+    if (static_cast<std::size_t>(in_.gcount()) != sizeof d) return std::nullopt;
+    ++read_;
+    return from_disk_v1(d);
+  }
+  while (true) {
+    DiskRecordV2 d;
+    in_.read(reinterpret_cast<char*>(&d), sizeof d);
+    if (static_cast<std::size_t>(in_.gcount()) != sizeof d) return std::nullopt;
+    if (auto p = from_disk_v2(d)) {
+      ++read_;
+      return p;
+    }
+    // Unknown family byte: corrupt record, skip rather than fabricate.
+  }
 }
 
 CsvTraceWriter::CsvTraceWriter(const std::string& path) : out_(path, std::ios::trunc) {
@@ -95,7 +146,7 @@ CsvTraceWriter::CsvTraceWriter(const std::string& path) : out_(path, std::ios::t
 }
 
 void CsvTraceWriter::write(const PacketRecord& p) {
-  out_ << p.ts.ns() << ',' << p.src.to_string() << ',' << p.dst.to_string() << ','
+  out_ << p.ts.ns() << ',' << p.src().to_string() << ',' << p.dst().to_string() << ','
        << p.src_port << ',' << p.dst_port << ',' << static_cast<int>(p.proto) << ','
        << p.ip_len << '\n';
 }
@@ -121,9 +172,10 @@ std::optional<PacketRecord> CsvTraceReader::next() {
     std::uint64_t dport = 0;
     std::uint64_t proto = 0;
     std::uint64_t len = 0;
-    const auto src = Ipv4Address::parse(fields[1]);
-    const auto dst = Ipv4Address::parse(fields[2]);
-    if (!parse_u64(fields[0], ts) || !src || !dst || !parse_u64(fields[3], sport) ||
+    const auto src = IpAddress::parse(fields[1]);
+    const auto dst = IpAddress::parse(fields[2]);
+    if (!parse_u64(fields[0], ts) || !src || !dst ||
+        src->family() != dst->family() || !parse_u64(fields[3], sport) ||
         !parse_u64(fields[4], dport) || !parse_u64(fields[5], proto) ||
         !parse_u64(fields[6], len) || sport > 0xFFFF || dport > 0xFFFF) {
       ++skipped_;
@@ -131,14 +183,11 @@ std::optional<PacketRecord> CsvTraceReader::next() {
     }
     PacketRecord p;
     p.ts = TimePoint::from_ns(static_cast<std::int64_t>(ts));
-    p.src = *src;
-    p.dst = *dst;
+    p.set_src(*src);
+    p.set_dst(*dst);
     p.src_port = static_cast<std::uint16_t>(sport);
     p.dst_port = static_cast<std::uint16_t>(dport);
-    p.proto = proto == 6 ? IpProto::kTcp
-              : proto == 17 ? IpProto::kUdp
-              : proto == 1 ? IpProto::kIcmp
-                           : IpProto::kOther;
+    p.proto = ip_proto_from_wire(static_cast<std::uint8_t>(proto));
     p.ip_len = static_cast<std::uint32_t>(len);
     return p;
   }

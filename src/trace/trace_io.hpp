@@ -1,10 +1,14 @@
-// Compact trace persistence: binary ("HHT1") and CSV formats.
+// Compact trace persistence: binary ("HHT2", legacy "HHT1") and CSV
+// formats.
 //
-// The binary format is a fixed 24-byte little-endian record per packet —
+// The binary format is a fixed-size little-endian record per packet —
 // compact enough to store an hour of backbone-scale traffic, and the
-// reader streams so traces never have to fit in memory. CSV is provided
+// reader streams so traces never have to fit in memory. HHT2 records
+// carry full 128-bit addresses plus a family tag (IPv4 and IPv6 in one
+// file); the IPv4-only HHT1 generation is still read. CSV is provided
 // for interoperability with ad-hoc tooling (one packet per line:
-// ts_ns,src,dst,sport,dport,proto,ip_len).
+// ts_ns,src,dst,sport,dport,proto,ip_len — addresses in either family's
+// textual form).
 #pragma once
 
 #include <cstdint>
@@ -46,6 +50,7 @@ class BinaryTraceReader {
  private:
   std::ifstream in_;
   std::uint64_t read_ = 0;
+  bool v1_ = false;  // legacy IPv4-only record layout
 };
 
 class CsvTraceWriter {

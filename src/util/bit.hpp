@@ -30,6 +30,13 @@ constexpr std::uint32_t prefix_mask32(unsigned len) noexcept {
   return len == 0 ? 0u : (len >= 32 ? 0xFFFF'FFFFu : ~0u << (32u - len));
 }
 
+/// A 64-bit mask with the top `len` bits set (len in [0,64]). Compiles to a
+/// shift plus a conditional move — no data-dependent branch on the prefix
+/// hot path.
+constexpr std::uint64_t prefix_mask64(unsigned len) noexcept {
+  return len == 0 ? 0u : (len >= 64 ? ~0ULL : ~0ULL << (64u - len));
+}
+
 /// Reduce a 64-bit hash onto [0, n) without modulo bias (Lemire reduction).
 constexpr std::uint64_t fast_range(std::uint64_t hash, std::uint64_t n) noexcept {
   return static_cast<std::uint64_t>(

@@ -56,10 +56,11 @@ FrameView parse_frame(std::span<const std::uint8_t> buffer) {
 
   Reader header(buffer.subspan(sizeof(kSnapshotMagic), 12));
   const std::uint16_t version = header.u16();
-  if (version != kSnapshotVersion) {
+  if (version < kSnapshotMinVersion || version > kSnapshotVersion) {
     throw WireFormatError(WireError::kBadVersion,
                           "frame version " + std::to_string(version) +
-                              ", this build reads only version " +
+                              ", this build reads versions " +
+                              std::to_string(kSnapshotMinVersion) + ".." +
                               std::to_string(kSnapshotVersion));
   }
   const std::uint16_t raw_kind = header.u16();
@@ -79,6 +80,7 @@ FrameView parse_frame(std::span<const std::uint8_t> buffer) {
   view.kind = static_cast<SnapshotKind>(raw_kind);
   view.payload = buffer.subspan(kFrameHeaderBytes, payload_len);
   view.frame_size = static_cast<std::size_t>(frame_size);
+  view.version = version;
   return view;
 }
 
@@ -88,8 +90,10 @@ SnapshotKind engine_snapshot_kind(const HhhEngine& engine) {
                           "engine '" + engine.name() + "' is not serializable");
   }
   const std::string name = engine.name();
-  if (name == "exact") return SnapshotKind::kExactEngine;
-  if (name == "rhhh" || name == "hss") return SnapshotKind::kRhhhEngine;
+  if (name == "exact" || name == "exact_v6") return SnapshotKind::kExactEngine;
+  if (name == "rhhh" || name == "hss" || name == "rhhh_v6" || name == "hss_v6") {
+    return SnapshotKind::kRhhhEngine;
+  }
   if (name == "ancestry") return SnapshotKind::kAncestryEngine;
   if (name == "univmon") return SnapshotKind::kUnivmonEngine;
   if (name.starts_with("sharded_")) return SnapshotKind::kShardedEngine;
@@ -106,14 +110,14 @@ std::vector<std::uint8_t> save_engine(const HhhEngine& engine) {
 }
 
 std::unique_ptr<HhhEngine> load_engine(const FrameView& frame) {
-  Reader r(frame.payload);
+  Reader r(frame.payload, frame.version);
   std::unique_ptr<HhhEngine> engine;
   switch (frame.kind) {
     case SnapshotKind::kExactEngine:
-      engine = ExactEngine::deserialize(r);
+      engine = deserialize_exact_engine(r);
       break;
     case SnapshotKind::kRhhhEngine:
-      engine = RhhhEngine::deserialize(r);
+      engine = deserialize_rhhh_engine(r);
       break;
     case SnapshotKind::kAncestryEngine:
       engine = AncestryHhhEngine::deserialize(r);
@@ -148,7 +152,7 @@ void load_engine_into(std::span<const std::uint8_t> buffer, HhhEngine& engine) {
         "buffer continues past the frame");
   check(frame.kind == engine_snapshot_kind(engine), WireError::kParamsMismatch,
         "snapshot kind does not match the receiving engine");
-  Reader r(frame.payload);
+  Reader r(frame.payload, frame.version);
   engine.load_state(r);
   check(r.done(), WireError::kTrailingBytes, "payload continues past engine state");
 }

@@ -7,7 +7,7 @@
 /// | offset | size | field                                     |
 /// |-------:|-----:|-------------------------------------------|
 /// |      0 |    4 | magic `"HHHS"` (0x48 0x48 0x48 0x53)      |
-/// |      4 |    2 | format version (currently 1)              |
+/// |      4 |    2 | format version (currently 2; 1 accepted)  |
 /// |      6 |    2 | SnapshotKind                              |
 /// |      8 |    8 | payload length N                          |
 /// |     16 |    N | payload (the object's save_state() bytes) |
@@ -20,10 +20,13 @@
 /// every failure throws a typed wire::WireFormatError.
 ///
 /// Versioning policy: the version is bumped whenever any payload encoding
-/// changes shape; readers accept exactly the versions they know (currently
-/// only 1) and reject everything else with kBadVersion. There are no
-/// in-place "minor" extensions — a frame either parses under a known
-/// version's rules or is refused.
+/// changes shape; readers accept exactly the versions they know and reject
+/// everything else with kBadVersion. This build writes version 2 (the
+/// family-generic encoding with IPv6 support) and still reads version 1
+/// (the IPv4-only encoding): the frame's version travels in the payload
+/// Reader, and the shared codecs (wire/codec.hpp) branch on it. There are
+/// no in-place "minor" extensions beyond that — a frame either parses
+/// under a known version's rules or is refused.
 #pragma once
 
 #include <cstdint>
@@ -43,8 +46,11 @@ namespace hhh::wire {
 
 /// First four frame bytes: "HHHS".
 inline constexpr std::uint8_t kSnapshotMagic[4] = {'H', 'H', 'H', 'S'};
-/// The format version this build writes and accepts.
-inline constexpr std::uint16_t kSnapshotVersion = 1;
+/// The format version this build writes; it accepts
+/// [kSnapshotMinVersion, kSnapshotVersion].
+inline constexpr std::uint16_t kSnapshotVersion = kWireVersion;
+/// Oldest format version this build still reads (IPv4-only payloads).
+inline constexpr std::uint16_t kSnapshotMinVersion = kWireMinVersion;
 /// Frame header bytes (magic + version + kind + payload length).
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Trailing CRC-32 bytes.
@@ -71,6 +77,7 @@ struct FrameView {
   SnapshotKind kind;                        ///< declared payload kind
   std::span<const std::uint8_t> payload;    ///< payload bytes (CRC-checked)
   std::size_t frame_size = 0;               ///< total frame bytes consumed
+  std::uint16_t version = kSnapshotVersion; ///< the frame's declared version
 };
 
 /// Wrap a payload in a frame (magic, version, kind, length, CRC).

@@ -46,6 +46,16 @@ enum class WireError : std::uint8_t {
 /// Stable lower-case name of a WireError ("truncated", "bad_crc", ...).
 const char* to_string(WireError e) noexcept;
 
+/// The payload-encoding version this build writes. Version history:
+///  * 1 — IPv4-only payloads (hierarchies without a family byte, prefixes
+///    as packed 64-bit keys);
+///  * 2 — address-family-generic payloads (hierarchy carries a family
+///    byte, prefixes are family-tagged, IPv6 keys are 128-bit).
+/// Readers accept versions [kWireMinVersion, kWireVersion]; a Reader
+/// carries the frame's version so shared codecs can decode both shapes.
+inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireMinVersion = 1;
+
 /// The exception every decode/validation failure in the wire layer throws.
 class WireFormatError : public std::runtime_error {
  public:
@@ -106,8 +116,16 @@ class Writer {
 /// exhausted; higher layers add structural validation on top.
 class Reader {
  public:
-  /// Decoder over `data` (not owned; must outlive the Reader).
-  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+  /// Decoder over `data` (not owned; must outlive the Reader). `version`
+  /// is the payload-encoding version the bytes were written under
+  /// (snapshot framing passes the frame header's version; in-process
+  /// round-trips default to the current version).
+  explicit Reader(std::span<const std::uint8_t> data,
+                  std::uint16_t version = kWireVersion)
+      : data_(data), version_(version) {}
+
+  /// The payload-encoding version this Reader decodes under.
+  std::uint16_t version() const noexcept { return version_; }
 
   /// Read one byte.
   std::uint8_t u8();
@@ -146,6 +164,7 @@ class Reader {
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  std::uint16_t version_ = kWireVersion;
 };
 
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over a byte range.

@@ -5,7 +5,7 @@
 namespace hhh {
 namespace {
 
-Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+PrefixKey pfx(const char* s) { return *PrefixKey::parse(s); }
 
 TEST(Churn, EmptyStream) {
   ChurnAnalysis churn;
@@ -17,7 +17,7 @@ TEST(Churn, EmptyStream) {
 
 TEST(Churn, PerfectlyStableStream) {
   ChurnAnalysis churn;
-  const std::vector<Ipv4Prefix> set = {pfx("10.0.0.0/8"), pfx("10.1.0.0/16")};
+  const std::vector<PrefixKey> set = {pfx("10.0.0.0/8"), pfx("10.1.0.0/16")};
   for (int i = 0; i < 5; ++i) churn.add_report(set);
   churn.finish();
   EXPECT_EQ(churn.reports(), 5u);

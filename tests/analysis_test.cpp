@@ -9,7 +9,7 @@
 namespace hhh {
 namespace {
 
-Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+PrefixKey pfx(const char* s) { return *PrefixKey::parse(s); }
 
 // --- Jaccard ---------------------------------------------------------------
 
@@ -37,8 +37,8 @@ TEST(Jaccard, DeduplicatesInput) {
 }
 
 TEST(Jaccard, WorksOnPrefixes) {
-  const std::vector<Ipv4Prefix> a = {pfx("10.0.0.0/8"), pfx("10.1.0.0/16")};
-  const std::vector<Ipv4Prefix> b = {pfx("10.0.0.0/8")};
+  const std::vector<PrefixKey> a = {pfx("10.0.0.0/8"), pfx("10.1.0.0/16")};
+  const std::vector<PrefixKey> b = {pfx("10.0.0.0/8")};
   EXPECT_DOUBLE_EQ(jaccard(a, b), 0.5);
 }
 
@@ -102,9 +102,9 @@ TEST(Cdf, SingleSample) {
 // --- Metrics -----------------------------------------------------------------
 
 TEST(Metrics, ExactComparison) {
-  const std::vector<Ipv4Prefix> truth = {pfx("10.0.0.0/8"), pfx("20.0.0.0/8"),
+  const std::vector<PrefixKey> truth = {pfx("10.0.0.0/8"), pfx("20.0.0.0/8"),
                                          pfx("30.0.0.0/8")};
-  const std::vector<Ipv4Prefix> detected = {pfx("10.0.0.0/8"), pfx("40.0.0.0/8")};
+  const std::vector<PrefixKey> detected = {pfx("10.0.0.0/8"), pfx("40.0.0.0/8")};
   const auto pr = compare_exact(detected, truth);
   EXPECT_EQ(pr.true_positives, 1u);
   EXPECT_EQ(pr.false_positives, 1u);
@@ -116,7 +116,7 @@ TEST(Metrics, ExactComparison) {
 }
 
 TEST(Metrics, PerfectAndEmptyCases) {
-  const std::vector<Ipv4Prefix> set = {pfx("10.0.0.0/8")};
+  const std::vector<PrefixKey> set = {pfx("10.0.0.0/8")};
   const auto perfect = compare_exact(set, set);
   EXPECT_DOUBLE_EQ(perfect.precision(), 1.0);
   EXPECT_DOUBLE_EQ(perfect.recall(), 1.0);
@@ -129,8 +129,8 @@ TEST(Metrics, PerfectAndEmptyCases) {
 }
 
 TEST(Metrics, DuplicatesNormalizedAway) {
-  const std::vector<Ipv4Prefix> detected = {pfx("10.0.0.0/8"), pfx("10.0.0.0/8")};
-  const std::vector<Ipv4Prefix> truth = {pfx("10.0.0.0/8")};
+  const std::vector<PrefixKey> detected = {pfx("10.0.0.0/8"), pfx("10.0.0.0/8")};
+  const std::vector<PrefixKey> truth = {pfx("10.0.0.0/8")};
   const auto pr = compare_exact(detected, truth);
   EXPECT_EQ(pr.true_positives, 1u);
   EXPECT_EQ(pr.false_positives, 0u);
@@ -139,8 +139,8 @@ TEST(Metrics, DuplicatesNormalizedAway) {
 TEST(Metrics, TolerantAcceptsAdjacentLevel) {
   // Detected the /24 while truth holds the covering /32's /24 sibling...
   // i.e. truth has the host, detection reported its /24: one level apart.
-  const std::vector<Ipv4Prefix> truth = {pfx("10.1.2.3/32")};
-  const std::vector<Ipv4Prefix> detected = {pfx("10.1.2.0/24")};
+  const std::vector<PrefixKey> truth = {pfx("10.1.2.3/32")};
+  const std::vector<PrefixKey> detected = {pfx("10.1.2.0/24")};
   const auto strict = compare_exact(detected, truth);
   EXPECT_EQ(strict.true_positives, 0u);
   const auto tolerant = compare_tolerant(detected, truth, 8);
@@ -149,16 +149,16 @@ TEST(Metrics, TolerantAcceptsAdjacentLevel) {
 }
 
 TEST(Metrics, TolerantRespectsSlackLimit) {
-  const std::vector<Ipv4Prefix> truth = {pfx("10.1.2.3/32")};
-  const std::vector<Ipv4Prefix> detected = {pfx("10.0.0.0/8")};  // 24 bits away
+  const std::vector<PrefixKey> truth = {pfx("10.1.2.3/32")};
+  const std::vector<PrefixKey> detected = {pfx("10.0.0.0/8")};  // 24 bits away
   const auto tolerant = compare_tolerant(detected, truth, 8);
   EXPECT_EQ(tolerant.true_positives, 0u);
   EXPECT_EQ(tolerant.false_positives, 1u);
 }
 
 TEST(Metrics, TolerantRequiresContainment) {
-  const std::vector<Ipv4Prefix> truth = {pfx("10.1.2.0/24")};
-  const std::vector<Ipv4Prefix> detected = {pfx("10.1.3.0/24")};  // sibling
+  const std::vector<PrefixKey> truth = {pfx("10.1.2.0/24")};
+  const std::vector<PrefixKey> detected = {pfx("10.1.3.0/24")};  // sibling
   const auto tolerant = compare_tolerant(detected, truth, 8);
   EXPECT_EQ(tolerant.true_positives, 0u);
 }

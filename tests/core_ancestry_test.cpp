@@ -16,7 +16,7 @@ Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
 
 PacketRecord pkt(Ipv4Address src, std::uint32_t bytes) {
   PacketRecord p;
-  p.src = src;
+  p.set_src(src);
   p.ip_len = bytes;
   return p;
 }
@@ -75,7 +75,7 @@ TEST(Ancestry, RecallIsCompleteAtHighThreshold) {
   const auto packets = skewed_stream(150000, 2);
   for (const auto& p : packets) {
     engine.add(p);
-    agg.add(p.src, p.ip_len);
+    agg.add(p.src(), p.ip_len);
   }
   const double phi = 0.05;
   const auto approx = engine.extract(phi);
@@ -97,7 +97,7 @@ TEST(Ancestry, UpperEstimatesDominateTruth) {
   const auto packets = skewed_stream(100000, 3);
   for (const auto& p : packets) {
     engine.add(p);
-    agg.add(p.src, p.ip_len);
+    agg.add(p.src(), p.ip_len);
   }
   // Upper-estimate sandwich: counted subtree mass can lose at most eps*N
   // (covered by the +eps*N term), and the estimate never exceeds

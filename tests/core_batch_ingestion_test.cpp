@@ -36,7 +36,7 @@ void feed_batched(HhhEngine& engine, std::span<const PacketRecord> packets,
 TEST(LevelAggregatesBatch, IdenticalToAddLoopAtEveryLevel) {
   const auto packets = stream_for(0xBA7C, 30000);
   LevelAggregates loop(Hierarchy::byte_granularity());
-  for (const auto& p : packets) loop.add(p.src, p.ip_len);
+  for (const auto& p : packets) loop.add(p.src(), p.ip_len);
 
   // Deliberately awkward batch sizes: 1 (degenerate), a prime, a power of
   // two larger than the stream's distinct-source count.
@@ -73,7 +73,7 @@ TEST(LevelAggregatesBatch, BatchThenRemoveReturnsToEmpty) {
   const auto packets = stream_for(0xBA7D, 5000);
   LevelAggregates agg(Hierarchy::byte_granularity());
   agg.add_batch(packets);
-  for (const auto& p : packets) agg.remove(p.src, p.ip_len);
+  for (const auto& p : packets) agg.remove(p.src(), p.ip_len);
   EXPECT_EQ(agg.total_bytes(), 0u);
   for (std::size_t level = 0; level < Hierarchy::byte_granularity().levels(); ++level) {
     EXPECT_EQ(agg.distinct_at(level), 0u) << "level " << level;

@@ -15,6 +15,7 @@
 #include "harness/engine_registry.hpp"
 #include "harness/golden.hpp"
 #include "harness/trace_builder.hpp"
+#include "trace/synthetic_trace.hpp"
 
 namespace hhh {
 namespace {
@@ -27,8 +28,20 @@ class EngineConformance : public ::testing::TestWithParam<std::size_t> {
 
   const std::string& engine_name() const { return conformance_engines()[GetParam()].name; }
 
-  static std::vector<PacketRecord> workload(std::uint64_t seed, std::size_t n) {
-    return harness::TraceBuilder(seed).compact_space().packets(n);
+  std::vector<PacketRecord> workload(std::uint64_t seed, std::size_t n) const {
+    return harness::TraceBuilder(seed)
+        .compact_space()
+        .v6_fraction(conformance_engines()[GetParam()].v6_fraction)
+        .packets(n);
+  }
+
+  /// The hierarchy the engine under test is configured with.
+  const Hierarchy& hierarchy() const { return conformance_engines()[GetParam()].hierarchy; }
+
+  /// A fixed host address of the engine's family (driver smoke test).
+  IpAddress lone_source() const {
+    const Ipv4Address v4 = Ipv4Address::of(10, 0, 0, 1);
+    return hierarchy().family() == AddressFamily::kIpv4 ? IpAddress(v4) : v6_embed(v4);
   }
 };
 
@@ -69,14 +82,13 @@ TEST_P(EngineConformance, ExtractRespectsThresholdArithmetic) {
 TEST_P(EngineConformance, ReportedPrefixesAreAtHierarchyLevels) {
   auto e = engine();
   for (const auto& p : workload(4, 20000)) e->add(p);
-  const auto hierarchy = Hierarchy::byte_granularity();
   // NB: extract() returns by value; items() is a reference into it. Keep
   // the set alive for the whole loop (range-for does NOT extend the
   // temporary through a member call in C++20 — the conformance suite
   // itself tripped on this once).
   const auto set = e->extract(0.02);
   for (const auto& item : set.items()) {
-    EXPECT_NE(hierarchy.level_of(item.prefix), Hierarchy::npos)
+    EXPECT_NE(hierarchy().level_of(item.prefix), Hierarchy::npos)
         << item.prefix.to_string() << " is not a hierarchy level";
   }
 }
@@ -85,7 +97,7 @@ TEST_P(EngineConformance, NoDuplicatePrefixesInOneReport) {
   auto e = engine();
   for (const auto& p : workload(5, 20000)) e->add(p);
   const auto set = e->extract(0.01);
-  std::set<Ipv4Prefix> seen;
+  std::set<PrefixKey> seen;
   for (const auto& item : set.items()) {
     EXPECT_TRUE(seen.insert(item.prefix).second)
         << "duplicate " << item.prefix.to_string();
@@ -166,7 +178,7 @@ TEST_P(EngineConformance, WorksInsideDisjointWindowDriver) {
   DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 0.5},
                                 conformance_engines()[GetParam()].make());
   PacketRecord p;
-  p.src = Ipv4Address::of(10, 0, 0, 1);
+  p.set_src(lone_source());
   p.ip_len = 1000;
   for (int t = 0; t < 4; ++t) {
     p.ts = TimePoint::from_seconds(t + 0.5);
@@ -181,7 +193,7 @@ TEST_P(EngineConformance, WorksInsideDisjointWindowDriver) {
     // level it sampled, so the leaf itself is not guaranteed).
     bool found = false;
     for (const auto& item : r.hhhs.items()) {
-      found |= item.prefix.contains(Ipv4Address::of(10, 0, 0, 1));
+      found |= item.prefix.contains(lone_source());
     }
     EXPECT_TRUE(found) << "window " << r.index;
   }

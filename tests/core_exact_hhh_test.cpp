@@ -11,7 +11,7 @@ namespace hhh {
 namespace {
 
 Ipv4Address ip(const char* s) { return *Ipv4Address::parse(s); }
-Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
+PrefixKey pfx(const char* s) { return *PrefixKey::parse(s); }
 
 // --- Hand-verified scenarios ----------------------------------------------
 
@@ -97,7 +97,7 @@ TEST(ExactHhh, RootCollectsResidue) {
 
   const auto result = extract_hhh(agg, 500);
   ASSERT_EQ(result.size(), 1u);
-  EXPECT_EQ(result.items()[0].prefix, Ipv4Prefix::root());
+  EXPECT_EQ(result.items()[0].prefix, PrefixKey::root());
   EXPECT_EQ(result.items()[0].conditioned_bytes, 600u);
 }
 
@@ -213,7 +213,7 @@ TEST(PrefixTrie, SubtreeBytesAnswersArbitraryPrefixes) {
   EXPECT_EQ(trie.subtree_bytes(pfx("10.1.2.3/32")), 100u);
   EXPECT_EQ(trie.subtree_bytes(pfx("10.1.2.0/27")), 150u);  // non-level length
   EXPECT_EQ(trie.subtree_bytes(pfx("99.0.0.0/8")), 0u);
-  EXPECT_EQ(trie.subtree_bytes(Ipv4Prefix::root()), 175u);
+  EXPECT_EQ(trie.subtree_bytes(PrefixKey::root()), 175u);
 }
 
 TEST(PrefixTrie, ClearResets) {
@@ -221,7 +221,7 @@ TEST(PrefixTrie, ClearResets) {
   trie.add(ip("10.0.0.1"), 5);
   trie.clear();
   EXPECT_EQ(trie.total_bytes(), 0u);
-  EXPECT_EQ(trie.subtree_bytes(Ipv4Prefix::root()), 0u);
+  EXPECT_EQ(trie.subtree_bytes(PrefixKey::root()), 0u);
   EXPECT_EQ(trie.node_count(), 1u);
 }
 
@@ -246,8 +246,8 @@ TEST(PrefixUnion, AccumulatesDistinct) {
 }
 
 TEST(PrefixDifference, Basics) {
-  const std::vector<Ipv4Prefix> a = {pfx("1.0.0.0/8"), pfx("2.0.0.0/8"), pfx("3.0.0.0/8")};
-  const std::vector<Ipv4Prefix> b = {pfx("2.0.0.0/8")};
+  const std::vector<PrefixKey> a = {pfx("1.0.0.0/8"), pfx("2.0.0.0/8"), pfx("3.0.0.0/8")};
+  const std::vector<PrefixKey> b = {pfx("2.0.0.0/8")};
   const auto d = prefix_difference(a, b);
   ASSERT_EQ(d.size(), 2u);
   EXPECT_EQ(d[0], pfx("1.0.0.0/8"));

@@ -18,8 +18,8 @@ PacketRecord pkt(Ipv4Address src, Ipv4Address dst, std::uint32_t bytes,
                  double t_seconds = 0.0) {
   PacketRecord p;
   p.ts = TimePoint::from_seconds(t_seconds);
-  p.src = src;
-  p.dst = dst;
+  p.set_src(src);
+  p.set_dst(dst);
   p.ip_len = bytes;
   return p;
 }
@@ -37,7 +37,7 @@ HhhSet2D brute_force_2d(const std::vector<PacketRecord>& packets,
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> leaves;
   std::uint64_t total = 0;
   for (const auto& p : packets) {
-    leaves[{p.src.bits(), p.dst.bits()}] += p.ip_len;
+    leaves[{p.src().v4().bits(), p.dst().v4().bits()}] += p.ip_len;
     total += p.ip_len;
   }
 
@@ -125,7 +125,9 @@ TEST(Hhh2D, FanOutAggregatesOnSourceAxis) {
   const auto hierarchy = Hierarchy2D::byte_granularity();
   std::vector<PacketRecord> packets;
   for (int i = 0; i < 20; ++i) {
-    packets.push_back(pkt(ip("10.1.2.3"), Ipv4Address(0x40000000u + (static_cast<std::uint32_t>(i) << 24)), 100));
+    packets.push_back(pkt(
+        ip("10.1.2.3"), Ipv4Address(0x40000000u + (static_cast<std::uint32_t>(i) << 24)),
+        100));
   }
   packets.push_back(pkt(ip("99.0.0.1"), ip("192.0.2.1"), 2000));
   const auto set = exact_hhh_2d_of(packets, hierarchy, 0.4);  // T = 1600
@@ -145,7 +147,9 @@ TEST(Hhh2D, ConvergenceAggregatesOnDestinationAxis) {
   const auto hierarchy = Hierarchy2D::byte_granularity();
   std::vector<PacketRecord> packets;
   for (int i = 0; i < 20; ++i) {
-    packets.push_back(pkt(Ipv4Address(0x0A000000u + (static_cast<std::uint32_t>(i) << 24)), ip("203.0.113.7"), 100));
+    packets.push_back(pkt(
+        Ipv4Address(0x0A000000u + (static_cast<std::uint32_t>(i) << 24)),
+        ip("203.0.113.7"), 100));
   }
   const auto set = exact_hhh_2d_of(packets, hierarchy, 0.9);
   bool found = false;
@@ -215,7 +219,7 @@ TEST(Hhh2D, MatchesBruteForceOnRandomStreams) {
     for (const double phi : {0.02, 0.1, 0.3}) {
       const auto threshold = static_cast<std::uint64_t>(phi * static_cast<double>(total));
       LeafPairCounts counts;
-      for (const auto& p : packets) counts.add(p.src, p.dst, p.ip_len);
+      for (const auto& p : packets) counts.add(p.src().v4(), p.dst().v4(), p.ip_len);
       const auto fast = extract_hhh_2d(counts, hierarchy, threshold);
       const auto slow = brute_force_2d(packets, hierarchy, threshold);
       expect_same_sets(fast, slow);

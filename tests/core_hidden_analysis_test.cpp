@@ -15,7 +15,7 @@ Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
 PacketRecord pkt(double t, Ipv4Address src, std::uint32_t bytes) {
   PacketRecord p;
   p.ts = TimePoint::from_seconds(t);
-  p.src = src;
+  p.set_src(src);
   p.ip_len = bytes;
   return p;
 }

@@ -134,13 +134,13 @@ TEST(SpaceSavingMerge, OverestimateBoundedBySummedErrors) {
     FlatHashMap<std::uint64_t, double> truth(1024);
     double n1 = 0.0, n2 = 0.0;
     for (const auto& p : sa) {
-      a.update(p.src.bits(), p.ip_len);
-      truth[p.src.bits()] += p.ip_len;
+      a.update(p.src().v4().bits(), p.ip_len);
+      truth[p.src().v4().bits()] += p.ip_len;
       n1 += p.ip_len;
     }
     for (const auto& p : sb) {
-      b.update(p.src.bits(), p.ip_len);
-      truth[p.src.bits()] += p.ip_len;
+      b.update(p.src().v4().bits(), p.ip_len);
+      truth[p.src().v4().bits()] += p.ip_len;
       n2 += p.ip_len;
     }
     a.merge_from(b);

@@ -137,7 +137,7 @@ TEST(HiddenGrid, DegenerateParamsReturnEmptyCells) {
   std::vector<PacketRecord> packets;
   PacketRecord p;
   p.ts = TimePoint::from_seconds(0.5);
-  p.src = ip("1.2.3.4");
+  p.set_src(ip("1.2.3.4"));
   p.ip_len = 100;
   packets.push_back(p);
   // Window not a multiple of step: the grid returns empty results rather

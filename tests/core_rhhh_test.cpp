@@ -18,7 +18,7 @@ Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
 
 PacketRecord pkt(Ipv4Address src, std::uint32_t bytes) {
   PacketRecord p;
-  p.src = src;
+  p.set_src(src);
   p.ip_len = bytes;
   return p;
 }
@@ -68,7 +68,7 @@ TEST(Rhhh, HssExtractMatchesExactOnEasyStream) {
   LevelAggregates agg(Hierarchy::byte_granularity());
   for (const auto& p : packets) {
     hss.add(p);
-    agg.add(p.src, p.ip_len);
+    agg.add(p.src(), p.ip_len);
   }
   const auto approx = hss.extract(0.05);
   const auto exact = extract_hhh_relative(agg, 0.05);
@@ -82,7 +82,7 @@ TEST(Rhhh, RandomizedEstimatesConvergeToTruth) {
   LevelAggregates agg(Hierarchy::byte_granularity());
   for (const auto& p : packets) {
     rhhh.add(p);
-    agg.add(p.src, p.ip_len);
+    agg.add(p.src(), p.ip_len);
   }
   // Compare the /8-level estimates of the heaviest prefixes: level
   // sampling sees ~1/5 of packets, so relative error on a >=5% prefix
@@ -102,7 +102,7 @@ TEST(Rhhh, RecallOfExactHhhsIsHigh) {
   LevelAggregates agg(Hierarchy::byte_granularity());
   for (const auto& p : packets) {
     rhhh.add(p);
-    agg.add(p.src, p.ip_len);
+    agg.add(p.src(), p.ip_len);
   }
   const auto exact = extract_hhh_relative(agg, 0.1);
   const auto approx = rhhh.extract(0.1);
@@ -160,7 +160,7 @@ TEST(Rhhh, WorksAsDisjointWindowEngine) {
   ASSERT_EQ(det.reports().size(), 3u);
   for (const auto& r : det.reports()) {
     EXPECT_EQ(r.hhhs.total_bytes, 1000u) << "reset between windows failed";
-    EXPECT_EQ(r.hhhs.prefixes(), std::vector<Ipv4Prefix>{pfx("10.0.0.1/32")});
+    EXPECT_EQ(r.hhhs.prefixes(), std::vector<PrefixKey>{pfx("10.0.0.1/32")});
   }
 }
 

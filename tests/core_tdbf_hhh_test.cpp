@@ -17,7 +17,7 @@ Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
 PacketRecord pkt(double t, Ipv4Address src, std::uint32_t bytes) {
   PacketRecord p;
   p.ts = TimePoint::from_seconds(t);
-  p.src = src;
+  p.set_src(src);
   p.ip_len = bytes;
   return p;
 }
@@ -112,13 +112,13 @@ TEST(TdbfHhh, AgreesWithExactSlidingWindowOnStationaryTraffic) {
 
   for (const auto& p : packets) {
     det.offer(p);
-    window_agg.add(p.src, p.ip_len);
+    window_agg.add(p.src(), p.ip_len);
     window_packets.push_back(&p);
   }
   // Exact counts over the trailing 10 s window at t = 60.
   LevelAggregates trailing(Hierarchy::byte_granularity());
   for (const auto* p : window_packets) {
-    if (p->ts >= at(50.0)) trailing.add(p->src, p->ip_len);
+    if (p->ts >= at(50.0)) trailing.add(p->src(), p->ip_len);
   }
   const auto exact = extract_hhh_relative(trailing, 0.05);
   const auto decayed = det.query(at(60.0), 0.05);

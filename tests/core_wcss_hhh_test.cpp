@@ -17,7 +17,7 @@ Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
 PacketRecord pkt(double t, Ipv4Address src, std::uint32_t bytes) {
   PacketRecord p;
   p.ts = TimePoint::from_seconds(t);
-  p.src = src;
+  p.set_src(src);
   p.ip_len = bytes;
   return p;
 }
@@ -82,7 +82,7 @@ TEST(WcssHhh, RecallAgainstExactSlidingWindow) {
   LevelAggregates trailing(Hierarchy::byte_granularity());
   for (const auto& p : packets) {
     det.offer(p);
-    if (p.ts >= at(30.0)) trailing.add(p.src, p.ip_len);
+    if (p.ts >= at(30.0)) trailing.add(p.src(), p.ip_len);
   }
   const auto exact = extract_hhh_relative(trailing, 0.05);
   const auto approx = det.query(at(40.0), 0.05);

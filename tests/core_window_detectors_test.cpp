@@ -17,7 +17,7 @@ Ipv4Prefix pfx(const char* s) { return *Ipv4Prefix::parse(s); }
 PacketRecord pkt(double t_seconds, Ipv4Address src, std::uint32_t bytes) {
   PacketRecord p;
   p.ts = TimePoint::from_seconds(t_seconds);
-  p.src = src;
+  p.set_src(src);
   p.ip_len = bytes;
   return p;
 }

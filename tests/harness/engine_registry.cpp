@@ -40,6 +40,26 @@ const std::vector<EngineCase>& conformance_engines() {
          return make_sharded_rhhh_engine(Hierarchy::byte_granularity(), 4,
                                          /*counters_per_level=*/512, /*base_seed=*/42);
        }},
+      // IPv6 engines: same contract, v6 hierarchy, pure-v6 workload. The
+      // whole conformance + snapshot axis runs against them with zero
+      // extra per-engine code — the point of the generic key layer.
+      {"exact_v6",
+       [] { return make_exact_engine(Hierarchy::v6_nibble_granularity()); },
+       Hierarchy::v6_nibble_granularity(),
+       /*v6_fraction=*/1.0},
+      {"rhhh_v6",
+       [] {
+         return std::make_unique<RhhhV6Engine>(
+             RhhhParams{.hierarchy = Hierarchy::v6_byte_granularity(),
+                        .counters_per_level = 512,
+                        .seed = 42});
+       },
+       Hierarchy::v6_byte_granularity(),
+       /*v6_fraction=*/1.0},
+      {"sharded_exact_v6_x2",
+       [] { return make_sharded_exact_engine(Hierarchy::v6_byte_granularity(), 2); },
+       Hierarchy::v6_byte_granularity(),
+       /*v6_fraction=*/1.0},
   };
   return cases;
 }

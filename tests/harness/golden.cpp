@@ -9,8 +9,8 @@ namespace hhh::harness {
 
 namespace {
 
-std::map<Ipv4Prefix, HhhItem> by_prefix(const HhhSet& set) {
-  std::map<Ipv4Prefix, HhhItem> out;
+std::map<PrefixKey, HhhItem> by_prefix(const HhhSet& set) {
+  std::map<PrefixKey, HhhItem> out;
   for (const auto& item : set.items()) out.emplace(item.prefix, item);
   return out;
 }
@@ -79,8 +79,8 @@ std::string diff_hhh_sets(const HhhSet& expected, const HhhSet& actual) {
 }
 
 ::testing::AssertionResult hhh_set_covers(const HhhSet& actual,
-                                          const std::vector<Ipv4Prefix>& required) {
-  std::vector<Ipv4Prefix> missing;
+                                          const std::vector<PrefixKey>& required) {
+  std::vector<PrefixKey> missing;
   for (const auto& p : required) {
     if (!actual.contains(p)) missing.push_back(p);
   }

@@ -24,7 +24,7 @@ namespace hhh::harness {
 
 /// Every prefix in `required` appears in `actual` (superset check).
 ::testing::AssertionResult hhh_set_covers(const HhhSet& actual,
-                                          const std::vector<Ipv4Prefix>& required);
+                                          const std::vector<PrefixKey>& required);
 
 /// Same prefixes, volumes within `rel_tol` relative error (e.g. 0.1 allows
 /// a 10% deviation per item) — the sketch-engine golden.

@@ -15,8 +15,12 @@ namespace hhh::harness {
 
 namespace {
 
-std::vector<PacketRecord> workload(std::uint64_t seed, std::size_t n) {
-  return TraceBuilder(seed).compact_space().packets(n);
+std::vector<PacketRecord> workload(const EngineCase& engine_case, std::uint64_t seed,
+                                   std::size_t n) {
+  return TraceBuilder(seed)
+      .compact_space()
+      .v6_fraction(engine_case.v6_fraction)
+      .packets(n);
 }
 
 void expect_same_extracts(HhhEngine& expected, HhhEngine& actual) {
@@ -31,7 +35,7 @@ void expect_same_extracts(HhhEngine& expected, HhhEngine& actual) {
 
 void run_snapshot_roundtrip_case(const EngineCase& engine_case) {
   for_each_seed(0x5AFE'0001, 3, [&](std::uint64_t seed) {
-    const auto packets = workload(seed, 8000);
+    const auto packets = workload(engine_case, seed, 8000);
     auto original = engine_case.make();
     original->add_batch(packets);
     ASSERT_TRUE(original->serializable());
@@ -45,7 +49,7 @@ void run_snapshot_roundtrip_case(const EngineCase& engine_case) {
 
     // (2) behavioural equivalence under continued ingestion: the snapshot
     // carries RNG state, so both sides must keep agreeing byte-for-byte.
-    const auto more = workload(seed ^ 0xDEAD'BEEF, 4000);
+    const auto more = workload(engine_case, seed ^ 0xDEAD'BEEF, 4000);
     original->add_batch(more);
     restored->add_batch(more);
     expect_same_extracts(*original, *restored);
@@ -65,8 +69,8 @@ void run_snapshot_merge_case(const EngineCase& engine_case) {
     GTEST_SKIP() << "engine is not mergeable";
   }
   for_each_seed(0x5AFE'0002, 2, [&](std::uint64_t seed) {
-    const auto stream_a = workload(seed, 6000);
-    const auto stream_b = workload(seed ^ 0xF00D, 6000);
+    const auto stream_a = workload(engine_case, seed, 6000);
+    const auto stream_b = workload(engine_case, seed ^ 0xF00D, 6000);
 
     // In-process reference: merge_from between live engines.
     auto ref_a = engine_case.make();

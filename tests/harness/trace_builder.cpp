@@ -14,6 +14,11 @@ TraceBuilder& TraceBuilder::duration_seconds(double seconds) {
   return *this;
 }
 
+TraceBuilder& TraceBuilder::v6_fraction(double fraction) {
+  cfg_.v6_fraction = fraction;
+  return *this;
+}
+
 TraceBuilder& TraceBuilder::background_pps(double pps) {
   cfg_.background_pps = pps;
   return *this;
@@ -56,7 +61,7 @@ std::vector<PacketRecord> TraceBuilder::all() const {
 PacketRecord packet_at(double seconds, Ipv4Address src, std::uint32_t bytes) {
   PacketRecord p;
   p.ts = TimePoint::from_seconds(seconds);
-  p.src = src;
+  p.set_src(src);
   p.ip_len = bytes;
   return p;
 }

@@ -22,6 +22,10 @@ class TraceBuilder {
   explicit TraceBuilder(std::uint64_t seed);
 
   TraceBuilder& duration_seconds(double seconds);
+  /// Fraction of IPv6 packets (TraceConfig::v6_fraction): 0 = pure v4
+  /// (default, byte-identical streams to the pre-generic builder),
+  /// 1 = pure v6, in between = mixed-family.
+  TraceBuilder& v6_fraction(double fraction);
   TraceBuilder& background_pps(double pps);
   TraceBuilder& bursts(bool enabled);
   TraceBuilder& address_space(const AddressSpaceConfig& cfg);

@@ -161,7 +161,7 @@ TEST(Integration, DdosEpisodeDetectedBySlidingBeforeDisjoint) {
   sliding.finish(TimePoint::from_seconds(60.0));
   disjoint.finish(TimePoint::from_seconds(60.0));
 
-  const auto attack_prefix = *Ipv4Prefix::parse("203.0.128.0/24");
+  const PrefixKey attack_prefix = *PrefixKey::parse("203.0.128.0/24");
   const auto first_detection = [&](const std::vector<WindowReport>& reports) {
     for (const auto& r : reports) {
       for (const auto& item : r.hhhs.items()) {

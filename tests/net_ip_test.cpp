@@ -1,0 +1,178 @@
+// The generic key layer: IpAddress and PrefixKey across both families —
+// parsing/formatting round trips, prefix arithmetic, family isolation,
+// and the wire-stable v4 key packing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ip.hpp"
+#include "net/key_domain.hpp"
+
+namespace hhh {
+namespace {
+
+IpAddress addr(const char* s) {
+  const auto a = IpAddress::parse(s);
+  EXPECT_TRUE(a.has_value()) << s;
+  return a.value_or(IpAddress());
+}
+
+PrefixKey pfx(const char* s) {
+  const auto p = PrefixKey::parse(s);
+  EXPECT_TRUE(p.has_value()) << s;
+  return p.value_or(PrefixKey());
+}
+
+TEST(IpAddress, V4ParseFormatRoundTrip) {
+  const auto a = addr("192.0.2.1");
+  EXPECT_TRUE(a.is_v4());
+  EXPECT_EQ(a.to_string(), "192.0.2.1");
+  EXPECT_EQ(a.v4(), Ipv4Address::of(192, 0, 2, 1));
+}
+
+TEST(IpAddress, V6ParseFormatRoundTrip) {
+  // Each case: input, canonical RFC 5952 output.
+  const std::pair<const char*, const char*> cases[] = {
+      {"2001:db8::1", "2001:db8::1"},
+      {"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+      {"::", "::"},
+      {"::1", "::1"},
+      {"2000::", "2000::"},
+      {"1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"},
+      {"fe80::1:0:0:1", "fe80::1:0:0:1"},    // longest run wins
+      {"1:0:0:2:0:0:0:3", "1:0:0:2::3"},     // later, longer run compressed
+      {"A:B:C:D::", "a:b:c:d::"},            // lower-case output
+  };
+  for (const auto& [input, canonical] : cases) {
+    const auto a = addr(input);
+    EXPECT_TRUE(a.is_v6()) << input;
+    EXPECT_EQ(a.to_string(), canonical) << input;
+    // Formatting re-parses to the same value.
+    EXPECT_EQ(addr(a.to_string().c_str()), a) << input;
+  }
+}
+
+TEST(IpAddress, MalformedInputsRejected) {
+  for (const char* bad :
+       {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "2001:db8", "1:2:3:4:5:6:7:8:9",
+        ":::", "2001::db8::1", "g::1", "12345::"}) {
+    EXPECT_FALSE(IpAddress::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(IpAddress, LeftAlignedV4Storage) {
+  const IpAddress a = Ipv4Address::of(10, 1, 2, 3);
+  EXPECT_EQ(a.hi(), 0x0A010203ULL << 32);
+  EXPECT_EQ(a.lo(), 0u);
+}
+
+TEST(PrefixKey, ParseBothFamilies) {
+  EXPECT_EQ(pfx("10.0.0.0/8").length(), 8u);
+  EXPECT_EQ(pfx("10.0.0.1").length(), 32u);  // bare v4 address = host
+  EXPECT_EQ(pfx("2001:db8::/32").length(), 32u);
+  EXPECT_EQ(pfx("2001:db8::1").length(), 128u);  // bare v6 address = host
+  EXPECT_FALSE(PrefixKey::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(PrefixKey::parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(PrefixKey::parse("2001:db8::/x").has_value());
+}
+
+TEST(PrefixKey, CanonicalizesHostBits) {
+  EXPECT_EQ(pfx("10.1.2.3/8"), pfx("10.0.0.0/8"));
+  EXPECT_EQ(pfx("2001:db8::1/32"), pfx("2001:db8::/32"));
+  EXPECT_EQ(PrefixKey(addr("2001:db8::ffff"), 127).to_string(), "2001:db8::fffe/127");
+}
+
+TEST(PrefixKey, ContainsAndAncestry) {
+  const auto p16 = pfx("10.1.0.0/16");
+  EXPECT_TRUE(p16.contains(addr("10.1.200.7")));
+  EXPECT_FALSE(p16.contains(addr("10.2.0.1")));
+  EXPECT_TRUE(p16.contains(pfx("10.1.3.0/24")));
+  EXPECT_TRUE(p16.is_ancestor_of(pfx("10.1.3.0/24")));
+  EXPECT_FALSE(p16.is_ancestor_of(p16));
+
+  const auto v6 = pfx("2001:db8::/32");
+  EXPECT_TRUE(v6.contains(addr("2001:db8:1:2::3")));
+  EXPECT_FALSE(v6.contains(addr("2001:db9::1")));
+  EXPECT_TRUE(v6.is_ancestor_of(pfx("2001:db8:ffff::/48")));
+
+  // A prefix whose boundary crosses the 64-bit word split.
+  const auto p100 = PrefixKey(addr("2001:db8::ff00:0:0"), 100);
+  EXPECT_TRUE(p100.contains(addr("2001:db8::ff00:12:34")));
+  EXPECT_FALSE(p100.contains(addr("2001:db8::fe00:12:34")));
+}
+
+TEST(PrefixKey, FamiliesNeverMix) {
+  // ::/0 does not contain v4 addresses, and vice versa.
+  EXPECT_FALSE(PrefixKey::root(AddressFamily::kIpv6).contains(addr("10.0.0.1")));
+  EXPECT_FALSE(PrefixKey::root(AddressFamily::kIpv4).contains(addr("::1")));
+  EXPECT_NE(PrefixKey::root(AddressFamily::kIpv4), PrefixKey::root(AddressFamily::kIpv6));
+  // Sorted sets group by family (v4 sorts before v6).
+  EXPECT_LT(pfx("255.255.255.255/32"), pfx("::/0"));
+}
+
+TEST(PrefixKey, TruncatedAndParent) {
+  EXPECT_EQ(pfx("10.1.2.0/24").truncated(8), pfx("10.0.0.0/8"));
+  EXPECT_EQ(pfx("2001:db8:113::/48").truncated(32), pfx("2001:db8::/32"));
+  EXPECT_EQ(pfx("2001:db8::/32").parent().length(), 31u);
+  EXPECT_EQ(PrefixKey::root(AddressFamily::kIpv6).parent(),
+            PrefixKey::root(AddressFamily::kIpv6));
+}
+
+TEST(PrefixKey, CommonAncestor) {
+  EXPECT_EQ(common_ancestor(pfx("10.1.0.0/16"), pfx("10.2.0.0/16")), pfx("10.0.0.0/14"));
+  EXPECT_EQ(common_ancestor(pfx("2001:db8:1::/48"), pfx("2001:db8:2::/48")),
+            pfx("2001:db8::/46"));
+  // Split below bit 64.
+  EXPECT_EQ(common_ancestor(PrefixKey(addr("2001:db8::8000:0:0:0"), 128),
+                            PrefixKey(addr("2001:db8::c000:0:0:0"), 128)),
+            PrefixKey(addr("2001:db8::8000:0:0:0"), 65));
+  // Cross-family: the first argument's family root.
+  EXPECT_EQ(common_ancestor(pfx("10.0.0.0/8"), pfx("2001:db8::/32")),
+            PrefixKey::root(AddressFamily::kIpv4));
+}
+
+TEST(PrefixKey, V4KeyPackingIsWireStable) {
+  const auto p = pfx("198.51.100.0/24");
+  // Bit-identical to the pre-generic Ipv4Prefix::key() packing.
+  EXPECT_EQ(p.v4_key(), p.v4().key());
+  EXPECT_EQ(PrefixKey::from_v4_key(p.v4_key()), p);
+  EXPECT_EQ(V4Domain::map_key(p), p.v4_key());
+  EXPECT_EQ(V4Domain::prefix(V4Domain::map_key(p)), p);
+}
+
+TEST(PrefixKey, Ipv4PrefixInterop) {
+  const Ipv4Prefix legacy(Ipv4Address::of(10, 0, 0, 0), 8);
+  const PrefixKey generic = legacy;  // implicit conversion
+  EXPECT_TRUE(generic.is_v4());
+  EXPECT_EQ(generic.v4(), legacy);
+  EXPECT_EQ(generic.to_string(), legacy.to_string());
+}
+
+TEST(V6Domain, KeyTruncateAndPrefixRoundTrip) {
+  const auto p = pfx("2001:db8:113:4500::/56");
+  const auto key = V6Domain::map_key(p);
+  EXPECT_EQ(V6Domain::prefix(key), p);
+  EXPECT_EQ(V6Domain::prefix(V6Domain::truncate(key, 48)), pfx("2001:db8:113::/48"));
+  EXPECT_EQ(V6Domain::length(key), 56u);
+  // key() from an address canonicalizes exactly like PrefixKey.
+  EXPECT_EQ(V6Domain::prefix(V6Domain::key(addr("2001:db8:113:45ff::9"), 56)), p);
+}
+
+TEST(PrefixKeyHashTest, NoCollisionsOnDenseNeighbourhoods) {
+  PrefixKeyHash h;
+  std::set<std::uint64_t> seen;
+  std::size_t n = 0;
+  for (unsigned len : {32u, 48u, 64u, 96u, 128u}) {
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      // (i+1) << 48 keeps the distinguishing bits inside every tested
+      // prefix length, so all 512 x 5 canonical keys are distinct.
+      const PrefixKey p(IpAddress::v6((i + 1) << 48, i), len);
+      seen.insert(h(p));
+      ++n;
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -26,8 +26,8 @@ class PcapTest : public ::testing::Test {
                                     std::uint32_t dst, IpProto proto) {
     PacketRecord p;
     p.ts = TimePoint::from_ns(ts_us * 1000);
-    p.src = Ipv4Address(src);
-    p.dst = Ipv4Address(dst);
+    p.set_src(Ipv4Address(src));
+    p.set_dst(Ipv4Address(dst));
     p.src_port = 1234;
     p.dst_port = 443;
     p.proto = proto;
@@ -56,8 +56,8 @@ TEST_F(PcapTest, EthernetRoundTrip) {
     const auto got = reader.next();
     ASSERT_TRUE(got.has_value());
     EXPECT_EQ(got->ts, expected.ts);
-    EXPECT_EQ(got->src, expected.src);
-    EXPECT_EQ(got->dst, expected.dst);
+    EXPECT_EQ(got->src(), expected.src());
+    EXPECT_EQ(got->dst(), expected.dst());
     EXPECT_EQ(got->src_port, expected.src_port);
     EXPECT_EQ(got->dst_port, expected.dst_port);
     EXPECT_EQ(got->proto, expected.proto);
@@ -78,8 +78,8 @@ TEST_F(PcapTest, RawIpRoundTrip) {
   EXPECT_EQ(reader.link_type(), LinkType::kRawIp);
   const auto got = reader.next();
   ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(got->src.to_string(), "1.2.3.4");
-  EXPECT_EQ(got->dst.to_string(), "5.6.7.8");
+  EXPECT_EQ(got->src().to_string(), "1.2.3.4");
+  EXPECT_EQ(got->dst().to_string(), "5.6.7.8");
   EXPECT_EQ(got->ip_len, 600u);
 }
 
@@ -176,10 +176,22 @@ TEST_F(PcapTest, DecodeFrameRejectsShortInput) {
   EXPECT_FALSE(decode_frame(tiny, sizeof tiny, LinkType::kRawIp, TimePoint()).has_value());
 }
 
-TEST_F(PcapTest, DecodeFrameRejectsNonV4) {
+TEST_F(PcapTest, DecodeFrameRejectsUnknownIpVersion) {
   unsigned char frame[40] = {};
-  frame[0] = 0x65;  // version 6
+  frame[0] = 0x55;  // version 5: neither v4 nor v6
   EXPECT_FALSE(decode_frame(frame, sizeof frame, LinkType::kRawIp, TimePoint()).has_value());
+}
+
+TEST_F(PcapTest, DecodeFrameAcceptsRawIpv6) {
+  unsigned char frame[40] = {};
+  frame[0] = 0x60;  // version 6
+  frame[5] = 16;    // payload length 16
+  frame[6] = 17;    // UDP... but truncated before ports: no port decode
+  frame[8] = 0x20;  // src 2000::/ leading byte
+  const auto rec = decode_frame(frame, sizeof frame, LinkType::kRawIp, TimePoint());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->family(), AddressFamily::kIpv6);
+  EXPECT_EQ(rec->ip_len, 56u);  // 40-byte fixed header + payload
 }
 
 namespace {
@@ -241,7 +253,7 @@ TEST_F(PcapTest, NanosecondMagicReadsNanosecondTimestamps) {
   const auto p = reader.next();
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(p->ts.ns(), 3'500'000'001LL);
-  EXPECT_EQ(p->src.to_string(), "10.0.0.1");
+  EXPECT_EQ(p->src().to_string(), "10.0.0.1");
   EXPECT_EQ(p->proto, IpProto::kIcmp);
 }
 
@@ -260,7 +272,7 @@ TEST_F(PcapTest, ByteSwappedCaptureIsDecoded) {
   const auto p = reader.next();
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(p->ts.ns(), 7'000'000'000LL + 250'000'000LL);
-  EXPECT_EQ(p->dst.to_string(), "20.0.0.2");
+  EXPECT_EQ(p->dst().to_string(), "20.0.0.2");
 }
 
 TEST_F(PcapTest, LargeIpLenSurvivesSnaplen) {
@@ -277,6 +289,111 @@ TEST_F(PcapTest, LargeIpLenSurvivesSnaplen) {
   const auto got = reader.next();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->ip_len, 1500u);
+}
+
+// --- IPv6 and mixed-family decode ------------------------------------------
+
+// A hand-assembled Ethernet + IPv6 + TCP frame, byte-for-byte: the golden
+// test for the v6 decoder (independent of PcapWriter, so an encoder bug
+// cannot mask a decoder bug).
+TEST_F(PcapTest, HandBuiltIpv6FrameDecodesExactly) {
+  // Ethernet: dst 02:..., src 02:..., ethertype 0x86DD.
+  std::vector<unsigned char> frame = {
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x01,  // dst MAC
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x02,  // src MAC
+      0x86, 0xDD,                          // ethertype IPv6
+      // IPv6 fixed header (40 bytes)
+      0x60, 0x00, 0x00, 0x00,              // version 6, tc/flow 0
+      0x00, 0x18,                          // payload length 24
+      0x06,                                // next header TCP
+      0x40,                                // hop limit 64
+      // src 2001:db8:113:4500::2a
+      0x20, 0x01, 0x0d, 0xb8, 0x01, 0x13, 0x45, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x2a,
+      // dst 2001:db8:ffff::1
+      0x20, 0x01, 0x0d, 0xb8, 0xff, 0xff, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01,
+      // TCP: sport 443, dport 51000 (0xC738)
+      0x01, 0xBB, 0xC7, 0x38,
+  };
+  frame.resize(frame.size() + 20, 0);  // rest of the TCP header + padding
+
+  const auto rec =
+      decode_frame(frame.data(), frame.size(), LinkType::kEthernet,
+                   TimePoint::from_seconds(1.5));
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->family(), AddressFamily::kIpv6);
+  EXPECT_EQ(rec->src().to_string(), "2001:db8:113:4500::2a");
+  EXPECT_EQ(rec->dst().to_string(), "2001:db8:ffff::1");
+  EXPECT_EQ(rec->proto, IpProto::kTcp);
+  EXPECT_EQ(rec->src_port, 443);
+  EXPECT_EQ(rec->dst_port, 51000);
+  EXPECT_EQ(rec->ip_len, 40u + 24u);  // fixed header + payload length
+  EXPECT_EQ(rec->ts, TimePoint::from_seconds(1.5));
+}
+
+TEST_F(PcapTest, MixedFamilyCaptureRoundTripsWithPerFamilyCounters) {
+  const std::string path = temp_path("mixed.pcap");
+  std::vector<PacketRecord> sent;
+  {
+    PcapWriter writer(path, LinkType::kEthernet);
+    for (int i = 0; i < 30; ++i) {
+      PacketRecord p;
+      p.ts = TimePoint::from_ns((2000 + i) * 1000);
+      if (i % 3 == 0) {  // every third packet is IPv6
+        p.set_src(IpAddress::v6(0x2001'0db8'0000'0000ULL + i, 0x2a));
+        p.set_dst(IpAddress::v6(0x2001'0db8'ffff'0000ULL, 1));
+      } else {
+        p.set_src(Ipv4Address(0x0A000001u + static_cast<std::uint32_t>(i)));
+        p.set_dst(Ipv4Address(0xC0A80001u));
+      }
+      p.src_port = static_cast<std::uint16_t>(1000 + i);
+      p.dst_port = 443;
+      p.proto = i % 2 ? IpProto::kTcp : IpProto::kUdp;
+      p.ip_len = 200;
+      sent.push_back(p);
+      writer.write(p);
+    }
+  }
+
+  PcapReader reader(path);
+  for (const auto& expected : sent) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->family(), expected.family());
+    EXPECT_EQ(got->src(), expected.src());
+    EXPECT_EQ(got->dst(), expected.dst());
+    EXPECT_EQ(got->src_port, expected.src_port);
+    EXPECT_EQ(got->dst_port, expected.dst_port);
+    EXPECT_EQ(got->proto, expected.proto);
+    EXPECT_EQ(got->ip_len, expected.ip_len);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.packets_decoded_v4(), 20u);
+  EXPECT_EQ(reader.packets_decoded_v6(), 10u);
+  EXPECT_EQ(reader.packets_decoded(), 30u);
+  EXPECT_EQ(reader.packets_skipped(), 0u);
+}
+
+TEST_F(PcapTest, SkipClassificationSeparatesNonIpFromMalformed) {
+  // ARP ethertype -> non-IP skip; IPv6 ethertype with a truncated fixed
+  // header -> malformed skip.
+  FrameDecodeError error = FrameDecodeError::kNotIp;
+  unsigned char arp[60] = {};
+  arp[12] = 0x08;
+  arp[13] = 0x06;  // ethertype ARP
+  EXPECT_FALSE(
+      decode_frame(arp, sizeof arp, LinkType::kEthernet, TimePoint(), &error).has_value());
+  EXPECT_EQ(error, FrameDecodeError::kNotIp);
+
+  unsigned char short_v6[14 + 20] = {};
+  short_v6[12] = 0x86;
+  short_v6[13] = 0xDD;
+  short_v6[14] = 0x60;
+  EXPECT_FALSE(decode_frame(short_v6, sizeof short_v6, LinkType::kEthernet, TimePoint(),
+                            &error)
+                   .has_value());
+  EXPECT_EQ(error, FrameDecodeError::kMalformed);
 }
 
 }  // namespace

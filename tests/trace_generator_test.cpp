@@ -73,8 +73,8 @@ TEST(SyntheticTrace, PacketFieldsArePlausible) {
   std::set<std::uint32_t> sizes;
   std::size_t checked = 0;
   while (auto p = gen.next()) {
-    ASSERT_NE(p->src.bits(), 0u);
-    ASSERT_GE(p->dst.octet(0), 128) << "destinations live in the upper half";
+    ASSERT_NE(p->src().v4().bits(), 0u);
+    ASSERT_GE(p->dst().v4().octet(0), 128) << "destinations live in the upper half";
     ASSERT_GT(p->ip_len, 0u);
     ASSERT_LE(p->ip_len, 1500u);
     sizes.insert(p->ip_len);
@@ -124,9 +124,9 @@ TEST(SyntheticTrace, DdosEpisodeInjectsPrefixTraffic) {
   SyntheticTraceGenerator gen(cfg);
   std::size_t episode_packets = 0;
   while (auto p = gen.next()) {
-    if (ep.source_prefix.contains(p->src)) {
+    if (ep.source_prefix.contains(p->src().v4())) {
       ++episode_packets;
-      EXPECT_EQ(p->dst, ep.target);
+      EXPECT_EQ(p->dst(), ep.target);
       EXPECT_GE(p->ts, ep.start);
       EXPECT_LT(p->ts, ep.start + ep.duration + Duration::seconds(1));
     }
@@ -147,7 +147,7 @@ TEST(SyntheticTrace, GroupBurstsEmitFromWholePrefix) {
   // more distinct hosts than the configured 4 per /24.
   std::map<std::uint32_t, std::set<std::uint32_t>> hosts_per_24;
   while (auto p = gen.next()) {
-    hosts_per_24[p->src.bits() >> 8].insert(p->src.bits());
+    hosts_per_24[p->src().v4().bits() >> 8].insert(p->src().v4().bits());
   }
   std::size_t crowded = 0;
   for (const auto& [prefix, hosts] : hosts_per_24) {

@@ -81,8 +81,8 @@ TEST_F(TraceIoTest, CsvRoundTrip) {
   while (auto p = r.next()) {
     ASSERT_LT(i, packets.size());
     EXPECT_EQ(p->ts, packets[i].ts);
-    EXPECT_EQ(p->src, packets[i].src);
-    EXPECT_EQ(p->dst, packets[i].dst);
+    EXPECT_EQ(p->src(), packets[i].src());
+    EXPECT_EQ(p->dst(), packets[i].dst());
     EXPECT_EQ(p->src_port, packets[i].src_port);
     EXPECT_EQ(p->dst_port, packets[i].dst_port);
     EXPECT_EQ(p->proto, packets[i].proto);
@@ -108,9 +108,95 @@ TEST_F(TraceIoTest, CsvSkipsMalformedRows) {
   std::vector<PacketRecord> rows;
   while (auto p = r.next()) rows.push_back(*p);
   ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(rows[0].src.to_string(), "10.0.0.1");
+  EXPECT_EQ(rows[0].src().to_string(), "10.0.0.1");
   EXPECT_EQ(rows[1].proto, IpProto::kUdp);
   EXPECT_EQ(r.rows_skipped(), 3u);
+}
+
+TEST_F(TraceIoTest, LegacyHht1FilesStillRead) {
+  // A hand-written HHT1 (pre-generic, IPv4-only 26-byte records) file:
+  // the reader must keep decoding the old generation.
+  const std::string path = temp_path("legacy.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("HHT1", 4);
+    // ts_ns=5000, src=10.1.2.3, dst=198.51.100.7, len=900, ports 80/443,
+    // proto 6, pad 0 — little-endian, packed.
+    const unsigned char rec[26] = {
+        0x88, 0x13, 0, 0, 0, 0, 0, 0,  // ts_ns = 5000
+        0x03, 0x02, 0x01, 0x0A,        // src 0x0A010203
+        0x07, 0x64, 0x33, 0xC6,        // dst 0xC6336407
+        0x84, 0x03, 0, 0,              // ip_len = 900
+        0x50, 0x00,                    // src_port = 80
+        0xBB, 0x01,                    // dst_port = 443
+        0x06, 0x00,                    // proto TCP, pad
+    };
+    out.write(reinterpret_cast<const char*>(rec), sizeof rec);
+  }
+  BinaryTraceReader r(path);
+  const auto p = r.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->ts, TimePoint::from_ns(5000));
+  EXPECT_EQ(p->src(), IpAddress(Ipv4Address(0x0A010203)));
+  EXPECT_EQ(p->dst(), IpAddress(Ipv4Address(0xC6336407)));
+  EXPECT_EQ(p->ip_len, 900u);
+  EXPECT_EQ(p->src_port, 80);
+  EXPECT_EQ(p->dst_port, 443);
+  EXPECT_EQ(p->proto, IpProto::kTcp);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST_F(TraceIoTest, MixedFamilyBinaryRoundTrip) {
+  TraceConfig cfg;
+  cfg.seed = 77;
+  cfg.duration = Duration::seconds(2);
+  cfg.background_pps = 500;
+  cfg.v6_fraction = 0.5;
+  cfg.address_space.num_slash8 = 4;
+  cfg.address_space.slash16_per_8 = 3;
+  cfg.address_space.slash24_per_16 = 3;
+  cfg.address_space.hosts_per_24 = 3;
+  const auto packets = SyntheticTraceGenerator(cfg).generate_all();
+  bool has_v4 = false;
+  bool has_v6 = false;
+  for (const auto& p : packets) {
+    (p.family() == AddressFamily::kIpv4 ? has_v4 : has_v6) = true;
+  }
+  ASSERT_TRUE(has_v4 && has_v6) << "mixed stream expected";
+
+  const std::string path = temp_path("mixed.bin");
+  write_binary_trace(path, packets);
+  EXPECT_EQ(read_binary_trace(path), packets);
+}
+
+TEST_F(TraceIoTest, MixedFamilyCsvRoundTrip) {
+  const std::string path = temp_path("mixed.csv");
+  std::vector<PacketRecord> packets;
+  PacketRecord a;
+  a.ts = TimePoint::from_ns(1000);
+  a.set_src(Ipv4Address(0x0A000001));
+  a.set_dst(Ipv4Address(0xC6336407));
+  a.ip_len = 100;
+  packets.push_back(a);
+  PacketRecord b;
+  b.ts = TimePoint::from_ns(2000);
+  b.set_src(IpAddress::v6(0x2001'0db8'0113'4500ULL, 0x2a));
+  b.set_dst(IpAddress::v6(0x2001'0db8'ffff'0000ULL, 1));
+  b.src_port = 443;
+  b.dst_port = 51000;
+  b.proto = IpProto::kTcp;
+  b.ip_len = 1400;
+  packets.push_back(b);
+
+  {
+    CsvTraceWriter w(path);
+    for (const auto& p : packets) w.write(p);
+  }
+  CsvTraceReader r(path);
+  std::vector<PacketRecord> back;
+  while (auto p = r.next()) back.push_back(*p);
+  EXPECT_EQ(back, packets);
+  EXPECT_EQ(r.rows_skipped(), 0u);
 }
 
 TEST_F(TraceIoTest, EmptyTraceRoundTrips) {

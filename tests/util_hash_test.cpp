@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "net/packet.hpp"
 #include "util/bit.hpp"
 
 namespace hhh {
@@ -148,6 +149,108 @@ TEST(BitHelpers, FloorLog2) {
   EXPECT_EQ(floor_log2(3), 1u);
   EXPECT_EQ(floor_log2(1024), 10u);
   EXPECT_EQ(floor_log2(1025), 10u);
+}
+
+// --- FlowKey digest regressions ---------------------------------------------
+//
+// The original FlowKey::key() was a single multiply-xor: the ports/proto
+// word entered the digest unmixed, so adversarial 5-tuples (one host
+// pair, sequential ports) produced near-identical digests and collided
+// in power-of-two-indexed sketch rows. The chained-mix64 digest must
+// (a) never collide on realistic adversarial families and (b) avalanche
+// on every input bit.
+
+FlowKey v4_flow(std::uint32_t src, std::uint32_t dst, std::uint16_t sport,
+                std::uint16_t dport, std::uint8_t proto) {
+  PacketRecord p;
+  p.set_src(Ipv4Address(src));
+  p.set_dst(Ipv4Address(dst));
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.proto = static_cast<IpProto>(proto);
+  return FlowKey::from(p);
+}
+
+TEST(FlowKeyDigest, NoCollisionsOnAdversarialTupleFamilies) {
+  std::set<std::uint64_t> seen;
+  std::size_t n = 0;
+  // Family 1: one host pair, sequential source ports (port scan).
+  for (std::uint32_t port = 0; port < 20000; ++port) {
+    seen.insert(v4_flow(0x0A000001, 0xC6336401, static_cast<std::uint16_t>(port), 443, 6).key());
+    ++n;
+  }
+  // Family 2: sequential sources, fixed ports (spoofed flood).
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    seen.insert(v4_flow(0x0A000000 + i, 0xC6336401, 12345, 80, 17).key());
+    ++n;
+  }
+  // Family 3: src/dst swapped pairs must not cancel.
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    seen.insert(v4_flow(0x0A000000 + i, 0x0B000000 + i, 1000, 2000, 6).key());
+    seen.insert(v4_flow(0x0B000000 + i, 0x0A000000 + i, 2000, 1000, 6).key());
+    n += 2;
+  }
+  // Family 4: v6 flows sharing hi words, differing only in the low half.
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    PacketRecord p;
+    p.set_src(IpAddress::v6(0x2001'0db8'0000'0000ULL, i));
+    p.set_dst(IpAddress::v6(0x2001'0db8'ffff'0000ULL, ~i));
+    p.src_port = 443;
+    p.dst_port = 443;
+    p.proto = IpProto::kTcp;
+    seen.insert(FlowKey::from(p).key());
+    ++n;
+  }
+  EXPECT_EQ(seen.size(), n) << "FlowKey digest collided on an adversarial family";
+}
+
+TEST(FlowKeyDigest, LowBitsSpreadAcrossPowerOfTwoBuckets) {
+  // Sketch rows index with (key & (width-1)): the low digest bits must
+  // spread a sequential-port family evenly. The pre-fix digest put >90%
+  // of this family into a handful of buckets.
+  constexpr std::size_t kBuckets = 256;
+  std::vector<int> histogram(kBuckets, 0);
+  constexpr int kFlows = 64 * kBuckets;
+  for (std::uint32_t port = 0; port < kFlows; ++port) {
+    const std::uint64_t k =
+        v4_flow(0x0A000001, 0xC6336401, static_cast<std::uint16_t>(port), 443, 6).key();
+    ++histogram[k & (kBuckets - 1)];
+  }
+  // Expected 64 per bucket; allow generous but non-degenerate spread.
+  for (const int count : histogram) {
+    EXPECT_GT(count, 16);
+    EXPECT_LT(count, 256);
+  }
+}
+
+TEST(FlowKeyDigest, AvalancheOnEveryTupleBit) {
+  // Flipping any single input bit must flip ~half the digest bits.
+  const FlowKey base = v4_flow(0x0A010203, 0xC6336407, 40001, 443, 6);
+  const std::uint64_t h0 = base.key();
+  const auto flipped_bits = [&](FlowKey k) {
+    return std::popcount(h0 ^ k.key());
+  };
+  for (int bit = 0; bit < 32; ++bit) {
+    FlowKey k = base;
+    k.src_hi ^= 1ULL << (32 + bit);  // v4 bits live in the top half
+    EXPECT_GT(flipped_bits(k), 16) << "src bit " << bit;
+    k = base;
+    k.dst_hi ^= 1ULL << (32 + bit);
+    EXPECT_GT(flipped_bits(k), 16) << "dst bit " << bit;
+  }
+  for (int bit = 0; bit < 16; ++bit) {
+    FlowKey k = base;
+    k.src_port ^= static_cast<std::uint16_t>(1u << bit);
+    EXPECT_GT(flipped_bits(k), 16) << "sport bit " << bit;
+    k = base;
+    k.dst_port ^= static_cast<std::uint16_t>(1u << bit);
+    EXPECT_GT(flipped_bits(k), 16) << "dport bit " << bit;
+  }
+  {
+    FlowKey k = base;
+    k.proto ^= 1;
+    EXPECT_GT(flipped_bits(k), 16) << "proto bit";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Formatting gate for the `format` CI job.
+#
+# Two layers:
+#  1. `lint` (always gating): deterministic whitespace hygiene over every
+#     tracked source file — no tabs, no trailing whitespace, no CRLF,
+#     lines <= 100 columns, newline at EOF. Tool-version-independent, so
+#     it can never rot with a clang-format release.
+#  2. `clang-format` (gating once the tree is formatted): runs clang-format
+#     over .clang-format-allowlist and writes format.patch with whatever
+#     it would change. Pass `--strict` to fail on a non-empty patch; the
+#     default reports only, because the gate must be flipped in the same
+#     change that formats the tree with the pinned tool version.
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- layer 1: whitespace hygiene (gating) -----------------------------------
+sources=$(git ls-files '*.cpp' '*.hpp' '*.h' '*.cmake' 'CMakeLists.txt' '*.sh' '*.py' '*.yml' '*.md')
+
+for f in $sources; do
+  if grep -nP '\t' "$f" >/dev/null 2>&1; then
+    echo "lint: $f: tab character(s)"; grep -nP '\t' "$f" | head -3
+    fail=1
+  fi
+  if grep -nP ' +$' "$f" >/dev/null 2>&1; then
+    echo "lint: $f: trailing whitespace"; grep -nP ' +$' "$f" | head -3
+    fail=1
+  fi
+  if grep -nP '\r' "$f" >/dev/null 2>&1; then
+    echo "lint: $f: CRLF line ending(s)"
+    fail=1
+  fi
+  if [ -s "$f" ] && [ -n "$(tail -c1 "$f")" ]; then
+    echo "lint: $f: missing newline at EOF"
+    fail=1
+  fi
+done
+
+# Line length only for C++ sources (markdown tables/URLs are exempt).
+for f in $(git ls-files '*.cpp' '*.hpp' '*.h'); do
+  long=$(awk 'length > 100 {print FILENAME ":" FNR ": " length " cols"}' "$f")
+  if [ -n "$long" ]; then
+    echo "lint: lines over 100 columns:"; echo "$long" | head -5
+    fail=1
+  fi
+done
+
+# ---- layer 2: clang-format over the allowlist -------------------------------
+strict=0
+[ "${1:-}" = "--strict" ] && strict=1
+
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+if command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  : > format.patch
+  while IFS= read -r f; do
+    case "$f" in ''|\#*) continue ;; esac
+    case "$f" in *.cpp|*.hpp|*.h) ;; *) continue ;; esac
+    [ -f "$f" ] || continue
+    "$CLANG_FORMAT" "$f" | diff -u "$f" - >> format.patch || true
+  done < .clang-format-allowlist
+  if [ -s format.patch ]; then
+    echo "clang-format: allowlisted files differ from $($CLANG_FORMAT --version); see format.patch"
+    [ "$strict" = 1 ] && fail=1
+  else
+    echo "clang-format: allowlist clean"
+  fi
+else
+  echo "clang-format: not installed, skipping layer 2 (lint layer still ran)"
+fi
+
+exit $fail

@@ -14,6 +14,11 @@
 //     window-hidden HHHs (traffic split across observation scopes falls
 //     below every local threshold yet crosses the global one).
 //
+// Vantages may ship different address families (IPv4 and IPv6 engines
+// from dual-stack deployments): snapshots are grouped by engine
+// compatibility (same name/params) and each group is merged and reported
+// separately, so one collector invocation covers a mixed-family fleet.
+//
 // Usage:
 //   hhh-collector [options] snapshot.bin...
 //   generator | hhh-collector [options] --stdin
@@ -129,7 +134,7 @@ int run(const Options& opt) {
         Vantage v;
         v.label = "stdin[" + std::to_string(index++) + "]";
         if (frame.kind == wire::SnapshotKind::kWcssDetector) {
-          wire::Reader r(frame.payload);
+          wire::Reader r(frame.payload, frame.version);
           v.wcss = WcssSlidingHhhDetector::deserialize(r);
           wire::check(r.done(), wire::WireError::kTrailingBytes,
                       "payload continues past detector state");
@@ -148,7 +153,7 @@ int run(const Options& opt) {
         Vantage v;
         v.label = path;
         if (frame.kind == wire::SnapshotKind::kWcssDetector) {
-          wire::Reader r(frame.payload);
+          wire::Reader r(frame.payload, frame.version);
           v.wcss = WcssSlidingHhhDetector::deserialize(r);
           wire::check(r.done(), wire::WireError::kTrailingBytes,
                       "payload continues past detector state");
@@ -173,6 +178,23 @@ int run(const Options& opt) {
       return 3;
     }
   }
+  // Group vantages that can merge: same engine name covers family and
+  // mode (exact vs exact_v6, rhhh vs rhhh_v6, ...). Parameter mismatches
+  // within a name still surface as exit code 3 from merge_from below.
+  std::vector<std::string> group_keys;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < vantages.size(); ++i) {
+    const std::string key = sliding ? "wcss" : vantages[i].engine->name();
+    std::size_t g = 0;
+    for (; g < group_keys.size(); ++g) {
+      if (group_keys[g] == key) break;
+    }
+    if (g == group_keys.size()) {
+      group_keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[g].push_back(i);
+  }
 
   // ---- per-vantage extraction (before merging mutates vantage 0) -----------
   std::printf("== %zu vantage point(s) ==\n", vantages.size());
@@ -193,13 +215,16 @@ int run(const Options& opt) {
     local_sets.push_back(std::move(set));
   }
 
-  // ---- fold into vantage 0 -------------------------------------------------
+  // ---- fold each compatibility group into its first vantage ----------------
   try {
-    for (std::size_t i = 1; i < vantages.size(); ++i) {
-      if (sliding) {
-        vantages.front().wcss->merge_from(*vantages[i].wcss);
-      } else {
-        vantages.front().engine->merge_from(*vantages[i].engine);
+    for (const auto& members : groups) {
+      Vantage& head = vantages[members.front()];
+      for (std::size_t m = 1; m < members.size(); ++m) {
+        if (sliding) {
+          head.wcss->merge_from(*vantages[members[m]].wcss);
+        } else {
+          head.engine->merge_from(*vantages[members[m]].engine);
+        }
       }
     }
   } catch (const std::invalid_argument& e) {
@@ -207,40 +232,64 @@ int run(const Options& opt) {
     return 3;
   }
 
-  HhhSet merged;
-  if (sliding) {
-    TimePoint now;
-    for (const Vantage& v : vantages) now = std::max(now, v.wcss->high_watermark());
-    merged = vantages.front().wcss->query(
-        now, scope_phi(opt, vantages.front().wcss->window_total(now)));
-  } else {
-    HhhEngine& folded = *vantages.front().engine;
-    merged = folded.extract(scope_phi(opt, static_cast<double>(folded.total_bytes())));
-  }
-  std::printf("\n");
-  print_set("== merged network-wide HHH set ==", merged);
+  PrefixUnion hidden_union;
+  bool any_hidden = false;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    Vantage& head = vantages[groups[g].front()];
+    HhhSet merged;
+    if (sliding) {
+      TimePoint now;
+      for (const std::size_t m : groups[g]) {
+        now = std::max(now, vantages[m].wcss->high_watermark());
+      }
+      merged = head.wcss->query(now, scope_phi(opt, head.wcss->window_total(now)));
+    } else {
+      merged = head.engine->extract(
+          scope_phi(opt, static_cast<double>(head.engine->total_bytes())));
+    }
+    std::printf("\n");
+    const std::string heading =
+        groups.size() == 1
+            ? std::string("== merged network-wide HHH set ==")
+            : "== merged network-wide HHH set [" + group_keys[g] + "] ==";
+    print_set(heading.c_str(), merged);
 
-  // ---- the reveal: heavy globally, hidden from every single vantage --------
-  const std::vector<Ipv4Prefix> hidden =
-      prefix_difference(merged.prefixes(), seen_locally.values());
+    // The reveal: heavy globally, hidden from every single vantage.
+    const std::vector<PrefixKey> hidden =
+        prefix_difference(merged.prefixes(), seen_locally.values());
+    hidden_union.add(hidden);
+    any_hidden = any_hidden || !hidden.empty();
+  }
+
   std::printf("\n== hidden HHHs (no single vantage reported them) ==\n");
-  if (hidden.empty()) {
+  if (!any_hidden) {
     std::printf("  none\n");
   } else {
-    for (const Ipv4Prefix& p : hidden) std::printf("  %s\n", p.to_string().c_str());
+    for (const PrefixKey& p : hidden_union.values()) {
+      std::printf("  %s\n", p.to_string().c_str());
+    }
   }
 
   if (!opt.out_path.empty()) {
-    if (sliding) {
-      std::vector<std::uint8_t> payload;
-      wire::Writer w(payload);
-      vantages.front().wcss->save_state(w);
-      wire::write_file(opt.out_path,
-                       wire::build_frame(wire::SnapshotKind::kWcssDetector, payload));
-    } else {
-      wire::write_file(opt.out_path, wire::save_engine(*vantages.front().engine));
+    // Concatenated frames, one per merged group — the same self-delimiting
+    // stream format --stdin consumes, so collectors still compose into
+    // aggregation trees with mixed-family fleets.
+    std::vector<std::uint8_t> out_bytes;
+    for (const auto& members : groups) {
+      Vantage& head = vantages[members.front()];
+      if (sliding) {
+        std::vector<std::uint8_t> payload;
+        wire::Writer w(payload);
+        head.wcss->save_state(w);
+        const auto frame = wire::build_frame(wire::SnapshotKind::kWcssDetector, payload);
+        out_bytes.insert(out_bytes.end(), frame.begin(), frame.end());
+      } else {
+        const auto frame = wire::save_engine(*head.engine);
+        out_bytes.insert(out_bytes.end(), frame.begin(), frame.end());
+      }
     }
-    std::printf("\nwrote merged snapshot to %s\n", opt.out_path.c_str());
+    wire::write_file(opt.out_path, out_bytes);
+    std::printf("\nwrote merged snapshot(s) to %s\n", opt.out_path.c_str());
   }
   return 0;
 }

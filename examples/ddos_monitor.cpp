@@ -1,23 +1,25 @@
-// DDoS detection timeline: windowed vs windowless alarms.
+// DDoS detection timeline: windowed vs windowless alarms, as three
+// pipeline runtimes racing over the same stream.
 //
 // The intro of the paper motivates HHH detection with DDoS defense. This
 // example injects a spoofed-source attack episode into normal traffic and
-// races three monitors against each other:
+// races three monitors — each one a pipeline composed from the same parts
+// catalogue, differing only in stage + window policy:
 //
-//  * a disjoint-window detector (the deployed practice) — can only raise an
-//    alarm when a window closes;
-//  * a sliding-window detector (step 1 s);
-//  * the windowless TDBF detector — queried continuously (every 250 ms),
-//    no boundaries at all.
+//  * engine stage x disjoint policy (the deployed practice) — can only
+//    raise an alarm when a window closes;
+//  * exact sliding stage x sliding policy (step 1 s);
+//  * the windowless TDBF stage x a 250 ms query cadence — no boundaries
+//    at all.
 //
 // Printed: the moment each monitor first reports an HHH covering the
 // attack prefix, and the detection lag relative to the attack start.
 #include <cstdio>
+#include <memory>
 #include <optional>
 
-#include "core/disjoint_window.hpp"
-#include "core/sliding_window.hpp"
-#include "core/tdbf_hhh.hpp"
+#include "core/exact_engine.hpp"
+#include "pipeline/pipeline.hpp"
 #include "trace/synthetic_trace.hpp"
 #include "util/strings.hpp"
 
@@ -34,6 +36,25 @@ bool covers_attack(const HhhSet& set, PrefixKey attack) {
     if (item.prefix.contains(attack) && item.prefix.length() >= 8) return true;
   }
   return false;
+}
+
+/// Run one monitor pipeline over a fresh replay of `config`, returning
+/// the end instant of the first report covering the attack prefix.
+std::optional<TimePoint> first_alarm(const TraceConfig& config,
+                                     std::unique_ptr<pipeline::MeasurementStage> stage,
+                                     std::unique_ptr<pipeline::WindowPolicy> policy,
+                                     double phi, PrefixKey attack) {
+  std::optional<TimePoint> alarm;
+  pipeline::PipelineConfig pc;
+  pc.phi = phi;
+  pc.finish_at = TimePoint() + config.duration;
+  pipeline::Pipeline pipe(pipeline::make_synthetic_source(config), std::move(stage),
+                          std::move(policy), pc);
+  pipe.add_sink(pipeline::make_callback_sink([&](const WindowReport& r) {
+    if (!alarm && covers_attack(r.hhhs, attack)) alarm = r.end;
+  }));
+  pipe.run();
+  return alarm;
 }
 
 }  // namespace
@@ -57,38 +78,24 @@ int main() {
               attack.source_prefix.to_string().c_str(), attack.target.to_string().c_str(),
               attack.pps, attack.start.to_seconds());
 
-  SyntheticTraceGenerator generator(config);
+  const PrefixKey attack_prefix{attack.source_prefix};
 
-  DisjointWindowHhhDetector disjoint({.window = window, .phi = phi});
-  SlidingWindowHhhDetector sliding(
-      {.window = window, .step = Duration::seconds(1), .phi = phi});
-  TimeDecayingHhhDetector tdbf(TimeDecayingHhhDetector::for_window(window));
+  // The synthetic generator is deterministic, so each monitor replays the
+  // byte-identical stream from its own source.
+  const auto t_disjoint = first_alarm(
+      config,
+      pipeline::make_engine_stage(make_exact_engine(Hierarchy::byte_granularity())),
+      pipeline::make_disjoint_policy(window), phi, attack_prefix);
 
-  std::optional<TimePoint> t_disjoint;
-  std::optional<TimePoint> t_sliding;
-  std::optional<TimePoint> t_tdbf;
+  const auto t_sliding = first_alarm(
+      config,
+      pipeline::make_sliding_exact_stage(
+          {.window = window, .step = Duration::seconds(1), .phi = phi}),
+      pipeline::make_sliding_policy(window, Duration::seconds(1)), phi, attack_prefix);
 
-  disjoint.set_on_report([&](const WindowReport& r) {
-    if (!t_disjoint && covers_attack(r.hhhs, attack.source_prefix)) t_disjoint = r.end;
-  });
-  sliding.set_on_report([&](const WindowReport& r) {
-    if (!t_sliding && covers_attack(r.hhhs, attack.source_prefix)) t_sliding = r.end;
-  });
-
-  TimePoint next_tdbf_query = TimePoint() + Duration::millis(250);
-  while (auto p = generator.next()) {
-    disjoint.offer(*p);
-    sliding.offer(*p);
-    tdbf.offer(*p);
-    if (p->ts >= next_tdbf_query) {
-      if (!t_tdbf && covers_attack(tdbf.query(p->ts, phi), attack.source_prefix)) {
-        t_tdbf = p->ts;
-      }
-      next_tdbf_query += Duration::millis(250);
-    }
-  }
-  disjoint.finish(TimePoint() + config.duration);
-  sliding.finish(TimePoint() + config.duration);
+  const auto t_tdbf = first_alarm(
+      config, pipeline::make_tdbf_stage(TimeDecayingHhhDetector::for_window(window)),
+      pipeline::make_query_cadence_policy(Duration::millis(250)), phi, attack_prefix);
 
   const auto report = [&](const char* name, const std::optional<TimePoint>& t) {
     if (t) {

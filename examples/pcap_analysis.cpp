@@ -14,6 +14,7 @@
 
 #include "core/hidden_analysis.hpp"
 #include "net/pcap.hpp"
+#include "pipeline/source.hpp"
 #include "trace/synthetic_trace.hpp"
 #include "util/strings.hpp"
 
@@ -42,31 +43,29 @@ int main(int argc, char** argv) {
     std::printf("wrote %s packets\n\n", with_thousands(writer.packets_written()).c_str());
   }
 
-  // Decode. Timestamps are rebased to the first packet so the window
-  // arithmetic starts at t=0 regardless of capture epoch. Nothing is
-  // silently dropped: the per-family decode/skip accounting is printed so
-  // a dual-stack capture cannot quietly lose its v6 (or v4) share.
+  // Decode through the pipeline's pcap source: timestamps are rebased to
+  // the first packet so the window arithmetic starts at t=0 regardless of
+  // capture epoch. Nothing is silently dropped: the per-family
+  // decode/skip accounting is printed so a dual-stack capture cannot
+  // quietly lose its v6 (or v4) share.
   std::vector<PacketRecord> packets;
+  pipeline::PcapSourceStats stats;
   try {
-    PcapReader reader(path);
-    std::optional<TimePoint> first;
-    while (auto p = reader.next()) {
+    auto source = pipeline::make_pcap_source(path, /*rebase_timestamps=*/true, &stats);
+    while (auto p = source->next()) {
       if (p->family() != AddressFamily::kIpv4) {
         continue;  // this example runs the v4 analysis; counted below
       }
-      if (!first) first = p->ts;
-      p->ts = TimePoint() + (p->ts - *first);
       packets.push_back(*p);
     }
     std::printf("decoded from %s:\n", path.c_str());
-    std::printf("  IPv4 packets analysed:  %s\n",
-                with_thousands(reader.packets_decoded_v4()).c_str());
+    std::printf("  IPv4 packets analysed:  %s\n", with_thousands(stats.decoded_v4).c_str());
     std::printf("  IPv6 packets decoded:   %s (not part of this v4 analysis)\n",
-                with_thousands(reader.packets_decoded_v6()).c_str());
+                with_thousands(stats.decoded_v6).c_str());
     std::printf("  skipped non-IP frames:  %s\n",
-                with_thousands(reader.packets_skipped_non_ip()).c_str());
+                with_thousands(stats.skipped_non_ip).c_str());
     std::printf("  skipped malformed:      %s\n",
-                with_thousands(reader.packets_skipped_malformed()).c_str());
+                with_thousands(stats.skipped_malformed).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

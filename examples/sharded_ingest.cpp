@@ -1,17 +1,19 @@
-// Sharded ingestion: the same detector, N worker threads, identical answers.
+// Sharded ingestion: the same pipeline, N worker threads, identical answers.
 //
 //  1. Generate a synthetic trace.
-//  2. Run the disjoint-window detector single-threaded and with a
-//     4-shard parallel exact engine (hash-partitioned streams, private
-//     replicas, merged at every window close).
+//  2. Run the pipeline runtime twice over it — a direct single-threaded
+//     exact stage, then the same stage behind a 4-way shard router
+//     (hash-partitioned streams, private replicas, merged at every
+//     window close).
 //  3. Verify the reports agree window-for-window and compare throughput.
 //
 // Build & run:   ./build/examples/sharded_ingest
 #include <chrono>
 #include <cstdio>
 
-#include "core/disjoint_window.hpp"
-#include "core/sharded_engine.hpp"
+#include "core/exact_engine.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/shard_router.hpp"
 #include "trace/synthetic_trace.hpp"
 #include "util/strings.hpp"
 
@@ -19,11 +21,32 @@ using namespace hhh;
 
 namespace {
 
-double run_detector(DisjointWindowHhhDetector& det, const std::vector<PacketRecord>& packets) {
+struct Run {
+  std::vector<WindowReport> reports;
+  double seconds = 0.0;
+};
+
+Run run_pipeline(const std::vector<PacketRecord>& packets, std::size_t shards) {
+  pipeline::ShardPlan plan;
+  plan.shards = shards;
+  auto engine = pipeline::route_shards(
+      plan, [](std::size_t) { return make_exact_engine(Hierarchy::byte_granularity()); });
+
+  pipeline::PipelineConfig config;
+  config.phi = 0.01;
+  config.finish_at = packets.back().ts + Duration::seconds(1);
+  pipeline::Pipeline pipe(pipeline::make_vector_source(packets),
+                          pipeline::make_engine_stage(std::move(engine)),
+                          pipeline::make_disjoint_policy(Duration::seconds(10)), config);
+  auto& collect = pipe.add_sink(std::make_unique<pipeline::CollectSink>());
+
   const auto t0 = std::chrono::steady_clock::now();
-  det.offer_batch(packets);
-  det.finish(packets.back().ts + Duration::seconds(1));
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  pipe.run();
+  Run result;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  result.reports = collect.reports();
+  return result;
 }
 
 }  // namespace
@@ -35,31 +58,23 @@ int main() {
   std::printf("trace: %s packets over %.0f seconds\n", with_thousands(packets.size()).c_str(),
               config.duration.to_seconds());
 
-  DisjointWindowHhhDetector::Params params;
-  params.window = Duration::seconds(10);
-  params.phi = 0.01;
-
-  DisjointWindowHhhDetector single(params);
-  const double single_secs = run_detector(single, packets);
-
-  params.shards = 4;  // the default engine becomes a 4-shard exact engine
-  DisjointWindowHhhDetector sharded(params);
-  const double sharded_secs = run_detector(sharded, packets);
+  const Run single = run_pipeline(packets, 1);
+  const Run sharded = run_pipeline(packets, 4);
 
   std::printf("single-thread exact : %8.0f kpps\n",
-              static_cast<double>(packets.size()) / single_secs / 1e3);
+              static_cast<double>(packets.size()) / single.seconds / 1e3);
   std::printf("4-shard exact       : %8.0f kpps  (x%.2f)\n",
-              static_cast<double>(packets.size()) / sharded_secs / 1e3,
-              single_secs / sharded_secs);
+              static_cast<double>(packets.size()) / sharded.seconds / 1e3,
+              single.seconds / sharded.seconds);
 
   // Exact replicas merge losslessly: every window report must be identical.
   std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < single.reports().size(); ++i) {
-    const auto lhs = single.reports()[i].hhhs.prefixes();
-    const auto rhs = sharded.reports()[i].hhhs.prefixes();
+  for (std::size_t i = 0; i < single.reports.size(); ++i) {
+    const auto lhs = single.reports[i].hhhs.prefixes();
+    const auto rhs = sharded.reports[i].hhhs.prefixes();
     if (lhs != rhs) ++mismatches;
   }
-  std::printf("windows: %zu, report mismatches: %zu%s\n", single.reports().size(), mismatches,
+  std::printf("windows: %zu, report mismatches: %zu%s\n", single.reports.size(), mismatches,
               mismatches == 0 ? " (sharded == single-thread, as guaranteed)" : "  <-- BUG");
   return mismatches == 0 ? 0 : 1;
 }

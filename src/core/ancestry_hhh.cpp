@@ -62,7 +62,10 @@ void AncestryHhhEngine::add_batch(std::span<const PacketRecord> packets) {
   for (const auto& p : packets) {
     if (p.family() != AddressFamily::kIpv4) continue;
     total += p.ip_len;
-    auto [node, inserted] = leaf.try_emplace(V4Domain::key(p.src(), leaf_len));
+    // key_halves reads the raw record words directly (same value as
+    // key(p.src(), len), minus the IpAddress round trip).
+    auto [node, inserted] =
+        leaf.try_emplace(V4Domain::key_halves(p.src_hi(), p.src_lo(), leaf_len));
     if (inserted) {
       node->delta = static_cast<std::uint64_t>(eps * static_cast<double>(total));
     }

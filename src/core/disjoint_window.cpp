@@ -17,10 +17,9 @@ std::unique_ptr<HhhEngine> default_engine(const DisjointWindowHhhDetector::Param
 
 DisjointWindowHhhDetector::DisjointWindowHhhDetector(const Params& params,
                                                      std::unique_ptr<HhhEngine> engine)
-    : params_(params), engine_(engine ? std::move(engine) : default_engine(params)) {
-  if (params_.window.ns() <= 0) {
-    throw std::invalid_argument("DisjointWindowHhhDetector: window must be positive");
-  }
+    : params_(params),
+      engine_(engine ? std::move(engine) : default_engine(params)),
+      policy_(pipeline::make_disjoint_policy(params.window)) {
   if (params_.phi <= 0.0 || params_.phi > 1.0) {
     throw std::invalid_argument("DisjointWindowHhhDetector: phi outside (0,1]");
   }
@@ -28,16 +27,17 @@ DisjointWindowHhhDetector::DisjointWindowHhhDetector(const Params& params,
 
 void DisjointWindowHhhDetector::close_windows_before(TimePoint t) {
   // Close every window whose end precedes or equals t.
-  while (TimePoint() + params_.window * static_cast<std::int64_t>(current_window_ + 1) <= t) {
+  while (policy_->next_boundary() <= t) {
+    const pipeline::WindowEvent event = policy_->next_event();
     WindowReport report;
-    report.index = current_window_;
-    report.start = TimePoint() + params_.window * static_cast<std::int64_t>(current_window_);
-    report.end = report.start + params_.window;
+    report.index = event.index;
+    report.start = event.start;
+    report.end = event.end;
     report.hhhs = engine_->extract(params_.phi);
     engine_->reset();
     if (on_report_) on_report_(report);
     reports_.push_back(std::move(report));
-    ++current_window_;
+    policy_->advance();
   }
 }
 
@@ -50,8 +50,7 @@ void DisjointWindowHhhDetector::offer_batch(std::span<const PacketRecord> packet
   std::size_t i = 0;
   while (i < packets.size()) {
     close_windows_before(packets[i].ts);
-    const TimePoint window_end =
-        TimePoint() + params_.window * static_cast<std::int64_t>(current_window_ + 1);
+    const TimePoint window_end = policy_->next_boundary();
     std::size_t j = i + 1;
     while (j < packets.size() && packets[j].ts < window_end) ++j;
     engine_->add_batch(packets.subspan(i, j - i));
@@ -68,7 +67,7 @@ void DisjointWindowHhhDetector::checkpoint(wire::Writer& w) const {
   w.f64(params_.phi);
   wire::write_hierarchy(w, params_.hierarchy);
   w.u64(params_.shards);
-  w.u64(current_window_);
+  w.u64(policy_->index());
   engine_->save_state(w);
   w.u64(reports_.size());
   for (const auto& report : reports_) {
@@ -89,7 +88,7 @@ void DisjointWindowHhhDetector::restore(wire::Reader& r) {
               "DisjointWindowHhhDetector hierarchy mismatch");
   wire::check(r.u64() == params_.shards, WireError::kParamsMismatch,
               "DisjointWindowHhhDetector shard count mismatch");
-  current_window_ = r.u64();
+  policy_->set_index(r.u64());
   engine_->load_state(r);
   const std::uint64_t n = r.count(40);
   reports_.clear();

@@ -17,6 +17,7 @@
 #include "core/engine.hpp"
 #include "core/hhh_types.hpp"
 #include "net/packet.hpp"
+#include "pipeline/window_policy.hpp"
 #include "util/sim_time.hpp"
 #include "wire/fwd.hpp"
 
@@ -90,7 +91,10 @@ class DisjointWindowHhhDetector {
 
   Params params_;
   std::unique_ptr<HhhEngine> engine_;
-  std::size_t current_window_ = 0;
+  /// Boundary schedule shared with the pipeline runtime
+  /// (pipeline::make_disjoint_policy) — one copy of the window-cursor
+  /// arithmetic, so detector and pipeline close byte-identical windows.
+  std::unique_ptr<pipeline::WindowPolicy> policy_;
   std::vector<WindowReport> reports_;
   std::function<void(const WindowReport&)> on_report_;
 };

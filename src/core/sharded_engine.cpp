@@ -124,15 +124,17 @@ void ShardedHhhEngine::drain() const {
   quiesce();
 }
 
-HhhSet ShardedHhhEngine::extract(double phi) const {
+std::unique_ptr<HhhEngine> ShardedHhhEngine::fold() const {
   drain();
   // Fold the quiesced replicas into a fresh scratch engine. The acquire
   // on each shard's completion counter (in quiesce) orders every replica
   // write before these reads.
   auto merged = factory_(shards_.size());
   for (const auto& shard : shards_) merged->merge_from(*shard->engine);
-  return merged->extract(phi);
+  return merged;
 }
+
+HhhSet ShardedHhhEngine::extract(double phi) const { return fold()->extract(phi); }
 
 void ShardedHhhEngine::reset() {
   drain();

@@ -78,6 +78,13 @@ class ShardedHhhEngine final : public HhhEngine {
   /// merge_from(), and extract from the merged state.
   HhhSet extract(double phi) const override;
 
+  /// Quiesce all shards and return a fresh scratch engine holding every
+  /// replica's state folded together — the single-engine equivalent of
+  /// this front-end's accumulated traffic. Snapshot producers use it to
+  /// emit *mergeable* frames (the inner engine's kind) instead of
+  /// restore-in-place-only sharded frames.
+  std::unique_ptr<HhhEngine> fold() const;
+
   /// Quiesce and reset every replica (window boundary).
   void reset() override;
 

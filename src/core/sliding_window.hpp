@@ -52,6 +52,12 @@ class SlidingWindowHhhDetector {
   /// ordinal; the report covers (end - window, end].
   const std::vector<WindowReport>& reports() const noexcept { return reports_; }
 
+  /// Drop every retained report (indexes keep counting). Long-running
+  /// consumers that take each report as it closes (the pipeline's
+  /// sliding-exact stage, set_on_report users) call this so the detector
+  /// does not grow one HhhSet per step forever.
+  void discard_reports() noexcept { reports_.clear(); }
+
   /// Optional streaming callback invoked as each step closes.
   void set_on_report(std::function<void(const WindowReport&)> cb) { on_report_ = std::move(cb); }
 

@@ -39,6 +39,29 @@ void UnivmonHhhEngine::add(const PacketRecord& packet) {
   }
 }
 
+void UnivmonHhhEngine::add_batch(std::span<const PacketRecord> packets) {
+  // Level-major replay (see the header note): one pass per hierarchy
+  // level with the level's sketch and prefix length hoisted out of the
+  // loop. Reordering across levels is safe — each UnivMon owns disjoint
+  // state and update() is deterministic — so the final state is
+  // byte-identical to add() per packet.
+  std::uint64_t batch_bytes = 0;
+  for (const auto& p : packets) {
+    if (p.family() != AddressFamily::kIpv4) continue;
+    batch_bytes += p.ip_len;
+  }
+  total_bytes_ += batch_bytes;
+  for (std::size_t level = 0; level < sketches_.size(); ++level) {
+    UnivMon& sketch = sketches_[level];
+    const unsigned len = params_.hierarchy.length_at(level);
+    for (const auto& p : packets) {
+      if (p.family() != AddressFamily::kIpv4) continue;
+      sketch.update(V4Domain::key_halves(p.src_hi(), p.src_lo(), len),
+                    static_cast<std::int64_t>(p.ip_len));
+    }
+  }
+}
+
 HhhSet UnivmonHhhEngine::extract(double phi) const {
   HhhSet result;
   result.total_bytes = total_bytes_;

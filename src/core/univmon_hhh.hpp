@@ -36,6 +36,12 @@ class UnivmonHhhEngine final : public HhhEngine {
 
   /// O(levels x depth) sketch updates per packet.
   void add(const PacketRecord& packet) override;
+  /// Devirtualized level-major fast path: per hierarchy level, stream the
+  /// whole batch through that level's sketch. Byte-identical to the add()
+  /// loop — the per-level sketches share no state, so reordering updates
+  /// across levels cannot change any counter — while the level's rows
+  /// stay hot in cache across consecutive packets.
+  void add_batch(std::span<const PacketRecord> packets) override;
   /// Per-level heavy-hitter queries + conditioned discounting.
   HhhSet extract(double phi) const override;
   /// Rebuild every sketch (window boundary).

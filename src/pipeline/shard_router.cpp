@@ -1,0 +1,18 @@
+#include "pipeline/shard_router.hpp"
+
+#include <utility>
+
+namespace hhh::pipeline {
+
+std::unique_ptr<HhhEngine> route_shards(const ShardPlan& plan,
+                                        ShardedHhhEngine::EngineFactory factory) {
+  if (plan.shards <= 1) return factory(0);
+  ShardedHhhEngine::Params params;
+  params.shards = plan.shards;
+  params.partition = plan.partition;
+  params.ring_capacity = plan.ring_capacity;
+  params.dispatch_batch = plan.dispatch_batch;
+  return std::make_unique<ShardedHhhEngine>(params, std::move(factory));
+}
+
+}  // namespace hhh::pipeline

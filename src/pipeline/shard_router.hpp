@@ -1,0 +1,36 @@
+/// \file
+/// ShardRouter — the optional parallel fan-out stage between source and
+/// measurement.
+///
+/// A pipeline's measurement stage is single-threaded by contract; the
+/// router is where parallelism enters: with shards > 1 it hash-partitions
+/// every batch across N worker threads, each owning a private mergeable
+/// replica (core/sharded_engine.hpp), and folds the replicas at every
+/// report boundary. With shards == 1 it degenerates to the inner engine
+/// itself — zero overhead, same types — so callers configure parallelism
+/// with one integer instead of two code paths.
+#pragma once
+
+#include <memory>
+
+#include "core/sharded_engine.hpp"
+
+namespace hhh::pipeline {
+
+/// How packets fan out to engine replicas.
+struct ShardPlan {
+  std::size_t shards = 1;  ///< 1 = direct feed; >1 = hash-partitioned workers
+  ShardedHhhEngine::PartitionKey partition =
+      ShardedHhhEngine::PartitionKey::kFlow;  ///< shard selector input
+  std::size_t ring_capacity = 64;             ///< batches in flight per shard
+  std::size_t dispatch_batch = 4096;          ///< add() staging flush threshold
+};
+
+/// Build the routed engine for `plan`: the factory's engine directly for
+/// one shard, a ShardedHhhEngine fan-out otherwise. Factories must hand
+/// out mergeable, identically-configured engines (see
+/// ShardedHhhEngine::EngineFactory).
+std::unique_ptr<HhhEngine> route_shards(const ShardPlan& plan,
+                                        ShardedHhhEngine::EngineFactory factory);
+
+}  // namespace hhh::pipeline

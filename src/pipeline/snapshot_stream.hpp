@@ -1,0 +1,66 @@
+/// \file
+/// SnapshotFrameReader — iterate the self-delimiting snapshot frame
+/// streams the pipeline's snapshot sink emits and hhh-collector consumes.
+///
+/// A "frame stream" is zero or more concatenated wire/snapshot.hpp frames:
+/// what a windowed vantage writes per epoch (one frame per closed window),
+/// what several vantages' outputs look like cat-ed together, and what
+/// arrives on the collector's stdin. This reader owns the bytes and yields
+/// validated FrameViews one at a time; both the collector's file and
+/// --stdin paths run through it, so single-frame files and multi-window
+/// replays are handled identically.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wire/snapshot.hpp"
+
+namespace hhh::pipeline {
+
+/// Owning iterator over a byte buffer of concatenated snapshot frames.
+class SnapshotFrameReader {
+ public:
+  /// Reader over `bytes` (moved in; FrameViews point into it).
+  explicit SnapshotFrameReader(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  /// Reader over the whole content of the file at `path`. Throws
+  /// std::runtime_error on I/O failure.
+  static SnapshotFrameReader from_file(const std::string& path) {
+    return SnapshotFrameReader(wire::read_file(path));
+  }
+
+  /// Reader draining an open stream (e.g. stdin) — reads to EOF first,
+  /// then iterates; a consumer that must react per frame while the
+  /// producer is still running should parse incrementally instead.
+  /// Throws std::runtime_error on a read error.
+  static SnapshotFrameReader from_stream(std::FILE* f) {
+    return SnapshotFrameReader(wire::read_stream(f));
+  }
+
+  /// Validate and return the next frame, or nullopt once the buffer is
+  /// exhausted. Throws wire::WireFormatError on malformed bytes (a
+  /// truncated tail is an error, not an end-of-stream).
+  std::optional<wire::FrameView> next() {
+    if (pos_ >= bytes_.size()) return std::nullopt;
+    const wire::FrameView frame =
+        wire::parse_frame(std::span<const std::uint8_t>(bytes_).subspan(pos_));
+    pos_ += frame.frame_size;
+    ++frames_read_;
+    return frame;
+  }
+
+  /// Frames yielded so far.
+  std::size_t frames_read() const noexcept { return frames_read_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  std::size_t frames_read_ = 0;
+};
+
+}  // namespace hhh::pipeline

@@ -67,6 +67,18 @@ bool Reader::boolean() {
   return v != 0;
 }
 
+std::uint64_t Reader::var_u64() {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t byte = u8();
+    const std::uint64_t chunk = byte & 0x7F;
+    check(shift != 63 || chunk <= 1, WireError::kBadValue, "varint exceeds 64 bits");
+    v |= chunk << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  throw WireFormatError(WireError::kBadValue, "varint longer than 10 bytes");
+}
+
 std::string Reader::str() {
   const std::uint32_t len = u32();
   need(len);
@@ -78,6 +90,11 @@ std::string Reader::str() {
 void Reader::raw(void* dst, std::size_t len) {
   need(len);
   std::memcpy(dst, data_.data() + pos_, len);
+  pos_ += len;
+}
+
+void Reader::skip(std::size_t len) {
+  need(len);
   pos_ += len;
 }
 

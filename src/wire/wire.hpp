@@ -98,6 +98,16 @@ class Writer {
   void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
   /// Append a bool as one byte (0/1).
   void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Append an unsigned LEB128 varint (1 byte for values < 128, at most
+  /// 10 bytes) — the compact-payload workhorse (delta-encoded v6 keys,
+  /// counter values that are usually small).
+  void var_u64(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
   /// Append a length-prefixed (u32) byte string.
   void str(std::string_view s);
   /// Append `len` raw bytes.
@@ -141,10 +151,20 @@ class Reader {
   double f64() { return std::bit_cast<double>(u64()); }
   /// Read a bool; any byte other than 0/1 throws kBadValue.
   bool boolean();
+  /// Read an unsigned LEB128 varint; more than 10 bytes or bits beyond
+  /// the 64th throw kBadValue.
+  std::uint64_t var_u64();
   /// Read a u32-length-prefixed byte string.
   std::string str();
   /// Copy `len` raw bytes into `dst`.
   void raw(void* dst, std::size_t len);
+  /// The unconsumed bytes, in place (no copy, nothing consumed). Hot
+  /// decode loops parse this with a local cursor and then commit with
+  /// skip() — one bounds check per record instead of one per byte.
+  std::span<const std::uint8_t> peek_rest() const noexcept { return data_.subspan(pos_); }
+  /// Consume `len` bytes previously parsed via peek_rest(); throws
+  /// kTruncated when fewer remain.
+  void skip(std::size_t len);
 
   /// Read a u64 declared as an element count and validate it against the
   /// bytes actually left: a count that could not possibly be satisfied

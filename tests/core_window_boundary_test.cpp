@@ -3,14 +3,18 @@
 // The paper's whole argument lives at window boundaries (traffic split
 // across a boundary hides HHHs), so the boundary arithmetic itself must
 // be airtight: empty windows still report, a packet exactly on a boundary
-// lands in the *next* window, phi = 1.0 is a legal threshold, and a
-// single packet is a complete window.
+// lands in the *next* window, phi = 1.0 is a legal threshold, a single
+// packet is a complete window — and ill-behaved timestamps (duplicates on
+// a boundary, out-of-order arrivals around one) must resolve identically
+// in the legacy detectors and the pipeline runtime.
 #include <gtest/gtest.h>
 
 #include "core/disjoint_window.hpp"
+#include "core/exact_engine.hpp"
 #include "core/sliding_window.hpp"
 #include "harness/golden.hpp"
 #include "harness/trace_builder.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace hhh {
 namespace {
@@ -18,6 +22,22 @@ namespace {
 using harness::packet_at;
 
 const Ipv4Address kSrc = Ipv4Address::of(10, 1, 2, 3);
+
+/// The same stream through the pipeline runtime's disjoint path, for
+/// pinning legacy-vs-runtime agreement on edge-case timestamps.
+std::vector<WindowReport> pipeline_reports(const std::vector<PacketRecord>& packets,
+                                           Duration window, double phi, TimePoint end) {
+  pipeline::PipelineConfig config;
+  config.phi = phi;
+  config.finish_at = end;
+  pipeline::Pipeline pipe(pipeline::make_vector_source(packets),
+                          pipeline::make_engine_stage(
+                              make_exact_engine(Hierarchy::byte_granularity())),
+                          pipeline::make_disjoint_policy(window), config);
+  auto& collect = pipe.add_sink(std::make_unique<pipeline::CollectSink>());
+  pipe.run();
+  return collect.reports();
+}
 
 // --- DisjointWindowHhhDetector ----------------------------------------------
 
@@ -152,6 +172,118 @@ TEST(DisjointWindowBoundary, OfferBatchReportsIntermediateEmptyWindows) {
   EXPECT_EQ(det.reports()[1].hhhs.total_bytes, 0u);
   EXPECT_EQ(det.reports()[2].hhhs.total_bytes, 0u);
   EXPECT_EQ(det.reports()[3].hhhs.total_bytes, 200u);
+}
+
+// --- ill-behaved timestamps at boundaries -----------------------------------
+
+TEST(DisjointWindowBoundary, DuplicateTimestampsOnTheBoundaryAllOpenNextWindow) {
+  // Several packets carrying the exact boundary timestamp: every one of
+  // them belongs to the next window ([W, 2W) is half-open), through both
+  // the offer loop and the batch path.
+  const std::vector<PacketRecord> packets = {
+      packet_at(0.5, kSrc, 100),
+      packet_at(1.0, kSrc, 200),
+      packet_at(1.0, Ipv4Address::of(10, 9, 9, 9), 300),
+      packet_at(1.0, kSrc, 400),
+  };
+  for (const bool batched : {false, true}) {
+    DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 0.5});
+    if (batched) {
+      det.offer_batch(packets);
+    } else {
+      for (const auto& p : packets) det.offer(p);
+    }
+    det.finish(TimePoint::from_seconds(2.0));
+    ASSERT_EQ(det.reports().size(), 2u) << "batched=" << batched;
+    EXPECT_EQ(det.reports()[0].hhhs.total_bytes, 100u) << "batched=" << batched;
+    EXPECT_EQ(det.reports()[1].hhhs.total_bytes, 900u) << "batched=" << batched;
+  }
+  // And identically through the pipeline runtime.
+  const auto reports = pipeline_reports(packets, Duration::seconds(1), 0.5,
+                                        TimePoint::from_seconds(2.0));
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].hhhs.total_bytes, 100u);
+  EXPECT_EQ(reports[1].hhhs.total_bytes, 900u);
+}
+
+TEST(DisjointWindowBoundary, OutOfOrderPacketLandsInTheOpenWindowNotItsOwn) {
+  // A straggler whose timestamp points into the already-closed window 0
+  // arrives after window 1 opened: it is accounted in the OPEN window
+  // (closed reports are immutable), identically in detector and pipeline.
+  const std::vector<PacketRecord> packets = {
+      packet_at(0.5, kSrc, 100),
+      packet_at(1.2, kSrc, 200),
+      packet_at(0.9, Ipv4Address::of(10, 9, 9, 9), 300),  // late straggler
+      packet_at(1.4, kSrc, 400),
+  };
+  DisjointWindowHhhDetector det({.window = Duration::seconds(1), .phi = 0.5});
+  for (const auto& p : packets) det.offer(p);
+  det.finish(TimePoint::from_seconds(2.0));
+  ASSERT_EQ(det.reports().size(), 2u);
+  EXPECT_EQ(det.reports()[0].hhhs.total_bytes, 100u);  // window 0 stays closed
+  EXPECT_EQ(det.reports()[1].hhhs.total_bytes, 900u);  // straggler counted here
+
+  const auto reports = pipeline_reports(packets, Duration::seconds(1), 0.5,
+                                        TimePoint::from_seconds(2.0));
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].hhhs.total_bytes, det.reports()[0].hhhs.total_bytes);
+  EXPECT_EQ(reports[1].hhhs.total_bytes, det.reports()[1].hhhs.total_bytes);
+}
+
+TEST(DisjointWindowBoundary, OutOfOrderWithinTheOpenWindowIsOrderInsensitive) {
+  // Reordering *inside* one window must not change the exact report: the
+  // engine is a counter, not a sequence. Shuffle only within window 0.
+  const std::vector<PacketRecord> ordered = {
+      packet_at(0.1, kSrc, 100),
+      packet_at(0.3, Ipv4Address::of(10, 9, 9, 9), 200),
+      packet_at(0.7, kSrc, 300),
+  };
+  const std::vector<PacketRecord> shuffled = {ordered[2], ordered[0], ordered[1]};
+  DisjointWindowHhhDetector a({.window = Duration::seconds(1), .phi = 0.2});
+  DisjointWindowHhhDetector b({.window = Duration::seconds(1), .phi = 0.2});
+  for (const auto& p : ordered) a.offer(p);
+  for (const auto& p : shuffled) b.offer(p);
+  a.finish(TimePoint::from_seconds(1.0));
+  b.finish(TimePoint::from_seconds(1.0));
+  ASSERT_EQ(a.reports().size(), 1u);
+  ASSERT_EQ(b.reports().size(), 1u);
+  EXPECT_TRUE(harness::hhh_sets_equal(a.reports()[0].hhhs, b.reports()[0].hhhs));
+}
+
+TEST(SlidingWindowBoundary, DuplicateTimestampsOnAStepBoundary) {
+  // Packets at exactly t = step close the step first: the step report
+  // covering (t-W, t] excludes them; they surface in the next step.
+  SlidingWindowHhhDetector det({.window = Duration::seconds(1),
+                                .step = Duration::seconds(1),
+                                .phi = 0.5});
+  det.offer(packet_at(0.5, kSrc, 100));
+  det.offer(packet_at(1.0, kSrc, 200));
+  det.offer(packet_at(1.0, Ipv4Address::of(10, 9, 9, 9), 300));
+  det.finish(TimePoint::from_seconds(2.0));
+  ASSERT_EQ(det.reports().size(), 2u);
+  EXPECT_EQ(det.reports()[0].hhhs.total_bytes, 100u);
+  EXPECT_EQ(det.reports()[1].hhhs.total_bytes, 500u);
+}
+
+TEST(SlidingWindowBoundary, OutOfOrderStragglerStaysInTheCurrentBucket) {
+  // A late packet (timestamp in an older step) is bucketed with the step
+  // that is open on arrival, so it also *expires* with that step — the
+  // rolling counters never go negative and totals stay conserved.
+  SlidingWindowHhhDetector det({.window = Duration::seconds(2),
+                                .step = Duration::seconds(1),
+                                .phi = 0.5});
+  det.offer(packet_at(0.5, kSrc, 100));
+  det.offer(packet_at(1.5, kSrc, 200));
+  det.offer(packet_at(0.8, Ipv4Address::of(10, 9, 9, 9), 400));  // straggler
+  det.finish(TimePoint::from_seconds(5.0));
+  // Reports at t=2,3,4,5. (0,2] sees all 700; (1,3] drops the first step's
+  // 100 but keeps the straggler (bucketed at arrival, step 1); (2,4] and
+  // later are empty.
+  ASSERT_EQ(det.reports().size(), 4u);
+  EXPECT_EQ(det.reports()[0].hhhs.total_bytes, 700u);
+  EXPECT_EQ(det.reports()[1].hhhs.total_bytes, 600u);
+  EXPECT_EQ(det.reports()[2].hhhs.total_bytes, 0u);
+  EXPECT_EQ(det.reports()[3].hhhs.total_bytes, 0u);
 }
 
 // --- SlidingWindowHhhDetector -----------------------------------------------

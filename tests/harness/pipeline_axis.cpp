@@ -1,0 +1,137 @@
+#include "harness/pipeline_axis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/disjoint_window.hpp"
+#include "harness/golden.hpp"
+#include "harness/trace_builder.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/snapshot_stream.hpp"
+#include "wire/snapshot.hpp"
+
+namespace hhh::harness {
+
+namespace {
+
+constexpr double kPhi = 0.02;
+constexpr std::size_t kBatch = 4096;
+// The conformance workload runs at 50 kpps, so 20 k packets span ~0.4 s:
+// 100 ms windows give several boundaries per sweep.
+const Duration kWindow = Duration::millis(100);
+
+std::vector<PacketRecord> workload(const EngineCase& engine_case, std::uint64_t seed,
+                                   std::size_t n) {
+  return TraceBuilder(seed).compact_space().v6_fraction(engine_case.v6_fraction).packets(n);
+}
+
+/// The legacy path: the detector fed through offer_batch with the same
+/// chunking the pipeline's source uses, so randomized engines consume
+/// their RNG identically on both sides.
+std::vector<WindowReport> run_detector(const EngineCase& engine_case,
+                                       const std::vector<PacketRecord>& packets,
+                                       TimePoint end) {
+  DisjointWindowHhhDetector detector(
+      {.window = kWindow, .phi = kPhi, .hierarchy = engine_case.hierarchy},
+      engine_case.make());
+  const std::span<const PacketRecord> all(packets);
+  for (std::size_t i = 0; i < all.size(); i += kBatch) {
+    detector.offer_batch(all.subspan(i, std::min(kBatch, all.size() - i)));
+  }
+  detector.finish(end);
+  return detector.reports();
+}
+
+std::vector<WindowReport> run_pipeline(const EngineCase& engine_case,
+                                       const std::vector<PacketRecord>& packets,
+                                       TimePoint end) {
+  pipeline::PipelineConfig config;
+  config.phi = kPhi;
+  config.batch_size = kBatch;
+  config.finish_at = end;
+  pipeline::Pipeline pipe(pipeline::make_vector_source(packets),
+                          pipeline::make_engine_stage(engine_case.make()),
+                          pipeline::make_disjoint_policy(kWindow), config);
+  auto& collect = pipe.add_sink(std::make_unique<pipeline::CollectSink>());
+  pipe.run();
+  return collect.reports();
+}
+
+void expect_reports_identical(const std::vector<WindowReport>& expected,
+                              const std::vector<WindowReport>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].index, actual[i].index) << "window " << i;
+    EXPECT_EQ(expected[i].start, actual[i].start) << "window " << i;
+    EXPECT_EQ(expected[i].end, actual[i].end) << "window " << i;
+    EXPECT_TRUE(hhh_sets_equal(expected[i].hhhs, actual[i].hhhs)) << "window " << i;
+  }
+}
+
+}  // namespace
+
+void run_pipeline_equivalence_case(const EngineCase& engine_case) {
+  for (const std::uint64_t seed : {11u, 23u}) {
+    const auto packets = workload(engine_case, seed, 20000);
+    ASSERT_FALSE(packets.empty());
+    const TimePoint end = packets.back().ts + kWindow;
+    const auto expected = run_detector(engine_case, packets, end);
+    const auto actual = run_pipeline(engine_case, packets, end);
+    ASSERT_GE(expected.size(), 2u) << "workload too short to cross a boundary";
+    expect_reports_identical(expected, actual);
+  }
+}
+
+void run_pipeline_snapshot_case(const EngineCase& engine_case) {
+  {
+    // Sharded engines are NOT skipped: the engine stage folds their
+    // replicas into a mergeable inner-engine frame at snapshot time, so
+    // pipeline frames always decode standalone.
+    auto probe = engine_case.make();
+    if (!probe->serializable()) {
+      GTEST_SKIP() << probe->name() << " is not serializable";
+    }
+  }
+  const auto packets = workload(engine_case, 31, 20000);
+  const TimePoint end = packets.back().ts + kWindow;
+
+  pipeline::PipelineConfig config;
+  config.phi = kPhi;
+  config.batch_size = kBatch;
+  config.finish_at = end;
+  pipeline::Pipeline pipe(pipeline::make_vector_source(packets),
+                          pipeline::make_engine_stage(engine_case.make()),
+                          pipeline::make_disjoint_policy(kWindow), config);
+  auto& collect = pipe.add_sink(std::make_unique<pipeline::CollectSink>());
+
+  // Capture the per-window frame stream in memory via a temp file-less
+  // sink: collect frames with a callback around the context.
+  std::vector<std::vector<std::uint8_t>> frames;
+  class FrameGrab final : public pipeline::ReportSink {
+   public:
+    explicit FrameGrab(std::vector<std::vector<std::uint8_t>>& frames) : frames_(frames) {}
+    void on_window(const WindowReport&, pipeline::SinkContext& ctx) override {
+      frames_.push_back(ctx.snapshot());
+    }
+
+   private:
+    std::vector<std::vector<std::uint8_t>>& frames_;
+  };
+  pipe.add_sink(std::make_unique<FrameGrab>(frames));
+  pipe.run();
+
+  ASSERT_EQ(frames.size(), collect.reports().size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    // Each frame decodes standalone and re-extracts the window's report —
+    // the collector-side invariant of per-window vantage streaming.
+    auto engine = wire::load_engine(frames[i]);
+    EXPECT_EQ(engine->total_bytes(), collect.reports()[i].hhhs.total_bytes);
+    EXPECT_TRUE(hhh_sets_equal(collect.reports()[i].hhhs, engine->extract(kPhi)))
+        << "window " << i;
+  }
+}
+
+}  // namespace hhh::harness

@@ -1,0 +1,31 @@
+// The pipeline-equivalence conformance axis.
+//
+// Every engine in the conformance registry automatically inherits this
+// sweep (tests/core_pipeline_axis_test.cpp instantiates it over the
+// registry): running the engine inside the streaming pipeline runtime
+// (pipeline/pipeline.hpp: vector source -> engine stage -> disjoint
+// policy -> collect sink) must produce window reports byte-identical to
+// the pre-refactor detector path (DisjointWindowHhhDetector with the same
+// engine, same batch segmentation) — indexes, spans, HHH items, volumes,
+// everything. This is what lets the runtime replace the hand-rolled
+// loops without re-validating every engine: the pipeline IS the detector,
+// re-plumbed.
+#pragma once
+
+#include "harness/engine_registry.hpp"
+
+namespace hhh::harness {
+
+/// Run the pipeline-vs-detector equivalence sweep for one registry
+/// engine: identical streams, identical batch segmentation, byte-identical
+/// reports required (randomized engines included — both paths drive the
+/// same implementation through the same add_batch calls).
+void run_pipeline_equivalence_case(const EngineCase& engine_case);
+
+/// The pipeline's snapshot sink against the legacy save_engine path: for
+/// serializable registry engines, the frame the snapshot-stream sink
+/// emits at a window close must decode into an engine whose extract
+/// matches the report the sink saw.
+void run_pipeline_snapshot_case(const EngineCase& engine_case);
+
+}  // namespace hhh::harness

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Summarize a BENCH_throughput.json run against a baseline.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json
+
+Prints per-engine throughput and snapshot-size deltas (current vs
+baseline) as a markdown-ish table — CI runs it with the committed
+BENCH_throughput.json (the main-branch baseline) against the JSON the job
+just produced, so every PR shows its perf delta inline in the log.
+
+Informational only: exits 0 regardless of deltas (CI runners are noisy;
+the trajectory artifacts are the durable record), but flags every change
+beyond the noise band so regressions are visible at a glance.
+"""
+import json
+import sys
+
+NOISE_BAND = 0.10  # |delta| beyond 10% gets flagged
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fmt_delta(cur, base, higher_is_better=True):
+    if not base:
+        return "n/a"
+    delta = (cur - base) / base
+    flag = ""
+    if abs(delta) > NOISE_BAND:
+        good = (delta > 0) == higher_is_better
+        flag = " ✓" if good else " ⚠"
+    return f"{delta:+.1%}{flag}"
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    base, cur = load(sys.argv[1]), load(sys.argv[2])
+
+    base_engines = {e["engine"]: e for e in base.get("engines", [])}
+    print(f"baseline: {sys.argv[1]} ({base.get('packets', '?')} packets, "
+          f"{base.get('hardware_threads', '?')} hw threads)")
+    print(f"current:  {sys.argv[2]} ({cur.get('packets', '?')} packets, "
+          f"{cur.get('hardware_threads', '?')} hw threads)")
+    print()
+    print(f"{'engine':<22} {'add_pps':>12} {'Δ':>9} {'batch_pps':>12} {'Δ':>9} {'speedup':>8}")
+    for e in cur.get("engines", []):
+        b = base_engines.get(e["engine"], {})
+        print(f"{e['engine']:<22} {e['add_pps']:>12,.0f} "
+              f"{fmt_delta(e['add_pps'], b.get('add_pps', 0)):>9} "
+              f"{e['add_batch_pps']:>12,.0f} "
+              f"{fmt_delta(e['add_batch_pps'], b.get('add_batch_pps', 0)):>9} "
+              f"{e['batch_speedup']:>8.2f}")
+
+    base_snaps = {s["engine"]: s for s in base.get("snapshot_roundtrip", [])}
+    print()
+    print(f"{'engine':<22} {'snapshot_B':>12} {'Δ':>9} {'ser_MB/s':>9} {'deser_MB/s':>11}")
+    for s in cur.get("snapshot_roundtrip", []):
+        b = base_snaps.get(s["engine"], {})
+        print(f"{s['engine']:<22} {s['snapshot_bytes']:>12,} "
+              f"{fmt_delta(s['snapshot_bytes'], b.get('snapshot_bytes', 0), higher_is_better=False):>9} "
+              f"{s['serialize_mbps']:>9.1f} {s['deserialize_mbps']:>11.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,9 +19,15 @@
 // compatibility (same name/params) and each group is merged and reported
 // separately, so one collector invocation covers a mixed-family fleet.
 //
+// Inputs are *frame streams*: each file (and stdin) may carry one frame
+// or many concatenated frames — e.g. the per-window stream a windowed
+// hhh-live replay emits. Every frame is treated as one vantage scope, so
+// "hidden" keeps its meaning under continuous reporting: heavy globally,
+// under the threshold in every single reported epoch.
+//
 // Usage:
-//   hhh-collector [options] snapshot.bin...
-//   generator | hhh-collector [options] --stdin
+//   hhh-collector [options] snapshots.bin...
+//   hhh-live ... --out=- | hhh-collector [options] --stdin
 //
 // Options:
 //   --phi=<f>              relative threshold, applied per scope (default 0.05)
@@ -33,9 +39,13 @@
 //   --out=<path>           also write the merged engine as a snapshot, so
 //                          collectors compose into aggregation trees
 //   --stdin                read concatenated snapshot frames from stdin
+//   --expect-hidden=<p>    (repeatable) require prefix p in the hidden set;
+//                          exit 4 otherwise — the CI assertion the smoke
+//                          fixtures use
 //
 // Exit codes: 0 success, 1 usage error, 2 I/O or malformed snapshot,
-// 3 incompatible snapshots (params mismatch between vantages).
+// 3 incompatible snapshots (params mismatch between vantages),
+// 4 an --expect-hidden prefix was not revealed.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -46,6 +56,7 @@
 #include "core/engine.hpp"
 #include "core/hhh_types.hpp"
 #include "core/wcss_hhh.hpp"
+#include "pipeline/snapshot_stream.hpp"
 #include "wire/snapshot.hpp"
 #include "wire/wire.hpp"
 
@@ -59,13 +70,15 @@ struct Options {
   std::string out_path;
   bool from_stdin = false;
   std::vector<std::string> files;
+  std::vector<PrefixKey> expect_hidden;
 };
 
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: hhh-collector [--phi=F] [--threshold-bytes=N] [--out=PATH]\n"
-               "                     (snapshot.bin... | --stdin)\n"
-               "Merges vantage-point snapshots and reports network-wide + hidden HHHs.\n");
+               "                     [--expect-hidden=PREFIX]... (snapshots.bin... | --stdin)\n"
+               "Merges vantage-point snapshot frame streams and reports network-wide +\n"
+               "hidden HHHs.\n");
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -82,6 +95,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (opt.threshold_bytes <= 0.0) return false;
     } else if (arg.rfind("--out=", 0) == 0) {
       opt.out_path = arg.substr(6);
+    } else if (arg.rfind("--expect-hidden=", 0) == 0) {
+      const auto prefix = PrefixKey::parse(arg.substr(16));
+      if (!prefix) return false;
+      opt.expect_hidden.push_back(*prefix);
     } else if (arg == "--stdin") {
       opt.from_stdin = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -123,44 +140,35 @@ void print_set(const char* heading, const HhhSet& set) {
 
 int run(const Options& opt) {
   // ---- decode every vantage ------------------------------------------------
+  // Each input is a frame stream (pipeline/snapshot_stream.hpp): one frame
+  // per vantage scope. A windowed hhh-live replay contributes one scope
+  // per closed window.
   std::vector<Vantage> vantages;
   try {
-    if (opt.from_stdin) {
-      const std::vector<std::uint8_t> stream = wire::read_stream(stdin);
-      std::span<const std::uint8_t> rest(stream);
-      std::size_t index = 0;
-      while (!rest.empty()) {
-        const wire::FrameView frame = wire::parse_frame(rest);
+    const auto decode_stream = [&vantages](pipeline::SnapshotFrameReader reader,
+                                           const std::string& origin) {
+      std::vector<Vantage> scopes;
+      while (const auto frame = reader.next()) {
         Vantage v;
-        v.label = "stdin[" + std::to_string(index++) + "]";
-        if (frame.kind == wire::SnapshotKind::kWcssDetector) {
-          wire::Reader r(frame.payload, frame.version);
+        v.label = origin + "[" + std::to_string(scopes.size()) + "]";
+        if (frame->kind == wire::SnapshotKind::kWcssDetector) {
+          wire::Reader r(frame->payload, frame->version);
           v.wcss = WcssSlidingHhhDetector::deserialize(r);
           wire::check(r.done(), wire::WireError::kTrailingBytes,
                       "payload continues past detector state");
         } else {
-          v.engine = wire::load_engine(frame);
+          v.engine = wire::load_engine(*frame);
         }
-        vantages.push_back(std::move(v));
-        rest = rest.subspan(frame.frame_size);
+        scopes.push_back(std::move(v));
       }
+      if (scopes.size() == 1) scopes.front().label = origin;  // the common case
+      for (auto& v : scopes) vantages.push_back(std::move(v));
+    };
+    if (opt.from_stdin) {
+      decode_stream(pipeline::SnapshotFrameReader::from_stream(stdin), "stdin");
     } else {
       for (const std::string& path : opt.files) {
-        const std::vector<std::uint8_t> bytes = wire::read_file(path);
-        const wire::FrameView frame = wire::parse_frame(bytes);
-        wire::check(frame.frame_size == bytes.size(), wire::WireError::kTrailingBytes,
-                    "trailing bytes after the snapshot frame");
-        Vantage v;
-        v.label = path;
-        if (frame.kind == wire::SnapshotKind::kWcssDetector) {
-          wire::Reader r(frame.payload, frame.version);
-          v.wcss = WcssSlidingHhhDetector::deserialize(r);
-          wire::check(r.done(), wire::WireError::kTrailingBytes,
-                      "payload continues past detector state");
-        } else {
-          v.engine = wire::load_engine(frame);
-        }
-        vantages.push_back(std::move(v));
+        decode_stream(pipeline::SnapshotFrameReader::from_file(path), path);
       }
     }
   } catch (const std::exception& e) {
@@ -270,6 +278,15 @@ int run(const Options& opt) {
     }
   }
 
+  int exit_code = 0;
+  for (const PrefixKey& expected : opt.expect_hidden) {
+    if (!hidden_union.contains(expected)) {
+      std::fprintf(stderr, "error: expected hidden HHH %s was not revealed\n",
+                   expected.to_string().c_str());
+      exit_code = 4;
+    }
+  }
+
   if (!opt.out_path.empty()) {
     // Concatenated frames, one per merged group — the same self-delimiting
     // stream format --stdin consumes, so collectors still compose into
@@ -291,7 +308,7 @@ int run(const Options& opt) {
     wire::write_file(opt.out_path, out_bytes);
     std::printf("\nwrote merged snapshot(s) to %s\n", opt.out_path.c_str());
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+// hhh-live — windowed live replay: one vantage process of the paper's
+// continuous-measurement model.
+//
+// Replays a stored trace (HHT binary, CSV or pcap) — or generates a
+// synthetic one — through the streaming pipeline runtime
+// (PacketSource -> ShardRouter -> HhhEngine -> WindowPolicy ->
+// ReportSink), optionally paced against the wall clock, and emits one
+// engine snapshot frame per closed window. The frame stream is exactly
+// what hhh-collector consumes (files or --stdin), so
+//
+//   hhh-live --trace=vantage0.hht --pps=500000 --window=60 --out=- |
+//     hhh-collector --stdin --threshold-bytes=1000000
+//
+// is a single-vantage live deployment: the replay ships a summary per
+// epoch (flushed per frame) and the collector folds the whole stream at
+// end of replay (it drains stdin to EOF before reporting). Several
+// replays piped into one collector reproduce the multi-vantage
+// hidden-HHH reveal with real window cadence instead of one offline
+// snapshot.
+//
+// Usage:
+//   hhh-live (--trace=P | --csv=P | --pcap=P | --synthetic=SEED) [options]
+//
+// Input options:
+//   --trace=PATH       HHT binary trace (HHT2 or legacy HHT1)
+//   --csv=PATH         CSV trace (ts_ns,src,dst,sport,dport,proto,ip_len)
+//   --pcap=PATH        pcap capture (timestamps rebased to first packet)
+//   --synthetic=SEED   CAIDA-like synthetic day (see --seconds, --gen-pps)
+//   --seconds=S        synthetic trace length (default 60)
+//   --gen-pps=N        synthetic background rate (default 4000)
+//
+// Replay & window options:
+//   --pps=N            pace delivery at N packets per wall second
+//                      (0 = replay as fast as possible; the default)
+//   --speed=X          pace proportionally to record timestamps, X times
+//                      real time (mutually exclusive with --pps)
+//   --window=S         disjoint window length in seconds (default 10)
+//   --phi=F            relative threshold per window (default 0.05)
+//   --threshold-bytes=N  absolute per-window threshold (overrides --phi)
+//   --engine=NAME      exact | exact_v6 | rhhh | rhhh_v6 (default exact)
+//   --shards=N         hash-partitioned worker threads (default 1)
+//   --windows=N        stop after N closed windows
+//   --wall-clock       close windows on paced stream time, not only on
+//                      packet arrival. Needs --speed: timestamp-
+//                      proportional pacing is what maps wall time back to
+//                      trace time; --pps pacing is count-based and skips
+//                      trace-time gaps instantly, so there is no wall
+//                      stretch to close windows through
+//
+// Output options:
+//   --out=PATH         write the snapshot frame stream to PATH ("-" =
+//                      stdout). Required.
+//   --table            print a per-window report table to stderr
+//
+// Exit codes: 0 success, 1 usage error, 2 I/O error, 3 the engine
+// accounted none of the replayed traffic (address-family/engine
+// mismatch, e.g. an IPv6 trace into the default IPv4 exact engine).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/exact_engine.hpp"
+#include "core/rhhh.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/shard_router.hpp"
+#include "pipeline/sink.hpp"
+#include "pipeline/source.hpp"
+#include "pipeline/stage.hpp"
+#include "pipeline/window_policy.hpp"
+#include "trace/synthetic_trace.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace hhh;
+
+struct Options {
+  std::string trace, csv, pcap;
+  std::optional<std::uint64_t> synthetic_seed;
+  double seconds = 60.0;
+  double gen_pps = 4000.0;
+  double pps = 0.0;
+  double speed = 0.0;
+  double window_s = 10.0;
+  double phi = 0.05;
+  double threshold_bytes = 0.0;
+  std::string engine = "exact";
+  std::size_t shards = 1;
+  std::optional<std::size_t> max_windows;
+  bool wall_clock = false;
+  std::string out;
+  bool table = false;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: hhh-live (--trace=P | --csv=P | --pcap=P | --synthetic=SEED)\n"
+               "                --out=PATH|-  [--pps=N | --speed=X] [--window=S]\n"
+               "                [--phi=F | --threshold-bytes=N] [--engine=NAME]\n"
+               "                [--shards=N] [--windows=N] [--wall-clock] [--table]\n"
+               "Replays a trace through the pipeline runtime and emits one snapshot\n"
+               "frame per closed window (the stream hhh-collector consumes).\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  int inputs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+      return arg.substr(n);
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (auto v = value("--trace=")) {
+      opt.trace = *v;
+      ++inputs;
+    } else if (auto v = value("--csv=")) {
+      opt.csv = *v;
+      ++inputs;
+    } else if (auto v = value("--pcap=")) {
+      opt.pcap = *v;
+      ++inputs;
+    } else if (auto v = value("--synthetic=")) {
+      opt.synthetic_seed = std::strtoull(v->c_str(), nullptr, 10);
+      ++inputs;
+    } else if (auto v = value("--seconds=")) {
+      opt.seconds = std::atof(v->c_str());
+    } else if (auto v = value("--gen-pps=")) {
+      opt.gen_pps = std::atof(v->c_str());
+    } else if (auto v = value("--pps=")) {
+      opt.pps = std::atof(v->c_str());
+    } else if (auto v = value("--speed=")) {
+      opt.speed = std::atof(v->c_str());
+    } else if (auto v = value("--window=")) {
+      opt.window_s = std::atof(v->c_str());
+    } else if (auto v = value("--phi=")) {
+      opt.phi = std::atof(v->c_str());
+    } else if (auto v = value("--threshold-bytes=")) {
+      opt.threshold_bytes = std::atof(v->c_str());
+    } else if (auto v = value("--engine=")) {
+      opt.engine = *v;
+    } else if (auto v = value("--shards=")) {
+      opt.shards = static_cast<std::size_t>(std::strtoull(v->c_str(), nullptr, 10));
+    } else if (auto v = value("--windows=")) {
+      opt.max_windows = static_cast<std::size_t>(std::strtoull(v->c_str(), nullptr, 10));
+    } else if (arg == "--wall-clock") {
+      opt.wall_clock = true;
+    } else if (auto v = value("--out=")) {
+      opt.out = *v;
+    } else if (arg == "--table") {
+      opt.table = true;
+    } else {
+      return false;
+    }
+  }
+  if (inputs != 1 || opt.out.empty()) return false;
+  if (opt.pps > 0.0 && opt.speed > 0.0) return false;
+  if (opt.window_s <= 0.0 || opt.seconds <= 0.0) return false;
+  if (opt.threshold_bytes <= 0.0 && (opt.phi <= 0.0 || opt.phi > 1.0)) return false;
+  if (opt.shards == 0) return false;
+  if (opt.wall_clock && opt.speed <= 0.0) return false;  // see --wall-clock docs
+  return true;
+}
+
+std::unique_ptr<pipeline::PacketSource> open_source(const Options& opt) {
+  std::unique_ptr<pipeline::PacketSource> source;
+  if (!opt.trace.empty()) {
+    source = pipeline::make_trace_source(opt.trace);
+  } else if (!opt.csv.empty()) {
+    source = pipeline::make_csv_source(opt.csv);
+  } else if (!opt.pcap.empty()) {
+    source = pipeline::make_pcap_source(opt.pcap);
+  } else {
+    TraceConfig config = TraceConfig::caida_like_day(
+        static_cast<int>(*opt.synthetic_seed), Duration::from_seconds(opt.seconds),
+        opt.gen_pps);
+    source = pipeline::make_synthetic_source(config);
+  }
+  if (opt.pps > 0.0 || opt.speed > 0.0) {
+    source = pipeline::make_paced_source(std::move(source),
+                                         {.target_pps = opt.pps, .speed = opt.speed});
+  }
+  return source;
+}
+
+/// Replica factory for --engine; shard seeds follow the sharded-rhhh
+/// convention (base + shard index).
+pipeline::ShardPlan shard_plan(const Options& opt) {
+  pipeline::ShardPlan plan;
+  plan.shards = opt.shards;
+  return plan;
+}
+
+std::unique_ptr<HhhEngine> build_engine(const Options& opt) {
+  constexpr std::uint64_t kRhhhSeed = 42;
+  if (opt.engine == "exact") {
+    return pipeline::route_shards(shard_plan(opt), [](std::size_t) {
+      return make_exact_engine(Hierarchy::byte_granularity());
+    });
+  }
+  if (opt.engine == "exact_v6") {
+    return pipeline::route_shards(shard_plan(opt), [](std::size_t) {
+      return make_exact_engine(Hierarchy::v6_byte_granularity());
+    });
+  }
+  if (opt.engine == "rhhh") {
+    return pipeline::route_shards(shard_plan(opt), [](std::size_t shard) {
+      return std::make_unique<RhhhEngine>(
+          RhhhEngine::Params{.counters_per_level = 1024, .seed = kRhhhSeed + shard});
+    });
+  }
+  if (opt.engine == "rhhh_v6") {
+    return pipeline::route_shards(shard_plan(opt), [](std::size_t shard) {
+      return std::make_unique<RhhhV6Engine>(
+          RhhhParams{.hierarchy = Hierarchy::v6_byte_granularity(),
+                     .counters_per_level = 1024,
+                     .seed = kRhhhSeed + shard});
+    });
+  }
+  return nullptr;
+}
+
+int run(const Options& opt) {
+  auto engine = build_engine(opt);
+  if (!engine) {
+    std::fprintf(stderr, "error: unknown engine '%s'\n", opt.engine.c_str());
+    return 1;
+  }
+
+  pipeline::PipelineConfig config;
+  config.phi = opt.threshold_bytes > 0.0 ? 1.0 : opt.phi;
+  config.threshold_bytes = opt.threshold_bytes;
+  config.wall_clock = opt.wall_clock;
+  config.max_windows = opt.max_windows;
+  // Flush the final partial window: traffic after the last boundary is
+  // still an epoch the collector should see.
+  config.flush_open_window = true;
+
+  pipeline::Pipeline pipe(open_source(opt), pipeline::make_engine_stage(std::move(engine)),
+                          pipeline::make_disjoint_policy(Duration::from_seconds(opt.window_s)),
+                          config);
+  if (opt.out == "-") {
+    pipe.add_sink(pipeline::make_snapshot_stream_sink(stdout));
+  } else {
+    pipe.add_sink(pipeline::make_snapshot_stream_sink(opt.out));
+  }
+  if (opt.table) pipe.add_sink(pipeline::make_table_sink(stderr, 5));
+  // Bytes the engine actually accounted, summed across window reports.
+  // The pipeline's RunStats counts delivered packets; an engine of the
+  // wrong address family silently ignores them, and shipping frames of
+  // empty engines while claiming success would be a silent total loss.
+  std::uint64_t accounted_bytes = 0;
+  pipe.add_sink(pipeline::make_callback_sink(
+      [&](const WindowReport& r) { accounted_bytes += r.hhhs.total_bytes; }));
+
+  const pipeline::RunStats stats = pipe.run();
+  std::fprintf(stderr, "hhh-live: %s packets, %s, %zu window frame(s) -> %s\n",
+               with_thousands(stats.packets).c_str(), human_bytes(stats.bytes).c_str(),
+               stats.windows_closed, opt.out == "-" ? "stdout" : opt.out.c_str());
+  if (stats.bytes > 0 && accounted_bytes == 0) {
+    std::fprintf(stderr,
+                 "error: the %s engine accounted 0 of %s delivered — address-family/"
+                 "engine mismatch? (try --engine=%s)\n",
+                 opt.engine.c_str(), human_bytes(stats.bytes).c_str(),
+                 opt.engine.rfind("_v6") != std::string::npos ? "exact" : "exact_v6");
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(stderr);
+    return 1;
+  }
+  try {
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,116 @@
+// §3-T1 — "measure the accuracy of the detected hierarchical heavy
+// hitters" as a tracked quantity.
+//
+// Runs the accuracy evaluation driver (src/analysis/accuracy.hpp) over
+// the named scenario library and the full engine registry, prints a
+// per-cell table, and writes BENCH_accuracy.json. CI diffs that file
+// against the committed bench/BASELINE_accuracy.json with
+// tools/accuracy_gate.py: precision/recall regressions beyond the band
+// fail the build, naming the engine x scenario x metric cell.
+//
+// Everything downstream of the flags is deterministic (seeded traces,
+// fixed-seed engine factories, integer extraction), so the JSON is
+// byte-stable across machines for a given flag set.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/accuracy.hpp"
+#include "core/engine_registry.hpp"
+#include "trace/scenarios.hpp"
+#include "util/strings.hpp"
+
+namespace hhh {
+namespace {
+
+std::vector<std::string> parse_list(std::string_view csv) {
+  std::vector<std::string> out;
+  for (const auto part : split(csv, ',')) {
+    if (!part.empty()) out.emplace_back(part);
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  AccuracyConfig config;
+  std::string json_path = "BENCH_accuracy.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      config.duration = Duration::seconds(5);
+      config.background_pps = 1000.0;
+      config.seeds = {1};
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      double v = 0;
+      if (parse_double(arg.substr(10), v) && v > 0) config.duration = Duration::from_seconds(v);
+    } else if (arg.rfind("--pps=", 0) == 0) {
+      double v = 0;
+      if (parse_double(arg.substr(6), v) && v > 0) config.background_pps = v;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else if (arg.rfind("--engines=", 0) == 0) {
+      config.engines = parse_list(arg.substr(10));
+    } else if (arg.rfind("--scenarios=", 0) == 0) {
+      config.scenarios = parse_list(arg.substr(12));
+    } else if (arg.rfind("--phis=", 0) == 0) {
+      config.phis.clear();
+      for (const auto part : split(arg.substr(7), ',')) {
+        double v = 0;
+        if (parse_double(part, v) && v > 0 && v < 1) config.phis.push_back(v);
+      }
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      config.seeds.clear();
+      for (const auto part : split(arg.substr(8), ',')) {
+        std::uint64_t v = 0;
+        if (parse_u64(part, v)) config.seeds.push_back(v);
+      }
+    } else if (arg.rfind("--slack=", 0) == 0) {
+      std::uint64_t v = 0;
+      if (parse_u64(arg.substr(8), v) && v <= 128) config.tolerant_slack = static_cast<unsigned>(v);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("accuracy sweep: every registry engine x scenario preset vs exact truth\n"
+                  "options: --quick | --seconds=N | --pps=N | --json=PATH |\n"
+                  "         --engines=a,b | --scenarios=a,b | --phis=0.01,0.05 |\n"
+                  "         --seeds=1,2 | --slack=BITS\n"
+                  "engines:");
+      for (const auto& name : engine_names()) std::printf(" %s", name.c_str());
+      std::printf("\nscenarios:");
+      for (const auto& name : scenario_names()) std::printf(" %s", name.c_str());
+      std::printf("\n");
+      return 0;
+    }
+  }
+
+  std::printf("== accuracy: engines x scenarios x phi x seed vs exact ground truth ==\n");
+  std::printf("workload: %.0f s per scenario, background %.0f pps, slack %u bits\n\n",
+              config.duration.to_seconds(), config.background_pps, config.tolerant_slack);
+
+  const std::vector<AccuracyCell> cells = run_accuracy_sweep(config);
+
+  std::printf("%-20s %-17s %-3s %6s %4s %6s %6s  %5s %5s %5s  %5s %5s\n", "engine",
+              "scenario", "fam", "phi", "seed", "truth", "found", "prec", "rec", "f1",
+              "tprec", "trec");
+  for (const auto& c : cells) {
+    std::printf("%-20s %-17s %-3s %6.3f %4llu %6zu %6zu  %5.3f %5.3f %5.3f  %5.3f %5.3f\n",
+                c.engine.c_str(), c.scenario.c_str(),
+                c.family == AddressFamily::kIpv4 ? "v4" : "v6", c.phi,
+                static_cast<unsigned long long>(c.seed), c.truth_size, c.detected_size,
+                c.exact.precision(), c.exact.recall(), c.exact.f1(),
+                c.tolerant.precision(), c.tolerant.recall());
+  }
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  write_accuracy_json(out, config, cells);
+  std::fclose(out);
+  std::printf("\nwrote %s (%zu cells)\n", json_path.c_str(), cells.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hhh
+
+int main(int argc, char** argv) { return hhh::run(argc, argv); }

@@ -1,0 +1,205 @@
+#include "analysis/accuracy.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "core/engine_registry.hpp"
+#include "core/hhh_types.hpp"
+#include "net/hierarchy.hpp"
+#include "trace/scenarios.hpp"
+#include "trace/synthetic_trace.hpp"
+
+namespace hhh {
+namespace {
+
+/// Resolve requested names against a registry, defaulting to "all".
+template <typename Spec, typename Find>
+std::vector<const Spec*> resolve(const std::vector<std::string>& requested,
+                                 const std::vector<Spec>& all, Find&& find,
+                                 const char* what) {
+  std::vector<const Spec*> specs;
+  if (requested.empty()) {
+    specs.reserve(all.size());
+    for (const auto& spec : all) specs.push_back(&spec);
+    return specs;
+  }
+  for (const auto& name : requested) {
+    const Spec* spec = find(name);
+    if (spec == nullptr) {
+      throw std::invalid_argument(std::string("unknown ") + what + ": " + name);
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::vector<PrefixKey> sorted_unique(std::vector<PrefixKey> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+/// Ground truth + candidate universe for one hierarchy over one stream.
+struct HierarchyTruth {
+  Hierarchy hierarchy;
+  std::vector<std::vector<PrefixKey>> truth_per_phi;  // parallel to config.phis
+  std::size_t universe = 0;  ///< distinct observed prefixes across the levels
+};
+
+/// The candidate universe: every prefix a detector over `hierarchy`
+/// could have reported, i.e. each observed source generalized to every
+/// level, deduplicated. Computed from the distinct leaf set (small: the
+/// scenario address spaces hold at most a few thousand hosts), not the
+/// packet stream.
+std::size_t universe_size(const Hierarchy& hierarchy,
+                          const std::vector<PacketRecord>& packets) {
+  std::vector<PrefixKey> leaves;
+  for (const auto& p : packets) {
+    if (p.src().family() != hierarchy.family()) continue;
+    leaves.push_back(PrefixKey(p.src(), hierarchy.leaf_length()));
+  }
+  leaves = sorted_unique(leaves);
+
+  std::size_t total = 0;
+  std::vector<PrefixKey> level_keys;
+  level_keys.reserve(leaves.size());
+  for (std::size_t level = 0; level < hierarchy.levels(); ++level) {
+    level_keys.clear();
+    for (const auto& leaf : leaves) {
+      level_keys.push_back(leaf.truncated(hierarchy.length_at(level)));
+    }
+    total += sorted_unique(level_keys).size();
+  }
+  return total;
+}
+
+HierarchyTruth build_truth(const Hierarchy& hierarchy,
+                           const std::vector<PacketRecord>& packets,
+                           const std::vector<double>& phis) {
+  HierarchyTruth truth{hierarchy, {}, universe_size(hierarchy, packets)};
+  const auto exact = make_exact_engine(hierarchy);
+  exact->add_batch(packets);
+  truth.truth_per_phi.reserve(phis.size());
+  for (const double phi : phis) {
+    truth.truth_per_phi.push_back(exact->extract(phi).prefixes());
+  }
+  return truth;
+}
+
+const char* family_name(AddressFamily family) {
+  return family == AddressFamily::kIpv4 ? "v4" : "v6";
+}
+
+}  // namespace
+
+std::vector<AccuracyCell> run_accuracy_sweep(const AccuracyConfig& config) {
+  const auto engines = resolve(config.engines, engine_registry(),
+                               [](const std::string& n) { return find_engine(n); }, "engine");
+  const auto scenarios =
+      resolve(config.scenarios, scenario_registry(),
+              [](const std::string& n) { return find_scenario(n); }, "scenario");
+  if (config.phis.empty()) throw std::invalid_argument("accuracy sweep: no thresholds");
+  if (config.seeds.empty()) throw std::invalid_argument("accuracy sweep: no seeds");
+
+  std::vector<AccuracyCell> cells;
+  cells.reserve(scenarios.size() * config.seeds.size() * engines.size() *
+                config.phis.size());
+
+  for (const ScenarioSpec* scenario : scenarios) {
+    for (const std::uint64_t seed : config.seeds) {
+      const TraceConfig trace_cfg =
+          scenario->make(seed, config.duration, config.background_pps);
+      const std::vector<PacketRecord> packets =
+          SyntheticTraceGenerator(trace_cfg).generate_all();
+      std::uint64_t family_packets[2] = {0, 0};
+      for (const auto& p : packets) ++family_packets[p.src().is_v6() ? 1 : 0];
+
+      // Ground truth once per distinct hierarchy among the swept engines.
+      std::vector<HierarchyTruth> truths;
+      for (const EngineSpec* spec : engines) {
+        const bool seen = std::any_of(truths.begin(), truths.end(), [&](const auto& t) {
+          return t.hierarchy == spec->hierarchy;
+        });
+        if (!seen) truths.push_back(build_truth(spec->hierarchy, packets, config.phis));
+      }
+      const auto truth_of = [&](const Hierarchy& h) -> const HierarchyTruth& {
+        return *std::find_if(truths.begin(), truths.end(),
+                             [&](const auto& t) { return t.hierarchy == h; });
+      };
+
+      for (const EngineSpec* spec : engines) {
+        const std::unique_ptr<HhhEngine> engine = spec->make();
+        engine->add_batch(packets);
+        const HierarchyTruth& truth = truth_of(spec->hierarchy);
+        const AddressFamily family = spec->hierarchy.family();
+
+        for (std::size_t pi = 0; pi < config.phis.size(); ++pi) {
+          const std::vector<PrefixKey> detected = engine->extract(config.phis[pi]).prefixes();
+          const std::vector<PrefixKey>& expected = truth.truth_per_phi[pi];
+
+          AccuracyCell cell;
+          cell.engine = spec->name;
+          cell.scenario = scenario->name;
+          cell.family = family;
+          cell.phi = config.phis[pi];
+          cell.seed = seed;
+          cell.packets = family_packets[family == AddressFamily::kIpv6 ? 1 : 0];
+          cell.bytes = engine->total_bytes();
+          cell.universe = truth.universe;
+          cell.truth_size = expected.size();
+          cell.detected_size = detected.size();
+          cell.exact = compare_exact(detected, expected);
+          cell.exact.set_universe(truth.universe);
+          cell.tolerant = compare_tolerant(detected, expected, config.tolerant_slack);
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+void write_accuracy_json(std::FILE* out, const AccuracyConfig& config,
+                         const std::vector<AccuracyCell>& cells) {
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"accuracy\",\n");
+  std::fprintf(out, "  \"duration_s\": %.3f,\n", config.duration.to_seconds());
+  std::fprintf(out, "  \"background_pps\": %.1f,\n", config.background_pps);
+  std::fprintf(out, "  \"tolerant_slack_bits\": %u,\n", config.tolerant_slack);
+  std::fprintf(out, "  \"phis\": [");
+  for (std::size_t i = 0; i < config.phis.size(); ++i) {
+    std::fprintf(out, "%s%.4f", i ? ", " : "", config.phis[i]);
+  }
+  std::fprintf(out, "],\n  \"seeds\": [");
+  for (std::size_t i = 0; i < config.seeds.size(); ++i) {
+    std::fprintf(out, "%s%llu", i ? ", " : "",
+                 static_cast<unsigned long long>(config.seeds[i]));
+  }
+  std::fprintf(out, "],\n  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const AccuracyCell& c = cells[i];
+    std::fprintf(
+        out,
+        "    {\"engine\": \"%s\", \"scenario\": \"%s\", \"family\": \"%s\", "
+        "\"phi\": %.4f, \"seed\": %llu, \"packets\": %llu, \"bytes\": %llu, "
+        "\"universe\": %zu, \"truth\": %zu, \"detected\": %zu, "
+        "\"tp\": %zu, \"fp\": %zu, \"fn\": %zu, \"tn\": %zu, "
+        "\"precision\": %.6f, \"recall\": %.6f, \"f1\": %.6f, "
+        "\"fpr\": %.6f, \"fnr\": %.6f, "
+        "\"tol_precision\": %.6f, \"tol_recall\": %.6f, \"tol_f1\": %.6f}%s\n",
+        c.engine.c_str(), c.scenario.c_str(), family_name(c.family), c.phi,
+        static_cast<unsigned long long>(c.seed),
+        static_cast<unsigned long long>(c.packets),
+        static_cast<unsigned long long>(c.bytes), c.universe, c.truth_size,
+        c.detected_size, c.exact.true_positives, c.exact.false_positives,
+        c.exact.false_negatives, c.exact.true_negatives, c.exact.precision(),
+        c.exact.recall(), c.exact.f1(), c.exact.fpr(), c.exact.fnr(),
+        c.tolerant.precision(), c.tolerant.recall(), c.tolerant.f1(),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace hhh

@@ -1,0 +1,87 @@
+// The accuracy evaluation driver — detection quality vs exact ground truth.
+//
+// The paper's §3 evaluation is about *which* HHHs a detector finds, not
+// how fast it finds them; this subsystem makes that a continuously
+// tracked quantity. run_accuracy_sweep() replays every requested
+// scenario preset (src/trace/scenarios.hpp) into every requested
+// registry engine (src/core/engine_registry.hpp), extracts at every
+// threshold, and scores the detected HHH set against the exact engine's
+// — per (engine × scenario × phi × seed) cell:
+//
+//  * exact-match precision / recall / F1 / FPR / FNR (DiSketch's
+//    HeavyHitterDetector tallies, with the candidate universe — every
+//    observed prefix at the hierarchy's levels — supplying TN);
+//  * tolerant precision / recall / F1 (compare_tolerant's one-level
+//    slack, the RHHH evaluation convention).
+//
+// Ground truth is computed once per distinct hierarchy: an engine is
+// always scored against the exact HHH set of ITS OWN hierarchy and
+// family, so nibble-granularity v6 engines are never charged for byte-
+// granularity truth entries they could not possibly report, and mixed-
+// family scenarios score each family's engines independently.
+//
+// Everything is deterministic: scenario streams are seeded, engine
+// factories pin their seeds, extraction is integer arithmetic — so the
+// emitted BENCH_accuracy.json is byte-stable across machines and can be
+// diffed against a committed baseline as a CI quality gate
+// (tools/accuracy_gate.py).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "net/ip.hpp"
+#include "util/sim_time.hpp"
+
+namespace hhh {
+
+/// What to sweep. Defaults are the CI smoke shape: every registry
+/// engine, every scenario preset, two thresholds, two seeds, a 20 s
+/// stream — small enough for every push, dense enough that a quality
+/// regression in any engine family flips at least one cell.
+struct AccuracyConfig {
+  /// Engine names (engine_registry()); empty = every registered engine.
+  std::vector<std::string> engines;
+  /// Scenario names (scenario_registry()); empty = every preset.
+  std::vector<std::string> scenarios;
+  /// Relative thresholds (T = ceil(phi * family bytes)).
+  std::vector<double> phis = {0.01, 0.05};
+  /// Scenario repetition seeds (decorrelated per scenario).
+  std::vector<std::uint64_t> seeds = {1, 2};
+  /// Per-scenario stream length.
+  Duration duration = Duration::seconds(20);
+  /// Background packet rate fed to the scenario presets.
+  double background_pps = 2000.0;
+  /// compare_tolerant slack, in prefix bits (8 = one byte level).
+  unsigned tolerant_slack = 8;
+};
+
+/// One (engine × scenario × phi × seed) evaluation cell.
+struct AccuracyCell {
+  std::string engine;           ///< EngineSpec::name
+  std::string scenario;         ///< ScenarioSpec::name
+  AddressFamily family = AddressFamily::kIpv4;  ///< the engine's family
+  double phi = 0.0;             ///< relative threshold
+  std::uint64_t seed = 0;       ///< scenario seed
+  std::uint64_t packets = 0;    ///< stream packets of the engine's family
+  std::uint64_t bytes = 0;      ///< bytes the engine accounted
+  std::size_t universe = 0;     ///< distinct observed prefixes at the levels
+  std::size_t truth_size = 0;   ///< exact engine's HHH count
+  std::size_t detected_size = 0;  ///< engine's HHH count
+  PrecisionRecall exact;        ///< verbatim-match tallies (TN from universe)
+  PrecisionRecall tolerant;     ///< one-level-slack tallies
+};
+
+/// Run the sweep. Cells are ordered scenario-major, then seed, engine,
+/// phi — a stable order, so successive runs emit byte-identical JSON.
+/// Throws std::invalid_argument for unknown engine or scenario names.
+std::vector<AccuracyCell> run_accuracy_sweep(const AccuracyConfig& config);
+
+/// Write the BENCH_accuracy.json document (config header + one JSON
+/// object per cell) to `out`.
+void write_accuracy_json(std::FILE* out, const AccuracyConfig& config,
+                         const std::vector<AccuracyCell>& cells);
+
+}  // namespace hhh

@@ -1,6 +1,7 @@
 #include "analysis/metrics.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "util/strings.hpp"
 
@@ -13,17 +14,19 @@ std::vector<PrefixKey> normalized(std::vector<PrefixKey> v) {
   return v;
 }
 
-}  // namespace
-
-std::string PrecisionRecall::to_string() const {
-  return str_format("precision=%.3f recall=%.3f f1=%.3f (tp=%zu fp=%zu fn=%zu)", precision(),
-                    recall(), f1(), true_positives, false_positives, false_negatives);
+/// The contiguous block of `family` keys in a sorted-unique prefix vector
+/// (families never interleave: family is the leading comparison key).
+std::span<const PrefixKey> family_block(const std::vector<PrefixKey>& v,
+                                        AddressFamily family) {
+  const auto lo = std::partition_point(
+      v.begin(), v.end(), [&](const PrefixKey& p) { return p.family() < family; });
+  const auto hi = std::partition_point(
+      lo, v.end(), [&](const PrefixKey& p) { return p.family() == family; });
+  return {lo, hi};
 }
 
-PrecisionRecall compare_exact(const std::vector<PrefixKey>& detected,
-                              const std::vector<PrefixKey>& truth) {
-  const auto d = normalized(detected);
-  const auto t = normalized(truth);
+PrecisionRecall compare_exact_block(std::span<const PrefixKey> d,
+                                    std::span<const PrefixKey> t) {
   PrecisionRecall pr;
   for (const auto& p : d) {
     if (std::binary_search(t.begin(), t.end(), p)) {
@@ -36,11 +39,10 @@ PrecisionRecall compare_exact(const std::vector<PrefixKey>& detected,
   return pr;
 }
 
-PrecisionRecall compare_tolerant(const std::vector<PrefixKey>& detected,
-                                 const std::vector<PrefixKey>& truth, unsigned bit_slack) {
-  const auto d = normalized(detected);
-  const auto t = normalized(truth);
-
+PrecisionRecall compare_tolerant_block(std::span<const PrefixKey> d,
+                                       std::span<const PrefixKey> t, unsigned bit_slack) {
+  // Both spans hold one family only, so `related` never sees a
+  // cross-family pair; contains() is then purely a bit test.
   const auto related = [bit_slack](PrefixKey a, PrefixKey b) {
     const unsigned la = a.length();
     const unsigned lb = b.length();
@@ -58,7 +60,8 @@ PrecisionRecall compare_tolerant(const std::vector<PrefixKey>& detected,
         matched = true;
         truth_hit[i] = true;
         // Keep scanning: one detection may cover several near-boundary
-        // truth entries; all of them count as recalled.
+        // truth entries; all of them count as recalled (but the
+        // detection itself is a single TP — see compare_tolerant docs).
       }
     }
     if (matched) {
@@ -70,6 +73,41 @@ PrecisionRecall compare_tolerant(const std::vector<PrefixKey>& detected,
   pr.false_negatives =
       static_cast<std::size_t>(std::count(truth_hit.begin(), truth_hit.end(), false));
   return pr;
+}
+
+template <typename CompareBlock>
+PrecisionRecall compare_by_family(const std::vector<PrefixKey>& detected,
+                                  const std::vector<PrefixKey>& truth,
+                                  CompareBlock&& block) {
+  const auto d = normalized(detected);
+  const auto t = normalized(truth);
+  PrecisionRecall pr;
+  for (const AddressFamily family : {AddressFamily::kIpv4, AddressFamily::kIpv6}) {
+    pr.accumulate(block(family_block(d, family), family_block(t, family)));
+  }
+  return pr;
+}
+
+}  // namespace
+
+std::string PrecisionRecall::to_string() const {
+  return str_format("precision=%.3f recall=%.3f f1=%.3f (tp=%zu fp=%zu fn=%zu tn=%zu)",
+                    precision(), recall(), f1(), true_positives, false_positives,
+                    false_negatives, true_negatives);
+}
+
+PrecisionRecall compare_exact(const std::vector<PrefixKey>& detected,
+                              const std::vector<PrefixKey>& truth) {
+  return compare_by_family(detected, truth, [](auto d, auto t) {
+    return compare_exact_block(d, t);
+  });
+}
+
+PrecisionRecall compare_tolerant(const std::vector<PrefixKey>& detected,
+                                 const std::vector<PrefixKey>& truth, unsigned bit_slack) {
+  return compare_by_family(detected, truth, [bit_slack](auto d, auto t) {
+    return compare_tolerant_block(d, t, bit_slack);
+  });
 }
 
 }  // namespace hhh

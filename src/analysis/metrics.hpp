@@ -4,9 +4,16 @@
 // accuracy") needs precision/recall of an approximate detector's HHH set
 // against the exact one, plus near-miss-tolerant variants: following the
 // RHHH evaluation convention, a reported prefix may be credited if the
-// ground truth contains it exactly, or — under `hierarchy_tolerant` — if
-// its direct parent/child at the adjacent hierarchy level is a true HHH
+// ground truth contains it exactly, or — under `compare_tolerant` — if
+// its ancestor/descendant within `bit_slack` hierarchy bits is a true HHH
 // (accounting for boundary effects at the threshold).
+//
+// Mixed-family sets: both comparators partition their inputs by address
+// family before any matching. A v4 prefix can therefore never be credited
+// against (or containment-matched to) a v6 truth entry, even if a future
+// PrefixKey refactor relaxed the family guard inside contains() — the
+// partition makes cross-family credit structurally impossible instead of
+// relying on a per-call check deep in the key layer.
 #pragma once
 
 #include <cstddef>
@@ -17,36 +24,86 @@
 
 namespace hhh {
 
+/// TP/FP/FN/TN tallies of one detected-vs-truth comparison, in the style
+/// of DiSketch's HeavyHitterDetector. TN is only populated when the
+/// caller supplies the candidate universe (set_universe()) — set
+/// membership alone cannot see true negatives.
 struct PrecisionRecall {
   std::size_t true_positives = 0;
   std::size_t false_positives = 0;
   std::size_t false_negatives = 0;
+  std::size_t true_negatives = 0;
 
+  /// TP / (TP + FP); 1.0 when nothing was detected (no claims, no errors).
   double precision() const noexcept {
     const std::size_t denom = true_positives + false_positives;
     return denom == 0 ? 1.0 : static_cast<double>(true_positives) / static_cast<double>(denom);
   }
+  /// TP / (TP + FN); 1.0 when the truth set is empty. Never exceeds 1.0:
+  /// under tolerant multi-credit matching TP counts *detections* and FN
+  /// counts unhit truths, so both tallies stay non-negative.
   double recall() const noexcept {
     const std::size_t denom = true_positives + false_negatives;
     return denom == 0 ? 1.0 : static_cast<double>(true_positives) / static_cast<double>(denom);
   }
+  /// Harmonic mean of precision and recall (0 when both are 0).
   double f1() const noexcept {
     const double p = precision();
     const double r = recall();
     return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  /// FP / (FP + TN); 0.0 when there are no negatives (degenerate
+  /// universe). Requires set_universe() for a meaningful denominator.
+  double fpr() const noexcept {
+    const std::size_t denom = false_positives + true_negatives;
+    return denom == 0 ? 0.0 : static_cast<double>(false_positives) / static_cast<double>(denom);
+  }
+  /// FN / (TP + FN) == 1 - recall; 0.0 when the truth set is empty.
+  double fnr() const noexcept {
+    const std::size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0 : static_cast<double>(false_negatives) / static_cast<double>(denom);
+  }
+
+  /// Sum another comparison's tallies into this one (per-family blocks,
+  /// per-window accumulation).
+  void accumulate(const PrecisionRecall& other) noexcept {
+    true_positives += other.true_positives;
+    false_positives += other.false_positives;
+    false_negatives += other.false_negatives;
+    true_negatives += other.true_negatives;
+  }
+
+  /// Derive TN from the size of the candidate universe (the distinct
+  /// prefixes a detector could possibly have reported — e.g. every
+  /// observed prefix at the hierarchy's levels): TN = universe minus the
+  /// classified prefixes (TP + FP + FN), clamped at 0 so an undersized
+  /// universe can never wrap. Meaningful for exact comparisons, where
+  /// TP + FP + FN == |detected ∪ truth|.
+  void set_universe(std::size_t universe) noexcept {
+    const std::size_t classified = true_positives + false_positives + false_negatives;
+    true_negatives = universe > classified ? universe - classified : 0;
   }
 
   std::string to_string() const;
 };
 
 /// Exact set comparison: a detected prefix counts iff it appears verbatim
-/// in `truth`.
+/// in `truth` (same family, same bits, same length). Inputs are
+/// deduplicated and partitioned by family first.
 PrecisionRecall compare_exact(const std::vector<PrefixKey>& detected,
                               const std::vector<PrefixKey>& truth);
 
 /// Tolerant comparison: a detected prefix also counts if `truth` contains
-/// an ancestor or descendant within `level_slack` hierarchy levels (byte
-/// granularity levels == 8-bit steps).
+/// a same-family ancestor or descendant within `bit_slack` prefix bits
+/// (8 = one byte-granularity hierarchy level).
+///
+/// Multi-credit semantics (the documented RHHH convention): ONE detection
+/// whose slack window covers SEVERAL near-boundary truth entries marks
+/// all of them as recalled, but still counts as exactly one true
+/// positive; conversely several detections matching one truth each count
+/// as a true positive. TP therefore tallies matched *detections*, FN
+/// tallies unhit *truths*, and recall = TP/(TP+FN) stays in [0, 1] —
+/// pinned by tests/analysis_test.cpp (Metrics.MultiCredit*).
 PrecisionRecall compare_tolerant(const std::vector<PrefixKey>& detected,
                                  const std::vector<PrefixKey>& truth,
                                  unsigned bit_slack = 8);

@@ -1,0 +1,82 @@
+#include "core/engine_registry.hpp"
+
+#include "core/ancestry_hhh.hpp"
+#include "core/exact_engine.hpp"
+#include "core/rhhh.hpp"
+#include "core/sharded_engine.hpp"
+#include "core/univmon_hhh.hpp"
+
+namespace hhh {
+
+const std::vector<EngineSpec>& engine_registry() {
+  static const std::vector<EngineSpec> specs = {
+      {"exact", [] { return make_exact_engine(Hierarchy::byte_granularity()); }},
+      {"rhhh",
+       [] {
+         return std::make_unique<RhhhEngine>(
+             RhhhEngine::Params{.counters_per_level = 512, .seed = 42});
+       }},
+      {"hss",
+       [] {
+         return std::make_unique<RhhhEngine>(RhhhEngine::Params{
+             .counters_per_level = 512, .update_all_levels = true, .seed = 42});
+       }},
+      {"ancestry",
+       [] {
+         return std::make_unique<AncestryHhhEngine>(
+             AncestryHhhEngine::Params{.eps = 0.005});
+       }},
+      {"univmon",
+       [] {
+         return std::make_unique<UnivmonHhhEngine>(
+             UnivmonHhhEngine::Params{.sketch_width = 2048, .top_k = 128});
+       }},
+      // Sharded variants: the parallel front-end must satisfy the exact
+      // same behavioural contract as the engines it wraps.
+      {"sharded_exact_x4",
+       [] { return make_sharded_exact_engine(Hierarchy::byte_granularity(), 4); }},
+      {"sharded_rhhh_x4",
+       [] {
+         return make_sharded_rhhh_engine(Hierarchy::byte_granularity(), 4,
+                                         /*counters_per_level=*/512, /*base_seed=*/42);
+       }},
+      // IPv6 engines: same contract, v6 hierarchy, pure-v6 workload. The
+      // whole conformance + snapshot + accuracy axis runs against them
+      // with zero extra per-engine code — the point of the generic key
+      // layer.
+      {"exact_v6",
+       [] { return make_exact_engine(Hierarchy::v6_nibble_granularity()); },
+       Hierarchy::v6_nibble_granularity(),
+       /*v6_fraction=*/1.0},
+      {"rhhh_v6",
+       [] {
+         return std::make_unique<RhhhV6Engine>(
+             RhhhParams{.hierarchy = Hierarchy::v6_byte_granularity(),
+                        .counters_per_level = 512,
+                        .seed = 42});
+       },
+       Hierarchy::v6_byte_granularity(),
+       /*v6_fraction=*/1.0},
+      {"sharded_exact_v6_x2",
+       [] { return make_sharded_exact_engine(Hierarchy::v6_byte_granularity(), 2); },
+       Hierarchy::v6_byte_granularity(),
+       /*v6_fraction=*/1.0},
+  };
+  return specs;
+}
+
+const EngineSpec* find_engine(std::string_view name) {
+  for (const auto& spec : engine_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> engine_names() {
+  std::vector<std::string> names;
+  names.reserve(engine_registry().size());
+  for (const auto& spec : engine_registry()) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace hhh

@@ -1,0 +1,58 @@
+/// \file
+/// The library-level engine registry — every HhhEngine the repo ships,
+/// enumerable by name.
+///
+/// One list, three consumers:
+///  * the conformance/snapshot test axes (tests/harness wraps these specs
+///    into gtest parameter cases);
+///  * the accuracy evaluation driver (src/analysis/accuracy.hpp), which
+///    sweeps every registered engine against exact ground truth;
+///  * the operational tools (hhh-live --engine=NAME resolves unknown
+///    names here).
+///
+/// Adding an engine family therefore means adding ONE EngineSpec: the
+/// behavioural contract, the snapshot axis, the accuracy sweep and the
+/// CLI surface all pick it up with zero per-engine code.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "net/hierarchy.hpp"
+
+namespace hhh {
+
+/// One registered engine configuration. Factories are deterministic:
+/// fixed seeds, fixed sizes — two invocations build behaviourally
+/// identical engines, which is what makes registry-driven sweeps and
+/// committed accuracy baselines reproducible.
+struct EngineSpec {
+  /// Stable identifier ("exact", "rhhh_v6", ...) — [A-Za-z0-9_] only, so
+  /// it can double as a gtest parameter suffix and a JSON row key.
+  std::string name;
+  /// Deterministic factory for a fresh engine of this configuration.
+  std::function<std::unique_ptr<HhhEngine>()> make;
+  /// The hierarchy the engine is configured with. Ground-truth engines
+  /// (accuracy driver) and level checks (conformance) are built from it.
+  Hierarchy hierarchy = Hierarchy::byte_granularity();
+  /// Fraction of IPv6 packets in the engine's natural workload (0 = pure
+  /// v4, 1 = pure v6) — matches TraceConfig::v6_fraction.
+  double v6_fraction = 0.0;
+};
+
+/// Every registered engine. The list is append-only within a PR: names
+/// are keys in committed baselines (bench/BASELINE_accuracy.json), so
+/// renaming one shows up as a "new"/"gone" pair in the CI gate.
+const std::vector<EngineSpec>& engine_registry();
+
+/// Spec by name, or nullptr if no engine is registered under it.
+const EngineSpec* find_engine(std::string_view name);
+
+/// All registered names, in registry order (CLI help, error messages).
+std::vector<std::string> engine_names();
+
+}  // namespace hhh

@@ -1,0 +1,178 @@
+#include "trace/scenarios.hpp"
+
+#include "util/hash.hpp"
+
+namespace hhh {
+namespace {
+
+/// Shared skeleton: seed decorrelated per scenario (so "seed 1" of two
+/// scenarios shares no RNG stream), burst rates rescaled with the
+/// background exactly like TraceConfig::caida_like_day so a --quick or
+/// --full resize keeps burst volumes in the same *relative* position
+/// against per-window thresholds.
+TraceConfig scenario_base(std::uint64_t seed, std::uint64_t tag, Duration duration,
+                          double background_pps) {
+  TraceConfig cfg;
+  cfg.seed = mix64(seed + 0x5CE'A210 + tag * 0x9E3779B97F4A7C15ULL);
+  cfg.duration = duration;
+  cfg.background_pps = background_pps;
+  const double rate_scale = background_pps / 2500.0;
+  cfg.bursts.pps_min *= rate_scale;
+  cfg.bursts.pps_max *= rate_scale;
+  return cfg;
+}
+
+/// Low-skew extreme of the Zipf sweep: many comparable mid-weight
+/// prefixes hover around the threshold, maximizing eviction churn in the
+/// per-level summaries (the regime where Space-Saving-family engines
+/// over-report).
+TraceConfig make_zipf_mild(std::uint64_t seed, Duration duration, double background_pps) {
+  TraceConfig cfg = scenario_base(seed, 1, duration, background_pps);
+  cfg.address_space.zipf_s8 = 0.60;
+  cfg.address_space.zipf_s16 = 0.60;
+  cfg.address_space.zipf_s24 = 0.55;
+  cfg.address_space.zipf_host = 0.40;
+  cfg.v6_fraction = 0.20;
+  return cfg;
+}
+
+/// High-skew extreme: a handful of prefixes dominate every level — easy
+/// membership, hard volume attribution (conditioned counts concentrate).
+TraceConfig make_zipf_steep(std::uint64_t seed, Duration duration, double background_pps) {
+  TraceConfig cfg = scenario_base(seed, 2, duration, background_pps);
+  cfg.address_space.zipf_s8 = 1.30;
+  cfg.address_space.zipf_s16 = 1.25;
+  cfg.address_space.zipf_s24 = 1.10;
+  cfg.address_space.zipf_host = 0.90;
+  cfg.v6_fraction = 0.20;
+  return cfg;
+}
+
+/// DDoS carpet bombing: three staggered spoofed-source episodes, each
+/// from a different /16 of one /8, against a single target. Creates
+/// strong *interior-level* HHHs (/16 and /8) whose per-window share
+/// jumps with episode on/off — the threshold-dynamics stress.
+TraceConfig make_ddos_carpet(std::uint64_t seed, Duration duration, double background_pps) {
+  TraceConfig cfg = scenario_base(seed, 3, duration, background_pps);
+  cfg.v6_fraction = 0.25;
+  const double total_s = duration.to_seconds();
+  const Ipv4Address target = Ipv4Address::of(192, 0, 2, 80);
+  for (int wave = 0; wave < 3; ++wave) {
+    DdosEpisode ep;
+    ep.start = TimePoint::from_seconds(total_s * (0.15 + 0.22 * wave));
+    ep.duration = Duration::from_seconds(total_s * 0.25);
+    ep.pps = 2.0 * background_pps;
+    ep.source_prefix =
+        Ipv4Prefix(Ipv4Address::of(11, static_cast<std::uint8_t>(1 + wave), 0, 0), 16);
+    ep.target = target;
+    cfg.episodes.push_back(ep);
+  }
+  return cfg;
+}
+
+/// Port scan: one scanner host sweeping a target at SYN-sized packets
+/// for most of the trace. The /32 leaf must be reported without its
+/// ancestors gaining conditioned volume — the leaf-attribution stress.
+TraceConfig make_port_scan(std::uint64_t seed, Duration duration, double background_pps) {
+  TraceConfig cfg = scenario_base(seed, 4, duration, background_pps);
+  cfg.v6_fraction = 0.25;
+  // Scan traffic is small-packet-heavy; skew the size mixture toward
+  // header-only frames for the whole trace (the scanner dominates it).
+  cfg.sizes.small_len = 40;
+  cfg.sizes.p_small = 0.80;
+  cfg.sizes.p_medium = 0.12;
+  DdosEpisode scan;
+  scan.start = TimePoint::from_seconds(duration.to_seconds() * 0.10);
+  scan.duration = Duration::from_seconds(duration.to_seconds() * 0.70);
+  scan.pps = 1.5 * background_pps;
+  scan.source_prefix = Ipv4Prefix(Ipv4Address::of(198, 51, 100, 7), 32);  // one host
+  scan.target = Ipv4Address::of(192, 0, 2, 10);
+  cfg.episodes.push_back(scan);
+  return cfg;
+}
+
+/// Flash crowd: a sudden surge of clients spread uniformly over one /8,
+/// none individually heavy. Only the /8 aggregate crosses the threshold
+/// — an interior-level-only HHH that leaf-biased detectors miss.
+TraceConfig make_flash_crowd(std::uint64_t seed, Duration duration, double background_pps) {
+  TraceConfig cfg = scenario_base(seed, 5, duration, background_pps);
+  cfg.v6_fraction = 0.30;
+  DdosEpisode crowd;
+  crowd.start = TimePoint::from_seconds(duration.to_seconds() * 0.30);
+  crowd.duration = Duration::from_seconds(duration.to_seconds() * 0.40);
+  crowd.pps = 2.5 * background_pps;
+  crowd.source_prefix = Ipv4Prefix(Ipv4Address::of(23, 0, 0, 0), 8);  // the crowd
+  crowd.target = Ipv4Address::of(192, 0, 2, 44);
+  cfg.episodes.push_back(crowd);
+  return cfg;
+}
+
+/// Adversarial key population: a small, near-uniform address space (every
+/// key carries comparable weight — the worst case for eviction-based
+/// summaries) plus an episode whose sources differ only in the low 8
+/// bits, stressing the hash mixing and per-level collision behaviour.
+/// Half the stream is v6-embedded, so the same dense population also
+/// exercises the 128-bit key paths with long shared prefixes.
+TraceConfig make_adversarial_keys(std::uint64_t seed, Duration duration,
+                                  double background_pps) {
+  TraceConfig cfg = scenario_base(seed, 6, duration, background_pps);
+  cfg.v6_fraction = 0.50;
+  cfg.address_space.num_slash8 = 2;
+  cfg.address_space.slash16_per_8 = 2;
+  cfg.address_space.slash24_per_16 = 4;
+  cfg.address_space.hosts_per_24 = 64;
+  cfg.address_space.zipf_s8 = 0.15;
+  cfg.address_space.zipf_s16 = 0.15;
+  cfg.address_space.zipf_s24 = 0.15;
+  cfg.address_space.zipf_host = 0.10;
+  DdosEpisode lowbits;
+  lowbits.start = TimePoint::from_seconds(duration.to_seconds() * 0.20);
+  lowbits.duration = Duration::from_seconds(duration.to_seconds() * 0.50);
+  lowbits.pps = 1.2 * background_pps;
+  lowbits.source_prefix = Ipv4Prefix(Ipv4Address::of(172, 16, 77, 0), 24);
+  lowbits.target = Ipv4Address::of(192, 0, 2, 99);
+  cfg.episodes.push_back(lowbits);
+  return cfg;
+}
+
+/// Mixed-family episodes: a near-even v4/v6 split over the standard
+/// CAIDA-like structure — the family-routing and dual-hierarchy stress
+/// (every engine sees a stream where half the packets are not its
+/// family's).
+TraceConfig make_v4v6_mixed(std::uint64_t seed, Duration duration, double background_pps) {
+  TraceConfig cfg = scenario_base(seed, 7, duration, background_pps);
+  cfg.v6_fraction = 0.45;
+  cfg.modulation.amplitude = 0.18;
+  return cfg;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& scenario_registry() {
+  static const std::vector<ScenarioSpec> specs = {
+      {"zipf_mild", "low-skew Zipf sweep point: threshold-hovering prefixes", make_zipf_mild},
+      {"zipf_steep", "high-skew Zipf sweep point: few dominant prefixes", make_zipf_steep},
+      {"ddos_carpet", "staggered spoofed /16 carpet-bombing episodes", make_ddos_carpet},
+      {"port_scan", "single-host SYN-sized scan sweep", make_port_scan},
+      {"flash_crowd", "uniform /8 client surge: interior-level-only HHH", make_flash_crowd},
+      {"adversarial_keys", "dense near-uniform keys + low-bit episode", make_adversarial_keys},
+      {"v4v6_mixed", "near-even v4/v6 split over the CAIDA-like mix", make_v4v6_mixed},
+  };
+  return specs;
+}
+
+const ScenarioSpec* find_scenario(std::string_view name) {
+  for (const auto& spec : scenario_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(scenario_registry().size());
+  for (const auto& spec : scenario_registry()) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace hhh

@@ -1,0 +1,50 @@
+// The named scenario library — seeded TraceConfig presets shared by
+// tests, bench/ and the operational tools.
+//
+// The accuracy evaluation subsystem (src/analysis/accuracy.hpp) needs
+// workloads that stress *different failure modes* of the approximate
+// engines: skew extremes for the per-level summaries, scripted attack
+// episodes for threshold dynamics, dense same-prefix key populations for
+// the hash paths, and mixed v4/v6 streams for the family routing. Each
+// preset here is a pure function (seed, duration, rate) -> TraceConfig,
+// registered by name so a scenario referenced in a committed baseline
+// row, a gtest and an `hhh-live --scenario=` invocation is guaranteed to
+// be the same traffic.
+//
+// Presets are append-only within a PR: names are keys in
+// bench/BASELINE_accuracy.json, so renaming one shows up as a
+// "new"/"gone" pair in the CI accuracy gate.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/synthetic_trace.hpp"
+
+namespace hhh {
+
+/// One named scenario preset.
+struct ScenarioSpec {
+  /// Stable identifier ("ddos_carpet", ...) — [a-z0-9_] only, doubles as
+  /// a JSON row key and a gtest parameter suffix.
+  std::string name;
+  /// One-line human description (CLI help, bench table headers).
+  std::string description;
+  /// Build the preset's TraceConfig. `seed` decorrelates repetitions of
+  /// the same scenario (the accuracy driver sweeps several); `duration`
+  /// and `background_pps` scale the workload without changing its shape
+  /// (episode rates and volumes are derived from background_pps).
+  TraceConfig (*make)(std::uint64_t seed, Duration duration, double background_pps);
+};
+
+/// Every registered scenario, in registry order.
+const std::vector<ScenarioSpec>& scenario_registry();
+
+/// Spec by name, or nullptr if no scenario is registered under it.
+const ScenarioSpec* find_scenario(std::string_view name);
+
+/// All registered names, in registry order (CLI help, error messages).
+std::vector<std::string> scenario_names();
+
+}  // namespace hhh

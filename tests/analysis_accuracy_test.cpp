@@ -1,0 +1,146 @@
+// The accuracy evaluation driver: sweep mechanics, scoring sanity and
+// the determinism that lets bench/BASELINE_accuracy.json be committed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/accuracy.hpp"
+
+namespace hhh {
+namespace {
+
+/// A sweep small enough for a unit test but covering both families and
+/// an approximate engine.
+AccuracyConfig tiny_config() {
+  AccuracyConfig config;
+  config.engines = {"exact", "rhhh", "exact_v6"};
+  config.scenarios = {"zipf_steep"};
+  config.phis = {0.02};
+  config.seeds = {1};
+  config.duration = Duration::seconds(3);
+  config.background_pps = 500.0;
+  return config;
+}
+
+TEST(AccuracySweep, CellGridShapeAndOrder) {
+  const AccuracyConfig config = tiny_config();
+  const auto cells = run_accuracy_sweep(config);
+  ASSERT_EQ(cells.size(), 3u);  // 1 scenario x 1 seed x 3 engines x 1 phi
+  EXPECT_EQ(cells[0].engine, "exact");
+  EXPECT_EQ(cells[1].engine, "rhhh");
+  EXPECT_EQ(cells[2].engine, "exact_v6");
+  for (const auto& c : cells) {
+    EXPECT_EQ(c.scenario, "zipf_steep");
+    EXPECT_EQ(c.phi, 0.02);
+    EXPECT_EQ(c.seed, 1u);
+    EXPECT_GT(c.packets, 0u);
+    EXPECT_GT(c.bytes, 0u);
+  }
+  EXPECT_EQ(cells[0].family, AddressFamily::kIpv4);
+  EXPECT_EQ(cells[2].family, AddressFamily::kIpv6);
+}
+
+TEST(AccuracySweep, ExactEnginesScorePerfectlyAgainstThemselves) {
+  // The exact engine IS the ground-truth definition, for both families.
+  for (const auto& c : run_accuracy_sweep(tiny_config())) {
+    if (c.engine != "exact" && c.engine != "exact_v6") continue;
+    EXPECT_DOUBLE_EQ(c.exact.precision(), 1.0) << c.engine;
+    EXPECT_DOUBLE_EQ(c.exact.recall(), 1.0) << c.engine;
+    EXPECT_EQ(c.exact.false_positives, 0u) << c.engine;
+    EXPECT_EQ(c.exact.false_negatives, 0u) << c.engine;
+  }
+}
+
+TEST(AccuracySweep, TalliesAreInternallyConsistent) {
+  for (const auto& c : run_accuracy_sweep(tiny_config())) {
+    // Exact comparison classifies exactly |detected| + unmatched truths.
+    EXPECT_EQ(c.exact.true_positives + c.exact.false_positives, c.detected_size);
+    EXPECT_EQ(c.exact.true_positives + c.exact.false_negatives, c.truth_size);
+    // The universe covers everything that was classified (TN >= 0 held).
+    EXPECT_GE(c.universe, c.exact.true_positives + c.exact.false_positives +
+                              c.exact.false_negatives);
+    // All rates stay in [0, 1] — including tolerant multi-credit recall.
+    for (const PrecisionRecall* pr : {&c.exact, &c.tolerant}) {
+      EXPECT_GE(pr->precision(), 0.0);
+      EXPECT_LE(pr->precision(), 1.0);
+      EXPECT_GE(pr->recall(), 0.0);
+      EXPECT_LE(pr->recall(), 1.0);
+      EXPECT_GE(pr->f1(), 0.0);
+      EXPECT_LE(pr->f1(), 1.0);
+    }
+    EXPECT_LE(c.exact.fpr(), 1.0);
+    EXPECT_LE(c.exact.fnr(), 1.0);
+  }
+}
+
+TEST(AccuracySweep, TolerantNeverScoresBelowExact) {
+  // Tolerant matching only widens what counts as a hit.
+  for (const auto& c : run_accuracy_sweep(tiny_config())) {
+    EXPECT_GE(c.tolerant.true_positives, c.exact.true_positives) << c.engine;
+    EXPECT_LE(c.tolerant.false_negatives, c.exact.false_negatives) << c.engine;
+  }
+}
+
+TEST(AccuracySweep, DeterministicAcrossRuns) {
+  const auto a = run_accuracy_sweep(tiny_config());
+  const auto b = run_accuracy_sweep(tiny_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].engine, b[i].engine);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+    EXPECT_EQ(a[i].truth_size, b[i].truth_size);
+    EXPECT_EQ(a[i].detected_size, b[i].detected_size);
+    EXPECT_EQ(a[i].universe, b[i].universe);
+    EXPECT_EQ(a[i].exact.true_positives, b[i].exact.true_positives);
+    EXPECT_EQ(a[i].exact.false_positives, b[i].exact.false_positives);
+    EXPECT_EQ(a[i].tolerant.true_positives, b[i].tolerant.true_positives);
+  }
+}
+
+TEST(AccuracySweep, UnknownNamesThrow) {
+  AccuracyConfig config = tiny_config();
+  config.engines = {"exact", "warp_drive"};
+  EXPECT_THROW(run_accuracy_sweep(config), std::invalid_argument);
+  config = tiny_config();
+  config.scenarios = {"solar_flare"};
+  EXPECT_THROW(run_accuracy_sweep(config), std::invalid_argument);
+  config = tiny_config();
+  config.phis.clear();
+  EXPECT_THROW(run_accuracy_sweep(config), std::invalid_argument);
+}
+
+TEST(AccuracySweep, JsonDocumentCarriesEveryCell) {
+  const AccuracyConfig config = tiny_config();
+  const auto cells = run_accuracy_sweep(config);
+
+  std::string json;
+  {
+    std::FILE* tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    write_accuracy_json(tmp, config, cells);
+    const long size = std::ftell(tmp);
+    ASSERT_GT(size, 0);
+    std::rewind(tmp);
+    json.resize(static_cast<std::size_t>(size));
+    ASSERT_EQ(std::fread(json.data(), 1, json.size(), tmp), json.size());
+    std::fclose(tmp);
+  }
+
+  EXPECT_NE(json.find("\"bench\": \"accuracy\""), std::string::npos);
+  EXPECT_NE(json.find("\"tolerant_slack_bits\": 8"), std::string::npos);
+  for (const char* engine : {"\"exact\"", "\"rhhh\"", "\"exact_v6\""}) {
+    EXPECT_NE(json.find(engine), std::string::npos) << engine;
+  }
+  for (const char* key :
+       {"\"precision\":", "\"recall\":", "\"f1\":", "\"fpr\":", "\"fnr\":",
+        "\"tol_precision\":", "\"universe\":", "\"family\": \"v6\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Balanced braces — the cheap well-formedness check without a parser.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace hhh

@@ -163,6 +163,121 @@ TEST(Metrics, TolerantRequiresContainment) {
   EXPECT_EQ(tolerant.true_positives, 0u);
 }
 
+// --- Mixed-family partition (regression) ------------------------------------
+
+TEST(Metrics, CrossFamilyBitsNeverMatch) {
+  // 0a00::/8 carries the same leading bits as 10.0.0.0/8; with the
+  // family partition, neither comparator may credit one for the other —
+  // in either direction, at any slack.
+  const std::vector<PrefixKey> v4 = {pfx("10.0.0.0/8")};
+  const std::vector<PrefixKey> v6 = {pfx("a00::/8")};
+  for (const auto* detected : {&v4, &v6}) {
+    const auto& truth = detected == &v4 ? v6 : v4;
+    const auto strict = compare_exact(*detected, truth);
+    EXPECT_EQ(strict.true_positives, 0u);
+    EXPECT_EQ(strict.false_positives, 1u);
+    EXPECT_EQ(strict.false_negatives, 1u);
+    const auto tolerant = compare_tolerant(*detected, truth, 128);
+    EXPECT_EQ(tolerant.true_positives, 0u);
+    EXPECT_EQ(tolerant.false_positives, 1u);
+    EXPECT_EQ(tolerant.false_negatives, 1u);
+  }
+}
+
+TEST(Metrics, MixedFamilySetsScorePerFamily) {
+  // Interleaved, unsorted mixed-family inputs: each family's block is
+  // scored independently and the tallies accumulate.
+  const std::vector<PrefixKey> truth = {pfx("2001:db8::/32"), pfx("10.0.0.0/8"),
+                                        pfx("20.0.0.0/8")};
+  const std::vector<PrefixKey> detected = {pfx("10.0.0.0/8"), pfx("2001:db8::/32"),
+                                           pfx("3001::/16")};
+  const auto pr = compare_exact(detected, truth);
+  EXPECT_EQ(pr.true_positives, 2u);   // one per family
+  EXPECT_EQ(pr.false_positives, 1u);  // 3001::/16
+  EXPECT_EQ(pr.false_negatives, 1u);  // 20.0.0.0/8
+}
+
+// --- Tolerant multi-credit semantics (pinned) -------------------------------
+
+TEST(Metrics, MultiCreditOneDetectionCoversSeveralTruths) {
+  // One detected /24 covers two truth hosts within slack: both truths are
+  // recalled, but the detection is a single TP — recall is 1.0, not 2/2
+  // per detection (which would let recall exceed 1.0 elsewhere).
+  const std::vector<PrefixKey> truth = {pfx("10.1.2.3/32"), pfx("10.1.2.7/32")};
+  const std::vector<PrefixKey> detected = {pfx("10.1.2.0/24")};
+  const auto pr = compare_tolerant(detected, truth, 8);
+  EXPECT_EQ(pr.true_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(pr.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(pr.precision(), 1.0);
+}
+
+TEST(Metrics, MultiCreditSeveralDetectionsOneTruth) {
+  // Two detections both within slack of one truth entry: two TPs, zero
+  // FPs/FNs — and recall still capped at 1.0.
+  const std::vector<PrefixKey> truth = {pfx("10.1.2.3/32")};
+  const std::vector<PrefixKey> detected = {pfx("10.1.2.3/32"), pfx("10.1.2.0/24")};
+  const auto pr = compare_tolerant(detected, truth, 8);
+  EXPECT_EQ(pr.true_positives, 2u);
+  EXPECT_EQ(pr.false_positives, 0u);
+  EXPECT_EQ(pr.false_negatives, 0u);
+  EXPECT_LE(pr.recall(), 1.0);
+}
+
+TEST(Metrics, MultiCreditRecallNeverExceedsOne) {
+  // The stress shape: every detection covers every truth entry.
+  const std::vector<PrefixKey> truth = {pfx("10.1.2.1/32"), pfx("10.1.2.2/32"),
+                                        pfx("10.1.2.3/32")};
+  const std::vector<PrefixKey> detected = {pfx("10.1.2.0/24"), pfx("10.1.2.0/25")};
+  const auto pr = compare_tolerant(detected, truth, 8);
+  EXPECT_EQ(pr.false_negatives, 0u);
+  EXPECT_LE(pr.recall(), 1.0);
+  EXPECT_LE(pr.precision(), 1.0);
+}
+
+// --- FPR / FNR / universe ----------------------------------------------------
+
+TEST(Metrics, UniverseDerivesTrueNegatives) {
+  const std::vector<PrefixKey> truth = {pfx("10.0.0.0/8"), pfx("20.0.0.0/8")};
+  const std::vector<PrefixKey> detected = {pfx("10.0.0.0/8"), pfx("30.0.0.0/8")};
+  auto pr = compare_exact(detected, truth);
+  // tp=1 fp=1 fn=1; universe 10 -> tn = 10 - 3 = 7.
+  pr.set_universe(10);
+  EXPECT_EQ(pr.true_negatives, 7u);
+  EXPECT_DOUBLE_EQ(pr.fpr(), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(pr.fnr(), 0.5);
+}
+
+TEST(Metrics, UndersizedUniverseClampsAtZero) {
+  auto pr = compare_exact({pfx("10.0.0.0/8")}, {pfx("20.0.0.0/8")});
+  pr.set_universe(1);  // smaller than the 2 classified prefixes
+  EXPECT_EQ(pr.true_negatives, 0u);
+  EXPECT_DOUBLE_EQ(pr.fpr(), 1.0);  // fp=1, tn=0
+}
+
+TEST(Metrics, RatesDegenerateGracefully) {
+  const PrecisionRecall empty;
+  EXPECT_DOUBLE_EQ(empty.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.fnr(), 0.0);
+  const auto perfect = compare_exact({pfx("10.0.0.0/8")}, {pfx("10.0.0.0/8")});
+  EXPECT_DOUBLE_EQ(perfect.fnr(), 0.0);
+  EXPECT_DOUBLE_EQ(perfect.fpr(), 0.0);  // no universe: fp=0, tn=0
+}
+
+TEST(Metrics, AccumulateSumsTallies) {
+  PrecisionRecall a;
+  a.true_positives = 1;
+  a.false_positives = 2;
+  a.false_negatives = 3;
+  a.true_negatives = 4;
+  PrecisionRecall b = a;
+  b.accumulate(a);
+  EXPECT_EQ(b.true_positives, 2u);
+  EXPECT_EQ(b.false_positives, 4u);
+  EXPECT_EQ(b.false_negatives, 6u);
+  EXPECT_EQ(b.true_negatives, 8u);
+}
+
 // --- Table -------------------------------------------------------------------
 
 TEST(Table, ConsoleRendering) {

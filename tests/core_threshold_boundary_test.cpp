@@ -1,0 +1,132 @@
+// Threshold boundary semantics, pinned at the byte level.
+//
+// The reporting condition everywhere in the library is
+// `conditioned_count >= T` with T = max(1, ceil(phi * total_bytes)):
+// a prefix whose count equals the threshold IS an HHH, one byte short is
+// NOT. These tests drive counts of exactly T-1, T and T+1 through the
+// exact engine, an RHHH engine configured to be deterministic (HSS mode:
+// every level updated, ample counters — no sampling, no evictions), and
+// the compare_* metrics, so an off-by-one in any of the three layers
+// flips an assertion here before it skews an accuracy baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "core/exact_engine.hpp"
+#include "core/rhhh.hpp"
+#include "harness/trace_builder.hpp"
+#include "net/prefix.hpp"
+
+namespace hhh {
+namespace {
+
+PrefixKey pfx(const char* s) { return *PrefixKey::parse(s); }
+
+/// Four hosts totalling exactly 10000 bytes, positioned around the
+/// T = 1000 threshold that phi = 0.1 induces:
+///   a = 10.0.0.1 -> 1000 bytes (== T)
+///   b = 20.0.0.1 ->  999 bytes (== T-1)
+///   c = 30.0.0.1 -> 1001 bytes (== T+1)
+///   d = 40.0.0.1 -> 7000 bytes (filler, far above T)
+std::vector<PacketRecord> boundary_stream() {
+  std::vector<PacketRecord> packets;
+  double t = 0.0;
+  const auto host = [&](std::uint8_t first_octet, std::uint32_t bytes) {
+    packets.push_back(
+        harness::packet_at(t += 1e-3, Ipv4Address::of(first_octet, 0, 0, 1), bytes));
+  };
+  host(10, 1000);
+  host(20, 999);
+  host(30, 1001);
+  host(40, 7000);
+  return packets;
+}
+
+std::vector<PrefixKey> sorted(std::vector<PrefixKey> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// RHHH in HSS mode over the boundary stream: update_all_levels disables
+/// the per-packet level sampling (the only randomized ingredient) and the
+/// counter budget exceeds the four-key population, so counts are exact
+/// and extraction must agree with the exact engine byte for byte.
+std::unique_ptr<HhhEngine> deterministic_rhhh() {
+  return std::make_unique<RhhhEngine>(RhhhEngine::Params{
+      .counters_per_level = 4096, .update_all_levels = true, .seed = 7});
+}
+
+class ThresholdBoundary : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    packets_ = boundary_stream();
+    exact_ = make_exact_engine(Hierarchy::byte_granularity());
+    exact_->add_batch(packets_);
+    ASSERT_EQ(exact_->total_bytes(), 10000u);
+  }
+
+  std::vector<PacketRecord> packets_;
+  std::unique_ptr<HhhEngine> exact_;
+};
+
+TEST_F(ThresholdBoundary, CountEqualToThresholdIsReported) {
+  // T = ceil(0.1 * 10000) = 1000: a (== T) in, b (== T-1) out.
+  const auto hhhs = sorted(exact_->extract(0.1).prefixes());
+  EXPECT_EQ(hhhs, sorted({pfx("10.0.0.1/32"), pfx("30.0.0.1/32"), pfx("40.0.0.1/32")}));
+}
+
+TEST_F(ThresholdBoundary, ThresholdPlusOneDropsTheEqualCell) {
+  // phi = 0.10001 -> T = ceil(1000.1) = 1001: a (1000) now misses by one
+  // byte, c (1001) still equals the threshold and stays. Losing a as an
+  // HHH leaves its bytes uncovered, so they roll up the hierarchy: the
+  // root's conditioned count becomes 1000 + 999 = 1999 >= T and 0.0.0.0/0
+  // enters the set — a one-byte threshold move reshapes the *interior*,
+  // exactly the conditioned-count semantics the definition requires.
+  const auto hhhs = sorted(exact_->extract(0.10001).prefixes());
+  EXPECT_EQ(hhhs,
+            sorted({pfx("0.0.0.0/0"), pfx("30.0.0.1/32"), pfx("40.0.0.1/32")}));
+}
+
+TEST_F(ThresholdBoundary, ThresholdMinusOneAdmitsTheNearMiss) {
+  // phi = 0.0999 -> T = 999: b's 999 bytes now meet the threshold.
+  const auto hhhs = sorted(exact_->extract(0.0999).prefixes());
+  EXPECT_EQ(hhhs, sorted({pfx("10.0.0.1/32"), pfx("20.0.0.1/32"), pfx("30.0.0.1/32"),
+                          pfx("40.0.0.1/32")}));
+}
+
+TEST_F(ThresholdBoundary, DeterministicRhhhAgreesAtEveryBoundary) {
+  const auto rhhh = deterministic_rhhh();
+  rhhh->add_batch(packets_);
+  ASSERT_EQ(rhhh->total_bytes(), exact_->total_bytes());
+  for (const double phi : {0.0999, 0.1, 0.10001}) {
+    const auto truth = exact_->extract(phi).prefixes();
+    const auto detected = rhhh->extract(phi).prefixes();
+    const PrecisionRecall pr = compare_exact(detected, truth);
+    EXPECT_DOUBLE_EQ(pr.precision(), 1.0) << "phi=" << phi;
+    EXPECT_DOUBLE_EQ(pr.recall(), 1.0) << "phi=" << phi;
+    EXPECT_EQ(pr.false_positives, 0u) << "phi=" << phi;
+    EXPECT_EQ(pr.false_negatives, 0u) << "phi=" << phi;
+  }
+}
+
+TEST_F(ThresholdBoundary, MetricsSeeTheSingleByteDisagreement) {
+  // A detector still reporting the T-level set after the threshold moved
+  // to T+1 must be charged one false positive (a's cell) and one false
+  // negative (the root that a's demotion created) — and the tolerant
+  // comparator must NOT absolve either: a/32 and 0.0.0.0/0 are 32 bits
+  // apart, far beyond the one-level slack.
+  const auto truth = exact_->extract(0.10001).prefixes();     // {root, c, d}
+  const auto detected = exact_->extract(0.1).prefixes();      // {a, c, d}
+  const PrecisionRecall strict = compare_exact(detected, truth);
+  EXPECT_EQ(strict.true_positives, 2u);
+  EXPECT_EQ(strict.false_positives, 1u);
+  EXPECT_EQ(strict.false_negatives, 1u);
+  const PrecisionRecall tolerant = compare_tolerant(detected, truth, 8);
+  EXPECT_EQ(tolerant.false_positives, 1u);
+  EXPECT_EQ(tolerant.false_negatives, 1u);
+}
+
+}  // namespace
+}  // namespace hhh

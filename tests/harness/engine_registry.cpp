@@ -1,66 +1,23 @@
 #include "harness/engine_registry.hpp"
 
-#include "core/ancestry_hhh.hpp"
-#include "core/exact_engine.hpp"
-#include "core/rhhh.hpp"
-#include "core/sharded_engine.hpp"
-#include "core/univmon_hhh.hpp"
+#include "core/engine_registry.hpp"
 
 namespace hhh::harness {
 
+// The conformance axis is the library-level registry (src/core/
+// engine_registry.cpp) verbatim: each EngineSpec becomes one gtest
+// parameter case, so an engine registered for the accuracy sweep and the
+// CLI surface is automatically under the behavioural contract too —
+// there is no way to ship a registry engine that skips conformance.
 const std::vector<EngineCase>& conformance_engines() {
-  static const std::vector<EngineCase> cases = {
-      {"exact", [] { return make_exact_engine(Hierarchy::byte_granularity()); }},
-      {"rhhh",
-       [] {
-         return std::make_unique<RhhhEngine>(
-             RhhhEngine::Params{.counters_per_level = 512, .seed = 42});
-       }},
-      {"hss",
-       [] {
-         return std::make_unique<RhhhEngine>(RhhhEngine::Params{
-             .counters_per_level = 512, .update_all_levels = true, .seed = 42});
-       }},
-      {"ancestry",
-       [] {
-         return std::make_unique<AncestryHhhEngine>(
-             AncestryHhhEngine::Params{.eps = 0.005});
-       }},
-      {"univmon",
-       [] {
-         return std::make_unique<UnivmonHhhEngine>(
-             UnivmonHhhEngine::Params{.sketch_width = 2048, .top_k = 128});
-       }},
-      // Sharded variants: the parallel front-end must satisfy the exact
-      // same behavioural contract as the engines it wraps.
-      {"sharded_exact_x4",
-       [] { return make_sharded_exact_engine(Hierarchy::byte_granularity(), 4); }},
-      {"sharded_rhhh_x4",
-       [] {
-         return make_sharded_rhhh_engine(Hierarchy::byte_granularity(), 4,
-                                         /*counters_per_level=*/512, /*base_seed=*/42);
-       }},
-      // IPv6 engines: same contract, v6 hierarchy, pure-v6 workload. The
-      // whole conformance + snapshot axis runs against them with zero
-      // extra per-engine code — the point of the generic key layer.
-      {"exact_v6",
-       [] { return make_exact_engine(Hierarchy::v6_nibble_granularity()); },
-       Hierarchy::v6_nibble_granularity(),
-       /*v6_fraction=*/1.0},
-      {"rhhh_v6",
-       [] {
-         return std::make_unique<RhhhV6Engine>(
-             RhhhParams{.hierarchy = Hierarchy::v6_byte_granularity(),
-                        .counters_per_level = 512,
-                        .seed = 42});
-       },
-       Hierarchy::v6_byte_granularity(),
-       /*v6_fraction=*/1.0},
-      {"sharded_exact_v6_x2",
-       [] { return make_sharded_exact_engine(Hierarchy::v6_byte_granularity(), 2); },
-       Hierarchy::v6_byte_granularity(),
-       /*v6_fraction=*/1.0},
-  };
+  static const std::vector<EngineCase> cases = [] {
+    std::vector<EngineCase> out;
+    out.reserve(engine_registry().size());
+    for (const auto& spec : engine_registry()) {
+      out.push_back(EngineCase{spec.name, spec.make, spec.hierarchy, spec.v6_fraction});
+    }
+    return out;
+  }();
   return cases;
 }
 

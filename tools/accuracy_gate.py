@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_accuracy.json run against the committed baseline.
+
+Usage: accuracy_gate.py BASELINE.json CURRENT.json [--band=0.02]
+
+Joins cells on (engine, scenario, family, phi, seed) and compares every
+quality metric. Unlike bench_diff.py (informational: wall-clock numbers
+are noisy on shared runners), accuracy is deterministic — seeded traces,
+fixed-seed engines, integer extraction — so a drop beyond the band is a
+real quality regression, and this gate FAILS the build for it, naming
+the exact engine x scenario x metric cell.
+
+The band (absolute, on [0,1] metrics) absorbs legitimate re-tuning: an
+intentional accuracy/space trade lands as a baseline update in the same
+PR, which reviewers see as a diff of bench/BASELINE_accuracy.json.
+
+Cells present on only one side are reported as "new" / "gone" and do not
+fail the gate — adding an engine or scenario preset must not require a
+lockstep baseline edit to keep CI green (the baseline update rides in
+the same PR, and `gone` rows flag accidental coverage loss in review).
+
+Exit status: 0 = no regression, 1 = at least one metric regressed beyond
+the band, 2 = usage / malformed input.
+"""
+import json
+import sys
+
+DEFAULT_BAND = 0.02
+
+# metric key -> higher_is_better
+METRICS = {
+    "precision": True,
+    "recall": True,
+    "f1": True,
+    "fpr": False,
+    "fnr": False,
+    "tol_precision": True,
+    "tol_recall": True,
+    "tol_f1": True,
+}
+
+
+def load_cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "accuracy":
+        print(f"{path}: not a BENCH_accuracy.json document", file=sys.stderr)
+        sys.exit(2)
+    cells = {}
+    for c in doc["cells"]:
+        key = (c["engine"], c["scenario"], c["family"], round(c["phi"], 6), c["seed"])
+        cells[key] = c
+    return doc, cells
+
+
+def cell_name(key):
+    engine, scenario, family, phi, seed = key
+    return f"{engine} x {scenario} [{family}, phi={phi:.4f}, seed={seed}]"
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    band = DEFAULT_BAND
+    for a in sys.argv[1:]:
+        if a.startswith("--band="):
+            band = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    base_doc, base = load_cells(args[0])
+    cur_doc, cur = load_cells(args[1])
+
+    # The comparison is only meaningful over the same workload shape.
+    for knob in ("duration_s", "background_pps", "tolerant_slack_bits"):
+        if base_doc.get(knob) != cur_doc.get(knob):
+            print(f"note: {knob} differs (baseline {base_doc.get(knob)}, "
+                  f"current {cur_doc.get(knob)}) — deltas reflect the config change")
+
+    regressions, improvements = [], []
+    for key, c in sorted(cur.items()):
+        b = base.get(key)
+        if b is None:
+            print(f"new:  {cell_name(key)} (not in baseline)")
+            continue
+        for metric, higher_better in METRICS.items():
+            if metric not in b or metric not in c:
+                continue
+            delta = c[metric] - b[metric]
+            regressed = delta < -band if higher_better else delta > band
+            improved = delta > band if higher_better else delta < -band
+            line = (f"{cell_name(key)} metric={metric} "
+                    f"baseline={b[metric]:.4f} current={c[metric]:.4f} "
+                    f"delta={delta:+.4f} (band {band:.4f})")
+            if regressed:
+                regressions.append(line)
+            elif improved:
+                improvements.append(line)
+    for key in sorted(base):
+        if key not in cur:
+            print(f"gone: {cell_name(key)} (in baseline, not in current run)")
+
+    for line in improvements:
+        print(f"improved: {line}")
+    for line in regressions:
+        print(f"REGRESSION: {line}")
+
+    matched = sum(1 for k in cur if k in base)
+    print(f"\naccuracy gate: {matched} cells compared, "
+          f"{len(improvements)} improved, {len(regressions)} regressed "
+          f"(band ±{band})")
+    if regressions:
+        print("FAIL: accuracy regressed beyond the band — if intentional "
+              "(re-tuning), refresh bench/BASELINE_accuracy.json in this PR")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

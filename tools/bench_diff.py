@@ -23,7 +23,9 @@ def load(path):
         return json.load(f)
 
 
-def fmt_delta(cur, base, higher_is_better=True):
+def fmt_delta(cur, base, higher_is_better=True, known=True):
+    if not known:
+        return "new"  # row exists only in the current run
     if not base:
         return "n/a"
     delta = (cur - base) / base
@@ -48,21 +50,31 @@ def main():
     print()
     print(f"{'engine':<22} {'add_pps':>12} {'Δ':>9} {'batch_pps':>12} {'Δ':>9} {'speedup':>8}")
     for e in cur.get("engines", []):
+        known = e["engine"] in base_engines
         b = base_engines.get(e["engine"], {})
         print(f"{e['engine']:<22} {e['add_pps']:>12,.0f} "
-              f"{fmt_delta(e['add_pps'], b.get('add_pps', 0)):>9} "
+              f"{fmt_delta(e['add_pps'], b.get('add_pps', 0), known=known):>9} "
               f"{e['add_batch_pps']:>12,.0f} "
-              f"{fmt_delta(e['add_batch_pps'], b.get('add_batch_pps', 0)):>9} "
+              f"{fmt_delta(e['add_batch_pps'], b.get('add_batch_pps', 0), known=known):>9} "
               f"{e['batch_speedup']:>8.2f}")
+    cur_engines = {e["engine"] for e in cur.get("engines", [])}
+    for name in base_engines:
+        if name not in cur_engines:
+            print(f"{name:<22} gone (in baseline, not in current run)")
 
     base_snaps = {s["engine"]: s for s in base.get("snapshot_roundtrip", [])}
     print()
     print(f"{'engine':<22} {'snapshot_B':>12} {'Δ':>9} {'ser_MB/s':>9} {'deser_MB/s':>11}")
     for s in cur.get("snapshot_roundtrip", []):
+        known = s["engine"] in base_snaps
         b = base_snaps.get(s["engine"], {})
         print(f"{s['engine']:<22} {s['snapshot_bytes']:>12,} "
-              f"{fmt_delta(s['snapshot_bytes'], b.get('snapshot_bytes', 0), higher_is_better=False):>9} "
+              f"{fmt_delta(s['snapshot_bytes'], b.get('snapshot_bytes', 0), higher_is_better=False, known=known):>9} "
               f"{s['serialize_mbps']:>9.1f} {s['deserialize_mbps']:>11.1f}")
+    cur_snaps = {s["engine"] for s in cur.get("snapshot_roundtrip", [])}
+    for name in base_snaps:
+        if name not in cur_snaps:
+            print(f"{name:<22} gone (in baseline, not in current run)")
     return 0
 
 

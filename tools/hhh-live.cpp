@@ -26,6 +26,10 @@
 //   --csv=PATH         CSV trace (ts_ns,src,dst,sport,dport,proto,ip_len)
 //   --pcap=PATH        pcap capture (timestamps rebased to first packet)
 //   --synthetic=SEED   CAIDA-like synthetic day (see --seconds, --gen-pps)
+//   --scenario=NAME    named scenario preset (src/trace/scenarios.hpp) —
+//                      the same seeded traffic the accuracy baseline and
+//                      the gtests run on (see --seed, --seconds, --gen-pps)
+//   --seed=N           scenario repetition seed (default 1)
 //   --seconds=S        synthetic trace length (default 60)
 //   --gen-pps=N        synthetic background rate (default 4000)
 //
@@ -37,7 +41,10 @@
 //   --window=S         disjoint window length in seconds (default 10)
 //   --phi=F            relative threshold per window (default 0.05)
 //   --threshold-bytes=N  absolute per-window threshold (overrides --phi)
-//   --engine=NAME      exact | exact_v6 | rhhh | rhhh_v6 (default exact)
+//   --engine=NAME      exact | exact_v6 | rhhh | rhhh_v6 (default exact;
+//                      these honour --shards), or any engine registry
+//                      name (`hhh-live --engine=help` lists them;
+//                      registry engines require --shards=1)
 //   --shards=N         hash-partitioned worker threads (default 1)
 //   --windows=N        stop after N closed windows
 //   --wall-clock       close windows on paced stream time, not only on
@@ -62,8 +69,10 @@
 #include <string>
 
 #include "core/engine.hpp"
+#include "core/engine_registry.hpp"
 #include "core/exact_engine.hpp"
 #include "core/rhhh.hpp"
+#include "trace/scenarios.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/shard_router.hpp"
 #include "pipeline/sink.hpp"
@@ -78,8 +87,9 @@ namespace {
 using namespace hhh;
 
 struct Options {
-  std::string trace, csv, pcap;
+  std::string trace, csv, pcap, scenario;
   std::optional<std::uint64_t> synthetic_seed;
+  std::uint64_t scenario_seed = 1;
   double seconds = 60.0;
   double gen_pps = 4000.0;
   double pps = 0.0;
@@ -97,7 +107,8 @@ struct Options {
 
 void usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: hhh-live (--trace=P | --csv=P | --pcap=P | --synthetic=SEED)\n"
+               "usage: hhh-live (--trace=P | --csv=P | --pcap=P | --synthetic=SEED |\n"
+               "                 --scenario=NAME [--seed=N])\n"
                "                --out=PATH|-  [--pps=N | --speed=X] [--window=S]\n"
                "                [--phi=F | --threshold-bytes=N] [--engine=NAME]\n"
                "                [--shards=N] [--windows=N] [--wall-clock] [--table]\n"
@@ -129,6 +140,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (auto v = value("--synthetic=")) {
       opt.synthetic_seed = std::strtoull(v->c_str(), nullptr, 10);
       ++inputs;
+    } else if (auto v = value("--scenario=")) {
+      opt.scenario = *v;
+      ++inputs;
+    } else if (auto v = value("--seed=")) {
+      opt.scenario_seed = std::strtoull(v->c_str(), nullptr, 10);
     } else if (auto v = value("--seconds=")) {
       opt.seconds = std::atof(v->c_str());
     } else if (auto v = value("--gen-pps=")) {
@@ -176,6 +192,11 @@ std::unique_ptr<pipeline::PacketSource> open_source(const Options& opt) {
     source = pipeline::make_csv_source(opt.csv);
   } else if (!opt.pcap.empty()) {
     source = pipeline::make_pcap_source(opt.pcap);
+  } else if (!opt.scenario.empty()) {
+    // Guaranteed non-null: run() validated the name before calling.
+    const ScenarioSpec* spec = find_scenario(opt.scenario);
+    source = pipeline::make_synthetic_source(spec->make(
+        opt.scenario_seed, Duration::from_seconds(opt.seconds), opt.gen_pps));
   } else {
     TraceConfig config = TraceConfig::caida_like_day(
         static_cast<int>(*opt.synthetic_seed), Duration::from_seconds(opt.seconds),
@@ -223,13 +244,38 @@ std::unique_ptr<HhhEngine> build_engine(const Options& opt) {
                      .seed = kRhhhSeed + shard});
     });
   }
+  // Any other name resolves through the library engine registry — the
+  // same configuration the accuracy baseline scores, so a live replay of
+  // a registry engine reproduces the baseline's detector exactly. The
+  // spec's factory builds one complete engine (some are internally
+  // sharded already), so the external --shards router stays off.
+  if (const EngineSpec* spec = find_engine(opt.engine); spec != nullptr && opt.shards == 1) {
+    return spec->make();
+  }
   return nullptr;
 }
 
 int run(const Options& opt) {
+  if (!opt.scenario.empty() && find_scenario(opt.scenario) == nullptr) {
+    std::fprintf(stderr, "error: unknown scenario '%s'; presets:", opt.scenario.c_str());
+    for (const auto& name : scenario_names()) std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
   auto engine = build_engine(opt);
   if (!engine) {
-    std::fprintf(stderr, "error: unknown engine '%s'\n", opt.engine.c_str());
+    if (find_engine(opt.engine) != nullptr && opt.shards > 1) {
+      std::fprintf(stderr,
+                   "error: --engine=%s is an engine-registry configuration and "
+                   "supports --shards=1 only\n",
+                   opt.engine.c_str());
+    } else {
+      std::fprintf(stderr, "error: unknown engine '%s'; built-ins: exact exact_v6 "
+                           "rhhh rhhh_v6; registry:",
+                   opt.engine.c_str());
+      for (const auto& name : engine_names()) std::fprintf(stderr, " %s", name.c_str());
+      std::fprintf(stderr, "\n");
+    }
     return 1;
   }
 

@@ -5,13 +5,26 @@
 /// A "frame stream" is zero or more concatenated wire/snapshot.hpp frames:
 /// what a windowed vantage writes per epoch (one frame per closed window),
 /// what several vantages' outputs look like cat-ed together, and what
-/// arrives on the collector's stdin. This reader owns the bytes and yields
-/// validated FrameViews one at a time; both the collector's file and
-/// --stdin paths run through it, so single-frame files and multi-window
-/// replays are handled identically.
+/// arrives on the collector's stdin or over a vantage socket. The reader
+/// runs in two modes over one API:
+///
+///  * **whole-buffer** (from_file / from_stream / the byte-vector
+///    constructor): the input is complete up front; next() yields every
+///    frame and a truncated tail is an error;
+///  * **incremental** (default-construct, then feed() arbitrary chunks —
+///    e.g. whatever recv() returned): next() yields a frame as soon as
+///    its last byte arrived and returns nullopt while one is still
+///    partial; finish() marks EOF, after which a partial tail throws —
+///    exactly the whole-buffer semantics.
+///
+/// Both modes validate identically (scan incrementally, then the full
+/// parse_frame magic→version→size→CRC pass), so frames decoded from a
+/// socket one byte at a time are byte-identical to a whole-buffer decode
+/// (tests/wire_incremental_reader_test.cpp pins this).
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,34 +34,67 @@
 
 namespace hhh::pipeline {
 
-/// Owning iterator over a byte buffer of concatenated snapshot frames.
+/// Owning iterator over a byte stream of concatenated snapshot frames.
 class SnapshotFrameReader {
  public:
-  /// Reader over `bytes` (moved in; FrameViews point into it).
-  explicit SnapshotFrameReader(std::vector<std::uint8_t> bytes)
-      : bytes_(std::move(bytes)) {}
+  /// Incremental reader: feed() chunks as they arrive, call finish() at
+  /// EOF. `max_payload` caps any single frame's declared payload (typed
+  /// kBadValue beyond it) so a corrupt length cannot drive an unbounded
+  /// buffer inside a daemon.
+  explicit SnapshotFrameReader(std::size_t max_payload = wire::kMaxStreamPayloadBytes)
+      : max_payload_(max_payload) {}
 
-  /// Reader over the whole content of the file at `path`. Throws
+  /// Whole-buffer reader over `bytes` (moved in; FrameViews point into it).
+  explicit SnapshotFrameReader(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)), finished_(true) {}
+
+  /// Whole-buffer reader over the content of the file at `path`. Throws
   /// std::runtime_error on I/O failure.
   static SnapshotFrameReader from_file(const std::string& path) {
     return SnapshotFrameReader(wire::read_file(path));
   }
 
-  /// Reader draining an open stream (e.g. stdin) — reads to EOF first,
-  /// then iterates; a consumer that must react per frame while the
-  /// producer is still running should parse incrementally instead.
+  /// Whole-buffer reader draining an open stream (e.g. stdin) — reads to
+  /// EOF first, then iterates; a consumer that must react per frame while
+  /// the producer is still running feeds an incremental reader instead.
   /// Throws std::runtime_error on a read error.
   static SnapshotFrameReader from_stream(std::FILE* f) {
     return SnapshotFrameReader(wire::read_stream(f));
   }
 
-  /// Validate and return the next frame, or nullopt once the buffer is
-  /// exhausted. Throws wire::WireFormatError on malformed bytes (a
-  /// truncated tail is an error, not an end-of-stream).
+  /// Append a chunk of stream bytes (incremental mode). Invalidates any
+  /// FrameView previously returned by next() — consume frames before
+  /// feeding more. Throws std::logic_error after finish().
+  void feed(std::span<const std::uint8_t> chunk) {
+    if (finished_) throw std::logic_error("SnapshotFrameReader: feed() after finish()");
+    compact();
+    bytes_.insert(bytes_.end(), chunk.begin(), chunk.end());
+  }
+
+  /// Mark end of stream: no further feed() calls. After this, next() over
+  /// a partial trailing frame throws kTruncated instead of waiting.
+  void finish() noexcept { finished_ = true; }
+
+  /// True once finish() was called (whole-buffer readers start finished).
+  bool finished() const noexcept { return finished_; }
+
+  /// Validate and return the next frame; nullopt when the buffer holds no
+  /// complete frame — which means end-of-stream when finished(), and
+  /// "feed more bytes" otherwise. Throws wire::WireFormatError on
+  /// malformed bytes; a truncated tail is an error once finished(), and
+  /// structurally impossible prefixes (bad magic, unknown version/kind,
+  /// payload beyond the cap) throw as soon as they are decidable. The
+  /// returned view points into the reader and is valid until the next
+  /// feed() or next() call.
   std::optional<wire::FrameView> next() {
-    if (pos_ >= bytes_.size()) return std::nullopt;
-    const wire::FrameView frame =
-        wire::parse_frame(std::span<const std::uint8_t>(bytes_).subspan(pos_));
+    const auto rest = std::span<const std::uint8_t>(bytes_).subspan(pos_);
+    if (rest.empty()) return std::nullopt;
+    if (!finished_) {
+      // Incremental: distinguish "not yet" from "malformed" before the
+      // full parse (scan throws on prefixes that can never become valid).
+      if (!wire::scan_frame(rest, max_payload_).complete) return std::nullopt;
+    }
+    const wire::FrameView frame = wire::parse_frame(rest);
     pos_ += frame.frame_size;
     ++frames_read_;
     return frame;
@@ -57,10 +103,25 @@ class SnapshotFrameReader {
   /// Frames yielded so far.
   std::size_t frames_read() const noexcept { return frames_read_; }
 
+  /// Bytes buffered but not yet consumed by next() — the incremental
+  /// reader's memory footprint (backpressure accounting).
+  std::size_t buffered_bytes() const noexcept { return bytes_.size() - pos_; }
+
  private:
+  /// Drop the consumed prefix before growing the buffer, so a long-lived
+  /// connection's memory is bounded by one in-flight frame, not by the
+  /// whole history it has streamed.
+  void compact() {
+    if (pos_ == 0) return;
+    bytes_.erase(bytes_.begin(), bytes_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+
   std::vector<std::uint8_t> bytes_;
   std::size_t pos_ = 0;
   std::size_t frames_read_ = 0;
+  std::size_t max_payload_ = wire::kMaxStreamPayloadBytes;
+  bool finished_ = false;
 };
 
 }  // namespace hhh::pipeline

@@ -105,17 +105,35 @@ class PcapSource final : public PacketSource {
   std::optional<TimePoint> first_;
 };
 
+class SteadyPaceClock final : public PaceClock {
+ public:
+  std::int64_t now_ns() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void sleep_until_ns(std::int64_t deadline_ns) override {
+    const std::int64_t now = now_ns();
+    if (deadline_ns > now) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(deadline_ns - now));
+    }
+  }
+};
+
 class PacedSource final : public PacketSource {
  public:
-  PacedSource(std::unique_ptr<PacketSource> inner, const PaceConfig& pace)
-      : inner_(std::move(inner)), pace_(pace) {}
+  PacedSource(std::unique_ptr<PacketSource> inner, const PaceConfig& pace,
+              PaceClock* clock)
+      : inner_(std::move(inner)), pace_(pace),
+        clock_(clock != nullptr ? clock : &steady_pace_clock()) {}
 
   std::optional<PacketRecord> next() override {
     // Consume the packet next_batch() may have buffered first, or mixing
     // the two interfaces would deliver out of timestamp order.
     auto p = lookahead_ ? std::exchange(lookahead_, std::nullopt) : inner_->next();
     if (!p) return std::nullopt;
-    wait_until(deadline_of(*p));
+    clock_->sleep_until_ns(deadline_of(*p));
     note_delivery(*p);
     return p;
   }
@@ -131,9 +149,9 @@ class PacedSource final : public PacketSource {
         lookahead_ = inner_->next();
         if (!lookahead_) break;
       }
-      const auto deadline = deadline_of(*lookahead_);
-      if (n > 0 && deadline > Clock::now()) break;
-      wait_until(deadline);
+      const std::int64_t deadline = deadline_of(*lookahead_);
+      if (n > 0 && deadline > clock_->now_ns()) break;
+      clock_->sleep_until_ns(deadline);
       out[n++] = *lookahead_;
       note_delivery(*lookahead_);
       lookahead_.reset();
@@ -145,7 +163,7 @@ class PacedSource final : public PacketSource {
     if (!started_) return std::nullopt;
     if (pace_.speed > 0.0) {
       const double elapsed_s =
-          std::chrono::duration<double>(Clock::now() - wall_start_).count();
+          static_cast<double>(clock_->now_ns() - wall_start_ns_) / 1e9;
       return *trace_start_ + Duration::from_seconds(elapsed_s * pace_.speed);
     }
     // Token-bucket pacing preserves record timestamps but decouples them
@@ -156,29 +174,21 @@ class PacedSource final : public PacketSource {
   std::string name() const override { return inner_->name() + "+paced"; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
-  Clock::time_point deadline_of(const PacketRecord& p) {
+  std::int64_t deadline_of(const PacketRecord& p) {
     if (!started_) {
       started_ = true;
-      wall_start_ = Clock::now();
+      wall_start_ns_ = clock_->now_ns();
       trace_start_ = p.ts;
     }
     if (pace_.target_pps > 0.0) {
-      return wall_start_ + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(
-                                   static_cast<double>(delivered_) / pace_.target_pps));
+      return wall_start_ns_ + static_cast<std::int64_t>(
+                                  static_cast<double>(delivered_) / pace_.target_pps * 1e9);
     }
     if (pace_.speed > 0.0) {
-      return wall_start_ + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(
-                                   (p.ts - *trace_start_).to_seconds() / pace_.speed));
+      return wall_start_ns_ + static_cast<std::int64_t>(
+                                  (p.ts - *trace_start_).to_seconds() / pace_.speed * 1e9);
     }
-    return wall_start_;  // unpaced
-  }
-
-  static void wait_until(Clock::time_point deadline) {
-    if (deadline > Clock::now()) std::this_thread::sleep_until(deadline);
+    return wall_start_ns_;  // unpaced
   }
 
   void note_delivery(const PacketRecord& p) {
@@ -188,15 +198,21 @@ class PacedSource final : public PacketSource {
 
   std::unique_ptr<PacketSource> inner_;
   PaceConfig pace_;
+  PaceClock* clock_;
   std::optional<PacketRecord> lookahead_;
   bool started_ = false;
-  Clock::time_point wall_start_{};
+  std::int64_t wall_start_ns_ = 0;
   std::optional<TimePoint> trace_start_;
   std::uint64_t delivered_ = 0;
   TimePoint last_ts_;
 };
 
 }  // namespace
+
+PaceClock& steady_pace_clock() {
+  static SteadyPaceClock clock;
+  return clock;
+}
 
 std::unique_ptr<PacketSource> make_vector_source(std::vector<PacketRecord> packets) {
   return std::make_unique<VectorSource>(std::move(packets));
@@ -221,8 +237,8 @@ std::unique_ptr<PacketSource> make_pcap_source(const std::string& path,
 }
 
 std::unique_ptr<PacketSource> make_paced_source(std::unique_ptr<PacketSource> inner,
-                                                const PaceConfig& pace) {
-  return std::make_unique<PacedSource>(std::move(inner), pace);
+                                                const PaceConfig& pace, PaceClock* clock) {
+  return std::make_unique<PacedSource>(std::move(inner), pace, clock);
 }
 
 }  // namespace hhh::pipeline

@@ -104,10 +104,31 @@ struct PaceConfig {
   double speed = 0.0;
 };
 
-/// Wrap `inner` with wall-clock pacing per `pace`. stream_now() maps wall
-/// time back to trace time so wall-clock window policies can close windows
-/// through quiet stretches of a paced replay.
+/// The wall clock PacedSource paces against. Production uses the process
+/// steady clock; tests inject a fake so pacing arithmetic is asserted
+/// deterministically instead of timing real sleeps against a loaded CI
+/// machine (docs/TESTING.md: never assert on wall-clock durations).
+class PaceClock {
+ public:
+  virtual ~PaceClock() = default;
+
+  /// Monotonic now, in nanoseconds from an arbitrary epoch.
+  virtual std::int64_t now_ns() = 0;
+
+  /// Block until now_ns() >= deadline_ns (no-op when already past).
+  virtual void sleep_until_ns(std::int64_t deadline_ns) = 0;
+};
+
+/// The process steady clock (PacedSource's default). Borrowed singleton.
+PaceClock& steady_pace_clock();
+
+/// Wrap `inner` with wall-clock pacing per `pace`, against `clock`
+/// (nullptr = steady_pace_clock(); a non-null clock is borrowed and must
+/// outlive the source). stream_now() maps wall time back to trace time so
+/// wall-clock window policies can close windows through quiet stretches
+/// of a paced replay.
 std::unique_ptr<PacketSource> make_paced_source(std::unique_ptr<PacketSource> inner,
-                                                const PaceConfig& pace);
+                                                const PaceConfig& pace,
+                                                PaceClock* clock = nullptr);
 
 }  // namespace hhh::pipeline

@@ -1,0 +1,52 @@
+#include "service/endpoint.hpp"
+
+#include <charconv>
+
+namespace hhh::service {
+
+namespace {
+
+std::optional<std::uint16_t> parse_port(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value > 65535) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+}  // namespace
+
+std::optional<Endpoint> Endpoint::parse(std::string_view text) {
+  if (text.rfind("unix:", 0) == 0) {
+    Endpoint ep;
+    ep.kind = Kind::kUnix;
+    ep.path = std::string(text.substr(5));
+    if (ep.path.empty()) return std::nullopt;
+    return ep;
+  }
+  if (text.rfind("tcp:", 0) == 0) text.remove_prefix(4);
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto port = parse_port(text.substr(colon + 1));
+  if (!port) return std::nullopt;
+  Endpoint ep;
+  ep.kind = Kind::kTcp;
+  ep.host = std::string(text.substr(0, colon));
+  // Strip IPv6 literal brackets: getaddrinfo wants the bare address.
+  if (ep.host.size() >= 2 && ep.host.front() == '[' && ep.host.back() == ']') {
+    ep.host = ep.host.substr(1, ep.host.size() - 2);
+  }
+  ep.port = *port;
+  return ep;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  const bool v6_literal = host.find(':') != std::string::npos;
+  const std::string h = v6_literal ? "[" + host + "]" : host;
+  return "tcp:" + h + ":" + std::to_string(port);
+}
+
+}  // namespace hhh::service

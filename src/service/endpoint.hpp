@@ -1,0 +1,42 @@
+/// \file
+/// Endpoint — the one address syntax every networked tool in the repo
+/// shares: `unix:PATH` for Unix-domain sockets, `tcp:HOST:PORT` or the
+/// bare `HOST:PORT` shorthand for TCP. Parsing lives here (pure, no
+/// socket headers) so tools validate addresses in parse_args without
+/// touching the network layer; service/socket.hpp turns an Endpoint
+/// into file descriptors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hhh::service {
+
+/// A parsed listen/connect address.
+struct Endpoint {
+  enum class Kind : std::uint8_t {
+    kTcp,   ///< TCP over IPv4/IPv6 (host resolved via getaddrinfo)
+    kUnix,  ///< Unix-domain stream socket at a filesystem path
+  };
+
+  Kind kind = Kind::kTcp;
+  std::string host;         ///< TCP host (name or literal; "" = wildcard)
+  std::uint16_t port = 0;   ///< TCP port (0 = ephemeral when listening)
+  std::string path;         ///< Unix-domain socket path
+
+  /// Parse `unix:PATH`, `tcp:HOST:PORT` or `HOST:PORT`. The port split is
+  /// on the last ':' so bracketed IPv6 literals (`tcp:[::1]:9000`) work.
+  /// Returns nullopt on malformed input (empty path, missing or
+  /// non-numeric port, port out of range).
+  static std::optional<Endpoint> parse(std::string_view text);
+
+  /// Canonical rendering ("unix:/run/x.sock", "tcp:host:9000").
+  std::string to_string() const;
+
+  /// Field-wise equality.
+  bool operator==(const Endpoint&) const = default;
+};
+
+}  // namespace hhh::service

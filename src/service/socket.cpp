@@ -1,0 +1,167 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace hhh::service {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Fd listen_on(const Endpoint& ep, std::uint16_t* bound_port) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd) fail("socket(AF_UNIX)");
+    ::unlink(ep.path.c_str());  // a stale socket file from a crashed run
+    const sockaddr_un addr = unix_addr(ep.path);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      fail("bind(" + ep.to_string() + ")");
+    }
+    if (::listen(fd.get(), SOMAXCONN) != 0) fail("listen(" + ep.to_string() + ")");
+    if (bound_port) *bound_port = 0;
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(ep.port);
+  const int rc = ::getaddrinfo(ep.host.empty() ? nullptr : ep.host.c_str(),
+                               port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw std::runtime_error("getaddrinfo(" + ep.to_string() + "): " + gai_strerror(rc));
+  }
+  std::string last_error = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd) continue;
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd.get(), SOMAXCONN) != 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (bound_port) *bound_port = local_port(fd.get());
+    ::freeaddrinfo(res);
+    return fd;
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("listen(" + ep.to_string() + "): " + last_error);
+}
+
+Fd connect_to(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd) fail("socket(AF_UNIX)");
+    const sockaddr_un addr = unix_addr(ep.path);
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      fail("connect(" + ep.to_string() + ")");
+    }
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(ep.port);
+  const std::string host = ep.host.empty() ? "127.0.0.1" : ep.host;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw std::runtime_error("getaddrinfo(" + ep.to_string() + "): " + gai_strerror(rc));
+  }
+  std::string last_error = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd) continue;
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last_error = std::strerror(errno);
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("connect(" + ep.to_string() + "): " + last_error);
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) != 0) fail("fcntl(F_SETFL)");
+}
+
+ReadResult read_some(int fd, void* buf, std::size_t cap) noexcept {
+  const ssize_t n = ::read(fd, buf, cap);
+  if (n > 0) return {ReadStatus::kData, static_cast<std::size_t>(n), 0};
+  if (n == 0) return {ReadStatus::kEof, 0, 0};
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return {ReadStatus::kWouldBlock, 0, 0};
+  }
+  return {ReadStatus::kError, 0, errno};
+}
+
+bool write_all(int fd, const void* buf, std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    fail("getsockname");
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return 0;
+}
+
+}  // namespace hhh::service

@@ -1,0 +1,90 @@
+/// \file
+/// Thin POSIX socket layer under the collector service: RAII file
+/// descriptors plus the four operations the daemon and the vantage
+/// client need (listen, connect, partial read, full write). Everything
+/// reports failure via std::system_error-style std::runtime_error with
+/// errno detail; no silent -1 returns escape this header's API except
+/// the explicitly non-throwing read/write primitives a poll loop needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "service/endpoint.hpp"
+
+namespace hhh::service {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  /// The raw descriptor (-1 when empty).
+  int get() const noexcept { return fd_; }
+  /// True when a descriptor is held.
+  explicit operator bool() const noexcept { return fd_ >= 0; }
+  /// Close the held descriptor, if any.
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of one non-blocking read attempt.
+enum class ReadStatus : std::uint8_t {
+  kData,        ///< `n` bytes were read
+  kEof,         ///< orderly peer shutdown
+  kWouldBlock,  ///< nothing available right now (EAGAIN/EINTR)
+  kError,       ///< connection-level error (errno in `err`)
+};
+
+/// One read(2) worth of bytes.
+struct ReadResult {
+  ReadStatus status = ReadStatus::kWouldBlock;
+  std::size_t n = 0;  ///< bytes read when status == kData
+  int err = 0;        ///< errno when status == kError
+};
+
+/// Bind + listen on `ep`. For TCP, resolves `host` via getaddrinfo (empty
+/// host = wildcard) and fills `bound_port` (when non-null) with the
+/// kernel-assigned port — how tests listen on port 0. For Unix-domain,
+/// unlinks a stale socket file first. Throws std::runtime_error with
+/// errno detail on failure.
+Fd listen_on(const Endpoint& ep, std::uint16_t* bound_port = nullptr);
+
+/// Connect (blocking) to `ep`. Throws std::runtime_error on failure —
+/// callers implementing retry loops catch and re-attempt.
+Fd connect_to(const Endpoint& ep);
+
+/// Toggle O_NONBLOCK. Throws std::runtime_error on fcntl failure.
+void set_nonblocking(int fd, bool on);
+
+/// One read(2) into `buf`, mapped to a typed status (EINTR and
+/// EAGAIN/EWOULDBLOCK fold into kWouldBlock). Never throws.
+ReadResult read_some(int fd, void* buf, std::size_t cap) noexcept;
+
+/// Write all `len` bytes (blocking; retries short writes and EINTR; sends
+/// with MSG_NOSIGNAL so a dead peer yields EPIPE, not SIGPIPE). Returns
+/// false on any connection error. Never throws.
+bool write_all(int fd, const void* buf, std::size_t len) noexcept;
+
+/// The local port of a bound TCP socket. Throws std::runtime_error on
+/// getsockname failure.
+std::uint16_t local_port(int fd);
+
+}  // namespace hhh::service

@@ -1,0 +1,128 @@
+#include "service/vantage_client.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include <poll.h>
+
+#include "pipeline/snapshot_stream.hpp"
+#include "service/frame_stream.hpp"
+#include "util/logging.hpp"
+
+namespace hhh::service {
+
+namespace {
+
+constexpr auto kRetryInterval = std::chrono::milliseconds(200);
+
+}  // namespace
+
+VantageClient::VantageClient(VantageClientOptions options)
+    : options_(std::move(options)) {}
+
+VantageClient::~VantageClient() = default;
+
+bool VantageClient::ensure_connected() {
+  if (connected_) return true;
+  try {
+    fd_ = connect_to(options_.endpoint);
+  } catch (const std::exception& e) {
+    HHH_DEBUG << "vantage " << options_.name << ": " << e.what();
+    return false;
+  }
+  const auto hello =
+      build_hello(Hello{.vantage = options_.name, .window_ns = options_.window_ns});
+  if (!write_all(fd_.get(), hello.data(), hello.size())) {
+    fd_.reset();
+    return false;
+  }
+  // Replay the whole journal: the collector dedups (vantage, epoch), so
+  // over-sending is safe and under-sending is not.
+  for (const auto& frame : journal_) {
+    if (!write_all(fd_.get(), frame.data(), frame.size())) {
+      fd_.reset();
+      return false;
+    }
+  }
+  connected_ = true;
+  return true;
+}
+
+bool VantageClient::send_bytes(const std::vector<std::uint8_t>& bytes) {
+  if (!connected_) return false;
+  if (write_all(fd_.get(), bytes.data(), bytes.size())) return true;
+  fd_.reset();
+  connected_ = false;
+  return false;
+}
+
+void VantageClient::send_epoch(std::int64_t start_ns, std::int64_t end_ns,
+                               std::span<const std::uint8_t> inner_frame) {
+  const std::uint64_t seq = journal_.size();
+  journal_.push_back(build_epoch(start_ns, end_ns, seq, inner_frame));
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(options_.retry_for_s);
+  bool first_attempt = true;
+  for (;;) {
+    // ensure_connected() replays the journal (including the new frame)
+    // after a reconnect, so only an already-open connection needs the
+    // explicit send.
+    if (connected_ ? send_bytes(journal_.back()) : ensure_connected()) return;
+    if (!first_attempt) ++reconnects_;
+    first_attempt = false;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("vantage " + options_.name + ": could not deliver to " +
+                               options_.endpoint.to_string() + " within " +
+                               std::to_string(options_.retry_for_s) + "s");
+    }
+    std::this_thread::sleep_for(kRetryInterval);
+  }
+}
+
+bool VantageClient::await_ack() {
+  pipeline::SnapshotFrameReader reader;
+  std::uint8_t buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(options_.ack_timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{.fd = fd_.get(), .events = POLLIN, .revents = 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) return false;
+    if (rc == 0) continue;
+    const ReadResult r = read_some(fd_.get(), buf, sizeof(buf));
+    if (r.status == ReadStatus::kEof || r.status == ReadStatus::kError) return false;
+    if (r.status != ReadStatus::kData) continue;
+    try {
+      reader.feed(std::span<const std::uint8_t>(buf, r.n));
+      while (const auto frame = reader.next()) {
+        if (frame->kind == wire::SnapshotKind::kStreamBye) return true;
+      }
+    } catch (const std::exception& e) {
+      HHH_WARN << "vantage " << options_.name << ": bad ack stream: " << e.what();
+      return false;
+    }
+  }
+  return false;
+}
+
+bool VantageClient::finish() {
+  const auto bye = build_bye(Bye{.frames_sent = journal_.size()});
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(options_.retry_for_s);
+  for (;;) {
+    if (ensure_connected() && send_bytes(bye) && await_ack()) {
+      fd_.reset();
+      connected_ = false;
+      return true;
+    }
+    fd_.reset();
+    connected_ = false;
+    ++reconnects_;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(kRetryInterval);
+  }
+}
+
+}  // namespace hhh::service

@@ -1,0 +1,76 @@
+/// \file
+/// VantageClient — the sending half of the collector stream protocol
+/// (service/frame_stream.hpp): what `hhh-live --connect` and a
+/// collector's `--publish` use to ship epoch frames upstream.
+///
+/// Delivery model: every built epoch frame is kept in an in-memory
+/// journal for the life of the client. On any connection failure the
+/// client reconnects (bounded by a retry budget), replays the greeting
+/// and then *the whole journal* — the collector's (vantage, epoch)
+/// dedup keeps exactly one copy, so replaying everything is the simple
+/// way to survive a collector restart without tracking which frames the
+/// old process actually consumed. finish() sends the bye and waits for
+/// the collector's ack frame, which proves the bytes were consumed by a
+/// live collector rather than parked in the kernel buffer of a dying
+/// one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "service/endpoint.hpp"
+#include "service/socket.hpp"
+
+namespace hhh::service {
+
+/// Client configuration.
+struct VantageClientOptions {
+  Endpoint endpoint;           ///< where the collector listens
+  std::string name;            ///< stable vantage name (the hello's identity)
+  std::int64_t window_ns = 0;  ///< window length announced in the hello
+  double retry_for_s = 10.0;   ///< total reconnect budget per operation
+  double ack_timeout_s = 10.0; ///< how long finish() waits for the ack
+};
+
+/// The sender described in the file header.
+class VantageClient {
+ public:
+  /// A client for `options.endpoint`; connects lazily on first send.
+  explicit VantageClient(VantageClientOptions options);
+  ~VantageClient();
+
+  VantageClient(const VantageClient&) = delete;
+  VantageClient& operator=(const VantageClient&) = delete;
+
+  /// Journal and send one epoch frame wrapping `inner_frame` (one
+  /// complete snapshot frame). Sequence numbers are assigned here.
+  /// Throws std::runtime_error once the retry budget is exhausted
+  /// without a successful (re)send.
+  void send_epoch(std::int64_t start_ns, std::int64_t end_ns,
+                  std::span<const std::uint8_t> inner_frame);
+
+  /// Send the bye and wait for the collector's ack. Retries (reconnect,
+  /// replay journal, re-bye) within the budgets. Returns true when the
+  /// ack arrived — the collector consumed every frame.
+  bool finish();
+
+  /// Epoch frames journaled so far.
+  std::uint64_t frames_sent() const noexcept { return journal_.size(); }
+  /// Reconnects performed (observability; tests assert recovery ran).
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
+
+ private:
+  bool ensure_connected();  // connect + hello + replay journal
+  bool send_bytes(const std::vector<std::uint8_t>& bytes);
+  bool await_ack();
+
+  VantageClientOptions options_;
+  Fd fd_;
+  bool connected_ = false;
+  std::vector<std::vector<std::uint8_t>> journal_;
+  std::uint64_t reconnects_ = 0;
+};
+
+}  // namespace hhh::service

@@ -21,6 +21,10 @@ const char* to_string(SnapshotKind kind) noexcept {
     case SnapshotKind::kWcssDetector: return "wcss_detector";
     case SnapshotKind::kTdbfDetector: return "tdbf_detector";
     case SnapshotKind::kDisjointWindow: return "disjoint_window";
+    case SnapshotKind::kStreamHello: return "stream_hello";
+    case SnapshotKind::kEpochFrame: return "epoch_frame";
+    case SnapshotKind::kStreamBye: return "stream_bye";
+    case SnapshotKind::kCollectorCheckpoint: return "collector_checkpoint";
   }
   return "unknown";
 }
@@ -29,7 +33,7 @@ namespace {
 
 bool known_kind(std::uint16_t k) noexcept {
   return k >= static_cast<std::uint16_t>(SnapshotKind::kExactEngine) &&
-         k <= static_cast<std::uint16_t>(SnapshotKind::kDisjointWindow);
+         k <= static_cast<std::uint16_t>(SnapshotKind::kCollectorCheckpoint);
 }
 
 }  // namespace
@@ -82,6 +86,37 @@ FrameView parse_frame(std::span<const std::uint8_t> buffer) {
   view.frame_size = static_cast<std::size_t>(frame_size);
   view.version = version;
   return view;
+}
+
+FrameScan scan_frame(std::span<const std::uint8_t> buffer, std::size_t max_payload) {
+  // Magic: reject a wrong prefix as soon as the first differing byte is
+  // buffered — a peer speaking the wrong protocol fails on byte one.
+  const std::size_t magic_have = std::min(buffer.size(), sizeof(kSnapshotMagic));
+  check(magic_have == 0 ||
+            std::memcmp(buffer.data(), kSnapshotMagic, magic_have) == 0,
+        WireError::kBadMagic, "missing HHHS magic");
+  if (buffer.size() < kFrameHeaderBytes) {
+    return FrameScan{.complete = false, .bytes_needed = kFrameHeaderBytes};
+  }
+  Reader header(buffer.subspan(sizeof(kSnapshotMagic), 12));
+  const std::uint16_t version = header.u16();
+  if (version < kSnapshotMinVersion || version > kSnapshotVersion) {
+    throw WireFormatError(WireError::kBadVersion,
+                          "frame version " + std::to_string(version) +
+                              ", this build reads versions " +
+                              std::to_string(kSnapshotMinVersion) + ".." +
+                              std::to_string(kSnapshotVersion));
+  }
+  check(known_kind(header.u16()), WireError::kBadValue, "unknown snapshot kind");
+  const std::uint64_t payload_len = header.u64();
+  check(payload_len <= max_payload, WireError::kBadValue,
+        "declared payload exceeds the stream decoder's size cap");
+  const std::size_t frame_size =
+      kFrameHeaderBytes + static_cast<std::size_t>(payload_len) + kFrameCrcBytes;
+  if (buffer.size() < frame_size) {
+    return FrameScan{.complete = false, .bytes_needed = frame_size};
+  }
+  return FrameScan{.complete = true, .bytes_needed = frame_size};
 }
 
 SnapshotKind engine_snapshot_kind(const HhhEngine& engine) {

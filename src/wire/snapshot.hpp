@@ -67,6 +67,10 @@ enum class SnapshotKind : std::uint16_t {
   kWcssDetector = 6,    ///< WcssSlidingHhhDetector
   kTdbfDetector = 7,    ///< TimeDecayingHhhDetector checkpoint
   kDisjointWindow = 8,  ///< DisjointWindowHhhDetector checkpoint
+  kStreamHello = 9,     ///< collector-service stream greeting (service/frame_stream.hpp)
+  kEpochFrame = 10,     ///< epoch envelope: window span + one embedded frame
+  kStreamBye = 11,      ///< clean end-of-stream marker (and the collector's ack)
+  kCollectorCheckpoint = 12,  ///< hhh-collectord crash-recovery checkpoint
 };
 
 /// Stable lower-case name of a SnapshotKind ("exact_engine", ...).
@@ -89,6 +93,36 @@ std::vector<std::uint8_t> build_frame(SnapshotKind kind,
 /// concatenated frame streams are consumed; use FrameView::frame_size to
 /// advance. Throws WireFormatError on any violation.
 FrameView parse_frame(std::span<const std::uint8_t> buffer);
+
+/// Sanity cap a *stream* decoder applies to a declared payload length
+/// before buffering: a corrupt or hostile length field must produce a
+/// typed error, not a multi-gigabyte allocation inside a daemon. Large
+/// enough for every real snapshot (the biggest committed engine frame is
+/// tens of MB).
+inline constexpr std::size_t kMaxStreamPayloadBytes = std::size_t{1} << 30;
+
+/// Incremental (chunk-at-a-time) look at the head of `buffer`.
+struct FrameScan {
+  /// True once `buffer` holds the whole first frame (parse_frame will not
+  /// report kTruncated for it).
+  bool complete = false;
+  /// When complete: total frame bytes. When incomplete: the minimum
+  /// buffer size at which the scan can make further progress (the next
+  /// feed target, not necessarily the final frame size).
+  std::size_t bytes_needed = 0;
+};
+
+/// Classify the head of a growing buffer without requiring the full
+/// frame: the incremental seam under socket readers. Violations that are
+/// already decidable from the available prefix throw immediately — bad
+/// magic bytes (kBadMagic, even with fewer than 4 bytes buffered),
+/// unknown version (kBadVersion), unknown kind (kBadValue), or a declared
+/// payload above `max_payload` (kBadValue) — so a garbage peer is
+/// rejected on its first bytes instead of after an unbounded buffer.
+/// CRC and payload validation stay in parse_frame once the frame is
+/// complete.
+FrameScan scan_frame(std::span<const std::uint8_t> buffer,
+                     std::size_t max_payload = kMaxStreamPayloadBytes);
 
 /// The SnapshotKind a serializable engine's snapshot carries, derived
 /// from the engine's stable name(). Throws WireFormatError

@@ -7,6 +7,7 @@
 // sliding/decaying stage pairings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -143,19 +144,48 @@ TEST(PacketSourceTest, PcapSourceRebasesAndCounts) {
   std::filesystem::remove(path);
 }
 
+// A deterministic PaceClock: sleep_until_ns() advances the clock instead
+// of blocking, so pacing arithmetic is asserted exactly (docs/TESTING.md:
+// timing tests never measure real wall-clock durations).
+class FakePaceClock final : public PaceClock {
+ public:
+  std::int64_t now_ns() override { return now_; }
+  void sleep_until_ns(std::int64_t deadline_ns) override {
+    now_ = std::max(now_, deadline_ns);
+  }
+
+ private:
+  std::int64_t now_ = 1'000'000'000;  // arbitrary nonzero epoch
+};
+
 TEST(PacketSourceTest, PacedSourcePacesDeliveryAtTargetPps) {
   const auto packets = harness::packet_train(Ipv4Address::of(10, 0, 0, 1), 100, 200);
-  auto source = make_paced_source(make_vector_source(packets), {.target_pps = 20000.0});
+  FakePaceClock clock;
+  const std::int64_t t0 = clock.now_ns();
+  auto source =
+      make_paced_source(make_vector_source(packets), {.target_pps = 20000.0}, &clock);
   std::vector<PacketRecord> buffer(64);
-  const auto t0 = std::chrono::steady_clock::now();
   std::size_t total = 0;
   while (const std::size_t n = source->next_batch(buffer)) total += n;
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   EXPECT_EQ(total, packets.size());
-  // 200 packets at 20 kpps is ~10 ms of wall time; allow generous slack
-  // downward (scheduling) but require that pacing actually delayed us.
-  EXPECT_GE(elapsed, 0.005);
+  // Packet k's deadline is t0 + k / pps: the 200th packet lands exactly at
+  // 199 / 20000 s = 9.95 ms after start, and the fake clock never runs
+  // ahead of the last deadline, so equality is exact — no tolerances.
+  EXPECT_EQ(clock.now_ns() - t0, 199 * 1'000'000'000LL / 20000);
+}
+
+TEST(PacketSourceTest, PacedSourceStreamClockTracksSpeedFactor) {
+  // At --speed=60 one wall millisecond is 60 trace milliseconds; stream_now
+  // must report trace time mapped through the injected clock.
+  const auto packets = harness::packet_train(Ipv4Address::of(10, 0, 0, 1), 100, 3,
+                                             /*start=*/0.0, /*gap=*/6.0);
+  FakePaceClock clock;
+  auto source = make_paced_source(make_vector_source(packets), {.speed = 60.0}, &clock);
+  ASSERT_TRUE(source->next());  // starts the pace clock at packet 0 (t=0)
+  ASSERT_TRUE(source->next());  // sleeps until 6 s / 60 = 100 ms of wall time
+  const auto now = source->stream_now();
+  ASSERT_TRUE(now.has_value());
+  EXPECT_EQ(*now, TimePoint::from_seconds(6.0));
 }
 
 TEST(PacketSourceTest, UnpacedPacedSourceDeliversEverythingImmediately) {

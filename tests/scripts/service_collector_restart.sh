@@ -1,0 +1,75 @@
+#!/bin/sh
+# Collector crash recovery: SIGTERM the daemon mid-replay, restart it on
+# the same socket from its checkpoint. The vantage clients reconnect on
+# their own and replay their whole journals; the restored
+# (vantage, epoch) dedup keeps one copy of everything, so the restarted
+# daemon converges to the same hidden-HHH reveal an uninterrupted run
+# produces — asserted via --expect-hidden on the second instance.
+#
+# Usage: service_collector_restart.sh COLLECTORD LIVE FIXTURE_DIR
+set -eu
+
+COLLECTORD=$1
+LIVE=$2
+MV=$3
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+SOCK=$WORK/c.sock
+CKPT=$WORK/checkpoint.snap
+
+"$COLLECTORD" --listen=unix:"$SOCK" --window=60 --grace=10 \
+    --expected-vantages=5 --threshold-bytes=1000000 \
+    --checkpoint="$CKPT" 2> "$WORK/first.err" &
+CPID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ $i -le 100 ] || { echo "FAIL: collector socket never appeared" >&2; exit 1; }
+    sleep 0.1
+done
+
+# Paced so the replays (~1.2 s) straddle the kill below; the generous
+# --retry budget is what carries the clients across the restart gap.
+VPIDS=""
+for v in 0 1 2; do
+    "$LIVE" --trace="$MV/vantage$v.hht" --window=60 --pps=2000 \
+        --connect=unix:"$SOCK" --vantage="v4-$v" --retry=60 &
+    VPIDS="$VPIDS $!"
+done
+for v in 0 1; do
+    "$LIVE" --trace="$MV/v6vantage$v.hht" --engine=exact_v6 --window=60 --pps=2000 \
+        --connect=unix:"$SOCK" --vantage="v6-$v" --retry=60 &
+    VPIDS="$VPIDS $!"
+done
+
+sleep 0.8
+kill -TERM "$CPID"
+wait "$CPID" || { echo "FAIL: first collector did not stop cleanly" >&2; exit 1; }
+[ -f "$CKPT" ] || { echo "FAIL: no checkpoint was written on SIGTERM" >&2; exit 1; }
+
+"$COLLECTORD" --listen=unix:"$SOCK" --window=60 --grace=10 \
+    --expected-vantages=5 --threshold-bytes=1000000 \
+    --checkpoint="$CKPT" --idle-exit=1 \
+    --expect-hidden=203.0.113.0/24 --expect-hidden=2001:db8:113::/48 \
+    --verbose 2> "$WORK/second.err" &
+CPID2=$!
+
+for pid in $VPIDS; do
+    wait "$pid" || { echo "FAIL: a vantage did not survive the collector restart" >&2
+                     sed 's/^/  collectord#2: /' "$WORK/second.err" >&2; exit 1; }
+done
+
+if ! wait "$CPID2"; then
+    echo "FAIL: restarted collector did not converge to the hidden-HHH reveal" >&2
+    sed 's/^/  collectord#2: /' "$WORK/second.err" >&2
+    exit 1
+fi
+
+grep -q "restored checkpoint" "$WORK/second.err" || {
+    echo "FAIL: second collector did not restore from the checkpoint" >&2
+    exit 1
+}
+
+echo "PASS: collector restart from checkpoint converged"

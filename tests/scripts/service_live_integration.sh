@@ -1,0 +1,70 @@
+#!/bin/sh
+# End-to-end collector service acceptance: one hhh-collectord, five
+# hhh-live vantages (3 IPv4 + 2 IPv6) streaming epoch frames over a
+# Unix-domain socket. The daemon must reveal the same hidden HHHs the
+# offline snapshot path finds on the identical traces
+# (203.0.113.0/24 and 2001:db8:113::/48 — the multi_vantage fixture),
+# and its --out merged stream must round-trip through the offline
+# hhh-collector.
+#
+# Usage: service_live_integration.sh COLLECTORD LIVE COLLECTOR FIXTURE_DIR
+set -eu
+
+COLLECTORD=$1
+LIVE=$2
+COLLECTOR=$3
+MV=$4
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+SOCK=$WORK/c.sock
+
+"$COLLECTORD" --listen=unix:"$SOCK" --window=60 --grace=10 \
+    --expected-vantages=5 --threshold-bytes=1000000 --idle-exit=1 \
+    --out="$WORK/merged.snap" \
+    --expect-hidden=203.0.113.0/24 --expect-hidden=2001:db8:113::/48 \
+    2> "$WORK/collectord.err" &
+CPID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ $i -le 100 ] || { echo "FAIL: collector socket never appeared" >&2; exit 1; }
+    sleep 0.1
+done
+
+VPIDS=""
+for v in 0 1 2; do
+    "$LIVE" --trace="$MV/vantage$v.hht" --window=60 --pps=100000 \
+        --connect=unix:"$SOCK" --vantage="v4-$v" --retry=30 &
+    VPIDS="$VPIDS $!"
+done
+for v in 0 1; do
+    "$LIVE" --trace="$MV/v6vantage$v.hht" --engine=exact_v6 --window=60 --pps=100000 \
+        --connect=unix:"$SOCK" --vantage="v6-$v" --retry=30 &
+    VPIDS="$VPIDS $!"
+done
+
+for pid in $VPIDS; do
+    wait "$pid" || { echo "FAIL: a vantage replay exited nonzero" >&2; exit 1; }
+done
+
+# The daemon self-checks the reveal (--expect-hidden => exit 4 on a miss).
+if ! wait "$CPID"; then
+    echo "FAIL: hhh-collectord did not reveal the expected hidden HHHs" >&2
+    sed 's/^/  collectord: /' "$WORK/collectord.err" >&2
+    exit 1
+fi
+
+# The merged stream it wrote is the offline tool's input format, and the
+# merged sets must carry the network-wide heavy hitters.
+OUT=$("$COLLECTOR" --threshold-bytes=1000000 "$WORK/merged.snap")
+for prefix in 203.0.113.0/24 2001:db8:113::/48; do
+    case $OUT in
+        *"$prefix"*) ;;
+        *) echo "FAIL: $prefix missing from the re-collected merged stream" >&2
+           exit 1 ;;
+    esac
+done
+
+echo "PASS: live service merge revealed the hidden HHHs"

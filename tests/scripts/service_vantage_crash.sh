@@ -1,0 +1,67 @@
+#!/bin/sh
+# Vantage crash resilience: the five healthy vantages of the
+# multi_vantage fixture plus a sixth replaying slowly, SIGKILLed
+# mid-stream. The abrupt disconnect must not cost the healthy fleet
+# anything — the daemon still reveals the hidden HHHs and exits cleanly.
+# (The victim's already-delivered frames may legitimately fold in late;
+# its crash must never wedge the epoch pipeline.)
+#
+# Usage: service_vantage_crash.sh COLLECTORD LIVE FIXTURE_DIR
+set -eu
+
+COLLECTORD=$1
+LIVE=$2
+MV=$3
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT INT TERM
+SOCK=$WORK/c.sock
+
+"$COLLECTORD" --listen=unix:"$SOCK" --window=60 --grace=10 \
+    --expected-vantages=5 --threshold-bytes=1000000 --idle-exit=1 \
+    --expect-hidden=203.0.113.0/24 --expect-hidden=2001:db8:113::/48 \
+    --verbose 2> "$WORK/collectord.err" &
+CPID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ $i -le 100 ] || { echo "FAIL: collector socket never appeared" >&2; exit 1; }
+    sleep 0.1
+done
+
+# The victim paces slowly (~1.15 s to its first window frame, ~2.3 s to
+# finish) so the kill below lands mid-stream on a healthy machine. On a
+# loaded one it may die before connecting — either way the healthy
+# assertion below must hold.
+"$LIVE" --trace="$MV/vantage0.hht" --window=60 --pps=1000 \
+    --connect=unix:"$SOCK" --vantage=victim --retry=30 2> /dev/null &
+VICTIM=$!
+
+VPIDS=""
+for v in 0 1 2; do
+    "$LIVE" --trace="$MV/vantage$v.hht" --window=60 --pps=100000 \
+        --connect=unix:"$SOCK" --vantage="v4-$v" --retry=30 &
+    VPIDS="$VPIDS $!"
+done
+for v in 0 1; do
+    "$LIVE" --trace="$MV/v6vantage$v.hht" --engine=exact_v6 --window=60 --pps=100000 \
+        --connect=unix:"$SOCK" --vantage="v6-$v" --retry=30 &
+    VPIDS="$VPIDS $!"
+done
+
+sleep 1.7
+kill -KILL "$VICTIM" 2> /dev/null || true
+wait "$VICTIM" 2> /dev/null || true
+
+for pid in $VPIDS; do
+    wait "$pid" || { echo "FAIL: a healthy vantage replay exited nonzero" >&2; exit 1; }
+done
+
+if ! wait "$CPID"; then
+    echo "FAIL: the crash cost the healthy fleet its hidden-HHH reveal" >&2
+    sed 's/^/  collectord: /' "$WORK/collectord.err" >&2
+    exit 1
+fi
+
+echo "PASS: vantage crash mid-stream did not affect the healthy merge"

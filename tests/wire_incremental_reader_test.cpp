@@ -1,0 +1,304 @@
+// SnapshotFrameReader's incremental mode under adversarial chunkings:
+// frames arriving one byte at a time, split at every possible offset,
+// and split exactly on every header/CRC boundary must decode
+// byte-identical to a whole-buffer pass — and structurally impossible
+// prefixes (bad magic, unknown version/kind, hostile payload lengths)
+// must throw typed errors as soon as they are decidable, never after an
+// unbounded buffer. This is the seam the collector daemon trusts to
+// decode TCP streams, so the matrix here is deliberately exhaustive.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/exact_engine.hpp"
+#include "harness/trace_builder.hpp"
+#include "pipeline/snapshot_stream.hpp"
+#include "wire/snapshot.hpp"
+#include "wire/wire.hpp"
+
+namespace hhh {
+namespace {
+
+using pipeline::SnapshotFrameReader;
+using wire::SnapshotKind;
+using wire::WireError;
+using wire::WireFormatError;
+
+/// A decoded frame, copied out of the reader's buffer so it survives the
+/// next feed()/next() call.
+struct OwnedFrame {
+  SnapshotKind kind;
+  std::uint16_t version;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const OwnedFrame&) const = default;
+};
+
+OwnedFrame own(const wire::FrameView& frame) {
+  return OwnedFrame{frame.kind, frame.version,
+                    std::vector<std::uint8_t>(frame.payload.begin(), frame.payload.end())};
+}
+
+/// Drain every currently-complete frame out of `reader`.
+void drain(SnapshotFrameReader& reader, std::vector<OwnedFrame>& out) {
+  while (const auto frame = reader.next()) out.push_back(own(*frame));
+}
+
+/// The reference decode: the whole stream in one buffer.
+std::vector<OwnedFrame> whole_buffer_decode(const std::vector<std::uint8_t>& stream) {
+  SnapshotFrameReader reader(stream);
+  std::vector<OwnedFrame> frames;
+  drain(reader, frames);
+  return frames;
+}
+
+std::vector<std::uint8_t> small_frame(SnapshotKind kind, std::uint8_t fill,
+                                      std::size_t payload_len) {
+  const std::vector<std::uint8_t> payload(payload_len, fill);
+  return wire::build_frame(kind, payload);
+}
+
+/// A realistic engine snapshot frame (a few hundred bytes).
+std::vector<std::uint8_t> engine_frame() {
+  ExactEngine engine(Hierarchy::byte_granularity());
+  for (const auto& p : harness::TraceBuilder(11).compact_space().packets(64)) engine.add(p);
+  return wire::save_engine(engine);
+}
+
+std::vector<std::uint8_t> concat(std::initializer_list<std::vector<std::uint8_t>> parts) {
+  std::vector<std::uint8_t> out;
+  for (const auto& part : parts) out.insert(out.end(), part.begin(), part.end());
+  return out;
+}
+
+// -------------------------------------------------- chunking equivalence
+
+TEST(IncrementalReader, OneByteAtATimeMatchesWholeBuffer) {
+  const auto stream = concat({engine_frame(), small_frame(SnapshotKind::kStreamBye, 0xAB, 9),
+                              small_frame(SnapshotKind::kStreamHello, 0x00, 0)});
+  const auto expected = whole_buffer_decode(stream);
+  ASSERT_EQ(expected.size(), 3u);
+
+  SnapshotFrameReader reader;
+  std::vector<OwnedFrame> got;
+  for (const std::uint8_t byte : stream) {
+    reader.feed(std::span<const std::uint8_t>(&byte, 1));
+    drain(reader, got);
+  }
+  reader.finish();
+  drain(reader, got);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(reader.frames_read(), expected.size());
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(IncrementalReader, EverySplitOffsetMatchesWholeBuffer) {
+  // Two frames so splits land inside the first frame, exactly between
+  // frames, and inside the second. The every-offset sweep subsumes every
+  // header boundary (magic end at 4, version at 6, kind at 8, length at
+  // 16) and the payload/CRC boundaries of both frames.
+  const auto stream = concat({small_frame(SnapshotKind::kEpochFrame, 0x5A, 21),
+                              small_frame(SnapshotKind::kStreamBye, 0xC3, 8)});
+  const auto expected = whole_buffer_decode(stream);
+  ASSERT_EQ(expected.size(), 2u);
+
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    SnapshotFrameReader reader;
+    std::vector<OwnedFrame> got;
+    reader.feed(std::span<const std::uint8_t>(stream.data(), cut));
+    drain(reader, got);
+    reader.feed(std::span<const std::uint8_t>(stream.data() + cut, stream.size() - cut));
+    reader.finish();
+    drain(reader, got);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(IncrementalReader, ThreeWaySplitsAcrossAnEngineFrame) {
+  // A real engine snapshot cut into three chunks at a spread of offset
+  // pairs — the shape of a large frame crossing two recv() boundaries.
+  const auto stream = engine_frame();
+  const auto expected = whole_buffer_decode(stream);
+  ASSERT_EQ(expected.size(), 1u);
+
+  const std::size_t n = stream.size();
+  for (std::size_t a = 0; a < n; a += 37) {
+    for (std::size_t b = a; b < n; b += 53) {
+      SnapshotFrameReader reader;
+      std::vector<OwnedFrame> got;
+      reader.feed(std::span<const std::uint8_t>(stream.data(), a));
+      drain(reader, got);
+      reader.feed(std::span<const std::uint8_t>(stream.data() + a, b - a));
+      drain(reader, got);
+      reader.feed(std::span<const std::uint8_t>(stream.data() + b, n - b));
+      reader.finish();
+      drain(reader, got);
+      ASSERT_EQ(got, expected) << "splits at " << a << ", " << b;
+    }
+  }
+}
+
+// ------------------------------------------------------ truncation + EOF
+
+TEST(IncrementalReader, PartialTailThrowsTruncatedOnlyAfterFinish) {
+  const auto frame = small_frame(SnapshotKind::kStreamBye, 0x11, 16);
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    SnapshotFrameReader reader;
+    reader.feed(std::span<const std::uint8_t>(frame.data(), cut));
+    EXPECT_EQ(reader.next(), std::nullopt);  // incomplete, not an error
+    reader.finish();
+    try {
+      (void)reader.next();
+      FAIL() << "expected WireFormatError";
+    } catch (const WireFormatError& e) {
+      EXPECT_EQ(e.code(), WireError::kTruncated);
+    }
+  }
+}
+
+TEST(IncrementalReader, FeedAfterFinishThrowsLogicError) {
+  SnapshotFrameReader reader;
+  reader.finish();
+  const std::uint8_t byte = 0;
+  EXPECT_THROW(reader.feed(std::span<const std::uint8_t>(&byte, 1)), std::logic_error);
+}
+
+TEST(IncrementalReader, EmptyStreamFinishesCleanly) {
+  SnapshotFrameReader reader;
+  reader.finish();
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_EQ(reader.frames_read(), 0u);
+}
+
+// ------------------------------------- early rejection of hostile prefixes
+
+TEST(IncrementalReader, GarbageMagicThrowsOnFirstByte) {
+  SnapshotFrameReader reader;
+  const std::uint8_t garbage = 'X';
+  reader.feed(std::span<const std::uint8_t>(&garbage, 1));
+  try {
+    (void)reader.next();
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kBadMagic);
+  }
+}
+
+TEST(IncrementalReader, PartialMagicPrefixIsRejectedAsSoonAsItDiverges) {
+  // "HHx" shares two magic bytes then diverges: decidable at byte 3.
+  SnapshotFrameReader reader;
+  const std::uint8_t bytes[] = {'H', 'H', 'x'};
+  reader.feed(bytes);
+  try {
+    (void)reader.next();
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kBadMagic);
+  }
+}
+
+TEST(IncrementalReader, UnknownVersionThrowsAtHeader) {
+  auto frame = small_frame(SnapshotKind::kStreamBye, 0, 4);
+  frame[4] = 0x63;  // version 99
+  frame[5] = 0x00;
+  SnapshotFrameReader reader;
+  reader.feed(std::span<const std::uint8_t>(frame.data(), wire::kFrameHeaderBytes));
+  try {
+    (void)reader.next();
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kBadVersion);
+  }
+}
+
+TEST(IncrementalReader, UnknownKindThrowsAtHeader) {
+  auto frame = small_frame(SnapshotKind::kStreamBye, 0, 4);
+  frame[6] = 0x63;  // kind 99
+  frame[7] = 0x00;
+  SnapshotFrameReader reader;
+  reader.feed(std::span<const std::uint8_t>(frame.data(), wire::kFrameHeaderBytes));
+  try {
+    (void)reader.next();
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kBadValue);
+  }
+}
+
+TEST(IncrementalReader, PayloadBeyondCapThrowsBeforeBuffering) {
+  // A reader capped at 64 payload bytes must refuse a declared 65-byte
+  // payload from the header alone — a daemon never buffers toward a
+  // hostile length.
+  const auto frame = small_frame(SnapshotKind::kStreamBye, 0, 65);
+  SnapshotFrameReader reader(/*max_payload=*/64);
+  reader.feed(std::span<const std::uint8_t>(frame.data(), wire::kFrameHeaderBytes));
+  try {
+    (void)reader.next();
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kBadValue);
+  }
+}
+
+TEST(IncrementalReader, CorruptCrcThrowsOnceTheFrameCompletes) {
+  auto frame = small_frame(SnapshotKind::kStreamBye, 0x77, 12);
+  frame.back() ^= 0xFF;
+  SnapshotFrameReader reader;
+  // All but the last byte: still incomplete, no verdict yet.
+  reader.feed(std::span<const std::uint8_t>(frame.data(), frame.size() - 1));
+  EXPECT_EQ(reader.next(), std::nullopt);
+  reader.feed(std::span<const std::uint8_t>(frame.data() + frame.size() - 1, 1));
+  try {
+    (void)reader.next();
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kBadCrc);
+  }
+}
+
+// ----------------------------------------------------- scan_frame contract
+
+TEST(FrameScan, ReportsBytesNeededAtEveryPrefixLength) {
+  const auto frame = small_frame(SnapshotKind::kStreamBye, 0x42, 10);
+  for (std::size_t have = 0; have < frame.size(); ++have) {
+    const auto scan =
+        wire::scan_frame(std::span<const std::uint8_t>(frame.data(), have));
+    EXPECT_FALSE(scan.complete) << "at " << have;
+    EXPECT_GT(scan.bytes_needed, have) << "at " << have;
+    EXPECT_LE(scan.bytes_needed, frame.size()) << "at " << have;
+  }
+  const auto done = wire::scan_frame(frame);
+  EXPECT_TRUE(done.complete);
+  EXPECT_EQ(done.bytes_needed, frame.size());
+}
+
+TEST(FrameScan, CompleteFrameSizeMatchesParseFrame) {
+  const auto frame = engine_frame();
+  const auto scan = wire::scan_frame(frame);
+  ASSERT_TRUE(scan.complete);
+  EXPECT_EQ(scan.bytes_needed, wire::parse_frame(frame).frame_size);
+}
+
+// -------------------------------------------------- buffering + compaction
+
+TEST(IncrementalReader, BufferedBytesStayBoundedAcrossALongStream) {
+  // Feeding many frames while draining must not accumulate history: the
+  // buffer holds at most one in-flight frame (the compaction contract a
+  // long-lived daemon connection relies on).
+  const auto frame = small_frame(SnapshotKind::kEpochFrame, 0x99, 40);
+  SnapshotFrameReader reader;
+  for (int i = 0; i < 1000; ++i) {
+    reader.feed(frame);
+    ASSERT_TRUE(reader.next().has_value());
+    ASSERT_EQ(reader.next(), std::nullopt);
+    ASSERT_LE(reader.buffered_bytes(), frame.size());
+  }
+  EXPECT_EQ(reader.frames_read(), 1000u);
+}
+
+}  // namespace
+}  // namespace hhh

@@ -1,23 +1,19 @@
-// hhh-collector — the multi-vantage aggregation point.
+// hhh-collector — the multi-vantage aggregation point (offline mode).
 //
 // Independent vantage-point processes (border routers, PoPs, taps) each
 // run an HhhEngine over their local slice of the traffic and ship a
 // snapshot (wire/snapshot.hpp) per measurement epoch. This tool folds N
-// such snapshots into one network-wide engine via the same merge_from()
-// semantics the sharded front-end uses in-process — lossless for exact
-// engines, summed error bounds for RHHH/HSS, frame-aligned for WCSS
-// sliding detectors — and reports:
+// such snapshots through the same MergeLedger (service/merge.hpp) the
+// hhh-collectord daemon uses — one epoch-merge implementation, two
+// transports, so the offline and streaming paths cannot drift — and
+// reports:
 //
-//   * the merged (network-wide) HHH set;
+//   * the merged (network-wide) HHH set per engine-compatibility group
+//     (mixed IPv4/IPv6 fleets merge and report separately);
 //   * the *hidden* HHHs: prefixes heavy network-wide that no single
 //     vantage reported — the distributed analogue of the paper's
 //     window-hidden HHHs (traffic split across observation scopes falls
 //     below every local threshold yet crosses the global one).
-//
-// Vantages may ship different address families (IPv4 and IPv6 engines
-// from dual-stack deployments): snapshots are grouped by engine
-// compatibility (same name/params) and each group is merged and reported
-// separately, so one collector invocation covers a mixed-family fleet.
 //
 // Inputs are *frame streams*: each file (and stdin) may carry one frame
 // or many concatenated frames — e.g. the per-window stream a windowed
@@ -49,14 +45,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/engine.hpp"
 #include "core/hhh_types.hpp"
-#include "core/wcss_hhh.hpp"
 #include "pipeline/snapshot_stream.hpp"
+#include "service/merge.hpp"
 #include "wire/snapshot.hpp"
 #include "wire/wire.hpp"
 
@@ -65,8 +59,7 @@ namespace {
 using namespace hhh;
 
 struct Options {
-  double phi = 0.05;
-  double threshold_bytes = 0.0;  // 0 = relative mode
+  service::Thresholds thresholds;
   std::string out_path;
   bool from_stdin = false;
   std::vector<std::string> files;
@@ -88,11 +81,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       usage(stdout);
       std::exit(0);
     } else if (arg.rfind("--phi=", 0) == 0) {
-      opt.phi = std::atof(arg.c_str() + 6);
-      if (opt.phi <= 0.0 || opt.phi > 1.0) return false;
+      opt.thresholds.phi = std::atof(arg.c_str() + 6);
+      if (opt.thresholds.phi <= 0.0 || opt.thresholds.phi > 1.0) return false;
     } else if (arg.rfind("--threshold-bytes=", 0) == 0) {
-      opt.threshold_bytes = std::atof(arg.c_str() + 18);
-      if (opt.threshold_bytes <= 0.0) return false;
+      opt.thresholds.threshold_bytes = std::atof(arg.c_str() + 18);
+      if (opt.thresholds.threshold_bytes <= 0.0) return false;
     } else if (arg.rfind("--out=", 0) == 0) {
       opt.out_path = arg.substr(6);
     } else if (arg.rfind("--expect-hidden=", 0) == 0) {
@@ -111,21 +104,6 @@ bool parse_args(int argc, char** argv, Options& opt) {
   return opt.from_stdin ? opt.files.empty() : !opt.files.empty();
 }
 
-/// One vantage point's decoded snapshot plus bookkeeping for the report.
-struct Vantage {
-  std::string label;
-  std::unique_ptr<HhhEngine> engine;                   // engine snapshots
-  std::unique_ptr<WcssSlidingHhhDetector> wcss;        // sliding snapshots
-};
-
-/// The scope-local threshold: absolute-T mode converts T into the phi
-/// this scope's total implies; relative mode uses phi as-is.
-double scope_phi(const Options& opt, double scope_total) {
-  if (opt.threshold_bytes <= 0.0) return opt.phi;
-  if (scope_total <= 0.0) return 1.0;
-  return std::min(1.0, opt.threshold_bytes / scope_total);
-}
-
 void print_set(const char* heading, const HhhSet& set) {
   std::printf("%s (total %llu B, threshold %llu B, %zu HHHs)\n", heading,
               static_cast<unsigned long long>(set.total_bytes),
@@ -139,30 +117,21 @@ void print_set(const char* heading, const HhhSet& set) {
 }
 
 int run(const Options& opt) {
-  // ---- decode every vantage ------------------------------------------------
+  // ---- decode every vantage scope -----------------------------------------
   // Each input is a frame stream (pipeline/snapshot_stream.hpp): one frame
   // per vantage scope. A windowed hhh-live replay contributes one scope
   // per closed window.
-  std::vector<Vantage> vantages;
+  std::vector<service::Scope> scopes;
   try {
-    const auto decode_stream = [&vantages](pipeline::SnapshotFrameReader reader,
-                                           const std::string& origin) {
-      std::vector<Vantage> scopes;
+    const auto decode_stream = [&scopes](pipeline::SnapshotFrameReader reader,
+                                         const std::string& origin) {
+      const std::size_t before = scopes.size();
       while (const auto frame = reader.next()) {
-        Vantage v;
-        v.label = origin + "[" + std::to_string(scopes.size()) + "]";
-        if (frame->kind == wire::SnapshotKind::kWcssDetector) {
-          wire::Reader r(frame->payload, frame->version);
-          v.wcss = WcssSlidingHhhDetector::deserialize(r);
-          wire::check(r.done(), wire::WireError::kTrailingBytes,
-                      "payload continues past detector state");
-        } else {
-          v.engine = wire::load_engine(*frame);
-        }
-        scopes.push_back(std::move(v));
+        const std::string label =
+            origin + "[" + std::to_string(scopes.size() - before) + "]";
+        scopes.push_back(service::decode_scope(*frame, label));
       }
-      if (scopes.size() == 1) scopes.front().label = origin;  // the common case
-      for (auto& v : scopes) vantages.push_back(std::move(v));
+      if (scopes.size() == before + 1) scopes.back().label = origin;  // common case
     };
     if (opt.from_stdin) {
       decode_stream(pipeline::SnapshotFrameReader::from_stream(stdin), "stdin");
@@ -175,112 +144,60 @@ int run(const Options& opt) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-  if (vantages.empty()) {
+  if (scopes.empty()) {
     std::fprintf(stderr, "error: no snapshot frames found\n");
     return 2;
   }
-  const bool sliding = vantages.front().wcss != nullptr;
-  for (const Vantage& v : vantages) {
-    if ((v.wcss != nullptr) != sliding) {
+  const bool sliding = scopes.front().wcss != nullptr;
+  for (const service::Scope& s : scopes) {
+    if ((s.wcss != nullptr) != sliding) {
       std::fprintf(stderr, "error: cannot mix engine and sliding-window snapshots\n");
       return 3;
     }
   }
-  // Group vantages that can merge: same engine name covers family and
-  // mode (exact vs exact_v6, rhhh vs rhhh_v6, ...). Parameter mismatches
-  // within a name still surface as exit code 3 from merge_from below.
-  std::vector<std::string> group_keys;
-  std::vector<std::vector<std::size_t>> groups;
-  for (std::size_t i = 0; i < vantages.size(); ++i) {
-    const std::string key = sliding ? "wcss" : vantages[i].engine->name();
-    std::size_t g = 0;
-    for (; g < group_keys.size(); ++g) {
-      if (group_keys[g] == key) break;
-    }
-    if (g == group_keys.size()) {
-      group_keys.push_back(key);
-      groups.emplace_back();
-    }
-    groups[g].push_back(i);
-  }
 
-  // ---- per-vantage extraction (before merging mutates vantage 0) -----------
-  std::printf("== %zu vantage point(s) ==\n", vantages.size());
-  PrefixUnion seen_locally;
-  std::vector<HhhSet> local_sets;
-  for (Vantage& v : vantages) {
-    HhhSet set;
-    if (sliding) {
-      const TimePoint now = v.wcss->high_watermark();
-      set = v.wcss->query(now, scope_phi(opt, v.wcss->window_total(now)));
-    } else {
-      set = v.engine->extract(
-          scope_phi(opt, static_cast<double>(v.engine->total_bytes())));
-    }
-    std::printf("%-28s  total %14llu B   %3zu local HHHs\n", v.label.c_str(),
-                static_cast<unsigned long long>(set.total_bytes), set.size());
-    seen_locally.add(set.prefixes());
-    local_sets.push_back(std::move(set));
-  }
-
-  // ---- fold each compatibility group into its first vantage ----------------
+  // ---- fold through the shared ledger -------------------------------------
+  // fold() extracts each scope's local view before merging it, exactly
+  // like the daemon does per epoch.
+  service::MergeLedger ledger(opt.thresholds);
+  std::printf("== %zu vantage point(s) ==\n", scopes.size());
   try {
-    for (const auto& members : groups) {
-      Vantage& head = vantages[members.front()];
-      for (std::size_t m = 1; m < members.size(); ++m) {
-        if (sliding) {
-          head.wcss->merge_from(*vantages[members[m]].wcss);
-        } else {
-          head.engine->merge_from(*vantages[members[m]].engine);
-        }
-      }
+    for (service::Scope& scope : scopes) {
+      const std::string label = scope.label;
+      const HhhSet local = ledger.fold(std::move(scope));
+      std::printf("%-28s  total %14llu B   %3zu local HHHs\n", label.c_str(),
+                  static_cast<unsigned long long>(local.total_bytes), local.size());
     }
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: incompatible snapshots: %s\n", e.what());
     return 3;
   }
 
-  PrefixUnion hidden_union;
-  bool any_hidden = false;
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    Vantage& head = vantages[groups[g].front()];
-    HhhSet merged;
-    if (sliding) {
-      TimePoint now;
-      for (const std::size_t m : groups[g]) {
-        now = std::max(now, vantages[m].wcss->high_watermark());
-      }
-      merged = head.wcss->query(now, scope_phi(opt, head.wcss->window_total(now)));
-    } else {
-      merged = head.engine->extract(
-          scope_phi(opt, static_cast<double>(head.engine->total_bytes())));
-    }
+  service::LedgerReport report = ledger.report();
+  for (const service::GroupReport& group : report.groups) {
     std::printf("\n");
     const std::string heading =
-        groups.size() == 1
+        report.groups.size() == 1
             ? std::string("== merged network-wide HHH set ==")
-            : "== merged network-wide HHH set [" + group_keys[g] + "] ==";
-    print_set(heading.c_str(), merged);
-
-    // The reveal: heavy globally, hidden from every single vantage.
-    const std::vector<PrefixKey> hidden =
-        prefix_difference(merged.prefixes(), seen_locally.values());
-    hidden_union.add(hidden);
-    any_hidden = any_hidden || !hidden.empty();
+            : "== merged network-wide HHH set [" + group.key + "] ==";
+    print_set(heading.c_str(), group.merged);
   }
 
   std::printf("\n== hidden HHHs (no single vantage reported them) ==\n");
-  if (!any_hidden) {
+  if (report.hidden.empty()) {
     std::printf("  none\n");
   } else {
-    for (const PrefixKey& p : hidden_union.values()) {
+    for (const PrefixKey& p : report.hidden) {
       std::printf("  %s\n", p.to_string().c_str());
     }
   }
 
   int exit_code = 0;
   for (const PrefixKey& expected : opt.expect_hidden) {
-    if (!hidden_union.contains(expected)) {
+    const bool found =
+        std::any_of(report.hidden.begin(), report.hidden.end(),
+                    [&](const PrefixKey& p) { return p == expected; });
+    if (!found) {
       std::fprintf(stderr, "error: expected hidden HHH %s was not revealed\n",
                    expected.to_string().c_str());
       exit_code = 4;
@@ -292,18 +209,8 @@ int run(const Options& opt) {
     // stream format --stdin consumes, so collectors still compose into
     // aggregation trees with mixed-family fleets.
     std::vector<std::uint8_t> out_bytes;
-    for (const auto& members : groups) {
-      Vantage& head = vantages[members.front()];
-      if (sliding) {
-        std::vector<std::uint8_t> payload;
-        wire::Writer w(payload);
-        head.wcss->save_state(w);
-        const auto frame = wire::build_frame(wire::SnapshotKind::kWcssDetector, payload);
-        out_bytes.insert(out_bytes.end(), frame.begin(), frame.end());
-      } else {
-        const auto frame = wire::save_engine(*head.engine);
-        out_bytes.insert(out_bytes.end(), frame.begin(), frame.end());
-      }
+    for (const auto& frame : ledger.save_group_frames()) {
+      out_bytes.insert(out_bytes.end(), frame.begin(), frame.end());
     }
     wire::write_file(opt.out_path, out_bytes);
     std::printf("\nwrote merged snapshot(s) to %s\n", opt.out_path.c_str());

@@ -1,0 +1,260 @@
+// hhh-collectord — the collector as a long-running service.
+//
+// Where hhh-collector folds snapshot files after the fact, this daemon
+// is the paper's distributed deployment made live: N `hhh-live
+// --connect` vantages stream one epoch frame per closed window over TCP
+// or Unix-domain sockets; the daemon aligns frames into epochs by
+// window timestamp (tolerating clock skew, stragglers within a grace
+// period, and missing vantages — merge what arrived, log what didn't),
+// merges each epoch via the same MergeLedger the offline tool uses, and
+// accumulates the network-wide + hidden HHH report across epochs.
+// With --publish it re-emits its own merged epoch stream to a parent
+// collector, so collectors compose into aggregation trees; with
+// --checkpoint it survives kill -TERM mid-epoch — a restart restores
+// the checkpoint and reconnecting vantages replay their journals, and
+// the daemon's (vantage, epoch) dedup converges to the same reports.
+//
+// Usage:
+//   hhh-collectord --listen=ADDR [--listen=ADDR]... [options]
+//
+// Addresses are `unix:PATH`, `tcp:HOST:PORT` or `HOST:PORT`
+// (port 0 = kernel-assigned; see --print-port).
+//
+// Options:
+//   --window=S             epoch length in seconds (default 60); vantages
+//                          announcing a different window are refused
+//   --grace=S              wait this long (arrival time) for stragglers
+//                          before closing an epoch incomplete (default 2)
+//   --expected-vantages=N  an epoch is complete at N contributions
+//                          (default: adaptive — complete when every
+//                          currently-connected vantage contributed)
+//   --skew-tolerance=S     max window-start distance from the epoch grid
+//                          (default: window / 4)
+//   --phi=F                relative threshold per scope (default 0.05)
+//   --threshold-bytes=N    absolute threshold T; scopes use phi = T/total
+//   --checkpoint=PATH      crash-recovery checkpoint (rewritten atomically
+//                          after every epoch close)
+//   --out=PATH             rewrite the cumulative merged snapshot stream
+//                          here after every epoch (the stream
+//                          hhh-collector consumes offline)
+//   --publish=ADDR         stream merged epochs to a parent collector
+//   --publish-name=NAME    vantage-name prefix upstream (default "collector")
+//   --idle-exit=S          exit once every vantage disconnected and the
+//                          service has been idle S seconds (0 = run
+//                          forever; the integration tests' exit path)
+//   --expect-hidden=P      (repeatable) require prefix P in the final
+//                          hidden set on idle exit; exit 4 otherwise
+//   --max-pending=N        backpressure cap: stop reading a vantage with
+//                          more than N buffered epoch frames (default 64)
+//   --print-port           print "port=N\n" (first TCP listener) to stdout
+//                          once listening — how scripts bind port 0
+//   --verbose              info-level logging to stderr
+//
+// Exit codes: 0 success (or clean signal-driven shutdown with the
+// checkpoint written), 1 usage error, 2 I/O or socket failure,
+// 3 checkpoint parameter mismatch, 4 an --expect-hidden prefix was not
+// revealed by idle exit.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/hhh_types.hpp"
+#include "service/collectord.hpp"
+#include "util/logging.hpp"
+#include "wire/wire.hpp"
+
+namespace {
+
+using namespace hhh;
+
+struct Options {
+  service::CollectorOptions service;
+  std::vector<PrefixKey> expect_hidden;
+  bool print_port = false;
+  bool verbose = false;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: hhh-collectord --listen=ADDR... [--window=S] [--grace=S]\n"
+      "                      [--expected-vantages=N] [--skew-tolerance=S]\n"
+      "                      [--phi=F | --threshold-bytes=N] [--checkpoint=PATH]\n"
+      "                      [--out=PATH] [--publish=ADDR] [--publish-name=NAME]\n"
+      "                      [--idle-exit=S] [--expect-hidden=PREFIX]...\n"
+      "                      [--max-pending=N] [--print-port] [--verbose]\n"
+      "Long-running epoch-aligned collector for hhh-live --connect vantages.\n"
+      "Addresses: unix:PATH | tcp:HOST:PORT | HOST:PORT\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) != 0) return std::nullopt;
+      return arg.substr(n);
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (auto v = value("--listen=")) {
+      const auto ep = service::Endpoint::parse(*v);
+      if (!ep) return false;
+      opt.service.listen.push_back(*ep);
+    } else if (auto v = value("--window=")) {
+      const double s = std::atof(v->c_str());
+      if (s <= 0.0) return false;
+      opt.service.window_ns = static_cast<std::int64_t>(s * 1e9);
+    } else if (auto v = value("--grace=")) {
+      const double s = std::atof(v->c_str());
+      if (s < 0.0) return false;
+      opt.service.grace_ns = static_cast<std::int64_t>(s * 1e9);
+    } else if (auto v = value("--expected-vantages=")) {
+      opt.service.expected_vantages =
+          static_cast<std::size_t>(std::strtoull(v->c_str(), nullptr, 10));
+    } else if (auto v = value("--skew-tolerance=")) {
+      const double s = std::atof(v->c_str());
+      if (s <= 0.0) return false;
+      opt.service.skew_tolerance_ns = static_cast<std::int64_t>(s * 1e9);
+    } else if (auto v = value("--phi=")) {
+      opt.service.thresholds.phi = std::atof(v->c_str());
+      if (opt.service.thresholds.phi <= 0.0 || opt.service.thresholds.phi > 1.0) {
+        return false;
+      }
+    } else if (auto v = value("--threshold-bytes=")) {
+      opt.service.thresholds.threshold_bytes = std::atof(v->c_str());
+      if (opt.service.thresholds.threshold_bytes <= 0.0) return false;
+    } else if (auto v = value("--checkpoint=")) {
+      opt.service.checkpoint_path = *v;
+    } else if (auto v = value("--out=")) {
+      opt.service.out_path = *v;
+    } else if (auto v = value("--publish=")) {
+      const auto ep = service::Endpoint::parse(*v);
+      if (!ep) return false;
+      opt.service.publish = *ep;
+    } else if (auto v = value("--publish-name=")) {
+      opt.service.publish_name = *v;
+    } else if (auto v = value("--idle-exit=")) {
+      opt.service.idle_exit_s = std::atof(v->c_str());
+      if (opt.service.idle_exit_s < 0.0) return false;
+    } else if (auto v = value("--expect-hidden=")) {
+      const auto prefix = PrefixKey::parse(*v);
+      if (!prefix) return false;
+      opt.expect_hidden.push_back(*prefix);
+    } else if (auto v = value("--max-pending=")) {
+      opt.service.max_pending_frames =
+          static_cast<std::size_t>(std::strtoull(v->c_str(), nullptr, 10));
+      if (opt.service.max_pending_frames == 0) return false;
+    } else if (arg == "--print-port") {
+      opt.print_port = true;
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return false;
+    }
+  }
+  return !opt.service.listen.empty();
+}
+
+service::CollectorService* g_service = nullptr;
+
+void on_signal(int) {
+  if (g_service != nullptr) g_service->stop();  // async-signal-safe
+}
+
+void print_set(const char* heading, const HhhSet& set) {
+  std::printf("%s (total %llu B, threshold %llu B, %zu HHHs)\n", heading,
+              static_cast<unsigned long long>(set.total_bytes),
+              static_cast<unsigned long long>(set.threshold_bytes), set.size());
+  for (const auto& item : set.items()) {
+    std::printf("  %-18s  total %12llu B  conditioned %12llu B\n",
+                item.prefix.to_string().c_str(),
+                static_cast<unsigned long long>(item.total_bytes),
+                static_cast<unsigned long long>(item.conditioned_bytes));
+  }
+}
+
+int run(Options& opt) {
+  service::CollectorService svc(opt.service);
+  g_service = &svc;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  svc.start();
+  if (opt.print_port) {
+    std::printf("port=%u\n", svc.tcp_port());
+    std::fflush(stdout);
+  }
+  const service::RunOutcome outcome = svc.run();
+  const service::CollectorStats stats = svc.stats();
+  std::fprintf(stderr,
+               "hhh-collectord: %llu conn(s), %llu frame(s), %llu epoch(s) closed "
+               "(%llu incomplete), %llu late fold(s), %llu duplicate(s), "
+               "%llu protocol error(s), %llu dirty disconnect(s)\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.frames_received),
+               static_cast<unsigned long long>(stats.epochs_closed),
+               static_cast<unsigned long long>(stats.epochs_incomplete),
+               static_cast<unsigned long long>(stats.late_folds),
+               static_cast<unsigned long long>(stats.duplicates_dropped),
+               static_cast<unsigned long long>(stats.protocol_errors),
+               static_cast<unsigned long long>(stats.dirty_disconnects));
+  if (outcome == service::RunOutcome::kStopped) {
+    // Interrupted mid-run: state is checkpointed, reports are not final.
+    return 0;
+  }
+
+  service::LedgerReport report = svc.cumulative_report();
+  std::printf("== %zu vantage scope(s) folded ==\n", report.scopes_folded);
+  for (const auto& group : report.groups) {
+    const std::string heading = report.groups.size() == 1
+                                    ? std::string("== merged network-wide HHH set ==")
+                                    : "== merged network-wide HHH set [" + group.key + "] ==";
+    print_set(heading.c_str(), group.merged);
+  }
+  std::printf("\n== hidden HHHs (no single vantage reported them) ==\n");
+  if (report.hidden.empty()) {
+    std::printf("  none\n");
+  } else {
+    for (const PrefixKey& p : report.hidden) {
+      std::printf("  %s\n", p.to_string().c_str());
+    }
+  }
+  std::fflush(stdout);
+
+  int exit_code = 0;
+  for (const PrefixKey& expected : opt.expect_hidden) {
+    bool found = false;
+    for (const PrefixKey& p : report.hidden) found = found || p == expected;
+    if (!found) {
+      std::fprintf(stderr, "error: expected hidden HHH %s was not revealed\n",
+                   expected.to_string().c_str());
+      exit_code = 4;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(stderr);
+    return 1;
+  }
+  set_log_level(opt.verbose ? LogLevel::kInfo : LogLevel::kWarn);
+  try {
+    return run(opt);
+  } catch (const wire::WireFormatError& e) {
+    std::fprintf(stderr, "error [%s]: %s\n", wire::to_string(e.code()), e.what());
+    return e.code() == wire::WireError::kParamsMismatch ? 3 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

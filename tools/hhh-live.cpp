@@ -54,14 +54,25 @@
 //                      trace-time gaps instantly, so there is no wall
 //                      stretch to close windows through
 //
-// Output options:
+// Output options (exactly one of --out / --connect):
 //   --out=PATH         write the snapshot frame stream to PATH ("-" =
-//                      stdout). Required.
+//                      stdout)
+//   --connect=ADDR     stream each window as an epoch frame to an
+//                      hhh-collectord (unix:PATH | tcp:HOST:PORT |
+//                      HOST:PORT). Frames are journaled and replayed on
+//                      reconnect; the run fails if the final bye/ack
+//                      handshake cannot complete within --retry seconds.
+//   --vantage=NAME     vantage name announced to the collector
+//                      (default "live")
+//   --retry=S          per-delivery reconnect budget for --connect
+//                      (default 10)
 //   --table            print a per-window report table to stderr
 //
-// Exit codes: 0 success, 1 usage error, 2 I/O error, 3 the engine
+// Exit codes: 0 success, 1 usage error, 2 I/O error (including a
+// collector that stayed unreachable past --retry), 3 the engine
 // accounted none of the replayed traffic (address-family/engine
 // mismatch, e.g. an IPv6 trace into the default IPv4 exact engine).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +90,8 @@
 #include "pipeline/source.hpp"
 #include "pipeline/stage.hpp"
 #include "pipeline/window_policy.hpp"
+#include "service/endpoint.hpp"
+#include "service/vantage_client.hpp"
 #include "trace/synthetic_trace.hpp"
 #include "util/strings.hpp"
 
@@ -102,18 +115,38 @@ struct Options {
   std::optional<std::size_t> max_windows;
   bool wall_clock = false;
   std::string out;
+  std::optional<service::Endpoint> connect;
+  std::string vantage = "live";
+  double retry_s = 10.0;
   bool table = false;
+};
+
+/// Ship each closed window as one epoch frame to the collector: the
+/// window's span on the epoch grid plus the stage snapshot taken at
+/// close (before any policy reset).
+class ConnectSink final : public pipeline::ReportSink {
+ public:
+  explicit ConnectSink(service::VantageClient& client) : client_(client) {}
+
+  void on_window(const WindowReport& report, pipeline::SinkContext& ctx) override {
+    client_.send_epoch(report.start.ns(), report.end.ns(), ctx.snapshot());
+  }
+
+ private:
+  service::VantageClient& client_;
 };
 
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: hhh-live (--trace=P | --csv=P | --pcap=P | --synthetic=SEED |\n"
                "                 --scenario=NAME [--seed=N])\n"
-               "                --out=PATH|-  [--pps=N | --speed=X] [--window=S]\n"
+               "                (--out=PATH|- | --connect=ADDR [--vantage=NAME] [--retry=S])\n"
+               "                [--pps=N | --speed=X] [--window=S]\n"
                "                [--phi=F | --threshold-bytes=N] [--engine=NAME]\n"
                "                [--shards=N] [--windows=N] [--wall-clock] [--table]\n"
                "Replays a trace through the pipeline runtime and emits one snapshot\n"
-               "frame per closed window (the stream hhh-collector consumes).\n");
+               "frame per closed window — to a file stream (hhh-collector's input)\n"
+               "or live to an hhh-collectord vantage socket.\n");
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -169,13 +202,24 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.wall_clock = true;
     } else if (auto v = value("--out=")) {
       opt.out = *v;
+    } else if (auto v = value("--connect=")) {
+      const auto ep = service::Endpoint::parse(*v);
+      if (!ep) return false;
+      opt.connect = *ep;
+    } else if (auto v = value("--vantage=")) {
+      opt.vantage = *v;
+      if (opt.vantage.empty()) return false;
+    } else if (auto v = value("--retry=")) {
+      opt.retry_s = std::atof(v->c_str());
+      if (opt.retry_s <= 0.0) return false;
     } else if (arg == "--table") {
       opt.table = true;
     } else {
       return false;
     }
   }
-  if (inputs != 1 || opt.out.empty()) return false;
+  if (inputs != 1) return false;
+  if (opt.out.empty() == !opt.connect.has_value()) return false;  // out XOR connect
   if (opt.pps > 0.0 && opt.speed > 0.0) return false;
   if (opt.window_s <= 0.0 || opt.seconds <= 0.0) return false;
   if (opt.threshold_bytes <= 0.0 && (opt.phi <= 0.0 || opt.phi > 1.0)) return false;
@@ -291,7 +335,19 @@ int run(const Options& opt) {
   pipeline::Pipeline pipe(open_source(opt), pipeline::make_engine_stage(std::move(engine)),
                           pipeline::make_disjoint_policy(Duration::from_seconds(opt.window_s)),
                           config);
-  if (opt.out == "-") {
+  std::unique_ptr<service::VantageClient> client;
+  if (opt.connect) {
+    // A broken collector socket must surface as send_epoch's typed retry
+    // failure, not a SIGPIPE kill.
+    std::signal(SIGPIPE, SIG_IGN);
+    client = std::make_unique<service::VantageClient>(service::VantageClientOptions{
+        .endpoint = *opt.connect,
+        .name = opt.vantage,
+        .window_ns = static_cast<std::int64_t>(opt.window_s * 1e9),
+        .retry_for_s = opt.retry_s,
+        .ack_timeout_s = opt.retry_s});
+    pipe.add_sink(std::make_unique<ConnectSink>(*client));
+  } else if (opt.out == "-") {
     pipe.add_sink(pipeline::make_snapshot_stream_sink(stdout));
   } else {
     pipe.add_sink(pipeline::make_snapshot_stream_sink(opt.out));
@@ -306,9 +362,28 @@ int run(const Options& opt) {
       [&](const WindowReport& r) { accounted_bytes += r.hhhs.total_bytes; }));
 
   const pipeline::RunStats stats = pipe.run();
+  const std::string dest = opt.connect   ? opt.connect->to_string()
+                           : opt.out == "-" ? std::string("stdout")
+                                            : opt.out;
   std::fprintf(stderr, "hhh-live: %s packets, %s, %zu window frame(s) -> %s\n",
                with_thousands(stats.packets).c_str(), human_bytes(stats.bytes).c_str(),
-               stats.windows_closed, opt.out == "-" ? "stdout" : opt.out.c_str());
+               stats.windows_closed, dest.c_str());
+  if (client) {
+    // The bye/ack handshake is the delivery receipt: the collector has
+    // read (and deduplicated) everything this vantage journaled.
+    if (!client->finish()) {
+      std::fprintf(stderr,
+                   "error: vantage %s: collector at %s never acknowledged the final "
+                   "handshake\n",
+                   opt.vantage.c_str(), opt.connect->to_string().c_str());
+      return 2;
+    }
+    if (client->reconnects() > 0) {
+      std::fprintf(stderr, "hhh-live: vantage %s reconnected %llu time(s)\n",
+                   opt.vantage.c_str(),
+                   static_cast<unsigned long long>(client->reconnects()));
+    }
+  }
   if (stats.bytes > 0 && accounted_bytes == 0) {
     std::fprintf(stderr,
                  "error: the %s engine accounted 0 of %s delivered — address-family/"

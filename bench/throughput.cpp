@@ -33,6 +33,7 @@
 #include "core/univmon_hhh.hpp"
 #include "dataplane/hashpipe.hpp"
 #include "dataplane/p4_tdbf.hpp"
+#include "pipeline/pipeline.hpp"
 #include "sketch/count_min.hpp"
 #include "sketch/space_saving.hpp"
 #include "sketch/tdbf.hpp"
@@ -134,6 +135,59 @@ SnapshotResult measure_snapshot(const std::string& name, MakeEngine&& make,
   std::printf("%-18s  snapshot: %8zu B   serialize: %8.1f MB/s   deserialize: %8.1f MB/s\n",
               result.name.c_str(), result.snapshot_bytes, result.serialize_mbps,
               result.deserialize_mbps);
+  return result;
+}
+
+// --- instrumentation overhead A/B row ---------------------------------------
+
+/// The obs-layer acceptance gate: the same exact-engine pipeline replay
+/// with PipelineConfig::metrics on vs off. The window is far longer than
+/// the trace so no window closes inside the timed region — what remains
+/// is the pure per-chunk instrumentation cost (a handful of relaxed RMWs
+/// per batch) on the hottest ingestion path. bench_diff.py flags
+/// overhead_pct above 2%.
+struct OverheadResult {
+  double metrics_on_pps = 0.0;
+  double metrics_off_pps = 0.0;
+  double overhead_pct = 0.0;  ///< (off - on) / off * 100; negative = noise
+};
+
+double pipeline_replay_pps(const std::vector<PacketRecord>& packets, bool metrics,
+                           const ThroughputOptions& opt) {
+  double best = 0.0;
+  for (int r = 0; r < opt.repeats; ++r) {
+    pipeline::PipelineConfig cfg;
+    cfg.batch_size = opt.batch_size;
+    cfg.metrics = metrics;
+    // Construction (and the vector copy the source takes) stays outside
+    // the timed region, matching best_pps().
+    pipeline::Pipeline p(pipeline::make_vector_source(packets),
+                         pipeline::make_engine_stage(
+                             make_exact_engine(Hierarchy::byte_granularity())),
+                         pipeline::make_disjoint_policy(Duration::seconds(1'000'000)),
+                         cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const pipeline::RunStats stats = p.run();
+    const double elapsed = seconds_since(t0);
+    if (elapsed > 0.0 && stats.packets == packets.size()) {
+      best = std::max(best, static_cast<double>(packets.size()) / elapsed);
+    }
+  }
+  return best;
+}
+
+OverheadResult measure_instrumentation_overhead(const std::vector<PacketRecord>& packets,
+                                                const ThroughputOptions& opt) {
+  OverheadResult result;
+  result.metrics_off_pps = pipeline_replay_pps(packets, false, opt);
+  result.metrics_on_pps = pipeline_replay_pps(packets, true, opt);
+  if (result.metrics_off_pps > 0.0) {
+    result.overhead_pct = (result.metrics_off_pps - result.metrics_on_pps) /
+                          result.metrics_off_pps * 100.0;
+  }
+  std::printf("instrumentation overhead (pipeline/exact): off %10.0f pps   "
+              "on %10.0f pps   overhead %+.2f%%\n",
+              result.metrics_off_pps, result.metrics_on_pps, result.overhead_pct);
   return result;
 }
 
@@ -310,6 +364,9 @@ int run_throughput_harness(const ThroughputOptions& opt) {
       [] { return make_sharded_exact_engine(Hierarchy::byte_granularity(), 4); }, packets,
       opt));
 
+  std::printf("\n== instrumentation overhead (PipelineConfig::metrics A/B) ==\n");
+  const OverheadResult overhead = measure_instrumentation_overhead(packets, opt);
+
   std::FILE* out = std::fopen(opt.json_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", opt.json_path.c_str());
@@ -331,6 +388,10 @@ int run_throughput_harness(const ThroughputOptions& opt) {
                  r.add_batch_pps / r.add_pps, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"instrumentation_overhead\": {\"metrics_on_pps\": %.1f, "
+               "\"metrics_off_pps\": %.1f, \"overhead_pct\": %.3f},\n",
+               overhead.metrics_on_pps, overhead.metrics_off_pps, overhead.overhead_pct);
   std::fprintf(out, "  \"snapshot_roundtrip\": [\n");
   for (std::size_t i = 0; i < snapshots.size(); ++i) {
     const auto& s = snapshots[i];

@@ -1,5 +1,6 @@
 #include "core/sharded_engine.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "core/rhhh.hpp"
@@ -23,6 +24,23 @@ ShardedHhhEngine::ShardedHhhEngine(const Params& params, EngineFactory factory)
       throw std::invalid_argument("ShardedHhhEngine: factory must produce mergeable engines");
     }
     shards_.push_back(std::move(shard));
+  }
+  // Per-shard telemetry, keyed by the composed engine name (available now
+  // that every replica exists). Same-named engines across tests share the
+  // series — registry registration is idempotent and counters stay
+  // monotone. Resolved before spawn so workers see a stable pointer.
+  {
+    auto& reg = obs::MetricsRegistry::process();
+    const std::string engine_name = name();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const obs::Labels labels{{"engine", engine_name}, {"shard", std::to_string(i)}};
+      shards_[i]->batches = &reg.counter("hhh_sharded_batches_total", labels,
+                                         "Packet batches published to the shard ring");
+      shards_[i]->ring_depth = &reg.gauge("hhh_sharded_ring_depth", labels,
+                                          "Batches in flight on the shard ring");
+    }
+    quiesce_ns_ = &reg.histogram("hhh_sharded_quiesce_ns", {{"engine", engine_name}},
+                                 "Wall time waiting for all shards to drain");
   }
   // Spawn only after every replica exists: workers reference *shards_[i],
   // whose addresses are stable behind the unique_ptrs. If a spawn fails
@@ -53,6 +71,7 @@ void ShardedHhhEngine::worker_loop(Shard& shard) {
   std::vector<PacketRecord> batch;
   while (shard.ring.pop_wait(batch)) {
     shard.engine->add_batch(batch);
+    shard.ring_depth->add(-1);
     shard.completed.fetch_add(1, std::memory_order_release);
     shard.completed.notify_all();  // front-end may be parked in drain()
   }
@@ -74,6 +93,8 @@ void ShardedHhhEngine::dispatch(std::vector<std::vector<PacketRecord>>& buckets)
     if (buckets[i].empty()) continue;
     shards_[i]->ring.push(std::move(buckets[i]));  // blocks when full: backpressure
     ++shards_[i]->dispatched;
+    shards_[i]->batches->inc();
+    shards_[i]->ring_depth->add(1);
   }
 }
 
@@ -110,6 +131,7 @@ void ShardedHhhEngine::add_batch(std::span<const PacketRecord> packets) {
 }
 
 void ShardedHhhEngine::quiesce() const {
+  const auto begin = std::chrono::steady_clock::now();
   for (const auto& shard : shards_) {
     std::uint64_t done = shard->completed.load(std::memory_order_acquire);
     while (done != shard->dispatched) {
@@ -117,6 +139,10 @@ void ShardedHhhEngine::quiesce() const {
       done = shard->completed.load(std::memory_order_acquire);
     }
   }
+  quiesce_ns_->observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - begin)
+          .count()));
 }
 
 void ShardedHhhEngine::drain() const {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "obs/metrics.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace hhh {
@@ -140,6 +141,11 @@ class ShardedHhhEngine final : public HhhEngine {
     // dispatched is front-end-private; completed is the sync point.
     std::uint64_t dispatched = 0;
     alignas(64) std::atomic<std::uint64_t> completed{0};
+    // Registry-owned metric handles, resolved at construction (labels
+    // {engine, shard}). batches counts ring publishes; ring_depth tracks
+    // in-flight batches (+1 at dispatch, -1 at worker completion).
+    obs::Counter* batches = nullptr;
+    obs::Gauge* ring_depth = nullptr;
 
     explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
   };
@@ -159,6 +165,7 @@ class ShardedHhhEngine final : public HhhEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::vector<PacketRecord> staging_;  // add() accumulation
   std::uint64_t total_bytes_ = 0;              // front-end byte ledger
+  obs::Histogram* quiesce_ns_ = nullptr;       // hhh_sharded_quiesce_ns{engine}
 };
 
 /// Sharded exact engine: byte-identical to single-thread exact ingestion.

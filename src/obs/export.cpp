@@ -1,0 +1,236 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hhh::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+void append_prom_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+/// HELP-line escaping: backslash and newline only (no quote context).
+void append_help_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+/// Render `{k1="v1",k2="v2"}` (empty labels render nothing). `extra`
+/// appends one more pair after the sample's own labels (used for `le`).
+void append_label_set(std::string& out, const Labels& labels,
+                      const std::pair<std::string, std::string>* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return;
+  out += '{';
+  bool first = true;
+  const auto one = [&](const std::string& k, const std::string& v) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_prom_escaped(out, v);
+    out += '"';
+  };
+  for (const auto& [k, v] : labels) one(k, v);
+  if (extra != nullptr) one(extra->first, extra->second);
+  out += '}';
+}
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+/// JSON string escaping (control chars as \u00XX).
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.samples.size() * 64);
+  const std::string* last_name = nullptr;
+  for (const MetricSample& s : snapshot.samples) {
+    // HELP/TYPE once per metric name; samples are sorted, so label
+    // variants of the same name are contiguous.
+    if (last_name == nullptr || *last_name != s.name) {
+      if (!s.help.empty()) {
+        out += "# HELP ";
+        out += s.name;
+        out += ' ';
+        append_help_escaped(out, s.help);
+        out += '\n';
+      }
+      out += "# TYPE ";
+      out += s.name;
+      out += ' ';
+      out += to_string(s.kind);
+      out += '\n';
+      last_name = &s.name;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += s.name;
+        append_label_set(out, s.labels);
+        out += ' ';
+        append_u64(out, s.counter_value);
+        out += '\n';
+        break;
+      case MetricKind::kGauge:
+        out += s.name;
+        append_label_set(out, s.labels);
+        out += ' ';
+        out += std::to_string(s.gauge_value);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        // Cumulative buckets; zero buckets elided (cumulative counts at
+        // the emitted boundaries are unchanged). The overflow bucket is
+        // excluded from the loop — the trailing +Inf line (always
+        // emitted, cumulative == count) is its exposition.
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+          if (s.histogram.buckets[b] == 0) continue;
+          cumulative += s.histogram.buckets[b];
+          const std::pair<std::string, std::string> le{
+              "le", std::to_string(Histogram::upper_bound(b))};
+          out += s.name;
+          out += "_bucket";
+          append_label_set(out, s.labels, &le);
+          out += ' ';
+          append_u64(out, cumulative);
+          out += '\n';
+        }
+        const std::pair<std::string, std::string> inf{"le", "+Inf"};
+        out += s.name;
+        out += "_bucket";
+        append_label_set(out, s.labels, &inf);
+        out += ' ';
+        append_u64(out, s.histogram.count);
+        out += '\n';
+        out += s.name;
+        out += "_sum";
+        append_label_set(out, s.labels);
+        out += ' ';
+        append_u64(out, s.histogram.sum);
+        out += '\n';
+        out += s.name;
+        out += "_count";
+        append_label_set(out, s.labels);
+        out += ' ';
+        append_u64(out, s.histogram.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first_sample = true;
+  for (const MetricSample& s : snapshot.samples) {
+    out += first_sample ? "\n" : ",\n";
+    first_sample = false;
+    out += "    {\n      \"name\": \"";
+    append_json_escaped(out, s.name);
+    out += "\",\n      \"kind\": \"";
+    out += to_string(s.kind);
+    out += "\"";
+    if (!s.labels.empty()) {
+      out += ",\n      \"labels\": {";
+      bool first_label = true;
+      for (const auto& [k, v] : s.labels) {
+        out += first_label ? "" : ", ";
+        first_label = false;
+        out += '"';
+        append_json_escaped(out, k);
+        out += "\": \"";
+        append_json_escaped(out, v);
+        out += '"';
+      }
+      out += '}';
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += ",\n      \"value\": ";
+        append_u64(out, s.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out += ",\n      \"value\": ";
+        out += std::to_string(s.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\n      \"count\": ";
+        append_u64(out, s.histogram.count);
+        out += ",\n      \"sum\": ";
+        append_u64(out, s.histogram.sum);
+        out += ",\n      \"buckets\": [";
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (s.histogram.buckets[b] == 0) continue;
+          out += first_bucket ? "" : ", ";
+          first_bucket = false;
+          out += "{\"le\": ";
+          out += b >= Histogram::kBuckets - 1
+                     ? std::string("-1")
+                     : std::to_string(Histogram::upper_bound(b));
+          out += ", \"count\": ";
+          append_u64(out, s.histogram.buckets[b]);
+          out += '}';
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += "\n    }";
+  }
+  out += first_sample ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void write_json_file(const std::string& path, const MetricsSnapshot& snapshot) {
+  const std::string body = render_json(snapshot);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open metrics output file: " + path);
+  }
+  const std::size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (wrote != body.size() || !closed) {
+    throw std::runtime_error("short write to metrics output file: " + path);
+  }
+}
+
+}  // namespace hhh::obs

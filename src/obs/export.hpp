@@ -1,0 +1,32 @@
+/// \file
+/// Exposition formats for MetricsSnapshot: Prometheus text format 0.0.4
+/// (what `curl http://collectord/metrics` returns and any Prometheus
+/// server scrapes) and a deterministic JSON document (the `--metrics-out`
+/// dump tools write and scripts diff). Both renderings are pure functions
+/// of the snapshot — identical state renders byte-identically, which the
+/// golden-file tests pin.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace hhh::obs {
+
+/// Prometheus text exposition: `# HELP` / `# TYPE` per metric name, one
+/// `name{labels} value` line per sample; histograms expand to cumulative
+/// `_bucket{le=...}` series plus `_sum` and `_count`. Zero histogram
+/// buckets are elided (le boundaries stay cumulative and correct).
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// Deterministic JSON: `{"metrics": [...]}` sorted by (name, labels),
+/// two-space indentation, no trailing whitespace. Histograms carry
+/// `count`, `sum` and the non-empty buckets as `{"le": bound, "count": n}`
+/// (le = -1 encodes the unbounded overflow bucket).
+std::string render_json(const MetricsSnapshot& snapshot);
+
+/// Write render_json(snapshot) to `path` (truncating). Throws
+/// std::runtime_error on open/write failure.
+void write_json_file(const std::string& path, const MetricsSnapshot& snapshot);
+
+}  // namespace hhh::obs

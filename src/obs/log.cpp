@@ -1,0 +1,119 @@
+#include "obs/log.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace hhh {
+namespace {
+
+/// Sentinel for "level not yet resolved from HHH_LOG / default".
+constexpr int kUnresolved = -1;
+
+std::atomic<int> g_level{kUnresolved};
+std::atomic<int> g_default{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+/// HHH_LOG env if set and parseable, else the registered default.
+int resolve_level() noexcept {
+  if (const char* env = std::getenv("HHH_LOG")) {
+    if (const auto parsed = parse_log_level(env)) return static_cast<int>(*parsed);
+  }
+  return g_default.load(std::memory_order_relaxed);
+}
+
+std::uint64_t monotonic_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Nanoseconds since the first log call of the process (so timestamps
+/// read as small relative offsets, not raw boot time).
+std::uint64_t since_start_ns() noexcept {
+  static const std::uint64_t t0 = monotonic_ns();
+  return monotonic_ns() - t0;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v == kUnresolved) {
+    v = resolve_level();
+    int expected = kUnresolved;
+    if (!g_level.compare_exchange_strong(expected, v, std::memory_order_relaxed)) {
+      v = expected;  // another thread (or set_log_level) resolved first
+    }
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_default_log_level(LogLevel level) noexcept {
+  g_default.store(static_cast<int>(level), std::memory_order_relaxed);
+  // Re-resolve so a default registered after the first log call still
+  // applies; HHH_LOG keeps winning because resolve_level() checks it first.
+  g_level.store(resolve_level(), std::memory_order_relaxed);
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept {
+  const auto eq = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const char ca = a[i] >= 'A' && a[i] <= 'Z' ? static_cast<char>(a[i] + 32) : a[i];
+      if (ca != b[i]) return false;
+    }
+    return true;
+  };
+  if (eq(text, "debug") || eq(text, "0")) return LogLevel::kDebug;
+  if (eq(text, "info") || eq(text, "1")) return LogLevel::kInfo;
+  if (eq(text, "warn") || eq(text, "2")) return LogLevel::kWarn;
+  if (eq(text, "error") || eq(text, "3")) return LogLevel::kError;
+  if (eq(text, "off") || eq(text, "4")) return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::string format_log_line(LogLevel level, std::string_view message,
+                            std::uint64_t mono_ns) {
+  char prefix[64];
+  const auto secs = mono_ns / 1'000'000'000ULL;
+  const auto micros = (mono_ns % 1'000'000'000ULL) / 1'000ULL;
+  const int n = std::snprintf(prefix, sizeof(prefix), "[%llu.%06llu] [%s] ",
+                              static_cast<unsigned long long>(secs),
+                              static_cast<unsigned long long>(micros),
+                              level_name(level));
+  std::string line;
+  line.reserve(static_cast<std::size_t>(n) + message.size() + 1);
+  line.append(prefix, static_cast<std::size_t>(n));
+  line.append(message);
+  line += '\n';
+  return line;
+}
+
+void log_line(LogLevel level, std::string_view message) {
+  const std::string line = format_log_line(level, message, since_start_ns());
+  // One write(2) per line: concurrent loggers interleave between lines,
+  // never within one.
+  const ssize_t written = ::write(STDERR_FILENO, line.data(), line.size());
+  (void)written;
+}
+
+}  // namespace hhh

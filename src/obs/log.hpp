@@ -1,0 +1,97 @@
+/// \file
+/// Minimal leveled logger for library and daemon diagnostics.
+///
+/// The library is quiet by default (kWarn); daemons/tools raise the level
+/// explicitly via set_default_log_level(), and the HHH_LOG environment
+/// variable ("debug".."off") overrides either. No global constructors beyond
+/// a POD atomic, no locking: the level gate is a relaxed atomic and
+/// log_line() emits each message with a single write(2), so concurrent
+/// callers (e.g. sharded-ingestion workers) interleave at line granularity
+/// at worst. Lines carry a monotonic timestamp relative to first use:
+/// "[12.345678] [INFO] message" — existing substring assertions in
+/// tests/scripts/ (e.g. `grep -q "restored checkpoint"`) keep matching.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hhh {
+
+/// Severity thresholds; kOff discards everything.
+enum class LogLevel {
+  kDebug = 0,  ///< development tracing
+  kInfo = 1,   ///< operational events (connections, epochs, checkpoints)
+  kWarn = 2,   ///< degraded but continuing (the library default)
+  kError = 3,  ///< failures worth acting on
+  kOff = 4,    ///< discard everything
+};
+
+/// Process-wide minimum level; messages below it are discarded. Overrides
+/// both the built-in default and the HHH_LOG environment variable.
+void set_log_level(LogLevel level) noexcept;
+
+/// Current minimum level. First call resolves HHH_LOG from the
+/// environment (if set and parseable) over the built-in default (kWarn).
+LogLevel log_level() noexcept;
+
+/// Pick the level a tool wants when HHH_LOG is unset; HHH_LOG wins when
+/// present. Daemons call this once at startup (e.g. with kInfo) so their
+/// operational lines are visible by default but still env-silenceable.
+void set_default_log_level(LogLevel level) noexcept;
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive, or the
+/// numeric 0..4 equivalents) into a level; nullopt on anything else.
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept;
+
+/// Render one log line exactly as log_line() would emit it, with the
+/// timestamp supplied explicitly: "[<sec>.<usec>] [LEVEL] message\n".
+/// Exposed so tests can pin the format without capturing stderr.
+std::string format_log_line(LogLevel level, std::string_view message,
+                            std::uint64_t mono_ns);
+
+/// Emit one line to stderr with a monotonic timestamp, via a single
+/// write(2) call (no interleaving with concurrent loggers mid-line).
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+/// Stream-accumulating temporary behind the HHH_LOG() macro: collects
+/// operator<< pieces and emits one line at end of statement.
+class LogMessage {
+ public:
+  /// Start a message at `level`; the destructor emits it.
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  /// Append any streamable value to the pending line.
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace hhh
+
+/// Statement-shaped leveled emission: `HHH_LOG_AT(kWarn) << "x " << 42;`
+/// streams nothing (operands unevaluated) when `level` is below the
+/// threshold. The if/else shape keeps it one statement (no dangling-else
+/// capture).
+#define HHH_LOG_AT(level)                                \
+  if (::hhh::log_level() > ::hhh::LogLevel::level) {     \
+  } else                                                 \
+    ::hhh::detail::LogMessage(::hhh::LogLevel::level)
+
+#define HHH_DEBUG HHH_LOG_AT(kDebug)  ///< development tracing line
+#define HHH_INFO HHH_LOG_AT(kInfo)    ///< operational event line
+#define HHH_WARN HHH_LOG_AT(kWarn)    ///< degraded-but-continuing line
+#define HHH_ERROR HHH_LOG_AT(kError)  ///< failure line

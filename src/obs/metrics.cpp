@@ -1,0 +1,152 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hhh::obs {
+
+namespace {
+
+bool valid_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(s.front())) return false;
+  for (const char c : s) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Registry key: name plus the sorted label pairs, delimited with bytes
+/// that cannot appear in an identifier (label values are free-form, but a
+/// value collision would need an embedded '\x1f' — not worth escaping).
+std::string entry_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1e';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+bool sample_order(const MetricSample& a, const MetricSample& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+}  // namespace
+
+const char* to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::uint64_t Histogram::upper_bound(std::size_t b) noexcept {
+  if (b >= kBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot snap;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[b];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::resolve(MetricKind kind, std::string_view name,
+                                                 Labels&& labels, std::string_view help) {
+  if (!valid_identifier(name)) {
+    throw std::invalid_argument("metric name '" + std::string(name) +
+                                "' is not a valid identifier");
+  }
+  for (const auto& [k, v] : labels) {
+    if (!valid_identifier(k)) {
+      throw std::invalid_argument("label key '" + k + "' on metric '" +
+                                  std::string(name) + "' is not a valid identifier");
+    }
+  }
+  std::sort(labels.begin(), labels.end());
+  std::string key = entry_key(name, labels);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::invalid_argument("metric '" + std::string(name) +
+                                  "' is already registered as a " +
+                                  to_string(it->second.kind));
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.name = std::string(name);
+  entry.labels = std::move(labels);
+  entry.help = std::string(help);
+  switch (kind) {
+    case MetricKind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram: entry.histogram = std::make_unique<Histogram>(); break;
+  }
+  return entries_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels,
+                                  std::string_view help) {
+  return *resolve(MetricKind::kCounter, name, std::move(labels), help).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels,
+                              std::string_view help) {
+  return *resolve(MetricKind::kGauge, name, std::move(labels), help).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels,
+                                      std::string_view help) {
+  return *resolve(MetricKind::kHistogram, name, std::move(labels), help).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample sample;
+    sample.name = entry.name;
+    sample.labels = entry.labels;
+    sample.help = entry.help;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter: sample.counter_value = entry.counter->value(); break;
+      case MetricKind::kGauge: sample.gauge_value = entry.gauge->value(); break;
+      case MetricKind::kHistogram: sample.histogram = entry.histogram->snapshot(); break;
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(), sample_order);
+  return snap;
+}
+
+void MetricsSnapshot::merge(MetricsSnapshot other) {
+  samples.insert(samples.end(), std::make_move_iterator(other.samples.begin()),
+                 std::make_move_iterator(other.samples.end()));
+  std::sort(samples.begin(), samples.end(), sample_order);
+}
+
+MetricsRegistry& MetricsRegistry::process() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace hhh::obs

@@ -1,0 +1,207 @@
+/// \file
+/// Lock-free metrics core: cache-line-padded relaxed-atomic Counter and
+/// Gauge plus a log-bucketed (power-of-2, HDR-style) Histogram, owned by
+/// a MetricsRegistry that hands out stable references.
+///
+/// Design constraints, in order:
+///
+///  1. **Hot-path cost.** RHHH exists because per-update cost is the
+///     budget that matters at line rate — instrumentation that shows up
+///     in the profile lies about the system it observes. Every mutation
+///     here is one relaxed atomic RMW (two for a histogram observe); no
+///     locks, no branches beyond the bucket index, no allocation. Each
+///     primitive is alignas(kCacheLine)-padded so two counters touched by
+///     different threads never false-share.
+///  2. **Torn-read freedom.** A scrape concurrent with the hot path reads
+///     each value with one atomic load: totals can lag, but can never be
+///     half-written (the failure mode of mutex-guarded struct fields
+///     mutated one at a time).
+///  3. **Registration is the slow path.** counter()/gauge()/histogram()
+///     take a mutex and may allocate; callers resolve their pointers once
+///     (construction time) and keep them. Re-registering the same
+///     (name, labels) returns the same object, so shared metric streams
+///     from multiple instances accumulate into one monotone series.
+///
+/// Cardinality policy: label values must come from small bounded sets
+/// (stage names, shard indices, the connected vantage fleet) — never from
+/// packet contents or other unbounded domains. Metric names follow
+/// `hhh_<layer>_<what>[_<unit>][_total]` (see docs/ARCHITECTURE.md,
+/// "Observability").
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \namespace hhh::obs
+/// \brief Observability: the lock-free metrics core (obs/metrics.hpp) and
+/// its Prometheus/JSON exposition formats (obs/export.hpp).
+namespace hhh::obs {
+
+/// Destructive-interference granularity the primitives pad to.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Monotone counter. One relaxed fetch_add per inc; one relaxed load per
+/// read. Padded to a full cache line.
+class alignas(kCacheLine) Counter {
+ public:
+  /// Add `n` (relaxed; never decreases).
+  void inc(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Current value (relaxed load; may lag concurrent writers).
+  std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+static_assert(sizeof(Counter) == kCacheLine && alignof(Counter) == kCacheLine);
+
+/// Last-write-wins signed instantaneous value (ring depth, connected
+/// vantages, lag). Padded like Counter.
+class alignas(kCacheLine) Gauge {
+ public:
+  /// Replace the value (relaxed store).
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+
+  /// Adjust by `delta` (relaxed fetch_add; negative deltas allowed).
+  void add(std::int64_t delta) noexcept { v_.fetch_add(delta, std::memory_order_relaxed); }
+
+  /// Current value (relaxed load).
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+static_assert(sizeof(Gauge) == kCacheLine && alignof(Gauge) == kCacheLine);
+
+/// Log-bucketed histogram over non-negative integers (latency in ns,
+/// batch sizes, frame bytes): bucket b counts observations v with
+/// bit_width(v) == b, i.e. bucket 0 holds v = 0 and bucket b >= 1 holds
+/// v in [2^(b-1), 2^b). The last bucket additionally absorbs everything
+/// wider. An observe is two relaxed fetch_adds (bucket + sum); the total
+/// count is derived from the buckets at snapshot time, so the write side
+/// never maintains a third counter.
+class Histogram {
+ public:
+  /// Bucket count: bit_width of a u64 is at most 64; index 63 is the
+  /// overflow bucket.
+  static constexpr std::size_t kBuckets = 64;
+
+  /// A consistent-enough read of the histogram (per-slot atomic loads).
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};  ///< per-bucket counts
+    std::uint64_t sum = 0;                          ///< sum of observed values
+    std::uint64_t count = 0;                        ///< total observations
+  };
+
+  /// Record one observation.
+  void observe(std::uint64_t v) noexcept {
+    const auto idx = std::min<std::size_t>(std::bit_width(v), kBuckets - 1);
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket `b` (2^b - 1); the last bucket is
+  /// unbounded and reports the u64 maximum (rendered as +Inf).
+  static std::uint64_t upper_bound(std::size_t b) noexcept;
+
+  /// Read every bucket, the sum and the derived count.
+  Snapshot snapshot() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  alignas(kCacheLine) std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Sorted (key, value) label pairs; keys must match
+/// [a-zA-Z_][a-zA-Z0-9_]*, values are free-form (escaped on export).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// What a registry entry is.
+enum class MetricKind : std::uint8_t {
+  kCounter,    ///< monotone Counter
+  kGauge,      ///< instantaneous Gauge
+  kHistogram,  ///< log-bucketed Histogram
+};
+
+/// Stable lower-case kind name ("counter", "gauge", "histogram").
+const char* to_string(MetricKind kind) noexcept;
+
+/// One metric's identity and value as read at snapshot time.
+struct MetricSample {
+  std::string name;               ///< metric name (validated on registration)
+  Labels labels;                  ///< sorted label pairs
+  std::string help;               ///< one-line description (may be empty)
+  MetricKind kind = MetricKind::kCounter;  ///< which value field applies
+  std::uint64_t counter_value = 0;         ///< kCounter
+  std::int64_t gauge_value = 0;            ///< kGauge
+  Histogram::Snapshot histogram;           ///< kHistogram
+};
+
+/// A point-in-time read of a registry: samples sorted by (name, labels),
+/// so two snapshots of identical state render byte-identically.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< deterministic order
+
+  /// Fold `other`'s samples in and restore the sorted order (how the
+  /// scrape endpoint serves a per-service registry plus the process-wide
+  /// one in one exposition).
+  void merge(MetricsSnapshot other);
+};
+
+/// Owner of metric primitives. Thread-safe; see the file header for the
+/// slow-path/hot-path split. Handed-out references live as long as the
+/// registry (for the process-wide instance: forever).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The counter registered under (name, labels), creating it on first
+  /// use. Throws std::invalid_argument on a malformed name/label key or
+  /// when the name is already registered as a different kind.
+  Counter& counter(std::string_view name, Labels labels = {}, std::string_view help = "");
+
+  /// Same contract for gauges.
+  Gauge& gauge(std::string_view name, Labels labels = {}, std::string_view help = "");
+
+  /// Same contract for histograms.
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       std::string_view help = "");
+
+  /// Read every registered metric (atomic per-value loads; deterministic
+  /// sample order).
+  MetricsSnapshot snapshot() const;
+
+  /// The process-wide registry library instrumentation (pipeline stages,
+  /// sharded engines, sinks) registers into.
+  static MetricsRegistry& process();
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    std::string name;
+    Labels labels;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& resolve(MetricKind kind, std::string_view name, Labels&& labels,
+                 std::string_view help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  ///< key = name + serialized labels
+};
+
+}  // namespace hhh::obs

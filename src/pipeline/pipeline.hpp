@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pipeline/sink.hpp"
 #include "pipeline/source.hpp"
 #include "pipeline/stage.hpp"
@@ -56,6 +57,11 @@ struct PipelineConfig {
   /// Stop the run after this many closed windows (live demos, bounded
   /// smoke tests).
   std::optional<std::size_t> max_windows;
+  /// Register per-stage counters/histograms in the process-wide
+  /// MetricsRegistry (chunk-granular increments; see bench/throughput's
+  /// instrumentation_overhead A/B row, gated <2%). Off for harnesses that
+  /// must not touch global state.
+  bool metrics = true;
 };
 
 /// What a finished run did.
@@ -92,6 +98,17 @@ class Pipeline {
   const WindowPolicy& policy() const noexcept { return *policy_; }
 
  private:
+  /// Resolved hot-path metric handles (per stage name, registered once at
+  /// construction; all null when config.metrics is off).
+  struct Metrics {
+    obs::Counter* packets = nullptr;       ///< hhh_pipeline_packets_total
+    obs::Counter* bytes = nullptr;         ///< hhh_pipeline_bytes_total
+    obs::Counter* batches = nullptr;       ///< hhh_pipeline_batches_total
+    obs::Counter* windows = nullptr;       ///< hhh_pipeline_windows_total
+    obs::Histogram* batch_packets = nullptr;    ///< hhh_pipeline_batch_packets
+    obs::Histogram* window_close_ns = nullptr;  ///< hhh_pipeline_window_close_ns
+  };
+
   /// Close every window with boundary <= t; returns false when
   /// max_windows stops the run.
   bool close_windows_before(TimePoint t);
@@ -103,6 +120,7 @@ class Pipeline {
   PipelineConfig config_;
   std::vector<std::unique_ptr<ReportSink>> sinks_;
   RunStats stats_;
+  Metrics metrics_;
   bool open_window_dirty_ = false;  ///< packets ingested since last close
 };
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "pipeline/stage.hpp"
 
 namespace hhh::pipeline {
@@ -64,6 +65,7 @@ class SnapshotStreamSink final : public ReportSink {
     }
   }
 
+
   ~SnapshotStreamSink() override {
     if (owned_) std::fclose(owned_);
   }
@@ -76,6 +78,8 @@ class SnapshotStreamSink final : public ReportSink {
     if (std::fwrite(frame.data(), 1, frame.size(), out_) != frame.size()) {
       throw std::runtime_error("SnapshotStreamSink: short write");
     }
+    frames_.inc();
+    frame_bytes_.inc(frame.size());
     // Per-frame flush: the output is a valid self-delimiting frame stream
     // at every instant, so a streaming consumer can follow along as
     // windows close. (The bundled hhh-collector currently drains its
@@ -91,6 +95,12 @@ class SnapshotStreamSink final : public ReportSink {
  private:
   std::FILE* owned_ = nullptr;
   std::FILE* out_;
+  // Per-frame cost only — always instrumented (unlike the pipeline's
+  // per-chunk counters there is no hot-path budget to defend here).
+  obs::Counter& frames_ = obs::MetricsRegistry::process().counter(
+      "hhh_sink_frames_total", {}, "Snapshot frames written by stream sinks");
+  obs::Counter& frame_bytes_ = obs::MetricsRegistry::process().counter(
+      "hhh_sink_frame_bytes_total", {}, "Encoded snapshot-frame bytes written");
 };
 
 }  // namespace

@@ -4,14 +4,16 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/export.hpp"
+#include "obs/log.hpp"
 #include "service/frame_stream.hpp"
-#include "util/logging.hpp"
 #include "wire/codec.hpp"
 
 namespace hhh::service {
@@ -61,9 +63,44 @@ CollectorService::CollectorService(CollectorOptions options)
                              .grace_ns = options_.grace_ns,
                              .expected_vantages = options_.expected_vantages,
                              .skew_tolerance_ns = options_.skew_tolerance_ns}),
-      cumulative_(options_.thresholds) {}
+      cumulative_(options_.thresholds) {
+  register_metrics();
+}
 
 CollectorService::~CollectorService() = default;
+
+void CollectorService::register_metrics() {
+  ctr_.connections_accepted =
+      &metrics_.counter("hhh_collector_connections_accepted_total", {},
+                        "Sockets accepted from vantages");
+  ctr_.frames_received = &metrics_.counter("hhh_collector_frames_received_total", {},
+                                           "Epoch frames accepted into buckets");
+  ctr_.epochs_closed = &metrics_.counter("hhh_collector_epochs_closed_total", {},
+                                         "Epochs merged and reported");
+  ctr_.epochs_incomplete =
+      &metrics_.counter("hhh_collector_epochs_incomplete_total", {},
+                        "Epochs closed by grace with vantages missing");
+  ctr_.duplicates_dropped = &metrics_.counter(
+      "hhh_collector_duplicates_dropped_total", {}, "Re-delivered frames dropped");
+  ctr_.late_folds = &metrics_.counter("hhh_collector_late_folds_total", {},
+                                      "Post-close frames folded cumulatively");
+  ctr_.protocol_errors = &metrics_.counter("hhh_collector_protocol_errors_total", {},
+                                           "Typed per-connection failures");
+  ctr_.dirty_disconnects = &metrics_.counter("hhh_collector_dirty_disconnects_total",
+                                             {}, "EOF without a bye (peer crash)");
+  ctr_.clean_disconnects = &metrics_.counter("hhh_collector_clean_disconnects_total",
+                                             {}, "Bye/ack handshakes completed");
+  ctr_.backpressure_pauses =
+      &metrics_.counter("hhh_collector_backpressure_pauses_total", {},
+                        "Read suspensions of flooding vantages");
+  ctr_.connected_vantages = &metrics_.gauge("hhh_collector_connected_vantages", {},
+                                            "Vantages past the hello handshake");
+  ctr_.pending_epochs = &metrics_.gauge("hhh_collector_pending_epochs", {},
+                                        "Epoch buckets currently open");
+  ctr_.epoch_close_latency_ns =
+      &metrics_.histogram("hhh_collector_epoch_close_latency_ns", {},
+                          "Arrival of an epoch's first frame to its close");
+}
 
 std::int64_t CollectorService::now_ns() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -94,6 +131,28 @@ void CollectorService::start() {
                                                  : "");
     listeners_.push_back(std::move(fd));
   }
+  if (options_.metrics) {
+    stats_server_ = std::make_unique<StatsServer>(
+        *options_.metrics, [this](std::string_view path) {
+          if (path == "/metrics") {
+            return StatsResponse{.status = 200,
+                                 .content_type = "text/plain; version=0.0.4",
+                                 .body = obs::render_prometheus(metrics_snapshot())};
+          }
+          if (path == "/metrics.json") {
+            return StatsResponse{.status = 200,
+                                 .content_type = "application/json",
+                                 .body = obs::render_json(metrics_snapshot())};
+          }
+          return StatsResponse{.status = 404,
+                               .content_type = "text/plain",
+                               .body = "try /metrics or /metrics.json\n"};
+        });
+    HHH_INFO << "collector: metrics on " << options_.metrics->to_string()
+             << (options_.metrics->kind == Endpoint::Kind::kTcp
+                     ? " (port " + std::to_string(stats_server_->tcp_port()) + ")"
+                     : "");
+  }
   if (!options_.checkpoint_path.empty() && file_exists(options_.checkpoint_path)) {
     load_checkpoint();
   }
@@ -109,8 +168,63 @@ void CollectorService::stop() noexcept {
 }
 
 CollectorStats CollectorService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  CollectorStats s;
+  s.connections_accepted = ctr_.connections_accepted->value();
+  s.frames_received = ctr_.frames_received->value();
+  s.epochs_closed = ctr_.epochs_closed->value();
+  s.epochs_incomplete = ctr_.epochs_incomplete->value();
+  s.duplicates_dropped = ctr_.duplicates_dropped->value();
+  s.late_folds = ctr_.late_folds->value();
+  s.protocol_errors = ctr_.protocol_errors->value();
+  s.dirty_disconnects = ctr_.dirty_disconnects->value();
+  s.clean_disconnects = ctr_.clean_disconnects->value();
+  s.backpressure_pauses = ctr_.backpressure_pauses->value();
+  return s;
+}
+
+obs::MetricsSnapshot CollectorService::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = metrics_.snapshot();
+  snap.merge(obs::MetricsRegistry::process().snapshot());
+  return snap;
+}
+
+void CollectorService::note_vantage_frame(const std::string& vantage,
+                                          std::int64_t index) {
+  auto& latest = vantage_latest_epoch_[vantage];
+  latest = std::max(latest, index);
+  max_epoch_index_ = std::max(max_epoch_index_, index);
+  update_vantage_lag();
+}
+
+void CollectorService::update_vantage_lag() {
+  // Off the packet path (one pass per received frame over a small fleet);
+  // gauge resolution is idempotent, so reconnects reuse the same series.
+  for (const auto& [name, latest] : vantage_latest_epoch_) {
+    metrics_
+        .gauge("hhh_collector_vantage_lag_epochs", {{"vantage", name}},
+               "Fleet-max epoch index minus this vantage's latest frame")
+        .set(max_epoch_index_ - latest);
+  }
+}
+
+void CollectorService::log_stats_line() {
+  const CollectorStats s = stats();
+  std::ostringstream line;
+  line << "collector: stats"
+       << " connections=" << s.connections_accepted
+       << " frames=" << s.frames_received << " epochs_closed=" << s.epochs_closed
+       << " epochs_incomplete=" << s.epochs_incomplete
+       << " duplicates=" << s.duplicates_dropped << " late_folds=" << s.late_folds
+       << " protocol_errors=" << s.protocol_errors
+       << " dirty_disconnects=" << s.dirty_disconnects
+       << " clean_disconnects=" << s.clean_disconnects
+       << " backpressure_pauses=" << s.backpressure_pauses
+       << " pending_epochs=" << aligner_.pending_epochs()
+       << " connected=" << ctr_.connected_vantages->value();
+  // --stats-interval is itself the opt-in: emit through the logger's
+  // primitive (single write, timestamped) regardless of the threshold,
+  // so the cadence never also requires --verbose.
+  log_line(LogLevel::kInfo, line.str());
 }
 
 // ---------------------------------------------------------------- poll loop
@@ -133,6 +247,11 @@ RunOutcome CollectorService::run() {
     fds.push_back(pollfd{.fd = wake_read_.get(), .events = POLLIN, .revents = 0});
     for (const Fd& listener : listeners_) {
       fds.push_back(pollfd{.fd = listener.get(), .events = POLLIN, .revents = 0});
+    }
+    const std::size_t stats_at = fds.size();
+    if (stats_server_) {
+      fds.push_back(
+          pollfd{.fd = stats_server_->listener_fd(), .events = POLLIN, .revents = 0});
     }
     std::vector<std::size_t> conn_of_fd;  // conns_ index per conn pollfd
     for (std::size_t i = 0; i < conns_.size(); ++i) {
@@ -164,6 +283,10 @@ RunOutcome CollectorService::run() {
         if (fds[at].revents & POLLIN) accept_pending(listener);
         ++at;
       }
+      if (stats_server_) {
+        if (fds[stats_at].revents & POLLIN) stats_server_->serve_pending();
+        ++at;
+      }
       for (std::size_t k = 0; k < conn_of_fd.size(); ++k) {
         if (fds[at + k].revents & (POLLIN | POLLERR | POLLHUP)) {
           service_conn(*conns_[conn_of_fd[k]]);
@@ -178,6 +301,14 @@ RunOutcome CollectorService::run() {
 
     for (ReadyEpoch& epoch : aligner_.drain(now_ns())) close_epoch(std::move(epoch));
     update_backpressure();
+    ctr_.pending_epochs->set(static_cast<std::int64_t>(aligner_.pending_epochs()));
+
+    if (options_.stats_interval_s > 0.0 &&
+        static_cast<double>(now_ns() - last_stats_log_ns_) >=
+            options_.stats_interval_s * 1e9) {
+      log_stats_line();
+      last_stats_log_ns_ = now_ns();
+    }
 
     if (options_.idle_exit_s > 0.0 && ever_connected_ && conns_.empty() &&
         aligner_.pending_epochs() == 0 &&
@@ -212,10 +343,7 @@ void CollectorService::accept_pending(const Fd& listener) {
     conns_.push_back(std::move(conn));
     ever_connected_ = true;
     last_activity_ns_ = now_ns();
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.connections_accepted;
-    }
+    ctr_.connections_accepted->inc();
   }
 }
 
@@ -244,8 +372,7 @@ void CollectorService::service_conn(Conn& conn) {
     } catch (const wire::WireFormatError& e) {
       HHH_WARN << "collector: " << conn.desc << ": protocol error ["
                << wire::to_string(e.code()) << "]: " << e.what();
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.protocol_errors;
+      ctr_.protocol_errors->inc();
       conn.pending = ConnAction::kCloseError;
       return;
     }
@@ -262,8 +389,7 @@ void CollectorService::service_conn(Conn& conn) {
     if (conn.got_hello &&
         aligner_.pending_frames(conn.name) > options_.max_pending_frames) {
       conn.paused = true;
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.backpressure_pauses;
+      ctr_.backpressure_pauses->inc();
       return;
     }
   }
@@ -313,11 +439,13 @@ CollectorService::ConnAction CollectorService::handle_hello(
       other->pending = ConnAction::kCloseStale;
       other->got_hello = false;
       other->name.clear();
+      ctr_.connected_vantages->add(-1);  // its close no longer decrements
     }
   }
   conn.name = hello.vantage;
   conn.desc = hello.vantage;
   conn.got_hello = true;
+  ctr_.connected_vantages->add(1);
   aligner_.vantage_up(conn.name);
   HHH_INFO << "collector: vantage " << conn.name << " connected";
   return ConnAction::kKeep;
@@ -335,27 +463,24 @@ void CollectorService::handle_epoch_frame(Conn& conn, const wire::FrameView& fra
   switch (offer) {
     case Offer::kAccepted: {
       ++conn.frames;
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.frames_received;
+      ctr_.frames_received->inc();
+      note_vantage_frame(conn.name, aligner_.index_of(epoch.start_ns));
       return;
     }
     case Offer::kDuplicate: {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.duplicates_dropped;
+      ctr_.duplicates_dropped->inc();
       return;
     }
     case Offer::kMisaligned: {
       HHH_WARN << "collector: " << conn.desc << ": window start " << epoch.start_ns
                << "ns is off the epoch grid beyond skew tolerance; frame dropped";
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.protocol_errors;
+      ctr_.protocol_errors->inc();
       return;
     }
     case Offer::kLate: {
       const std::int64_t index = aligner_.index_of(epoch.start_ns);
       if (incorporated(conn.name, index)) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.duplicates_dropped;
+        ctr_.duplicates_dropped->inc();
         return;
       }
       // The epoch already closed and shipped; this straggler still
@@ -367,13 +492,12 @@ void CollectorService::handle_epoch_frame(Conn& conn, const wire::FrameView& fra
         cumulative_.fold(decode_scope(inner, conn.name));
         HHH_INFO << "collector: late frame from " << conn.name << " for epoch " << index
                  << " folded into the cumulative state";
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.late_folds;
+        ctr_.late_folds->inc();
+        note_vantage_frame(conn.name, index);
       } catch (const std::invalid_argument& e) {
         HHH_WARN << "collector: late frame from " << conn.name
                  << " is incompatible: " << e.what();
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.protocol_errors;
+        ctr_.protocol_errors->inc();
       }
       return;
     }
@@ -382,12 +506,12 @@ void CollectorService::handle_epoch_frame(Conn& conn, const wire::FrameView& fra
 
 void CollectorService::close_conn(std::size_t i, ConnAction how) {
   Conn& conn = *conns_[i];
-  if (conn.got_hello) aligner_.vantage_down(conn.name);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (how == ConnAction::kCloseClean) ++stats_.clean_disconnects;
-    if (how == ConnAction::kCloseDirty) ++stats_.dirty_disconnects;
+  if (conn.got_hello) {
+    aligner_.vantage_down(conn.name);
+    ctr_.connected_vantages->add(-1);
   }
+  if (how == ConnAction::kCloseClean) ctr_.clean_disconnects->inc();
+  if (how == ConnAction::kCloseDirty) ctr_.dirty_disconnects->inc();
   conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
@@ -395,8 +519,7 @@ void CollectorService::close_epoch(ReadyEpoch&& epoch) {
   MergeLedger ledger(options_.thresholds);
   for (const EpochContribution& c : epoch.frames) {
     if (incorporated(c.vantage, epoch.index)) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.duplicates_dropped;
+      ctr_.duplicates_dropped->inc();
       continue;
     }
     mark_incorporated(c.vantage, epoch.index);
@@ -408,13 +531,11 @@ void CollectorService::close_epoch(ReadyEpoch&& epoch) {
       // merge — one bad vantage must not sink the epoch.
       HHH_WARN << "collector: epoch " << epoch.index << ": frame from " << c.vantage
                << " is incompatible: " << e.what();
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.protocol_errors;
+      ctr_.protocol_errors->inc();
     } catch (const wire::WireFormatError& e) {
       HHH_WARN << "collector: epoch " << epoch.index << ": frame from " << c.vantage
                << " is malformed [" << wire::to_string(e.code()) << "]: " << e.what();
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.protocol_errors;
+      ctr_.protocol_errors->inc();
     }
   }
 
@@ -424,10 +545,12 @@ void CollectorService::close_epoch(ReadyEpoch&& epoch) {
   for (const GroupReport& g : report.groups) group_keys.push_back(g.key);
   cumulative_.absorb(std::move(ledger));
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.epochs_closed;
-    if (epoch.grace_expired && !epoch.missing.empty()) ++stats_.epochs_incomplete;
+  ctr_.epochs_closed->inc();
+  if (epoch.grace_expired && !epoch.missing.empty()) ctr_.epochs_incomplete->inc();
+  if (epoch.first_seen_ns > 0) {
+    ctr_.epoch_close_latency_ns->observe(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, now_ns() - epoch.first_seen_ns)));
   }
   std::string missing;
   for (const std::string& name : epoch.missing) missing += " " + name;
@@ -512,14 +635,11 @@ void CollectorService::write_checkpoint() {
     epochs.save(w);
   }
   aligner_.save_state(w);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    w.u64(stats_.frames_received);
-    w.u64(stats_.epochs_closed);
-    w.u64(stats_.epochs_incomplete);
-    w.u64(stats_.late_folds);
-    w.u64(stats_.duplicates_dropped);
-  }
+  w.u64(ctr_.frames_received->value());
+  w.u64(ctr_.epochs_closed->value());
+  w.u64(ctr_.epochs_incomplete->value());
+  w.u64(ctr_.late_folds->value());
+  w.u64(ctr_.duplicates_dropped->value());
   const auto frame =
       wire::build_frame(wire::SnapshotKind::kCollectorCheckpoint, payload);
   wire::write_file(options_.checkpoint_path, frame);
@@ -557,14 +677,13 @@ void CollectorService::load_checkpoint() {
     incorporated_[name].load(r);
   }
   aligner_.load_state(r, now_ns());
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.frames_received = r.u64();
-    stats_.epochs_closed = r.u64();
-    stats_.epochs_incomplete = r.u64();
-    stats_.late_folds = r.u64();
-    stats_.duplicates_dropped = r.u64();
-  }
+  // Counters restore by re-crediting the saved totals (load happens once,
+  // before run(), onto zero-valued counters — monotonicity holds).
+  ctr_.frames_received->inc(r.u64());
+  ctr_.epochs_closed->inc(r.u64());
+  ctr_.epochs_incomplete->inc(r.u64());
+  ctr_.late_folds->inc(r.u64());
+  ctr_.duplicates_dropped->inc(r.u64());
   wire::check(r.done(), wire::WireError::kTrailingBytes,
               "payload continues past checkpoint state");
   restored_ = true;

@@ -32,17 +32,18 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pipeline/snapshot_stream.hpp"
 #include "service/endpoint.hpp"
 #include "service/epoch_aligner.hpp"
 #include "service/merge.hpp"
 #include "service/socket.hpp"
+#include "service/stats_server.hpp"
 #include "service/vantage_client.hpp"
 
 namespace hhh::service {
@@ -62,9 +63,16 @@ struct CollectorOptions {
   double publish_retry_s = 10.0;           ///< upstream reconnect budget
   double idle_exit_s = 0.0;                ///< exit after this idle stretch (0 = never)
   std::size_t max_pending_frames = 64;     ///< backpressure cap per vantage
+  /// Serve Prometheus text at /metrics and the JSON snapshot at
+  /// /metrics.json on this endpoint (scraped mid-run; unset = no server).
+  std::optional<Endpoint> metrics;
+  /// Emit one structured stats log line every this many seconds from the
+  /// poll loop (0 = off).
+  double stats_interval_s = 0.0;
 };
 
-/// Observability counters (every field monotonic).
+/// Observability counters (every field monotonic). A value view over the
+/// service's atomic metric registry — see CollectorService::stats().
 struct CollectorStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t frames_received = 0;   ///< epoch frames accepted into buckets
@@ -112,8 +120,22 @@ class CollectorService {
   /// how tests listen on port 0). 0 when only Unix listeners exist.
   std::uint16_t tcp_port() const noexcept { return tcp_port_; }
 
-  /// Snapshot of the counters (thread-safe).
+  /// Port of the metrics scrape listener (after start(); 0 when no
+  /// `metrics` endpoint is configured or it is a Unix socket).
+  std::uint16_t metrics_tcp_port() const noexcept {
+    return stats_server_ ? stats_server_->tcp_port() : 0;
+  }
+
+  /// Snapshot of the counters. Thread-safe and tear-free: every field is
+  /// one relaxed atomic load from this service's registry, so a reader
+  /// concurrent with the poll loop sees each counter whole (values may
+  /// lag, totals are never half-written).
   CollectorStats stats() const;
+
+  /// This service's full metric state (counters, gauges, latency
+  /// histograms) merged with the process-wide registry (pipeline /
+  /// sharded-engine / sink series) — what the scrape endpoint serves.
+  obs::MetricsSnapshot metrics_snapshot() const;
 
   /// True when start() restored state from an existing checkpoint.
   bool restored_from_checkpoint() const noexcept { return restored_; }
@@ -158,7 +180,29 @@ class CollectorService {
     ConnAction pending = ConnAction::kKeep;  ///< close scheduled for the sweep
   };
 
+  /// Resolved handles into `metrics_` (registered at construction; one
+  /// relaxed RMW per event on the poll loop, no lock anywhere).
+  struct Counters {
+    obs::Counter* connections_accepted = nullptr;
+    obs::Counter* frames_received = nullptr;
+    obs::Counter* epochs_closed = nullptr;
+    obs::Counter* epochs_incomplete = nullptr;
+    obs::Counter* duplicates_dropped = nullptr;
+    obs::Counter* late_folds = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Counter* dirty_disconnects = nullptr;
+    obs::Counter* clean_disconnects = nullptr;
+    obs::Counter* backpressure_pauses = nullptr;
+    obs::Gauge* connected_vantages = nullptr;
+    obs::Gauge* pending_epochs = nullptr;
+    obs::Histogram* epoch_close_latency_ns = nullptr;
+  };
+
   std::int64_t now_ns() const;
+  void register_metrics();
+  void note_vantage_frame(const std::string& vantage, std::int64_t index);
+  void update_vantage_lag();
+  void log_stats_line();
   void accept_pending(const Fd& listener);
   void service_conn(Conn& conn);
   ConnAction process_frames(Conn& conn);
@@ -192,8 +236,17 @@ class CollectorService {
   std::int64_t last_activity_ns_ = 0;
   std::atomic<bool> stop_requested_{false};
 
-  mutable std::mutex stats_mu_;
-  CollectorStats stats_;
+  /// Per-instance registry: several services in one process (the fault
+  /// matrix does this) keep fully independent counters; library-level
+  /// series live in MetricsRegistry::process() and are merged at scrape.
+  obs::MetricsRegistry metrics_;
+  Counters ctr_;
+  std::unique_ptr<StatsServer> stats_server_;
+  /// Latest accepted epoch index per vantage and fleet-wide — the inputs
+  /// to the per-vantage lag gauges (lag = fleet max − vantage's latest).
+  std::map<std::string, std::int64_t> vantage_latest_epoch_;
+  std::int64_t max_epoch_index_ = 0;
+  std::int64_t last_stats_log_ns_ = 0;
   EpochCallback on_epoch_;
 };
 

@@ -90,6 +90,7 @@ std::vector<ReadyEpoch> EpochAligner::drain(std::int64_t now_ns) {
     epoch.index = it->first;
     epoch.start_ns = bucket.start_ns;
     epoch.end_ns = std::max(bucket.end_ns, bucket.start_ns + params_.window_ns);
+    epoch.first_seen_ns = bucket.first_seen_ns;
     epoch.grace_expired = !done;
     for (const std::string& name : up_) {
       if (!bucket.has(name)) epoch.missing.push_back(name);

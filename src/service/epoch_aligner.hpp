@@ -66,6 +66,9 @@ struct ReadyEpoch {
   std::int64_t index = 0;     ///< epoch ordinal on the grid
   std::int64_t start_ns = 0;  ///< grid-aligned epoch start
   std::int64_t end_ns = 0;    ///< max reported window end
+  /// Arrival time of the bucket's first frame (the drain() caller's
+  /// clock domain) — close latency is drain time minus this.
+  std::int64_t first_seen_ns = 0;
   std::vector<EpochContribution> frames;  ///< what arrived, arrival order
   std::vector<std::string> missing;       ///< up vantages that never contributed
   bool grace_expired = false; ///< closed by timeout, not completeness

@@ -1,0 +1,98 @@
+#include "service/stats_server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace hhh::service {
+
+namespace {
+
+/// Extract the request target from "GET <path> HTTP/1.x"; empty when the
+/// line is not a GET.
+std::string_view parse_get_path(std::string_view request) {
+  constexpr std::string_view kGet = "GET ";
+  if (request.substr(0, kGet.size()) != kGet) return {};
+  request.remove_prefix(kGet.size());
+  const auto space = request.find(' ');
+  if (space == std::string_view::npos) return {};
+  return request.substr(0, space);
+}
+
+const char* status_text(int status) { return status == 200 ? "OK" : "Not Found"; }
+
+}  // namespace
+
+StatsServer::StatsServer(const Endpoint& endpoint, Handler handler)
+    : handler_(std::move(handler)) {
+  if (!handler_) throw std::invalid_argument("StatsServer: null handler");
+  std::uint16_t port = 0;
+  listener_ = listen_on(endpoint, &port);
+  set_nonblocking(listener_.get(), true);
+  if (endpoint.kind == Endpoint::Kind::kTcp) tcp_port_ = port;
+}
+
+void StatsServer::serve_pending() {
+  for (;;) {
+    const int raw = ::accept(listener_.get(), nullptr, nullptr);
+    if (raw < 0) return;  // EAGAIN/EWOULDBLOCK/EINTR: nothing (more) waiting
+    serve_one(Fd(raw));
+  }
+}
+
+void StatsServer::serve_one(Fd client) {
+  set_nonblocking(client.get(), true);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(kRequestTimeoutMs);
+  // Read until the end of the request head (blank line); scrapers send
+  // tiny requests, so this is typically one read.
+  std::string request;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    char buf[1024];
+    const ReadResult r = read_some(client.get(), buf, sizeof(buf));
+    if (r.status == ReadStatus::kData) {
+      request.append(buf, r.n);
+      if (request.size() > 4096) return;  // request line cap: drop the client
+      continue;
+    }
+    if (r.status != ReadStatus::kWouldBlock) return;  // EOF / error mid-request
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    const auto wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             deadline - now)
+                             .count();
+    pollfd pfd{.fd = client.get(), .events = POLLIN, .revents = 0};
+    if (::poll(&pfd, 1, static_cast<int>(wait_ms)) <= 0) return;
+  }
+
+  const auto line_end = request.find_first_of("\r\n");
+  const std::string_view path = parse_get_path(
+      std::string_view(request).substr(0, line_end));
+  StatsResponse response;
+  if (path.empty()) {
+    response = StatsResponse{.status = 404, .content_type = "text/plain",
+                             .body = "only GET is supported\n"};
+  } else {
+    response = handler_(path);
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     status_text(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  // write_all blocks through short writes; responses are tens of KiB at
+  // most, so the bound here is the kernel buffer draining to the scraper.
+  set_nonblocking(client.get(), false);
+  if (write_all(client.get(), head.data(), head.size())) {
+    write_all(client.get(), response.body.data(), response.body.size());
+  }
+}
+
+}  // namespace hhh::service

@@ -1,0 +1,69 @@
+/// \file
+/// StatsServer — a minimal HTTP/1.0 scrape listener for the collector's
+/// metrics endpoint (`hhh-collectord --metrics=ENDPOINT`).
+///
+/// Deliberately not a web server: it exists so `curl` and a Prometheus
+/// scraper can GET /metrics and /metrics.json from the daemon mid-run.
+/// It owns one listening socket whose fd the collector's poll(2) loop
+/// watches; on readiness the loop calls serve_pending(), which accepts
+/// and serves each waiting client synchronously — read the request line
+/// (bounded buffer, bounded wait), invoke the handler, write one
+/// Connection: close response, close. A slow or malicious client can
+/// stall the loop for at most kRequestTimeoutMs; it cannot accumulate
+/// state (no keep-alive, no pipelining, request line capped at 4 KiB).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "service/endpoint.hpp"
+#include "service/socket.hpp"
+
+namespace hhh::service {
+
+/// What a handler returns for one request path.
+struct StatsResponse {
+  int status = 200;                         ///< 200 or 404
+  std::string content_type = "text/plain";  ///< Content-Type header value
+  std::string body;                         ///< response payload
+};
+
+/// The scrape listener described in the file header.
+class StatsServer {
+ public:
+  /// Maps a request path ("/metrics", "/metrics.json") to a response;
+  /// invoked in the poll-loop thread.
+  using Handler = std::function<StatsResponse(std::string_view path)>;
+
+  /// Bind `endpoint` (port 0 picks a free port) and serve GETs via
+  /// `handler`. Throws std::runtime_error on bind failure.
+  StatsServer(const Endpoint& endpoint, Handler handler);
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// The listening fd for the owner's poll set.
+  int listener_fd() const noexcept { return listener_.get(); }
+
+  /// Kernel-assigned port for TCP endpoints (0 for Unix sockets).
+  std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+
+  /// Accept and serve every connection currently waiting on the
+  /// listener. Each request is handled synchronously with a bounded
+  /// per-request wait; call when poll reports the listener readable.
+  void serve_pending();
+
+ private:
+  /// Upper bound on one client's read-request + write-response time.
+  static constexpr int kRequestTimeoutMs = 1000;
+
+  void serve_one(Fd client);
+
+  Fd listener_;
+  Handler handler_;
+  std::uint16_t tcp_port_ = 0;
+};
+
+}  // namespace hhh::service

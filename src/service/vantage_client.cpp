@@ -8,7 +8,7 @@
 
 #include "pipeline/snapshot_stream.hpp"
 #include "service/frame_stream.hpp"
-#include "util/logging.hpp"
+#include "obs/log.hpp"
 
 namespace hhh::service {
 

@@ -1,0 +1,140 @@
+// Exposition rendering (src/obs/export.hpp): the Prometheus text and
+// JSON documents are pure functions of a MetricsSnapshot, pinned
+// byte-for-byte against golden files in tests/data/ — a scrape consumer
+// written against one release must parse the next. On a mismatch the
+// failure message prints the actual rendering so the goldens can be
+// regenerated deliberately.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#ifndef HHH_TEST_DATA_DIR
+#define HHH_TEST_DATA_DIR "tests/data"
+#endif
+
+namespace hhh::obs {
+namespace {
+
+std::string read_data_file(const std::string& name) {
+  std::ifstream in(std::string(HHH_TEST_DATA_DIR) + "/" + name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << name;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// The fixture state both goldens render: every metric kind, multiple
+/// label variants of one name, an unlabeled histogram with a zero-bucket
+/// gap and an overflow observation, and escaping hazards in a label value
+/// and a help string.
+MetricsSnapshot fixture_snapshot() {
+  MetricsRegistry reg;
+  reg.counter("hhh_demo_frames_total", {{"vantage", "pop-1"}}, "Frames received")
+      .inc(3);
+  reg.counter("hhh_demo_frames_total", {{"vantage", "pop-2"}}, "Frames received")
+      .inc(5);
+  reg.gauge("hhh_demo_lag_epochs", {{"vantage", "pop-1"}}, "Epochs behind the grid")
+      .set(-2);
+  Histogram& h = reg.histogram("hhh_demo_close_ns", {}, "Epoch close latency");
+  h.observe(0);
+  h.observe(1);
+  h.observe(900);  // bucket 10 (le 1023) — buckets 2..9 stay empty (elided)
+  h.observe(std::numeric_limits<std::uint64_t>::max());  // overflow bucket
+  reg.counter("hhh_demo_escapes_total", {{"note", "a\\b\"c\nd"}},
+              "help with \\ and\nnewline")
+      .inc(1);
+  return reg.snapshot();
+}
+
+TEST(PrometheusRenderTest, MatchesGolden) {
+  const std::string actual = render_prometheus(fixture_snapshot());
+  EXPECT_EQ(actual, read_data_file("obs_golden.prom"))
+      << "actual rendering:\n" << actual;
+}
+
+TEST(JsonRenderTest, MatchesGolden) {
+  const std::string actual = render_json(fixture_snapshot());
+  EXPECT_EQ(actual, read_data_file("obs_golden.json"))
+      << "actual rendering:\n" << actual;
+}
+
+TEST(RenderTest, IdenticalStateRendersByteIdentically) {
+  // Same logical state built in a different registration order: snapshot
+  // sorting makes the renderings byte-equal.
+  MetricsRegistry a, b;
+  a.counter("hhh_x_total", {{"k", "1"}}, "x").inc(7);
+  a.gauge("hhh_g", {}, "g").set(9);
+  b.gauge("hhh_g", {}, "g").set(9);
+  b.counter("hhh_x_total", {{"k", "1"}}, "x").inc(7);
+  EXPECT_EQ(render_prometheus(a.snapshot()), render_prometheus(b.snapshot()));
+  EXPECT_EQ(render_json(a.snapshot()), render_json(b.snapshot()));
+}
+
+TEST(PrometheusRenderTest, HistogramBucketsAreCumulativeWithElision) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("hhh_h", {}, "");
+  h.observe(1);    // bucket 1 (le 1)
+  h.observe(800);  // bucket 10 (le 1023)
+  h.observe(900);
+  const std::string out = render_prometheus(reg.snapshot());
+  // Elided zero buckets keep the emitted boundaries cumulative.
+  EXPECT_NE(out.find("hhh_h_bucket{le=\"1\"} 1\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("hhh_h_bucket{le=\"1023\"} 3\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("hhh_h_bucket{le=\"+Inf\"} 3\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("hhh_h_sum 1701\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("hhh_h_count 3\n"), std::string::npos) << out;
+  EXPECT_EQ(out.find("le=\"3\""), std::string::npos) << "zero bucket not elided:\n" << out;
+}
+
+TEST(PrometheusRenderTest, HelpAndTypeOncePerName) {
+  MetricsRegistry reg;
+  reg.counter("hhh_multi_total", {{"s", "a"}}, "help").inc(1);
+  reg.counter("hhh_multi_total", {{"s", "b"}}, "help").inc(2);
+  const std::string out = render_prometheus(reg.snapshot());
+  std::size_t count = 0;
+  for (std::size_t at = out.find("# TYPE hhh_multi_total"); at != std::string::npos;
+       at = out.find("# TYPE hhh_multi_total", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u) << out;
+}
+
+TEST(PrometheusRenderTest, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(render_prometheus(MetricsSnapshot{}), "");
+}
+
+TEST(JsonRenderTest, EmptySnapshotIsValidDocument) {
+  EXPECT_EQ(render_json(MetricsSnapshot{}), "{\n  \"metrics\": []\n}\n");
+}
+
+TEST(JsonRenderTest, OverflowBucketEncodesLeMinusOne) {
+  MetricsRegistry reg;
+  reg.histogram("hhh_h", {}, "").observe(std::numeric_limits<std::uint64_t>::max());
+  const std::string out = render_json(reg.snapshot());
+  EXPECT_NE(out.find("{\"le\": -1, \"count\": 1}"), std::string::npos) << out;
+}
+
+TEST(WriteJsonFileTest, RoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "obs_export_roundtrip.json";
+  const MetricsSnapshot snap = fixture_snapshot();
+  write_json_file(path, snap);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str(), render_json(snap));
+  std::remove(path.c_str());
+}
+
+TEST(WriteJsonFileTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_json_file("/nonexistent-dir/metrics.json", MetricsSnapshot{}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hhh::obs

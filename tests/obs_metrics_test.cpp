@@ -1,0 +1,242 @@
+// Semantics of the lock-free metrics core (src/obs/metrics.hpp): counter
+// and gauge atomicity, the histogram's power-of-2 bucket geometry at its
+// boundaries, registry idempotence and kind checking, and snapshot
+// determinism. The concurrency cases run every writer path from multiple
+// threads — the CI thread-sanitizer job turns any non-atomic access into
+// a hard failure.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace hhh::obs {
+namespace {
+
+// The padding contract is part of the API: two adjacent primitives must
+// never share a cache line.
+static_assert(sizeof(Counter) == kCacheLine && alignof(Counter) == kCacheLine);
+static_assert(sizeof(Gauge) == kCacheLine && alignof(Gauge) == kCacheLine);
+
+TEST(CounterTest, IncrementAndRead) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAddAndNegative) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.set(-1);
+  EXPECT_EQ(g.value(), -1);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // bucket b holds observations with bit_width(v) == b: bucket 0 is
+  // exactly v = 0, bucket b >= 1 is [2^(b-1), 2^b).
+  Histogram h;
+  h.observe(0);  // bucket 0
+  h.observe(1);  // bucket 1 ([1, 2))
+  h.observe(2);  // bucket 2 ([2, 4))
+  h.observe(3);  // bucket 2
+  h.observe(4);  // bucket 3 ([4, 8))
+  h.observe(7);  // bucket 3
+  h.observe(8);  // bucket 4
+
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[3], 2u);
+  EXPECT_EQ(snap.buckets[4], 1u);
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_EQ(snap.sum, 0u + 1 + 2 + 3 + 4 + 7 + 8);
+}
+
+TEST(HistogramTest, PowerOfTwoEdgesLandInDistinctBuckets) {
+  // Each exact power of two opens a new bucket; 2^k - 1 closes the
+  // previous one.
+  for (std::size_t k = 1; k < 63; ++k) {
+    Histogram h;
+    h.observe((std::uint64_t{1} << k) - 1);
+    h.observe(std::uint64_t{1} << k);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.buckets[k], 1u) << "2^" << k << " - 1";
+    EXPECT_EQ(snap.buckets[k + 1], 1u) << "2^" << k;
+  }
+}
+
+TEST(HistogramTest, OverflowBucketAbsorbsWidestValues) {
+  Histogram h;
+  h.observe(std::numeric_limits<std::uint64_t>::max());
+  h.observe(std::uint64_t{1} << 63);  // bit_width 64 -> clamped to 63
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.buckets[Histogram::kBuckets - 1], 2u);
+  EXPECT_EQ(snap.count, 2u);
+}
+
+TEST(HistogramTest, UpperBounds) {
+  EXPECT_EQ(Histogram::upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::upper_bound(10), 1023u);
+  EXPECT_EQ(Histogram::upper_bound(Histogram::kBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HistogramTest, EveryObservationIsAtMostItsBucketUpperBound) {
+  // The cumulative-rendering invariant: an observation landing in bucket b
+  // must satisfy v <= upper_bound(b), for all of v's 64 widths.
+  for (std::size_t k = 0; k < 64; ++k) {
+    const std::uint64_t v = k == 0 ? 0 : (std::uint64_t{1} << (k - 1));
+    const auto idx = std::min<std::size_t>(std::bit_width(v), Histogram::kBuckets - 1);
+    EXPECT_LE(v, Histogram::upper_bound(idx)) << "v = 2^" << (k - 1);
+  }
+}
+
+TEST(RegistryTest, SameNameAndLabelsResolveToSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hhh_test_total", {{"stage", "exact"}}, "help");
+  Counter& b = reg.counter("hhh_test_total", {{"stage", "exact"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(5);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hhh_test_total", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.counter("hhh_test_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(RegistryTest, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hhh_test_total", {{"shard", "0"}});
+  Counter& b = reg.counter("hhh_test_total", {{"shard", "1"}});
+  EXPECT_NE(&a, &b);
+}
+
+TEST(RegistryTest, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("hhh_test_total");
+  EXPECT_THROW(reg.gauge("hhh_test_total"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("hhh_test_total"), std::invalid_argument);
+}
+
+TEST(RegistryTest, MalformedNamesAndLabelKeysThrow) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+  EXPECT_THROW(reg.counter("0starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has-dash"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("ok_name", {{"bad-key", "v"}}), std::invalid_argument);
+  // Label *values* are free-form (escaped on export).
+  EXPECT_NO_THROW(reg.counter("ok_name", {{"key", "free form / value"}}));
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("hhh_zz_total").inc(1);
+  reg.gauge("hhh_aa").set(-5);
+  reg.histogram("hhh_mm").observe(3);
+  reg.counter("hhh_aa_total", {{"x", "2"}}).inc(2);
+  reg.counter("hhh_aa_total", {{"x", "1"}}).inc(3);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 5u);
+  const bool sorted = std::is_sorted(
+      snap.samples.begin(), snap.samples.end(), [](const auto& a, const auto& b) {
+        return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+      });
+  EXPECT_TRUE(sorted);
+  EXPECT_EQ(snap.samples[0].name, "hhh_aa");
+  EXPECT_EQ(snap.samples[0].gauge_value, -5);
+  EXPECT_EQ(snap.samples[1].labels, (Labels{{"x", "1"}}));
+  EXPECT_EQ(snap.samples[1].counter_value, 3u);
+  EXPECT_EQ(snap.samples[3].histogram.count, 1u);
+}
+
+TEST(RegistryTest, MergeRestoresSortedOrder) {
+  MetricsRegistry a, b;
+  a.counter("hhh_zz_total").inc(1);
+  b.counter("hhh_aa_total").inc(2);
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_EQ(merged.samples.size(), 2u);
+  EXPECT_EQ(merged.samples[0].name, "hhh_aa_total");
+  EXPECT_EQ(merged.samples[1].name, "hhh_zz_total");
+}
+
+TEST(RegistryTest, ProcessRegistryIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::process(), &MetricsRegistry::process());
+}
+
+// --- concurrency (the TSan targets) -----------------------------------------
+
+TEST(ConcurrencyTest, CountersSumAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ConcurrencyTest, HistogramObservesWhileSnapshotting) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+  Histogram h;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(i + static_cast<std::uint64_t>(t));
+    });
+  }
+  // Concurrent reader: snapshots must be tear-free per slot (values may
+  // lag, never exceed the final totals).
+  std::thread reader([&] {
+    for (int i = 0; i < 1000; ++i) {
+      const auto snap = h.snapshot();
+      EXPECT_LE(snap.count, kThreads * kPerThread);
+    }
+  });
+  for (auto& t : writers) t.join();
+  reader.join();
+  EXPECT_EQ(h.snapshot().count, kThreads * kPerThread);
+}
+
+TEST(ConcurrencyTest, RegistrationRacesResolveToOneSeries) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> resolved(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Counter& c = reg.counter("hhh_race_total", {{"k", "v"}});
+      c.inc();
+      resolved[static_cast<std::size_t>(t)] = &c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(resolved[0], resolved[static_cast<std::size_t>(t)]);
+  EXPECT_EQ(resolved[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace hhh::obs

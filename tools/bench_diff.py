@@ -16,6 +16,7 @@ import json
 import sys
 
 NOISE_BAND = 0.10  # |delta| beyond 10% gets flagged
+OVERHEAD_GATE_PCT = 2.0  # instrumentation_overhead.overhead_pct above this gets flagged
 
 
 def load(path):
@@ -61,6 +62,22 @@ def main():
     for name in base_engines:
         if name not in cur_engines:
             print(f"{name:<22} gone (in baseline, not in current run)")
+
+    # The obs-layer A/B row: PipelineConfig::metrics on vs off over the
+    # exact-engine pipeline. The gate is on the *current* run's overhead,
+    # not a delta against the baseline — instrumentation must stay cheap
+    # in absolute terms every run.
+    oh = cur.get("instrumentation_overhead")
+    if oh is not None:
+        flag = " ⚠ exceeds %.1f%% gate" % OVERHEAD_GATE_PCT \
+            if oh["overhead_pct"] > OVERHEAD_GATE_PCT else " ✓"
+        base_oh = base.get("instrumentation_overhead", {})
+        base_pct = base_oh.get("overhead_pct")
+        base_note = f" (baseline {base_pct:+.2f}%)" if base_pct is not None else ""
+        print()
+        print(f"instrumentation overhead: metrics off {oh['metrics_off_pps']:,.0f} pps, "
+              f"on {oh['metrics_on_pps']:,.0f} pps -> {oh['overhead_pct']:+.2f}%"
+              f"{flag}{base_note}")
 
     base_snaps = {s["engine"]: s for s in base.get("snapshot_roundtrip", [])}
     print()

@@ -38,6 +38,8 @@
 //   --expect-hidden=<p>    (repeatable) require prefix p in the hidden set;
 //                          exit 4 otherwise — the CI assertion the smoke
 //                          fixtures use
+//   --metrics-out=<path>   after the run, dump the process metric registry
+//                          (decoder/merge counters) as JSON to this file
 //
 // Exit codes: 0 success, 1 usage error, 2 I/O or malformed snapshot,
 // 3 incompatible snapshots (params mismatch between vantages),
@@ -49,6 +51,8 @@
 #include <vector>
 
 #include "core/hhh_types.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/snapshot_stream.hpp"
 #include "service/merge.hpp"
 #include "wire/snapshot.hpp"
@@ -61,6 +65,7 @@ using namespace hhh;
 struct Options {
   service::Thresholds thresholds;
   std::string out_path;
+  std::string metrics_out;
   bool from_stdin = false;
   std::vector<std::string> files;
   std::vector<PrefixKey> expect_hidden;
@@ -69,7 +74,8 @@ struct Options {
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: hhh-collector [--phi=F] [--threshold-bytes=N] [--out=PATH]\n"
-               "                     [--expect-hidden=PREFIX]... (snapshots.bin... | --stdin)\n"
+               "                     [--metrics-out=PATH] [--expect-hidden=PREFIX]...\n"
+               "                     (snapshots.bin... | --stdin)\n"
                "Merges vantage-point snapshot frame streams and reports network-wide +\n"
                "hidden HHHs.\n");
 }
@@ -88,6 +94,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (opt.thresholds.threshold_bytes <= 0.0) return false;
     } else if (arg.rfind("--out=", 0) == 0) {
       opt.out_path = arg.substr(6);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      opt.metrics_out = arg.substr(14);
+      if (opt.metrics_out.empty()) return false;
     } else if (arg.rfind("--expect-hidden=", 0) == 0) {
       const auto prefix = PrefixKey::parse(arg.substr(16));
       if (!prefix) return false;
@@ -214,6 +223,10 @@ int run(const Options& opt) {
     }
     wire::write_file(opt.out_path, out_bytes);
     std::printf("\nwrote merged snapshot(s) to %s\n", opt.out_path.c_str());
+  }
+
+  if (!opt.metrics_out.empty()) {
+    obs::write_json_file(opt.metrics_out, obs::MetricsRegistry::process().snapshot());
   }
   return exit_code;
 }

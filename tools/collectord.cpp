@@ -46,9 +46,14 @@
 //                          hidden set on idle exit; exit 4 otherwise
 //   --max-pending=N        backpressure cap: stop reading a vantage with
 //                          more than N buffered epoch frames (default 64)
-//   --print-port           print "port=N\n" (first TCP listener) to stdout
+//   --metrics=ADDR         serve Prometheus text at /metrics and a JSON
+//                          snapshot at /metrics.json on this endpoint
+//                          (scrape the daemon mid-run with curl)
+//   --stats-interval=S     log one structured stats line every S seconds
+//   --print-port           print "port=N\n" (first TCP listener) and, with
+//                          --metrics on TCP, "metrics_port=M\n" to stdout
 //                          once listening — how scripts bind port 0
-//   --verbose              info-level logging to stderr
+//   --verbose              info-level logging to stderr (HHH_LOG overrides)
 //
 // Exit codes: 0 success (or clean signal-driven shutdown with the
 // checkpoint written), 1 usage error, 2 I/O or socket failure,
@@ -62,7 +67,7 @@
 
 #include "core/hhh_types.hpp"
 #include "service/collectord.hpp"
-#include "util/logging.hpp"
+#include "obs/log.hpp"
 #include "wire/wire.hpp"
 
 namespace {
@@ -84,7 +89,8 @@ void usage(std::FILE* to) {
       "                      [--phi=F | --threshold-bytes=N] [--checkpoint=PATH]\n"
       "                      [--out=PATH] [--publish=ADDR] [--publish-name=NAME]\n"
       "                      [--idle-exit=S] [--expect-hidden=PREFIX]...\n"
-      "                      [--max-pending=N] [--print-port] [--verbose]\n"
+      "                      [--max-pending=N] [--metrics=ADDR]\n"
+      "                      [--stats-interval=S] [--print-port] [--verbose]\n"
       "Long-running epoch-aligned collector for hhh-live --connect vantages.\n"
       "Addresses: unix:PATH | tcp:HOST:PORT | HOST:PORT\n");
 }
@@ -148,6 +154,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.service.max_pending_frames =
           static_cast<std::size_t>(std::strtoull(v->c_str(), nullptr, 10));
       if (opt.service.max_pending_frames == 0) return false;
+    } else if (auto v = value("--metrics=")) {
+      const auto ep = service::Endpoint::parse(*v);
+      if (!ep) return false;
+      opt.service.metrics = *ep;
+    } else if (auto v = value("--stats-interval=")) {
+      opt.service.stats_interval_s = std::atof(v->c_str());
+      if (opt.service.stats_interval_s <= 0.0) return false;
     } else if (arg == "--print-port") {
       opt.print_port = true;
     } else if (arg == "--verbose") {
@@ -187,22 +200,24 @@ int run(Options& opt) {
   svc.start();
   if (opt.print_port) {
     std::printf("port=%u\n", svc.tcp_port());
+    if (svc.metrics_tcp_port() != 0) {
+      std::printf("metrics_port=%u\n", svc.metrics_tcp_port());
+    }
     std::fflush(stdout);
   }
   const service::RunOutcome outcome = svc.run();
   const service::CollectorStats stats = svc.stats();
-  std::fprintf(stderr,
-               "hhh-collectord: %llu conn(s), %llu frame(s), %llu epoch(s) closed "
-               "(%llu incomplete), %llu late fold(s), %llu duplicate(s), "
-               "%llu protocol error(s), %llu dirty disconnect(s)\n",
-               static_cast<unsigned long long>(stats.connections_accepted),
-               static_cast<unsigned long long>(stats.frames_received),
-               static_cast<unsigned long long>(stats.epochs_closed),
-               static_cast<unsigned long long>(stats.epochs_incomplete),
-               static_cast<unsigned long long>(stats.late_folds),
-               static_cast<unsigned long long>(stats.duplicates_dropped),
-               static_cast<unsigned long long>(stats.protocol_errors),
-               static_cast<unsigned long long>(stats.dirty_disconnects));
+  // Exit summary through the logger's emission primitive: one timestamped
+  // single-write line, unconditional like the fprintf it replaces.
+  log_line(LogLevel::kInfo,
+           "hhh-collectord: " + std::to_string(stats.connections_accepted) +
+               " conn(s), " + std::to_string(stats.frames_received) + " frame(s), " +
+               std::to_string(stats.epochs_closed) + " epoch(s) closed (" +
+               std::to_string(stats.epochs_incomplete) + " incomplete), " +
+               std::to_string(stats.late_folds) + " late fold(s), " +
+               std::to_string(stats.duplicates_dropped) + " duplicate(s), " +
+               std::to_string(stats.protocol_errors) + " protocol error(s), " +
+               std::to_string(stats.dirty_disconnects) + " dirty disconnect(s)");
   if (outcome == service::RunOutcome::kStopped) {
     // Interrupted mid-run: state is checkpointed, reports are not final.
     return 0;
@@ -247,7 +262,8 @@ int main(int argc, char** argv) {
     usage(stderr);
     return 1;
   }
-  set_log_level(opt.verbose ? LogLevel::kInfo : LogLevel::kWarn);
+  // Default chosen by --verbose; the HHH_LOG environment variable wins.
+  set_default_log_level(opt.verbose ? LogLevel::kInfo : LogLevel::kWarn);
   try {
     return run(opt);
   } catch (const wire::WireFormatError& e) {

@@ -66,6 +66,8 @@
 //                      (default "live")
 //   --retry=S          per-delivery reconnect budget for --connect
 //                      (default 10)
+//   --metrics-out=FILE write the process metrics registry (pipeline /
+//                      engine / sink series) as a JSON snapshot at exit
 //   --table            print a per-window report table to stderr
 //
 // Exit codes: 0 success, 1 usage error, 2 I/O error (including a
@@ -83,6 +85,8 @@
 #include "core/engine_registry.hpp"
 #include "core/exact_engine.hpp"
 #include "core/rhhh.hpp"
+#include "obs/export.hpp"
+#include "obs/log.hpp"
 #include "trace/scenarios.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/shard_router.hpp"
@@ -118,6 +122,7 @@ struct Options {
   std::optional<service::Endpoint> connect;
   std::string vantage = "live";
   double retry_s = 10.0;
+  std::string metrics_out;
   bool table = false;
 };
 
@@ -143,7 +148,8 @@ void usage(std::FILE* to) {
                "                (--out=PATH|- | --connect=ADDR [--vantage=NAME] [--retry=S])\n"
                "                [--pps=N | --speed=X] [--window=S]\n"
                "                [--phi=F | --threshold-bytes=N] [--engine=NAME]\n"
-               "                [--shards=N] [--windows=N] [--wall-clock] [--table]\n"
+               "                [--shards=N] [--windows=N] [--wall-clock]\n"
+               "                [--metrics-out=FILE] [--table]\n"
                "Replays a trace through the pipeline runtime and emits one snapshot\n"
                "frame per closed window — to a file stream (hhh-collector's input)\n"
                "or live to an hhh-collectord vantage socket.\n");
@@ -212,6 +218,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (auto v = value("--retry=")) {
       opt.retry_s = std::atof(v->c_str());
       if (opt.retry_s <= 0.0) return false;
+    } else if (auto v = value("--metrics-out=")) {
+      opt.metrics_out = *v;
+      if (opt.metrics_out.empty()) return false;
     } else if (arg == "--table") {
       opt.table = true;
     } else {
@@ -301,24 +310,21 @@ std::unique_ptr<HhhEngine> build_engine(const Options& opt) {
 
 int run(const Options& opt) {
   if (!opt.scenario.empty() && find_scenario(opt.scenario) == nullptr) {
-    std::fprintf(stderr, "error: unknown scenario '%s'; presets:", opt.scenario.c_str());
-    for (const auto& name : scenario_names()) std::fprintf(stderr, " %s", name.c_str());
-    std::fprintf(stderr, "\n");
+    std::string presets;
+    for (const auto& name : scenario_names()) presets += " " + name;
+    HHH_ERROR << "error: unknown scenario '" << opt.scenario << "'; presets:" << presets;
     return 1;
   }
   auto engine = build_engine(opt);
   if (!engine) {
     if (find_engine(opt.engine) != nullptr && opt.shards > 1) {
-      std::fprintf(stderr,
-                   "error: --engine=%s is an engine-registry configuration and "
-                   "supports --shards=1 only\n",
-                   opt.engine.c_str());
+      HHH_ERROR << "error: --engine=" << opt.engine
+                << " is an engine-registry configuration and supports --shards=1 only";
     } else {
-      std::fprintf(stderr, "error: unknown engine '%s'; built-ins: exact exact_v6 "
-                           "rhhh rhhh_v6; registry:",
-                   opt.engine.c_str());
-      for (const auto& name : engine_names()) std::fprintf(stderr, " %s", name.c_str());
-      std::fprintf(stderr, "\n");
+      std::string names;
+      for (const auto& name : engine_names()) names += " " + name;
+      HHH_ERROR << "error: unknown engine '" << opt.engine
+                << "'; built-ins: exact exact_v6 rhhh rhhh_v6; registry:" << names;
     }
     return 1;
   }
@@ -365,31 +371,33 @@ int run(const Options& opt) {
   const std::string dest = opt.connect   ? opt.connect->to_string()
                            : opt.out == "-" ? std::string("stdout")
                                             : opt.out;
-  std::fprintf(stderr, "hhh-live: %s packets, %s, %zu window frame(s) -> %s\n",
-               with_thousands(stats.packets).c_str(), human_bytes(stats.bytes).c_str(),
-               stats.windows_closed, dest.c_str());
+  HHH_INFO << "hhh-live: " << with_thousands(stats.packets) << " packets, "
+           << human_bytes(stats.bytes) << ", " << stats.windows_closed
+           << " window frame(s) -> " << dest;
+  if (!opt.metrics_out.empty()) {
+    // What this vantage's run cost: the process registry holds the
+    // pipeline/engine/sink series the run populated.
+    obs::write_json_file(opt.metrics_out, obs::MetricsRegistry::process().snapshot());
+  }
   if (client) {
     // The bye/ack handshake is the delivery receipt: the collector has
     // read (and deduplicated) everything this vantage journaled.
     if (!client->finish()) {
-      std::fprintf(stderr,
-                   "error: vantage %s: collector at %s never acknowledged the final "
-                   "handshake\n",
-                   opt.vantage.c_str(), opt.connect->to_string().c_str());
+      HHH_ERROR << "error: vantage " << opt.vantage << ": collector at "
+                << opt.connect->to_string() << " never acknowledged the final handshake";
       return 2;
     }
     if (client->reconnects() > 0) {
-      std::fprintf(stderr, "hhh-live: vantage %s reconnected %llu time(s)\n",
-                   opt.vantage.c_str(),
-                   static_cast<unsigned long long>(client->reconnects()));
+      HHH_INFO << "hhh-live: vantage " << opt.vantage << " reconnected "
+               << client->reconnects() << " time(s)";
     }
   }
   if (stats.bytes > 0 && accounted_bytes == 0) {
-    std::fprintf(stderr,
-                 "error: the %s engine accounted 0 of %s delivered — address-family/"
-                 "engine mismatch? (try --engine=%s)\n",
-                 opt.engine.c_str(), human_bytes(stats.bytes).c_str(),
-                 opt.engine.rfind("_v6") != std::string::npos ? "exact" : "exact_v6");
+    HHH_ERROR << "error: the " << opt.engine << " engine accounted 0 of "
+              << human_bytes(stats.bytes) << " delivered — address-family/engine "
+              << "mismatch? (try --engine="
+              << (opt.engine.rfind("_v6") != std::string::npos ? "exact" : "exact_v6")
+              << ")";
     return 3;
   }
   return 0;
@@ -403,10 +411,13 @@ int main(int argc, char** argv) {
     usage(stderr);
     return 1;
   }
+  // Tool summaries are info-level and visible by default; HHH_LOG=warn
+  // (or off) silences them without touching the frame stream on stdout.
+  set_default_log_level(LogLevel::kInfo);
   try {
     return run(opt);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    HHH_ERROR << "error: " << e.what();
     return 2;
   }
 }

@@ -85,6 +85,27 @@ struct EngineResult {
   std::size_t shards = 0;      ///< worker threads (0 = single-threaded engine)
 };
 
+/// One cell of the shard-scaling matrix: add_batch throughput of one
+/// engine family at one shard count (shards = 0 is the unsharded
+/// single-thread baseline the ratios are taken against).
+struct ScalingRow {
+  std::string engine;  ///< "exact" | "rhhh"
+  std::size_t shards = 0;
+  double add_batch_pps = 0.0;
+};
+
+/// The hhh-live saturation row: the highest --pps the windowed pipeline
+/// could sustain on this host (unpaced replay through the same
+/// source -> sharded engine -> disjoint-window configuration hhh-live
+/// builds, window closes included in the timed region).
+struct SaturationResult {
+  std::string engine;
+  std::size_t shards = 0;
+  double window_s = 0.0;
+  std::size_t windows = 0;
+  double pps = 0.0;
+};
+
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
@@ -244,6 +265,55 @@ EngineResult measure_engine(const std::string& name, MakeEngine&& make,
   return result;
 }
 
+/// add_batch-only throughput (timed to completion, like measure_engine)
+/// for the scaling-matrix cells that are not already covered by a full
+/// engines row.
+template <typename MakeEngine>
+double batch_only_pps(MakeEngine&& make, const std::vector<PacketRecord>& packets,
+                      const ThroughputOptions& opt) {
+  return best_pps(opt.repeats, packets.size(), make, [&](HhhEngine& engine) {
+    const std::span<const PacketRecord> all(packets);
+    for (std::size_t i = 0; i < all.size(); i += opt.batch_size) {
+      engine.add_batch(all.subspan(i, std::min(opt.batch_size, all.size() - i)));
+    }
+    if (auto* sharded = dynamic_cast<ShardedHhhEngine*>(&engine)) sharded->drain();
+  });
+}
+
+/// Unpaced replay through the pipeline hhh-live runs (sharded exact
+/// engine, disjoint windows): the measured rate is the ceiling for an
+/// `hhh-live --pps=N` deployment on this host. The window is much
+/// shorter than the trace, so every replay pays real window closes —
+/// i.e. the quiesce-free epoch-snapshot extraction path — inside the
+/// timed region, not just ingestion.
+SaturationResult measure_live_saturation(const std::vector<PacketRecord>& packets,
+                                         const ThroughputOptions& opt) {
+  SaturationResult result;
+  result.engine = "sharded_exact_x4";
+  result.shards = 4;
+  result.window_s = 5.0;
+  for (int r = 0; r < opt.repeats; ++r) {
+    pipeline::PipelineConfig cfg;
+    cfg.batch_size = opt.batch_size;
+    cfg.phi = 0.05;
+    pipeline::Pipeline p(
+        pipeline::make_vector_source(packets),
+        pipeline::make_engine_stage(
+            make_sharded_exact_engine(Hierarchy::byte_granularity(), result.shards)),
+        pipeline::make_disjoint_policy(Duration::from_seconds(result.window_s)), cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const pipeline::RunStats stats = p.run();
+    const double elapsed = seconds_since(t0);
+    if (elapsed > 0.0 && stats.packets == packets.size()) {
+      result.pps = std::max(result.pps, static_cast<double>(packets.size()) / elapsed);
+      result.windows = stats.windows_closed;
+    }
+  }
+  std::printf("hhh-live saturation (%s, %.0fs windows, %zu closes): %10.0f pps\n",
+              result.engine.c_str(), result.window_s, result.windows, result.pps);
+  return result;
+}
+
 int run_throughput_harness(const ThroughputOptions& opt) {
   const auto& packets = stream();
   const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -314,6 +384,44 @@ int run_throughput_harness(const ThroughputOptions& opt) {
                        .seed = 0xBE9C});
       },
       v6_stream(), opt));
+
+  // Shard-scaling matrix: add_batch pps per shard count for both engine
+  // families, against their unsharded baselines (shards = 0). Exact rows
+  // and rhhh x4 reuse the measurements above; the remaining rhhh cells
+  // are measured batch-only. tools/bench_diff.py compares the trajectory
+  // only when hardware_threads > 1 — a 1-core container serializes the
+  // workers and would mask (or fake) every scaling regression.
+  std::printf("\n== shard scaling (add_batch pps per shard count) ==\n");
+  const auto pps_of = [&results](const std::string& name) {
+    for (const auto& r : results) {
+      if (r.name == name) return r.add_batch_pps;
+    }
+    return 0.0;
+  };
+  std::vector<ScalingRow> scaling;
+  scaling.push_back({"exact", 0, pps_of("exact")});
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    scaling.push_back({"exact", shards, pps_of("sharded_exact_x" + std::to_string(shards))});
+  }
+  scaling.push_back({"rhhh", 0, pps_of("rhhh")});
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const double pps =
+        shards == 4 ? pps_of("sharded_rhhh_x4")
+                    : batch_only_pps(
+                          [shards] {
+                            return make_sharded_rhhh_engine(Hierarchy::byte_granularity(),
+                                                            shards, 512, 0xBE9C);
+                          },
+                          packets, opt);
+    scaling.push_back({"rhhh", shards, pps});
+  }
+  for (const auto& row : scaling) {
+    std::printf("%-6s x%zu  %10.0f pps%s\n", row.engine.c_str(), row.shards,
+                row.add_batch_pps, row.shards == 0 ? "   (single-thread baseline)" : "");
+  }
+  const SaturationResult saturation = measure_live_saturation(packets, opt);
 
   // Wire round-trip trajectory: what serialize/deserialize costs per
   // engine summary (the multi-vantage shipping path).
@@ -388,6 +496,23 @@ int run_throughput_harness(const ThroughputOptions& opt) {
                  r.add_batch_pps / r.add_pps, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"scaling\": {\n");
+  std::fprintf(out, "    \"hardware_threads\": %u,\n", hw_threads);
+  std::fprintf(out, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& row = scaling[i];
+    std::fprintf(out,
+                 "      {\"engine\": \"%s\", \"shards\": %zu, \"add_batch_pps\": %.1f}%s\n",
+                 row.engine.c_str(), row.shards, row.add_batch_pps,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out,
+               "    \"saturation\": {\"mode\": \"hhh-live\", \"engine\": \"%s\", "
+               "\"shards\": %zu, \"window_s\": %.1f, \"windows\": %zu, \"pps\": %.1f}\n",
+               saturation.engine.c_str(), saturation.shards, saturation.window_s,
+               saturation.windows, saturation.pps);
+  std::fprintf(out, "  },\n");
   std::fprintf(out,
                "  \"instrumentation_overhead\": {\"metrics_on_pps\": %.1f, "
                "\"metrics_off_pps\": %.1f, \"overhead_pct\": %.3f},\n",

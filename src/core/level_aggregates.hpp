@@ -69,18 +69,38 @@ class BasicLevelAggregates {
   /// re-coalesced while propagating up the trie, so each level map sees
   /// every distinct prefix once: O(n + sum of per-level distinct) counter
   /// updates instead of O(n * levels).
+  ///
+  /// The leaf pass is structured for the vector units: same-family records
+  /// are gathered into contiguous half/byte arrays, generalized and hashed
+  /// as whole arrays (D::key_hash_batch — SIMD mix64, see util/simd.hpp),
+  /// and inserted with the precomputed hashes (try_emplace_hashed), so the
+  /// per-packet loop left over is just the table probe.
   void add_batch(std::span<const PacketRecord> packets) {
     if (packets.empty()) return;
     scratch_.clear();
-    std::uint64_t batch_total = 0;
-    const unsigned leaf_len = hierarchy_.leaf_length();
+    gather_hi_.clear();
+    gather_lo_.clear();
+    gather_bytes_.clear();
     for (const auto& p : packets) {
       // One predictable compare per packet (family shares the record's
       // first cache line with ip_len): other-family packets are skipped,
       // exactly like exact_hhh_of().
       if (p.family() != D::kFamily) continue;
-      batch_total += p.ip_len;
-      scratch_[D::key_halves(p.src_hi(), p.src_lo(), leaf_len)] += p.ip_len;
+      gather_hi_.push_back(p.src_hi());
+      gather_lo_.push_back(p.src_lo());
+      gather_bytes_.push_back(p.ip_len);
+    }
+    const std::size_t n = gather_hi_.size();
+    if (n == 0) return;
+    gather_keys_.resize(n);
+    gather_hashes_.resize(n);
+    D::key_hash_batch(gather_hi_.data(), gather_lo_.data(), hierarchy_.leaf_length(),
+                      gather_keys_.data(), gather_hashes_.data(), n);
+    std::uint64_t batch_total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      batch_total += gather_bytes_[i];
+      *scratch_.try_emplace_hashed(gather_keys_[i], gather_hashes_[i]).first +=
+          gather_bytes_[i];
     }
     total_ += batch_total;
     if (batch_total == 0) return;
@@ -206,6 +226,14 @@ class BasicLevelAggregates {
   // add_batch() ping-pong scratch (members so batches reuse capacity).
   Map scratch_;
   Map carry_;
+  // add_batch() leaf-pass gather arrays (contiguous SoA views of the batch
+  // for the SIMD generalize/hash kernels; members so batches reuse
+  // capacity).
+  std::vector<std::uint64_t> gather_hi_;
+  std::vector<std::uint64_t> gather_lo_;
+  std::vector<std::uint32_t> gather_bytes_;
+  std::vector<MapKey> gather_keys_;
+  std::vector<std::uint64_t> gather_hashes_;
 };
 
 /// The IPv4 instantiation — bit-identical to the pre-generic class.

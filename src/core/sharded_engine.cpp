@@ -1,10 +1,12 @@
 #include "core/sharded_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
 #include "core/rhhh.hpp"
 #include "util/hash.hpp"
+#include "util/simd.hpp"
 #include "wire/wire.hpp"
 
 namespace hhh {
@@ -15,14 +17,19 @@ ShardedHhhEngine::ShardedHhhEngine(const Params& params, EngineFactory factory)
     throw std::invalid_argument("ShardedHhhEngine: shards must be >= 1");
   }
   if (params_.dispatch_batch == 0) params_.dispatch_batch = 1;
-  staging_.reserve(params_.dispatch_batch);
   shards_.reserve(params_.shards);
+  stage_.resize(params_.shards);
+  for (auto& bucket : stage_) bucket.reserve(params_.dispatch_batch);
   for (std::size_t i = 0; i < params_.shards; ++i) {
     auto shard = std::make_unique<Shard>(params_.ring_capacity);
     shard->engine = factory_(i);
     if (!shard->engine || !shard->engine->mergeable()) {
       throw std::invalid_argument("ShardedHhhEngine: factory must produce mergeable engines");
     }
+    // The snapshot clone target. Built from the same factory index so it is
+    // merge-compatible with the replica; its own seed/RNG state is inert
+    // (it only ever receives merge_from copies).
+    shard->snap_engine = factory_(i);
     shards_.push_back(std::move(shard));
   }
   // Per-shard telemetry, keyed by the composed engine name (available now
@@ -37,10 +44,13 @@ ShardedHhhEngine::ShardedHhhEngine(const Params& params, EngineFactory factory)
       shards_[i]->batches = &reg.counter("hhh_sharded_batches_total", labels,
                                          "Packet batches published to the shard ring");
       shards_[i]->ring_depth = &reg.gauge("hhh_sharded_ring_depth", labels,
-                                          "Batches in flight on the shard ring");
+                                          "Messages in flight on the shard ring");
     }
     quiesce_ns_ = &reg.histogram("hhh_sharded_quiesce_ns", {{"engine", engine_name}},
                                  "Wall time waiting for all shards to drain");
+    snapshot_ns_ = &reg.histogram(
+        "hhh_sharded_snapshot_ns", {{"engine", engine_name}},
+        "Wall time from snapshot markers enqueued to all clones merged");
   }
   // Spawn only after every replica exists: workers reference *shards_[i],
   // whose addresses are stable behind the unique_ptrs. If a spawn fails
@@ -68,11 +78,32 @@ ShardedHhhEngine::~ShardedHhhEngine() {
 }
 
 void ShardedHhhEngine::worker_loop(Shard& shard) {
-  std::vector<PacketRecord> batch;
-  while (shard.ring.pop_wait(batch)) {
-    shard.engine->add_batch(batch);
-    shard.ring_depth->add(-1);
-    shard.completed.fetch_add(1, std::memory_order_release);
+  const auto process = [&shard](ShardMsg& msg) {
+    if (msg.snapshot_seq != 0) {
+      // Epoch snapshot: clone the replica (reset + lossless merge) and
+      // publish it under the marker's sequence number. FIFO ring order
+      // means the clone reflects exactly the packets dispatched before
+      // the marker; the worker never parks — it moves straight on to
+      // whatever was enqueued after.
+      shard.snap_engine->reset();
+      shard.snap_engine->merge_from(*shard.engine);
+      shard.snap_ready.store(msg.snapshot_seq, std::memory_order_release);
+      shard.snap_ready.notify_all();
+    } else {
+      shard.engine->add_batch(msg.batch);
+    }
+  };
+  ShardMsg msg;
+  while (shard.ring.pop_wait(msg)) {
+    process(msg);
+    // Drain everything else already visible with one head publish, then
+    // retire the whole run with one completed update and one gauge
+    // adjustment — the quiesce/depth accounting costs O(1) atomics per
+    // run instead of per message.
+    std::uint64_t done = 1;
+    done += shard.ring.consume_available([&](ShardMsg&& m) { process(m); });
+    shard.ring_depth->add(-static_cast<std::int64_t>(done));
+    shard.completed.fetch_add(done, std::memory_order_release);
     shard.completed.notify_all();  // front-end may be parked in drain()
   }
 }
@@ -88,46 +119,106 @@ std::size_t ShardedHhhEngine::shard_of(const PacketRecord& p) const noexcept {
   return static_cast<std::size_t>(((mix64(key) >> 32) * shards_.size()) >> 32);
 }
 
-void ShardedHhhEngine::dispatch(std::vector<std::vector<PacketRecord>>& buckets) const {
-  for (std::size_t i = 0; i < buckets.size(); ++i) {
-    if (buckets[i].empty()) continue;
-    shards_[i]->ring.push(std::move(buckets[i]));  // blocks when full: backpressure
-    ++shards_[i]->dispatched;
-    shards_[i]->batches->inc();
-    shards_[i]->ring_depth->add(1);
+void ShardedHhhEngine::compute_shard_indices(
+    std::span<const PacketRecord> packets) const {
+  const std::size_t n = packets.size();
+  idx_scratch_.resize(n);
+  if (shards_.size() == 1) {
+    std::fill(idx_scratch_.begin(), idx_scratch_.end(), 0u);
+    return;
   }
+  key_scratch_.resize(n);
+  link_scratch_.resize(n);
+
+  if (params_.partition == PartitionKey::kSource) {
+    // key = src_hi ^ mix64(src_lo), family-independent.
+    for (std::size_t i = 0; i < n; ++i) link_scratch_[i] = packets[i].src_lo();
+    simd::mix64_batch(link_scratch_.data(), link_scratch_.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      key_scratch_[i] = packets[i].src_hi() ^ link_scratch_[i];
+    }
+    simd::shard_range_batch(key_scratch_.data(), shards_.size(), idx_scratch_.data(), n);
+    return;
+  }
+
+  // kFlow: the FlowKey::key() chain, batched. The chain's shape depends on
+  // the record family (v4 skips the two always-zero low halves), so only
+  // family-homogeneous batches vectorize; mixed batches take the scalar
+  // reference path. Real streams are homogeneous or nearly so per batch.
+  bool homogeneous = true;
+  const AddressFamily family = packets[0].family();
+  for (const auto& p : packets) {
+    if (p.family() != family) {
+      homogeneous = false;
+      break;
+    }
+  }
+  if (!homogeneous) {
+    for (std::size_t i = 0; i < n; ++i) {
+      idx_scratch_[i] = static_cast<std::uint32_t>(shard_of(packets[i]));
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    key_scratch_[i] = packets[i].src_hi() + 0x9E3779B97F4A7C15ULL;
+  }
+  simd::mix64_batch(key_scratch_.data(), key_scratch_.data(), n);
+  if (family != AddressFamily::kIpv4) {
+    for (std::size_t i = 0; i < n; ++i) link_scratch_[i] = packets[i].src_lo();
+    simd::mix64_xor_batch(key_scratch_.data(), link_scratch_.data(), n);
+    for (std::size_t i = 0; i < n; ++i) link_scratch_[i] = packets[i].dst_lo();
+    simd::mix64_xor_batch(key_scratch_.data(), link_scratch_.data(), n);
+  }
+  for (std::size_t i = 0; i < n; ++i) link_scratch_[i] = packets[i].dst_hi();
+  simd::mix64_xor_batch(key_scratch_.data(), link_scratch_.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& p = packets[i];
+    link_scratch_[i] = (static_cast<std::uint64_t>(p.src_port) << 48) |
+                       (static_cast<std::uint64_t>(p.dst_port) << 32) |
+                       (static_cast<std::uint64_t>(p.proto) << 8) |
+                       static_cast<std::uint64_t>(p.family());
+  }
+  simd::mix64_xor_batch(key_scratch_.data(), link_scratch_.data(), n);
+  simd::shard_range_batch(key_scratch_.data(), shards_.size(), idx_scratch_.data(), n);
 }
 
-std::uint64_t ShardedHhhEngine::partition_and_dispatch(
-    std::span<const PacketRecord> packets) const {
-  std::vector<std::vector<PacketRecord>> buckets(shards_.size());
-  for (auto& b : buckets) b.reserve(packets.size() / shards_.size() + 16);
-  std::uint64_t bytes = 0;
-  for (const auto& p : packets) {
-    bytes += p.ip_len;
-    buckets[shard_of(p)].push_back(p);
-  }
-  dispatch(buckets);
-  return bytes;
+void ShardedHhhEngine::publish(std::size_t shard) const {
+  auto& bucket = stage_[shard];
+  if (bucket.empty()) return;
+  ShardMsg msg;
+  msg.batch = std::move(bucket);
+  shards_[shard]->ring.push(std::move(msg));  // blocks when full: backpressure
+  ++shards_[shard]->dispatched;
+  shards_[shard]->batches->inc();
+  shards_[shard]->ring_depth->add(1);
+  bucket = std::vector<PacketRecord>();
+  bucket.reserve(params_.dispatch_batch);
 }
 
 void ShardedHhhEngine::flush_staging() const {
-  if (staging_.empty()) return;
-  // total_bytes_ was already credited by add(); only partition + enqueue.
-  partition_and_dispatch(staging_);
-  staging_.clear();
+  // total_bytes_ was already credited at staging time; only enqueue.
+  for (std::size_t s = 0; s < stage_.size(); ++s) publish(s);
 }
 
 void ShardedHhhEngine::add(const PacketRecord& packet) {
   total_bytes_ += packet.ip_len;
-  staging_.push_back(packet);
-  if (staging_.size() >= params_.dispatch_batch) flush_staging();
+  const std::size_t s = shard_of(packet);
+  stage_[s].push_back(packet);
+  if (stage_[s].size() >= params_.dispatch_batch) publish(s);
 }
 
 void ShardedHhhEngine::add_batch(std::span<const PacketRecord> packets) {
   if (packets.empty()) return;
-  flush_staging();  // keep per-shard FIFO order across add()/add_batch mixes
-  total_bytes_ += partition_and_dispatch(packets);
+  compute_shard_indices(packets);
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto& p = packets[i];
+    bytes += p.ip_len;
+    const std::size_t s = idx_scratch_[i];
+    stage_[s].push_back(p);
+    if (stage_[s].size() >= params_.dispatch_batch) publish(s);
+  }
+  total_bytes_ += bytes;
 }
 
 void ShardedHhhEngine::quiesce() const {
@@ -150,22 +241,45 @@ void ShardedHhhEngine::drain() const {
   quiesce();
 }
 
-std::unique_ptr<HhhEngine> ShardedHhhEngine::fold() const {
-  drain();
-  // Fold the quiesced replicas into a fresh scratch engine. The acquire
-  // on each shard's completion counter (in quiesce) orders every replica
-  // write before these reads.
+std::unique_ptr<HhhEngine> ShardedHhhEngine::snapshot_fold() const {
+  const auto begin = std::chrono::steady_clock::now();
+  flush_staging();  // staged packets belong to the epoch being extracted
+  const std::uint64_t seq = ++snapshot_seq_;
+  for (const auto& shard : shards_) {
+    ShardMsg msg;
+    msg.snapshot_seq = seq;
+    shard->ring.push(std::move(msg));
+    // Markers are counted in dispatched/completed like any message, so a
+    // later quiesce() stays coherent in every interleaving.
+    ++shard->dispatched;
+    shard->ring_depth->add(1);
+  }
   auto merged = factory_(shards_.size());
-  for (const auto& shard : shards_) merged->merge_from(*shard->engine);
+  // Merge in shard order for determinism. Each shard is merged as soon as
+  // its own clone is ready — shard 0's merge overlaps shard 1 still
+  // chewing through its queue.
+  for (const auto& shard : shards_) {
+    std::uint64_t ready = shard->snap_ready.load(std::memory_order_acquire);
+    while (ready != seq) {
+      shard->snap_ready.wait(ready, std::memory_order_acquire);
+      ready = shard->snap_ready.load(std::memory_order_acquire);
+    }
+    merged->merge_from(*shard->snap_engine);
+  }
+  snapshot_ns_->observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - begin)
+          .count()));
   return merged;
 }
 
-HhhSet ShardedHhhEngine::extract(double phi) const { return fold()->extract(phi); }
+std::unique_ptr<HhhEngine> ShardedHhhEngine::fold() const { return snapshot_fold(); }
+
+HhhSet ShardedHhhEngine::extract(double phi) const { return snapshot_fold()->extract(phi); }
 
 void ShardedHhhEngine::reset() {
   drain();
   for (auto& shard : shards_) shard->engine->reset();
-  staging_.clear();
   total_bytes_ = 0;
 }
 
@@ -197,9 +311,11 @@ void ShardedHhhEngine::load_state(wire::Reader& r) {
 
 std::size_t ShardedHhhEngine::memory_bytes() const {
   drain();
-  std::size_t sum = staging_.capacity() * sizeof(PacketRecord);
+  std::size_t sum = 0;
+  for (const auto& bucket : stage_) sum += bucket.capacity() * sizeof(PacketRecord);
   for (const auto& shard : shards_) {
-    sum += shard->engine->memory_bytes() + shard->ring.memory_bytes();
+    sum += shard->engine->memory_bytes() + shard->snap_engine->memory_bytes() +
+           shard->ring.memory_bytes();
   }
   return sum;
 }

@@ -4,11 +4,28 @@
 /// The first structure in the library that lets throughput scale with cores
 /// instead of IPC. The front-end (caller) thread hash-partitions packets by
 /// flow key across N shards; each shard is a worker thread that owns a
-/// *private* replica of the inner engine and an SPSC ring of packet batches
+/// *private* replica of the inner engine and an SPSC ring of messages
 /// (util/spsc_ring.hpp), so the hot path has no locks, no shared counters
-/// and no cross-shard cache traffic. At extract()/reset() — the window
-/// boundary in DisjointWindowHhhDetector — the front-end quiesces the rings
-/// and folds the replicas together through HhhEngine::merge_from().
+/// and no cross-shard cache traffic.
+///
+/// Dispatch is staged: the front-end appends each packet to a persistent
+/// per-shard staging buffer and publishes a buffer to its ring only when it
+/// reaches `dispatch_batch` packets — one ring operation (one release
+/// store, one potential wakeup) moves a contiguous sub-batch of thousands
+/// of records, and shard selection for whole batches runs through the SIMD
+/// mix64 kernels (util/simd.hpp). Window boundaries flush the staging
+/// buffers first (extract/reset/drain), so a window close never leaves
+/// staged packets attributed to the wrong epoch.
+///
+/// Extraction is quiesce-free: extract()/fold() enqueue a snapshot marker
+/// on every ring (FIFO with the packet batches), each worker clones its
+/// replica the moment it reaches the marker and keeps going, and the
+/// front-end merges the per-shard clones in shard order. No worker parks,
+/// no stop-the-world — and because the marker is FIFO-ordered after every
+/// packet dispatched before it, the merged clone state equals what a full
+/// quiesce would have seen. The quiesce path remains for the operations
+/// that mutate or serialize the live replicas: reset(), save_state(),
+/// load_state(), memory_bytes().
 ///
 /// Accuracy is inherited from the merge semantics (see engine.hpp): with an
 /// exact inner engine the sharded result is byte-identical to single-thread
@@ -37,11 +54,12 @@ namespace hhh {
 /// private mergeable replica, and merges on extraction.
 class ShardedHhhEngine final : public HhhEngine {
  public:
-  /// Builds the replica for one shard. Called shards+1 times: once per
-  /// shard and once for the merge scratch engine; `shard` is the shard
-  /// index (scratch uses index = shards). Factories must hand out
-  /// mergeable, identically-configured engines (distinct seeds per shard
-  /// are fine and recommended for randomized engines).
+  /// Builds the replica for one shard. Called once per shard for the
+  /// worker replicas, once per shard for the snapshot clone targets (same
+  /// index), and once per fold with index = shards for the merge scratch
+  /// engine. Factories must hand out mergeable, identically-configured
+  /// engines (distinct seeds per shard are fine and recommended for
+  /// randomized engines).
   using EngineFactory = std::function<std::unique_ptr<HhhEngine>(std::size_t shard)>;
 
   /// What the packets are partitioned by.
@@ -53,8 +71,8 @@ class ShardedHhhEngine final : public HhhEngine {
   /// Construction-time configuration.
   struct Params {
     std::size_t shards = 4;            ///< worker thread / replica count
-    std::size_t ring_capacity = 64;    ///< batches in flight per shard
-    std::size_t dispatch_batch = 4096; ///< add() staging flush threshold (packets)
+    std::size_t ring_capacity = 64;    ///< messages in flight per shard ring
+    std::size_t dispatch_batch = 4096; ///< per-shard staging publish threshold (packets)
     PartitionKey partition = PartitionKey::kFlow;  ///< shard selector input
   };
 
@@ -66,36 +84,43 @@ class ShardedHhhEngine final : public HhhEngine {
   /// Joins the workers (any queued batches are drained first).
   ~ShardedHhhEngine() override;
 
-  /// Stage one packet; staged packets are dispatched to the shard rings
-  /// every `dispatch_batch` packets (and at any extract/reset/drain).
+  /// Stage one packet on its shard's staging buffer; the buffer is
+  /// published to the shard ring at `dispatch_batch` packets (and at any
+  /// extract/reset/drain).
   void add(const PacketRecord& packet) override;
 
-  /// Partition the batch by flow-key hash and push one sub-batch per shard
-  /// onto the rings. Returns as soon as the batches are enqueued — workers
-  /// ingest concurrently; call drain() or extract() to synchronize.
+  /// Partition the batch across the per-shard staging buffers (shard
+  /// selection is SIMD-batched) and publish every buffer that fills.
+  /// Returns as soon as the packets are staged/enqueued — workers ingest
+  /// concurrently; call drain() or extract() to synchronize.
   void add_batch(std::span<const PacketRecord> packets) override;
 
-  /// Quiesce all shards, fold the replicas into a fresh scratch engine via
-  /// merge_from(), and extract from the merged state.
+  /// Quiesce-free extraction: flush staging, enqueue a snapshot marker per
+  /// shard, merge the per-shard replica clones (published at ring-FIFO
+  /// order, i.e. reflecting exactly the packets dispatched before the
+  /// marker) and extract from the merged state.
   HhhSet extract(double phi) const override;
 
-  /// Quiesce all shards and return a fresh scratch engine holding every
-  /// replica's state folded together — the single-engine equivalent of
-  /// this front-end's accumulated traffic. Snapshot producers use it to
-  /// emit *mergeable* frames (the inner engine's kind) instead of
-  /// restore-in-place-only sharded frames.
+  /// Return a fresh scratch engine holding every replica's state folded
+  /// together — the single-engine equivalent of this front-end's
+  /// accumulated traffic. Snapshot producers use it to emit *mergeable*
+  /// frames (the inner engine's kind) instead of restore-in-place-only
+  /// sharded frames. Uses the quiesce-free snapshot path: live ingestion
+  /// continues behind the returned fold.
   std::unique_ptr<HhhEngine> fold() const;
 
-  /// Quiesce and reset every replica (window boundary).
+  /// Quiesce and reset every replica (window boundary). Staged packets are
+  /// flushed and fully ingested first, so a preceding extract() and this
+  /// reset see the same stream split.
   void reset() override;
 
   /// Exact byte total handed to add()/add_batch() since the last reset
   /// (tracked on the front-end thread; workers never touch it).
   std::uint64_t total_bytes() const override { return total_bytes_; }
 
-  /// Replica footprints plus ring buffers. Synchronizing: drains pending
-  /// batches first so the replica reads are well-defined — expect a stall
-  /// when called mid-ingestion.
+  /// Replica footprints plus ring buffers and staging. Synchronizing:
+  /// drains pending batches first so the replica reads are well-defined —
+  /// expect a stall when called mid-ingestion.
   std::size_t memory_bytes() const override;
 
   /// "sharded_<inner>_x<N>", e.g. "sharded_exact_x4".
@@ -133,17 +158,32 @@ class ShardedHhhEngine final : public HhhEngine {
   std::size_t shards() const noexcept { return shards_.size(); }
 
  private:
+  /// One ring message: either a contiguous packet sub-batch
+  /// (snapshot_seq == 0) or a snapshot marker telling the worker to clone
+  /// its replica and publish the clone under `snapshot_seq`.
+  struct ShardMsg {
+    std::vector<PacketRecord> batch;
+    std::uint64_t snapshot_seq = 0;
+  };
+
   struct Shard {
     std::unique_ptr<HhhEngine> engine;
-    SpscRing<std::vector<PacketRecord>> ring;
+    // Worker-owned clone target for the epoch-snapshot path: the worker
+    // rebuilds it (reset + merge_from(engine)) at each snapshot marker;
+    // the front-end reads it only after observing snap_ready == seq.
+    std::unique_ptr<HhhEngine> snap_engine;
+    SpscRing<ShardMsg> ring;
     std::thread worker;
-    // Batches handed to the ring (front-end) vs fully ingested (worker).
-    // dispatched is front-end-private; completed is the sync point.
+    // Messages handed to the ring (front-end) vs fully processed (worker).
+    // dispatched is front-end-private; completed is the quiesce sync
+    // point. Each on its own line: completed and snap_ready are written by
+    // the worker while the front-end spins nearby.
     std::uint64_t dispatched = 0;
     alignas(64) std::atomic<std::uint64_t> completed{0};
+    alignas(64) std::atomic<std::uint64_t> snap_ready{0};
     // Registry-owned metric handles, resolved at construction (labels
     // {engine, shard}). batches counts ring publishes; ring_depth tracks
-    // in-flight batches (+1 at dispatch, -1 at worker completion).
+    // in-flight messages (+1 at dispatch, -n at worker completion).
     obs::Counter* batches = nullptr;
     obs::Gauge* ring_depth = nullptr;
 
@@ -151,21 +191,35 @@ class ShardedHhhEngine final : public HhhEngine {
   };
 
   std::size_t shard_of(const PacketRecord& p) const noexcept;
-  // The dispatch path is const so extract()/memory_bytes() can drain
+  // Fill idx_scratch_ with the shard of every packet. Family-homogeneous
+  // batches run the FlowKey hash chain through the SIMD mix64 kernels;
+  // mixed batches fall back to the scalar shard_of (identical output).
+  void compute_shard_indices(std::span<const PacketRecord> packets) const;
+  // The dispatch path is const so extract()/memory_bytes() can flush
   // without const_cast: enqueueing staged work mutates no observable
   // accounting state (Shard internals are reached through pointers).
-  void dispatch(std::vector<std::vector<PacketRecord>>& buckets) const;
-  std::uint64_t partition_and_dispatch(std::span<const PacketRecord> packets) const;
+  void publish(std::size_t shard) const;
   void flush_staging() const;
   void quiesce() const;
+  // Enqueue snapshot markers on every ring, wait for the clones, and merge
+  // them in shard order into a fresh scratch engine.
+  std::unique_ptr<HhhEngine> snapshot_fold() const;
   static void worker_loop(Shard& shard);
 
   Params params_;
   EngineFactory factory_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  mutable std::vector<PacketRecord> staging_;  // add() accumulation
-  std::uint64_t total_bytes_ = 0;              // front-end byte ledger
-  obs::Histogram* quiesce_ns_ = nullptr;       // hhh_sharded_quiesce_ns{engine}
+  // Persistent per-shard staging buffers: packets accumulate here and move
+  // to the ring as one contiguous sub-batch per publish.
+  mutable std::vector<std::vector<PacketRecord>> stage_;
+  // compute_shard_indices scratch (members so batches reuse capacity).
+  mutable std::vector<std::uint64_t> key_scratch_;
+  mutable std::vector<std::uint64_t> link_scratch_;
+  mutable std::vector<std::uint32_t> idx_scratch_;
+  mutable std::uint64_t snapshot_seq_ = 0;  // last issued snapshot marker
+  std::uint64_t total_bytes_ = 0;           // front-end byte ledger
+  obs::Histogram* quiesce_ns_ = nullptr;    // hhh_sharded_quiesce_ns{engine}
+  obs::Histogram* snapshot_ns_ = nullptr;   // hhh_sharded_snapshot_ns{engine}
 };
 
 /// Sharded exact engine: byte-identical to single-thread exact ingestion.

@@ -17,11 +17,13 @@
 // algorithm while the compiler specializes the key arithmetic per family.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "net/ip.hpp"
 #include "util/bit.hpp"
 #include "util/hash.hpp"
+#include "util/simd.hpp"
 #include "wire/wire.hpp"
 
 namespace hhh {
@@ -71,6 +73,22 @@ struct V4Domain {
     /// mix64 of the packed key.
     std::uint64_t operator()(MapKey k) const noexcept { return mix64(k); }
   };
+
+  /// Batch form of key_halves + Hash over `n` records' address halves
+  /// (lo is unused for v4 but kept for signature parity with V6Domain).
+  /// keys[i] and hashes[i] are bit-identical to the scalar
+  /// key_halves(hi[i], lo[i], len) / Hash()(key) pair — the generalize
+  /// loop is trivially vectorizable shifts/masks and the hash goes through
+  /// the SIMD mix64 kernel.
+  static void key_hash_batch(const std::uint64_t* hi, const std::uint64_t* /*lo*/,
+                             unsigned len, MapKey* keys, std::uint64_t* hashes,
+                             std::size_t n) noexcept {
+    const std::uint64_t mask = prefix_mask32(len);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = (((hi[i] >> 32) & mask) << 8) | len;
+    }
+    simd::mix64_batch(keys, hashes, n);
+  }
 
   /// Wire encoding: one u64 (identical to version-1 payloads).
   static void write_key(wire::Writer& w, MapKey k) { w.u64(k); }
@@ -130,6 +148,27 @@ struct V6Domain {
       return mix64(mix64(k.hi + 0x9E3779B97F4A7C15ULL * (k.len + 1)) ^ k.lo);
     }
   };
+
+  /// Batch form of key_halves + Hash over `n` records' address halves.
+  /// The chained 128-bit hash decomposes into two batch mix64 steps
+  /// (see util/simd.hpp): h = mix64(khi + C*(len+1)); h = mix64(h ^ klo) —
+  /// bit-identical to Hash()(key_halves(hi[i], lo[i], len)) per element.
+  static void key_hash_batch(const std::uint64_t* hi, const std::uint64_t* lo,
+                             unsigned len, MapKey* keys, std::uint64_t* hashes,
+                             std::size_t n) noexcept {
+    const std::uint64_t mask_hi = prefix_mask64(len);
+    const std::uint64_t mask_lo = prefix_mask64(len > 64 ? len - 64 : 0);
+    const std::uint64_t seed = 0x9E3779B97F4A7C15ULL * (len + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = MapKey{hi[i] & mask_hi, lo[i] & mask_lo, len};
+      hashes[i] = keys[i].hi + seed;
+    }
+    simd::mix64_batch(hashes, hashes, n);
+    // Second chain link needs the masked lo halves contiguous; gather into
+    // a caller-invisible pass using the keys we just built.
+    for (std::size_t i = 0; i < n; ++i) hashes[i] ^= keys[i].lo;
+    simd::mix64_batch(hashes, hashes, n);
+  }
 
   /// Wire encoding: u64 hi, u64 lo, u8 len.
   static void write_key(wire::Writer& w, const MapKey& k) {

@@ -6,9 +6,11 @@
 /// router is where parallelism enters: with shards > 1 it hash-partitions
 /// every batch across N worker threads, each owning a private mergeable
 /// replica (core/sharded_engine.hpp), and folds the replicas at every
-/// report boundary. With shards == 1 it degenerates to the inner engine
-/// itself — zero overhead, same types — so callers configure parallelism
-/// with one integer instead of two code paths.
+/// report boundary — via the engine's quiesce-free snapshot path, so a
+/// window close never stalls ingestion of the next window's packets.
+/// With shards == 1 it degenerates to the inner engine itself — zero
+/// overhead, same types — so callers configure parallelism with one
+/// integer instead of two code paths.
 #pragma once
 
 #include <memory>
@@ -23,7 +25,7 @@ struct ShardPlan {
   ShardedHhhEngine::PartitionKey partition =
       ShardedHhhEngine::PartitionKey::kFlow;  ///< shard selector input
   std::size_t ring_capacity = 64;             ///< batches in flight per shard
-  std::size_t dispatch_batch = 4096;          ///< add() staging flush threshold
+  std::size_t dispatch_batch = 4096;          ///< staging publish threshold (packets)
 };
 
 /// Build the routed engine for `plan`: the factory's engine directly for

@@ -86,10 +86,18 @@ class FlatHashMap {
 
   /// Insert `key` with a default value if absent. Returns {value*, inserted}.
   std::pair<Value*, bool> try_emplace(const Key& key) {
+    return try_emplace_hashed(key, hash_(key));
+  }
+
+  /// try_emplace with a caller-supplied hash of `key`. The batch ingestion
+  /// paths hash whole arrays of keys up front (SIMD, see util/simd.hpp) and
+  /// hand the precomputed values here; `hash` MUST equal `Hash()(key)` or
+  /// the table silently corrupts.
+  std::pair<Value*, bool> try_emplace_hashed(const Key& key, std::uint64_t hash) {
     if ((size_ + 1) * 8 >= slots_.size() * 7) grow();  // load factor 7/8
 
     const std::size_t mask = slots_.size() - 1;
-    std::size_t idx = static_cast<std::size_t>(hash_(key)) & mask;
+    std::size_t idx = static_cast<std::size_t>(hash) & mask;
     std::uint16_t dib = 1;
     Key k = key;
     Value v{};

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/simd.hpp"
+
 namespace hhh {
 namespace {
 
@@ -92,6 +94,14 @@ std::uint64_t xxhash64(const void* data, std::size_t len, std::uint64_t seed) no
   h *= kPrime3;
   h ^= h >> 32;
   return h;
+}
+
+void mix64_batch(const std::uint64_t* in, std::uint64_t* out, std::size_t n) noexcept {
+  simd::mix64_batch(in, out, n);
+}
+
+void mix64_xor_batch(std::uint64_t* acc, const std::uint64_t* in, std::size_t n) noexcept {
+  simd::mix64_xor_batch(acc, in, n);
 }
 
 HashFamily::HashFamily(std::size_t k, std::uint64_t master_seed) {

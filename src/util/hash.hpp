@@ -53,6 +53,15 @@ constexpr std::uint64_t hash_u64(std::uint64_t key, std::uint64_t seed) noexcept
   return mix64(key + 0x9E3779B97F4A7C15ULL * (seed + 1));
 }
 
+/// Batch mix64: out[i] = mix64(in[i]) for i in [0, n). Dispatches to the
+/// SIMD kernels in util/simd.hpp when the CPU has them; bit-identical to
+/// calling mix64 per element either way. In-place (out == in) allowed.
+void mix64_batch(const std::uint64_t* in, std::uint64_t* out, std::size_t n) noexcept;
+
+/// Batch chaining step: acc[i] = mix64(acc[i] ^ in[i]) — one link of the
+/// FlowKey / 128-bit key hash chains, across a whole array.
+void mix64_xor_batch(std::uint64_t* acc, const std::uint64_t* in, std::size_t n) noexcept;
+
 /// A family of k seeded hash functions over 64-bit keys.
 ///
 /// Row i of a sketch evaluates `family(i, key)`; the family owns the per-row

@@ -7,14 +7,24 @@
 // briefly and then park on C++20 atomic wait/notify, so an idle worker
 // costs nothing and a saturated one never syscalls.
 //
-// The producer caches the consumer's head (and vice versa) so the hot path
-// touches the *other* side's index only when its cached copy says the ring
-// looks full/empty — the classic SPSC false-sharing optimisation; head and
-// tail live on separate cache lines.
+// False-sharing layout: head and tail live on separate cache lines, each
+// side caches the other's index (the hot path touches the *other* side's
+// index only when its cached copy says the ring looks full/empty), and the
+// slots themselves are padded to 64-byte lines — without the padding the
+// producer writing slot i and the consumer reading slot i-1 ping-pong one
+// line between cores even though the indices never collide.
+//
+// Batched transfer: push_n/try_push_n publish a whole run of slots with a
+// single release store of tail (one event bump, one potential wakeup), and
+// consume_available() drains every element the consumer can currently see
+// with a single release store of head. The sharded ingestion path moves
+// thousands of packets per ring operation through these.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/bit.hpp"
@@ -23,11 +33,19 @@ namespace hhh {
 
 /// Lock-free bounded FIFO for exactly one producer and one consumer thread.
 ///
-/// Capacity is rounded up to a power of two. Elements are moved in and out.
-/// close() lets the producer signal end-of-stream: pop_wait() then drains
-/// the remaining elements and returns false once the ring is empty.
+/// Capacity is rounded up to a power of two (index arithmetic is a mask,
+/// never a modulo). Elements are moved in and out. close() lets the
+/// producer signal end-of-stream: pop_wait() then drains the remaining
+/// elements and returns false once the ring is empty.
 template <typename T>
 class SpscRing {
+  // One element padded out to a cache line so neighbouring slots never
+  // share one (64 literal: std::hardware_destructive_interference_size
+  // trips -Winterference-size under -Werror on GCC).
+  struct alignas(64) Slot {
+    T value{};
+  };
+
  public:
   /// Ring holding at least `min_capacity` elements (rounded up to 2^k).
   explicit SpscRing(std::size_t min_capacity = 64)
@@ -44,7 +62,7 @@ class SpscRing {
       cached_head_ = head_.load(std::memory_order_acquire);
       if (tail - cached_head_ > mask_) return false;
     }
-    buffer_[tail & mask_] = std::move(value);
+    buffer_[tail & mask_].value = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
     // The consumer parks on events_, not tail_: close() must also be able
     // to wake it, and only a word whose *value* changes on every wakeup
@@ -52,6 +70,27 @@ class SpscRing {
     events_.fetch_add(1, std::memory_order_release);
     events_.notify_one();
     return true;
+  }
+
+  /// Producer: move up to `n` elements in, publishing the whole run with
+  /// ONE release store of tail and one wakeup. Returns how many moved
+  /// (0 when full); moved-from prefix of `values` is consumed.
+  std::size_t try_push_n(T* values, std::size_t n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = mask_ + 1 - (tail - cached_head_);
+    if (free < n) {  // looks too full for the run: refresh the real head
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = mask_ + 1 - (tail - cached_head_);
+    }
+    const std::size_t count = n < free ? n : free;
+    if (count == 0) return 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      buffer_[(tail + i) & mask_].value = std::move(values[i]);
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    events_.fetch_add(1, std::memory_order_release);
+    events_.notify_one();
+    return count;
   }
 
   /// Producer: blocking push — spins, then parks until the consumer frees
@@ -68,6 +107,24 @@ class SpscRing {
     }
   }
 
+  /// Producer: blocking bulk push of all `n` elements (possibly in several
+  /// runs when the ring is smaller than `n`), parking between runs if the
+  /// consumer lags.
+  void push_n(T* values, std::size_t n) {
+    std::size_t done = 0;
+    while (done < n) {
+      done += try_push_n(values + done, n - done);
+      if (done == n) return;
+      for (int spin = 0; spin < kSpins && done < n; ++spin) {
+        done += try_push_n(values + done, n - done);
+      }
+      if (done == n) return;
+      const std::size_t head = head_.load(std::memory_order_acquire);
+      if (tail_.load(std::memory_order_relaxed) - head <= mask_) continue;
+      head_.wait(head, std::memory_order_acquire);
+    }
+  }
+
   /// Consumer: move the oldest element into `out`; false if empty.
   bool try_pop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
@@ -75,10 +132,29 @@ class SpscRing {
       cached_tail_ = tail_.load(std::memory_order_acquire);
       if (head == cached_tail_) return false;
     }
-    out = std::move(buffer_[head & mask_]);
+    out = std::move(buffer_[head & mask_].value);
     head_.store(head + 1, std::memory_order_release);
     head_.notify_one();  // cheap when no producer is parked
     return true;
+  }
+
+  /// Consumer: drain every element currently visible, invoking
+  /// `fn(T&&)` on each, then release ALL their slots with one store of
+  /// head and one wakeup. Returns the number consumed (0 if empty).
+  template <typename Fn>
+  std::size_t consume_available(Fn&& fn) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {  // looks empty: refresh the real tail
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return 0;
+    }
+    const std::size_t count = cached_tail_ - head;
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(std::move(buffer_[(head + i) & mask_].value));
+    }
+    head_.store(head + count, std::memory_order_release);
+    head_.notify_one();
+    return count;
   }
 
   /// Consumer: blocking pop. Returns false only after close() AND the ring
@@ -121,13 +197,13 @@ class SpscRing {
   /// Usable slot count (power of two).
   std::size_t capacity() const noexcept { return buffer_.size(); }
 
-  /// Heap footprint of the slot array (resource accounting).
-  std::size_t memory_bytes() const noexcept { return buffer_.size() * sizeof(T); }
+  /// Heap footprint of the (line-padded) slot array (resource accounting).
+  std::size_t memory_bytes() const noexcept { return buffer_.size() * sizeof(Slot); }
 
  private:
   static constexpr int kSpins = 64;
 
-  std::vector<T> buffer_;
+  std::vector<Slot> buffer_;
   std::size_t mask_;
   // Producer-owned line: its index plus a cached copy of the consumer's.
   alignas(64) std::atomic<std::size_t> tail_{0};

@@ -80,6 +80,80 @@ TEST(SpscRing, MovesElementsThrough) {
   EXPECT_EQ(out[999], 999);
 }
 
+TEST(SpscRing, TryPushNFillsUpToCapacityAndKeepsOrder) {
+  SpscRing<int> ring(8);
+  std::vector<int> in(12);
+  std::iota(in.begin(), in.end(), 0);
+  // One call moves as much as fits (8 of 12) with a single tail publish.
+  EXPECT_EQ(ring.try_push_n(in.data(), in.size()), 8u);
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_EQ(ring.try_push_n(in.data() + 8, 4), 0u) << "full ring accepts nothing";
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(ring.try_push_n(in.data() + 8, 4), 4u);
+  for (int i = 8; i < 12; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscRing, ConsumeAvailableDrainsEverythingVisibleInOrder) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  std::vector<int> seen;
+  EXPECT_EQ(ring.consume_available([&](int&& v) { seen.push_back(v); }), 10u);
+  ASSERT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_EQ(ring.consume_available([&](int&&) { FAIL(); }), 0u) << "empty ring";
+  EXPECT_TRUE(ring.empty()) << "consume_available must release every slot";
+}
+
+TEST(SpscRing, BatchedStressPreservesEveryElement) {
+  // push_n producer against a consume_available consumer: the batched
+  // acquire/release paths under real concurrency, constant wrap-around.
+  constexpr std::uint64_t kCount = 200000;
+  constexpr std::size_t kBatch = 37;  // deliberately not a divisor of capacity
+  SpscRing<std::uint64_t> ring(16);
+
+  std::uint64_t consumer_sum = 0;
+  std::uint64_t consumer_last = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    std::uint64_t v;
+    while (ring.pop_wait(v)) {
+      ordered &= (consumer_last == 0 || v == consumer_last + 1);
+      consumer_last = v;
+      consumer_sum += v;
+      ring.consume_available([&](std::uint64_t&& next) {
+        ordered &= (next == consumer_last + 1);
+        consumer_last = next;
+        consumer_sum += next;
+      });
+    }
+  });
+
+  std::uint64_t batch[kBatch];
+  std::uint64_t next = 1;
+  while (next <= kCount) {
+    std::size_t n = 0;
+    while (n < kBatch && next <= kCount) batch[n++] = next++;
+    ring.push_n(batch, n);
+  }
+  ring.close();
+  consumer.join();
+
+  EXPECT_TRUE(ordered) << "elements must arrive in push order";
+  EXPECT_EQ(consumer_last, kCount);
+  EXPECT_EQ(consumer_sum, kCount * (kCount + 1) / 2);
+}
+
 TEST(SpscRing, ProducerConsumerStressPreservesEveryElement) {
   // A small ring forces constant wrap-around and both blocking paths
   // (producer full-park, consumer empty-park) under real concurrency.

@@ -79,6 +79,41 @@ def main():
               f"on {oh['metrics_on_pps']:,.0f} pps -> {oh['overhead_pct']:+.2f}%"
               f"{flag}{base_note}")
 
+    # Shard-scaling trajectory: pps per shard count for exact and rhhh,
+    # reported as speedup over the family's single-thread baseline
+    # (shards = 0). Regressions here are only flagged when the *current*
+    # run had real cores to scale on — a 1-core container serializes the
+    # workers, so its ratios say nothing about the dispatch path and
+    # flagging them would just teach everyone to ignore the flags.
+    scaling = cur.get("scaling")
+    if scaling is not None:
+        multicore = scaling.get("hardware_threads", 1) > 1
+        base_rows = {(r["engine"], r["shards"]): r
+                     for r in base.get("scaling", {}).get("rows", [])}
+        note = "" if multicore else \
+            " (1 hw thread: informational only, regressions not flagged)"
+        print()
+        print(f"shard scaling ({scaling.get('hardware_threads', '?')} hw threads){note}")
+        print(f"{'engine':<10} {'shards':>6} {'batch_pps':>12} {'Δ':>9} {'vs x0':>8}")
+        baselines = {r["engine"]: r["add_batch_pps"]
+                     for r in scaling.get("rows", []) if r["shards"] == 0}
+        for r in scaling.get("rows", []):
+            key = (r["engine"], r["shards"])
+            b = base_rows.get(key, {})
+            delta = fmt_delta(r["add_batch_pps"], b.get("add_batch_pps", 0),
+                              known=key in base_rows) if multicore else "-"
+            single = baselines.get(r["engine"], 0.0)
+            ratio = f"{r['add_batch_pps'] / single:>7.2f}x" if single else "     n/a"
+            print(f"{r['engine']:<10} {r['shards']:>6} {r['add_batch_pps']:>12,.0f} "
+                  f"{delta:>9} {ratio}")
+        sat = scaling.get("saturation")
+        if sat is not None:
+            base_sat = base.get("scaling", {}).get("saturation", {})
+            delta = fmt_delta(sat["pps"], base_sat.get("pps", 0),
+                              known=bool(base_sat)) if multicore else "-"
+            print(f"hhh-live saturation ({sat['engine']}, {sat['window_s']:.0f}s windows, "
+                  f"{sat.get('windows', '?')} closes): {sat['pps']:,.0f} pps {delta}")
+
     base_snaps = {s["engine"]: s for s in base.get("snapshot_roundtrip", [])}
     print()
     print(f"{'engine':<22} {'snapshot_B':>12} {'Δ':>9} {'ser_MB/s':>9} {'deser_MB/s':>11}")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Multi-core scaling gate over a BENCH_throughput.json run.
+
+Usage: scaling_gate.py BENCH_throughput.json
+
+Reads the `scaling` section the throughput harness emits and asserts the
+sharded dispatch path actually buys throughput on a multi-core host:
+
+    sharded_exact_x4 add_batch_pps > 1.5 x exact add_batch_pps
+
+On hosts with fewer than 4 hardware threads the gate SKIPS with a logged
+reason and exits 0: the workers serialize onto the same cores, so the
+ratio measures scheduler round-robin, not the dispatch path. (This is
+why the single-core container kept a scaling regression invisible until
+this gate existed — see tools/bench_diff.py, which flags shard-scaling
+deltas only when hardware_threads > 1 for the same reason.)
+
+Also reports the x1 overhead ratio (sharded_exact_x1 vs exact; the
+acceptance band is within 10%) as a warning, not a failure: single-shard
+overhead is dominated by one extra thread hop and is noisy on shared
+runners, while the x4 ratio is the load-bearing claim.
+"""
+import json
+import sys
+
+SPEEDUP_GATE = 1.5  # sharded_exact_x4 must beat exact by this factor
+X1_OVERHEAD_BAND = 0.10  # sharded_exact_x1 should stay within 10% of exact
+MIN_THREADS = 4
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    with open(sys.argv[1]) as f:
+        bench = json.load(f)
+
+    scaling = bench.get("scaling")
+    if scaling is None:
+        print("scaling gate: FAIL — no `scaling` section in "
+              f"{sys.argv[1]} (old harness binary?)")
+        return 1
+
+    threads = scaling.get("hardware_threads", 0)
+    if threads < MIN_THREADS:
+        print(f"scaling gate: SKIP — {threads} hardware thread(s) < {MIN_THREADS}; "
+              "shard workers would serialize onto the same cores and the "
+              "speedup ratio would measure the scheduler, not the dispatch path")
+        return 0
+
+    pps = {(r["engine"], r["shards"]): r["add_batch_pps"]
+           for r in scaling.get("rows", [])}
+    exact = pps.get(("exact", 0), 0.0)
+    x1 = pps.get(("exact", 1), 0.0)
+    x4 = pps.get(("exact", 4), 0.0)
+    if exact <= 0.0 or x4 <= 0.0:
+        print("scaling gate: FAIL — missing exact baseline or sharded_exact_x4 row")
+        return 1
+
+    speedup = x4 / exact
+    print(f"scaling gate: {threads} hw threads, exact {exact:,.0f} pps, "
+          f"sharded_exact_x4 {x4:,.0f} pps -> {speedup:.2f}x "
+          f"(gate {SPEEDUP_GATE:.1f}x)")
+    if x1 > 0.0:
+        overhead = 1.0 - x1 / exact
+        flag = " ⚠ above band" if overhead > X1_OVERHEAD_BAND else ""
+        print(f"scaling gate: sharded_exact_x1 {x1:,.0f} pps "
+              f"({overhead:+.1%} overhead vs exact, band {X1_OVERHEAD_BAND:.0%})"
+              f"{flag} [informational]")
+    if speedup <= SPEEDUP_GATE:
+        print(f"scaling gate: FAIL — {speedup:.2f}x <= {SPEEDUP_GATE:.1f}x: "
+              "the sharded dispatch path is not scaling with cores")
+        return 1
+    print("scaling gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

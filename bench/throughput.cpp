@@ -27,10 +27,13 @@
 #include "core/exact_engine.hpp"
 #include "core/exact_hhh.hpp"
 #include "core/level_aggregates.hpp"
+#include "core/memento_hhh.hpp"
 #include "core/rhhh.hpp"
 #include "core/sharded_engine.hpp"
+#include "core/sliding_window.hpp"
 #include "core/tdbf_hhh.hpp"
 #include "core/univmon_hhh.hpp"
+#include "core/wcss_hhh.hpp"
 #include "dataplane/hashpipe.hpp"
 #include "dataplane/p4_tdbf.hpp"
 #include "pipeline/pipeline.hpp"
@@ -314,6 +317,129 @@ SaturationResult measure_live_saturation(const std::vector<PacketRecord>& packet
   return result;
 }
 
+// --- sliding-window section --------------------------------------------------
+
+/// One sliding-window detector row: offer() vs offer_batch() packet rate,
+/// plus precision/recall of query(trace end, phi) against the exact
+/// trailing-window HHH set — throughput numbers are only comparable when
+/// the detectors answer (roughly) the same question.
+struct SlidingResult {
+  std::string name;
+  std::string family;  ///< "v4" | "v6"
+  double offer_pps = 0.0;
+  double offer_batch_pps = 0.0;
+  double precision = 1.0;
+  double recall = 1.0;
+};
+
+/// Exact HHHs of the trailing `window` ending at the trace's last packet.
+template <typename D>
+HhhSet trailing_exact(const std::vector<PacketRecord>& packets, const Hierarchy& hierarchy,
+                      Duration window, double phi) {
+  BasicLevelAggregates<D> agg(hierarchy);
+  const TimePoint cutoff = packets.back().ts - window;
+  for (const auto& p : packets) {
+    if (p.ts > cutoff) agg.add(p.src(), p.ip_len);
+  }
+  return extract_hhh_relative(agg, phi);
+}
+
+void score_against(const HhhSet& exact, const HhhSet& approx, SlidingResult* row) {
+  const auto got = approx.prefixes(), truth = exact.prefixes();
+  std::size_t hits = 0;
+  for (const auto& p : got) {
+    if (std::binary_search(truth.begin(), truth.end(), p)) ++hits;
+  }
+  row->precision =
+      got.empty() ? 1.0 : static_cast<double>(hits) / static_cast<double>(got.size());
+  row->recall =
+      truth.empty() ? 1.0 : static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+/// Times one sliding detector's offer() loop and offer_batch() chunks
+/// (best of repeats, like measure_engine), then replays once more through
+/// offer_batch to score accuracy at the end of the trace. `query` maps a
+/// finished detector to its HhhSet — empty optional-ish behaviour is not
+/// needed; the exact detector passes a no-op and keeps the 1.0 defaults
+/// (its rolling counters ARE the ground truth).
+template <typename MakeDet, typename Query>
+SlidingResult measure_sliding(const std::string& name, const std::string& family,
+                              MakeDet&& make, Query&& query,
+                              const std::vector<PacketRecord>& packets,
+                              const ThroughputOptions& opt) {
+  SlidingResult result;
+  result.name = name;
+  result.family = family;
+  result.offer_pps = best_pps(opt.repeats, packets.size(), make, [&](auto& det) {
+    for (const auto& p : packets) det.offer(p);
+  });
+  result.offer_batch_pps = best_pps(opt.repeats, packets.size(), make, [&](auto& det) {
+    const std::span<const PacketRecord> all(packets);
+    for (std::size_t i = 0; i < all.size(); i += opt.batch_size) {
+      det.offer_batch(all.subspan(i, std::min(opt.batch_size, all.size() - i)));
+    }
+  });
+  auto det = make();
+  det->offer_batch(packets);
+  query(*det, &result);
+  std::printf("%-14s %-3s  offer: %10.0f pps   offer_batch: %10.0f pps   "
+              "precision %.2f  recall %.2f\n",
+              result.name.c_str(), result.family.c_str(), result.offer_pps,
+              result.offer_batch_pps, result.precision, result.recall);
+  return result;
+}
+
+/// The tentpole's measured payoff: exact-sliding vs WCSS-sliding vs
+/// Memento over the same window/step/trace, v4 and v6. bench_diff.py
+/// holds the `memento >= 3x wcss_sliding` gate against these rows.
+std::vector<SlidingResult> measure_sliding_section(const ThroughputOptions& opt,
+                                                   Duration window, double phi) {
+  std::vector<SlidingResult> rows;
+  const auto& packets = stream();
+  const HhhSet exact_v4 =
+      trailing_exact<V4Domain>(packets, Hierarchy::byte_granularity(), window, phi);
+
+  rows.push_back(measure_sliding(
+      "exact_sliding", "v4",
+      [&] {
+        return std::make_unique<SlidingWindowHhhDetector>(SlidingWindowHhhDetector::Params{
+            .window = window, .step = Duration::seconds(1), .phi = phi});
+      },
+      [](SlidingWindowHhhDetector&, SlidingResult*) {}, packets, opt));
+  rows.push_back(measure_sliding(
+      "wcss_sliding", "v4",
+      [&] {
+        return std::make_unique<WcssSlidingHhhDetector>(
+            WcssSlidingHhhDetector::Params{.window = window});
+      },
+      [&](WcssSlidingHhhDetector& det, SlidingResult* row) {
+        score_against(exact_v4, det.query(packets.back().ts, phi), row);
+      },
+      packets, opt));
+  rows.push_back(measure_sliding(
+      "memento", "v4",
+      [&] { return std::make_unique<MementoHhhDetector>(MementoHhhParams{.window = window}); },
+      [&](MementoDetector& det, SlidingResult* row) {
+        score_against(exact_v4, det.query(packets.back().ts, phi), row);
+      },
+      packets, opt));
+
+  const auto& v6_packets = v6_stream();
+  const HhhSet exact_v6 =
+      trailing_exact<V6Domain>(v6_packets, Hierarchy::v6_byte_granularity(), window, phi);
+  rows.push_back(measure_sliding(
+      "memento_v6", "v6",
+      [&] {
+        return std::make_unique<MementoHhhV6Detector>(MementoHhhParams{
+            .hierarchy = Hierarchy::v6_byte_granularity(), .window = window});
+      },
+      [&](MementoDetector& det, SlidingResult* row) {
+        score_against(exact_v6, det.query(v6_packets.back().ts, phi), row);
+      },
+      v6_packets, opt));
+  return rows;
+}
+
 int run_throughput_harness(const ThroughputOptions& opt) {
   const auto& packets = stream();
   const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -423,6 +549,28 @@ int run_throughput_harness(const ThroughputOptions& opt) {
   }
   const SaturationResult saturation = measure_live_saturation(packets, opt);
 
+  // Sliding-window rows: the three detectors answering "HHHs of the
+  // trailing W as of now" at the same window over the same trace. The
+  // v6 row has no exact/WCSS counterpart — both are v4-only; Memento's
+  // generic key layer is exactly what closes that gap.
+  const Duration sliding_window = Duration::seconds(10);
+  const double sliding_phi = 0.05;
+  std::printf("\n== sliding window (W=%.0fs, phi=%.2f): offer vs offer_batch ==\n",
+              sliding_window.to_seconds(), sliding_phi);
+  const std::vector<SlidingResult> sliding =
+      measure_sliding_section(opt, sliding_window, sliding_phi);
+  const auto sliding_pps = [&sliding](const std::string& name) {
+    for (const auto& r : sliding) {
+      if (r.name == name) return r.offer_batch_pps;
+    }
+    return 0.0;
+  };
+  const double memento_vs_wcss =
+      sliding_pps("wcss_sliding") > 0.0 ? sliding_pps("memento") / sliding_pps("wcss_sliding")
+                                        : 0.0;
+  std::printf("memento vs wcss_sliding: %.2fx offer_batch pps (gate: >= 3x)\n",
+              memento_vs_wcss);
+
   // Wire round-trip trajectory: what serialize/deserialize costs per
   // engine summary (the multi-vantage shipping path).
   std::printf("\n== snapshot round trip (wire/snapshot.hpp frames) ==\n");
@@ -512,6 +660,21 @@ int run_throughput_harness(const ThroughputOptions& opt) {
                "\"shards\": %zu, \"window_s\": %.1f, \"windows\": %zu, \"pps\": %.1f}\n",
                saturation.engine.c_str(), saturation.shards, saturation.window_s,
                saturation.windows, saturation.pps);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sliding\": {\n");
+  std::fprintf(out, "    \"window_s\": %.1f,\n", sliding_window.to_seconds());
+  std::fprintf(out, "    \"phi\": %.2f,\n", sliding_phi);
+  std::fprintf(out, "    \"memento_vs_wcss_speedup\": %.4f,\n", memento_vs_wcss);
+  std::fprintf(out, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < sliding.size(); ++i) {
+    const auto& r = sliding[i];
+    std::fprintf(out,
+                 "      {\"engine\": \"%s\", \"family\": \"%s\", \"offer_pps\": %.1f, "
+                 "\"offer_batch_pps\": %.1f, \"precision\": %.4f, \"recall\": %.4f}%s\n",
+                 r.name.c_str(), r.family.c_str(), r.offer_pps, r.offer_batch_pps,
+                 r.precision, r.recall, i + 1 < sliding.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
   std::fprintf(out, "  },\n");
   std::fprintf(out,
                "  \"instrumentation_overhead\": {\"metrics_on_pps\": %.1f, "

@@ -9,6 +9,8 @@
 //  * engine stage x disjoint policy (the deployed practice) — can only
 //    raise an alarm when a window closes;
 //  * exact sliding stage x sliding policy (step 1 s);
+//  * the Memento sliding stage x the same sliding policy — the sliding
+//    semantics at production (bounded-state, O(1)-update) cost;
 //  * the windowless TDBF stage x a 250 ms query cadence — no boundaries
 //    at all.
 //
@@ -19,6 +21,7 @@
 #include <optional>
 
 #include "core/exact_engine.hpp"
+#include "core/memento_hhh.hpp"
 #include "pipeline/pipeline.hpp"
 #include "trace/synthetic_trace.hpp"
 #include "util/strings.hpp"
@@ -93,6 +96,12 @@ int main() {
           {.window = window, .step = Duration::seconds(1), .phi = phi}),
       pipeline::make_sliding_policy(window, Duration::seconds(1)), phi, attack_prefix);
 
+  const auto t_memento = first_alarm(
+      config,
+      pipeline::make_memento_stage(std::make_unique<MementoHhhDetector>(
+          MementoHhhParams{.window = window, .frames = 10})),
+      pipeline::make_sliding_policy(window, Duration::seconds(1)), phi, attack_prefix);
+
   const auto t_tdbf = first_alarm(
       config, pipeline::make_tdbf_stage(TimeDecayingHhhDetector::for_window(window)),
       pipeline::make_query_cadence_policy(Duration::millis(250)), phi, attack_prefix);
@@ -107,6 +116,7 @@ int main() {
   };
   report("disjoint windows (W=10s):", t_disjoint);
   report("sliding window (step 1s):", t_sliding);
+  report("memento sliding (step 1s):", t_memento);
   report("tdbf windowless (250ms):", t_tdbf);
 
   std::printf("\nthe windowless monitor needs no boundary to close before it can react —\n"

@@ -1,0 +1,159 @@
+/// \file
+/// Sliding-window HHH at production cost: per-level Memento summaries
+/// plus RHHH-style level sampling (the paper's ref-[1] line of work,
+/// continued by Memento/H-Memento — arXiv 1810.02899).
+///
+/// This detector lifts sketch/memento.hpp to HHHs exactly the way RHHH
+/// lifts Space-Saving (core/rhhh.hpp): one windowed summary per hierarchy
+/// level, ONE level sampled uniformly per packet (O(1) per packet
+/// regardless of hierarchy depth — H-Memento's data-plane trick), level
+/// estimates scaled by H at query time, and bottom-up conditioned-count
+/// extraction across levels. Window totals stay exact: every packet lands
+/// in a per-frame byte-total ring regardless of which level its update
+/// sampled, so phi-relative thresholds are computed against the true
+/// trailing volume.
+///
+/// Against WcssSlidingHhhDetector this keeps the same sharp window
+/// semantics and epsilon class while replacing O(H) per-packet updates
+/// with per-update frame-ring scans by one sampled amortized-O(1) update
+/// — the `sliding` section of bench/throughput measures the gap. Unlike
+/// WCSS (IPv4-only) it is family-generic: `MementoHhhDetector` (v4) and
+/// `MementoHhhV6Detector` (v6) instantiate one template.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/hhh_types.hpp"
+#include "net/hierarchy.hpp"
+#include "net/packet.hpp"
+#include "sketch/memento.hpp"
+#include "util/random.hpp"
+#include "util/sim_time.hpp"
+#include "wire/fwd.hpp"
+
+namespace hhh {
+
+/// Construction-time configuration shared by both family instantiations.
+struct MementoHhhParams {
+  Hierarchy hierarchy = Hierarchy::byte_granularity();  ///< prefix levels
+  Duration window = Duration::seconds(10);  ///< trailing window length W
+  std::size_t frames = 10;                  ///< sub-frames per window
+  std::size_t counters_per_level = 512;     ///< summary capacity per level
+  std::uint64_t seed = 0x3E3E'0001;         ///< level-sampler RNG seed
+};
+
+/// Family-erased interface of the Memento sliding-window detectors — what
+/// the pipeline stage, the merge ledger and the frame ring hold so one
+/// code path serves v4 and v6 snapshots. The per-packet hot loops live in
+/// the concrete offer_batch(); the interface costs one virtual call per
+/// batch, not per packet.
+class MementoDetector {
+ public:
+  /// Detectors are owned polymorphically by stages and ledgers.
+  virtual ~MementoDetector() = default;
+
+  /// Account one packet (sampling one hierarchy level); timestamps must
+  /// be non-decreasing. Packets of the other family are ignored.
+  virtual void offer(const PacketRecord& packet) = 0;
+
+  /// Account a timestamp-ordered run of packets. Amortized level draws
+  /// (two Lemire-reduced draws per RNG step, as in RHHH's add_batch);
+  /// same level distribution and window totals as the offer() loop.
+  virtual void offer_batch(std::span<const PacketRecord> packets) = 0;
+
+  /// HHHs of the trailing window as of `now`, at relative threshold `phi`
+  /// (T = phi * exact window volume), computable at any instant.
+  virtual HhhSet query(TimePoint now, double phi) = 0;
+
+  /// Exact total bytes within the trailing window as of `now`
+  /// (conservatively including the partially expired oldest frame).
+  virtual double window_total(TimePoint now) = 0;
+
+  /// Fold another detector's per-level summaries and window totals into
+  /// this one (sharded/multi-vantage sliding deployments; error bounds
+  /// sum per level as for RHHH merges). Throws std::invalid_argument on
+  /// a family or Params mismatch.
+  virtual void merge_from(const MementoDetector& other) = 0;
+
+  /// Start of the newest frame observed; TimePoint() before any traffic.
+  /// The natural query instant for a restored or merged detector.
+  virtual TimePoint high_watermark() const noexcept = 0;
+
+  /// Write params, sampler RNG state, total ring and every level's window
+  /// state to the wire (wire v2; kMementoDetector frames).
+  virtual void save_state(wire::Writer& w) const = 0;
+
+  /// Restore state written by save_state() into a detector constructed
+  /// with the same Params; throws wire::WireFormatError on mismatch.
+  virtual void load_state(wire::Reader& r) = 0;
+
+  /// Heap footprint — bounded by Params, independent of traffic volume.
+  virtual std::size_t memory_bytes() const noexcept = 0;
+
+  /// "memento" for the IPv4 instantiation, "memento_v6" for IPv6.
+  virtual std::string name() const = 0;
+
+  /// The construction parameters (merge compatibility checks).
+  virtual const MementoHhhParams& params() const noexcept = 0;
+};
+
+/// The concrete per-family detector (see file header).
+template <typename D>
+class BasicMementoHhhDetector final : public MementoDetector {
+ public:
+  /// Construction-time configuration (shared across families).
+  using Params = MementoHhhParams;
+
+  /// Detector with one BasicMementoSummary per hierarchy level. The
+  /// hierarchy family must match the domain's; throws
+  /// std::invalid_argument otherwise.
+  explicit BasicMementoHhhDetector(const Params& params);
+
+  void offer(const PacketRecord& packet) override;
+  void offer_batch(std::span<const PacketRecord> packets) override;
+  HhhSet query(TimePoint now, double phi) override;
+  double window_total(TimePoint now) override;
+  void merge_from(const MementoDetector& other) override;
+  TimePoint high_watermark() const noexcept override;
+  void save_state(wire::Writer& w) const override;
+  void load_state(wire::Reader& r) override;
+  std::size_t memory_bytes() const noexcept override;
+  std::string name() const override;
+  const MementoHhhParams& params() const noexcept override { return params_; }
+
+ private:
+  friend std::unique_ptr<MementoDetector> deserialize_memento_detector(wire::Reader& r);
+
+  void note_packet(TimePoint ts, double bytes) noexcept;
+  std::int64_t frame_of(TimePoint t) const noexcept { return t.ns() / frame_len_.ns(); }
+  void read_state(wire::Reader& r);
+
+  Params params_;
+  Rng rng_;
+  Duration frame_len_;
+  std::vector<BasicMementoSummary<D>> levels_;
+  // Exact per-frame byte totals (every packet, independent of the sampled
+  // level): the threshold denominator is not subject to sampling noise.
+  std::int64_t current_frame_ = -1;
+  std::vector<std::int64_t> total_frame_ids_;
+  std::vector<double> total_frame_bytes_;
+};
+
+/// The IPv4 detector (name "memento").
+using MementoHhhDetector = BasicMementoHhhDetector<V4Domain>;
+/// The IPv6 detector (name "memento_v6").
+using MementoHhhV6Detector = BasicMementoHhhDetector<V6Domain>;
+
+extern template class BasicMementoHhhDetector<V4Domain>;
+extern template class BasicMementoHhhDetector<V6Domain>;
+
+/// Construct a detector directly from a save_state() payload: reads the
+/// params header and picks the family instantiation — the collector's and
+/// frame ring's entry point for kMementoDetector snapshots.
+std::unique_ptr<MementoDetector> deserialize_memento_detector(wire::Reader& r);
+
+}  // namespace hhh

@@ -65,6 +65,17 @@ void SlidingWindowHhhDetector::offer(const PacketRecord& packet) {
   current_bucket_[packet.src().v4().bits()] += packet.ip_len;
 }
 
+void SlidingWindowHhhDetector::offer_batch(std::span<const PacketRecord> packets) {
+  // Same body as offer(), hoisted into one loop so the step-boundary
+  // check and the rolling adds stay in a single TU-local hot path.
+  for (const PacketRecord& packet : packets) {
+    if (packet.family() != AddressFamily::kIpv4) continue;
+    close_steps_before(packet.ts);
+    rolling_.add(packet.src(), packet.ip_len);
+    current_bucket_[packet.src().v4().bits()] += packet.ip_len;
+  }
+}
+
 void SlidingWindowHhhDetector::finish(TimePoint end_of_stream) {
   close_steps_before(end_of_stream);
 }

@@ -14,6 +14,7 @@
 
 #include <deque>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/disjoint_window.hpp"
@@ -44,6 +45,11 @@ class SlidingWindowHhhDetector {
 
   /// Feed the next packet; timestamps must be non-decreasing.
   void offer(const PacketRecord& packet);
+
+  /// Feed a timestamp-ordered run of packets. Byte-identical state and
+  /// reports to offering each packet in order — one tight loop per batch
+  /// (the pipeline sliding-exact stage's ingest path).
+  void offer_batch(std::span<const PacketRecord> packets);
 
   /// Close every step ending at or before `end_of_stream`.
   void finish(TimePoint end_of_stream);

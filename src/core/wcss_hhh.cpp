@@ -29,6 +29,19 @@ void WcssSlidingHhhDetector::offer(const PacketRecord& packet) {
   }
 }
 
+void WcssSlidingHhhDetector::offer_batch(std::span<const PacketRecord> packets) {
+  // Same loop body as offer(): per-level hierarchy lengths resolve once
+  // per packet inside a single TU-local loop the compiler can keep hot,
+  // instead of one out-of-line call per packet from the stage.
+  for (const PacketRecord& packet : packets) {
+    if (packet.family() != AddressFamily::kIpv4) continue;
+    for (std::size_t level = 0; level < levels_.size(); ++level) {
+      levels_[level].update(V4Domain::key(packet.src(), params_.hierarchy.length_at(level)),
+                            packet.ip_len, packet.ts);
+    }
+  }
+}
+
 HhhSet WcssSlidingHhhDetector::query(TimePoint now, double phi) {
   HhhSet result;
   const double total = levels_.front().window_total(now);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/hhh_types.hpp"
@@ -42,6 +43,11 @@ class WcssSlidingHhhDetector {
 
   /// Account one packet; timestamps must be non-decreasing.
   void offer(const PacketRecord& packet);
+
+  /// Account a timestamp-ordered run of packets. Byte-identical state to
+  /// offering each packet in order — one devirtualized tight loop per
+  /// batch, the pipeline sliding stages' ingest path.
+  void offer_batch(std::span<const PacketRecord> packets);
 
   /// HHHs of the trailing window as of `now`, at relative threshold `phi`
   /// (T = phi * window volume estimate). Like the exact sliding detector

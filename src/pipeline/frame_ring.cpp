@@ -1,0 +1,163 @@
+#include "pipeline/frame_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "core/memento_hhh.hpp"
+#include "core/wcss_hhh.hpp"
+#include "wire/snapshot.hpp"
+#include "wire/wire.hpp"
+
+namespace hhh::pipeline {
+
+namespace {
+
+/// The merge head an interval query accumulates into: exactly one of the
+/// three state families, mirroring service::Scope without depending on
+/// service/ (the ring is a pipeline-layer facility).
+struct MergeHead {
+  std::string key;
+  std::unique_ptr<HhhEngine> engine;
+  std::unique_ptr<WcssSlidingHhhDetector> wcss;
+  std::unique_ptr<MementoDetector> memento;
+  TimePoint watermark;  // max sliding high_watermark folded
+};
+
+MergeHead decode_head(const RetainedFrame& retained) {
+  const wire::FrameView frame = wire::parse_frame(retained.frame);
+  wire::check(frame.frame_size == retained.frame.size(),
+              wire::WireError::kTrailingBytes,
+              "retained bytes continue past their frame");
+  MergeHead head;
+  if (frame.kind == wire::SnapshotKind::kWcssDetector) {
+    wire::Reader r(frame.payload, frame.version);
+    head.wcss = WcssSlidingHhhDetector::deserialize(r);
+    wire::check(r.done(), wire::WireError::kTrailingBytes,
+                "payload continues past detector state");
+    head.key = "wcss";
+    head.watermark = head.wcss->high_watermark();
+  } else if (frame.kind == wire::SnapshotKind::kMementoDetector) {
+    wire::Reader r(frame.payload, frame.version);
+    head.memento = deserialize_memento_detector(r);
+    wire::check(r.done(), wire::WireError::kTrailingBytes,
+                "payload continues past detector state");
+    head.key = head.memento->name();
+    head.watermark = head.memento->high_watermark();
+  } else {
+    head.engine = wire::load_engine(frame);
+    head.key = head.engine->name();
+  }
+  return head;
+}
+
+}  // namespace
+
+FrameRing::FrameRing(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("FrameRing capacity must be positive");
+  }
+  frames_.reserve(capacity);
+}
+
+void FrameRing::push(const WindowReport& report,
+                     std::span<const std::uint8_t> frame) {
+  if (frames_.size() == capacity_) {
+    frames_.erase(frames_.begin());
+  }
+  frames_.push_back(RetainedFrame{
+      .index = report.index,
+      .start = report.start,
+      .end = report.end,
+      .frame = std::vector<std::uint8_t>(frame.begin(), frame.end())});
+}
+
+std::vector<const RetainedFrame*> FrameRing::frames_in(TimePoint t1,
+                                                       TimePoint t2) const {
+  // frames_ is already sorted by end (push order), so a single pass IS
+  // the earliest-deadline-first greedy scan.
+  std::vector<const RetainedFrame*> out;
+  TimePoint cursor = t1;
+  for (const RetainedFrame& f : frames_) {
+    if (f.start < t1 || f.end > t2) continue;  // not fully inside
+    if (f.start < cursor) continue;            // overlaps the last taken frame
+    out.push_back(&f);
+    cursor = f.end;
+  }
+  return out;
+}
+
+IntervalReport FrameRing::query_interval(TimePoint t1, TimePoint t2,
+                                         double phi) const {
+  IntervalReport out;
+  const std::vector<const RetainedFrame*> selected = frames_in(t1, t2);
+  if (selected.empty()) return out;
+
+  MergeHead merged;
+  for (const RetainedFrame* retained : selected) {
+    MergeHead head = decode_head(*retained);
+    if (out.frames_merged == 0) {
+      merged = std::move(head);
+      out.covered_start = retained->start;
+    } else {
+      if (head.key != merged.key) {
+        throw std::invalid_argument(
+            "FrameRing::query_interval: mixed frame groups in interval ('" +
+            merged.key + "' vs '" + head.key + "')");
+      }
+      if (merged.engine) {
+        merged.engine->merge_from(*head.engine);
+      } else if (merged.wcss) {
+        merged.wcss->merge_from(*head.wcss);
+      } else {
+        merged.memento->merge_from(*head.memento);
+      }
+      merged.watermark = std::max(merged.watermark, head.watermark);
+    }
+    ++out.frames_merged;
+    out.covered_end = retained->end;
+  }
+
+  if (merged.engine) {
+    out.hhhs = merged.engine->extract(phi);
+  } else if (merged.wcss) {
+    out.hhhs = merged.wcss->query(merged.watermark, phi);
+  } else {
+    out.hhhs = merged.memento->query(merged.watermark, phi);
+  }
+  out.group = merged.key;
+  return out;
+}
+
+std::size_t FrameRing::memory_bytes() const noexcept {
+  std::size_t total = frames_.capacity() * sizeof(RetainedFrame);
+  for (const RetainedFrame& f : frames_) total += f.frame.capacity();
+  return total;
+}
+
+namespace {
+
+class FrameRingSink final : public ReportSink {
+ public:
+  explicit FrameRingSink(FrameRing* ring) : ring_(ring) {
+    if (ring == nullptr) {
+      throw std::invalid_argument("frame-ring sink needs a ring");
+    }
+  }
+
+  void on_window(const WindowReport& report, SinkContext& ctx) override {
+    ring_->push(report, ctx.snapshot());
+  }
+
+ private:
+  FrameRing* ring_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReportSink> make_frame_ring_sink(FrameRing* ring) {
+  return std::make_unique<FrameRingSink>(ring);
+}
+
+}  // namespace hhh::pipeline

@@ -74,7 +74,7 @@ class WcssStage final : public MeasurementStage {
   explicit WcssStage(const WcssSlidingHhhDetector::Params& params) : detector_(params) {}
 
   void ingest(std::span<const PacketRecord> run) override {
-    for (const auto& p : run) detector_.offer(p);
+    detector_.offer_batch(run);
   }
 
   HhhSet report(const WindowEvent& event, double phi) override {
@@ -108,7 +108,7 @@ class SlidingExactStage final : public MeasurementStage {
       : params_(params), detector_(params) {}
 
   void ingest(std::span<const PacketRecord> run) override {
-    for (const auto& p : run) detector_.offer(p);
+    detector_.offer_batch(run);
   }
 
   HhhSet report(const WindowEvent& event, double phi) override {
@@ -148,6 +148,41 @@ class SlidingExactStage final : public MeasurementStage {
   SlidingWindowHhhDetector::Params params_;
   SlidingWindowHhhDetector detector_;
   std::uint64_t last_total_bytes_ = 0;  // of the most recent report
+};
+
+class MementoStage final : public MeasurementStage {
+ public:
+  explicit MementoStage(std::unique_ptr<MementoDetector> detector)
+      : detector_(std::move(detector)) {
+    if (!detector_) throw std::invalid_argument("MementoStage: null detector");
+  }
+
+  void ingest(std::span<const PacketRecord> run) override {
+    detector_->offer_batch(run);
+  }
+
+  HhhSet report(const WindowEvent& event, double phi) override {
+    return detector_->query(event.end, phi);
+  }
+
+  bool serializable() const override { return true; }
+
+  std::vector<std::uint8_t> snapshot() const override {
+    std::vector<std::uint8_t> payload;
+    wire::Writer w(payload);
+    detector_->save_state(w);
+    return wire::build_frame(wire::SnapshotKind::kMementoDetector, payload);
+  }
+
+  std::uint64_t total_bytes() const override {
+    return static_cast<std::uint64_t>(
+        detector_->window_total(detector_->high_watermark()));
+  }
+  std::size_t memory_bytes() const override { return detector_->memory_bytes(); }
+  std::string name() const override { return detector_->name(); }
+
+ private:
+  std::unique_ptr<MementoDetector> detector_;
 };
 
 class TdbfStage final : public MeasurementStage {
@@ -190,6 +225,11 @@ std::unique_ptr<MeasurementStage> make_wcss_stage(
 std::unique_ptr<MeasurementStage> make_sliding_exact_stage(
     const SlidingWindowHhhDetector::Params& params) {
   return std::make_unique<SlidingExactStage>(params);
+}
+
+std::unique_ptr<MeasurementStage> make_memento_stage(
+    std::unique_ptr<MementoDetector> detector) {
+  return std::make_unique<MementoStage>(std::move(detector));
 }
 
 std::unique_ptr<MeasurementStage> make_tdbf_stage(

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/hhh_types.hpp"
+#include "core/memento_hhh.hpp"
 #include "core/sliding_window.hpp"
 #include "core/tdbf_hhh.hpp"
 #include "core/wcss_hhh.hpp"
@@ -96,6 +97,16 @@ std::unique_ptr<MeasurementStage> make_wcss_stage(
 /// (std::logic_error). Not serializable.
 std::unique_ptr<MeasurementStage> make_sliding_exact_stage(
     const SlidingWindowHhhDetector::Params& params);
+
+/// Memento sliding-window stage: report = query(event.end, phi) over the
+/// trailing window; never resets; snapshots as a kMementoDetector frame.
+/// Takes the detector itself (v4 MementoHhhDetector or v6
+/// MementoHhhV6Detector) the way make_engine_stage takes an engine. Pair
+/// with the sliding policy (step <= window; step should divide the
+/// detector's frame length W/frames so report boundaries align with frame
+/// boundaries). Ingests through offer_batch — one virtual call per run.
+std::unique_ptr<MeasurementStage> make_memento_stage(
+    std::unique_ptr<MementoDetector> detector);
 
 /// Windowless TDBF stage: report = continuous-time query at event.end;
 /// never resets (state decays). Pair with the query-cadence policy.

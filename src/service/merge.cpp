@@ -22,6 +22,11 @@ Scope decode_scope(const wire::FrameView& frame, std::string label) {
     scope.wcss = WcssSlidingHhhDetector::deserialize(r);
     wire::check(r.done(), wire::WireError::kTrailingBytes,
                 "payload continues past detector state");
+  } else if (frame.kind == wire::SnapshotKind::kMementoDetector) {
+    wire::Reader r(frame.payload, frame.version);
+    scope.memento = deserialize_memento_detector(r);
+    wire::check(r.done(), wire::WireError::kTrailingBytes,
+                "payload continues past detector state");
   } else {
     scope.engine = wire::load_engine(frame);
   }
@@ -48,6 +53,11 @@ HhhSet MergeLedger::fold(Scope scope) {
     watermark = scope.wcss->high_watermark();
     local = scope.wcss->query(watermark,
                               thresholds_.scope_phi(scope.wcss->window_total(watermark)));
+  } else if (scope.memento) {
+    key = scope.memento->name();
+    watermark = scope.memento->high_watermark();
+    local = scope.memento->query(
+        watermark, thresholds_.scope_phi(scope.memento->window_total(watermark)));
   } else {
     key = scope.engine->name();
     local = scope.engine->extract(
@@ -59,6 +69,9 @@ HhhSet MergeLedger::fold(Scope scope) {
     if (scope.wcss) {
       group->wcss->merge_from(*scope.wcss);
       group->watermark = std::max(group->watermark, watermark);
+    } else if (scope.memento) {
+      group->memento->merge_from(*scope.memento);
+      group->watermark = std::max(group->watermark, watermark);
     } else {
       group->engine->merge_from(*scope.engine);
     }
@@ -66,6 +79,7 @@ HhhSet MergeLedger::fold(Scope scope) {
     groups_.push_back(Group{.key = std::move(key),
                             .engine = std::move(scope.engine),
                             .wcss = std::move(scope.wcss),
+                            .memento = std::move(scope.memento),
                             .watermark = watermark});
   }
   ++scopes_folded_;
@@ -77,6 +91,9 @@ void MergeLedger::absorb(MergeLedger&& other) {
     if (Group* group = find_group(incoming.key)) {
       if (incoming.wcss) {
         group->wcss->merge_from(*incoming.wcss);
+        group->watermark = std::max(group->watermark, incoming.watermark);
+      } else if (incoming.memento) {
+        group->memento->merge_from(*incoming.memento);
         group->watermark = std::max(group->watermark, incoming.watermark);
       } else {
         group->engine->merge_from(*incoming.engine);
@@ -101,6 +118,9 @@ LedgerReport MergeLedger::report() {
     if (g.wcss) {
       group.merged = g.wcss->query(
           g.watermark, thresholds_.scope_phi(g.wcss->window_total(g.watermark)));
+    } else if (g.memento) {
+      group.merged = g.memento->query(
+          g.watermark, thresholds_.scope_phi(g.memento->window_total(g.watermark)));
     } else {
       group.merged = g.engine->extract(
           thresholds_.scope_phi(static_cast<double>(g.engine->total_bytes())));
@@ -122,6 +142,11 @@ std::vector<std::vector<std::uint8_t>> MergeLedger::save_group_frames() const {
       wire::Writer w(payload);
       g.wcss->save_state(w);
       frames.push_back(wire::build_frame(wire::SnapshotKind::kWcssDetector, payload));
+    } else if (g.memento) {
+      std::vector<std::uint8_t> payload;
+      wire::Writer w(payload);
+      g.memento->save_state(w);
+      frames.push_back(wire::build_frame(wire::SnapshotKind::kMementoDetector, payload));
     } else {
       frames.push_back(wire::save_engine(*g.engine));
     }
@@ -163,6 +188,7 @@ void MergeLedger::load_state(wire::Reader& r) {
     groups_.push_back(Group{.key = key,
                             .engine = std::move(scope.engine),
                             .wcss = std::move(scope.wcss),
+                            .memento = std::move(scope.memento),
                             .watermark = watermark});
   }
   const std::uint64_t n_seen = r.count(1);

@@ -3,11 +3,13 @@
 /// offline `hhh-collector` tool and the `hhh-collectord` daemon, so the
 /// file path and the socket path cannot drift.
 ///
-/// A ledger folds vantage *scopes* (decoded snapshot frames: one engine
-/// or one WCSS sliding detector each) and maintains:
+/// A ledger folds vantage *scopes* (decoded snapshot frames: one engine,
+/// one WCSS sliding detector, or one Memento sliding detector each) and
+/// maintains:
 ///
-///   * per compatibility group (keyed by engine name; every sliding
-///     detector keys as "wcss"), a running merged head via the same
+///   * per compatibility group (keyed by engine name; WCSS detectors key
+///     as "wcss", Memento detectors as their family name), a running
+///     merged head via the same
 ///     merge_from() semantics the sharded front-end uses in-process;
 ///   * the union of every scope's *locally extracted* HHH prefixes —
 ///     extraction happens inside fold(), before the scope is merged,
@@ -28,6 +30,7 @@
 
 #include "core/engine.hpp"
 #include "core/hhh_types.hpp"
+#include "core/memento_hhh.hpp"
 #include "core/wcss_hhh.hpp"
 #include "util/sim_time.hpp"
 #include "wire/snapshot.hpp"
@@ -48,11 +51,13 @@ struct Thresholds {
   double scope_phi(double scope_total) const;
 };
 
-/// One decoded vantage contribution: exactly one of engine/wcss is set.
+/// One decoded vantage contribution: exactly one of engine/wcss/memento
+/// is set.
 struct Scope {
   std::string label;                            ///< origin (stats, logs)
   std::unique_ptr<HhhEngine> engine;            ///< engine snapshots
-  std::unique_ptr<WcssSlidingHhhDetector> wcss; ///< sliding snapshots
+  std::unique_ptr<WcssSlidingHhhDetector> wcss; ///< WCSS sliding snapshots
+  std::unique_ptr<MementoDetector> memento;     ///< Memento sliding snapshots
 };
 
 /// Decode one snapshot frame into a Scope. Throws wire::WireFormatError
@@ -62,7 +67,8 @@ Scope decode_scope(const wire::FrameView& frame, std::string label);
 
 /// One merged compatibility group in a report.
 struct GroupReport {
-  std::string key;  ///< engine name, or "wcss" for sliding detectors
+  std::string key;  ///< engine name; sliding detectors key as "wcss" /
+                    ///< "memento" / "memento_v6"
   HhhSet merged;    ///< the group's network-wide HHH set
 };
 
@@ -123,7 +129,8 @@ class MergeLedger {
     std::string key;
     std::unique_ptr<HhhEngine> engine;
     std::unique_ptr<WcssSlidingHhhDetector> wcss;
-    TimePoint watermark;  ///< max high_watermark folded (wcss query instant)
+    std::unique_ptr<MementoDetector> memento;
+    TimePoint watermark;  ///< max high_watermark folded (sliding query instant)
   };
 
   Group* find_group(const std::string& key);

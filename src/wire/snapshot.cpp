@@ -25,6 +25,7 @@ const char* to_string(SnapshotKind kind) noexcept {
     case SnapshotKind::kEpochFrame: return "epoch_frame";
     case SnapshotKind::kStreamBye: return "stream_bye";
     case SnapshotKind::kCollectorCheckpoint: return "collector_checkpoint";
+    case SnapshotKind::kMementoDetector: return "memento_detector";
   }
   return "unknown";
 }
@@ -33,7 +34,7 @@ namespace {
 
 bool known_kind(std::uint16_t k) noexcept {
   return k >= static_cast<std::uint16_t>(SnapshotKind::kExactEngine) &&
-         k <= static_cast<std::uint16_t>(SnapshotKind::kCollectorCheckpoint);
+         k <= static_cast<std::uint16_t>(SnapshotKind::kMementoDetector);
 }
 
 }  // namespace

@@ -71,6 +71,7 @@ enum class SnapshotKind : std::uint16_t {
   kEpochFrame = 10,     ///< epoch envelope: window span + one embedded frame
   kStreamBye = 11,      ///< clean end-of-stream marker (and the collector's ack)
   kCollectorCheckpoint = 12,  ///< hhh-collectord crash-recovery checkpoint
+  kMementoDetector = 13,      ///< BasicMementoHhhDetector (v4 or v6)
 };
 
 /// Stable lower-case name of a SnapshotKind ("exact_engine", ...).

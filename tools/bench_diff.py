@@ -17,6 +17,7 @@ import sys
 
 NOISE_BAND = 0.10  # |delta| beyond 10% gets flagged
 OVERHEAD_GATE_PCT = 2.0  # instrumentation_overhead.overhead_pct above this gets flagged
+SLIDING_SPEEDUP_GATE = 3.0  # sliding.memento_vs_wcss_speedup below this gets flagged
 
 
 def load(path):
@@ -113,6 +114,37 @@ def main():
                               known=bool(base_sat)) if multicore else "-"
             print(f"hhh-live saturation ({sat['engine']}, {sat['window_s']:.0f}s windows, "
                   f"{sat.get('windows', '?')} closes): {sat['pps']:,.0f} pps {delta}")
+
+    # Sliding-window rows: exact-sliding vs WCSS vs Memento over the same
+    # window/trace, with precision/recall against the exact trailing
+    # window so throughput is never read in isolation. The speedup gate is
+    # on the *current* run, like the overhead gate — the tentpole claim
+    # ("sliding windows at production cost") must hold every run, not just
+    # relative to a baseline.
+    sliding = cur.get("sliding")
+    if sliding is not None:
+        base_rows = {r["engine"]: r
+                     for r in base.get("sliding", {}).get("rows", [])}
+        print()
+        print(f"sliding window (W={sliding.get('window_s', '?')}s, "
+              f"phi={sliding.get('phi', '?')})")
+        print(f"{'engine':<15} {'offer_pps':>12} {'Δ':>9} {'batch_pps':>12} {'Δ':>9} "
+              f"{'prec':>5} {'recall':>6}")
+        for r in sliding.get("rows", []):
+            known = r["engine"] in base_rows
+            b = base_rows.get(r["engine"], {})
+            print(f"{r['engine']:<15} {r['offer_pps']:>12,.0f} "
+                  f"{fmt_delta(r['offer_pps'], b.get('offer_pps', 0), known=known):>9} "
+                  f"{r['offer_batch_pps']:>12,.0f} "
+                  f"{fmt_delta(r['offer_batch_pps'], b.get('offer_batch_pps', 0), known=known):>9} "
+                  f"{r['precision']:>5.2f} {r['recall']:>6.2f}")
+        speedup = sliding.get("memento_vs_wcss_speedup")
+        if speedup is not None:
+            flag = " ✓" if speedup >= SLIDING_SPEEDUP_GATE else \
+                " ⚠ below %.0fx gate" % SLIDING_SPEEDUP_GATE
+            base_speedup = base.get("sliding", {}).get("memento_vs_wcss_speedup")
+            base_note = f" (baseline {base_speedup:.2f}x)" if base_speedup else ""
+            print(f"memento vs wcss_sliding: {speedup:.2f}x offer_batch pps{flag}{base_note}")
 
     base_snaps = {s["engine"]: s for s in base.get("snapshot_roundtrip", [])}
     print()

@@ -44,9 +44,24 @@
 //   --engine=NAME      exact | exact_v6 | rhhh | rhhh_v6 (default exact;
 //                      these honour --shards), or any engine registry
 //                      name (`hhh-live --engine=help` lists them;
-//                      registry engines require --shards=1)
+//                      registry engines require --shards=1). Sliding
+//                      detectors — memento | memento_v6 | wcss — need
+//                      --step and snapshot their trailing-window state
+//                      per step instead of resetting per window
+//   --step=S           sliding report cadence in seconds: switch the
+//                      schedule from disjoint windows to a sliding
+//                      window of --window reported every S (requires a
+//                      sliding --engine; window must be a multiple of S)
 //   --shards=N         hash-partitioned worker threads (default 1)
 //   --windows=N        stop after N closed windows
+//
+// Interval-query options (the frame-ring path):
+//   --retain=N         keep the last N window frames in an in-process
+//                      FrameRing alongside the output stream
+//   --query-interval=T1:T2  after the replay, answer "top HHHs between
+//                      T1 and T2 (seconds)" from the retained frames and
+//                      print the report to stderr (implies --retain=64
+//                      unless --retain is given)
 //   --wall-clock       close windows on paced stream time, not only on
 //                      packet arrival. Needs --speed: timestamp-
 //                      proportional pacing is what maps wall time back to
@@ -84,10 +99,13 @@
 #include "core/engine.hpp"
 #include "core/engine_registry.hpp"
 #include "core/exact_engine.hpp"
+#include "core/memento_hhh.hpp"
 #include "core/rhhh.hpp"
+#include "core/wcss_hhh.hpp"
 #include "obs/export.hpp"
 #include "obs/log.hpp"
 #include "trace/scenarios.hpp"
+#include "pipeline/frame_ring.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/shard_router.hpp"
 #include "pipeline/sink.hpp"
@@ -112,10 +130,13 @@ struct Options {
   double pps = 0.0;
   double speed = 0.0;
   double window_s = 10.0;
+  double step_s = 0.0;
   double phi = 0.05;
   double threshold_bytes = 0.0;
   std::string engine = "exact";
   std::size_t shards = 1;
+  std::size_t retain = 0;
+  std::optional<std::pair<double, double>> query_interval;
   std::optional<std::size_t> max_windows;
   bool wall_clock = false;
   std::string out;
@@ -146,9 +167,10 @@ void usage(std::FILE* to) {
                "usage: hhh-live (--trace=P | --csv=P | --pcap=P | --synthetic=SEED |\n"
                "                 --scenario=NAME [--seed=N])\n"
                "                (--out=PATH|- | --connect=ADDR [--vantage=NAME] [--retry=S])\n"
-               "                [--pps=N | --speed=X] [--window=S]\n"
+               "                [--pps=N | --speed=X] [--window=S] [--step=S]\n"
                "                [--phi=F | --threshold-bytes=N] [--engine=NAME]\n"
                "                [--shards=N] [--windows=N] [--wall-clock]\n"
+               "                [--retain=N] [--query-interval=T1:T2]\n"
                "                [--metrics-out=FILE] [--table]\n"
                "Replays a trace through the pipeline runtime and emits one snapshot\n"
                "frame per closed window — to a file stream (hhh-collector's input)\n"
@@ -194,6 +216,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.speed = std::atof(v->c_str());
     } else if (auto v = value("--window=")) {
       opt.window_s = std::atof(v->c_str());
+    } else if (auto v = value("--step=")) {
+      opt.step_s = std::atof(v->c_str());
+    } else if (auto v = value("--retain=")) {
+      opt.retain = static_cast<std::size_t>(std::strtoull(v->c_str(), nullptr, 10));
+    } else if (auto v = value("--query-interval=")) {
+      const std::size_t colon = v->find(':');
+      if (colon == std::string::npos) return false;
+      const double t1 = std::atof(v->substr(0, colon).c_str());
+      const double t2 = std::atof(v->substr(colon + 1).c_str());
+      if (t2 <= t1 || t1 < 0.0) return false;
+      opt.query_interval = {t1, t2};
     } else if (auto v = value("--phi=")) {
       opt.phi = std::atof(v->c_str());
     } else if (auto v = value("--threshold-bytes=")) {
@@ -231,6 +264,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
   if (opt.out.empty() == !opt.connect.has_value()) return false;  // out XOR connect
   if (opt.pps > 0.0 && opt.speed > 0.0) return false;
   if (opt.window_s <= 0.0 || opt.seconds <= 0.0) return false;
+  if (opt.step_s < 0.0) return false;
+  if (opt.query_interval && opt.retain == 0) opt.retain = 64;
   if (opt.threshold_bytes <= 0.0 && (opt.phi <= 0.0 || opt.phi > 1.0)) return false;
   if (opt.shards == 0) return false;
   if (opt.wall_clock && opt.speed <= 0.0) return false;  // see --wall-clock docs
@@ -315,18 +350,50 @@ int run(const Options& opt) {
     HHH_ERROR << "error: unknown scenario '" << opt.scenario << "'; presets:" << presets;
     return 1;
   }
-  auto engine = build_engine(opt);
-  if (!engine) {
-    if (find_engine(opt.engine) != nullptr && opt.shards > 1) {
-      HHH_ERROR << "error: --engine=" << opt.engine
-                << " is an engine-registry configuration and supports --shards=1 only";
-    } else {
-      std::string names;
-      for (const auto& name : engine_names()) names += " " + name;
-      HHH_ERROR << "error: unknown engine '" << opt.engine
-                << "'; built-ins: exact exact_v6 rhhh rhhh_v6; registry:" << names;
-    }
+  const bool sliding_engine =
+      opt.engine == "memento" || opt.engine == "memento_v6" || opt.engine == "wcss";
+  if (sliding_engine && opt.step_s <= 0.0) {
+    HHH_ERROR << "error: --engine=" << opt.engine
+              << " is a sliding detector; give its report cadence with --step=S";
     return 1;
+  }
+  if (!sliding_engine && opt.step_s > 0.0) {
+    HHH_ERROR << "error: --step needs a sliding --engine (memento | memento_v6 | wcss)";
+    return 1;
+  }
+  if (sliding_engine && opt.shards != 1) {
+    HHH_ERROR << "error: sliding engines support --shards=1 only";
+    return 1;
+  }
+
+  std::unique_ptr<pipeline::MeasurementStage> stage;
+  if (sliding_engine) {
+    const Duration window = Duration::from_seconds(opt.window_s);
+    if (opt.engine == "wcss") {
+      stage = pipeline::make_wcss_stage({.window = window});
+    } else if (opt.engine == "memento_v6") {
+      stage = pipeline::make_memento_stage(std::make_unique<MementoHhhV6Detector>(
+          MementoHhhParams{.hierarchy = Hierarchy::v6_byte_granularity(), .window = window}));
+    } else {
+      stage = pipeline::make_memento_stage(
+          std::make_unique<MementoHhhDetector>(MementoHhhParams{.window = window}));
+    }
+  } else {
+    auto engine = build_engine(opt);
+    if (!engine) {
+      if (find_engine(opt.engine) != nullptr && opt.shards > 1) {
+        HHH_ERROR << "error: --engine=" << opt.engine
+                  << " is an engine-registry configuration and supports --shards=1 only";
+      } else {
+        std::string names;
+        for (const auto& name : engine_names()) names += " " + name;
+        HHH_ERROR << "error: unknown engine '" << opt.engine
+                  << "'; built-ins: exact exact_v6 rhhh rhhh_v6; sliding: memento "
+                  << "memento_v6 wcss (need --step); registry:" << names;
+      }
+      return 1;
+    }
+    stage = pipeline::make_engine_stage(std::move(engine));
   }
 
   pipeline::PipelineConfig config;
@@ -335,12 +402,26 @@ int run(const Options& opt) {
   config.wall_clock = opt.wall_clock;
   config.max_windows = opt.max_windows;
   // Flush the final partial window: traffic after the last boundary is
-  // still an epoch the collector should see.
-  config.flush_open_window = true;
+  // still an epoch the collector should see. Sliding schedules have no
+  // partial-window notion — every report covers the trailing window.
+  config.flush_open_window = opt.step_s <= 0.0;
 
-  pipeline::Pipeline pipe(open_source(opt), pipeline::make_engine_stage(std::move(engine)),
-                          pipeline::make_disjoint_policy(Duration::from_seconds(opt.window_s)),
-                          config);
+  std::unique_ptr<pipeline::WindowPolicy> policy;
+  try {
+    policy = opt.step_s > 0.0
+                 ? pipeline::make_sliding_policy(Duration::from_seconds(opt.window_s),
+                                                 Duration::from_seconds(opt.step_s))
+                 : pipeline::make_disjoint_policy(Duration::from_seconds(opt.window_s));
+  } catch (const std::invalid_argument& e) {
+    HHH_ERROR << "error: " << e.what();
+    return 1;
+  }
+  pipeline::Pipeline pipe(open_source(opt), std::move(stage), std::move(policy), config);
+  std::optional<pipeline::FrameRing> ring;
+  if (opt.retain > 0) {
+    ring.emplace(opt.retain);
+    pipe.add_sink(pipeline::make_frame_ring_sink(&*ring));
+  }
   std::unique_ptr<service::VantageClient> client;
   if (opt.connect) {
     // A broken collector socket must surface as send_epoch's typed retry
@@ -374,6 +455,33 @@ int run(const Options& opt) {
   HHH_INFO << "hhh-live: " << with_thousands(stats.packets) << " packets, "
            << human_bytes(stats.bytes) << ", " << stats.windows_closed
            << " window frame(s) -> " << dest;
+  if (opt.query_interval) {
+    // Served entirely from the retained frames — the same bytes the
+    // output stream carries, so any consumer can reproduce the answer
+    // offline by merging the frames inside the interval.
+    const auto [t1, t2] = *opt.query_interval;
+    const pipeline::IntervalReport interval = ring->query_interval(
+        TimePoint::from_seconds(t1), TimePoint::from_seconds(t2), opt.phi);
+    if (interval.frames_merged == 0) {
+      std::fprintf(stderr,
+                   "interval [%.2fs, %.2fs]: no retained frame lies fully inside "
+                   "(ring holds %zu frame(s); raise --retain or widen the interval)\n",
+                   t1, t2, ring->size());
+    } else {
+      std::fprintf(stderr,
+                   "interval [%.2fs, %.2fs]: %zu frame(s) merged (group %s), covering "
+                   "[%.2fs, %.2fs): %zu HHH(s), %s total\n",
+                   t1, t2, interval.frames_merged, interval.group.c_str(),
+                   interval.covered_start.to_seconds(), interval.covered_end.to_seconds(),
+                   interval.hhhs.size(),
+                   human_bytes(interval.hhhs.total_bytes).c_str());
+      for (const auto& item : interval.hhhs.items()) {
+        std::fprintf(stderr, "  %-44s %12s conditioned\n",
+                     item.prefix.to_string().c_str(),
+                     human_bytes(item.conditioned_bytes).c_str());
+      }
+    }
+  }
   if (!opt.metrics_out.empty()) {
     // What this vantage's run cost: the process registry holds the
     // pipeline/engine/sink series the run populated.
